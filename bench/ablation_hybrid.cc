@@ -1,0 +1,56 @@
+// Ablation: the hybrid goal+content extension (the paper's §7 future work).
+// Sweeps the blend factor α on FoodMart and reports, per α, the two
+// quality metrics it trades against each other: goal completeness after the
+// list (Table 4's metric — the goal-based strength) and within-list feature
+// similarity (Table 5's metric — the content-based signature). Expected
+// shape: completeness decays and self-similarity rises as α moves from the
+// pure goal-based strategy (α=0) toward pure content re-ranking (α=1).
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/breadth.h"
+#include "core/hybrid.h"
+#include "eval/reports.h"
+#include "eval/table.h"
+#include "util/thread_pool.h"
+
+int main(int argc, char** argv) {
+  goalrec::bench::Scale scale = goalrec::bench::ParseScale(argc, argv);
+  goalrec::bench::PrintHeader(
+      "Ablation — hybrid goal+content blend factor (FoodMart, Breadth base)",
+      "goal completeness decays and list self-similarity rises with α");
+  goalrec::bench::PreparedDataset prepared =
+      goalrec::bench::PrepareFoodmart(scale);
+  goalrec::bench::PrintDatasetSummary(prepared);
+
+  goalrec::core::BreadthRecommender breadth(&prepared.dataset.library);
+
+  goalrec::eval::TextTable table(
+      {"alpha", "completeness AvgAvg", "pairwise sim AvgAvg"});
+  for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    goalrec::core::HybridOptions options;
+    options.alpha = alpha;
+    goalrec::core::HybridRecommender hybrid(
+        &breadth, &prepared.dataset.features, options);
+
+    goalrec::eval::MethodResult result;
+    result.name = hybrid.name();
+    result.lists.resize(prepared.inputs.size());
+    goalrec::util::ParallelFor(prepared.inputs.size(), [&](size_t u) {
+      result.lists[u] = hybrid.Recommend(prepared.inputs[u], 10);
+    });
+
+    std::vector<goalrec::eval::CompletenessRow> completeness =
+        goalrec::eval::ComputeCompleteness(prepared.dataset.library,
+                                           prepared.users, {result});
+    std::vector<goalrec::eval::SimilarityRow> similarity =
+        goalrec::eval::ComputePairwiseSimilarity(prepared.dataset.features,
+                                                 {result});
+    table.AddRow({goalrec::eval::FormatDouble(alpha, 2),
+                  goalrec::eval::FormatDouble(completeness[0].avg_avg, 3),
+                  goalrec::eval::FormatDouble(similarity[0].avg_avg, 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,172 @@
+#ifndef GOALREC_BENCH_COMMON_H_
+#define GOALREC_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/foodmart.h"
+#include "data/fortythree.h"
+#include "data/splitter.h"
+#include "eval/suite.h"
+#include "model/statistics.h"
+#include "util/set_ops.h"
+
+// Shared driver code for the experiment binaries (bench/table*_*, fig*_*).
+// Every binary reproduces one table or figure of the paper: it builds the
+// synthetic dataset(s), runs the full recommender roster, prints the measured
+// numbers next to the paper's published values, and states the shape
+// criterion being checked (see DESIGN.md §4).
+//
+// Binaries accept an optional `--scale=small|full` flag (default small, so
+// `for b in build/bench/*; do $b; done` completes in minutes; full reproduces
+// the paper-size datasets).
+
+namespace goalrec::bench {
+
+enum class Scale { kSmall, kFull };
+
+inline Scale ParseScale(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale=full") == 0) return Scale::kFull;
+    if (std::strcmp(argv[i], "--scale=small") == 0) return Scale::kSmall;
+  }
+  return Scale::kSmall;
+}
+
+/// FoodMart at the requested scale. Small keeps the structure (high
+/// connectivity, 128→16 categories) at ~1/40 the size.
+inline data::FoodmartOptions FoodmartAt(Scale scale) {
+  if (scale == Scale::kFull) return data::FoodmartOptions{};
+  // ~1/7 of the paper sizes with the same structure: high connectivity
+  // (8000·9/260 ≈ 280 impls per active product) and ~9 products per
+  // category so content lists can be homogeneous.
+  data::FoodmartOptions options;
+  options.num_products = 600;
+  options.num_categories = 64;
+  options.num_ingredient_products = 260;
+  options.num_recipes = 8000;
+  options.num_carts = 600;
+  return options;
+}
+
+/// 43Things at the requested scale.
+inline data::FortyThreeOptions FortyThreeAt(Scale scale) {
+  if (scale == Scale::kFull) return data::FortyThreeOptions{};
+  data::FortyThreeOptions options = data::SmallFortyThreeOptions();
+  options.num_goals = 400;
+  options.num_actions = 700;
+  options.num_implementations = 1900;
+  options.users_per_goal_count = {500, 180, 62, 60};
+  return options;
+}
+
+struct PreparedDataset {
+  data::Dataset dataset;
+  std::vector<data::EvalUser> users;
+  std::vector<model::Activity> inputs;
+};
+
+/// Generates and splits a dataset. FoodMart carts are used whole as inputs
+/// (the paper feeds each cart as the current activity); 43T activities are
+/// split 30/70 per §6.
+inline PreparedDataset PrepareFoodmart(Scale scale) {
+  PreparedDataset prepared;
+  prepared.dataset = data::GenerateFoodmart(FoodmartAt(scale));
+  prepared.users = data::SplitDataset(prepared.dataset, 1.0, 17);
+  for (const data::EvalUser& user : prepared.users) {
+    prepared.inputs.push_back(user.visible);
+  }
+  return prepared;
+}
+
+inline PreparedDataset PrepareFortyThree(Scale scale) {
+  PreparedDataset prepared;
+  prepared.dataset = data::GenerateFortyThree(FortyThreeAt(scale));
+  prepared.users = data::SplitDataset(prepared.dataset, 0.3, 17);
+  for (const data::EvalUser& user : prepared.users) {
+    prepared.inputs.push_back(user.visible);
+  }
+  return prepared;
+}
+
+/// FoodMart variant split 30/70 — an alternative held-out protocol used by
+/// the leave-one-out/supplementary experiments.
+inline PreparedDataset PrepareFoodmartSplit(Scale scale) {
+  PreparedDataset prepared;
+  prepared.dataset = data::GenerateFoodmart(FoodmartAt(scale));
+  prepared.users = data::SplitDataset(prepared.dataset, 0.3, 17);
+  for (const data::EvalUser& user : prepared.users) {
+    prepared.inputs.push_back(user.visible);
+  }
+  return prepared;
+}
+
+/// The paper's Figure 4 protocol for FoodMart: customers have up to 3 carts;
+/// a whole cart is the input and the customer's *other* carts are the
+/// ground truth ("we have more than one cart for the same user in different
+/// time slots", §6.1.1 C.1.5). Only carts of multi-cart customers are
+/// evaluated.
+inline PreparedDataset PrepareFoodmartRepeatCustomers(Scale scale) {
+  data::FoodmartOptions options = FoodmartAt(scale);
+  options.repeat_customer_fraction = 0.6;
+  PreparedDataset prepared;
+  prepared.dataset = data::GenerateFoodmart(options);
+
+  // Union of each customer's carts (customer ids are dense).
+  uint32_t num_customers = 0;
+  for (const data::UserRecord& user : prepared.dataset.users) {
+    num_customers = std::max(num_customers, user.customer_id + 1);
+  }
+  std::vector<model::Activity> customer_union(num_customers);
+  std::vector<uint32_t> cart_count(num_customers, 0);
+  for (const data::UserRecord& user : prepared.dataset.users) {
+    customer_union[user.customer_id] = goalrec::util::Union(
+        customer_union[user.customer_id], user.full_activity);
+    ++cart_count[user.customer_id];
+  }
+  for (const data::UserRecord& user : prepared.dataset.users) {
+    if (cart_count[user.customer_id] < 2) continue;
+    data::EvalUser eval_user;
+    eval_user.visible = user.full_activity;
+    eval_user.hidden = goalrec::util::Difference(
+        customer_union[user.customer_id], user.full_activity);
+    if (eval_user.hidden.empty()) continue;  // identical carts
+    prepared.inputs.push_back(eval_user.visible);
+    prepared.users.push_back(std::move(eval_user));
+  }
+  return prepared;
+}
+
+inline eval::SuiteOptions DefaultSuiteOptions(Scale scale) {
+  eval::SuiteOptions options;
+  if (scale == Scale::kSmall) {
+    options.als.num_factors = 8;
+    options.als.num_iterations = 5;
+  }
+  return options;
+}
+
+inline void PrintHeader(const std::string& title,
+                        const std::string& shape_criterion) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("shape criterion: %s\n", shape_criterion.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintDatasetSummary(const PreparedDataset& prepared) {
+  model::LibraryStats stats = model::ComputeStats(prepared.dataset.library);
+  std::printf(
+      "dataset %s: %u actions, %u goals, %u implementations, "
+      "connectivity %.2f, %zu users\n",
+      prepared.dataset.name.c_str(), stats.num_actions, stats.num_goals,
+      stats.num_implementations, stats.connectivity, prepared.users.size());
+}
+
+}  // namespace goalrec::bench
+
+#endif  // GOALREC_BENCH_COMMON_H_

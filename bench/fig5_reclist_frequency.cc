@@ -1,0 +1,49 @@
+// Figure 5: distribution of per-action frequency across the goal-based
+// methods' recommendation lists (how often the same action reappears in
+// different users' lists).
+//
+// Paper shape: on 43T the maximum frequency is ≈0.001 (nothing
+// monopolises); on FoodMart the majority of actions appear with frequency
+// below 0.2, with BestMatch (22%) and Breadth (14%) having the most actions
+// above 0.2 because they deliberately serve many goals at once.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "eval/reports.h"
+
+namespace {
+
+void Run(const char* label, goalrec::bench::PreparedDataset prepared,
+         goalrec::bench::Scale scale) {
+  std::printf("\n--- %s ---\n", label);
+  goalrec::bench::PrintDatasetSummary(prepared);
+  goalrec::eval::SuiteOptions options =
+      goalrec::bench::DefaultSuiteOptions(scale);
+  // Figure 5 examines the goal-based mechanisms only.
+  options.include_cf_knn = false;
+  options.include_cf_mf = false;
+  options.include_content = false;
+  goalrec::eval::Suite suite(&prepared.dataset, {}, options);
+  std::vector<goalrec::eval::MethodResult> results =
+      suite.RunAll(prepared.inputs, 10);
+  std::vector<goalrec::eval::FrequencyRow> rows =
+      goalrec::eval::ComputeRecListFrequency(results);
+  std::printf("%s", goalrec::eval::RenderFrequency(rows).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  goalrec::bench::Scale scale = goalrec::bench::ParseScale(argc, argv);
+  goalrec::bench::PrintHeader(
+      "Figure 5 — frequency of actions across recommendation lists",
+      "43T max frequency tiny; FoodMart majority < 0.2 with "
+      "BestMatch/Breadth repeating the most (they serve many goals at once)");
+  Run("FoodMart", goalrec::bench::PrepareFoodmart(scale), scale);
+  Run("43Things", goalrec::bench::PrepareFortyThree(scale), scale);
+  std::printf(
+      "\npaper reference: 43T max freq ≈ 0.001; FoodMart actions above 0.2: "
+      "BestMatch 22%%, Breadth 14%%, Focus variants fewer\n");
+  return 0;
+}

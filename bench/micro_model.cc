@@ -1,0 +1,93 @@
+// Micro-benchmarks for the index structures of §4: building the library and
+// answering the three space queries (Equations 1–2) at different
+// connectivity regimes.
+
+#include <benchmark/benchmark.h>
+
+#include "eval/scaling.h"
+#include "model/library.h"
+#include "util/random.h"
+#include "util/set_ops.h"
+
+namespace {
+
+using goalrec::eval::BuildScalingLibrary;
+using goalrec::eval::ScalingWorkload;
+
+ScalingWorkload Workload(uint32_t impls, uint32_t actions) {
+  ScalingWorkload w;
+  w.num_implementations = impls;
+  w.num_actions = actions;
+  w.implementation_size = 6;
+  return w;
+}
+
+goalrec::model::Activity MakeActivity(uint32_t num_actions, uint32_t size,
+                                      uint64_t seed) {
+  goalrec::util::Rng rng(seed);
+  goalrec::model::Activity activity;
+  while (activity.size() < size) {
+    uint32_t a = rng.UniformUint32(num_actions);
+    if (!goalrec::util::Contains(activity, a)) {
+      activity.push_back(a);
+      std::sort(activity.begin(), activity.end());
+    }
+  }
+  return activity;
+}
+
+void BM_BuildLibrary(benchmark::State& state) {
+  ScalingWorkload w =
+      Workload(static_cast<uint32_t>(state.range(0)),
+               static_cast<uint32_t>(state.range(0)) / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildScalingLibrary(w, 3));
+  }
+}
+BENCHMARK(BM_BuildLibrary)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+// The space queries at low (~12) and high (~600) connectivity.
+void BM_ImplementationSpace(benchmark::State& state) {
+  goalrec::model::ImplementationLibrary lib = BuildScalingLibrary(
+      Workload(50000, static_cast<uint32_t>(state.range(0))), 4);
+  goalrec::model::Activity h = MakeActivity(lib.num_actions(), 8, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lib.ImplementationSpace(h));
+  }
+}
+BENCHMARK(BM_ImplementationSpace)->Arg(25000)->Arg(500);
+
+void BM_GoalSpace(benchmark::State& state) {
+  goalrec::model::ImplementationLibrary lib = BuildScalingLibrary(
+      Workload(50000, static_cast<uint32_t>(state.range(0))), 4);
+  goalrec::model::Activity h = MakeActivity(lib.num_actions(), 8, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lib.GoalSpace(h));
+  }
+}
+BENCHMARK(BM_GoalSpace)->Arg(25000)->Arg(500);
+
+void BM_ActionSpace(benchmark::State& state) {
+  goalrec::model::ImplementationLibrary lib = BuildScalingLibrary(
+      Workload(50000, static_cast<uint32_t>(state.range(0))), 4);
+  goalrec::model::Activity h = MakeActivity(lib.num_actions(), 8, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lib.ActionSpace(h));
+  }
+}
+BENCHMARK(BM_ActionSpace)->Arg(25000)->Arg(500);
+
+void BM_CandidateActions(benchmark::State& state) {
+  goalrec::model::ImplementationLibrary lib = BuildScalingLibrary(
+      Workload(50000, static_cast<uint32_t>(state.range(0))), 4);
+  goalrec::model::Activity h = MakeActivity(lib.num_actions(), 8, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lib.CandidateActions(h));
+  }
+}
+BENCHMARK(BM_CandidateActions)->Arg(25000)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

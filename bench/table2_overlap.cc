@@ -1,0 +1,46 @@
+// Table 2: overlap of the top-10 lists of the goal-based mechanisms with the
+// content-based and collaborative-filtering baselines, on both datasets.
+//
+// Paper values (top-10): every goal-based/baseline overlap is below 2.5% on
+// FoodMart (e.g. BestMatch vs Content 2.31%, vs CF-MF 0.85%, vs CF-kNN
+// 0.34%) and below 0.3% on 43T.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "eval/reports.h"
+
+namespace {
+
+using goalrec::bench::PreparedDataset;
+
+void Run(const char* label, PreparedDataset prepared,
+         goalrec::bench::Scale scale) {
+  std::printf("\n--- %s ---\n", label);
+  goalrec::bench::PrintDatasetSummary(prepared);
+  goalrec::eval::Suite suite(&prepared.dataset, prepared.inputs,
+                             goalrec::bench::DefaultSuiteOptions(scale));
+  std::vector<goalrec::eval::MethodResult> results =
+      suite.RunAll(prepared.inputs, 10);
+  goalrec::eval::OverlapReport report =
+      goalrec::eval::ComputeOverlap(results);
+  std::printf("%s", goalrec::eval::RenderOverlap(report).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  goalrec::bench::Scale scale = goalrec::bench::ParseScale(argc, argv);
+  goalrec::bench::PrintHeader(
+      "Table 2 — overlap of goal-based top-10 lists with standard "
+      "recommenders",
+      "goal-based vs Content/CF overlaps are all small (paper: <2.5% "
+      "FoodMart, <0.3% 43T), far below goal-based internal agreement");
+  Run("FoodMart", goalrec::bench::PrepareFoodmart(scale), scale);
+  Run("43Things", goalrec::bench::PrepareFortyThree(scale), scale);
+  std::printf(
+      "\npaper reference (FoodMart): BestMatch/Content 2.31%%, "
+      "BestMatch/CF-MF 0.85%%, BestMatch/CF-kNN 0.34%%\n"
+      "paper reference (43T): all goal-based/CF overlaps <= 0.26%%\n");
+  return 0;
+}

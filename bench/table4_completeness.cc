@@ -1,0 +1,47 @@
+// Table 4 / Figure 3: average goal completeness after the user follows the
+// recommended actions (per-list min/avg/max of the goals' completeness,
+// averaged across lists).
+//
+// Paper values (AvgAvg): FoodMart — Breadth 0.31, BestMatch 0.31,
+// Focus_cmp 0.28, Focus_cl 0.25 vs Content 0.14, CF-kNN 0.11, CF-MF 0.10.
+// 43T — Focus_cmp 0.68, Breadth 0.58, BestMatch 0.57, Focus_cl 0.55 vs
+// CF around 0.37. (Numbers read from Figure 3's bars; the shape — goal-based
+// above every baseline, Breadth/BestMatch leading FoodMart, Focus_cmp
+// leading 43T — is the reproduction target.)
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "eval/reports.h"
+
+namespace {
+
+void Run(const char* label, goalrec::bench::PreparedDataset prepared,
+         goalrec::bench::Scale scale) {
+  std::printf("\n--- %s ---\n", label);
+  goalrec::bench::PrintDatasetSummary(prepared);
+  goalrec::eval::Suite suite(&prepared.dataset, prepared.inputs,
+                             goalrec::bench::DefaultSuiteOptions(scale));
+  std::vector<goalrec::eval::MethodResult> results =
+      suite.RunAll(prepared.inputs, 10);
+  std::vector<goalrec::eval::CompletenessRow> rows =
+      goalrec::eval::ComputeCompleteness(prepared.dataset.library,
+                                         prepared.users, results);
+  std::printf("%s", goalrec::eval::RenderCompleteness(rows).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  goalrec::bench::Scale scale = goalrec::bench::ParseScale(argc, argv);
+  goalrec::bench::PrintHeader(
+      "Table 4 / Figure 3 — goal completeness after following the lists",
+      "goal-based strategies beat every baseline; Breadth/BestMatch lead on "
+      "FoodMart, Focus_cmp leads on 43T (true goals known there)");
+  Run("FoodMart", goalrec::bench::PrepareFoodmart(scale), scale);
+  Run("43Things", goalrec::bench::PrepareFortyThree(scale), scale);
+  std::printf(
+      "\npaper reference (AvgAvg): FoodMart Breadth/BestMatch ~0.31 vs CF "
+      "~0.10; 43T Focus_cmp ~0.68 vs CF ~0.37\n");
+  return 0;
+}

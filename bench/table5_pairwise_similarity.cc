@@ -1,0 +1,36 @@
+// Table 5: pairwise feature-based similarity among the actions within each
+// top-10 recommendation list (FoodMart only — 43T has no accepted features).
+//
+// Paper values (AvgAvg / AvgMax / AvgMin): Content 0.81 / 1 / 0.6,
+// CF-kNN 0.16 / 0.5 / 0.05, CF-MF 0.15 / 0.77 / 0.04,
+// BestMatch 0.33 / 0.72 / 0.22, Focus_cmp 0.24 / 0.31 / 0.21,
+// Focus_cl 0.24 / 0.34 / 0.19, Breadth 0.33 / 0.73 / 0.22.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "eval/reports.h"
+
+int main(int argc, char** argv) {
+  goalrec::bench::Scale scale = goalrec::bench::ParseScale(argc, argv);
+  goalrec::bench::PrintHeader(
+      "Table 5 — pairwise feature similarity within each list (FoodMart)",
+      "Content ≈ 0.8 (homogeneous lists) ≫ goal-based (0.2–0.35) ≳ CF "
+      "(~0.15): goal-based lists are diverse but not random");
+  goalrec::bench::PreparedDataset prepared =
+      goalrec::bench::PrepareFoodmart(scale);
+  goalrec::bench::PrintDatasetSummary(prepared);
+  goalrec::eval::Suite suite(&prepared.dataset, prepared.inputs,
+                             goalrec::bench::DefaultSuiteOptions(scale));
+  std::vector<goalrec::eval::MethodResult> results =
+      suite.RunAll(prepared.inputs, 10);
+  std::vector<goalrec::eval::SimilarityRow> rows =
+      goalrec::eval::ComputePairwiseSimilarity(prepared.dataset.features,
+                                               results);
+  std::printf("%s", goalrec::eval::RenderSimilarity(rows).c_str());
+  std::printf(
+      "\npaper reference: Content 0.81/1.00/0.60, CF-kNN 0.16/0.50/0.05, "
+      "CF-MF 0.15/0.77/0.04, BestMatch 0.33/0.72/0.22, Breadth "
+      "0.33/0.73/0.22, Focus_cmp 0.24/0.31/0.21, Focus_cl 0.24/0.34/0.19\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Online clothing-store scenario (paper §3, "Goal Implementation Data
+// sources"): outfits labelled with purposes are goal implementations; the
+// store recommends items that complete outfits the customer has started,
+// choosing the strategy from the customer's stated shopping style.
+//
+//   $ ./outfit_store
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/best_match.h"
+#include "core/breadth.h"
+#include "core/focus.h"
+#include "model/library.h"
+
+using goalrec::model::ImplementationLibrary;
+using goalrec::model::LibraryBuilder;
+
+namespace {
+
+struct Customer {
+  const char* name;
+  const char* style;  // which policy fits this shopper
+  std::vector<std::string> wardrobe;
+};
+
+goalrec::model::Activity ToActivity(const ImplementationLibrary& library,
+                                    const std::vector<std::string>& items) {
+  goalrec::model::Activity activity;
+  for (const std::string& item : items) {
+    if (auto id = library.actions().Find(item)) activity.push_back(*id);
+  }
+  std::sort(activity.begin(), activity.end());
+  return activity;
+}
+
+}  // namespace
+
+int main() {
+  // The store's outfit catalogue: purpose-labelled combinations, several
+  // alternatives per purpose.
+  LibraryBuilder builder;
+  builder.AddImplementation("office", {"blazer", "shirt", "chinos"});
+  builder.AddImplementation("office", {"blazer", "turtleneck", "wool pants"});
+  builder.AddImplementation("friend meetings",
+                            {"jeans", "t-shirt", "sneakers"});
+  builder.AddImplementation("friend meetings", {"jeans", "hoodie", "sneakers"});
+  builder.AddImplementation("stay warm", {"wool coat", "turtleneck", "scarf"});
+  builder.AddImplementation("stay warm", {"parka", "hoodie"});
+  builder.AddImplementation("hiking", {"boots", "fleece", "rain jacket"});
+  builder.AddImplementation("beach", {"swimsuit", "sandals", "sun hat"});
+  ImplementationLibrary library = std::move(builder).Build();
+
+  // Three customers with different shopping styles — the paper's three
+  // policies.
+  std::vector<Customer> customers = {
+      {"Ana", "finish one outfit now", {"blazer", "shirt"}},
+      {"Ben", "open as many outfits as possible", {"jeans", "hoodie"}},
+      {"Cleo", "match where I already invest", {"turtleneck", "scarf",
+                                                "wool coat", "blazer"}},
+  };
+
+  goalrec::core::FocusRecommender focus(
+      &library, goalrec::core::FocusVariant::kCloseness);
+  goalrec::core::BreadthRecommender breadth(&library);
+  goalrec::core::BestMatchRecommender best_match(&library);
+
+  for (const Customer& customer : customers) {
+    goalrec::model::Activity wardrobe = ToActivity(library, customer.wardrobe);
+    std::printf("%s (style: %s) owns:", customer.name, customer.style);
+    for (goalrec::model::ActionId a : wardrobe) {
+      std::printf(" %s", library.actions().Name(a).c_str());
+    }
+    std::printf("\n");
+
+    // Pick the strategy that implements the customer's policy.
+    goalrec::core::Recommender* strategy = nullptr;
+    if (std::string(customer.style).find("finish") != std::string::npos) {
+      strategy = &focus;
+    } else if (std::string(customer.style).find("many") !=
+               std::string::npos) {
+      strategy = &breadth;
+    } else {
+      strategy = &best_match;
+    }
+    std::printf("  %s suggests:", strategy->name().c_str());
+    for (const goalrec::core::ScoredAction& entry :
+         strategy->Recommend(wardrobe, 3)) {
+      std::printf(" %s", library.actions().Name(entry.action).c_str());
+    }
+    std::printf("\n");
+
+    std::printf("  outfits in reach:");
+    for (goalrec::model::GoalId g : library.GoalSpace(wardrobe)) {
+      std::printf(" '%s'", library.goals().Name(g).c_str());
+    }
+    std::printf("\n\n");
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "baselines/association_rules.h"
+
+#include <cstdint>
+
+#include "util/logging.h"
+#include "util/set_ops.h"
+#include "util/top_k.h"
+
+namespace goalrec::baselines {
+namespace {
+
+uint64_t PackPair(model::ActionId i, model::ActionId j) {
+  return (static_cast<uint64_t>(i) << 32) | j;
+}
+
+}  // namespace
+
+AssociationRuleRecommender::AssociationRuleRecommender(
+    const InteractionData* data, AssociationRuleOptions options)
+    : data_(data), options_(options) {
+  GOALREC_CHECK(data_ != nullptr);
+  GOALREC_CHECK_GT(options_.min_support_count, 0u);
+  Mine();
+}
+
+void AssociationRuleRecommender::Mine() {
+  // Pair co-occurrence counts over the training activities. Unordered pairs
+  // are stored once (i < j).
+  std::unordered_map<uint64_t, uint32_t> pair_counts;
+  for (uint32_t u = 0; u < data_->num_users(); ++u) {
+    const model::Activity& acts = data_->ActionsOfUser(u);
+    for (size_t x = 0; x < acts.size(); ++x) {
+      for (size_t y = x + 1; y < acts.size(); ++y) {
+        ++pair_counts[PackPair(acts[x], acts[y])];
+      }
+    }
+  }
+  rules_.assign(data_->num_actions(), {});
+  for (const auto& [key, count] : pair_counts) {
+    if (count < options_.min_support_count) continue;
+    model::ActionId i = static_cast<model::ActionId>(key >> 32);
+    model::ActionId j = static_cast<model::ActionId>(key & 0xffffffffu);
+    double support_i = static_cast<double>(data_->ActionCount(i));
+    double support_j = static_cast<double>(data_->ActionCount(j));
+    // Both directions of the unordered pair are candidate rules.
+    double conf_ij = static_cast<double>(count) / support_i;
+    double conf_ji = static_cast<double>(count) / support_j;
+    if (conf_ij >= options_.min_confidence) rules_[i].emplace_back(j, conf_ij);
+    if (conf_ji >= options_.min_confidence) rules_[j].emplace_back(i, conf_ji);
+  }
+}
+
+double AssociationRuleRecommender::RuleConfidence(model::ActionId i,
+                                                  model::ActionId j) const {
+  if (i >= rules_.size()) return 0.0;
+  for (const auto& [target, confidence] : rules_[i]) {
+    if (target == j) return confidence;
+  }
+  return 0.0;
+}
+
+size_t AssociationRuleRecommender::num_rules() const {
+  size_t total = 0;
+  for (const auto& r : rules_) total += r.size();
+  return total;
+}
+
+core::RecommendationList AssociationRuleRecommender::Recommend(
+    const model::Activity& activity, size_t k) const {
+  core::RecommendationList list;
+  if (k == 0) return list;
+  // Score each candidate by the summed confidence of the fired rules.
+  std::unordered_map<model::ActionId, double> scores;
+  for (model::ActionId i : activity) {
+    if (i >= rules_.size()) continue;
+    for (const auto& [j, confidence] : rules_[i]) {
+      if (util::Contains(activity, j)) continue;
+      scores[j] += confidence;
+    }
+  }
+  util::TopK<core::ScoredAction, core::ByScoreDesc> top_k(k);
+  for (const auto& [action, score] : scores) {
+    top_k.Push(core::ScoredAction{action, score});
+  }
+  return top_k.Take();
+}
+
+}  // namespace goalrec::baselines

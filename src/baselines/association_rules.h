@@ -1,0 +1,54 @@
+#ifndef GOALREC_BASELINES_ASSOCIATION_RULES_H_
+#define GOALREC_BASELINES_ASSOCIATION_RULES_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/interaction_data.h"
+#include "core/recommender.h"
+
+// Association-rule recommendation (paper §2, "Association rule mining"):
+// mines pairwise rules i → j from the training activities with the classic
+// support/confidence framework and recommends the consequents of the rules
+// whose antecedents the user has performed. The paper argues this family is
+// popularity-bound — it can only surface combinations frequent in past
+// behaviour — which is exactly the contrast the goal-based strategies break;
+// we include it so that contrast is measurable.
+
+namespace goalrec::baselines {
+
+struct AssociationRuleOptions {
+  /// A pair (i, j) must co-occur in at least this many activities.
+  uint32_t min_support_count = 2;
+  /// Rules with confidence supp(i,j)/supp(i) below this are discarded.
+  double min_confidence = 0.05;
+};
+
+class AssociationRuleRecommender : public core::Recommender {
+ public:
+  /// Mines rules immediately; `data` must outlive the recommender.
+  AssociationRuleRecommender(const InteractionData* data,
+                             AssociationRuleOptions options = {});
+
+  std::string name() const override { return "AssocRules"; }
+  core::RecommendationList Recommend(const model::Activity& activity,
+                                     size_t k) const override;
+
+  /// Confidence of the mined rule i → j, or 0 if no such rule survived the
+  /// thresholds. Exposed for tests.
+  double RuleConfidence(model::ActionId i, model::ActionId j) const;
+
+  size_t num_rules() const;
+
+ private:
+  void Mine();
+
+  const InteractionData* data_;
+  AssociationRuleOptions options_;
+  // rules_[i] lists (j, confidence) for surviving rules i -> j.
+  std::vector<std::vector<std::pair<model::ActionId, double>>> rules_;
+};
+
+}  // namespace goalrec::baselines
+
+#endif  // GOALREC_BASELINES_ASSOCIATION_RULES_H_

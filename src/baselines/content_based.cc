@@ -1,0 +1,53 @@
+#include "baselines/content_based.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/set_ops.h"
+#include "util/top_k.h"
+
+namespace goalrec::baselines {
+
+ContentRecommender::ContentRecommender(
+    const model::ActionFeatureTable* table)
+    : table_(table) {
+  GOALREC_CHECK(table_ != nullptr);
+  for (const model::IdSet& f : table_->features) {
+    for (uint32_t id : f) GOALREC_CHECK_LT(id, table_->num_features);
+  }
+}
+
+util::DenseVector ContentRecommender::Profile(
+    const model::Activity& activity) const {
+  util::DenseVector profile(table_->num_features, 0.0);
+  for (model::ActionId a : activity) {
+    if (a >= table_->features.size()) continue;
+    for (uint32_t f : table_->features[a]) profile[f] += 1.0;
+  }
+  return profile;
+}
+
+core::RecommendationList ContentRecommender::Recommend(
+    const model::Activity& activity, size_t k) const {
+  core::RecommendationList list;
+  if (k == 0 || activity.empty()) return list;
+  util::DenseVector profile = Profile(activity);
+  double profile_norm = util::Norm2(profile);
+  if (profile_norm == 0.0) return list;
+
+  util::TopK<core::ScoredAction, core::ByScoreDesc> top_k(k);
+  for (model::ActionId a = 0; a < table_->num_actions(); ++a) {
+    if (util::Contains(activity, a)) continue;
+    const model::IdSet& feats = table_->features[a];
+    if (feats.empty()) continue;
+    double dot = 0.0;
+    for (uint32_t f : feats) dot += profile[f];
+    double score =
+        dot / (profile_norm * std::sqrt(static_cast<double>(feats.size())));
+    if (score <= 0.0) continue;
+    top_k.Push(core::ScoredAction{a, score});
+  }
+  return top_k.Take();
+}
+
+}  // namespace goalrec::baselines

@@ -1,0 +1,36 @@
+#ifndef GOALREC_BASELINES_CONTENT_BASED_H_
+#define GOALREC_BASELINES_CONTENT_BASED_H_
+
+#include "core/recommender.h"
+#include "model/features.h"
+#include "model/types.h"
+#include "util/dense_vector.h"
+
+// Content-based filtering (the paper's "Content" baseline): actions and
+// users are represented in a domain-specific feature space — for FoodMart,
+// the 128 product (sub)categories ("baking goods", "seafood", ...). The user
+// profile is the sum of the feature vectors of the performed actions, and
+// candidates are ranked by cosine similarity to the profile.
+
+namespace goalrec::baselines {
+
+class ContentRecommender : public core::Recommender {
+ public:
+  /// `table` must outlive the recommender.
+  explicit ContentRecommender(const model::ActionFeatureTable* table);
+
+  std::string name() const override { return "Content"; }
+  core::RecommendationList Recommend(const model::Activity& activity,
+                                     size_t k) const override;
+
+  /// The dense feature-space profile of an activity (sum of feature
+  /// vectors); exposed for tests.
+  util::DenseVector Profile(const model::Activity& activity) const;
+
+ private:
+  const model::ActionFeatureTable* table_;
+};
+
+}  // namespace goalrec::baselines
+
+#endif  // GOALREC_BASELINES_CONTENT_BASED_H_

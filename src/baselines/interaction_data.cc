@@ -1,0 +1,33 @@
+#include "baselines/interaction_data.h"
+
+#include "util/logging.h"
+#include "util/set_ops.h"
+
+namespace goalrec::baselines {
+
+InteractionData::InteractionData(std::vector<model::Activity> user_activities,
+                                 uint32_t num_actions)
+    : users_(std::move(user_activities)), num_actions_(num_actions) {
+  action_users_.resize(num_actions_);
+  for (uint32_t u = 0; u < users_.size(); ++u) {
+    util::Normalize(users_[u]);
+    for (model::ActionId a : users_[u]) {
+      GOALREC_CHECK_LT(a, num_actions_);
+      action_users_[a].push_back(u);
+    }
+  }
+  // Postings are ascending because users were scanned in id order.
+}
+
+const model::Activity& InteractionData::ActionsOfUser(uint32_t u) const {
+  GOALREC_CHECK_LT(u, users_.size());
+  return users_[u];
+}
+
+const std::vector<uint32_t>& InteractionData::UsersOfAction(
+    model::ActionId a) const {
+  GOALREC_CHECK_LT(a, action_users_.size());
+  return action_users_[a];
+}
+
+}  // namespace goalrec::baselines

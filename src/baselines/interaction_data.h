@@ -1,0 +1,49 @@
+#ifndef GOALREC_BASELINES_INTERACTION_DATA_H_
+#define GOALREC_BASELINES_INTERACTION_DATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/types.h"
+
+// Implicit-feedback interaction data shared by the collaborative-filtering
+// baselines: one binary user × action matrix stored both row-wise (each
+// user's sorted action set) and column-wise (each action's sorted user
+// postings). The paper's user feedback is implicit — selection /
+// non-selection (§6, "Comparison with the State-of-the-art").
+
+namespace goalrec::baselines {
+
+class InteractionData {
+ public:
+  /// Builds from one activity per training user. Activities are normalised
+  /// to sorted sets. `num_actions` fixes the action id space (ids in
+  /// activities must be < num_actions).
+  InteractionData(std::vector<model::Activity> user_activities,
+                  uint32_t num_actions);
+
+  uint32_t num_users() const {
+    return static_cast<uint32_t>(users_.size());
+  }
+  uint32_t num_actions() const { return num_actions_; }
+
+  /// Sorted action set of user `u`.
+  const model::Activity& ActionsOfUser(uint32_t u) const;
+
+  /// Sorted user postings of action `a`.
+  const std::vector<uint32_t>& UsersOfAction(model::ActionId a) const;
+
+  /// Number of users who performed `a` (action popularity).
+  uint32_t ActionCount(model::ActionId a) const {
+    return static_cast<uint32_t>(UsersOfAction(a).size());
+  }
+
+ private:
+  std::vector<model::Activity> users_;
+  std::vector<std::vector<uint32_t>> action_users_;
+  uint32_t num_actions_;
+};
+
+}  // namespace goalrec::baselines
+
+#endif  // GOALREC_BASELINES_INTERACTION_DATA_H_

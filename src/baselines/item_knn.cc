@@ -1,0 +1,97 @@
+#include "baselines/item_knn.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/dense_vector.h"
+#include "util/logging.h"
+#include "util/set_ops.h"
+#include "util/top_k.h"
+
+namespace goalrec::baselines {
+namespace {
+
+uint64_t PackPair(model::ActionId i, model::ActionId j) {
+  return (static_cast<uint64_t>(i) << 32) | j;
+}
+
+}  // namespace
+
+ItemKnnRecommender::ItemKnnRecommender(const InteractionData* data,
+                                       ItemKnnOptions options)
+    : data_(data), options_(options) {
+  GOALREC_CHECK(data_ != nullptr);
+  GOALREC_CHECK_GT(options_.neighbors_per_item, 0u);
+  GOALREC_CHECK_GT(options_.min_cooccurrence, 0u);
+  BuildModel();
+}
+
+void ItemKnnRecommender::BuildModel() {
+  // Pairwise co-occurrence counts over the training activities (i < j).
+  std::unordered_map<uint64_t, uint32_t> cooccurrence;
+  for (uint32_t u = 0; u < data_->num_users(); ++u) {
+    const model::Activity& acts = data_->ActionsOfUser(u);
+    for (size_t x = 0; x < acts.size(); ++x) {
+      for (size_t y = x + 1; y < acts.size(); ++y) {
+        ++cooccurrence[PackPair(acts[x], acts[y])];
+      }
+    }
+  }
+  // Similarities, both directions.
+  std::vector<std::vector<std::pair<model::ActionId, double>>> full(
+      data_->num_actions());
+  for (const auto& [key, count] : cooccurrence) {
+    if (count < options_.min_cooccurrence) continue;
+    model::ActionId i = static_cast<model::ActionId>(key >> 32);
+    model::ActionId j = static_cast<model::ActionId>(key & 0xffffffffu);
+    double sim = util::JaccardFromCounts(count, data_->ActionCount(i),
+                                         data_->ActionCount(j));
+    if (sim <= 0.0) continue;
+    full[i].emplace_back(j, sim);
+    full[j].emplace_back(i, sim);
+  }
+  // Keep the strongest neighbours per item (similarity desc, id asc).
+  neighbors_.assign(data_->num_actions(), {});
+  for (model::ActionId i = 0; i < data_->num_actions(); ++i) {
+    auto& candidates = full[i];
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    if (candidates.size() > options_.neighbors_per_item) {
+      candidates.resize(options_.neighbors_per_item);
+    }
+    neighbors_[i] = std::move(candidates);
+  }
+}
+
+double ItemKnnRecommender::ItemSimilarity(model::ActionId i,
+                                          model::ActionId j) const {
+  if (i >= neighbors_.size()) return 0.0;
+  for (const auto& [neighbor, sim] : neighbors_[i]) {
+    if (neighbor == j) return sim;
+  }
+  return 0.0;
+}
+
+core::RecommendationList ItemKnnRecommender::Recommend(
+    const model::Activity& activity, size_t k) const {
+  core::RecommendationList list;
+  if (k == 0 || activity.empty()) return list;
+  std::unordered_map<model::ActionId, double> scores;
+  for (model::ActionId i : activity) {
+    if (i >= neighbors_.size()) continue;
+    for (const auto& [j, sim] : neighbors_[i]) {
+      if (util::Contains(activity, j)) continue;
+      scores[j] += sim;
+    }
+  }
+  util::TopK<core::ScoredAction, core::ByScoreDesc> top_k(k);
+  for (const auto& [action, score] : scores) {
+    top_k.Push(core::ScoredAction{action, score});
+  }
+  return top_k.Take();
+}
+
+}  // namespace goalrec::baselines

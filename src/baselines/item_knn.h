@@ -1,0 +1,50 @@
+#ifndef GOALREC_BASELINES_ITEM_KNN_H_
+#define GOALREC_BASELINES_ITEM_KNN_H_
+
+#include <vector>
+
+#include "baselines/interaction_data.h"
+#include "core/recommender.h"
+
+// Item-based nearest-neighbour collaborative filtering: the classic
+// complement of the user-based CF kNN baseline. Item-item Tanimoto
+// similarities are precomputed from co-occurrence at construction time
+// (Sarwar et al. 2001 / Mahout's ItemSimilarity), and a query activity
+// scores each unseen item by its summed similarity to the activity's items.
+// Included as an additional comparator: it shares user-based kNN's
+// popularity-perpetuation property and makes the roster symmetric.
+
+namespace goalrec::baselines {
+
+struct ItemKnnOptions {
+  /// Neighbours kept per item (the model-size / quality knob).
+  uint32_t neighbors_per_item = 30;
+  /// Item pairs must co-occur in at least this many activities.
+  uint32_t min_cooccurrence = 1;
+};
+
+class ItemKnnRecommender : public core::Recommender {
+ public:
+  /// Precomputes the item-item model; `data` must outlive the recommender.
+  ItemKnnRecommender(const InteractionData* data, ItemKnnOptions options = {});
+
+  std::string name() const override { return "CF_itemKNN"; }
+  core::RecommendationList Recommend(const model::Activity& activity,
+                                     size_t k) const override;
+
+  /// Tanimoto similarity of the mined pair (i, j), or 0 if below thresholds
+  /// or outside i's kept neighbourhood. Exposed for tests.
+  double ItemSimilarity(model::ActionId i, model::ActionId j) const;
+
+ private:
+  void BuildModel();
+
+  const InteractionData* data_;
+  ItemKnnOptions options_;
+  // neighbors_[i] lists (j, similarity), sorted by similarity descending.
+  std::vector<std::vector<std::pair<model::ActionId, double>>> neighbors_;
+};
+
+}  // namespace goalrec::baselines
+
+#endif  // GOALREC_BASELINES_ITEM_KNN_H_

@@ -1,0 +1,80 @@
+#include "baselines/knn.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/dense_vector.h"
+#include "util/logging.h"
+#include "util/set_ops.h"
+#include "util/top_k.h"
+
+namespace goalrec::baselines {
+namespace {
+
+struct ScoredUser {
+  uint32_t user = 0;
+  double similarity = 0.0;
+};
+
+struct ByUserSimilarityDesc {
+  bool operator()(const ScoredUser& a, const ScoredUser& b) const {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.user < b.user;
+  }
+};
+
+}  // namespace
+
+KnnRecommender::KnnRecommender(const InteractionData* data, KnnOptions options)
+    : data_(data), options_(options) {
+  GOALREC_CHECK(data_ != nullptr);
+  GOALREC_CHECK_GT(options_.num_neighbors, 0u);
+}
+
+double KnnRecommender::UserSimilarity(const model::Activity& activity,
+                                      uint32_t u) const {
+  const model::Activity& other = data_->ActionsOfUser(u);
+  size_t common = util::IntersectionSize(activity, other);
+  return util::JaccardFromCounts(common, activity.size(), other.size());
+}
+
+core::RecommendationList KnnRecommender::Recommend(
+    const model::Activity& activity, size_t k) const {
+  core::RecommendationList list;
+  if (k == 0 || activity.empty()) return list;
+
+  // Candidate neighbours are exactly the users sharing at least one action
+  // with the query; count overlaps through the inverted index instead of
+  // scanning all users.
+  std::unordered_map<uint32_t, uint32_t> overlap;
+  for (model::ActionId a : activity) {
+    if (a >= data_->num_actions()) continue;
+    for (uint32_t u : data_->UsersOfAction(a)) ++overlap[u];
+  }
+
+  util::TopK<ScoredUser, ByUserSimilarityDesc> neighbor_heap(
+      options_.num_neighbors);
+  for (const auto& [user, common] : overlap) {
+    const model::Activity& other = data_->ActionsOfUser(user);
+    double sim =
+        util::JaccardFromCounts(common, activity.size(), other.size());
+    if (sim < options_.min_similarity) continue;
+    neighbor_heap.Push(ScoredUser{user, sim});
+  }
+
+  std::unordered_map<model::ActionId, double> scores;
+  for (const ScoredUser& neighbor : neighbor_heap.Take()) {
+    for (model::ActionId a : data_->ActionsOfUser(neighbor.user)) {
+      if (util::Contains(activity, a)) continue;
+      scores[a] += neighbor.similarity;
+    }
+  }
+
+  util::TopK<core::ScoredAction, core::ByScoreDesc> top_k(k);
+  for (const auto& [action, score] : scores) {
+    top_k.Push(core::ScoredAction{action, score});
+  }
+  return top_k.Take();
+}
+
+}  // namespace goalrec::baselines

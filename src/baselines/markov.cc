@@ -1,0 +1,79 @@
+#include "baselines/markov.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/set_ops.h"
+#include "util/top_k.h"
+
+namespace goalrec::baselines {
+
+MarkovRecommender::MarkovRecommender(
+    std::vector<std::vector<model::ActionId>> sequences,
+    MarkovOptions options) {
+  GOALREC_CHECK_GT(options.min_transition_count, 0u);
+  // Raw transition counts and per-source totals.
+  std::unordered_map<model::ActionId,
+                     std::unordered_map<model::ActionId, uint32_t>>
+      counts;
+  std::unordered_map<model::ActionId, uint32_t> totals;
+  for (const std::vector<model::ActionId>& sequence : sequences) {
+    for (size_t i = 0; i + 1 < sequence.size(); ++i) {
+      ++counts[sequence[i]][sequence[i + 1]];
+      ++totals[sequence[i]];
+    }
+  }
+  for (const auto& [source, nexts] : counts) {
+    double total = static_cast<double>(totals[source]);
+    std::vector<std::pair<model::ActionId, double>> row;
+    for (const auto& [next, count] : nexts) {
+      if (count < options.min_transition_count) continue;
+      row.emplace_back(next, static_cast<double>(count) / total);
+    }
+    if (row.empty()) continue;
+    // Deterministic row order (probability desc, id asc).
+    std::sort(row.begin(), row.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    transitions_.emplace(source, std::move(row));
+  }
+}
+
+double MarkovRecommender::TransitionProbability(model::ActionId previous,
+                                                model::ActionId next) const {
+  auto it = transitions_.find(previous);
+  if (it == transitions_.end()) return 0.0;
+  for (const auto& [candidate, probability] : it->second) {
+    if (candidate == next) return probability;
+  }
+  return 0.0;
+}
+
+size_t MarkovRecommender::num_transitions() const {
+  size_t total = 0;
+  for (const auto& [source, row] : transitions_) total += row.size();
+  return total;
+}
+
+core::RecommendationList MarkovRecommender::Recommend(
+    const model::Activity& activity, size_t k) const {
+  core::RecommendationList list;
+  if (k == 0 || activity.empty()) return list;
+  std::unordered_map<model::ActionId, double> scores;
+  for (model::ActionId i : activity) {
+    auto it = transitions_.find(i);
+    if (it == transitions_.end()) continue;
+    for (const auto& [j, probability] : it->second) {
+      if (util::Contains(activity, j)) continue;
+      scores[j] += probability;
+    }
+  }
+  util::TopK<core::ScoredAction, core::ByScoreDesc> top_k(k);
+  for (const auto& [action, score] : scores) {
+    top_k.Push(core::ScoredAction{action, score});
+  }
+  return top_k.Take();
+}
+
+}  // namespace goalrec::baselines

@@ -1,0 +1,56 @@
+#ifndef GOALREC_BASELINES_MARKOV_H_
+#define GOALREC_BASELINES_MARKOV_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/recommender.h"
+#include "model/types.h"
+
+// First-order Markov transition baseline — the "next action inference"
+// family the paper's related work (§2) contrasts goal-based recommendation
+// with: probabilistic state-transition models predicting the next action
+// from the previous ones. Training consumes *ordered* performance sequences
+// (data::UserRecord::ordered_activity); at query time the Recommender
+// interface supplies an unordered activity, so a candidate is scored by its
+// total transition probability from the activity's actions,
+//
+//   sc(j | H) = Σ_{i ∈ H} P(j | i),   P(j | i) = count(i → j) / count(i → ·)
+//
+// which reduces to the standard next-action predictor when |H| = 1.
+
+namespace goalrec::baselines {
+
+struct MarkovOptions {
+  /// Transitions observed fewer times are dropped (noise floor).
+  uint32_t min_transition_count = 1;
+};
+
+class MarkovRecommender : public core::Recommender {
+ public:
+  /// Trains on the given performance sequences immediately. Sequences of
+  /// length < 2 contribute nothing.
+  MarkovRecommender(std::vector<std::vector<model::ActionId>> sequences,
+                    MarkovOptions options = {});
+
+  std::string name() const override { return "Markov"; }
+  core::RecommendationList Recommend(const model::Activity& activity,
+                                     size_t k) const override;
+
+  /// P(next | previous); 0 when the transition was never observed (or was
+  /// filtered). Exposed for tests.
+  double TransitionProbability(model::ActionId previous,
+                               model::ActionId next) const;
+
+  size_t num_transitions() const;
+
+ private:
+  // transitions_[i] lists (j, probability), built once at training.
+  std::unordered_map<model::ActionId,
+                     std::vector<std::pair<model::ActionId, double>>>
+      transitions_;
+};
+
+}  // namespace goalrec::baselines
+
+#endif  // GOALREC_BASELINES_MARKOV_H_

@@ -1,0 +1,28 @@
+#include "baselines/popularity.h"
+
+#include "util/logging.h"
+#include "util/set_ops.h"
+#include "util/top_k.h"
+
+namespace goalrec::baselines {
+
+PopularityRecommender::PopularityRecommender(const InteractionData* data)
+    : data_(data) {
+  GOALREC_CHECK(data_ != nullptr);
+}
+
+core::RecommendationList PopularityRecommender::Recommend(
+    const model::Activity& activity, size_t k) const {
+  core::RecommendationList list;
+  if (k == 0) return list;
+  util::TopK<core::ScoredAction, core::ByScoreDesc> top_k(k);
+  for (model::ActionId a = 0; a < data_->num_actions(); ++a) {
+    if (util::Contains(activity, a)) continue;
+    double count = static_cast<double>(data_->ActionCount(a));
+    if (count == 0.0) continue;
+    top_k.Push(core::ScoredAction{a, count});
+  }
+  return top_k.Take();
+}
+
+}  // namespace goalrec::baselines

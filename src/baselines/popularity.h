@@ -1,0 +1,30 @@
+#ifndef GOALREC_BASELINES_POPULARITY_H_
+#define GOALREC_BASELINES_POPULARITY_H_
+
+#include "baselines/interaction_data.h"
+#include "core/recommender.h"
+
+// Popularity baseline: recommend the globally most-performed actions the
+// user has not performed. Not one of the paper's three comparators, but the
+// natural floor for the popularity-perpetuation analysis of Table 3 (it has
+// correlation 1 with popularity by construction) and a sanity anchor for the
+// other experiments.
+
+namespace goalrec::baselines {
+
+class PopularityRecommender : public core::Recommender {
+ public:
+  /// `data` must outlive the recommender.
+  explicit PopularityRecommender(const InteractionData* data);
+
+  std::string name() const override { return "Popularity"; }
+  core::RecommendationList Recommend(const model::Activity& activity,
+                                     size_t k) const override;
+
+ private:
+  const InteractionData* data_;
+};
+
+}  // namespace goalrec::baselines
+
+#endif  // GOALREC_BASELINES_POPULARITY_H_

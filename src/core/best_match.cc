@@ -1,0 +1,89 @@
+#include "core/best_match.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/top_k.h"
+
+namespace goalrec::core {
+namespace {
+
+// Index of `goal` within the sorted goal space, or -1 when absent.
+int64_t GoalIndex(const model::IdSet& goal_space, model::GoalId goal) {
+  auto it = std::lower_bound(goal_space.begin(), goal_space.end(), goal);
+  if (it == goal_space.end() || *it != goal) return -1;
+  return it - goal_space.begin();
+}
+
+}  // namespace
+
+BestMatchRecommender::BestMatchRecommender(
+    const model::ImplementationLibrary* library, BestMatchOptions options)
+    : library_(library), options_(options) {
+  GOALREC_CHECK(library_ != nullptr);
+}
+
+util::DenseVector BestMatchRecommender::ActionVector(
+    model::ActionId action, const model::IdSet& goal_space) const {
+  util::DenseVector vec(goal_space.size(), 0.0);
+  for (model::ImplId p : library_->ImplsOfAction(action)) {
+    int64_t idx = GoalIndex(goal_space, library_->GoalOf(p));
+    if (idx < 0) continue;  // goal outside F_GS(H)
+    if (options_.representation == GoalVectorRepresentation::kBoolean) {
+      vec[static_cast<size_t>(idx)] = 1.0;
+    } else {
+      vec[static_cast<size_t>(idx)] += 1.0;
+    }
+  }
+  if (options_.goal_weights != nullptr) {
+    for (size_t i = 0; i < goal_space.size(); ++i) {
+      vec[i] *= options_.goal_weights->WeightOf(goal_space[i]);
+    }
+  }
+  return vec;
+}
+
+util::DenseVector BestMatchRecommender::Profile(
+    const model::Activity& activity, const model::IdSet& goal_space) const {
+  // Eq. 9: H⃗ = Σ_{a ∈ H} a⃗. Identical to Algorithm 3's single map-building
+  // pass when the representation is kImplementationCount.
+  util::DenseVector profile(goal_space.size(), 0.0);
+  for (model::ActionId a : activity) {
+    util::DenseVector action_vec = ActionVector(a, goal_space);
+    util::AddInPlace(profile, action_vec);
+  }
+  return profile;
+}
+
+RecommendationList BestMatchRecommender::Recommend(
+    const model::Activity& activity, size_t k) const {
+  return RecommendOver(activity, library_->GoalSpace(activity),
+                       library_->CandidateActions(activity), k);
+}
+
+RecommendationList BestMatchRecommender::RecommendInContext(
+    const QueryContext& context, size_t k) const {
+  GOALREC_CHECK(context.library == library_);
+  return RecommendOver(context.activity, context.goal_space,
+                       context.candidates, k);
+}
+
+RecommendationList BestMatchRecommender::RecommendOver(
+    const model::Activity& activity, const model::IdSet& goal_space,
+    const model::IdSet& candidates, size_t k) const {
+  RecommendationList list;
+  if (k == 0) return list;
+  if (goal_space.empty()) return list;
+  util::DenseVector profile = Profile(activity, goal_space);
+  util::TopK<ScoredAction, ByScoreDesc> top_k(k);
+  for (model::ActionId a : candidates) {
+    util::DenseVector vec = ActionVector(a, goal_space);
+    double distance = util::Distance(profile, vec, options_.metric);
+    // Negate: smaller distance ranks first under the shared
+    // higher-score-wins comparator.
+    top_k.Push(ScoredAction{a, -distance});
+  }
+  return top_k.Take();
+}
+
+}  // namespace goalrec::core

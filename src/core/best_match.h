@@ -1,0 +1,78 @@
+#ifndef GOALREC_CORE_BEST_MATCH_H_
+#define GOALREC_CORE_BEST_MATCH_H_
+
+#include "core/goal_weights.h"
+#include "core/query_context.h"
+#include "core/recommender.h"
+#include "model/library.h"
+#include "util/dense_vector.h"
+
+// The Best Match strategy (paper §5.3, Algorithms 3–4): build a goal-based
+// user profile — a vector over the user's goal space GS(H) recording how many
+// (action, implementation) contributions the activity makes to each goal
+// (Eq. 9) — represent every candidate action in the same space (Eq. 8, or the
+// boolean variant of Eq. 7), and rank candidates by ascending distance to the
+// profile (Eq. 10). It is the policy for users who want actions that mirror
+// the effort distribution of their past across *all* goals in their space.
+
+namespace goalrec::core {
+
+/// How an action is embedded in the goal space F_GS(H).
+enum class GoalVectorRepresentation {
+  /// Eq. 7: a⃗[i] = 1 iff a contributes to goal g_i through ≥1 implementation.
+  kBoolean,
+  /// Eq. 8 (paper default): a⃗[i] = number of implementations of g_i that
+  /// contain a.
+  kImplementationCount,
+};
+
+struct BestMatchOptions {
+  GoalVectorRepresentation representation =
+      GoalVectorRepresentation::kImplementationCount;
+  util::DistanceMetric metric = util::DistanceMetric::kEuclidean;
+  /// Optional goal priorities (must outlive the recommender): dimension i of
+  /// every goal-space vector is scaled by the weight of goal_space[i],
+  /// making mismatches on prioritised goals cost more.
+  const GoalWeights* goal_weights = nullptr;
+};
+
+class BestMatchRecommender : public Recommender {
+ public:
+  /// The library must outlive the recommender.
+  explicit BestMatchRecommender(const model::ImplementationLibrary* library,
+                                BestMatchOptions options = {});
+
+  std::string name() const override { return "BestMatch"; }
+
+  /// Ranked ascending by distance to the profile. ScoredAction::score is the
+  /// *negated* distance so that, as everywhere else, higher score = better.
+  RecommendationList Recommend(const model::Activity& activity,
+                               size_t k) const override;
+
+  /// Same result as Recommend, reusing the context's precomputed goal space
+  /// and candidate set.
+  RecommendationList RecommendInContext(const QueryContext& context,
+                                        size_t k) const;
+
+  /// Algorithm 3 (Get-Goal-Based-Profile): the aggregated user vector H⃗ over
+  /// `goal_space` (which must be GoalSpace(activity), sorted).
+  util::DenseVector Profile(const model::Activity& activity,
+                            const model::IdSet& goal_space) const;
+
+  /// Eq. 7/Eq. 8 embedding of one action over `goal_space` (sorted).
+  util::DenseVector ActionVector(model::ActionId action,
+                                 const model::IdSet& goal_space) const;
+
+ private:
+  RecommendationList RecommendOver(const model::Activity& activity,
+                                   const model::IdSet& goal_space,
+                                   const model::IdSet& candidates,
+                                   size_t k) const;
+
+  const model::ImplementationLibrary* library_;
+  BestMatchOptions options_;
+};
+
+}  // namespace goalrec::core
+
+#endif  // GOALREC_CORE_BEST_MATCH_H_

@@ -1,0 +1,70 @@
+#include "core/breadth.h"
+
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/set_ops.h"
+#include "util/top_k.h"
+
+namespace goalrec::core {
+
+BreadthRecommender::BreadthRecommender(
+    const model::ImplementationLibrary* library,
+    const GoalWeights* goal_weights)
+    : library_(library), goal_weights_(goal_weights) {
+  GOALREC_CHECK(library_ != nullptr);
+}
+
+double BreadthRecommender::Score(model::ActionId action,
+                                 const model::Activity& activity) const {
+  double score = 0.0;
+  for (model::ImplId p : library_->ImplsOfAction(action)) {
+    size_t common =
+        util::IntersectionSize(library_->ActionsOf(p), activity);
+    if (common == 0) continue;
+    double weight = goal_weights_ == nullptr
+                        ? 1.0
+                        : goal_weights_->WeightOf(library_->GoalOf(p));
+    score += weight * static_cast<double>(common);
+  }
+  return score;
+}
+
+RecommendationList BreadthRecommender::Recommend(
+    const model::Activity& activity, size_t k) const {
+  return RecommendOver(activity, library_->ImplementationSpace(activity), k);
+}
+
+RecommendationList BreadthRecommender::RecommendInContext(
+    const QueryContext& context, size_t k) const {
+  GOALREC_CHECK(context.library == library_);
+  return RecommendOver(context.activity, context.impl_space, k);
+}
+
+RecommendationList BreadthRecommender::RecommendOver(
+    const model::Activity& activity, const model::IdSet& impl_space,
+    size_t k) const {
+  RecommendationList list;
+  if (k == 0) return list;
+  // Algorithm 2: one pass over IS(H); every implementation credits its
+  // |A ∩ H| to each of its member actions.
+  std::unordered_map<model::ActionId, double> scores;
+  for (model::ImplId p : impl_space) {
+    const model::IdSet& actions = library_->ActionsOf(p);
+    double common =
+        static_cast<double>(util::IntersectionSize(actions, activity));
+    if (goal_weights_ != nullptr) {
+      common *= goal_weights_->WeightOf(library_->GoalOf(p));
+    }
+    for (model::ActionId a : actions) scores[a] += common;
+  }
+  util::TopK<ScoredAction, ByScoreDesc> top_k(k);
+  for (const auto& [action, score] : scores) {
+    if (util::Contains(activity, action)) continue;  // already performed
+    if (score <= 0.0) continue;  // only weight-0 goals contributed
+    top_k.Push(ScoredAction{action, score});
+  }
+  return top_k.Take();
+}
+
+}  // namespace goalrec::core

@@ -1,0 +1,57 @@
+#ifndef GOALREC_CORE_BREADTH_H_
+#define GOALREC_CORE_BREADTH_H_
+
+#include "core/goal_weights.h"
+#include "core/query_context.h"
+#include "core/recommender.h"
+#include "model/library.h"
+
+// The Breadth strategy (paper §5.2, Algorithm 2): evaluate every candidate
+// action against *all* the implementations of the user's implementation
+// space it participates in,
+//
+//   sc(a, H, Breadth) = Σ_{(g,A) : A∩H ≠ ∅, a ∈ A} |A ∩ H|        (Eq. 6)
+//
+// so actions that co-occur with many already-performed actions across many
+// goals score highest. It is the policy for users who want to advance as many
+// goals as possible, accepting that some will only be completed later.
+//
+// Algorithm 2's single pass: instead of scoring each candidate independently
+// (O(|AS(H)| × connectivity)), iterate once over IS(H) and add each
+// implementation's |A ∩ H| to all of its member actions. Tests assert this
+// accumulation equals the brute-force Eq. 6 evaluation.
+
+namespace goalrec::core {
+
+class BreadthRecommender : public Recommender {
+ public:
+  /// The library (and `goal_weights`, when given) must outlive the
+  /// recommender. With weights, each implementation's |A ∩ H| contribution
+  /// is multiplied by the weight of its goal.
+  explicit BreadthRecommender(const model::ImplementationLibrary* library,
+                              const GoalWeights* goal_weights = nullptr);
+
+  std::string name() const override { return "Breadth"; }
+  RecommendationList Recommend(const model::Activity& activity,
+                               size_t k) const override;
+
+  /// Same result as Recommend, reusing the context's precomputed IS(H).
+  RecommendationList RecommendInContext(const QueryContext& context,
+                                        size_t k) const;
+
+  /// Eq. 6 score of a single action (brute force over ImplsOfAction);
+  /// exposed for tests and explainability.
+  double Score(model::ActionId action, const model::Activity& activity) const;
+
+ private:
+  RecommendationList RecommendOver(const model::Activity& activity,
+                                   const model::IdSet& impl_space,
+                                   size_t k) const;
+
+  const model::ImplementationLibrary* library_;
+  const GoalWeights* goal_weights_;
+};
+
+}  // namespace goalrec::core
+
+#endif  // GOALREC_CORE_BREADTH_H_

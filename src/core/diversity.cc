@@ -1,0 +1,84 @@
+#include "core/diversity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace goalrec::core {
+
+DiversityReranker::DiversityReranker(
+    const Recommender* base, const model::ActionFeatureTable* features,
+    DiversityOptions options)
+    : base_(base), features_(features), options_(options) {
+  GOALREC_CHECK(base_ != nullptr);
+  GOALREC_CHECK(features_ != nullptr);
+  GOALREC_CHECK_GE(options_.lambda, 0.0);
+  GOALREC_CHECK_LE(options_.lambda, 1.0);
+  GOALREC_CHECK_GE(options_.pool_factor, 1.0);
+}
+
+std::string DiversityReranker::name() const {
+  return "MMR(" + base_->name() + ")";
+}
+
+RecommendationList DiversityReranker::Recommend(
+    const model::Activity& activity, size_t k) const {
+  RecommendationList selected;
+  if (k == 0) return selected;
+  size_t pool_size = std::max(
+      k, static_cast<size_t>(std::ceil(options_.pool_factor *
+                                       static_cast<double>(k))));
+  RecommendationList pool = base_->Recommend(activity, pool_size);
+  if (pool.empty()) return selected;
+
+  // Min-max normalise relevance.
+  double min_score = pool.front().score;
+  double max_score = pool.front().score;
+  for (const ScoredAction& entry : pool) {
+    min_score = std::min(min_score, entry.score);
+    max_score = std::max(max_score, entry.score);
+  }
+  double range = max_score - min_score;
+  std::vector<double> relevance(pool.size(), 1.0);
+  if (range > 0.0) {
+    for (size_t i = 0; i < pool.size(); ++i) {
+      relevance[i] = (pool[i].score - min_score) / range;
+    }
+  }
+
+  std::vector<bool> taken(pool.size(), false);
+  auto similarity = [&](model::ActionId a, model::ActionId b) {
+    if (a >= features_->features.size() || b >= features_->features.size()) {
+      return 0.0;
+    }
+    return model::FeatureSimilarity(*features_, a, b);
+  };
+
+  while (selected.size() < k) {
+    double best_value = 0.0;
+    size_t best_index = pool.size();
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (taken[i]) continue;
+      double max_sim = 0.0;
+      for (const ScoredAction& s : selected) {
+        max_sim = std::max(max_sim, similarity(pool[i].action, s.action));
+      }
+      double value = options_.lambda * relevance[i] -
+                     (1.0 - options_.lambda) * max_sim;
+      // Ties resolve to the earlier pool position (the base strategy's
+      // preference), keeping the pass deterministic.
+      if (best_index == pool.size() || value > best_value) {
+        best_value = value;
+        best_index = i;
+      }
+    }
+    if (best_index == pool.size()) break;  // pool exhausted
+    taken[best_index] = true;
+    selected.push_back(ScoredAction{pool[best_index].action, best_value});
+  }
+  return selected;
+}
+
+}  // namespace goalrec::core

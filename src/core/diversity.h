@@ -1,0 +1,54 @@
+#ifndef GOALREC_CORE_DIVERSITY_H_
+#define GOALREC_CORE_DIVERSITY_H_
+
+#include <string>
+
+#include "core/recommender.h"
+#include "model/features.h"
+
+// Diversity re-ranking. The paper's introduction contrasts goal-based
+// recommendation with ad-hoc serendipity/novelty/diversity fixes (§1); this
+// wrapper makes the comparison concrete: a maximal-marginal-relevance (MMR)
+// pass over any base strategy's candidate pool,
+//
+//   pick argmax_a  λ · relevancẽ(a) − (1 − λ) · max_{s ∈ selected} sim(a, s)
+//
+// where relevancẽ is the base strategy's min-max-normalised score and sim is
+// feature-space cosine similarity. λ = 1 reproduces the base ranking; lower
+// λ trades relevance for within-list diversity (the Table 5 metric).
+
+namespace goalrec::core {
+
+struct DiversityOptions {
+  /// Relevance weight λ ∈ [0, 1].
+  double lambda = 0.7;
+  /// Candidate pool size requested from the base strategy, as a multiple of
+  /// the caller's k (at least k).
+  double pool_factor = 3.0;
+};
+
+class DiversityReranker : public Recommender {
+ public:
+  /// `base` and `features` must outlive the reranker. Actions without
+  /// features are maximally diverse (similarity 0 to everything).
+  DiversityReranker(const Recommender* base,
+                    const model::ActionFeatureTable* features,
+                    DiversityOptions options = {});
+
+  std::string name() const override;
+
+  /// Greedy MMR selection over the base pool. Scores in the returned list
+  /// are the MMR objective values at selection time (non-comparable across
+  /// positions; kept for auditing).
+  RecommendationList Recommend(const model::Activity& activity,
+                               size_t k) const override;
+
+ private:
+  const Recommender* base_;
+  const model::ActionFeatureTable* features_;
+  DiversityOptions options_;
+};
+
+}  // namespace goalrec::core
+
+#endif  // GOALREC_CORE_DIVERSITY_H_

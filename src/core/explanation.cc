@@ -1,0 +1,105 @@
+#include "core/explanation.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+#include "util/set_ops.h"
+
+namespace goalrec::core {
+namespace {
+
+double BestCompleteness(const model::ImplementationLibrary& library,
+                        model::GoalId goal,
+                        const model::Activity& performed) {
+  double best = 0.0;
+  for (model::ImplId p : library.ImplsOfGoal(goal)) {
+    const model::IdSet& actions = library.ActionsOf(p);
+    if (actions.empty()) continue;
+    best = std::max(
+        best, static_cast<double>(util::IntersectionSize(actions, performed)) /
+                  static_cast<double>(actions.size()));
+  }
+  return best;
+}
+
+}  // namespace
+
+Explanation ExplainAction(const model::ImplementationLibrary& library,
+                          const model::Activity& activity,
+                          model::ActionId action) {
+  GOALREC_CHECK_LT(action, library.num_actions());
+  Explanation explanation;
+  explanation.action = action;
+
+  model::Activity after = activity;
+  after.push_back(action);
+  util::Normalize(after);
+
+  // Group the action's implementations by goal.
+  model::IdSet goals = library.GoalSpaceOfAction(action);
+  explanation.contributions.reserve(goals.size());
+  for (model::GoalId g : goals) {
+    GoalContribution contribution;
+    contribution.goal = g;
+    for (model::ImplId p : library.ImplsOfGoal(g)) {
+      const model::IdSet& actions = library.ActionsOf(p);
+      if (!util::Contains(actions, action)) continue;
+      if (util::IntersectionSize(actions, activity) > 0) {
+        contribution.shared_impls.push_back(p);
+      } else {
+        contribution.fresh_impls.push_back(p);
+      }
+    }
+    contribution.completeness_before = BestCompleteness(library, g, activity);
+    contribution.completeness_after = BestCompleteness(library, g, after);
+    explanation.contributions.push_back(std::move(contribution));
+  }
+  // Completion-first ordering: a goal brought to (or nearest) fulfilment is
+  // the headline; among equals, the larger gain explains more.
+  std::sort(explanation.contributions.begin(),
+            explanation.contributions.end(),
+            [](const GoalContribution& a, const GoalContribution& b) {
+              if (a.completeness_after != b.completeness_after) {
+                return a.completeness_after > b.completeness_after;
+              }
+              if (a.gain() != b.gain()) return a.gain() > b.gain();
+              return a.goal < b.goal;
+            });
+  return explanation;
+}
+
+std::string FormatExplanation(const model::ImplementationLibrary& library,
+                              const Explanation& explanation,
+                              size_t max_goals) {
+  std::string out = "'" + library.actions().Name(explanation.action) + "':\n";
+  size_t shown = 0;
+  for (const GoalContribution& contribution : explanation.contributions) {
+    if (shown == max_goals) {
+      char more[64];
+      std::snprintf(more, sizeof(more), "  ... and %zu more goal(s)\n",
+                    explanation.contributions.size() - shown);
+      out += more;
+      break;
+    }
+    ++shown;
+    char line[256];
+    const char* verb =
+        contribution.completeness_after >= 1.0 ? "completes" : "advances";
+    std::snprintf(line, sizeof(line),
+                  "  %s goal '%s' (%.0f%% -> %.0f%%) via %zu shared / %zu "
+                  "other implementation(s)\n",
+                  verb, library.goals().Name(contribution.goal).c_str(),
+                  100.0 * contribution.completeness_before,
+                  100.0 * contribution.completeness_after,
+                  contribution.shared_impls.size(),
+                  contribution.fresh_impls.size());
+    out += line;
+  }
+  if (explanation.contributions.empty()) {
+    out += "  contributes to no goal in the library\n";
+  }
+  return out;
+}
+
+}  // namespace goalrec::core

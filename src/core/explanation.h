@@ -1,0 +1,59 @@
+#ifndef GOALREC_CORE_EXPLANATION_H_
+#define GOALREC_CORE_EXPLANATION_H_
+
+#include <string>
+#include <vector>
+
+#include "model/library.h"
+#include "model/types.h"
+
+// Explainability for goal-based recommendations. A goal-based suggestion has
+// a natural explanation the paper uses throughout its narrative ("pickles,
+// because together with the potatoes and carrots in your cart they make an
+// olivier salad"): the goals the action contributes to, through which
+// implementations, and how much closer each goal gets. This module derives
+// that explanation for any (activity, action) pair, independent of which
+// strategy surfaced the action.
+
+namespace goalrec::core {
+
+/// How a recommended action helps one goal.
+struct GoalContribution {
+  model::GoalId goal = model::kInvalidId;
+  /// Implementations of `goal` containing both the action and ≥1 activity
+  /// action (the "shared context" implementations).
+  std::vector<model::ImplId> shared_impls;
+  /// Implementations of `goal` containing the action but no activity action.
+  std::vector<model::ImplId> fresh_impls;
+  /// Best completeness over the goal's implementations, before and after
+  /// performing the action.
+  double completeness_before = 0.0;
+  double completeness_after = 0.0;
+
+  double gain() const { return completeness_after - completeness_before; }
+};
+
+struct Explanation {
+  model::ActionId action = model::kInvalidId;
+  /// One entry per goal the action contributes to, sorted by resulting
+  /// completeness (descending), then gain, then goal id — completed goals
+  /// headline the explanation.
+  std::vector<GoalContribution> contributions;
+};
+
+/// Explains what performing `action` on top of `activity` would do to every
+/// goal in the action's goal space.
+Explanation ExplainAction(const model::ImplementationLibrary& library,
+                          const model::Activity& activity,
+                          model::ActionId action);
+
+/// Human-readable multi-line rendering ("completes goal 'olivier salad'
+/// (67% -> 100%) via 1 shared recipe", ...). `max_goals` truncates long
+/// explanations.
+std::string FormatExplanation(const model::ImplementationLibrary& library,
+                              const Explanation& explanation,
+                              size_t max_goals = 3);
+
+}  // namespace goalrec::core
+
+#endif  // GOALREC_CORE_EXPLANATION_H_

@@ -1,0 +1,104 @@
+#include "core/focus.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/set_ops.h"
+
+namespace goalrec::core {
+
+double Completeness(const model::IdSet& impl_actions,
+                    const model::Activity& activity) {
+  if (impl_actions.empty()) return 0.0;
+  size_t common = util::IntersectionSize(impl_actions, activity);
+  return static_cast<double>(common) /
+         static_cast<double>(impl_actions.size());
+}
+
+double Closeness(const model::IdSet& impl_actions,
+                 const model::Activity& activity) {
+  size_t remaining = util::DifferenceSize(impl_actions, activity);
+  if (remaining == 0) return 0.0;  // nothing left to recommend
+  return 1.0 / static_cast<double>(remaining);
+}
+
+FocusRecommender::FocusRecommender(
+    const model::ImplementationLibrary* library, FocusVariant variant,
+    const GoalWeights* goal_weights)
+    : library_(library), variant_(variant), goal_weights_(goal_weights) {
+  GOALREC_CHECK(library_ != nullptr);
+}
+
+std::string FocusRecommender::name() const {
+  return variant_ == FocusVariant::kCompleteness ? "Focus_cmp" : "Focus_cl";
+}
+
+std::vector<RankedImplementation> FocusRecommender::RankImplementations(
+    const model::Activity& activity) const {
+  return RankOver(activity, library_->ImplementationSpace(activity));
+}
+
+std::vector<RankedImplementation> FocusRecommender::RankImplementationsIn(
+    const QueryContext& context) const {
+  GOALREC_CHECK(context.library == library_);
+  return RankOver(context.activity, context.impl_space);
+}
+
+std::vector<RankedImplementation> FocusRecommender::RankOver(
+    const model::Activity& activity, const model::IdSet& impl_space) const {
+  std::vector<RankedImplementation> ranked;
+  for (model::ImplId p : impl_space) {
+    const model::IdSet& actions = library_->ActionsOf(p);
+    // Implementations fully covered by the activity cannot contribute
+    // candidates; both measures skip them.
+    if (util::IsSubset(actions, activity)) continue;
+    double score = variant_ == FocusVariant::kCompleteness
+                       ? Completeness(actions, activity)
+                       : Closeness(actions, activity);
+    if (goal_weights_ != nullptr) {
+      score *= goal_weights_->WeightOf(library_->GoalOf(p));
+      if (score <= 0.0) continue;  // weight-0 goals are excluded
+    }
+    ranked.push_back(RankedImplementation{p, score});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedImplementation& a, const RankedImplementation& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.impl < b.impl;
+            });
+  return ranked;
+}
+
+RecommendationList FocusRecommender::Recommend(
+    const model::Activity& activity, size_t k) const {
+  return EmitFromRanking(activity, RankImplementations(activity), k);
+}
+
+RecommendationList FocusRecommender::RecommendInContext(
+    const QueryContext& context, size_t k) const {
+  return EmitFromRanking(context.activity, RankImplementationsIn(context), k);
+}
+
+RecommendationList FocusRecommender::EmitFromRanking(
+    const model::Activity& activity,
+    const std::vector<RankedImplementation>& ranking, size_t k) const {
+  RecommendationList list;
+  if (k == 0) return list;
+  // Walk the implementations best-first; "pop out" the missing actions of
+  // each before moving to the next (paper §6.1.2 C.2.2 describes exactly this
+  // behaviour), skipping actions already emitted via a better implementation.
+  model::IdSet emitted;
+  for (const RankedImplementation& entry : ranking) {
+    const model::IdSet& actions = library_->ActionsOf(entry.impl);
+    for (model::ActionId a : util::Difference(actions, activity)) {
+      if (util::Contains(emitted, a)) continue;
+      emitted.push_back(a);
+      std::sort(emitted.begin(), emitted.end());
+      list.push_back(ScoredAction{a, entry.score});
+      if (list.size() == k) return list;
+    }
+  }
+  return list;
+}
+
+}  // namespace goalrec::core

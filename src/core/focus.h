@@ -1,0 +1,90 @@
+#ifndef GOALREC_CORE_FOCUS_H_
+#define GOALREC_CORE_FOCUS_H_
+
+#include <vector>
+
+#include "core/goal_weights.h"
+#include "core/query_context.h"
+#include "core/recommender.h"
+#include "model/library.h"
+
+// The Focus strategy (paper §5.1, Algorithm 1): rank the goal
+// implementations associated with the user activity and recommend the
+// missing actions of the best implementations, one implementation at a time.
+// It is the policy for users who want to *complete at least one goal* through
+// the current recommendation list.
+//
+// Two variants rank the implementations:
+//   completeness(g, A, H) = |A ∩ H| / |A|    (Focus_cmp, Eq. 3)
+//   closeness(g, A, H)    = 1 / |A − H|      (Focus_cl,  Eq. 4)
+
+namespace goalrec::core {
+
+enum class FocusVariant {
+  kCompleteness,  // Focus_cmp
+  kCloseness,     // Focus_cl
+};
+
+/// Completeness of implementation activity `impl_actions` w.r.t. history
+/// `activity` (Eq. 3). Zero for an empty implementation.
+double Completeness(const model::IdSet& impl_actions,
+                    const model::Activity& activity);
+
+/// Closeness (Eq. 4). An already-complete implementation (|A − H| = 0) has
+/// unbounded closeness; it contributes no candidate actions, so this returns
+/// 0 and Focus skips it.
+double Closeness(const model::IdSet& impl_actions,
+                 const model::Activity& activity);
+
+/// A ranked implementation considered by Focus, exposed for explainability
+/// (e.g. "we recommend pickles because the olivier-salad recipe is 2/3
+/// done").
+struct RankedImplementation {
+  model::ImplId impl = model::kInvalidId;
+  double score = 0.0;
+};
+
+class FocusRecommender : public Recommender {
+ public:
+  /// The library (and `goal_weights`, when given) must outlive the
+  /// recommender. With weights, an implementation's score is multiplied by
+  /// the weight of its goal; weight-0 goals are never pursued.
+  FocusRecommender(const model::ImplementationLibrary* library,
+                   FocusVariant variant,
+                   const GoalWeights* goal_weights = nullptr);
+
+  std::string name() const override;
+  RecommendationList Recommend(const model::Activity& activity,
+                               size_t k) const override;
+
+  /// Same result as Recommend, reusing the context's precomputed IS(H).
+  /// The context must have been created against this recommender's library.
+  RecommendationList RecommendInContext(const QueryContext& context,
+                                        size_t k) const;
+
+  /// The implementation ranking that drives Recommend: every implementation
+  /// of IS(H) with at least one missing action, best first (score
+  /// descending, impl id ascending on ties).
+  std::vector<RankedImplementation> RankImplementations(
+      const model::Activity& activity) const;
+
+  /// RankImplementations over a precomputed context.
+  std::vector<RankedImplementation> RankImplementationsIn(
+      const QueryContext& context) const;
+
+ private:
+  std::vector<RankedImplementation> RankOver(
+      const model::Activity& activity,
+      const model::IdSet& impl_space) const;
+  RecommendationList EmitFromRanking(
+      const model::Activity& activity,
+      const std::vector<RankedImplementation>& ranking, size_t k) const;
+
+  const model::ImplementationLibrary* library_;
+  FocusVariant variant_;
+  const GoalWeights* goal_weights_;
+};
+
+}  // namespace goalrec::core
+
+#endif  // GOALREC_CORE_FOCUS_H_

@@ -1,0 +1,13 @@
+#include "core/goal_weights.h"
+
+#include "util/logging.h"
+
+namespace goalrec::core {
+
+void GoalWeights::Set(model::GoalId goal, double weight) {
+  GOALREC_CHECK_GE(weight, 0.0);
+  if (goal >= weights_.size()) weights_.resize(goal + 1, 1.0);
+  weights_[goal] = weight;
+}
+
+}  // namespace goalrec::core

@@ -1,0 +1,43 @@
+#ifndef GOALREC_CORE_GOAL_WEIGHTS_H_
+#define GOALREC_CORE_GOAL_WEIGHTS_H_
+
+#include <vector>
+
+#include "model/types.h"
+
+// Goal priorities. The paper observes that users "have to reason on the
+// priorities between the goals they try to achieve" (§1) but evaluates only
+// uniform priorities; this extension lets callers weight goals explicitly
+// (e.g. a learning platform boosting the degree the student enrolled in).
+// Every goal-based strategy accepts an optional GoalWeights: implementation
+// and vector contributions are scaled by the weight of the goal they serve.
+
+namespace goalrec::core {
+
+class GoalWeights {
+ public:
+  GoalWeights() = default;
+  /// weights[g] is the priority of goal id g. Goals beyond the vector (or
+  /// with an empty vector) default to 1.0. Weights must be non-negative;
+  /// weight 0 removes the goal from consideration.
+  explicit GoalWeights(std::vector<double> weights)
+      : weights_(std::move(weights)) {}
+
+  /// Sets one goal's weight, growing the table as needed (new slots default
+  /// to 1.0).
+  void Set(model::GoalId goal, double weight);
+
+  double WeightOf(model::GoalId goal) const {
+    if (goal >= weights_.size()) return 1.0;
+    return weights_[goal];
+  }
+
+  bool empty() const { return weights_.empty(); }
+
+ private:
+  std::vector<double> weights_;
+};
+
+}  // namespace goalrec::core
+
+#endif  // GOALREC_CORE_GOAL_WEIGHTS_H_

@@ -1,0 +1,35 @@
+#include "core/query_context.h"
+
+#include "util/logging.h"
+#include "util/set_ops.h"
+
+namespace goalrec::core {
+
+QueryContext QueryContext::Create(
+    const model::ImplementationLibrary& library, model::Activity activity) {
+  QueryContext context;
+  context.library = &library;
+  util::Normalize(activity);
+  context.activity = std::move(activity);
+  context.impl_space = library.ImplementationSpace(context.activity);
+  // Goal space and candidate set both derive from the implementation space;
+  // reuse it instead of re-probing the A-GI index.
+  model::IdSet goals;
+  model::IdSet actions;
+  goals.reserve(context.impl_space.size());
+  for (model::ImplId p : context.impl_space) {
+    goals.push_back(library.GoalOf(p));
+    const model::IdSet& impl_actions = library.ActionsOf(p);
+    actions.insert(actions.end(), impl_actions.begin(), impl_actions.end());
+  }
+  util::Normalize(goals);
+  util::Normalize(actions);
+  context.goal_space = std::move(goals);
+  // Candidates: union of the implementations' actions minus the activity.
+  // (AS(H)'s self-exclusion subtleties only affect members of H, which the
+  // difference removes anyway.)
+  context.candidates = util::Difference(actions, context.activity);
+  return context;
+}
+
+}  // namespace goalrec::core

@@ -1,0 +1,37 @@
+#ifndef GOALREC_CORE_QUERY_CONTEXT_H_
+#define GOALREC_CORE_QUERY_CONTEXT_H_
+
+#include "model/library.h"
+#include "model/types.h"
+
+// Shared per-query state. All four goal-based strategies start from the same
+// derived spaces — IS(H), GS(H) and the candidate set AS(H) − H. A
+// QueryContext computes them once; every strategy exposes a
+// RecommendInContext overload that reuses it, and the evaluation Suite
+// builds one context per user and fans it out. Measurement note
+// (bench/micro_strategies, BM_FourStrategiesSharedContext vs
+// ...Independent): with Best Match in the roster the saving is a wash —
+// its per-candidate vectorisation dominates the total — so the context is
+// primarily a correctness/clarity device (one canonical space computation)
+// and a win for Focus/Breadth-only rosters.
+
+namespace goalrec::core {
+
+struct QueryContext {
+  const model::ImplementationLibrary* library = nullptr;
+  model::Activity activity;
+  /// IS(activity), ascending.
+  model::IdSet impl_space;
+  /// GS(activity), ascending.
+  model::IdSet goal_space;
+  /// AS(activity) − activity, ascending.
+  model::IdSet candidates;
+
+  /// Computes all three spaces. `library` must outlive the context.
+  static QueryContext Create(const model::ImplementationLibrary& library,
+                             model::Activity activity);
+};
+
+}  // namespace goalrec::core
+
+#endif  // GOALREC_CORE_QUERY_CONTEXT_H_

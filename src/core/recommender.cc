@@ -1,0 +1,12 @@
+#include "core/recommender.h"
+
+namespace goalrec::core {
+
+std::vector<model::ActionId> ActionsOf(const RecommendationList& list) {
+  std::vector<model::ActionId> actions;
+  actions.reserve(list.size());
+  for (const ScoredAction& entry : list) actions.push_back(entry.action);
+  return actions;
+}
+
+}  // namespace goalrec::core

@@ -1,0 +1,62 @@
+#ifndef GOALREC_CORE_RECOMMENDER_H_
+#define GOALREC_CORE_RECOMMENDER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/types.h"
+
+// Common recommender abstraction. A recommender observes a user activity H
+// (the sorted set of actions already performed) and produces a ranked list of
+// up to k actions the user has not performed. Both the paper's goal-based
+// strategies (core/) and the state-of-the-art baselines (baselines/)
+// implement this interface so the evaluation harness can treat them
+// uniformly.
+
+namespace goalrec::core {
+
+/// One ranked recommendation. `score` is strategy-specific (higher is better
+/// after normalisation inside each strategy); it is reported for
+/// explainability and tie-break auditing, and is not comparable across
+/// strategies.
+struct ScoredAction {
+  model::ActionId action = model::kInvalidId;
+  double score = 0.0;
+
+  friend bool operator==(const ScoredAction&, const ScoredAction&) = default;
+};
+
+/// Ranked best-first list of recommended actions.
+using RecommendationList = std::vector<ScoredAction>;
+
+/// Extracts just the action ids of a list, preserving order.
+std::vector<model::ActionId> ActionsOf(const RecommendationList& list);
+
+/// Interface implemented by every recommendation strategy.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  /// Short stable identifier used in reports ("Focus_cmp", "Breadth", ...).
+  virtual std::string name() const = 0;
+
+  /// Returns up to `k` actions not contained in `activity`, best first.
+  /// Must be deterministic: equal inputs give equal outputs, with ties broken
+  /// by ascending action id. Thread-safe for concurrent calls.
+  virtual RecommendationList Recommend(const model::Activity& activity,
+                                       size_t k) const = 0;
+};
+
+/// Comparator used by every strategy that ranks by descending score:
+/// higher score first, ascending action id on ties (determinism).
+struct ByScoreDesc {
+  bool operator()(const ScoredAction& a, const ScoredAction& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    return a.action < b.action;
+  }
+};
+
+}  // namespace goalrec::core
+
+#endif  // GOALREC_CORE_RECOMMENDER_H_

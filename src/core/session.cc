@@ -1,0 +1,78 @@
+#include "core/session.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/set_ops.h"
+
+namespace goalrec::core {
+
+RecommendationSession::RecommendationSession(
+    const model::ImplementationLibrary* library, const Recommender* strategy)
+    : library_(library), strategy_(strategy) {
+  GOALREC_CHECK(library_ != nullptr);
+  GOALREC_CHECK(strategy_ != nullptr);
+}
+
+bool RecommendationSession::Perform(model::ActionId action) {
+  if (util::Contains(activity_, action)) return false;
+  activity_.push_back(action);
+  std::sort(activity_.begin(), activity_.end());
+  if (impl_space_valid_ && action < library_->num_actions()) {
+    // Incremental merge of the new action's postings into the cached space.
+    std::span<const model::ImplId> postings = library_->ImplsOfAction(action);
+    model::IdSet incoming(postings.begin(), postings.end());
+    impl_space_ = util::Union(impl_space_, incoming);
+  }
+  return true;
+}
+
+bool RecommendationSession::Undo(model::ActionId action) {
+  auto it = std::lower_bound(activity_.begin(), activity_.end(), action);
+  if (it == activity_.end() || *it != action) return false;
+  activity_.erase(it);
+  impl_space_valid_ = false;  // other actions may still cover its postings
+  return true;
+}
+
+const model::IdSet& RecommendationSession::ImplementationSpace() const {
+  if (!impl_space_valid_) {
+    impl_space_ = library_->ImplementationSpace(activity_);
+    impl_space_valid_ = true;
+  }
+  return impl_space_;
+}
+
+model::IdSet RecommendationSession::GoalSpace() const {
+  model::IdSet goals;
+  for (model::ImplId p : ImplementationSpace()) {
+    goals.push_back(library_->GoalOf(p));
+  }
+  util::Normalize(goals);
+  return goals;
+}
+
+RecommendationSession::ClosestGoal RecommendationSession::FindClosestGoal()
+    const {
+  ClosestGoal best;
+  for (model::ImplId p : ImplementationSpace()) {
+    const model::IdSet& actions = library_->ActionsOf(p);
+    if (actions.empty()) continue;
+    double completeness =
+        static_cast<double>(util::IntersectionSize(actions, activity_)) /
+        static_cast<double>(actions.size());
+    model::GoalId goal = library_->GoalOf(p);
+    if (completeness > best.completeness ||
+        (completeness == best.completeness && goal < best.goal)) {
+      best.goal = goal;
+      best.completeness = completeness;
+    }
+  }
+  return best;
+}
+
+RecommendationList RecommendationSession::Recommend(size_t k) const {
+  return strategy_->Recommend(activity_, k);
+}
+
+}  // namespace goalrec::core

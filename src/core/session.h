@@ -1,0 +1,65 @@
+#ifndef GOALREC_CORE_SESSION_H_
+#define GOALREC_CORE_SESSION_H_
+
+#include "core/recommender.h"
+#include "model/library.h"
+
+// Online recommendation session: the serving-side counterpart of the batch
+// Recommender interface. A session tracks one user's growing activity (a
+// shopper adding items to the cart, a learner completing courses) and keeps
+// the expensive derived state — the implementation space IS(H) — incremental:
+// performing one action merges just that action's A-GI postings instead of
+// recomputing the space from scratch, turning the per-event cost from
+// O(|H| · connectivity) into O(connectivity) (amortised).
+
+namespace goalrec::core {
+
+class RecommendationSession {
+ public:
+  /// Both pointers must outlive the session. The strategy is consulted on
+  /// every Recommend call with the session's current activity.
+  RecommendationSession(const model::ImplementationLibrary* library,
+                        const Recommender* strategy);
+
+  /// Records that the user performed `action`. Unknown ids (beyond the
+  /// library's vocabulary) are accepted — they simply join no
+  /// implementation. Re-performing a known action is a no-op. Returns true
+  /// if the activity changed.
+  bool Perform(model::ActionId action);
+
+  /// Forgets a performed action (an item removed from the cart). Returns
+  /// true if it was present. The implementation space is rebuilt on the next
+  /// query (removal cannot be done by merging).
+  bool Undo(model::ActionId action);
+
+  /// The activity accumulated so far (sorted).
+  const model::Activity& activity() const { return activity_; }
+
+  /// IS(H) for the current activity (cached; rebuilt lazily after Undo).
+  const model::IdSet& ImplementationSpace() const;
+
+  /// GS(H) for the current activity (derived from the cached IS(H)).
+  model::IdSet GoalSpace() const;
+
+  /// Completeness of the single goal closest to fulfilment, with its id;
+  /// returns {kInvalidId, 0.0} when the activity touches no implementation.
+  struct ClosestGoal {
+    model::GoalId goal = model::kInvalidId;
+    double completeness = 0.0;
+  };
+  ClosestGoal FindClosestGoal() const;
+
+  /// Delegates to the wrapped strategy with the current activity.
+  RecommendationList Recommend(size_t k) const;
+
+ private:
+  const model::ImplementationLibrary* library_;
+  const Recommender* strategy_;
+  model::Activity activity_;
+  mutable model::IdSet impl_space_;
+  mutable bool impl_space_valid_ = true;  // empty activity -> empty space
+};
+
+}  // namespace goalrec::core
+
+#endif  // GOALREC_CORE_SESSION_H_

@@ -1,0 +1,224 @@
+#include "data/foodmart.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/set_ops.h"
+
+namespace goalrec::data {
+namespace {
+
+std::string ProductName(uint32_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "product_%04u", i);
+  return buf;
+}
+
+std::string RecipeName(uint32_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "recipe_%05u", i);
+  return buf;
+}
+
+}  // namespace
+
+FoodmartOptions SmallFoodmartOptions() {
+  FoodmartOptions options;
+  options.num_products = 90;
+  options.num_categories = 16;
+  options.num_ingredient_products = 48;
+  options.num_recipes = 600;
+  options.min_recipe_size = 3;
+  options.max_recipe_size = 8;
+  options.num_carts = 300;
+  options.min_cart_size = 3;
+  options.max_cart_size = 8;
+  return options;
+}
+
+Dataset GenerateFoodmart(const FoodmartOptions& options) {
+  GOALREC_CHECK_GT(options.num_products, 0u);
+  GOALREC_CHECK_GT(options.num_categories, 0u);
+  GOALREC_CHECK_LE(options.num_ingredient_products, options.num_products);
+  GOALREC_CHECK_GE(options.min_recipe_size, 1u);
+  GOALREC_CHECK_LE(options.min_recipe_size, options.max_recipe_size);
+  GOALREC_CHECK_LE(options.max_recipe_size, options.num_ingredient_products);
+  GOALREC_CHECK_GE(options.min_cart_size, 1u);
+  GOALREC_CHECK_LE(options.min_cart_size, options.max_cart_size);
+
+  util::Rng rng(options.seed);
+  Dataset dataset;
+  dataset.name = "foodmart";
+
+  // Products and categories. Round-robin assignment spreads ingredients
+  // evenly across categories.
+  model::LibraryBuilder builder;
+  std::vector<uint32_t> category_of(options.num_products);
+  for (uint32_t p = 0; p < options.num_products; ++p) {
+    model::ActionId id = builder.InternAction(ProductName(p));
+    GOALREC_CHECK_EQ(id, p);
+    category_of[p] = p % options.num_categories;
+  }
+
+  // Ingredient pools per category (ingredient product ids only).
+  std::vector<std::vector<model::ActionId>> category_ingredients(
+      options.num_categories);
+  for (uint32_t p = 0; p < options.num_ingredient_products; ++p) {
+    category_ingredients[category_of[p]].push_back(p);
+  }
+  std::vector<uint32_t> nonempty_categories;
+  for (uint32_t c = 0; c < options.num_categories; ++c) {
+    if (!category_ingredients[c].empty()) nonempty_categories.push_back(c);
+  }
+  GOALREC_CHECK(!nonempty_categories.empty());
+
+  util::ZipfSampler global_zipf(options.num_ingredient_products,
+                                options.ingredient_zipf);
+
+  // Recipes. Each recipe's ingredients are mostly drawn from a small set of
+  // cuisine categories, with a Zipf-popular global fallback.
+  std::vector<model::IdSet> recipe_actions(options.num_recipes);
+  for (uint32_t r = 0; r < options.num_recipes; ++r) {
+    uint32_t size = static_cast<uint32_t>(
+        rng.UniformInt(options.min_recipe_size, options.max_recipe_size));
+    std::vector<uint32_t> cuisines;
+    uint32_t cuisine_count =
+        std::min<uint32_t>(options.cuisine_categories,
+                           static_cast<uint32_t>(nonempty_categories.size()));
+    for (uint32_t i = 0; i < cuisine_count; ++i) {
+      cuisines.push_back(nonempty_categories[rng.UniformUint32(
+          static_cast<uint32_t>(nonempty_categories.size()))]);
+    }
+    model::IdSet& actions = recipe_actions[r];
+    // Bounded retries guard against tiny ingredient pools where a recipe of
+    // the requested size may not be fillable with distinct ingredients.
+    uint32_t attempts = 0;
+    while (actions.size() < size && attempts < 20 * size) {
+      ++attempts;
+      model::ActionId pick;
+      if (rng.Bernoulli(options.coherence)) {
+        const std::vector<model::ActionId>& pool =
+            category_ingredients[cuisines[rng.UniformUint32(cuisine_count)]];
+        pick = pool[rng.UniformUint32(static_cast<uint32_t>(pool.size()))];
+      } else {
+        pick = global_zipf.Sample(rng);
+      }
+      if (!util::Contains(actions, pick)) {
+        actions.push_back(pick);
+        std::sort(actions.begin(), actions.end());
+      }
+    }
+    builder.AddImplementationIds(builder.InternGoal(RecipeName(r)),
+                                 actions);
+  }
+  dataset.library = std::move(builder).Build();
+
+  // Customer plan: consecutive runs of carts may belong to one repeat
+  // customer with a small set of favourite recipes; every other cart is its
+  // own customer. Planned up front so cart generation below stays linear.
+  std::vector<uint32_t> cart_customer(options.num_carts, 0);
+  // Favourite recipe indices per customer; empty for one-off customers.
+  std::vector<std::vector<uint32_t>> customer_favorites;
+  {
+    uint32_t c = 0;
+    while (c < options.num_carts) {
+      uint32_t customer = static_cast<uint32_t>(customer_favorites.size());
+      uint32_t group = 1;
+      std::vector<uint32_t> favorites;
+      if (options.repeat_customer_fraction > 0.0 &&
+          options.max_carts_per_customer >= 2 &&
+          options.num_carts - c >= 2 &&
+          rng.Bernoulli(options.repeat_customer_fraction)) {
+        group = static_cast<uint32_t>(rng.UniformInt(
+            2, std::min<int64_t>(options.max_carts_per_customer,
+                                 options.num_carts - c)));
+        uint32_t favorite_count = std::min(
+            std::max(1u, options.favorite_recipes), options.num_recipes);
+        favorites =
+            rng.SampleWithoutReplacement(options.num_recipes, favorite_count);
+      }
+      customer_favorites.push_back(std::move(favorites));
+      for (uint32_t i = 0; i < group; ++i) cart_customer[c + i] = customer;
+      c += group;
+    }
+  }
+
+  // Carts: partial baskets of 1–3 recipes, interleaved with Zipf-popular
+  // staples (products outside the recipe universe) and a little random fill.
+  uint32_t num_staples = options.num_products - options.num_ingredient_products;
+  std::optional<util::ZipfSampler> staple_zipf;
+  if (num_staples > 0) staple_zipf.emplace(num_staples, options.staple_zipf);
+  dataset.users.reserve(options.num_carts);
+  for (uint32_t c = 0; c < options.num_carts; ++c) {
+    uint32_t target_size = static_cast<uint32_t>(
+        rng.UniformInt(options.min_cart_size, options.max_cart_size));
+    uint32_t seed_recipes = static_cast<uint32_t>(rng.UniformInt(1, 3));
+    model::Activity cart;
+    std::vector<model::ActionId> ordered;
+    auto add = [&cart, &ordered](model::ActionId item) {
+      if (!util::Contains(cart, item)) {
+        cart.push_back(item);
+        std::sort(cart.begin(), cart.end());
+        ordered.push_back(item);
+      }
+    };
+    const std::vector<uint32_t>& favorites =
+        customer_favorites[cart_customer[c]];
+    for (uint32_t s = 0; s < seed_recipes && cart.size() < target_size; ++s) {
+      // Repeat customers cook from their favourites; one-off customers
+      // sample the whole recipe corpus.
+      uint32_t recipe_index =
+          favorites.empty()
+              ? rng.UniformUint32(options.num_recipes)
+              : favorites[rng.UniformUint32(
+                    static_cast<uint32_t>(favorites.size()))];
+      const model::IdSet& recipe = recipe_actions[recipe_index];
+      for (model::ActionId a : recipe) {
+        if (cart.size() >= target_size) break;
+        if (staple_zipf.has_value() &&
+            rng.Bernoulli(options.staple_fraction)) {
+          add(options.num_ingredient_products + staple_zipf->Sample(rng));
+        } else if (rng.Bernoulli(options.cart_noise)) {
+          add(rng.UniformUint32(options.num_products));
+        } else {
+          add(a);
+        }
+      }
+    }
+    // Pad short carts with staples (or random products when there are none).
+    uint32_t attempts = 0;
+    while (cart.size() < options.min_cart_size && attempts < 100) {
+      ++attempts;
+      if (staple_zipf.has_value()) {
+        add(options.num_ingredient_products + staple_zipf->Sample(rng));
+      } else {
+        add(rng.UniformUint32(options.num_products));
+      }
+    }
+    dataset.users.push_back(UserRecord{std::move(cart), std::move(ordered),
+                                       {}, cart_customer[c]});
+  }
+
+  // Features: department + subcategory per product. Departments group
+  // consecutive category ids (category c belongs to department
+  // c / ceil(categories / departments)), and feature ids are departments
+  // first, then categories offset by num_departments.
+  uint32_t departments = std::max(1u, options.num_departments);
+  uint32_t categories_per_department =
+      (options.num_categories + departments - 1) / departments;
+  dataset.features.num_features = departments + options.num_categories;
+  dataset.features.features.resize(options.num_products);
+  for (uint32_t p = 0; p < options.num_products; ++p) {
+    uint32_t department = category_of[p] / categories_per_department;
+    dataset.features.features[p] = {department,
+                                    departments + category_of[p]};
+  }
+  return dataset;
+}
+
+}  // namespace goalrec::data

@@ -1,0 +1,166 @@
+#include "data/fortythree.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/set_ops.h"
+
+namespace goalrec::data {
+namespace {
+
+std::string GoalName(uint32_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "goal_%04u", i);
+  return buf;
+}
+
+std::string ActionName(uint32_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "action_%04u", i);
+  return buf;
+}
+
+}  // namespace
+
+FortyThreeOptions SmallFortyThreeOptions() {
+  FortyThreeOptions options;
+  options.num_goals = 120;
+  options.num_actions = 200;
+  options.num_implementations = 500;
+  options.users_per_goal_count = {120, 60, 30, 20};
+  options.family_size = 16;
+  options.goal_pool_size = 6;
+  return options;
+}
+
+Dataset GenerateFortyThree(const FortyThreeOptions& options) {
+  GOALREC_CHECK_GT(options.num_goals, 0u);
+  GOALREC_CHECK_GT(options.num_actions, 0u);
+  GOALREC_CHECK_GE(options.num_implementations, options.num_goals);
+  GOALREC_CHECK_GE(options.family_size, options.goal_pool_size);
+  GOALREC_CHECK_GE(options.min_impl_size, 1u);
+  GOALREC_CHECK_LE(options.min_impl_size, options.max_impl_size);
+  GOALREC_CHECK_LE(options.max_impl_size, options.goal_pool_size);
+  GOALREC_CHECK(!options.users_per_goal_count.empty());
+
+  util::Rng rng(options.seed);
+  Dataset dataset;
+  dataset.name = "43things";
+
+  model::LibraryBuilder builder;
+  for (uint32_t a = 0; a < options.num_actions; ++a) {
+    model::ActionId id = builder.InternAction(ActionName(a));
+    GOALREC_CHECK_EQ(id, a);
+  }
+  for (uint32_t g = 0; g < options.num_goals; ++g) {
+    model::GoalId id = builder.InternGoal(GoalName(g));
+    GOALREC_CHECK_EQ(id, g);
+  }
+
+  // Families: contiguous blocks of the action space. Each goal belongs to
+  // one family and draws a private pool of goal_pool_size actions from it,
+  // which keeps every action confined to the few goals of its family.
+  uint32_t num_families =
+      std::max<uint32_t>(1, options.num_actions / options.family_size);
+  std::vector<model::IdSet> goal_pool(options.num_goals);
+  for (uint32_t g = 0; g < options.num_goals; ++g) {
+    uint32_t family = g % num_families;
+    uint32_t base = family * options.family_size;
+    uint32_t span =
+        std::min(options.family_size, options.num_actions - base);
+    GOALREC_CHECK_GT(span, 0u);
+    uint32_t pool_size = std::min(options.goal_pool_size, span);
+    std::vector<uint32_t> picks = rng.SampleWithoutReplacement(span, pool_size);
+    for (uint32_t offset : picks) goal_pool[g].push_back(base + offset);
+    std::sort(goal_pool[g].begin(), goal_pool[g].end());
+  }
+
+  // Distribute implementations: every goal gets one, the remainder land on
+  // uniformly random goals (some goals have many alternative ways).
+  std::vector<uint32_t> impls_of_goal(options.num_goals, 1);
+  for (uint32_t extra = options.num_goals;
+       extra < options.num_implementations; ++extra) {
+    ++impls_of_goal[rng.UniformUint32(options.num_goals)];
+  }
+
+  // Implementation ids per goal, needed later to assemble user activities.
+  std::vector<std::vector<model::ImplId>> goal_impl_ids(options.num_goals);
+  for (uint32_t g = 0; g < options.num_goals; ++g) {
+    const model::IdSet& pool = goal_pool[g];
+    for (uint32_t i = 0; i < impls_of_goal[g]; ++i) {
+      uint32_t max_size = std::min<uint32_t>(
+          options.max_impl_size, static_cast<uint32_t>(pool.size()));
+      uint32_t min_size = std::min(options.min_impl_size, max_size);
+      uint32_t size;
+      if (options.harmonic_impl_sizes && max_size > min_size) {
+        // P(size = s) ∝ 1/s over [min_size, max_size].
+        double total = 0.0;
+        for (uint32_t s = min_size; s <= max_size; ++s) {
+          total += 1.0 / static_cast<double>(s);
+        }
+        double u = rng.UniformDouble() * total;
+        size = max_size;
+        for (uint32_t s = min_size; s <= max_size; ++s) {
+          u -= 1.0 / static_cast<double>(s);
+          if (u <= 0.0) {
+            size = s;
+            break;
+          }
+        }
+      } else {
+        size = static_cast<uint32_t>(rng.UniformInt(min_size, max_size));
+      }
+      std::vector<uint32_t> picks = rng.SampleWithoutReplacement(
+          static_cast<uint32_t>(pool.size()), size);
+      model::IdSet actions;
+      actions.reserve(size);
+      for (uint32_t idx : picks) actions.push_back(pool[idx]);
+      model::ImplId impl = builder.AddImplementationIds(g, std::move(actions));
+      goal_impl_ids[g].push_back(impl);
+    }
+  }
+  dataset.library = std::move(builder).Build();
+
+  // Users: goal-count buckets per the paper's distribution; bucket i (0-based)
+  // pursues i+1 goals, the final bucket 4–6.
+  for (uint32_t bucket = 0; bucket < options.users_per_goal_count.size();
+       ++bucket) {
+    bool last = bucket + 1 == options.users_per_goal_count.size() &&
+                options.users_per_goal_count.size() >= 4;
+    for (uint32_t n = 0; n < options.users_per_goal_count[bucket]; ++n) {
+      uint32_t goal_count =
+          last ? static_cast<uint32_t>(rng.UniformInt(4, 6)) : bucket + 1;
+      goal_count = std::min(goal_count, options.num_goals);
+      std::vector<uint32_t> goals =
+          rng.SampleWithoutReplacement(options.num_goals, goal_count);
+      model::Activity activity;
+      std::vector<model::ActionId> ordered;
+      model::IdSet true_goals;
+      for (uint32_t g : goals) {
+        true_goals.push_back(g);
+        const std::vector<model::ImplId>& impls = goal_impl_ids[g];
+        model::ImplId chosen =
+            impls[rng.UniformUint32(static_cast<uint32_t>(impls.size()))];
+        const model::IdSet& actions = dataset.library.ActionsOf(chosen);
+        for (model::ActionId a : actions) {
+          // Performance order: goal by goal, skipping repeats.
+          if (!util::Contains(activity, a)) ordered.push_back(a);
+          activity.push_back(a);
+          util::Normalize(activity);
+        }
+      }
+      std::sort(true_goals.begin(), true_goals.end());
+      uint32_t customer = static_cast<uint32_t>(dataset.users.size());
+      dataset.users.push_back(UserRecord{std::move(activity),
+                                         std::move(ordered),
+                                         std::move(true_goals), customer});
+    }
+  }
+  // 43T has no accepted domain features (paper §6); leave the table empty.
+  return dataset;
+}
+
+}  // namespace goalrec::data

@@ -1,0 +1,73 @@
+#include "data/loaders.h"
+
+#include <unordered_map>
+
+#include "model/vocabulary.h"
+#include "util/csv.h"
+#include "util/set_ops.h"
+
+namespace goalrec::data {
+
+util::StatusOr<std::vector<model::Activity>> LoadActivitiesCsv(
+    const std::string& path, const model::Vocabulary& actions) {
+  util::StatusOr<std::vector<util::CsvRow>> rows = util::ReadCsvFile(path);
+  if (!rows.ok()) return rows.status();
+  std::vector<model::Activity> activities;
+  std::unordered_map<std::string, size_t> user_index;
+  for (const util::CsvRow& row : *rows) {
+    if (row.size() != 2) {
+      return util::InvalidArgumentError(
+          path + ": expected 2 fields 'user_id,action_name', got " +
+          std::to_string(row.size()));
+    }
+    std::optional<uint32_t> action = actions.Find(row[1]);
+    if (!action.has_value()) {
+      return util::InvalidArgumentError(path + ": unknown action '" + row[1] +
+                                        "'");
+    }
+    auto [it, inserted] = user_index.emplace(row[0], activities.size());
+    if (inserted) activities.emplace_back();
+    activities[it->second].push_back(*action);
+  }
+  for (model::Activity& activity : activities) util::Normalize(activity);
+  return activities;
+}
+
+util::Status SaveActivitiesCsv(const std::string& path,
+                               const std::vector<model::Activity>& activities,
+                               const model::Vocabulary& actions) {
+  std::vector<util::CsvRow> rows;
+  for (size_t u = 0; u < activities.size(); ++u) {
+    for (model::ActionId a : activities[u]) {
+      rows.push_back({"user_" + std::to_string(u), actions.Name(a)});
+    }
+  }
+  return util::WriteCsvFile(path, rows);
+}
+
+util::StatusOr<model::ActionFeatureTable> LoadFeaturesCsv(
+    const std::string& path, const model::Vocabulary& actions) {
+  util::StatusOr<std::vector<util::CsvRow>> rows = util::ReadCsvFile(path);
+  if (!rows.ok()) return rows.status();
+  model::ActionFeatureTable table;
+  table.features.resize(actions.size());
+  model::Vocabulary feature_names;
+  for (const util::CsvRow& row : *rows) {
+    if (row.size() != 2) {
+      return util::InvalidArgumentError(
+          path + ": expected 2 fields 'action_name,feature_name', got " +
+          std::to_string(row.size()));
+    }
+    std::optional<uint32_t> action = actions.Find(row[0]);
+    if (!action.has_value()) {
+      return util::InvalidArgumentError(path + ": unknown action '" + row[0] +
+                                        "'");
+    }
+    table.features[*action].push_back(feature_names.Intern(row[1]));
+  }
+  for (model::IdSet& f : table.features) util::Normalize(f);
+  table.num_features = feature_names.size();
+  return table;
+}
+
+}  // namespace goalrec::data

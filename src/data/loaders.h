@@ -1,0 +1,39 @@
+#ifndef GOALREC_DATA_LOADERS_H_
+#define GOALREC_DATA_LOADERS_H_
+
+#include <string>
+#include <vector>
+
+#include "model/features.h"
+#include "model/library.h"
+#include "model/types.h"
+#include "util/status.h"
+
+// CSV interchange for real datasets: activities as (user_id, action_name)
+// rows and features as (action_name, feature_name) rows. Together with the
+// text library format of model/library_io.h these let a downstream user run
+// the full pipeline on their own data.
+
+namespace goalrec::data {
+
+/// Loads activities from a CSV of rows `user_id,action_name`. Users are
+/// grouped by their id (any string); the returned activities are ordered by
+/// first appearance of the user id. Unknown action names produce
+/// kInvalidArgument (the library defines the action universe).
+util::StatusOr<std::vector<model::Activity>> LoadActivitiesCsv(
+    const std::string& path, const model::Vocabulary& actions);
+
+/// Writes activities as `user_<index>,action_name` rows.
+util::Status SaveActivitiesCsv(const std::string& path,
+                               const std::vector<model::Activity>& activities,
+                               const model::Vocabulary& actions);
+
+/// Loads a feature table from a CSV of rows `action_name,feature_name`.
+/// Feature ids are interned in first-seen order; actions absent from the
+/// file get empty feature sets.
+util::StatusOr<model::ActionFeatureTable> LoadFeaturesCsv(
+    const std::string& path, const model::Vocabulary& actions);
+
+}  // namespace goalrec::data
+
+#endif  // GOALREC_DATA_LOADERS_H_

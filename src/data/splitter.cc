@@ -1,0 +1,46 @@
+#include "data/splitter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/set_ops.h"
+
+namespace goalrec::data {
+
+SplitActivity SplitOne(const model::Activity& activity,
+                       double visible_fraction, util::Rng& rng) {
+  GOALREC_CHECK_GE(visible_fraction, 0.0);
+  GOALREC_CHECK_LE(visible_fraction, 1.0);
+  SplitActivity split;
+  if (activity.empty()) return split;
+  uint32_t n = static_cast<uint32_t>(activity.size());
+  uint32_t visible_count = static_cast<uint32_t>(
+      std::ceil(visible_fraction * static_cast<double>(n)));
+  visible_count = std::clamp(visible_count, 1u, n);
+  std::vector<uint32_t> picks = rng.SampleWithoutReplacement(n, visible_count);
+  std::vector<bool> is_visible(n, false);
+  for (uint32_t idx : picks) is_visible[idx] = true;
+  for (uint32_t i = 0; i < n; ++i) {
+    (is_visible[i] ? split.visible : split.hidden).push_back(activity[i]);
+  }
+  // The source activity is sorted, so both halves already are.
+  return split;
+}
+
+std::vector<EvalUser> SplitDataset(const Dataset& dataset,
+                                   double visible_fraction, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<EvalUser> users;
+  users.reserve(dataset.users.size());
+  for (const UserRecord& record : dataset.users) {
+    if (record.full_activity.empty()) continue;
+    SplitActivity split = SplitOne(record.full_activity, visible_fraction, rng);
+    users.push_back(
+        EvalUser{std::move(split.visible), std::move(split.hidden),
+                 record.true_goals});
+  }
+  return users;
+}
+
+}  // namespace goalrec::data

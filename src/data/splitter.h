@@ -1,0 +1,42 @@
+#ifndef GOALREC_DATA_SPLITTER_H_
+#define GOALREC_DATA_SPLITTER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "model/types.h"
+#include "util/random.h"
+
+// The evaluation protocol of §6 ("Dataset Description", 43T): a user's full
+// activity is shuffled and 30% of the actions become the *visible* activity
+// handed to the recommenders; the remaining 70% are *hidden* and serve as
+// ground truth (e.g. the true-positive-rate experiment of Figure 4).
+
+namespace goalrec::data {
+
+struct SplitActivity {
+  model::Activity visible;  // sorted
+  model::Activity hidden;   // sorted
+};
+
+/// Splits one activity: ceil(visible_fraction · n) actions (at least one for
+/// a non-empty input) are sampled uniformly without replacement into
+/// `visible`; the rest become `hidden`. Deterministic given `rng` state.
+SplitActivity SplitOne(const model::Activity& activity,
+                       double visible_fraction, util::Rng& rng);
+
+/// One evaluation instance after splitting.
+struct EvalUser {
+  model::Activity visible;
+  model::Activity hidden;
+  model::IdSet true_goals;
+};
+
+/// Applies SplitOne to every user of a dataset with a fresh generator seeded
+/// by `seed` (reproducible). Users whose full activity is empty are dropped.
+std::vector<EvalUser> SplitDataset(const Dataset& dataset,
+                                   double visible_fraction, uint64_t seed);
+
+}  // namespace goalrec::data
+
+#endif  // GOALREC_DATA_SPLITTER_H_

@@ -1,0 +1,94 @@
+#include "eval/breakdown.h"
+
+#include <algorithm>
+
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace goalrec::eval {
+namespace {
+
+size_t BucketOf(size_t goal_count) {
+  GOALREC_CHECK_GE(goal_count, 1u);
+  return std::min(goal_count, kGoalCountBuckets) - 1;
+}
+
+}  // namespace
+
+std::vector<BreakdownRow> ComputeGoalCountBreakdown(
+    const model::ImplementationLibrary& library,
+    const std::vector<data::EvalUser>& users,
+    const std::vector<MethodResult>& results) {
+  std::vector<BreakdownRow> rows;
+  rows.reserve(results.size());
+  for (const MethodResult& result : results) {
+    GOALREC_CHECK_EQ(result.lists.size(), users.size());
+    BreakdownRow row;
+    row.name = result.name;
+    std::vector<double> tpr[kGoalCountBuckets];
+    std::vector<double> completeness[kGoalCountBuckets];
+    for (size_t u = 0; u < users.size(); ++u) {
+      const data::EvalUser& user = users[u];
+      if (user.true_goals.empty()) continue;  // unknown pursued goals
+      size_t bucket = BucketOf(user.true_goals.size());
+      if (!user.hidden.empty()) {
+        tpr[bucket].push_back(
+            TruePositiveRate(result.lists[u], user.hidden));
+      }
+      util::Summary summary = CompletenessAfterList(
+          library, user.true_goals, user.visible, result.lists[u]);
+      completeness[bucket].push_back(summary.avg);
+    }
+    for (size_t b = 0; b < kGoalCountBuckets; ++b) {
+      row.cells[b].avg_tpr = util::Mean(tpr[b]);
+      row.cells[b].completeness_avg_avg = util::Mean(completeness[b]);
+      row.cells[b].num_users = completeness[b].size();
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string RenderGoalCountBreakdown(const std::vector<BreakdownRow>& rows) {
+  std::string out;
+  const char* bucket_labels[kGoalCountBuckets] = {"1 goal", "2 goals",
+                                                  "3 goals", ">=4 goals"};
+  {
+    TextTable table({"method (AvgTPR)", bucket_labels[0], bucket_labels[1],
+                     bucket_labels[2], bucket_labels[3]});
+    for (const BreakdownRow& row : rows) {
+      std::vector<std::string> cells = {row.name};
+      for (size_t b = 0; b < kGoalCountBuckets; ++b) {
+        cells.push_back(FormatDouble(row.cells[b].avg_tpr, 3));
+      }
+      table.AddRow(std::move(cells));
+    }
+    out += table.ToString();
+  }
+  out += "\n";
+  {
+    TextTable table({"method (completeness)", bucket_labels[0],
+                     bucket_labels[1], bucket_labels[2], bucket_labels[3]});
+    for (const BreakdownRow& row : rows) {
+      std::vector<std::string> cells = {row.name};
+      for (size_t b = 0; b < kGoalCountBuckets; ++b) {
+        cells.push_back(
+            FormatDouble(row.cells[b].completeness_avg_avg, 3));
+      }
+      table.AddRow(std::move(cells));
+    }
+    out += table.ToString();
+  }
+  if (!rows.empty()) {
+    out += "\nusers per bucket:";
+    for (size_t b = 0; b < kGoalCountBuckets; ++b) {
+      out += " " + std::to_string(rows[0].cells[b].num_users);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace goalrec::eval

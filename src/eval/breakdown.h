@@ -1,0 +1,47 @@
+#ifndef GOALREC_EVAL_BREAKDOWN_H_
+#define GOALREC_EVAL_BREAKDOWN_H_
+
+#include <string>
+#include <vector>
+
+#include "data/splitter.h"
+#include "eval/suite.h"
+#include "model/library.h"
+
+// Per-goal-count breakdown. The paper characterises 43Things users by how
+// many goals they pursue (5047 / 1806 / 623 / 595 pursuing 1 / 2 / 3 / >3)
+// but reports only aggregate metrics; this analysis splits the Figure 4 and
+// Table 4 metrics by that distribution, answering "whom does each strategy
+// serve best?" — Focus should shine for single-goal users, Breadth for
+// multi-goal ones.
+
+namespace goalrec::eval {
+
+/// Buckets: 1, 2, 3, and ≥4 pursued goals. Users with unknown goals
+/// (empty true_goals — e.g. FoodMart carts) are excluded.
+inline constexpr size_t kGoalCountBuckets = 4;
+
+struct BreakdownCell {
+  double avg_tpr = 0.0;
+  double completeness_avg_avg = 0.0;
+  size_t num_users = 0;
+};
+
+struct BreakdownRow {
+  std::string name;
+  /// cells[b]: users pursuing b+1 goals (last bucket: ≥ 4).
+  BreakdownCell cells[kGoalCountBuckets];
+};
+
+/// Computes the breakdown for every method of a finished run.
+std::vector<BreakdownRow> ComputeGoalCountBreakdown(
+    const model::ImplementationLibrary& library,
+    const std::vector<data::EvalUser>& users,
+    const std::vector<MethodResult>& results);
+
+/// Renders one table per metric ("TPR by pursued goals", "completeness ...").
+std::string RenderGoalCountBreakdown(const std::vector<BreakdownRow>& rows);
+
+}  // namespace goalrec::eval
+
+#endif  // GOALREC_EVAL_BREAKDOWN_H_

@@ -1,0 +1,81 @@
+#include "eval/repeated.h"
+
+#include <cmath>
+
+#include "data/splitter.h"
+#include "eval/reports.h"
+#include "eval/table.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace goalrec::eval {
+namespace {
+
+MeanStd Aggregate(const std::vector<double>& values) {
+  MeanStd result;
+  result.mean = util::Mean(values);
+  result.std_dev = std::sqrt(util::Variance(values));
+  return result;
+}
+
+}  // namespace
+
+std::vector<RepeatedRow> RunRepeated(const data::Dataset& dataset,
+                                     const RepeatedOptions& options) {
+  GOALREC_CHECK(!options.split_seeds.empty());
+  // per-method metric series across seeds
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> tpr_series;
+  std::vector<std::vector<double>> completeness_series;
+
+  for (uint64_t seed : options.split_seeds) {
+    std::vector<data::EvalUser> users =
+        data::SplitDataset(dataset, options.visible_fraction, seed);
+    std::vector<model::Activity> inputs;
+    inputs.reserve(users.size());
+    for (const data::EvalUser& user : users) inputs.push_back(user.visible);
+
+    Suite suite(&dataset, inputs, options.suite);
+    std::vector<MethodResult> results = suite.RunAll(inputs, options.k);
+
+    std::vector<TprRow> tpr = ComputeTpr(users, results);
+    std::vector<CompletenessRow> completeness =
+        ComputeCompleteness(dataset.library, users, results);
+
+    if (names.empty()) {
+      names = suite.names();
+      tpr_series.resize(names.size());
+      completeness_series.resize(names.size());
+    }
+    GOALREC_CHECK_EQ(tpr.size(), names.size());
+    for (size_t m = 0; m < names.size(); ++m) {
+      tpr_series[m].push_back(tpr[m].avg_tpr);
+      completeness_series[m].push_back(completeness[m].avg_avg);
+    }
+  }
+
+  std::vector<RepeatedRow> rows;
+  rows.reserve(names.size());
+  for (size_t m = 0; m < names.size(); ++m) {
+    RepeatedRow row;
+    row.name = names[m];
+    row.tpr = Aggregate(tpr_series[m]);
+    row.completeness_avg_avg = Aggregate(completeness_series[m]);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string RenderRepeated(const std::vector<RepeatedRow>& rows) {
+  TextTable table({"method", "AvgTPR", "completeness AvgAvg"});
+  for (const RepeatedRow& row : rows) {
+    table.AddRow({row.name,
+                  FormatDouble(row.tpr.mean, 3) + " ± " +
+                      FormatDouble(row.tpr.std_dev, 3),
+                  FormatDouble(row.completeness_avg_avg.mean, 3) + " ± " +
+                      FormatDouble(row.completeness_avg_avg.std_dev, 3)});
+  }
+  return table.ToString();
+}
+
+}  // namespace goalrec::eval

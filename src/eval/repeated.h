@@ -1,0 +1,46 @@
+#ifndef GOALREC_EVAL_REPEATED_H_
+#define GOALREC_EVAL_REPEATED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/suite.h"
+
+// Repeated-split evaluation: the paper reports single-split numbers; this
+// utility re-runs the 30/70 protocol under several split seeds and reports
+// mean ± standard deviation per method, quantifying how sensitive each
+// metric is to the hidden/visible partition.
+
+namespace goalrec::eval {
+
+struct RepeatedOptions {
+  std::vector<uint64_t> split_seeds = {11, 22, 33, 44, 55};
+  double visible_fraction = 0.3;
+  size_t k = 10;
+  SuiteOptions suite;
+};
+
+struct MeanStd {
+  double mean = 0.0;
+  double std_dev = 0.0;
+};
+
+struct RepeatedRow {
+  std::string name;
+  MeanStd tpr;                   // Figure 4 metric
+  MeanStd completeness_avg_avg;  // Table 4 metric
+};
+
+/// Runs the full suite once per split seed and aggregates across runs.
+/// Baselines are retrained on each split's visible activities.
+std::vector<RepeatedRow> RunRepeated(const data::Dataset& dataset,
+                                     const RepeatedOptions& options = {});
+
+/// Renders "method  tpr mean±std  completeness mean±std".
+std::string RenderRepeated(const std::vector<RepeatedRow>& rows);
+
+}  // namespace goalrec::eval
+
+#endif  // GOALREC_EVAL_REPEATED_H_

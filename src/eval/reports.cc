@@ -1,0 +1,273 @@
+#include "eval/reports.h"
+
+#include <algorithm>
+
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "util/logging.h"
+
+namespace goalrec::eval {
+
+OverlapReport ComputeOverlap(const std::vector<MethodResult>& results) {
+  OverlapReport report;
+  size_t n = results.size();
+  report.matrix.assign(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    report.names.push_back(results[i].name);
+    report.matrix[i][i] = 1.0;
+    for (size_t j = i + 1; j < n; ++j) {
+      double overlap = MeanListOverlap(results[i].lists, results[j].lists);
+      report.matrix[i][j] = overlap;
+      report.matrix[j][i] = overlap;
+    }
+  }
+  return report;
+}
+
+TextTable BuildOverlapTable(const OverlapReport& report) {
+  std::vector<std::string> headers = {"method"};
+  headers.insert(headers.end(), report.names.begin(), report.names.end());
+  TextTable table(std::move(headers));
+  for (size_t i = 0; i < report.names.size(); ++i) {
+    std::vector<std::string> row = {report.names[i]};
+    for (size_t j = 0; j < report.names.size(); ++j) {
+      row.push_back(FormatPercent(report.matrix[i][j], 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+std::string RenderOverlap(const OverlapReport& report) {
+  return BuildOverlapTable(report).ToString();
+}
+
+std::vector<CorrelationRow> ComputePopularityCorrelations(
+    const std::vector<model::Activity>& activities,
+    const std::vector<MethodResult>& results) {
+  std::vector<CorrelationRow> rows;
+  rows.reserve(results.size());
+  for (const MethodResult& result : results) {
+    rows.push_back(CorrelationRow{
+        result.name, PopularityCorrelation(activities, result.lists)});
+  }
+  return rows;
+}
+
+TextTable BuildCorrelationTable(const std::vector<CorrelationRow>& rows) {
+  TextTable table({"method", "correlation"});
+  for (const CorrelationRow& row : rows) {
+    table.AddRow({row.name, FormatDouble(row.correlation, 3)});
+  }
+  return table;
+}
+
+std::string RenderCorrelations(const std::vector<CorrelationRow>& rows) {
+  return BuildCorrelationTable(rows).ToString();
+}
+
+std::vector<CompletenessRow> ComputeCompleteness(
+    const model::ImplementationLibrary& library,
+    const std::vector<data::EvalUser>& users,
+    const std::vector<MethodResult>& results) {
+  std::vector<CompletenessRow> rows;
+  rows.reserve(results.size());
+  for (const MethodResult& result : results) {
+    GOALREC_CHECK_EQ(result.lists.size(), users.size());
+    CompletenessRow row;
+    row.name = result.name;
+    std::vector<double> avgs, mins, maxs;
+    for (size_t u = 0; u < users.size(); ++u) {
+      const data::EvalUser& user = users[u];
+      model::IdSet goals = user.true_goals.empty()
+                               ? library.GoalSpace(user.visible)
+                               : user.true_goals;
+      if (goals.empty()) continue;
+      util::Summary summary = CompletenessAfterList(
+          library, goals, user.visible, result.lists[u]);
+      avgs.push_back(summary.avg);
+      mins.push_back(summary.min);
+      maxs.push_back(summary.max);
+    }
+    row.avg_avg = util::Mean(avgs);
+    row.min_avg = util::Mean(mins);
+    row.max_avg = util::Mean(maxs);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+TextTable BuildCompletenessTable(const std::vector<CompletenessRow>& rows) {
+  TextTable table({"method", "AvgAvg", "MinAvg", "MaxAvg"});
+  for (const CompletenessRow& row : rows) {
+    table.AddRow({row.name, FormatDouble(row.avg_avg, 3),
+                  FormatDouble(row.min_avg, 3), FormatDouble(row.max_avg, 3)});
+  }
+  return table;
+}
+
+std::string RenderCompleteness(const std::vector<CompletenessRow>& rows) {
+  return BuildCompletenessTable(rows).ToString();
+}
+
+std::vector<SimilarityRow> ComputePairwiseSimilarity(
+    const model::ActionFeatureTable& features,
+    const std::vector<MethodResult>& results) {
+  std::vector<SimilarityRow> rows;
+  rows.reserve(results.size());
+  for (const MethodResult& result : results) {
+    SimilarityRow row;
+    row.name = result.name;
+    std::vector<double> avgs, maxs, mins;
+    for (const core::RecommendationList& list : result.lists) {
+      util::Summary summary = PairwiseFeatureSimilarity(features, list);
+      if (summary.count == 0) continue;  // fewer than two recommendations
+      avgs.push_back(summary.avg);
+      maxs.push_back(summary.max);
+      mins.push_back(summary.min);
+    }
+    row.avg_avg = util::Mean(avgs);
+    row.avg_max = util::Mean(maxs);
+    row.avg_min = util::Mean(mins);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+TextTable BuildSimilarityTable(const std::vector<SimilarityRow>& rows) {
+  TextTable table({"method", "AvgAvg", "AvgMax", "AvgMin"});
+  for (const SimilarityRow& row : rows) {
+    table.AddRow({row.name, FormatDouble(row.avg_avg, 3),
+                  FormatDouble(row.avg_max, 3), FormatDouble(row.avg_min, 3)});
+  }
+  return table;
+}
+
+std::string RenderSimilarity(const std::vector<SimilarityRow>& rows) {
+  return BuildSimilarityTable(rows).ToString();
+}
+
+std::vector<TprRow> ComputeTpr(const std::vector<data::EvalUser>& users,
+                               const std::vector<MethodResult>& results) {
+  std::vector<TprRow> rows;
+  rows.reserve(results.size());
+  for (const MethodResult& result : results) {
+    GOALREC_CHECK_EQ(result.lists.size(), users.size());
+    std::vector<double> tprs;
+    tprs.reserve(users.size());
+    for (size_t u = 0; u < users.size(); ++u) {
+      if (users[u].hidden.empty()) continue;
+      tprs.push_back(TruePositiveRate(result.lists[u], users[u].hidden));
+    }
+    rows.push_back(TprRow{result.name, util::Mean(tprs)});
+  }
+  return rows;
+}
+
+TextTable BuildTprTable(const std::vector<TprRow>& top5,
+                        const std::vector<TprRow>& top10) {
+  GOALREC_CHECK_EQ(top5.size(), top10.size());
+  TextTable table({"method", "AvgTPR top-5", "AvgTPR top-10"});
+  for (size_t i = 0; i < top5.size(); ++i) {
+    GOALREC_CHECK(top5[i].name == top10[i].name);
+    table.AddRow({top5[i].name, FormatDouble(top5[i].avg_tpr, 3),
+                  FormatDouble(top10[i].avg_tpr, 3)});
+  }
+  return table;
+}
+
+std::string RenderTpr(const std::vector<TprRow>& top5,
+                      const std::vector<TprRow>& top10) {
+  return BuildTprTable(top5, top10).ToString();
+}
+
+namespace {
+
+void FinishFrequencyRow(FrequencyRow& row) {
+  row.below_02 = row.histogram.FractionBelow(0.2);
+}
+
+}  // namespace
+
+std::vector<FrequencyRow> ComputeRecListFrequency(
+    const std::vector<MethodResult>& results, size_t num_buckets) {
+  std::vector<FrequencyRow> rows;
+  for (const MethodResult& result : results) {
+    FrequencyRow row{result.name, util::Histogram(num_buckets), 0.0, 0.0};
+    AddRecListFrequencies(result.lists, row.histogram);
+    // Max frequency: recompute directly for exactness.
+    std::unordered_map<model::ActionId, size_t> counts;
+    for (const core::RecommendationList& list : result.lists) {
+      model::IdSet distinct;
+      for (const core::ScoredAction& e : list) distinct.push_back(e.action);
+      std::sort(distinct.begin(), distinct.end());
+      distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                     distinct.end());
+      for (model::ActionId a : distinct) ++counts[a];
+    }
+    for (const auto& [action, count] : counts) {
+      row.max_frequency =
+          std::max(row.max_frequency,
+                   static_cast<double>(count) /
+                       static_cast<double>(result.lists.size()));
+    }
+    FinishFrequencyRow(row);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<FrequencyRow> ComputeImplSetFrequency(
+    const model::ImplementationLibrary& library,
+    const std::vector<MethodResult>& results, size_t num_buckets) {
+  std::vector<FrequencyRow> rows;
+  for (const MethodResult& result : results) {
+    FrequencyRow row{result.name, util::Histogram(num_buckets), 0.0, 0.0};
+    AddImplSetFrequencies(library, result.lists, row.histogram);
+    for (const core::RecommendationList& list : result.lists) {
+      for (const core::ScoredAction& e : list) {
+        if (e.action >= library.num_actions() ||
+            library.num_implementations() == 0) {
+          continue;
+        }
+        row.max_frequency = std::max(
+            row.max_frequency,
+            static_cast<double>(library.ImplsOfAction(e.action).size()) /
+                static_cast<double>(library.num_implementations()));
+      }
+    }
+    FinishFrequencyRow(row);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string RenderFrequency(const std::vector<FrequencyRow>& rows) {
+  if (rows.empty()) return "";
+  size_t buckets = rows[0].histogram.num_buckets();
+  std::vector<std::string> headers = {"method"};
+  double width = 1.0 / static_cast<double>(buckets);
+  for (size_t b = 0; b < buckets; ++b) {
+    std::string header = "[";
+    header += FormatDouble(width * static_cast<double>(b), 1);
+    header += ",";
+    header += FormatDouble(width * static_cast<double>(b + 1), 1);
+    header += ")";
+    headers.push_back(std::move(header));
+  }
+  headers.push_back("<0.2");
+  headers.push_back("max");
+  TextTable table(std::move(headers));
+  for (const FrequencyRow& row : rows) {
+    std::vector<std::string> cells = {row.name};
+    for (size_t b = 0; b < buckets; ++b) {
+      cells.push_back(FormatPercent(row.histogram.Fraction(b), 1));
+    }
+    cells.push_back(FormatPercent(row.below_02, 1));
+    cells.push_back(FormatDouble(row.max_frequency, 4));
+    table.AddRow(std::move(cells));
+  }
+  return table.ToString();
+}
+
+}  // namespace goalrec::eval

@@ -1,0 +1,124 @@
+#ifndef GOALREC_EVAL_REPORTS_H_
+#define GOALREC_EVAL_REPORTS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/splitter.h"
+#include "eval/suite.h"
+#include "eval/table.h"
+#include "model/features.h"
+#include "model/library.h"
+#include "util/stats.h"
+
+// Aggregated per-experiment reports. Each Compute* function maps run results
+// (one MethodResult per recommender) to the numbers a paper table/figure
+// reports; each Render* function prints them in the paper's shape. The bench
+// binaries in bench/ drive these against the full-size synthetic datasets.
+
+namespace goalrec::eval {
+
+// --- Tables 2 & 6: list overlap -------------------------------------------
+
+/// Mean pairwise top-k overlap between every pair of methods.
+struct OverlapReport {
+  std::vector<std::string> names;
+  /// matrix[i][j] = mean overlap of method i's and method j's lists.
+  std::vector<std::vector<double>> matrix;
+};
+
+OverlapReport ComputeOverlap(const std::vector<MethodResult>& results);
+TextTable BuildOverlapTable(const OverlapReport& report);
+std::string RenderOverlap(const OverlapReport& report);
+
+// --- Table 3: popularity correlation ---------------------------------------
+
+struct CorrelationRow {
+  std::string name;
+  double correlation = 0.0;
+};
+
+/// Pearson correlation between the activity frequency and list frequency of
+/// the top-20 most popular actions, per method (Table 3).
+std::vector<CorrelationRow> ComputePopularityCorrelations(
+    const std::vector<model::Activity>& activities,
+    const std::vector<MethodResult>& results);
+TextTable BuildCorrelationTable(const std::vector<CorrelationRow>& rows);
+std::string RenderCorrelations(const std::vector<CorrelationRow>& rows);
+
+// --- Table 4 / Figure 3: goal completeness ----------------------------------
+
+struct CompletenessRow {
+  std::string name;
+  double avg_avg = 0.0;  // mean over lists of the per-list average
+  double min_avg = 0.0;  // mean over lists of the per-list minimum
+  double max_avg = 0.0;  // mean over lists of the per-list maximum
+};
+
+/// Goal completeness after following each list (Table 4). For each user the
+/// evaluated goals are `true_goals` when known (43T) and the goal space of
+/// the visible activity otherwise (FoodMart), exactly as §6.1.1 C.1.3.
+std::vector<CompletenessRow> ComputeCompleteness(
+    const model::ImplementationLibrary& library,
+    const std::vector<data::EvalUser>& users,
+    const std::vector<MethodResult>& results);
+TextTable BuildCompletenessTable(const std::vector<CompletenessRow>& rows);
+std::string RenderCompleteness(const std::vector<CompletenessRow>& rows);
+
+// --- Table 5: pairwise feature similarity -----------------------------------
+
+struct SimilarityRow {
+  std::string name;
+  double avg_avg = 0.0;
+  double avg_max = 0.0;
+  double avg_min = 0.0;
+};
+
+/// Mean over lists of the per-list min/avg/max pairwise feature similarity
+/// (Table 5; FoodMart only — requires a non-empty feature table).
+std::vector<SimilarityRow> ComputePairwiseSimilarity(
+    const model::ActionFeatureTable& features,
+    const std::vector<MethodResult>& results);
+TextTable BuildSimilarityTable(const std::vector<SimilarityRow>& rows);
+std::string RenderSimilarity(const std::vector<SimilarityRow>& rows);
+
+// --- Figure 4: average true-positive rate ------------------------------------
+
+struct TprRow {
+  std::string name;
+  double avg_tpr = 0.0;
+};
+
+/// Mean fraction of recommended actions found in the hidden 70% (Figure 4).
+std::vector<TprRow> ComputeTpr(const std::vector<data::EvalUser>& users,
+                               const std::vector<MethodResult>& results);
+TextTable BuildTprTable(const std::vector<TprRow>& top5,
+                        const std::vector<TprRow>& top10);
+std::string RenderTpr(const std::vector<TprRow>& top5,
+                      const std::vector<TprRow>& top10);
+
+// --- Figures 5 & 6: frequency distributions ----------------------------------
+
+struct FrequencyRow {
+  std::string name;
+  util::Histogram histogram;
+  /// Fraction of actions with frequency below 0.2 (the paper's headline).
+  double below_02 = 0.0;
+  double max_frequency = 0.0;
+};
+
+/// Figure 5: distribution of per-action frequency across the method's lists.
+std::vector<FrequencyRow> ComputeRecListFrequency(
+    const std::vector<MethodResult>& results, size_t num_buckets = 5);
+
+/// Figure 6: distribution of the implementation-set frequency of retrieved
+/// actions.
+std::vector<FrequencyRow> ComputeImplSetFrequency(
+    const model::ImplementationLibrary& library,
+    const std::vector<MethodResult>& results, size_t num_buckets = 5);
+
+std::string RenderFrequency(const std::vector<FrequencyRow>& rows);
+
+}  // namespace goalrec::eval
+
+#endif  // GOALREC_EVAL_REPORTS_H_

@@ -1,0 +1,64 @@
+#ifndef GOALREC_EVAL_SCALING_H_
+#define GOALREC_EVAL_SCALING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/library.h"
+
+// The Figure 7 scalability study: per-strategy recommendation latency as the
+// implementation library grows (to millions of implementations) and as
+// action connectivity varies. §5.4's analysis predicts (a) Breadth fastest,
+// (b) Focus_cl cheaper than Focus_cmp (set difference vs intersection),
+// (c) Best Match slowest (vectorisation of the whole action space), and
+// (d) connectivity, not raw implementation count, driving the cost.
+
+namespace goalrec::eval {
+
+struct ScalingWorkload {
+  /// Number of implementations in the synthetic library.
+  uint32_t num_implementations = 100000;
+  /// Number of distinct actions; connectivity ≈ impls · size / actions.
+  uint32_t num_actions = 50000;
+  /// Actions per implementation.
+  uint32_t implementation_size = 6;
+  /// Implementations per goal (goals = impls / this).
+  uint32_t implementations_per_goal = 4;
+};
+
+/// Builds a uniform random library matching the workload, seeded.
+model::ImplementationLibrary BuildScalingLibrary(
+    const ScalingWorkload& workload, uint64_t seed);
+
+struct ScalingOptions {
+  std::vector<ScalingWorkload> workloads;
+  /// Random user activities per workload; reported times are per-query means.
+  uint32_t num_queries = 30;
+  uint32_t activity_size = 8;
+  size_t k = 10;
+  uint64_t seed = 7;
+};
+
+/// Defaults: an implementation-count sweep at fixed connectivity and a
+/// connectivity sweep at a fixed implementation count.
+ScalingOptions DefaultImplCountSweep();
+ScalingOptions DefaultConnectivitySweep();
+
+struct ScalingRow {
+  ScalingWorkload workload;
+  double measured_connectivity = 0.0;
+  std::vector<std::string> method_names;
+  /// Mean milliseconds per Recommend call, aligned with method_names.
+  std::vector<double> mean_ms;
+};
+
+/// Runs all four goal-based strategies on every workload.
+std::vector<ScalingRow> RunScaling(const ScalingOptions& options);
+
+/// Paper-shaped rendering: one row per workload, one column per strategy.
+std::string RenderScaling(const std::vector<ScalingRow>& rows);
+
+}  // namespace goalrec::eval
+
+#endif  // GOALREC_EVAL_SCALING_H_

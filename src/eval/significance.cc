@@ -1,0 +1,62 @@
+#include "eval/significance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace goalrec::eval {
+
+BootstrapResult PairedBootstrap(const std::vector<double>& a,
+                                const std::vector<double>& b,
+                                const BootstrapOptions& options) {
+  GOALREC_CHECK_EQ(a.size(), b.size());
+  GOALREC_CHECK(!a.empty());
+  GOALREC_CHECK_GT(options.num_resamples, 0u);
+  GOALREC_CHECK_GT(options.confidence, 0.0);
+  GOALREC_CHECK_LT(options.confidence, 1.0);
+
+  std::vector<double> differences(a.size());
+  for (size_t i = 0; i < a.size(); ++i) differences[i] = a[i] - b[i];
+
+  BootstrapResult result;
+  result.num_users = a.size();
+  result.num_resamples = options.num_resamples;
+  result.mean_difference = util::Mean(differences);
+
+  util::Rng rng(options.seed);
+  std::vector<double> resampled_means;
+  resampled_means.reserve(options.num_resamples);
+  size_t not_better = 0;
+  uint32_t n = static_cast<uint32_t>(differences.size());
+  for (size_t r = 0; r < options.num_resamples; ++r) {
+    double sum = 0.0;
+    for (uint32_t i = 0; i < n; ++i) {
+      sum += differences[rng.UniformUint32(n)];
+    }
+    double mean = sum / static_cast<double>(n);
+    if (mean <= 0.0) ++not_better;
+    resampled_means.push_back(mean);
+  }
+  result.p_not_better =
+      static_cast<double>(not_better) /
+      static_cast<double>(options.num_resamples);
+
+  std::sort(resampled_means.begin(), resampled_means.end());
+  double alpha = (1.0 - options.confidence) / 2.0;
+  auto percentile = [&](double q) {
+    double position = q * static_cast<double>(resampled_means.size() - 1);
+    size_t low = static_cast<size_t>(std::floor(position));
+    size_t high = std::min(low + 1, resampled_means.size() - 1);
+    double fraction = position - static_cast<double>(low);
+    return resampled_means[low] * (1.0 - fraction) +
+           resampled_means[high] * fraction;
+  };
+  result.ci_low = percentile(alpha);
+  result.ci_high = percentile(1.0 - alpha);
+  return result;
+}
+
+}  // namespace goalrec::eval

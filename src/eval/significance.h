@@ -1,0 +1,45 @@
+#ifndef GOALREC_EVAL_SIGNIFICANCE_H_
+#define GOALREC_EVAL_SIGNIFICANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+// Paired bootstrap significance testing for per-user metrics. The paper
+// reports point estimates; when two methods are close (e.g. Breadth vs
+// Best Match completeness), a paired bootstrap over users quantifies
+// whether the gap survives resampling: resample users with replacement,
+// recompute the mean difference, and read off the confidence interval and
+// the fraction of resamples where the sign flips.
+
+namespace goalrec::eval {
+
+struct BootstrapResult {
+  /// Mean of (a − b) over the original users.
+  double mean_difference = 0.0;
+  /// Percentile bootstrap confidence-interval bounds for the difference.
+  double ci_low = 0.0;
+  double ci_high = 0.0;
+  /// Fraction of resamples with mean difference <= 0 (one-sided
+  /// "probability a is not better"). Values near 0 = a reliably better.
+  double p_not_better = 0.0;
+  size_t num_users = 0;
+  size_t num_resamples = 0;
+};
+
+struct BootstrapOptions {
+  size_t num_resamples = 2000;
+  /// Two-sided confidence level for [ci_low, ci_high].
+  double confidence = 0.95;
+  uint64_t seed = 1234;
+};
+
+/// Paired bootstrap of mean(a − b). `a` and `b` are per-user values of the
+/// same metric (same users, same order); requires equal non-zero sizes.
+BootstrapResult PairedBootstrap(const std::vector<double>& a,
+                                const std::vector<double>& b,
+                                const BootstrapOptions& options = {});
+
+}  // namespace goalrec::eval
+
+#endif  // GOALREC_EVAL_SIGNIFICANCE_H_

@@ -1,0 +1,141 @@
+#include "eval/suite.h"
+
+#include "baselines/association_rules.h"
+#include "baselines/content_based.h"
+#include "baselines/item_knn.h"
+#include "baselines/popularity.h"
+#include "core/best_match.h"
+#include "core/breadth.h"
+#include "core/diversity.h"
+#include "core/focus.h"
+#include "core/hybrid.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace goalrec::eval {
+
+Suite::Suite(const data::Dataset* dataset,
+             std::vector<model::Activity> training_activities,
+             SuiteOptions options)
+    : dataset_(dataset) {
+  GOALREC_CHECK(dataset_ != nullptr);
+  const model::ImplementationLibrary& library = dataset_->library;
+
+  bool needs_interactions = options.include_cf_knn || options.include_cf_mf ||
+                            options.include_popularity ||
+                            options.include_association_rules ||
+                            options.include_cf_item_knn;
+  if (needs_interactions) {
+    interactions_ = std::make_unique<baselines::InteractionData>(
+        std::move(training_activities), library.num_actions());
+  }
+
+  if (options.include_goal_based) {
+    auto focus_cmp = std::make_unique<core::FocusRecommender>(
+        &library, core::FocusVariant::kCompleteness);
+    auto focus_cl = std::make_unique<core::FocusRecommender>(
+        &library, core::FocusVariant::kCloseness);
+    auto breadth = std::make_unique<core::BreadthRecommender>(&library);
+    auto best_match = std::make_unique<core::BestMatchRecommender>(&library);
+    focus_cmp_ = focus_cmp.get();
+    focus_cl_ = focus_cl.get();
+    breadth_ = breadth.get();
+    best_match_ = best_match.get();
+    recommenders_.push_back(std::move(focus_cmp));
+    recommenders_.push_back(std::move(focus_cl));
+    recommenders_.push_back(std::move(breadth));
+    recommenders_.push_back(std::move(best_match));
+  }
+  if (options.include_cf_knn) {
+    recommenders_.push_back(std::make_unique<baselines::KnnRecommender>(
+        interactions_.get(), options.knn));
+  }
+  if (options.include_cf_mf) {
+    recommenders_.push_back(std::make_unique<baselines::AlsRecommender>(
+        interactions_.get(), options.als));
+  }
+  if (options.include_content && !dataset_->features.empty()) {
+    recommenders_.push_back(std::make_unique<baselines::ContentRecommender>(
+        &dataset_->features));
+  }
+  if (options.include_popularity) {
+    recommenders_.push_back(std::make_unique<baselines::PopularityRecommender>(
+        interactions_.get()));
+  }
+  if (options.include_association_rules) {
+    recommenders_.push_back(
+        std::make_unique<baselines::AssociationRuleRecommender>(
+            interactions_.get()));
+  }
+  if (options.include_cf_item_knn) {
+    recommenders_.push_back(std::make_unique<baselines::ItemKnnRecommender>(
+        interactions_.get()));
+  }
+  bool has_features = !dataset_->features.empty();
+  if ((options.include_hybrid || options.include_mmr) && has_features) {
+    wrapper_base_ = std::make_unique<core::BreadthRecommender>(&library);
+    if (options.include_hybrid) {
+      core::HybridOptions hybrid_options;
+      hybrid_options.alpha = options.hybrid_alpha;
+      recommenders_.push_back(std::make_unique<core::HybridRecommender>(
+          wrapper_base_.get(), &dataset_->features, hybrid_options));
+    }
+    if (options.include_mmr) {
+      core::DiversityOptions mmr_options;
+      mmr_options.lambda = options.mmr_lambda;
+      recommenders_.push_back(std::make_unique<core::DiversityReranker>(
+          wrapper_base_.get(), &dataset_->features, mmr_options));
+    }
+  }
+}
+
+const core::Recommender& Suite::recommender(size_t i) const {
+  GOALREC_CHECK_LT(i, recommenders_.size());
+  return *recommenders_[i];
+}
+
+std::vector<std::string> Suite::names() const {
+  std::vector<std::string> names;
+  names.reserve(recommenders_.size());
+  for (const auto& r : recommenders_) names.push_back(r->name());
+  return names;
+}
+
+std::vector<MethodResult> Suite::RunAll(
+    const std::vector<model::Activity>& inputs, size_t k,
+    size_t num_threads) const {
+  std::vector<MethodResult> results(recommenders_.size());
+  for (size_t m = 0; m < recommenders_.size(); ++m) {
+    results[m].name = recommenders_[m]->name();
+    results[m].lists.resize(inputs.size());
+  }
+  bool context_path = focus_cmp_ != nullptr;
+  util::ParallelFor(
+      inputs.size(),
+      [&](size_t u) {
+        // One context per user, shared by the goal-based strategies.
+        core::QueryContext context;
+        if (context_path) {
+          context = core::QueryContext::Create(dataset_->library, inputs[u]);
+        }
+        for (size_t m = 0; m < recommenders_.size(); ++m) {
+          const core::Recommender* rec = recommenders_[m].get();
+          core::RecommendationList& slot = results[m].lists[u];
+          if (rec == focus_cmp_ && context_path) {
+            slot = focus_cmp_->RecommendInContext(context, k);
+          } else if (rec == focus_cl_ && context_path) {
+            slot = focus_cl_->RecommendInContext(context, k);
+          } else if (rec == breadth_ && context_path) {
+            slot = breadth_->RecommendInContext(context, k);
+          } else if (rec == best_match_ && context_path) {
+            slot = best_match_->RecommendInContext(context, k);
+          } else {
+            slot = rec->Recommend(inputs[u], k);
+          }
+        }
+      },
+      num_threads);
+  return results;
+}
+
+}  // namespace goalrec::eval

@@ -1,0 +1,91 @@
+#ifndef GOALREC_EVAL_SUITE_H_
+#define GOALREC_EVAL_SUITE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/als.h"
+#include "baselines/knn.h"
+#include "core/best_match.h"
+#include "core/breadth.h"
+#include "core/focus.h"
+#include "core/recommender.h"
+#include "data/dataset.h"
+#include "model/types.h"
+
+// Assembles the full roster of recommenders the paper compares (§6): the
+// four goal-based strategies, CF kNN, CF matrix factorisation, content-based
+// filtering (when the dataset has domain features), and the optional
+// popularity / association-rule anchors. Handles baseline training on the
+// visible user activities and owns everything the recommenders borrow.
+
+namespace goalrec::eval {
+
+struct SuiteOptions {
+  bool include_goal_based = true;
+  bool include_cf_knn = true;
+  bool include_cf_mf = true;
+  /// Skipped automatically when the dataset has no feature table (43T).
+  bool include_content = true;
+  bool include_popularity = false;
+  bool include_association_rules = false;
+  /// Item-based CF (extension; off to keep the paper's roster by default).
+  bool include_cf_item_knn = false;
+  /// Hybrid(Breadth) — requires a feature table; skipped without one.
+  bool include_hybrid = false;
+  /// MMR(Breadth) diversity re-ranker — requires a feature table.
+  bool include_mmr = false;
+  baselines::KnnOptions knn;
+  baselines::AlsOptions als;
+  double hybrid_alpha = 0.3;
+  double mmr_lambda = 0.7;
+};
+
+/// One run output: the method name and one list per evaluation user.
+struct MethodResult {
+  std::string name;
+  std::vector<core::RecommendationList> lists;
+};
+
+class Suite {
+ public:
+  /// `dataset` must outlive the suite. `training_activities` are the visible
+  /// activities available as collaborative history (baselines train on them
+  /// immediately; goal-based strategies ignore them by design).
+  Suite(const data::Dataset* dataset,
+        std::vector<model::Activity> training_activities,
+        SuiteOptions options = {});
+  Suite(const Suite&) = delete;
+  Suite& operator=(const Suite&) = delete;
+
+  size_t size() const { return recommenders_.size(); }
+  const core::Recommender& recommender(size_t i) const;
+  std::vector<std::string> names() const;
+
+  /// Runs every recommender over every input activity in parallel and
+  /// returns one MethodResult per recommender. Deterministic regardless of
+  /// thread count. The goal-based strategies share one QueryContext per
+  /// user, so their common spaces are computed once.
+  std::vector<MethodResult> RunAll(
+      const std::vector<model::Activity>& inputs, size_t k,
+      size_t num_threads = 0) const;
+
+ private:
+  const data::Dataset* dataset_;
+  std::unique_ptr<baselines::InteractionData> interactions_;
+  /// Base strategy borrowed by the hybrid/MMR wrappers (kept out of the
+  /// roster vector so its address is stable).
+  std::unique_ptr<core::Recommender> wrapper_base_;
+  std::vector<std::unique_ptr<core::Recommender>> recommenders_;
+  /// Typed views into recommenders_ for the context-sharing fast path;
+  /// entries are null when the roster omits the strategy.
+  const core::FocusRecommender* focus_cmp_ = nullptr;
+  const core::FocusRecommender* focus_cl_ = nullptr;
+  const core::BreadthRecommender* breadth_ = nullptr;
+  const core::BestMatchRecommender* best_match_ = nullptr;
+};
+
+}  // namespace goalrec::eval
+
+#endif  // GOALREC_EVAL_SUITE_H_

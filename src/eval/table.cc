@@ -1,0 +1,71 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace goalrec::eval {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  GOALREC_CHECK(!headers_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  GOALREC_CHECK_LE(cells.size(), headers_.size());
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c];
+      if (c + 1 < cells.size()) {
+        out << std::string(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string TextTable::ToCsv() const {
+  std::string out = util::FormatCsvLine(headers_);
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += util::FormatCsvLine(row);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace goalrec::eval

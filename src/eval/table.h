@@ -1,0 +1,39 @@
+#ifndef GOALREC_EVAL_TABLE_H_
+#define GOALREC_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+// Plain-text table rendering used by the experiment binaries to print rows in
+// the shape of the paper's tables.
+
+namespace goalrec::eval {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds one row; it may have fewer cells than there are headers (the rest
+  /// render empty) but not more.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column-aligned padding and a header separator.
+  std::string ToString() const;
+
+  /// Renders as CSV (header row + data rows), for plotting pipelines.
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal rendering ("0.348").
+std::string FormatDouble(double value, int precision = 3);
+
+/// Percent rendering ("34.8%").
+std::string FormatPercent(double fraction, int precision = 1);
+
+}  // namespace goalrec::eval
+
+#endif  // GOALREC_EVAL_TABLE_H_

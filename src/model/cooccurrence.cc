@@ -1,0 +1,68 @@
+#include "model/cooccurrence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/set_ops.h"
+
+namespace goalrec::model {
+
+std::vector<CoAction> TopCoActions(const ImplementationLibrary& library,
+                                   ActionId action, size_t k) {
+  GOALREC_CHECK_LT(action, library.num_actions());
+  std::vector<CoAction> result;
+  if (k == 0 || library.num_implementations() == 0) return result;
+  std::unordered_map<ActionId, uint32_t> counts;
+  for (ImplId p : library.ImplsOfAction(action)) {
+    for (ActionId other : library.ActionsOf(p)) {
+      if (other != action) ++counts[other];
+    }
+  }
+  result.reserve(counts.size());
+  double total = static_cast<double>(library.num_implementations());
+  double p_a =
+      static_cast<double>(library.ImplsOfAction(action).size()) / total;
+  for (const auto& [other, count] : counts) {
+    double p_b =
+        static_cast<double>(library.ImplsOfAction(other).size()) / total;
+    double p_ab = static_cast<double>(count) / total;
+    CoAction entry;
+    entry.action = other;
+    entry.count = count;
+    entry.pmi = std::log2(p_ab / (p_a * p_b));
+    result.push_back(entry);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const CoAction& x, const CoAction& y) {
+              if (x.count != y.count) return x.count > y.count;
+              return x.action < y.action;
+            });
+  if (result.size() > k) result.resize(k);
+  return result;
+}
+
+uint32_t CoOccurrenceCount(const ImplementationLibrary& library, ActionId a,
+                           ActionId b) {
+  GOALREC_CHECK_LT(a, library.num_actions());
+  GOALREC_CHECK_LT(b, library.num_actions());
+  std::span<const ImplId> pa = library.ImplsOfAction(a);
+  std::span<const ImplId> pb = library.ImplsOfAction(b);
+  IdSet sa(pa.begin(), pa.end());
+  IdSet sb(pb.begin(), pb.end());
+  return static_cast<uint32_t>(util::IntersectionSize(sa, sb));
+}
+
+double PointwiseMutualInformation(const ImplementationLibrary& library,
+                                  ActionId a, ActionId b) {
+  double total = static_cast<double>(library.num_implementations());
+  if (total == 0.0) return 0.0;
+  double n_a = static_cast<double>(library.ImplsOfAction(a).size());
+  double n_b = static_cast<double>(library.ImplsOfAction(b).size());
+  double n_ab = static_cast<double>(CoOccurrenceCount(library, a, b));
+  if (n_a == 0.0 || n_b == 0.0 || n_ab == 0.0) return 0.0;
+  return std::log2((n_ab / total) / ((n_a / total) * (n_b / total)));
+}
+
+}  // namespace goalrec::model

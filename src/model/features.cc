@@ -1,0 +1,23 @@
+#include "model/features.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/set_ops.h"
+
+namespace goalrec::model {
+
+double FeatureSimilarity(const ActionFeatureTable& table, ActionId a,
+                         ActionId b) {
+  GOALREC_CHECK_LT(a, table.features.size());
+  GOALREC_CHECK_LT(b, table.features.size());
+  const IdSet& fa = table.features[a];
+  const IdSet& fb = table.features[b];
+  if (fa.empty() || fb.empty()) return 0.0;
+  size_t common = util::IntersectionSize(fa, fb);
+  return static_cast<double>(common) /
+         (std::sqrt(static_cast<double>(fa.size())) *
+          std::sqrt(static_cast<double>(fb.size())));
+}
+
+}  // namespace goalrec::model

@@ -1,0 +1,37 @@
+#ifndef GOALREC_MODEL_FEATURES_H_
+#define GOALREC_MODEL_FEATURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/types.h"
+
+// Domain-specific action features — for FoodMart, the 128 product
+// (sub)categories ("baking goods", "seafood", ...). The content-based
+// baseline profiles users in this space, and Table 5 measures pairwise
+// feature similarity of recommended actions. The 43T dataset has no widely
+// accepted features (paper §6), so its feature table is empty.
+
+namespace goalrec::model {
+
+/// Sparse binary feature assignment: features[a] is the sorted set of
+/// feature ids describing action a (single-label for FoodMart products, but
+/// multi-label assignments are supported).
+struct ActionFeatureTable {
+  std::vector<IdSet> features;
+  uint32_t num_features = 0;
+
+  uint32_t num_actions() const {
+    return static_cast<uint32_t>(features.size());
+  }
+  bool empty() const { return features.empty(); }
+};
+
+/// Cosine similarity between the binary feature sets of actions `a` and `b`
+/// (the pairwise action similarity of Table 5). Zero if either set is empty.
+double FeatureSimilarity(const ActionFeatureTable& table, ActionId a,
+                         ActionId b);
+
+}  // namespace goalrec::model
+
+#endif  // GOALREC_MODEL_FEATURES_H_

@@ -1,0 +1,164 @@
+#include "model/library.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/set_ops.h"
+
+namespace goalrec::model {
+
+LibraryBuilder LibraryBuilder::FromLibrary(
+    const ImplementationLibrary& library) {
+  LibraryBuilder builder;
+  builder.actions_ = library.actions_;
+  builder.goals_ = library.goals_;
+  builder.impls_ = library.impls_;
+  return builder;
+}
+
+ActionId LibraryBuilder::InternAction(std::string_view name) {
+  return actions_.Intern(name);
+}
+
+GoalId LibraryBuilder::InternGoal(std::string_view name) {
+  return goals_.Intern(name);
+}
+
+ImplId LibraryBuilder::AddImplementation(
+    std::string_view goal, const std::vector<std::string>& actions) {
+  IdSet ids;
+  ids.reserve(actions.size());
+  for (const std::string& a : actions) ids.push_back(actions_.Intern(a));
+  return AddImplementationIds(goals_.Intern(goal), std::move(ids));
+}
+
+ImplId LibraryBuilder::AddImplementationIds(GoalId goal, IdSet actions) {
+  GOALREC_CHECK_LT(goal, goals_.size());
+  util::Normalize(actions);
+  for (ActionId a : actions) GOALREC_CHECK_LT(a, actions_.size());
+  ImplId id = static_cast<ImplId>(impls_.size());
+  impls_.push_back(Implementation{goal, std::move(actions)});
+  return id;
+}
+
+ImplementationLibrary LibraryBuilder::Build() && {
+  ImplementationLibrary lib;
+  lib.actions_ = std::move(actions_);
+  lib.goals_ = std::move(goals_);
+  lib.impls_ = std::move(impls_);
+  lib.action_impls_.resize(lib.actions_.size());
+  lib.goal_impls_.resize(lib.goals_.size());
+  for (ImplId p = 0; p < lib.impls_.size(); ++p) {
+    const Implementation& impl = lib.impls_[p];
+    lib.goal_impls_[impl.goal].push_back(p);
+    for (ActionId a : impl.actions) lib.action_impls_[a].push_back(p);
+  }
+  // Postings are already ascending because impls were appended in id order;
+  // assert rather than re-sort.
+  return lib;
+}
+
+const Implementation& ImplementationLibrary::implementation(ImplId id) const {
+  GOALREC_CHECK_LT(id, impls_.size());
+  return impls_[id];
+}
+
+std::span<const ImplId> ImplementationLibrary::ImplsOfAction(
+    ActionId a) const {
+  GOALREC_CHECK_LT(a, action_impls_.size());
+  return action_impls_[a];
+}
+
+std::span<const ImplId> ImplementationLibrary::ImplsOfGoal(GoalId g) const {
+  GOALREC_CHECK_LT(g, goal_impls_.size());
+  return goal_impls_[g];
+}
+
+IdSet ImplementationLibrary::ImplementationSpace(
+    const Activity& activity) const {
+  IdSet result;
+  for (ActionId a : activity) {
+    if (a >= action_impls_.size()) continue;  // action unseen by the library
+    const std::vector<ImplId>& postings = action_impls_[a];
+    result.insert(result.end(), postings.begin(), postings.end());
+  }
+  util::Normalize(result);
+  return result;
+}
+
+IdSet ImplementationLibrary::GoalSpace(const Activity& activity) const {
+  IdSet goals;
+  for (ImplId p : ImplementationSpace(activity)) {
+    goals.push_back(impls_[p].goal);
+  }
+  util::Normalize(goals);
+  return goals;
+}
+
+IdSet ImplementationLibrary::GoalSpaceOfAction(ActionId a) const {
+  return GoalSpace(Activity{a});
+}
+
+IdSet ImplementationLibrary::ActionSpace(const Activity& activity) const {
+  // Union of the actions of every implementation in IS(H) ...
+  IdSet space;
+  IdSet impl_space = ImplementationSpace(activity);
+  for (ImplId p : impl_space) {
+    const IdSet& acts = impls_[p].actions;
+    space.insert(space.end(), acts.begin(), acts.end());
+  }
+  util::Normalize(space);
+  // ... minus H members that never co-occur with a *different* H action
+  // (Definition 4.2 excludes a from AS(a), so h ∈ AS(H) only via another
+  // action of H sharing an implementation with it).
+  IdSet filtered;
+  filtered.reserve(space.size());
+  for (ActionId x : space) {
+    if (!util::Contains(activity, x)) {
+      filtered.push_back(x);
+      continue;
+    }
+    bool co_occurs = false;
+    for (ImplId p : action_impls_[x]) {
+      const IdSet& acts = impls_[p].actions;
+      size_t common = util::IntersectionSize(acts, activity);
+      // `acts` contains x ∈ H, so common >= 1; a second common action is a
+      // different member of H.
+      if (common >= 2) {
+        co_occurs = true;
+        break;
+      }
+    }
+    if (co_occurs) filtered.push_back(x);
+  }
+  return filtered;
+}
+
+IdSet ImplementationLibrary::ActionSpaceOfAction(ActionId a) const {
+  return ActionSpace(Activity{a});
+}
+
+IdSet ImplementationLibrary::CandidateActions(const Activity& activity) const {
+  return util::Difference(ActionSpace(activity), activity);
+}
+
+double ImplementationLibrary::ActionConnectivity() const {
+  size_t postings = 0;
+  size_t active_actions = 0;
+  for (const std::vector<ImplId>& p : action_impls_) {
+    if (p.empty()) continue;
+    postings += p.size();
+    ++active_actions;
+  }
+  if (active_actions == 0) return 0.0;
+  return static_cast<double>(postings) / static_cast<double>(active_actions);
+}
+
+double ImplementationLibrary::AvgImplementationLength() const {
+  if (impls_.empty()) return 0.0;
+  size_t total = 0;
+  for (const Implementation& impl : impls_) total += impl.actions.size();
+  return static_cast<double>(total) / static_cast<double>(impls_.size());
+}
+
+}  // namespace goalrec::model

@@ -1,0 +1,159 @@
+#ifndef GOALREC_MODEL_LIBRARY_H_
+#define GOALREC_MODEL_LIBRARY_H_
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "model/types.h"
+#include "model/vocabulary.h"
+
+// The association-based goal model of the paper (§4): a goal implementation
+// library L = { p = (g, A) } viewed as a hypergraph whose hyperedges are the
+// activities A, labelled with the goal g they fulfil. The library maintains
+// the paper's four index structures:
+//
+//   GI-A-idx : implementation id -> the sorted set of action ids it contains
+//   GI-G-idx : implementation id -> the goal id it fulfils
+//   A-GI-idx : action id -> the sorted list of implementation ids it occurs in
+//   G-GI-idx : goal id  -> the sorted list of implementation ids that fulfil it
+//
+// and answers the space queries of Definitions 4.1/4.2 (Equations 1–2):
+// implementation space IS(H), goal space GS(H) and action space AS(H) of a
+// user activity H.
+
+namespace goalrec::model {
+
+/// One goal implementation p = (g, A).
+struct Implementation {
+  GoalId goal = kInvalidId;
+  IdSet actions;  // sorted, deduplicated
+};
+
+class ImplementationLibrary;
+
+/// Accumulates implementations and interns names, then produces an immutable
+/// ImplementationLibrary. The builder is single-use: Build() consumes it.
+class LibraryBuilder {
+ public:
+  LibraryBuilder() = default;
+
+  /// Seeds a builder with an existing library's vocabularies and
+  /// implementations (ids preserved), for the extend-and-rebuild pattern:
+  /// libraries are immutable, so growing one means copying it into a
+  /// builder, adding, and building again — O(total postings).
+  static LibraryBuilder FromLibrary(const ImplementationLibrary& library);
+
+  /// Interns an action name (idempotent).
+  ActionId InternAction(std::string_view name);
+
+  /// Interns a goal name (idempotent).
+  GoalId InternGoal(std::string_view name);
+
+  /// Adds implementation (goal, actions) by name. Duplicate action names
+  /// within one implementation are collapsed. Empty activities are legal but
+  /// inert (they can never join any implementation space). Returns the new
+  /// implementation id.
+  ImplId AddImplementation(std::string_view goal,
+                           const std::vector<std::string>& actions);
+
+  /// Adds an implementation from already-interned ids. `actions` need not be
+  /// sorted. Every id must have been interned. Returns the new impl id.
+  ImplId AddImplementationIds(GoalId goal, IdSet actions);
+
+  uint32_t num_implementations() const {
+    return static_cast<uint32_t>(impls_.size());
+  }
+
+  /// Finalises the inverted indexes and produces the immutable library.
+  ImplementationLibrary Build() &&;
+
+ private:
+  Vocabulary actions_;
+  Vocabulary goals_;
+  std::vector<Implementation> impls_;
+};
+
+/// Immutable goal model. Thread-safe for concurrent reads.
+class ImplementationLibrary {
+ public:
+  /// An empty library (no actions, goals or implementations). Useful as a
+  /// placeholder before assigning the result of LibraryBuilder::Build().
+  ImplementationLibrary() = default;
+
+  // --- structure ------------------------------------------------------------
+
+  uint32_t num_actions() const { return actions_.size(); }
+  uint32_t num_goals() const { return goals_.size(); }
+  uint32_t num_implementations() const {
+    return static_cast<uint32_t>(impls_.size());
+  }
+
+  /// GI-A-idx + GI-G-idx: the implementation record for `id`.
+  const Implementation& implementation(ImplId id) const;
+
+  /// GI-G-idx: the goal fulfilled by implementation `id`.
+  GoalId GoalOf(ImplId id) const { return implementation(id).goal; }
+
+  /// GI-A-idx: the activity (sorted action set) of implementation `id`.
+  const IdSet& ActionsOf(ImplId id) const { return implementation(id).actions; }
+
+  /// A-GI-idx: ids of all implementations where action `a` contributes,
+  /// sorted ascending. Empty span for actions in no implementation.
+  std::span<const ImplId> ImplsOfAction(ActionId a) const;
+
+  /// G-GI-idx: ids of all implementations of goal `g`, sorted ascending.
+  std::span<const ImplId> ImplsOfGoal(GoalId g) const;
+
+  // --- space queries (Definitions 4.1/4.2, Equations 1–2) --------------------
+
+  /// IS(H): implementations sharing at least one action with `activity`.
+  IdSet ImplementationSpace(const Activity& activity) const;
+
+  /// GS(H): goals fulfilled by some implementation in IS(H).
+  IdSet GoalSpace(const Activity& activity) const;
+
+  /// GS(a) for a single action.
+  IdSet GoalSpaceOfAction(ActionId a) const;
+
+  /// AS(H) = ∪_{a∈H} AS(a), Definition 4.2: actions co-occurring with some
+  /// action of `activity` in an implementation, where AS(a) excludes a
+  /// itself. Members of H appear only when they co-occur with a *different*
+  /// H action.
+  IdSet ActionSpace(const Activity& activity) const;
+
+  /// AS(a) for a single action.
+  IdSet ActionSpaceOfAction(ActionId a) const;
+
+  /// Candidate actions for recommendation: AS(H) − H (paper §3: recommend
+  /// actions the user has not performed).
+  IdSet CandidateActions(const Activity& activity) const;
+
+  // --- vocabularies ----------------------------------------------------------
+
+  const Vocabulary& actions() const { return actions_; }
+  const Vocabulary& goals() const { return goals_; }
+
+  // --- statistics -------------------------------------------------------------
+
+  /// Action connectivity: average number of implementations an action
+  /// participates in, over actions occurring in at least one implementation
+  /// (the statistic the paper reports: 1.2K for FoodMart, 3.84 for 43T).
+  double ActionConnectivity() const;
+
+  /// Average number of actions per implementation.
+  double AvgImplementationLength() const;
+
+ private:
+  friend class LibraryBuilder;
+
+  Vocabulary actions_;
+  Vocabulary goals_;
+  std::vector<Implementation> impls_;              // GI-A-idx / GI-G-idx
+  std::vector<std::vector<ImplId>> action_impls_;  // A-GI-idx
+  std::vector<std::vector<ImplId>> goal_impls_;    // G-GI-idx
+};
+
+}  // namespace goalrec::model
+
+#endif  // GOALREC_MODEL_LIBRARY_H_

@@ -1,0 +1,165 @@
+#include "model/library_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/string_utils.h"
+
+namespace goalrec::model {
+namespace {
+
+constexpr char kTextHeader[] = "# goalrec-library v1";
+constexpr uint32_t kBinaryMagic = 0x47524C31;  // "GRL1"
+
+void WriteU32(std::ofstream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::ifstream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+void WriteString(std::ofstream& out, const std::string& s) {
+  WriteU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::ifstream& in, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadU32(in, &len)) return false;
+  s->resize(len);
+  in.read(s->data(), len);
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+util::Status SaveLibraryText(const ImplementationLibrary& library,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::IoError("cannot open " + path + " for writing");
+  out << kTextHeader << '\n';
+  for (ImplId p = 0; p < library.num_implementations(); ++p) {
+    const Implementation& impl = library.implementation(p);
+    out << library.goals().Name(impl.goal);
+    for (ActionId a : impl.actions) {
+      out << '\t' << library.actions().Name(a);
+    }
+    out << '\n';
+  }
+  if (!out) return util::IoError("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::StatusOr<ImplementationLibrary> LoadLibraryText(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::IoError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || util::Trim(line) != kTextHeader) {
+    return util::InvalidArgumentError(path + ": missing header '" +
+                                      kTextHeader + "'");
+  }
+  LibraryBuilder builder;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = util::Split(line, '\t');
+    if (fields.size() < 2) {
+      return util::InvalidArgumentError(
+          path + ":" + std::to_string(line_number) +
+          ": expected '<goal>\\t<action>...'");
+    }
+    std::vector<std::string> actions(fields.begin() + 1, fields.end());
+    builder.AddImplementation(fields[0], actions);
+  }
+  return std::move(builder).Build();
+}
+
+util::Status SaveLibraryBinary(const ImplementationLibrary& library,
+                               const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::IoError("cannot open " + path + " for writing");
+  WriteU32(out, kBinaryMagic);
+  WriteU32(out, library.num_actions());
+  for (uint32_t a = 0; a < library.num_actions(); ++a) {
+    WriteString(out, library.actions().Name(a));
+  }
+  WriteU32(out, library.num_goals());
+  for (uint32_t g = 0; g < library.num_goals(); ++g) {
+    WriteString(out, library.goals().Name(g));
+  }
+  WriteU32(out, library.num_implementations());
+  for (ImplId p = 0; p < library.num_implementations(); ++p) {
+    const Implementation& impl = library.implementation(p);
+    WriteU32(out, impl.goal);
+    WriteU32(out, static_cast<uint32_t>(impl.actions.size()));
+    for (ActionId a : impl.actions) WriteU32(out, a);
+  }
+  if (!out) return util::IoError("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::StatusOr<ImplementationLibrary> LoadLibraryBinary(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::IoError("cannot open " + path);
+  uint32_t magic = 0;
+  if (!ReadU32(in, &magic) || magic != kBinaryMagic) {
+    return util::InvalidArgumentError(path + ": bad magic");
+  }
+  LibraryBuilder builder;
+  uint32_t num_actions = 0;
+  if (!ReadU32(in, &num_actions)) {
+    return util::InvalidArgumentError(path + ": truncated action count");
+  }
+  for (uint32_t i = 0; i < num_actions; ++i) {
+    std::string name;
+    if (!ReadString(in, &name)) {
+      return util::InvalidArgumentError(path + ": truncated action table");
+    }
+    builder.InternAction(name);
+  }
+  uint32_t num_goals = 0;
+  if (!ReadU32(in, &num_goals)) {
+    return util::InvalidArgumentError(path + ": truncated goal count");
+  }
+  for (uint32_t i = 0; i < num_goals; ++i) {
+    std::string name;
+    if (!ReadString(in, &name)) {
+      return util::InvalidArgumentError(path + ": truncated goal table");
+    }
+    builder.InternGoal(name);
+  }
+  uint32_t num_impls = 0;
+  if (!ReadU32(in, &num_impls)) {
+    return util::InvalidArgumentError(path + ": truncated impl count");
+  }
+  for (uint32_t i = 0; i < num_impls; ++i) {
+    uint32_t goal = 0, len = 0;
+    if (!ReadU32(in, &goal) || !ReadU32(in, &len)) {
+      return util::InvalidArgumentError(path + ": truncated implementation");
+    }
+    if (goal >= num_goals) {
+      return util::InvalidArgumentError(path + ": goal id out of range");
+    }
+    IdSet actions(len);
+    for (uint32_t j = 0; j < len; ++j) {
+      if (!ReadU32(in, &actions[j])) {
+        return util::InvalidArgumentError(path + ": truncated action list");
+      }
+      if (actions[j] >= num_actions) {
+        return util::InvalidArgumentError(path + ": action id out of range");
+      }
+    }
+    builder.AddImplementationIds(goal, std::move(actions));
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace goalrec::model

@@ -1,0 +1,44 @@
+#ifndef GOALREC_MODEL_LIBRARY_IO_H_
+#define GOALREC_MODEL_LIBRARY_IO_H_
+
+#include <string>
+
+#include "model/library.h"
+#include "util/status.h"
+
+// Serialisation of implementation libraries.
+//
+// Text format (one implementation per line, tab-separated):
+//   # goalrec-library v1            <- required header
+//   <goal name>\t<action>\t<action>...
+// Lines starting with '#' after the header are comments.
+//
+// Binary format: compact length-prefixed encoding for large synthetic
+// libraries (the Figure 7 scaling sweep reaches millions of implementations).
+//
+// Caveats of the text format: ids are assigned in file order, so a
+// save/load round-trip preserves names and structure but not numeric ids;
+// and actions/goals interned but never referenced by an implementation are
+// not written (they are unreachable by every query anyway). The binary
+// format preserves both the full vocabularies and the exact ids.
+
+namespace goalrec::model {
+
+/// Writes `library` in the text format. Overwrites `path`.
+util::Status SaveLibraryText(const ImplementationLibrary& library,
+                             const std::string& path);
+
+/// Reads a text-format library.
+util::StatusOr<ImplementationLibrary> LoadLibraryText(const std::string& path);
+
+/// Writes `library` in the binary format. Overwrites `path`.
+util::Status SaveLibraryBinary(const ImplementationLibrary& library,
+                               const std::string& path);
+
+/// Reads a binary-format library.
+util::StatusOr<ImplementationLibrary> LoadLibraryBinary(
+    const std::string& path);
+
+}  // namespace goalrec::model
+
+#endif  // GOALREC_MODEL_LIBRARY_IO_H_

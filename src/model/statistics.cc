@@ -1,0 +1,69 @@
+#include "model/statistics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace goalrec::model {
+
+LibraryStats ComputeStats(const ImplementationLibrary& library) {
+  LibraryStats stats;
+  stats.num_actions = library.num_actions();
+  stats.num_goals = library.num_goals();
+  stats.num_implementations = library.num_implementations();
+
+  size_t posting_total = 0;
+  for (ActionId a = 0; a < library.num_actions(); ++a) {
+    size_t count = library.ImplsOfAction(a).size();
+    if (count == 0) continue;
+    ++stats.active_actions;
+    posting_total += count;
+    stats.max_connectivity =
+        std::max(stats.max_connectivity, static_cast<uint32_t>(count));
+  }
+  if (stats.active_actions > 0) {
+    stats.connectivity = static_cast<double>(posting_total) /
+                         static_cast<double>(stats.active_actions);
+  }
+
+  size_t length_total = 0;
+  for (ImplId p = 0; p < library.num_implementations(); ++p) {
+    size_t len = library.ActionsOf(p).size();
+    length_total += len;
+    stats.max_implementation_length =
+        std::max(stats.max_implementation_length, static_cast<uint32_t>(len));
+  }
+  if (stats.num_implementations > 0) {
+    stats.avg_implementation_length =
+        static_cast<double>(length_total) /
+        static_cast<double>(stats.num_implementations);
+  }
+  if (stats.num_goals > 0) {
+    stats.avg_implementations_per_goal =
+        static_cast<double>(stats.num_implementations) /
+        static_cast<double>(stats.num_goals);
+  }
+  // Index footprint: every action containment costs one id in the forward
+  // record and one in the A-GI postings; every implementation costs a goal
+  // id forward and one G-GI posting.
+  stats.index_bytes =
+      (2 * length_total + 2 * stats.num_implementations) * sizeof(uint32_t);
+  return stats;
+}
+
+std::string StatsToString(const LibraryStats& stats) {
+  std::ostringstream out;
+  out << "actions:                 " << stats.num_actions << "\n"
+      << "goals:                   " << stats.num_goals << "\n"
+      << "implementations:         " << stats.num_implementations << "\n"
+      << "active actions:          " << stats.active_actions << "\n"
+      << "connectivity (avg):      " << stats.connectivity << "\n"
+      << "connectivity (max):      " << stats.max_connectivity << "\n"
+      << "impl length (avg):       " << stats.avg_implementation_length << "\n"
+      << "impl length (max):       " << stats.max_implementation_length << "\n"
+      << "impls per goal (avg):    " << stats.avg_implementations_per_goal
+      << "\n"
+      << "index footprint:         " << stats.index_bytes << " bytes\n";
+  return out.str();
+}
+
+}  // namespace goalrec::model

@@ -1,0 +1,45 @@
+#ifndef GOALREC_MODEL_STATISTICS_H_
+#define GOALREC_MODEL_STATISTICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "model/library.h"
+
+// Descriptive statistics of a goal model — the quantities the paper reports
+// when characterising its two datasets (§6, "Dataset Description") and that
+// drive the complexity analysis of §5.4.
+
+namespace goalrec::model {
+
+struct LibraryStats {
+  uint32_t num_actions = 0;
+  uint32_t num_goals = 0;
+  uint32_t num_implementations = 0;
+  /// Actions occurring in at least one implementation.
+  uint32_t active_actions = 0;
+  /// Mean implementations per active action (paper: "connectivity").
+  double connectivity = 0.0;
+  /// Largest number of implementations any single action occurs in.
+  uint32_t max_connectivity = 0;
+  /// Mean actions per implementation.
+  double avg_implementation_length = 0.0;
+  uint32_t max_implementation_length = 0;
+  /// Mean implementations per goal (alternative ways to fulfil a goal).
+  double avg_implementations_per_goal = 0.0;
+  /// Estimated resident size of the index structures in bytes: the forward
+  /// implementation records (GI-A/GI-G) plus the inverted postings
+  /// (A-GI/G-GI), excluding the name tables.
+  size_t index_bytes = 0;
+};
+
+/// Computes all statistics in one pass over the library.
+LibraryStats ComputeStats(const ImplementationLibrary& library);
+
+/// Multi-line human-readable rendering for reports and examples.
+std::string StatsToString(const LibraryStats& stats);
+
+}  // namespace goalrec::model
+
+#endif  // GOALREC_MODEL_STATISTICS_H_

@@ -1,0 +1,30 @@
+#include "model/subset.h"
+
+#include "util/set_ops.h"
+
+namespace goalrec::model {
+
+ImplementationLibrary FilterByGoal(const ImplementationLibrary& library,
+                                   const GoalPredicate& keep) {
+  LibraryBuilder builder;
+  for (ImplId p = 0; p < library.num_implementations(); ++p) {
+    GoalId goal = library.GoalOf(p);
+    if (!keep(goal, library.goals().Name(goal))) continue;
+    std::vector<std::string> actions;
+    actions.reserve(library.ActionsOf(p).size());
+    for (ActionId a : library.ActionsOf(p)) {
+      actions.push_back(library.actions().Name(a));
+    }
+    builder.AddImplementation(library.goals().Name(goal), actions);
+  }
+  return std::move(builder).Build();
+}
+
+ImplementationLibrary FilterByGoalIds(const ImplementationLibrary& library,
+                                      const IdSet& goals) {
+  return FilterByGoal(library, [&goals](GoalId goal, const std::string&) {
+    return util::Contains(goals, goal);
+  });
+}
+
+}  // namespace goalrec::model

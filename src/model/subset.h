@@ -1,0 +1,32 @@
+#ifndef GOALREC_MODEL_SUBSET_H_
+#define GOALREC_MODEL_SUBSET_H_
+
+#include <functional>
+
+#include "model/library.h"
+
+// Sub-library extraction: restrict an implementation library to a subset of
+// its goals (e.g. only vegetarian recipes, only career goals) and recommend
+// within it. Strategies take the library by pointer, so scoping the library
+// scopes every recommendation without touching the strategies.
+
+namespace goalrec::model {
+
+/// Predicate deciding which goals survive.
+using GoalPredicate = std::function<bool(GoalId, const std::string& name)>;
+
+/// Builds a new library containing exactly the implementations whose goal
+/// satisfies `keep`. Action and goal names are preserved; ids are re-interned
+/// densely in first-seen order, and actions appearing only in dropped
+/// implementations are absent from the result.
+ImplementationLibrary FilterByGoal(const ImplementationLibrary& library,
+                                   const GoalPredicate& keep);
+
+/// Convenience overload: keep exactly the goals in `goals` (by id in
+/// `library`).
+ImplementationLibrary FilterByGoalIds(const ImplementationLibrary& library,
+                                      const IdSet& goals);
+
+}  // namespace goalrec::model
+
+#endif  // GOALREC_MODEL_SUBSET_H_

@@ -1,0 +1,34 @@
+#ifndef GOALREC_MODEL_TYPES_H_
+#define GOALREC_MODEL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "util/set_ops.h"
+
+// Identifier types of the association-based goal model (paper §4). Actions,
+// goals and goal implementations each live in their own dense id space,
+// assigned by interning tables, so every index is a plain vector of postings.
+
+namespace goalrec::model {
+
+/// Identifier of an action (paper: element of the action set 𝒜).
+using ActionId = uint32_t;
+
+/// Identifier of a goal (paper: element of the goal set 𝒢).
+using GoalId = uint32_t;
+
+/// Identifier of a goal implementation p = (g, A) in the library L.
+using ImplId = uint32_t;
+
+inline constexpr uint32_t kInvalidId = std::numeric_limits<uint32_t>::max();
+
+/// A set of ids in canonical form: strictly increasing sorted vector.
+using IdSet = util::IdVector;
+
+/// A user activity H: the sorted set of actions the user has performed.
+using Activity = IdSet;
+
+}  // namespace goalrec::model
+
+#endif  // GOALREC_MODEL_TYPES_H_

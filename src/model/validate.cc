@@ -1,0 +1,93 @@
+#include "model/validate.h"
+
+#include <string>
+
+#include "util/set_ops.h"
+
+namespace goalrec::model {
+
+util::Status ValidateLibrary(const ImplementationLibrary& library) {
+  // Implementation records.
+  for (ImplId p = 0; p < library.num_implementations(); ++p) {
+    const Implementation& impl = library.implementation(p);
+    if (impl.goal >= library.num_goals()) {
+      return util::FailedPreconditionError(
+          "implementation " + std::to_string(p) + " has goal id " +
+          std::to_string(impl.goal) + " >= num_goals");
+    }
+    if (!util::IsSortedSet(impl.actions)) {
+      return util::FailedPreconditionError(
+          "implementation " + std::to_string(p) +
+          " has an unsorted or duplicated action set");
+    }
+    for (ActionId a : impl.actions) {
+      if (a >= library.num_actions()) {
+        return util::FailedPreconditionError(
+            "implementation " + std::to_string(p) + " references action " +
+            std::to_string(a) + " >= num_actions");
+      }
+    }
+  }
+
+  // A-GI index against the forward records.
+  for (ActionId a = 0; a < library.num_actions(); ++a) {
+    std::span<const ImplId> postings = library.ImplsOfAction(a);
+    IdSet posting_set(postings.begin(), postings.end());
+    if (!util::IsSortedSet(posting_set)) {
+      return util::FailedPreconditionError(
+          "A-GI postings of action " + std::to_string(a) +
+          " are not strictly ascending");
+    }
+    for (ImplId p : posting_set) {
+      if (p >= library.num_implementations() ||
+          !util::Contains(library.ActionsOf(p), a)) {
+        return util::FailedPreconditionError(
+            "A-GI postings of action " + std::to_string(a) +
+            " reference implementation " + std::to_string(p) +
+            " that does not contain it");
+      }
+    }
+  }
+  // Posting completeness: every containment appears in the index.
+  for (ImplId p = 0; p < library.num_implementations(); ++p) {
+    for (ActionId a : library.ActionsOf(p)) {
+      std::span<const ImplId> postings = library.ImplsOfAction(a);
+      IdSet posting_set(postings.begin(), postings.end());
+      if (!util::Contains(posting_set, p)) {
+        return util::FailedPreconditionError(
+            "implementation " + std::to_string(p) + " contains action " +
+            std::to_string(a) + " but is missing from its A-GI postings");
+      }
+    }
+  }
+
+  // G-GI index.
+  size_t goal_posting_total = 0;
+  for (GoalId g = 0; g < library.num_goals(); ++g) {
+    std::span<const ImplId> postings = library.ImplsOfGoal(g);
+    IdSet posting_set(postings.begin(), postings.end());
+    goal_posting_total += posting_set.size();
+    if (!util::IsSortedSet(posting_set)) {
+      return util::FailedPreconditionError(
+          "G-GI postings of goal " + std::to_string(g) +
+          " are not strictly ascending");
+    }
+    for (ImplId p : posting_set) {
+      if (p >= library.num_implementations() || library.GoalOf(p) != g) {
+        return util::FailedPreconditionError(
+            "G-GI postings of goal " + std::to_string(g) +
+            " reference implementation " + std::to_string(p) +
+            " with a different goal");
+      }
+    }
+  }
+  if (goal_posting_total != library.num_implementations()) {
+    return util::FailedPreconditionError(
+        "G-GI index covers " + std::to_string(goal_posting_total) +
+        " implementations, expected " +
+        std::to_string(library.num_implementations()));
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace goalrec::model

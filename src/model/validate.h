@@ -1,0 +1,28 @@
+#ifndef GOALREC_MODEL_VALIDATE_H_
+#define GOALREC_MODEL_VALIDATE_H_
+
+#include "model/library.h"
+#include "util/status.h"
+
+// Structural validation of an implementation library: confirms every
+// invariant the rest of the code base assumes. Builders established these by
+// construction, but libraries can also arrive from files or foreign code;
+// run ValidateLibrary after loading untrusted data to fail fast with a
+// precise diagnostic instead of corrupting a downstream query.
+
+namespace goalrec::model {
+
+/// Checks, in order:
+///   * every implementation's goal id is < num_goals;
+///   * every implementation's action set is strictly sorted with ids
+///     < num_actions;
+///   * the A-GI index lists exactly the implementations containing each
+///     action, ascending;
+///   * the G-GI index lists exactly the implementations of each goal,
+///     ascending.
+/// Returns OK or kFailedPrecondition naming the first violation.
+util::Status ValidateLibrary(const ImplementationLibrary& library);
+
+}  // namespace goalrec::model
+
+#endif  // GOALREC_MODEL_VALIDATE_H_

@@ -1,0 +1,27 @@
+#include "model/vocabulary.h"
+
+#include "util/logging.h"
+
+namespace goalrec::model {
+
+uint32_t Vocabulary::Intern(std::string_view name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<uint32_t> Vocabulary::Find(std::string_view name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Vocabulary::Name(uint32_t id) const {
+  GOALREC_CHECK_LT(id, names_.size());
+  return names_[id];
+}
+
+}  // namespace goalrec::model

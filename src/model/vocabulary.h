@@ -1,0 +1,48 @@
+#ifndef GOALREC_MODEL_VOCABULARY_H_
+#define GOALREC_MODEL_VOCABULARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+// String-interning table mapping external names to dense ids. Instances back
+// the paper's A-idx (action dictionary) and G-idx (goal dictionary).
+
+namespace goalrec::model {
+
+class Vocabulary {
+ public:
+  /// Returns the id of `name`, interning it if unseen. Ids are assigned
+  /// densely in first-seen order starting from 0.
+  uint32_t Intern(std::string_view name);
+
+  /// Returns the id of `name` if already interned.
+  std::optional<uint32_t> Find(std::string_view name) const;
+
+  /// Returns the name for `id`. Requires id < size().
+  const std::string& Name(uint32_t id) const;
+
+  uint32_t size() const { return static_cast<uint32_t>(names_.size()); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  // Heterogeneous (string_view) lookup: Find takes no temporary-allocation
+  // hit, which matters when resolving large activity CSVs.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t, StringHash, std::equal_to<>>
+      ids_;
+};
+
+}  // namespace goalrec::model
+
+#endif  // GOALREC_MODEL_VOCABULARY_H_

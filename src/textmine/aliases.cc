@@ -1,0 +1,34 @@
+#include "textmine/aliases.h"
+
+#include "util/csv.h"
+
+namespace goalrec::textmine {
+
+void AliasMap::Add(std::string from, std::string to) {
+  aliases_[std::move(from)] = std::move(to);
+}
+
+const std::string& AliasMap::Resolve(const std::string& phrase) const {
+  auto it = aliases_.find(phrase);
+  return it == aliases_.end() ? phrase : it->second;
+}
+
+util::StatusOr<AliasMap> LoadAliasesCsv(const std::string& path) {
+  util::StatusOr<std::vector<util::CsvRow>> rows = util::ReadCsvFile(path);
+  if (!rows.ok()) return rows.status();
+  AliasMap map;
+  for (const util::CsvRow& row : *rows) {
+    if (row.size() != 2) {
+      return util::InvalidArgumentError(
+          path + ": expected 2 fields 'variant,canonical', got " +
+          std::to_string(row.size()));
+    }
+    if (row[0].empty() || row[1].empty()) {
+      return util::InvalidArgumentError(path + ": empty alias field");
+    }
+    map.Add(row[0], row[1]);
+  }
+  return map;
+}
+
+}  // namespace goalrec::textmine

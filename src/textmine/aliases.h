@@ -1,0 +1,38 @@
+#ifndef GOALREC_TEXTMINE_ALIASES_H_
+#define GOALREC_TEXTMINE_ALIASES_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "util/status.h"
+
+// Canonicalisation aliases for extracted action phrases. Real how-to corpora
+// phrase the same action many ways ("work out" / "exercise" / "hit the
+// gym"); a deployment curates an alias table mapping variants onto one
+// canonical phrase so associations accumulate instead of fragmenting.
+// Aliases apply after phrase extraction (and after stemming, when enabled).
+
+namespace goalrec::textmine {
+
+class AliasMap {
+ public:
+  /// Registers `from` -> `to`. Later registrations overwrite earlier ones.
+  /// Chains are not followed: map "a"->"b" and "b"->"c" sends "a" to "b".
+  void Add(std::string from, std::string to);
+
+  /// Returns the canonical phrase (or `phrase` itself when unmapped).
+  const std::string& Resolve(const std::string& phrase) const;
+
+  size_t size() const { return aliases_.size(); }
+  bool empty() const { return aliases_.empty(); }
+
+ private:
+  std::unordered_map<std::string, std::string> aliases_;
+};
+
+/// Loads an alias table from a CSV of rows `variant,canonical`.
+util::StatusOr<AliasMap> LoadAliasesCsv(const std::string& path);
+
+}  // namespace goalrec::textmine
+
+#endif  // GOALREC_TEXTMINE_ALIASES_H_

@@ -1,0 +1,60 @@
+#include "textmine/corpus.h"
+
+#include <fstream>
+
+#include "util/string_utils.h"
+
+namespace goalrec::textmine {
+
+namespace {
+constexpr std::string_view kGoalPrefix = "GOAL:";
+}  // namespace
+
+util::StatusOr<std::vector<HowToDocument>> LoadCorpus(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::IoError("cannot open " + path);
+  std::vector<HowToDocument> documents;
+  std::string line;
+  size_t line_number = 0;
+  bool in_document = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (util::StartsWith(line, kGoalPrefix)) {
+      std::string goal(util::Trim(line.substr(kGoalPrefix.size())));
+      if (goal.empty()) {
+        return util::InvalidArgumentError(
+            path + ":" + std::to_string(line_number) + ": empty goal name");
+      }
+      documents.push_back(HowToDocument{std::move(goal), ""});
+      in_document = true;
+      continue;
+    }
+    if (!in_document) {
+      if (line.empty() || line[0] == '#') continue;  // preamble comments
+      return util::InvalidArgumentError(
+          path + ":" + std::to_string(line_number) +
+          ": content before the first GOAL: line");
+    }
+    documents.back().text += line;
+    documents.back().text += '\n';
+  }
+  return documents;
+}
+
+util::Status SaveCorpus(const std::vector<HowToDocument>& documents,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::IoError("cannot open " + path + " for writing");
+  for (const HowToDocument& document : documents) {
+    out << kGoalPrefix << ' ' << document.goal << '\n'
+        << document.text;
+    if (document.text.empty() || document.text.back() != '\n') out << '\n';
+    out << '\n';
+  }
+  if (!out) return util::IoError("write failed: " + path);
+  return util::Status::Ok();
+}
+
+}  // namespace goalrec::textmine

@@ -1,0 +1,39 @@
+#ifndef GOALREC_TEXTMINE_CORPUS_H_
+#define GOALREC_TEXTMINE_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "textmine/extractor.h"
+#include "util/status.h"
+
+// Corpus file I/O for the text-extraction pipeline. A corpus file holds many
+// how-to documents in a simple line format:
+//
+//   GOAL: lose weight
+//   I started to drink more water.
+//   Then I stopped eating at restaurants.
+//
+//   GOAL: lose weight
+//   1. go running
+//   2. count calories
+//
+// Each `GOAL:` line starts a new document (the rest of the line is the goal
+// name); subsequent lines up to the next `GOAL:` are its text. Blank lines
+// are kept (they are step separators for the extractor). Lines starting with
+// '#' before the first GOAL are comments.
+
+namespace goalrec::textmine {
+
+/// Parses a corpus file into documents. Fails on content before the first
+/// GOAL: line (comments excepted) or on a GOAL: line with an empty name.
+util::StatusOr<std::vector<HowToDocument>> LoadCorpus(
+    const std::string& path);
+
+/// Writes documents in the corpus format. Overwrites `path`.
+util::Status SaveCorpus(const std::vector<HowToDocument>& documents,
+                        const std::string& path);
+
+}  // namespace goalrec::textmine
+
+#endif  // GOALREC_TEXTMINE_CORPUS_H_

@@ -1,0 +1,69 @@
+#include "textmine/normalize.h"
+
+#include <vector>
+
+#include "util/string_utils.h"
+
+namespace goalrec::textmine {
+namespace {
+
+bool EndsWith(std::string_view word, std::string_view suffix) {
+  return word.size() >= suffix.size() &&
+         word.substr(word.size() - suffix.size()) == suffix;
+}
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+bool HasVowel(std::string_view word) {
+  for (char c : word) {
+    if (IsVowel(c)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string StemWord(std::string_view word) {
+  if (word.size() <= 3) return std::string(word);
+
+  // -ing / -ed (simplified Porter step 1b).
+  for (std::string_view suffix : {std::string_view("ing"),
+                                  std::string_view("ed")}) {
+    if (EndsWith(word, suffix) && word.size() > suffix.size() + 2) {
+      std::string_view stem = word.substr(0, word.size() - suffix.size());
+      if (!HasVowel(stem)) continue;  // "sing", "bring" keep their suffix
+      // Undouble a trailing consonant: "running" -> "runn" -> "run".
+      if (stem.size() >= 2 && stem[stem.size() - 1] == stem[stem.size() - 2] &&
+          !IsVowel(stem.back())) {
+        stem.remove_suffix(1);
+      }
+      return std::string(stem);
+    }
+  }
+
+  // Plurals: -ies -> -y, -es after sibilants, plain -s.
+  if (EndsWith(word, "ies") && word.size() > 4) {
+    return std::string(word.substr(0, word.size() - 3)) + "y";
+  }
+  if (EndsWith(word, "sses")) {
+    return std::string(word.substr(0, word.size() - 2));
+  }
+  if (EndsWith(word, "shes") || EndsWith(word, "ches") ||
+      EndsWith(word, "xes")) {
+    return std::string(word.substr(0, word.size() - 2));
+  }
+  if (EndsWith(word, "s") && !EndsWith(word, "ss") && !EndsWith(word, "us")) {
+    return std::string(word.substr(0, word.size() - 1));
+  }
+  return std::string(word);
+}
+
+std::string StemPhrase(std::string_view phrase) {
+  std::vector<std::string> words = util::Split(phrase, ' ');
+  for (std::string& word : words) word = StemWord(word);
+  return util::Join(words, " ");
+}
+
+}  // namespace goalrec::textmine

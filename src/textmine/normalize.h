@@ -1,0 +1,26 @@
+#ifndef GOALREC_TEXTMINE_NORMALIZE_H_
+#define GOALREC_TEXTMINE_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+
+// Light morphological normalisation for action deduplication. Different
+// retellings of the same goal phrase the same step differently ("drink more
+// water" / "drinking more water" / "drinks more water"); a small suffix
+// stemmer (a simplified Porter step-1) folds these onto one canonical form,
+// which is what lets associations emerge across documents.
+
+namespace goalrec::textmine {
+
+/// Stems one lowercase word: strips plural "-s"/"-es", "-ing" and "-ed"
+/// suffixes with basic guards (keeps short stems intact, restores a dropped
+/// final consonant heuristically: "running" -> "run"). Words of length <= 3
+/// are returned unchanged.
+std::string StemWord(std::string_view word);
+
+/// Stems every word of a space-separated phrase.
+std::string StemPhrase(std::string_view phrase);
+
+}  // namespace goalrec::textmine
+
+#endif  // GOALREC_TEXTMINE_NORMALIZE_H_

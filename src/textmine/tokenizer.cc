@@ -1,0 +1,99 @@
+#include "textmine/tokenizer.h"
+
+#include <array>
+#include <cctype>
+
+#include "util/string_utils.h"
+
+namespace goalrec::textmine {
+namespace {
+
+bool IsEnumerationMarker(std::string_view step, size_t* marker_len) {
+  size_t i = 0;
+  while (i < step.size() &&
+         std::isspace(static_cast<unsigned char>(step[i]))) {
+    ++i;
+  }
+  size_t start = i;
+  if (i < step.size() && (step[i] == '-' || step[i] == '*')) {
+    *marker_len = i + 1;
+    return true;
+  }
+  while (i < step.size() && std::isdigit(static_cast<unsigned char>(step[i]))) {
+    ++i;
+  }
+  if (i > start && i < step.size() && (step[i] == '.' || step[i] == ')')) {
+    *marker_len = i + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> SplitSteps(std::string_view text) {
+  std::vector<std::string> steps;
+  std::string current;
+  auto flush = [&] {
+    std::string_view trimmed = util::Trim(current);
+    size_t marker_len = 0;
+    if (IsEnumerationMarker(trimmed, &marker_len)) {
+      trimmed = util::Trim(trimmed.substr(marker_len));
+    }
+    // A pure number is the stranded half of an "1." marker whose dot was
+    // consumed as a sentence boundary — not a step.
+    bool all_digits = !trimmed.empty();
+    for (char c : trimmed) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        all_digits = false;
+        break;
+      }
+    }
+    if (!trimmed.empty() && !all_digits) steps.emplace_back(trimmed);
+    current.clear();
+  };
+  for (char c : text) {
+    if (c == '.' || c == '!' || c == '?' || c == ';' || c == '\n') {
+      flush();
+    } else {
+      current += c;
+    }
+  }
+  flush();
+  return steps;
+}
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current += static_cast<char>(std::tolower(c));
+    } else if (raw == '\'') {
+      continue;  // "don't" -> "dont"
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+bool IsStopword(std::string_view word) {
+  static constexpr std::array<std::string_view, 52> kStopwords = {
+      "a",    "an",   "and",  "are",  "as",   "at",   "be",   "been",
+      "but",  "by",   "did",  "do",   "does", "for",  "from", "had",
+      "has",  "have", "i",    "if",   "in",   "into", "is",   "it",
+      "its",  "just", "me",   "my",   "of",   "on",   "or",   "our",
+      "so",   "some", "that", "the",  "their", "then", "there", "they",
+      "this", "to",   "up",   "very", "was",  "we",   "were", "will",
+      "with", "you",  "your", "yours"};
+  for (std::string_view stop : kStopwords) {
+    if (word == stop) return true;
+  }
+  return false;
+}
+
+}  // namespace goalrec::textmine

@@ -1,0 +1,31 @@
+#ifndef GOALREC_TEXTMINE_TOKENIZER_H_
+#define GOALREC_TEXTMINE_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Tokenisation for the text-based goal-implementation extractor (the module
+// the paper used to turn 43Things user stories into (goal, action set) pairs;
+// §3 "Goal Implementation Data sources" / §4). The NLP is deliberately
+// heuristic — the paper notes extraction quality is orthogonal to the
+// recommendation problem — but the pipeline is complete: raw how-to text in,
+// implementation library out.
+
+namespace goalrec::textmine {
+
+/// Splits text into sentences/steps. Boundaries are '.', '!', '?', ';',
+/// newlines, and leading enumeration markers ("1.", "2)", "-", "*"), which
+/// are stripped from the returned steps. Empty steps are dropped.
+std::vector<std::string> SplitSteps(std::string_view text);
+
+/// Lowercased alphanumeric word tokens, punctuation removed. Apostrophes are
+/// dropped ("don't" -> "dont").
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// True for high-frequency English function words ("the", "a", "to", ...).
+bool IsStopword(std::string_view word);
+
+}  // namespace goalrec::textmine
+
+#endif  // GOALREC_TEXTMINE_TOKENIZER_H_

@@ -1,0 +1,643 @@
+// goalrec — command-line front end for the library.
+//
+//   goalrec stats <library>
+//       Print the library's descriptive statistics (§6's dataset tables).
+//
+//   goalrec recommend <library> --actions=a,b,c [--strategy=focus_cmp]
+//                     [--k=10] [--explain] [--metric=euclidean]
+//       Rank recommendations for the given activity. Strategies: focus_cmp,
+//       focus_cl, breadth, best_match. --explain prints, per recommendation,
+//       the goals it advances.
+//
+//   goalrec spaces <library> --actions=a,b,c
+//       Print the activity's implementation/goal/action spaces (Eq. 1–2).
+//
+//   goalrec convert <in> <out>
+//       Convert between the text (.txt) and binary (.bin) library formats,
+//       inferred from the file extensions.
+//
+//   goalrec generate <foodmart|43things> --out=<prefix> [--scale=small|full]
+//       Write a synthetic dataset: <prefix>.library.txt and
+//       <prefix>.activities.csv.
+//
+//   goalrec evaluate <library> <activities.csv> [--k=10] [--visible=0.3]
+//                    [--seed=17]
+//       Split the activities, run the full recommender roster and print the
+//       paper's key metrics (overlap, popularity correlation, completeness,
+//       TPR).
+//
+// Library files ending in .bin are read/written in the binary format;
+// anything else uses the text format.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/best_match.h"
+#include "core/breadth.h"
+#include "core/explanation.h"
+#include "core/session.h"
+#include "core/focus.h"
+#include "data/foodmart.h"
+#include "data/fortythree.h"
+#include "data/loaders.h"
+#include "data/splitter.h"
+#include "eval/export.h"
+#include "eval/reports.h"
+#include "eval/suite.h"
+#include "model/cooccurrence.h"
+#include "model/export_dot.h"
+#include "model/library_io.h"
+#include "textmine/aliases.h"
+#include "textmine/corpus.h"
+#include "model/statistics.h"
+#include "model/validate.h"
+#include "util/flags.h"
+#include "util/set_ops.h"
+#include "util/string_utils.h"
+
+namespace {
+
+using goalrec::model::ImplementationLibrary;
+using goalrec::util::FlagParser;
+using goalrec::util::Status;
+using goalrec::util::StatusOr;
+
+constexpr char kUsage[] =
+    "usage: goalrec <stats|evaluate|recommend|spaces|convert|generate|dot|extract|related|serve> ...\n"
+    "run with a subcommand and --help for details; see the header of\n"
+    "src/tools/goalrec_cli.cc for the full synopsis\n";
+
+bool IsBinaryPath(const std::string& path) {
+  return path.size() >= 4 && path.substr(path.size() - 4) == ".bin";
+}
+
+StatusOr<ImplementationLibrary> LoadLibrary(const std::string& path) {
+  if (IsBinaryPath(path)) return goalrec::model::LoadLibraryBinary(path);
+  return goalrec::model::LoadLibraryText(path);
+}
+
+Status SaveLibrary(const ImplementationLibrary& library,
+                   const std::string& path) {
+  if (IsBinaryPath(path)) {
+    return goalrec::model::SaveLibraryBinary(library, path);
+  }
+  return goalrec::model::SaveLibraryText(library, path);
+}
+
+// Resolves a comma-separated action-name list against the library.
+StatusOr<goalrec::model::Activity> ParseActivity(
+    const ImplementationLibrary& library, const std::string& csv) {
+  goalrec::model::Activity activity;
+  for (const std::string& raw : goalrec::util::Split(csv, ',')) {
+    std::string name(goalrec::util::Trim(raw));
+    if (name.empty()) continue;
+    std::optional<uint32_t> id = library.actions().Find(name);
+    if (!id.has_value()) {
+      return goalrec::util::NotFoundError("unknown action '" + name + "'");
+    }
+    activity.push_back(*id);
+  }
+  goalrec::util::Normalize(activity);
+  if (activity.empty()) {
+    return goalrec::util::InvalidArgumentError(
+        "--actions must name at least one known action");
+  }
+  return activity;
+}
+
+int CmdStats(const FlagParser& flags) {
+  if (flags.positional().size() != 2) {
+    std::fprintf(stderr, "usage: goalrec stats <library>\n");
+    return 2;
+  }
+  StatusOr<ImplementationLibrary> library = LoadLibrary(flags.positional()[1]);
+  if (!library.ok()) {
+    std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", goalrec::model::StatsToString(
+                        goalrec::model::ComputeStats(*library))
+                        .c_str());
+  return 0;
+}
+
+int CmdSpaces(const FlagParser& flags) {
+  if (flags.positional().size() != 2 || !flags.Has("actions")) {
+    std::fprintf(stderr,
+                 "usage: goalrec spaces <library> --actions=a,b,c\n");
+    return 2;
+  }
+  StatusOr<ImplementationLibrary> library = LoadLibrary(flags.positional()[1]);
+  if (!library.ok()) {
+    std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<goalrec::model::Activity> activity =
+      ParseActivity(*library, flags.GetString("actions"));
+  if (!activity.ok()) {
+    std::fprintf(stderr, "%s\n", activity.status().ToString().c_str());
+    return 1;
+  }
+  goalrec::model::IdSet impls = library->ImplementationSpace(*activity);
+  std::printf("implementation space (%zu):", impls.size());
+  for (goalrec::model::ImplId p : impls) std::printf(" %u", p);
+  std::printf("\ngoal space:");
+  for (goalrec::model::GoalId g : library->GoalSpace(*activity)) {
+    std::printf(" '%s'", library->goals().Name(g).c_str());
+  }
+  std::printf("\naction space:");
+  for (goalrec::model::ActionId a : library->ActionSpace(*activity)) {
+    std::printf(" '%s'", library->actions().Name(a).c_str());
+  }
+  std::printf("\ncandidates:");
+  for (goalrec::model::ActionId a : library->CandidateActions(*activity)) {
+    std::printf(" '%s'", library->actions().Name(a).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int CmdRecommend(const FlagParser& flags) {
+  if (flags.positional().size() != 2 || !flags.Has("actions")) {
+    std::fprintf(stderr,
+                 "usage: goalrec recommend <library> --actions=a,b,c "
+                 "[--strategy=focus_cmp|focus_cl|breadth|best_match] "
+                 "[--k=10] [--metric=euclidean|manhattan|cosine] "
+                 "[--explain]\n");
+    return 2;
+  }
+  StatusOr<ImplementationLibrary> library = LoadLibrary(flags.positional()[1]);
+  if (!library.ok()) {
+    std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<goalrec::model::Activity> activity =
+      ParseActivity(*library, flags.GetString("actions"));
+  if (!activity.ok()) {
+    std::fprintf(stderr, "%s\n", activity.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<int64_t> k = flags.GetInt("k", 10);
+  if (!k.ok() || *k <= 0) {
+    std::fprintf(stderr, "--k must be a positive integer\n");
+    return 2;
+  }
+  StatusOr<bool> explain = flags.GetBool("explain", false);
+  if (!explain.ok()) {
+    std::fprintf(stderr, "%s\n", explain.status().ToString().c_str());
+    return 2;
+  }
+
+  std::string metric_name = flags.GetString("metric", "euclidean");
+  goalrec::core::BestMatchOptions best_match_options;
+  if (metric_name == "manhattan") {
+    best_match_options.metric = goalrec::util::DistanceMetric::kManhattan;
+  } else if (metric_name == "cosine") {
+    best_match_options.metric = goalrec::util::DistanceMetric::kCosine;
+  } else if (metric_name != "euclidean") {
+    std::fprintf(stderr, "unknown --metric '%s'\n", metric_name.c_str());
+    return 2;
+  }
+
+  std::string strategy = flags.GetString("strategy", "focus_cmp");
+  goalrec::core::FocusRecommender focus_cmp(
+      &*library, goalrec::core::FocusVariant::kCompleteness);
+  goalrec::core::FocusRecommender focus_cl(
+      &*library, goalrec::core::FocusVariant::kCloseness);
+  goalrec::core::BreadthRecommender breadth(&*library);
+  goalrec::core::BestMatchRecommender best_match(&*library,
+                                                 best_match_options);
+  goalrec::core::Recommender* recommender = nullptr;
+  if (strategy == "focus_cmp") {
+    recommender = &focus_cmp;
+  } else if (strategy == "focus_cl") {
+    recommender = &focus_cl;
+  } else if (strategy == "breadth") {
+    recommender = &breadth;
+  } else if (strategy == "best_match") {
+    recommender = &best_match;
+  } else {
+    std::fprintf(stderr, "unknown --strategy '%s'\n", strategy.c_str());
+    return 2;
+  }
+
+  goalrec::core::RecommendationList list =
+      recommender->Recommend(*activity, static_cast<size_t>(*k));
+  if (list.empty()) {
+    std::printf("no recommendations (activity matches no implementation)\n");
+    return 0;
+  }
+  for (size_t i = 0; i < list.size(); ++i) {
+    std::printf("%2zu. %s (score %.4f)\n", i + 1,
+                library->actions().Name(list[i].action).c_str(),
+                list[i].score);
+    if (*explain) {
+      goalrec::core::Explanation explanation =
+          goalrec::core::ExplainAction(*library, *activity, list[i].action);
+      std::printf("%s",
+                  goalrec::core::FormatExplanation(*library, explanation)
+                      .c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdConvert(const FlagParser& flags) {
+  if (flags.positional().size() != 3) {
+    std::fprintf(stderr, "usage: goalrec convert <in> <out>\n");
+    return 2;
+  }
+  StatusOr<ImplementationLibrary> library = LoadLibrary(flags.positional()[1]);
+  if (!library.ok()) {
+    std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
+    return 1;
+  }
+  Status saved = SaveLibrary(*library, flags.positional()[2]);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%u implementations)\n",
+              flags.positional()[2].c_str(), library->num_implementations());
+  return 0;
+}
+
+int CmdGenerate(const FlagParser& flags) {
+  if (flags.positional().size() != 2 || !flags.Has("out")) {
+    std::fprintf(stderr,
+                 "usage: goalrec generate <foodmart|43things> --out=<prefix> "
+                 "[--scale=small|full] [--seed=N]\n");
+    return 2;
+  }
+  const std::string& kind = flags.positional()[1];
+  std::string scale = flags.GetString("scale", "small");
+  StatusOr<int64_t> seed_flag = flags.GetInt("seed", -1);
+  if (!seed_flag.ok()) {
+    std::fprintf(stderr, "%s\n", seed_flag.status().ToString().c_str());
+    return 2;
+  }
+
+  goalrec::data::Dataset dataset;
+  if (kind == "foodmart") {
+    goalrec::data::FoodmartOptions options =
+        scale == "full" ? goalrec::data::FoodmartOptions{}
+                        : goalrec::data::SmallFoodmartOptions();
+    if (*seed_flag >= 0) options.seed = static_cast<uint64_t>(*seed_flag);
+    dataset = goalrec::data::GenerateFoodmart(options);
+  } else if (kind == "43things") {
+    goalrec::data::FortyThreeOptions options =
+        scale == "full" ? goalrec::data::FortyThreeOptions{}
+                        : goalrec::data::SmallFortyThreeOptions();
+    if (*seed_flag >= 0) options.seed = static_cast<uint64_t>(*seed_flag);
+    dataset = goalrec::data::GenerateFortyThree(options);
+  } else {
+    std::fprintf(stderr, "unknown dataset '%s'\n", kind.c_str());
+    return 2;
+  }
+
+  std::string prefix = flags.GetString("out");
+  Status lib_status = goalrec::model::SaveLibraryText(
+      dataset.library, prefix + ".library.txt");
+  if (!lib_status.ok()) {
+    std::fprintf(stderr, "%s\n", lib_status.ToString().c_str());
+    return 1;
+  }
+  std::vector<goalrec::model::Activity> activities;
+  for (const goalrec::data::UserRecord& user : dataset.users) {
+    activities.push_back(user.full_activity);
+  }
+  Status act_status = goalrec::data::SaveActivitiesCsv(
+      prefix + ".activities.csv", activities, dataset.library.actions());
+  if (!act_status.ok()) {
+    std::fprintf(stderr, "%s\n", act_status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s.library.txt and %s.activities.csv\n%s",
+              prefix.c_str(), prefix.c_str(),
+              goalrec::model::StatsToString(
+                  goalrec::model::ComputeStats(dataset.library))
+                  .c_str());
+  return 0;
+}
+
+int CmdExtract(const FlagParser& flags) {
+  if (flags.positional().size() != 3) {
+    std::fprintf(stderr,
+                 "usage: goalrec extract <corpus.txt> <out-library> "
+                 "[--stem] [--aliases=<csv>]\n");
+    return 2;
+  }
+  StatusOr<std::vector<goalrec::textmine::HowToDocument>> corpus =
+      goalrec::textmine::LoadCorpus(flags.positional()[1]);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<bool> stem = flags.GetBool("stem", false);
+  if (!stem.ok()) {
+    std::fprintf(stderr, "%s\n", stem.status().ToString().c_str());
+    return 2;
+  }
+  goalrec::textmine::ExtractorOptions options;
+  options.stem_words = *stem;
+  goalrec::textmine::AliasMap aliases;
+  if (flags.Has("aliases")) {
+    StatusOr<goalrec::textmine::AliasMap> loaded =
+        goalrec::textmine::LoadAliasesCsv(flags.GetString("aliases"));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    aliases = std::move(*loaded);
+    options.aliases = &aliases;
+  }
+  ImplementationLibrary library =
+      goalrec::textmine::BuildLibraryFromDocuments(*corpus, options);
+  Status saved = SaveLibrary(library, flags.positional()[2]);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("extracted %zu documents into %s\n%s", corpus->size(),
+              flags.positional()[2].c_str(),
+              goalrec::model::StatsToString(
+                  goalrec::model::ComputeStats(library))
+                  .c_str());
+  return 0;
+}
+
+int CmdRelated(const FlagParser& flags) {
+  if (flags.positional().size() != 2 || !flags.Has("action")) {
+    std::fprintf(stderr,
+                 "usage: goalrec related <library> --action=<name> [--k=10]\n");
+    return 2;
+  }
+  StatusOr<ImplementationLibrary> library = LoadLibrary(flags.positional()[1]);
+  if (!library.ok()) {
+    std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
+    return 1;
+  }
+  std::optional<uint32_t> action =
+      library->actions().Find(flags.GetString("action"));
+  if (!action.has_value()) {
+    std::fprintf(stderr, "unknown action '%s'\n",
+                 flags.GetString("action").c_str());
+    return 1;
+  }
+  StatusOr<int64_t> k = flags.GetInt("k", 10);
+  if (!k.ok() || *k <= 0) {
+    std::fprintf(stderr, "--k must be a positive integer\n");
+    return 2;
+  }
+  std::vector<goalrec::model::CoAction> related = goalrec::model::TopCoActions(
+      *library, *action, static_cast<size_t>(*k));
+  if (related.empty()) {
+    std::printf("'%s' co-occurs with nothing\n",
+                flags.GetString("action").c_str());
+    return 0;
+  }
+  for (const goalrec::model::CoAction& entry : related) {
+    std::printf("%-30s co-occurrences %-5u PMI %+.2f\n",
+                library->actions().Name(entry.action).c_str(), entry.count,
+                entry.pmi);
+  }
+  return 0;
+}
+
+int CmdServe(const FlagParser& flags) {
+  if (flags.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: goalrec serve <library> [--strategy=breadth]\n"
+                 "interactive: perform <action> | undo <action> | "
+                 "recommend [k] | status | quit\n");
+    return 2;
+  }
+  StatusOr<ImplementationLibrary> library = LoadLibrary(flags.positional()[1]);
+  if (!library.ok()) {
+    std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
+    return 1;
+  }
+  std::string strategy_name = flags.GetString("strategy", "breadth");
+  goalrec::core::FocusRecommender focus(
+      &*library, goalrec::core::FocusVariant::kCompleteness);
+  goalrec::core::BreadthRecommender breadth(&*library);
+  goalrec::core::BestMatchRecommender best_match(&*library);
+  goalrec::core::Recommender* strategy = &breadth;
+  if (strategy_name == "focus_cmp") {
+    strategy = &focus;
+  } else if (strategy_name == "best_match") {
+    strategy = &best_match;
+  } else if (strategy_name != "breadth") {
+    std::fprintf(stderr, "unknown --strategy '%s'\n", strategy_name.c_str());
+    return 2;
+  }
+  goalrec::core::RecommendationSession session(&*library, strategy);
+  std::printf("goalrec serve — %s over %u implementations. Commands: "
+              "perform <action> | undo <action> | recommend [k] | status | "
+              "quit\n",
+              strategy->name().c_str(), library->num_implementations());
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::string_view trimmed = goalrec::util::Trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed == "quit" || trimmed == "exit") break;
+    if (trimmed == "status") {
+      std::printf("activity:");
+      for (goalrec::model::ActionId a : session.activity()) {
+        std::printf(" '%s'", library->actions().Name(a).c_str());
+      }
+      goalrec::core::RecommendationSession::ClosestGoal closest =
+          session.FindClosestGoal();
+      if (closest.goal != goalrec::model::kInvalidId) {
+        std::printf("\nclosest goal: '%s' at %.0f%%",
+                    library->goals().Name(closest.goal).c_str(),
+                    100.0 * closest.completeness);
+      }
+      std::printf("\n");
+      continue;
+    }
+    if (goalrec::util::StartsWith(trimmed, "perform ") ||
+        goalrec::util::StartsWith(trimmed, "undo ")) {
+      bool is_perform = goalrec::util::StartsWith(trimmed, "perform ");
+      std::string name(
+          goalrec::util::Trim(trimmed.substr(is_perform ? 8 : 5)));
+      std::optional<uint32_t> id = library->actions().Find(name);
+      if (!id.has_value()) {
+        std::printf("unknown action '%s'\n", name.c_str());
+        continue;
+      }
+      bool changed = is_perform ? session.Perform(*id) : session.Undo(*id);
+      std::printf("%s\n", changed ? "ok" : "no change");
+      continue;
+    }
+    if (goalrec::util::StartsWith(trimmed, "recommend")) {
+      size_t k = 5;
+      std::string_view rest = goalrec::util::Trim(trimmed.substr(9));
+      if (!rest.empty()) k = std::strtoul(std::string(rest).c_str(), nullptr, 10);
+      if (k == 0) k = 5;
+      goalrec::core::RecommendationList list = session.Recommend(k);
+      if (list.empty()) std::printf("(nothing to recommend yet)\n");
+      for (const goalrec::core::ScoredAction& entry : list) {
+        std::printf("  %s (%.3f)\n",
+                    library->actions().Name(entry.action).c_str(),
+                    entry.score);
+      }
+      continue;
+    }
+    std::printf("commands: perform <action> | undo <action> | recommend "
+                "[k] | status | quit\n");
+  }
+  return 0;
+}
+
+int CmdDot(const FlagParser& flags) {
+  if (flags.positional().size() != 3) {
+    std::fprintf(stderr,
+                 "usage: goalrec dot <library> <out.dot> [--goals=g1,g2]\n");
+    return 2;
+  }
+  StatusOr<ImplementationLibrary> library = LoadLibrary(flags.positional()[1]);
+  if (!library.ok()) {
+    std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
+    return 1;
+  }
+  goalrec::model::DotOptions options;
+  if (flags.Has("goals")) {
+    for (const std::string& raw :
+         goalrec::util::Split(flags.GetString("goals"), ',')) {
+      std::string name(goalrec::util::Trim(raw));
+      if (name.empty()) continue;
+      std::optional<uint32_t> id = library->goals().Find(name);
+      if (!id.has_value()) {
+        std::fprintf(stderr, "unknown goal '%s'\n", name.c_str());
+        return 1;
+      }
+      options.goals.push_back(*id);
+    }
+    goalrec::util::Normalize(options.goals);
+  }
+  Status written = goalrec::model::ExportDot(*library, flags.positional()[2],
+                                             options);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", flags.positional()[2].c_str());
+  return 0;
+}
+
+int CmdEvaluate(const FlagParser& flags) {
+  if (flags.positional().size() != 3) {
+    std::fprintf(stderr,
+                 "usage: goalrec evaluate <library> <activities.csv> "
+                 "[--k=10] [--visible=0.3] [--seed=17] [--out=<dir>]\n");
+    return 2;
+  }
+  StatusOr<ImplementationLibrary> library = LoadLibrary(flags.positional()[1]);
+  if (!library.ok()) {
+    std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
+    return 1;
+  }
+  Status valid = goalrec::model::ValidateLibrary(*library);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "library failed validation: %s\n",
+                 valid.ToString().c_str());
+    return 1;
+  }
+  StatusOr<std::vector<goalrec::model::Activity>> activities =
+      goalrec::data::LoadActivitiesCsv(flags.positional()[2],
+                                       library->actions());
+  if (!activities.ok()) {
+    std::fprintf(stderr, "%s\n", activities.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<int64_t> k = flags.GetInt("k", 10);
+  StatusOr<double> visible = flags.GetDouble("visible", 0.3);
+  StatusOr<int64_t> seed = flags.GetInt("seed", 17);
+  if (!k.ok() || *k <= 0 || !visible.ok() || *visible <= 0.0 ||
+      *visible > 1.0 || !seed.ok()) {
+    std::fprintf(stderr, "invalid --k/--visible/--seed\n");
+    return 2;
+  }
+
+  goalrec::data::Dataset dataset;
+  dataset.name = flags.positional()[2];
+  dataset.library = std::move(*library);
+  for (goalrec::model::Activity& activity : *activities) {
+    dataset.users.push_back(
+        goalrec::data::UserRecord{
+            std::move(activity), {}, {},
+            static_cast<uint32_t>(dataset.users.size())});
+  }
+  std::vector<goalrec::data::EvalUser> users = goalrec::data::SplitDataset(
+      dataset, *visible, static_cast<uint64_t>(*seed));
+  std::vector<goalrec::model::Activity> inputs;
+  inputs.reserve(users.size());
+  for (const goalrec::data::EvalUser& user : users) {
+    inputs.push_back(user.visible);
+  }
+  std::printf("evaluating %zu users, k=%lld, visible fraction %.2f\n\n",
+              users.size(), static_cast<long long>(*k), *visible);
+
+  goalrec::eval::Suite suite(&dataset, inputs, goalrec::eval::SuiteOptions{});
+  std::vector<goalrec::eval::MethodResult> results =
+      suite.RunAll(inputs, static_cast<size_t>(*k));
+
+  std::printf("--- top-%lld list overlap ---\n%s\n",
+              static_cast<long long>(*k),
+              goalrec::eval::RenderOverlap(
+                  goalrec::eval::ComputeOverlap(results))
+                  .c_str());
+  std::printf(
+      "--- popularity correlation ---\n%s\n",
+      goalrec::eval::RenderCorrelations(
+          goalrec::eval::ComputePopularityCorrelations(inputs, results))
+          .c_str());
+  std::printf("--- goal completeness after the list ---\n%s\n",
+              goalrec::eval::RenderCompleteness(
+                  goalrec::eval::ComputeCompleteness(dataset.library, users,
+                                                     results))
+                  .c_str());
+  std::vector<goalrec::eval::TprRow> tpr =
+      goalrec::eval::ComputeTpr(users, results);
+  std::printf("--- true-positive rate vs hidden actions ---\n%s",
+              goalrec::eval::RenderTpr(tpr, tpr).c_str());
+
+  if (flags.Has("out")) {
+    std::string out_dir = flags.GetString("out");
+    Status exported = goalrec::eval::ExportReportsCsv(out_dir, dataset, users,
+                                                      inputs, results);
+    if (!exported.ok()) {
+      std::fprintf(stderr, "%s\n", exported.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote CSV reports into %s\n", out_dir.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  const std::string& command = flags.positional()[0];
+  if (command == "stats") return CmdStats(flags);
+  if (command == "spaces") return CmdSpaces(flags);
+  if (command == "recommend") return CmdRecommend(flags);
+  if (command == "convert") return CmdConvert(flags);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "dot") return CmdDot(flags);
+  if (command == "extract") return CmdExtract(flags);
+  if (command == "related") return CmdRelated(flags);
+  if (command == "serve") return CmdServe(flags);
+  std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
+  return 2;
+}

@@ -1,0 +1,94 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace goalrec::util {
+
+StatusOr<CsvRow> ParseCsvLine(const std::string& line, char delimiter) {
+  CsvRow fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      if (!current.empty()) {
+        return InvalidArgumentError("quote inside unquoted field: " + line);
+      }
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) {
+    return InvalidArgumentError("unterminated quoted field: " + line);
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string FormatCsvLine(const CsvRow& row, char delimiter) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += delimiter;
+    const std::string& field = row[i];
+    bool needs_quotes =
+        field.find(delimiter) != std::string::npos ||
+        field.find('"') != std::string::npos ||
+        field.find('\n') != std::string::npos;
+    if (needs_quotes) {
+      out += '"';
+      for (char c : field) {
+        if (c == '"') out += '"';
+        out += c;
+      }
+      out += '"';
+    } else {
+      out += field;
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<CsvRow>> ReadCsvFile(const std::string& path,
+                                          char delimiter) {
+  std::ifstream in(path);
+  if (!in) return IoError("cannot open " + path);
+  std::vector<CsvRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    StatusOr<CsvRow> row = ParseCsvLine(line, delimiter);
+    if (!row.ok()) return row.status();
+    rows.push_back(std::move(row).value());
+  }
+  return rows;
+}
+
+Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows,
+                    char delimiter) {
+  std::ofstream out(path);
+  if (!out) return IoError("cannot open " + path + " for writing");
+  for (const CsvRow& row : rows) {
+    out << FormatCsvLine(row, delimiter) << '\n';
+  }
+  if (!out) return IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace goalrec::util

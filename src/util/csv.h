@@ -1,0 +1,34 @@
+#ifndef GOALREC_UTIL_CSV_H_
+#define GOALREC_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+// Minimal CSV reader/writer used by the data loaders and by the experiment
+// binaries when dumping result tables. Supports RFC-4180-style quoting
+// (fields containing the delimiter, quotes or newlines are double-quoted).
+
+namespace goalrec::util {
+
+using CsvRow = std::vector<std::string>;
+
+/// Parses one CSV line into fields (handles quoted fields with embedded
+/// delimiters and escaped quotes "" -> ").
+StatusOr<CsvRow> ParseCsvLine(const std::string& line, char delimiter = ',');
+
+/// Renders fields as one CSV line (no trailing newline), quoting as needed.
+std::string FormatCsvLine(const CsvRow& row, char delimiter = ',');
+
+/// Reads an entire CSV file. Empty lines are skipped.
+StatusOr<std::vector<CsvRow>> ReadCsvFile(const std::string& path,
+                                          char delimiter = ',');
+
+/// Writes rows to `path`, overwriting.
+Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows,
+                    char delimiter = ',');
+
+}  // namespace goalrec::util
+
+#endif  // GOALREC_UTIL_CSV_H_

@@ -1,0 +1,75 @@
+#include "util/dense_vector.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace goalrec::util {
+
+double Dot(const DenseVector& a, const DenseVector& b) {
+  GOALREC_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm2(const DenseVector& a) { return std::sqrt(Dot(a, a)); }
+
+double EuclideanDistance(const DenseVector& a, const DenseVector& b) {
+  GOALREC_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double ManhattanDistance(const DenseVector& a, const DenseVector& b) {
+  GOALREC_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum;
+}
+
+double CosineSimilarity(const DenseVector& a, const DenseVector& b) {
+  double na = Norm2(a);
+  double nb = Norm2(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+double CosineDistance(const DenseVector& a, const DenseVector& b) {
+  return 1.0 - CosineSimilarity(a, b);
+}
+
+double Distance(const DenseVector& a, const DenseVector& b,
+                DistanceMetric metric) {
+  switch (metric) {
+    case DistanceMetric::kEuclidean:
+      return EuclideanDistance(a, b);
+    case DistanceMetric::kManhattan:
+      return ManhattanDistance(a, b);
+    case DistanceMetric::kCosine:
+      return CosineDistance(a, b);
+  }
+  GOALREC_CHECK(false) << "unknown metric";
+  return 0.0;
+}
+
+double JaccardFromCounts(size_t intersection, size_t size_a, size_t size_b) {
+  size_t union_size = size_a + size_b - intersection;
+  if (union_size == 0) return 0.0;
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+void AddInPlace(DenseVector& a, const DenseVector& b) {
+  GOALREC_CHECK_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+void ScaleInPlace(DenseVector& a, double s) {
+  for (double& v : a) v *= s;
+}
+
+}  // namespace goalrec::util

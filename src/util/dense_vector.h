@@ -1,0 +1,58 @@
+#ifndef GOALREC_UTIL_DENSE_VECTOR_H_
+#define GOALREC_UTIL_DENSE_VECTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+// Dense real vectors and the distance/similarity functions the recommenders
+// use: Best Match ranks candidate actions by distance between goal-space
+// vectors (paper Eq. 10); the content-based baseline uses cosine similarity
+// over feature vectors; Table 5 measures pairwise feature similarity.
+
+namespace goalrec::util {
+
+using DenseVector = std::vector<double>;
+
+/// Distance functions available to BestMatch (Eq. 10 leaves dist() open;
+/// Euclidean is the conventional default).
+enum class DistanceMetric {
+  kEuclidean,
+  kManhattan,
+  kCosine,  // cosine *distance*, i.e. 1 - cosine similarity
+};
+
+/// a · b. Requires equal sizes.
+double Dot(const DenseVector& a, const DenseVector& b);
+
+/// ||a||₂.
+double Norm2(const DenseVector& a);
+
+/// Euclidean (L2) distance. Requires equal sizes.
+double EuclideanDistance(const DenseVector& a, const DenseVector& b);
+
+/// Manhattan (L1) distance. Requires equal sizes.
+double ManhattanDistance(const DenseVector& a, const DenseVector& b);
+
+/// Cosine similarity in [-1, 1]; 0 when either vector is all-zero.
+double CosineSimilarity(const DenseVector& a, const DenseVector& b);
+
+/// 1 - CosineSimilarity. Zero vectors are maximally distant (1.0).
+double CosineDistance(const DenseVector& a, const DenseVector& b);
+
+/// Dispatches on `metric`.
+double Distance(const DenseVector& a, const DenseVector& b,
+                DistanceMetric metric);
+
+/// Jaccard (Tanimoto) similarity between sparse binary vectors given as
+/// |a∩b|, |a|, |b|: intersection / union. Returns 0 when both sets are empty.
+double JaccardFromCounts(size_t intersection, size_t size_a, size_t size_b);
+
+/// a += b. Requires equal sizes.
+void AddInPlace(DenseVector& a, const DenseVector& b);
+
+/// a *= s.
+void ScaleInPlace(DenseVector& a, double s);
+
+}  // namespace goalrec::util
+
+#endif  // GOALREC_UTIL_DENSE_VECTOR_H_

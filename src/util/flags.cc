@@ -1,0 +1,97 @@
+#include "util/flags.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/string_utils.h"
+
+namespace goalrec::util {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  bool flags_ended = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (flags_ended || !StartsWith(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    if (arg == "--") {
+      flags_ended = true;
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq == std::string::npos) {
+      flags_[body] = "";
+    } else {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+StatusOr<int64_t> FlagParser::GetInt(const std::string& name,
+                                     int64_t default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  errno = 0;
+  char* end = nullptr;
+  int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    return InvalidArgumentError("--" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+  return value;
+}
+
+StatusOr<double> FlagParser::GetDouble(const std::string& name,
+                                       double default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    return InvalidArgumentError("--" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+  return value;
+}
+
+StatusOr<bool> FlagParser::GetBool(const std::string& name,
+                                   bool default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  const std::string& value = it->second;
+  if (value.empty() || value == "true" || value == "1") return true;
+  if (value == "false" || value == "0") return false;
+  return InvalidArgumentError("--" + name + " expects a boolean, got '" +
+                              value + "'");
+}
+
+std::vector<std::string> FlagParser::UnknownFlags(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : flags_) {
+    bool found = false;
+    for (const std::string& k : known) {
+      if (k == name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+}  // namespace goalrec::util

@@ -1,0 +1,59 @@
+#ifndef GOALREC_UTIL_FLAGS_H_
+#define GOALREC_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+// Minimal command-line parsing for the repository's tools: flags are
+// `--name=value` or bare `--name` (boolean true); everything else is a
+// positional argument. No registration step — callers query by name with a
+// default.
+
+namespace goalrec::util {
+
+class FlagParser {
+ public:
+  /// Parses argv[1..argc). A literal "--" ends flag parsing; later
+  /// arguments are positional even if they start with "--".
+  FlagParser(int argc, const char* const* argv);
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// True iff --name was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// String value of --name, or `default_value` when absent. A bare
+  /// `--name` yields "".
+  std::string GetString(const std::string& name,
+                        const std::string& default_value = "") const;
+
+  /// Integer value of --name; `default_value` when absent;
+  /// kInvalidArgument when present but unparseable.
+  StatusOr<int64_t> GetInt(const std::string& name,
+                           int64_t default_value) const;
+
+  /// Double value of --name; `default_value` when absent; kInvalidArgument
+  /// when present but unparseable.
+  StatusOr<double> GetDouble(const std::string& name,
+                             double default_value) const;
+
+  /// Boolean: absent -> default; bare `--name` or "true"/"1" -> true;
+  /// "false"/"0" -> false; anything else -> kInvalidArgument.
+  StatusOr<bool> GetBool(const std::string& name, bool default_value) const;
+
+  /// Flags seen that are not in `known` — for "unknown flag" diagnostics.
+  std::vector<std::string> UnknownFlags(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace goalrec::util
+
+#endif  // GOALREC_UTIL_FLAGS_H_

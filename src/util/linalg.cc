@@ -1,0 +1,74 @@
+#include "util/linalg.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace goalrec::util {
+
+void DenseMatrix::Fill(double v) {
+  for (double& x : data_) x = v;
+}
+
+void DenseMatrix::AddInPlace(const DenseMatrix& other) {
+  GOALREC_CHECK_EQ(rows_, other.rows_);
+  GOALREC_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void DenseMatrix::AddToDiagonal(double value) {
+  GOALREC_CHECK_EQ(rows_, cols_);
+  for (size_t i = 0; i < rows_; ++i) At(i, i) += value;
+}
+
+void DenseMatrix::AddOuterProduct(const DenseVector& v, double scale) {
+  GOALREC_CHECK_EQ(rows_, cols_);
+  GOALREC_CHECK_EQ(rows_, v.size());
+  for (size_t i = 0; i < rows_; ++i) {
+    double vi = v[i] * scale;
+    double* row = Row(i);
+    for (size_t j = 0; j < cols_; ++j) row[j] += vi * v[j];
+  }
+}
+
+StatusOr<DenseVector> CholeskySolve(const DenseMatrix& a,
+                                    const DenseVector& b) {
+  GOALREC_CHECK_EQ(a.rows(), a.cols());
+  GOALREC_CHECK_EQ(a.rows(), b.size());
+  const size_t n = a.rows();
+  // Lower-triangular factor L with A = L Lᵀ.
+  DenseMatrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a.At(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l.At(i, k) * l.At(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          return FailedPreconditionError(
+              "matrix is not positive definite (pivot <= 0)");
+        }
+        l.At(i, i) = std::sqrt(sum);
+      } else {
+        l.At(i, j) = sum / l.At(j, j);
+      }
+    }
+  }
+  // Forward substitution: L y = b.
+  DenseVector y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l.At(i, k) * y[k];
+    y[i] = sum / l.At(i, i);
+  }
+  // Back substitution: Lᵀ x = y.
+  DenseVector x(n, 0.0);
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double sum = y[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= l.At(k, i) * x[k];
+    x[i] = sum / l.At(i, i);
+  }
+  return x;
+}
+
+}  // namespace goalrec::util

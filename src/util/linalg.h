@@ -1,0 +1,61 @@
+#ifndef GOALREC_UTIL_LINALG_H_
+#define GOALREC_UTIL_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/dense_vector.h"
+#include "util/status.h"
+
+// Small dense linear algebra for the ALS-WR matrix-factorisation baseline:
+// each ALS half-step solves one ridge-regularised normal-equation system
+// (A + λnI)x = b per user/item, with A of dimension = latent factor count
+// (typically 10–50), so a simple Cholesky solver is the right tool.
+
+namespace goalrec::util {
+
+/// Row-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() : rows_(0), cols_(0) {}
+  /// Creates rows x cols, zero-initialised.
+  DenseMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Pointer to the start of row r.
+  double* Row(size_t r) { return data_.data() + r * cols_; }
+  const double* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  /// Sets every entry to v.
+  void Fill(double v);
+
+  /// this += other (same shape required).
+  void AddInPlace(const DenseMatrix& other);
+
+  /// Adds value to every diagonal entry (square matrices).
+  void AddToDiagonal(double value);
+
+  /// Rank-1 update: this += scale * v vᵀ. Requires square with dim = |v|.
+  void AddOuterProduct(const DenseVector& v, double scale);
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky
+/// decomposition. Returns kFailedPrecondition if A is not SPD
+/// (non-positive pivot encountered).
+StatusOr<DenseVector> CholeskySolve(const DenseMatrix& a,
+                                    const DenseVector& b);
+
+}  // namespace goalrec::util
+
+#endif  // GOALREC_UTIL_LINALG_H_

@@ -1,0 +1,57 @@
+#ifndef GOALREC_UTIL_LOGGING_H_
+#define GOALREC_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+// Minimal CHECK/LOG facility in the spirit of glog, sufficient for a library
+// that does not use exceptions. CHECK failures print the failing condition,
+// the source location and an optional streamed message, then abort.
+
+namespace goalrec::util {
+
+// Accumulates a streamed message and aborts the process on destruction.
+// Used only through the GOALREC_CHECK* macros below.
+class CheckFailure {
+ public:
+  CheckFailure(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  [[noreturn]] ~CheckFailure() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace goalrec::util
+
+// Aborts with a diagnostic when `condition` is false. Additional context can
+// be streamed: GOALREC_CHECK(x > 0) << "x=" << x;
+#define GOALREC_CHECK(condition)                                       \
+  if (condition) {                                                     \
+  } else                                                               \
+    ::goalrec::util::CheckFailure(#condition, __FILE__, __LINE__)
+
+#define GOALREC_CHECK_EQ(a, b) GOALREC_CHECK((a) == (b))
+#define GOALREC_CHECK_NE(a, b) GOALREC_CHECK((a) != (b))
+#define GOALREC_CHECK_LT(a, b) GOALREC_CHECK((a) < (b))
+#define GOALREC_CHECK_LE(a, b) GOALREC_CHECK((a) <= (b))
+#define GOALREC_CHECK_GT(a, b) GOALREC_CHECK((a) > (b))
+#define GOALREC_CHECK_GE(a, b) GOALREC_CHECK((a) >= (b))
+
+#endif  // GOALREC_UTIL_LOGGING_H_

@@ -1,0 +1,111 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace goalrec::util {
+
+Rng::Rng(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  NextUint32();
+  state_ += seed;
+  NextUint32();
+}
+
+uint32_t Rng::NextUint32() {
+  uint64_t old_state = state_;
+  state_ = old_state * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted =
+      static_cast<uint32_t>(((old_state >> 18u) ^ old_state) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old_state >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Rng::NextUint64() {
+  return (static_cast<uint64_t>(NextUint32()) << 32) | NextUint32();
+}
+
+uint32_t Rng::UniformUint32(uint32_t bound) {
+  GOALREC_CHECK_GT(bound, 0u);
+  // Lemire-style rejection sampling to remove modulo bias.
+  uint32_t threshold = (0u - bound) % bound;
+  for (;;) {
+    uint32_t r = NextUint32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  GOALREC_CHECK_LE(lo, hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(NextUint64());  // full range
+  uint64_t threshold = (0ULL - range) % range;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return lo + static_cast<int64_t>(r % range);
+  }
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-300);
+  double u2 = UniformDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double angle = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  GOALREC_CHECK_LE(k, n);
+  // Partial Fisher–Yates over an index array; O(n) memory but simple and
+  // exact. Callers sampling tiny k from huge n should use rejection instead;
+  // within this project n is at most a few million.
+  std::vector<uint32_t> indices(n);
+  for (uint32_t i = 0; i < n; ++i) indices[i] = i;
+  for (uint32_t i = 0; i < k; ++i) {
+    uint32_t j = i + UniformUint32(n - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+ZipfSampler::ZipfSampler(uint32_t n, double exponent) {
+  GOALREC_CHECK_GT(n, 0u);
+  GOALREC_CHECK_GE(exponent, 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint32_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r) + 1.0, exponent);
+    cdf_[r] = total;
+  }
+  for (double& v : cdf_) v /= total;
+}
+
+uint32_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return static_cast<uint32_t>(cdf_.size() - 1);
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+}  // namespace goalrec::util

@@ -1,0 +1,85 @@
+#include "util/set_ops.h"
+
+#include <algorithm>
+
+namespace goalrec::util {
+
+bool IsSortedSet(const IdVector& ids) {
+  for (size_t i = 1; i < ids.size(); ++i) {
+    if (ids[i - 1] >= ids[i]) return false;
+  }
+  return true;
+}
+
+void Normalize(IdVector& ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+size_t IntersectionSize(const IdVector& a, const IdVector& b) {
+  size_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+size_t DifferenceSize(const IdVector& a, const IdVector& b) {
+  size_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++count;
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return count + (a.size() - i);
+}
+
+IdVector Intersect(const IdVector& a, const IdVector& b) {
+  IdVector out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+IdVector Difference(const IdVector& a, const IdVector& b) {
+  IdVector out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+IdVector Union(const IdVector& a, const IdVector& b) {
+  IdVector out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+bool IsSubset(const IdVector& a, const IdVector& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+bool Contains(const IdVector& set, uint32_t id) {
+  return std::binary_search(set.begin(), set.end(), id);
+}
+
+}  // namespace goalrec::util

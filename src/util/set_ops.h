@@ -1,0 +1,47 @@
+#ifndef GOALREC_UTIL_SET_OPS_H_
+#define GOALREC_UTIL_SET_OPS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+// Operations on sets represented as strictly increasing sorted vectors of
+// 32-bit ids. This is the representation the goal model uses for
+// implementation activities and user histories: it is cache-friendly and
+// makes the intersection/difference costs discussed in §5.4 of the paper
+// explicit and measurable (see bench/micro_setops).
+
+namespace goalrec::util {
+
+using IdVector = std::vector<uint32_t>;
+
+/// True iff `ids` is strictly increasing (a valid set representation).
+bool IsSortedSet(const IdVector& ids);
+
+/// Sorts and deduplicates `ids` in place, producing a valid set.
+void Normalize(IdVector& ids);
+
+/// |a ∩ b| without materialising the intersection.
+size_t IntersectionSize(const IdVector& a, const IdVector& b);
+
+/// |a − b| (asymmetric difference) without materialising it.
+size_t DifferenceSize(const IdVector& a, const IdVector& b);
+
+/// a ∩ b as a sorted set.
+IdVector Intersect(const IdVector& a, const IdVector& b);
+
+/// a − b as a sorted set.
+IdVector Difference(const IdVector& a, const IdVector& b);
+
+/// a ∪ b as a sorted set.
+IdVector Union(const IdVector& a, const IdVector& b);
+
+/// True iff a ⊆ b.
+bool IsSubset(const IdVector& a, const IdVector& b);
+
+/// True iff `id` ∈ `set` (binary search).
+bool Contains(const IdVector& set, uint32_t id);
+
+}  // namespace goalrec::util
+
+#endif  // GOALREC_UTIL_SET_OPS_H_

@@ -1,0 +1,103 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace goalrec::util {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double sum = 0.0;
+  for (double v : values) {
+    double d = v - mean;
+    sum += d * d;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  GOALREC_CHECK_EQ(x.size(), y.size());
+  if (x.size() < 2) return 0.0;
+  double mx = Mean(x);
+  double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mx;
+    double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0.0;
+  for (double v : values) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+  }
+  s.avg = sum / static_cast<double>(values.size());
+  return s;
+}
+
+Histogram::Histogram(size_t num_buckets) : counts_(num_buckets, 0) {
+  GOALREC_CHECK_GT(num_buckets, 0u);
+}
+
+void Histogram::Add(double value) {
+  double clamped = std::clamp(value, 0.0, 1.0);
+  size_t bucket = static_cast<size_t>(clamped * static_cast<double>(
+                                                    counts_.size()));
+  if (bucket >= counts_.size()) bucket = counts_.size() - 1;
+  ++counts_[bucket];
+  ++total_;
+}
+
+double Histogram::Fraction(size_t i) const {
+  GOALREC_CHECK_LT(i, counts_.size());
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+double Histogram::FractionBelow(double threshold) const {
+  if (total_ == 0) return 0.0;
+  size_t limit = static_cast<size_t>(std::clamp(threshold, 0.0, 1.0) *
+                                     static_cast<double>(counts_.size()));
+  size_t below = 0;
+  for (size_t i = 0; i < limit && i < counts_.size(); ++i) below += counts_[i];
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream out;
+  double width = 1.0 / static_cast<double>(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double lo = width * static_cast<double>(i);
+    double hi = lo + width;
+    out << "[" << lo << ", " << hi << ") " << counts_[i] << " " << Fraction(i)
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace goalrec::util

@@ -1,0 +1,66 @@
+#ifndef GOALREC_UTIL_STATS_H_
+#define GOALREC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+// Descriptive statistics used by the evaluation harness: Pearson correlation
+// (Table 3), min/avg/max summaries (Tables 4 and 5) and bucketed frequency
+// histograms (Figures 5 and 6).
+
+namespace goalrec::util {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Population variance; 0 for inputs with fewer than two elements.
+double Variance(const std::vector<double>& values);
+
+/// Pearson correlation coefficient of two equal-length series in [-1, 1].
+/// Returns 0 when either series is constant (correlation undefined).
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Min/avg/max of a series, the aggregate shape reported throughout §6.1.
+struct Summary {
+  double min = 0.0;
+  double avg = 0.0;
+  double max = 0.0;
+  size_t count = 0;
+};
+
+/// Computes the summary; all fields zero for an empty input.
+Summary Summarize(const std::vector<double>& values);
+
+/// Fixed-width histogram over [0, 1] used for the frequency figures. Values
+/// outside the range are clamped into the first/last bucket.
+class Histogram {
+ public:
+  /// Requires num_buckets > 0.
+  explicit Histogram(size_t num_buckets);
+
+  void Add(double value);
+
+  size_t num_buckets() const { return counts_.size(); }
+  size_t bucket_count(size_t i) const { return counts_[i]; }
+  size_t total() const { return total_; }
+
+  /// Fraction of observations in bucket i; 0 if the histogram is empty.
+  double Fraction(size_t i) const;
+
+  /// Fraction of observations with value < threshold (approximated at bucket
+  /// resolution: buckets entirely below the threshold are counted).
+  double FractionBelow(double threshold) const;
+
+  /// One line per bucket: "[lo, hi) count fraction".
+  std::string ToString() const;
+
+ private:
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace goalrec::util
+
+#endif  // GOALREC_UTIL_STATS_H_

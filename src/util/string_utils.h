@@ -1,0 +1,28 @@
+#ifndef GOALREC_UTIL_STRING_UTILS_H_
+#define GOALREC_UTIL_STRING_UTILS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace goalrec::util {
+
+/// Splits on `delimiter`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Lowercases ASCII letters.
+std::string ToLower(std::string_view text);
+
+/// True iff `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+}  // namespace goalrec::util
+
+#endif  // GOALREC_UTIL_STRING_UTILS_H_

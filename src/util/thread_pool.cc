@@ -1,0 +1,89 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace goalrec::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t count = std::max<size_t>(1, num_threads);
+  threads_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    GOALREC_CHECK(!shutdown_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                 size_t num_threads) {
+  if (n == 0) return;
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 4;
+  size_t workers = num_threads == 0 ? hw : num_threads;
+  workers = std::min(workers, n);
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  size_t chunk = (n + workers - 1) / workers;
+  for (size_t w = 0; w < workers; ++w) {
+    size_t begin = w * chunk;
+    size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back([begin, end, &body] {
+      for (size_t i = begin; i < end; ++i) body(i);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace goalrec::util

@@ -1,0 +1,56 @@
+#ifndef GOALREC_UTIL_THREAD_POOL_H_
+#define GOALREC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+// Fixed-size worker pool plus a blocking ParallelFor. The experiment runner
+// evaluates thousands of user activities per recommender; runs are
+// embarrassingly parallel across users.
+
+namespace goalrec::util {
+
+/// Fixed pool of worker threads executing submitted tasks FIFO.
+/// Not copyable or movable. The destructor drains the queue and joins.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs body(i) for i in [0, n), partitioned into contiguous chunks across
+/// `num_threads` (0 = hardware concurrency). Blocks until all complete.
+/// `body` must be safe to invoke concurrently for distinct i.
+void ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                 size_t num_threads = 0);
+
+}  // namespace goalrec::util
+
+#endif  // GOALREC_UTIL_THREAD_POOL_H_

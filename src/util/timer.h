@@ -1,0 +1,37 @@
+#ifndef GOALREC_UTIL_TIMER_H_
+#define GOALREC_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace goalrec::util {
+
+/// Wall-clock stopwatch used by the scaling experiments (Figure 7) and the
+/// micro-benchmarks' self-reported timings.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in whole microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace goalrec::util
+
+#endif  // GOALREC_UTIL_TIMER_H_

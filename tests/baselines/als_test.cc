@@ -1,0 +1,100 @@
+#include "baselines/als.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace goalrec::baselines {
+namespace {
+
+AlsOptions FastOptions() {
+  AlsOptions options;
+  options.num_factors = 8;
+  options.num_iterations = 8;
+  return options;
+}
+
+TEST(AlsTest, Name) {
+  InteractionData data({{0}}, 1);
+  EXPECT_EQ(AlsRecommender(&data, FastOptions()).name(), "CF_MF");
+}
+
+TEST(AlsTest, ReconstructsBlockStructure) {
+  // Two disjoint user communities; a new user from community A must be
+  // recommended community-A items.
+  std::vector<model::Activity> users;
+  for (int i = 0; i < 12; ++i) users.push_back({0, 1, 2});       // community A
+  for (int i = 0; i < 12; ++i) users.push_back({3, 4, 5});       // community B
+  InteractionData data(std::move(users), 6);
+  AlsRecommender als(&data, FastOptions());
+  core::RecommendationList list = als.Recommend({0, 1}, 2);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].action, 2u);
+  EXPECT_TRUE(list[1].action == 3u || list[1].action == 4u ||
+              list[1].action == 5u);
+  EXPECT_GT(list[0].score, list[1].score);
+}
+
+TEST(AlsTest, PredictsHigherForObservedPattern) {
+  std::vector<model::Activity> users;
+  for (int i = 0; i < 10; ++i) users.push_back({0, 1});
+  for (int i = 0; i < 10; ++i) users.push_back({2, 3});
+  InteractionData data(std::move(users), 4);
+  AlsRecommender als(&data, FastOptions());
+  util::DenseVector u = als.FoldInUser({0});
+  EXPECT_GT(als.Predict(u, 1), als.Predict(u, 3));
+}
+
+TEST(AlsTest, FoldInOfEmptyActivityIsZeroVector) {
+  InteractionData data({{0, 1}}, 2);
+  AlsRecommender als(&data, FastOptions());
+  util::DenseVector u = als.FoldInUser({});
+  for (double v : u) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(AlsTest, DeterministicForFixedSeed) {
+  std::vector<model::Activity> users = {{0, 1}, {1, 2}, {0, 2}};
+  InteractionData data(users, 3);
+  AlsRecommender a(&data, FastOptions());
+  AlsRecommender b(&data, FastOptions());
+  EXPECT_EQ(a.Recommend({0}, 3), b.Recommend({0}, 3));
+}
+
+TEST(AlsTest, MoreIterationsDoNotIncreaseObjective) {
+  std::vector<model::Activity> users = {{0, 1}, {1, 2}, {0, 2}, {0, 1, 2},
+                                        {3},    {3, 4}, {4}};
+  InteractionData data(users, 5);
+  AlsOptions few = FastOptions();
+  few.num_iterations = 1;
+  AlsOptions many = FastOptions();
+  many.num_iterations = 12;
+  double objective_few = AlsRecommender(&data, few).Objective();
+  double objective_many = AlsRecommender(&data, many).Objective();
+  EXPECT_LE(objective_many, objective_few + 1e-9);
+}
+
+TEST(AlsTest, DoesNotRecommendQueryActions) {
+  std::vector<model::Activity> users = {{0, 1, 2}, {1, 2, 3}};
+  InteractionData data(users, 4);
+  AlsRecommender als(&data, FastOptions());
+  for (const core::ScoredAction& entry : als.Recommend({1, 2}, 10)) {
+    EXPECT_NE(entry.action, 1u);
+    EXPECT_NE(entry.action, 2u);
+  }
+}
+
+TEST(AlsTest, EmptyQueryGivesEmptyList) {
+  InteractionData data({{0}}, 1);
+  AlsRecommender als(&data, FastOptions());
+  EXPECT_TRUE(als.Recommend({}, 5).empty());
+}
+
+TEST(AlsTest, RespectsK) {
+  std::vector<model::Activity> users = {{0, 1, 2, 3, 4, 5}};
+  InteractionData data(users, 6);
+  AlsRecommender als(&data, FastOptions());
+  EXPECT_EQ(als.Recommend({0}, 3).size(), 3u);
+}
+
+}  // namespace
+}  // namespace goalrec::baselines

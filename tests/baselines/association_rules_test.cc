@@ -1,0 +1,103 @@
+#include "baselines/association_rules.h"
+
+#include <gtest/gtest.h>
+
+namespace goalrec::baselines {
+namespace {
+
+AssociationRuleOptions Permissive() {
+  AssociationRuleOptions options;
+  options.min_support_count = 1;
+  options.min_confidence = 0.0;
+  return options;
+}
+
+TEST(AssociationRulesTest, Name) {
+  InteractionData data({{0, 1}}, 2);
+  EXPECT_EQ(AssociationRuleRecommender(&data, Permissive()).name(),
+            "AssocRules");
+}
+
+TEST(AssociationRulesTest, MinesPairConfidence) {
+  // {0,1} together twice; 0 appears 3 times, 1 twice.
+  InteractionData data({{0, 1}, {0, 1}, {0, 2}}, 3);
+  AssociationRuleRecommender rules(&data, Permissive());
+  EXPECT_NEAR(rules.RuleConfidence(0, 1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(rules.RuleConfidence(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(rules.RuleConfidence(0, 2), 1.0 / 3.0, 1e-12);
+}
+
+TEST(AssociationRulesTest, MinSupportFiltersRarePairs) {
+  InteractionData data({{0, 1}, {0, 1}, {0, 2}}, 3);
+  AssociationRuleOptions options;
+  options.min_support_count = 2;
+  options.min_confidence = 0.0;
+  AssociationRuleRecommender rules(&data, options);
+  EXPECT_GT(rules.RuleConfidence(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(rules.RuleConfidence(0, 2), 0.0);  // support 1 < 2
+}
+
+TEST(AssociationRulesTest, MinConfidenceFiltersWeakRules) {
+  InteractionData data({{0, 1}, {0, 2}, {0, 3}, {0, 1}}, 4);
+  AssociationRuleOptions options;
+  options.min_support_count = 1;
+  options.min_confidence = 0.4;
+  AssociationRuleRecommender rules(&data, options);
+  // conf(0 -> 1) = 2/4 = 0.5 survives; conf(0 -> 2) = 1/4 filtered.
+  EXPECT_GT(rules.RuleConfidence(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(rules.RuleConfidence(0, 2), 0.0);
+}
+
+TEST(AssociationRulesTest, RecommendFiresRulesFromActivity) {
+  InteractionData data({{0, 1}, {0, 1}, {2, 3}}, 4);
+  AssociationRuleRecommender rules(&data, Permissive());
+  core::RecommendationList list = rules.Recommend({0}, 10);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].action, 1u);
+}
+
+TEST(AssociationRulesTest, SumsConfidenceAcrossAntecedents) {
+  // Action 2 is implied by both 0 and 1; recommending for {0, 1} should
+  // rank it above an action implied by only one of them.
+  InteractionData data({{0, 1, 2}, {0, 2}, {1, 2}, {0, 3}}, 4);
+  AssociationRuleRecommender rules(&data, Permissive());
+  core::RecommendationList list = rules.Recommend({0, 1}, 10);
+  ASSERT_GE(list.size(), 2u);
+  EXPECT_EQ(list[0].action, 2u);
+}
+
+TEST(AssociationRulesTest, DoesNotRecommendPerformedActions) {
+  InteractionData data({{0, 1, 2}}, 3);
+  AssociationRuleRecommender rules(&data, Permissive());
+  for (const core::ScoredAction& entry : rules.Recommend({0, 1}, 10)) {
+    EXPECT_NE(entry.action, 0u);
+    EXPECT_NE(entry.action, 1u);
+  }
+}
+
+TEST(AssociationRulesTest, NumRulesCountsBothDirections) {
+  InteractionData data({{0, 1}}, 2);
+  AssociationRuleRecommender rules(&data, Permissive());
+  EXPECT_EQ(rules.num_rules(), 2u);  // 0 -> 1 and 1 -> 0
+}
+
+TEST(AssociationRulesTest, EmptyActivityGivesEmptyList) {
+  InteractionData data({{0, 1}}, 2);
+  AssociationRuleRecommender rules(&data, Permissive());
+  EXPECT_TRUE(rules.Recommend({}, 10).empty());
+}
+
+TEST(AssociationRulesTest, PopularityBound) {
+  // The §2 argument: actions never co-purchased are unreachable no matter
+  // how useful — rules cannot recommend them.
+  InteractionData data({{0, 1}, {0, 1}, {2}}, 4);
+  AssociationRuleRecommender rules(&data, Permissive());
+  core::RecommendationList list = rules.Recommend({0}, 10);
+  for (const core::ScoredAction& entry : list) {
+    EXPECT_NE(entry.action, 2u);  // never co-occurred with 0
+    EXPECT_NE(entry.action, 3u);  // never seen at all
+  }
+}
+
+}  // namespace
+}  // namespace goalrec::baselines

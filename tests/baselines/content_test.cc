@@ -1,0 +1,105 @@
+#include "baselines/content_based.h"
+
+#include <gtest/gtest.h>
+
+namespace goalrec::baselines {
+namespace {
+
+model::ActionFeatureTable MakeTable() {
+  model::ActionFeatureTable table;
+  table.num_features = 3;
+  table.features = {
+      {0},     // a0: vegetables
+      {0},     // a1: vegetables
+      {1},     // a2: dairy
+      {0, 1},  // a3: vegetables + dairy
+      {2},     // a4: spices
+      {},      // a5: featureless
+  };
+  return table;
+}
+
+TEST(ContentTest, Name) {
+  model::ActionFeatureTable table = MakeTable();
+  EXPECT_EQ(ContentRecommender(&table).name(), "Content");
+}
+
+TEST(ContentTest, ProfileSumsFeatureVectors) {
+  model::ActionFeatureTable table = MakeTable();
+  ContentRecommender content(&table);
+  util::DenseVector profile = content.Profile({0, 2, 3});
+  EXPECT_EQ(profile, (util::DenseVector{2.0, 2.0, 0.0}));
+}
+
+TEST(ContentTest, RecommendsFeatureSimilarActions) {
+  model::ActionFeatureTable table = MakeTable();
+  ContentRecommender content(&table);
+  // Activity of vegetables -> the other vegetable item wins.
+  core::RecommendationList list = content.Recommend({0}, 10);
+  ASSERT_FALSE(list.empty());
+  EXPECT_EQ(list[0].action, 1u);
+}
+
+TEST(ContentTest, MultiLabelActionRanksBetweenExactAndDisjoint) {
+  model::ActionFeatureTable table = MakeTable();
+  ContentRecommender content(&table);
+  core::RecommendationList list = content.Recommend({0}, 10);
+  // a1 (same category) > a3 (half match); a2/a4 (no match) are absent.
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].action, 1u);
+  EXPECT_EQ(list[1].action, 3u);
+}
+
+TEST(ContentTest, IgnoresFeaturelessActions) {
+  model::ActionFeatureTable table = MakeTable();
+  ContentRecommender content(&table);
+  for (const core::ScoredAction& entry : content.Recommend({0}, 10)) {
+    EXPECT_NE(entry.action, 5u);
+  }
+}
+
+TEST(ContentTest, FeaturelessActivityGivesEmptyList) {
+  model::ActionFeatureTable table = MakeTable();
+  ContentRecommender content(&table);
+  EXPECT_TRUE(content.Recommend({5}, 10).empty());
+}
+
+TEST(ContentTest, EmptyActivityGivesEmptyList) {
+  model::ActionFeatureTable table = MakeTable();
+  ContentRecommender content(&table);
+  EXPECT_TRUE(content.Recommend({}, 10).empty());
+}
+
+TEST(ContentTest, DoesNotRecommendPerformedActions) {
+  model::ActionFeatureTable table = MakeTable();
+  ContentRecommender content(&table);
+  for (const core::ScoredAction& entry : content.Recommend({0, 1}, 10)) {
+    EXPECT_NE(entry.action, 0u);
+    EXPECT_NE(entry.action, 1u);
+  }
+}
+
+TEST(ContentTest, RespectsK) {
+  model::ActionFeatureTable table = MakeTable();
+  ContentRecommender content(&table);
+  EXPECT_EQ(content.Recommend({0}, 1).size(), 1u);
+  EXPECT_TRUE(content.Recommend({0}, 0).empty());
+}
+
+TEST(ContentTest, HighSelfSimilarityWithinLists) {
+  // The Table 5 phenomenon: content lists are homogeneous. All
+  // recommendations for a vegetable activity share the vegetable feature.
+  model::ActionFeatureTable table = MakeTable();
+  ContentRecommender content(&table);
+  core::RecommendationList list = content.Recommend({0}, 10);
+  for (size_t i = 0; i < list.size(); ++i) {
+    for (size_t j = i + 1; j < list.size(); ++j) {
+      EXPECT_GT(
+          model::FeatureSimilarity(table, list[i].action, list[j].action),
+          0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace goalrec::baselines

@@ -1,0 +1,51 @@
+#include "baselines/interaction_data.h"
+
+#include <gtest/gtest.h>
+
+namespace goalrec::baselines {
+namespace {
+
+TEST(InteractionDataTest, BasicAccessors) {
+  InteractionData data({{0, 2}, {1}, {0, 1, 2}}, 3);
+  EXPECT_EQ(data.num_users(), 3u);
+  EXPECT_EQ(data.num_actions(), 3u);
+  EXPECT_EQ(data.ActionsOfUser(0), (model::Activity{0, 2}));
+  EXPECT_EQ(data.ActionsOfUser(1), (model::Activity{1}));
+}
+
+TEST(InteractionDataTest, InvertedIndex) {
+  InteractionData data({{0, 2}, {1}, {0, 1, 2}}, 3);
+  EXPECT_EQ(data.UsersOfAction(0), (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(data.UsersOfAction(1), (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(data.UsersOfAction(2), (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(InteractionDataTest, ActionCount) {
+  InteractionData data({{0}, {0}, {1}}, 2);
+  EXPECT_EQ(data.ActionCount(0), 2u);
+  EXPECT_EQ(data.ActionCount(1), 1u);
+}
+
+TEST(InteractionDataTest, NormalisesUnsortedActivities) {
+  InteractionData data({{2, 0, 2}}, 3);
+  EXPECT_EQ(data.ActionsOfUser(0), (model::Activity{0, 2}));
+  EXPECT_EQ(data.ActionCount(2), 1u);
+}
+
+TEST(InteractionDataTest, ActionWithNoUsers) {
+  InteractionData data({{0}}, 5);
+  EXPECT_TRUE(data.UsersOfAction(4).empty());
+}
+
+TEST(InteractionDataTest, EmptyData) {
+  InteractionData data({}, 2);
+  EXPECT_EQ(data.num_users(), 0u);
+  EXPECT_TRUE(data.UsersOfAction(0).empty());
+}
+
+TEST(InteractionDataDeathTest, ActionIdOutOfRangeAborts) {
+  EXPECT_DEATH({ InteractionData data({{7}}, 3); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace goalrec::baselines

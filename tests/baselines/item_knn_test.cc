@@ -1,0 +1,91 @@
+#include "baselines/item_knn.h"
+
+#include <gtest/gtest.h>
+
+namespace goalrec::baselines {
+namespace {
+
+TEST(ItemKnnTest, Name) {
+  InteractionData data({{0, 1}}, 2);
+  EXPECT_EQ(ItemKnnRecommender(&data).name(), "CF_itemKNN");
+}
+
+TEST(ItemKnnTest, ItemSimilarityIsTanimoto) {
+  // Items 0 and 1 co-occur twice; item 0 in 3 users, item 1 in 2.
+  InteractionData data({{0, 1}, {0, 1}, {0, 2}}, 3);
+  ItemKnnRecommender knn(&data);
+  // Jaccard = 2 / (3 + 2 - 2) = 2/3.
+  EXPECT_NEAR(knn.ItemSimilarity(0, 1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(knn.ItemSimilarity(1, 0), 2.0 / 3.0, 1e-12);
+  // 1 and 2 never co-occur.
+  EXPECT_DOUBLE_EQ(knn.ItemSimilarity(1, 2), 0.0);
+}
+
+TEST(ItemKnnTest, MinCooccurrenceFilters) {
+  InteractionData data({{0, 1}, {0, 1}, {0, 2}}, 3);
+  ItemKnnOptions options;
+  options.min_cooccurrence = 2;
+  ItemKnnRecommender knn(&data, options);
+  EXPECT_GT(knn.ItemSimilarity(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(knn.ItemSimilarity(0, 2), 0.0);  // co-occurs once
+}
+
+TEST(ItemKnnTest, NeighborhoodCapKeepsStrongest) {
+  // Item 0 co-occurs strongly with 1 and weakly with 2 and 3.
+  InteractionData data({{0, 1}, {0, 1}, {0, 1}, {0, 2}, {0, 3}, {2}, {3}},
+                       4);
+  ItemKnnOptions options;
+  options.neighbors_per_item = 1;
+  ItemKnnRecommender knn(&data, options);
+  EXPECT_GT(knn.ItemSimilarity(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(knn.ItemSimilarity(0, 2), 0.0);  // evicted by the cap
+}
+
+TEST(ItemKnnTest, RecommendsCoOccurringItems) {
+  InteractionData data({{0, 1, 2}, {0, 1}, {3, 4}}, 5);
+  ItemKnnRecommender knn(&data);
+  core::RecommendationList list = knn.Recommend({0}, 10);
+  ASSERT_GE(list.size(), 1u);
+  EXPECT_EQ(list[0].action, 1u);  // strongest co-occurrence with 0
+  for (const core::ScoredAction& entry : list) {
+    EXPECT_NE(entry.action, 3u);
+    EXPECT_NE(entry.action, 4u);
+  }
+}
+
+TEST(ItemKnnTest, SumsSimilaritiesAcrossActivityItems) {
+  // Item 4 is a neighbour of both 0 and 1; item 5 only of 0.
+  InteractionData data({{0, 4}, {1, 4}, {0, 5}}, 6);
+  ItemKnnRecommender knn(&data);
+  core::RecommendationList list = knn.Recommend({0, 1}, 10);
+  ASSERT_GE(list.size(), 2u);
+  EXPECT_EQ(list[0].action, 4u);
+  EXPECT_GT(list[0].score, list[1].score);
+}
+
+TEST(ItemKnnTest, DoesNotRecommendActivityItems) {
+  InteractionData data({{0, 1, 2}}, 3);
+  ItemKnnRecommender knn(&data);
+  for (const core::ScoredAction& entry : knn.Recommend({0, 1}, 10)) {
+    EXPECT_NE(entry.action, 0u);
+    EXPECT_NE(entry.action, 1u);
+  }
+}
+
+TEST(ItemKnnTest, EmptyQueryAndKZero) {
+  InteractionData data({{0, 1}}, 2);
+  ItemKnnRecommender knn(&data);
+  EXPECT_TRUE(knn.Recommend({}, 5).empty());
+  EXPECT_TRUE(knn.Recommend({0}, 0).empty());
+}
+
+TEST(ItemKnnTest, UnknownQueryItemsIgnored) {
+  InteractionData data({{0, 1}}, 2);
+  ItemKnnRecommender knn(&data);
+  core::RecommendationList list = knn.Recommend({0, 77}, 10);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].action, 1u);
+}
+
+}  // namespace
+}  // namespace goalrec::baselines

@@ -1,0 +1,106 @@
+#include "baselines/knn.h"
+
+#include <gtest/gtest.h>
+
+namespace goalrec::baselines {
+namespace {
+
+TEST(KnnTest, Name) {
+  InteractionData data({{0}}, 1);
+  EXPECT_EQ(KnnRecommender(&data).name(), "CF_kNN");
+}
+
+TEST(KnnTest, UserSimilarityIsTanimoto) {
+  InteractionData data({{0, 1, 2}, {3}}, 4);
+  KnnRecommender knn(&data);
+  // |{0,1} ∩ {0,1,2}| / |{0,1} ∪ {0,1,2}| = 2/3
+  EXPECT_NEAR(knn.UserSimilarity({0, 1}, 0), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(knn.UserSimilarity({0, 1}, 1), 0.0);
+}
+
+TEST(KnnTest, RecommendsWhatSimilarUsersDid) {
+  // Users 0 and 1 both bought {0, 1}; user 0 also bought 2. A query of
+  // {0, 1} should be recommended 2.
+  InteractionData data({{0, 1, 2}, {0, 1}, {3, 4}}, 5);
+  KnnRecommender knn(&data);
+  core::RecommendationList list = knn.Recommend({0, 1}, 10);
+  ASSERT_FALSE(list.empty());
+  EXPECT_EQ(list[0].action, 2u);
+}
+
+TEST(KnnTest, DoesNotRecommendQueryActions) {
+  InteractionData data({{0, 1, 2}}, 3);
+  KnnRecommender knn(&data);
+  for (const core::ScoredAction& entry : knn.Recommend({0, 1}, 10)) {
+    EXPECT_NE(entry.action, 0u);
+    EXPECT_NE(entry.action, 1u);
+  }
+}
+
+TEST(KnnTest, MoreSimilarNeighborsContributeMore) {
+  // Neighbor 0 (sim 1.0 with query {0,1}) did action 2; neighbor 1
+  // (sim 1/3) did action 3. Action 2 must outrank 3.
+  InteractionData data({{0, 1, 2}, {0, 3}}, 4);
+  KnnRecommender knn(&data);
+  core::RecommendationList list = knn.Recommend({0, 1}, 10);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].action, 2u);
+  EXPECT_EQ(list[1].action, 3u);
+  EXPECT_GT(list[0].score, list[1].score);
+}
+
+TEST(KnnTest, NeighborhoodSizeLimitsInfluence) {
+  // With num_neighbors = 1 only the closest user matters.
+  InteractionData data({{0, 1, 2}, {0, 3}}, 4);
+  KnnOptions options;
+  options.num_neighbors = 1;
+  KnnRecommender knn(&data, options);
+  core::RecommendationList list = knn.Recommend({0, 1}, 10);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].action, 2u);
+}
+
+TEST(KnnTest, NoOverlapNoRecommendations) {
+  InteractionData data({{0, 1}}, 4);
+  KnnRecommender knn(&data);
+  EXPECT_TRUE(knn.Recommend({2, 3}, 10).empty());
+}
+
+TEST(KnnTest, EmptyQueryGivesEmptyList) {
+  InteractionData data({{0}}, 1);
+  KnnRecommender knn(&data);
+  EXPECT_TRUE(knn.Recommend({}, 10).empty());
+}
+
+TEST(KnnTest, RespectsK) {
+  InteractionData data({{0, 1, 2, 3, 4}}, 5);
+  KnnRecommender knn(&data);
+  EXPECT_EQ(knn.Recommend({0}, 2).size(), 2u);
+  EXPECT_TRUE(knn.Recommend({0}, 0).empty());
+}
+
+TEST(KnnTest, QueryActionsOutsideTrainingUniverseAreIgnored) {
+  InteractionData data({{0, 1}}, 2);
+  KnnRecommender knn(&data);
+  core::RecommendationList list = knn.Recommend({0, 99}, 10);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].action, 1u);
+}
+
+TEST(KnnTest, PerpetuatesPopularity) {
+  // The behaviour Table 3 quantifies: actions frequent in the community
+  // dominate kNN lists. Action 5 is performed by every neighbour.
+  std::vector<model::Activity> users;
+  for (uint32_t u = 0; u < 10; ++u) {
+    users.push_back({0, 5});  // everyone shares item 0 and popular item 5
+  }
+  users.push_back({0, 6});  // one user with a rare item
+  InteractionData data(std::move(users), 7);
+  KnnRecommender knn(&data);
+  core::RecommendationList list = knn.Recommend({0}, 2);
+  ASSERT_FALSE(list.empty());
+  EXPECT_EQ(list[0].action, 5u);
+}
+
+}  // namespace
+}  // namespace goalrec::baselines

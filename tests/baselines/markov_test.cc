@@ -1,0 +1,105 @@
+#include "baselines/markov.h"
+
+#include <gtest/gtest.h>
+
+#include "data/fortythree.h"
+
+namespace goalrec::baselines {
+namespace {
+
+using Sequence = std::vector<model::ActionId>;
+
+TEST(MarkovTest, Name) {
+  MarkovRecommender markov({});
+  EXPECT_EQ(markov.name(), "Markov");
+}
+
+TEST(MarkovTest, TransitionProbabilities) {
+  // From 0: twice to 1, once to 2.
+  MarkovRecommender markov({{0, 1}, {0, 1}, {0, 2}});
+  EXPECT_NEAR(markov.TransitionProbability(0, 1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(markov.TransitionProbability(0, 2), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(markov.TransitionProbability(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(markov.TransitionProbability(9, 0), 0.0);
+}
+
+TEST(MarkovTest, ChainsCountEachStep) {
+  MarkovRecommender markov({{0, 1, 2, 0, 1}});
+  // Transitions: 0->1 twice (of two 0-departures), 1->2 once (the final 1
+  // ends the sequence), 2->0 once.
+  EXPECT_DOUBLE_EQ(markov.TransitionProbability(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(markov.TransitionProbability(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(markov.TransitionProbability(2, 0), 1.0);
+  EXPECT_EQ(markov.num_transitions(), 3u);
+}
+
+TEST(MarkovTest, ShortSequencesIgnored) {
+  std::vector<Sequence> sequences = {Sequence{5}, Sequence{}};
+  MarkovRecommender markov(std::move(sequences));
+  EXPECT_EQ(markov.num_transitions(), 0u);
+}
+
+TEST(MarkovTest, MinTransitionCountFilters) {
+  MarkovOptions options;
+  options.min_transition_count = 2;
+  MarkovRecommender markov({{0, 1}, {0, 1}, {0, 2}}, options);
+  EXPECT_GT(markov.TransitionProbability(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(markov.TransitionProbability(0, 2), 0.0);
+}
+
+TEST(MarkovTest, RecommendsLikelyNextActions) {
+  MarkovRecommender markov({{0, 1, 2}, {0, 1, 3}, {0, 1, 2}});
+  core::RecommendationList list = markov.Recommend({1}, 10);
+  ASSERT_GE(list.size(), 2u);
+  EXPECT_EQ(list[0].action, 2u);  // P(2|1) = 2/3 beats P(3|1) = 1/3
+  EXPECT_EQ(list[1].action, 3u);
+}
+
+TEST(MarkovTest, SumsOverActivityActions) {
+  // 4 follows both 0 and 1; 5 follows only 0.
+  MarkovRecommender markov({{0, 4}, {1, 4}, {0, 5}});
+  core::RecommendationList list = markov.Recommend({0, 1}, 10);
+  ASSERT_GE(list.size(), 2u);
+  EXPECT_EQ(list[0].action, 4u);  // 0.5 + 1.0
+  EXPECT_GT(list[0].score, list[1].score);
+}
+
+TEST(MarkovTest, NeverRecommendsActivityActions) {
+  MarkovRecommender markov({{0, 1, 2}});
+  for (const core::ScoredAction& entry : markov.Recommend({0, 1}, 10)) {
+    EXPECT_NE(entry.action, 0u);
+    EXPECT_NE(entry.action, 1u);
+  }
+}
+
+TEST(MarkovTest, EmptyQueryAndZeroK) {
+  MarkovRecommender markov({{0, 1}});
+  EXPECT_TRUE(markov.Recommend({}, 5).empty());
+  EXPECT_TRUE(markov.Recommend({0}, 0).empty());
+}
+
+TEST(MarkovTest, TrainsOnGeneratedOrderedActivities) {
+  data::Dataset dataset =
+      data::GenerateFortyThree(data::SmallFortyThreeOptions());
+  std::vector<Sequence> sequences;
+  for (const data::UserRecord& user : dataset.users) {
+    ASSERT_EQ(user.ordered_activity.size(), user.full_activity.size());
+    sequences.push_back(user.ordered_activity);
+  }
+  MarkovRecommender markov(std::move(sequences));
+  EXPECT_GT(markov.num_transitions(), 0u);
+  // Recommending from a user's first action must produce something for at
+  // least some users.
+  size_t non_empty = 0;
+  for (size_t u = 0; u < 50 && u < dataset.users.size(); ++u) {
+    if (dataset.users[u].ordered_activity.empty()) continue;
+    if (!markov.Recommend({dataset.users[u].ordered_activity[0]}, 5)
+             .empty()) {
+      ++non_empty;
+    }
+  }
+  EXPECT_GT(non_empty, 10u);
+}
+
+}  // namespace
+}  // namespace goalrec::baselines

@@ -1,0 +1,51 @@
+#include "baselines/popularity.h"
+
+#include <gtest/gtest.h>
+
+namespace goalrec::baselines {
+namespace {
+
+TEST(PopularityTest, Name) {
+  InteractionData data({{0}}, 1);
+  EXPECT_EQ(PopularityRecommender(&data).name(), "Popularity");
+}
+
+TEST(PopularityTest, RanksByGlobalFrequency) {
+  InteractionData data({{0, 1}, {1}, {1, 2}, {2}}, 4);
+  PopularityRecommender pop(&data);
+  core::RecommendationList list = pop.Recommend({}, 10);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].action, 1u);  // 3 users
+  EXPECT_EQ(list[1].action, 2u);  // 2 users
+  EXPECT_EQ(list[2].action, 0u);  // 1 user
+}
+
+TEST(PopularityTest, ExcludesPerformedActions) {
+  InteractionData data({{0, 1}, {1}}, 3);
+  PopularityRecommender pop(&data);
+  core::RecommendationList list = pop.Recommend({1}, 10);
+  for (const core::ScoredAction& entry : list) EXPECT_NE(entry.action, 1u);
+}
+
+TEST(PopularityTest, SkipsNeverPerformedActions) {
+  InteractionData data({{0}}, 5);
+  PopularityRecommender pop(&data);
+  EXPECT_EQ(pop.Recommend({}, 10).size(), 1u);
+}
+
+TEST(PopularityTest, TieBreakByActionId) {
+  InteractionData data({{0, 1, 2}}, 3);
+  PopularityRecommender pop(&data);
+  core::RecommendationList list = pop.Recommend({}, 10);
+  EXPECT_EQ(core::ActionsOf(list), (std::vector<model::ActionId>{0, 1, 2}));
+}
+
+TEST(PopularityTest, RespectsK) {
+  InteractionData data({{0, 1, 2, 3}}, 4);
+  PopularityRecommender pop(&data);
+  EXPECT_EQ(pop.Recommend({}, 2).size(), 2u);
+  EXPECT_TRUE(pop.Recommend({}, 0).empty());
+}
+
+}  // namespace
+}  // namespace goalrec::baselines

@@ -1,0 +1,91 @@
+#include "core/breadth.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace goalrec::core {
+namespace {
+
+using goalrec::testing::A;
+using goalrec::testing::PaperLibrary;
+
+TEST(BreadthTest, Name) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  EXPECT_EQ(BreadthRecommender(&lib).name(), "Breadth");
+}
+
+TEST(BreadthTest, ScoreEquation6) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  BreadthRecommender breadth(&lib);
+  model::Activity h = {A(2), A(3)};
+  // a1 participates in p1 (|A1 ∩ H| = 2) and p2/p3/p5 (0 overlap) -> 2.
+  EXPECT_DOUBLE_EQ(breadth.Score(A(1), h), 2.0);
+  // a6 participates in p4 (overlap 1 via a2) and p5 (overlap 0) -> 1.
+  EXPECT_DOUBLE_EQ(breadth.Score(A(6), h), 1.0);
+  // Members of H score too (used by tests only; Recommend filters them).
+  EXPECT_DOUBLE_EQ(breadth.Score(A(2), h), 3.0);  // p1: 2, p4: 1
+}
+
+TEST(BreadthTest, RecommendPaperExample) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  BreadthRecommender breadth(&lib);
+  RecommendationList list = breadth.Recommend({A(2), A(3)}, 10);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].action, A(1));
+  EXPECT_DOUBLE_EQ(list[0].score, 2.0);
+  EXPECT_EQ(list[1].action, A(6));
+  EXPECT_DOUBLE_EQ(list[1].score, 1.0);
+}
+
+TEST(BreadthTest, TieBreakByActionId) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  BreadthRecommender breadth(&lib);
+  // H = {a1}: every candidate scores 1 -> ascending id order.
+  RecommendationList list = breadth.Recommend({A(1)}, 10);
+  EXPECT_EQ(ActionsOf(list),
+            (std::vector<model::ActionId>{A(2), A(3), A(4), A(5), A(6)}));
+}
+
+TEST(BreadthTest, RespectsK) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  BreadthRecommender breadth(&lib);
+  EXPECT_EQ(breadth.Recommend({A(1)}, 3).size(), 3u);
+  EXPECT_TRUE(breadth.Recommend({A(1)}, 0).empty());
+}
+
+TEST(BreadthTest, ActionsInMultipleRelevantImplsScoreHigher) {
+  model::LibraryBuilder builder;
+  builder.AddImplementation("g1", {"h", "multi"});
+  builder.AddImplementation("g2", {"h", "multi"});
+  builder.AddImplementation("g3", {"h", "single"});
+  model::ImplementationLibrary lib = std::move(builder).Build();
+  BreadthRecommender breadth(&lib);
+  model::ActionId h = *lib.actions().Find("h");
+  RecommendationList list = breadth.Recommend({h}, 10);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].action, *lib.actions().Find("multi"));
+  EXPECT_DOUBLE_EQ(list[0].score, 2.0);
+  EXPECT_DOUBLE_EQ(list[1].score, 1.0);
+}
+
+TEST(BreadthTest, EmptyActivityGivesEmptyList) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  EXPECT_TRUE(BreadthRecommender(&lib).Recommend({}, 10).empty());
+}
+
+TEST(BreadthTest, NeverRecommendsPerformedActions) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  BreadthRecommender breadth(&lib);
+  for (const ScoredAction& entry : breadth.Recommend({A(1), A(6)}, 10)) {
+    EXPECT_NE(entry.action, A(1));
+    EXPECT_NE(entry.action, A(6));
+  }
+}
+
+TEST(BreadthDeathTest, NullLibraryAborts) {
+  EXPECT_DEATH({ BreadthRecommender breadth(nullptr); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace goalrec::core

@@ -1,0 +1,85 @@
+// The library documents ImplementationLibrary and every Recommender as
+// thread-safe for concurrent reads (the experiment runner fans users out
+// across threads). These tests hammer shared instances from many threads and
+// require bit-identical results to the serial run.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/best_match.h"
+#include "core/breadth.h"
+#include "core/focus.h"
+#include "testing/fixtures.h"
+#include "util/thread_pool.h"
+
+namespace goalrec::core {
+namespace {
+
+using goalrec::testing::RandomActivity;
+using goalrec::testing::RandomLibrary;
+
+TEST(ConcurrencyTest, SpaceQueriesAreThreadSafe) {
+  model::ImplementationLibrary lib = RandomLibrary(60, 20, 400, 6, 321);
+  util::Rng rng(1);
+  std::vector<model::Activity> queries;
+  for (int i = 0; i < 64; ++i) queries.push_back(RandomActivity(60, 5, rng));
+
+  std::vector<model::IdSet> serial(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    serial[i] = lib.ActionSpace(queries[i]);
+  }
+  std::vector<model::IdSet> parallel(queries.size());
+  util::ParallelFor(
+      queries.size(),
+      [&](size_t i) { parallel[i] = lib.ActionSpace(queries[i]); }, 8);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ConcurrencyTest, RecommendersAreThreadSafe) {
+  model::ImplementationLibrary lib = RandomLibrary(60, 20, 400, 6, 322);
+  std::vector<std::unique_ptr<Recommender>> strategies;
+  strategies.push_back(std::make_unique<FocusRecommender>(
+      &lib, FocusVariant::kCompleteness));
+  strategies.push_back(
+      std::make_unique<FocusRecommender>(&lib, FocusVariant::kCloseness));
+  strategies.push_back(std::make_unique<BreadthRecommender>(&lib));
+  strategies.push_back(std::make_unique<BestMatchRecommender>(&lib));
+
+  util::Rng rng(2);
+  std::vector<model::Activity> queries;
+  for (int i = 0; i < 48; ++i) queries.push_back(RandomActivity(60, 5, rng));
+
+  for (const auto& strategy : strategies) {
+    std::vector<RecommendationList> serial(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      serial[i] = strategy->Recommend(queries[i], 10);
+    }
+    // Many threads share the single recommender instance.
+    std::vector<RecommendationList> parallel(queries.size());
+    util::ParallelFor(
+        queries.size(),
+        [&](size_t i) { parallel[i] = strategy->Recommend(queries[i], 10); },
+        8);
+    EXPECT_EQ(serial, parallel) << strategy->name();
+  }
+}
+
+TEST(ConcurrencyTest, RepeatedParallelRunsAgree) {
+  model::ImplementationLibrary lib = RandomLibrary(40, 10, 200, 5, 323);
+  BreadthRecommender breadth(&lib);
+  util::Rng rng(3);
+  model::Activity query = RandomActivity(40, 6, rng);
+  RecommendationList reference = breadth.Recommend(query, 10);
+  std::vector<RecommendationList> results(64);
+  util::ParallelFor(
+      results.size(),
+      [&](size_t i) { results[i] = breadth.Recommend(query, 10); }, 16);
+  for (const RecommendationList& list : results) {
+    EXPECT_EQ(list, reference);
+  }
+}
+
+}  // namespace
+}  // namespace goalrec::core

@@ -1,0 +1,130 @@
+#include "core/diversity.h"
+
+#include <gtest/gtest.h>
+
+#include "core/breadth.h"
+#include "eval/metrics.h"
+#include "testing/fixtures.h"
+
+namespace goalrec::core {
+namespace {
+
+using goalrec::testing::A;
+using goalrec::testing::PaperLibrary;
+
+// Features: a1/a2/a3 share feature 0 (one "genre"); a4/a5 share feature 1;
+// a6 has feature 2.
+model::ActionFeatureTable MakeFeatures() {
+  model::ActionFeatureTable table;
+  table.num_features = 3;
+  table.features = {{0}, {0}, {0}, {1}, {1}, {2}};
+  return table;
+}
+
+TEST(DiversityTest, NameWrapsBase) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  model::ActionFeatureTable features = MakeFeatures();
+  BreadthRecommender breadth(&lib);
+  DiversityReranker mmr(&breadth, &features);
+  EXPECT_EQ(mmr.name(), "MMR(Breadth)");
+}
+
+TEST(DiversityTest, LambdaOnePreservesBaseOrder) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  model::ActionFeatureTable features = MakeFeatures();
+  BreadthRecommender breadth(&lib);
+  DiversityOptions options;
+  options.lambda = 1.0;
+  DiversityReranker mmr(&breadth, &features, options);
+  model::Activity h = {A(1)};
+  EXPECT_EQ(ActionsOf(mmr.Recommend(h, 5)),
+            ActionsOf(breadth.Recommend(h, 5)));
+}
+
+TEST(DiversityTest, LowLambdaBreaksUpSameGenreRuns) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  model::ActionFeatureTable features = MakeFeatures();
+  BreadthRecommender breadth(&lib);
+  // H = {a1}: base order is a2, a3, a4, a5, a6 (all score 1, id ties).
+  // a2 and a3 share a genre; with diversity pressure, after a2 the next
+  // pick must come from a different genre.
+  DiversityOptions options;
+  options.lambda = 0.3;
+  DiversityReranker mmr(&breadth, &features, options);
+  RecommendationList list = mmr.Recommend({A(1)}, 3);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].action, A(2));       // top relevance kept
+  EXPECT_NE(list[1].action, A(3));       // same-genre a3 postponed
+}
+
+TEST(DiversityTest, ImprovesTable5Diversity) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  model::ActionFeatureTable features = MakeFeatures();
+  BreadthRecommender breadth(&lib);
+  DiversityOptions options;
+  options.lambda = 0.3;
+  DiversityReranker mmr(&breadth, &features, options);
+  model::Activity h = {A(1)};
+  util::Summary base_sim =
+      goalrec::eval::PairwiseFeatureSimilarity(features,
+                                               breadth.Recommend(h, 3));
+  util::Summary mmr_sim = goalrec::eval::PairwiseFeatureSimilarity(
+      features, mmr.Recommend(h, 3));
+  EXPECT_LT(mmr_sim.avg, base_sim.avg);
+}
+
+TEST(DiversityTest, SameActionSetDifferentOrder) {
+  // MMR reorders the pool but (with pool == result size) keeps the same
+  // actions.
+  model::ImplementationLibrary lib = PaperLibrary();
+  model::ActionFeatureTable features = MakeFeatures();
+  BreadthRecommender breadth(&lib);
+  DiversityOptions options;
+  options.lambda = 0.2;
+  options.pool_factor = 1.0;
+  DiversityReranker mmr(&breadth, &features, options);
+  model::Activity h = {A(1)};
+  std::vector<model::ActionId> base = ActionsOf(breadth.Recommend(h, 5));
+  std::vector<model::ActionId> reranked = ActionsOf(mmr.Recommend(h, 5));
+  std::sort(base.begin(), base.end());
+  std::sort(reranked.begin(), reranked.end());
+  EXPECT_EQ(base, reranked);
+}
+
+TEST(DiversityTest, EmptyBasePoolGivesEmptyList) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  model::ActionFeatureTable features = MakeFeatures();
+  BreadthRecommender breadth(&lib);
+  DiversityReranker mmr(&breadth, &features);
+  EXPECT_TRUE(mmr.Recommend({}, 5).empty());
+  EXPECT_TRUE(mmr.Recommend({A(1)}, 0).empty());
+}
+
+TEST(DiversityTest, FeaturelessActionsAreMaximallyDiverse) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  model::ActionFeatureTable features;
+  features.num_features = 1;
+  features.features.resize(lib.num_actions());  // all empty
+  BreadthRecommender breadth(&lib);
+  DiversityOptions options;
+  options.lambda = 0.5;
+  DiversityReranker mmr(&breadth, &features, options);
+  // With zero similarities everywhere, MMR degenerates to the base order.
+  model::Activity h = {A(1)};
+  EXPECT_EQ(ActionsOf(mmr.Recommend(h, 5)),
+            ActionsOf(breadth.Recommend(h, 5)));
+}
+
+TEST(DiversityDeathTest, InvalidConstructionAborts) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  model::ActionFeatureTable features = MakeFeatures();
+  BreadthRecommender breadth(&lib);
+  EXPECT_DEATH({ DiversityReranker d(nullptr, &features); }, "CHECK failed");
+  DiversityOptions bad;
+  bad.lambda = -0.1;
+  EXPECT_DEATH({ DiversityReranker d(&breadth, &features, bad); },
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace goalrec::core

@@ -1,0 +1,114 @@
+#include "core/explanation.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace goalrec::core {
+namespace {
+
+using goalrec::testing::A;
+using goalrec::testing::G;
+using goalrec::testing::PaperLibrary;
+
+TEST(ExplanationTest, CompletingActionExplained) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  // H = {a2, a3}; performing a1 completes p1 = (g1, {a1, a2, a3}).
+  Explanation explanation = ExplainAction(lib, {A(2), A(3)}, A(1));
+  EXPECT_EQ(explanation.action, A(1));
+  // a1 contributes to g1, g2, g3, g5 (its goal space).
+  ASSERT_EQ(explanation.contributions.size(), 4u);
+  // g1 has the largest gain (2/3 -> 1) and sorts first.
+  const GoalContribution& top = explanation.contributions[0];
+  EXPECT_EQ(top.goal, G(1));
+  EXPECT_NEAR(top.completeness_before, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(top.completeness_after, 1.0);
+  ASSERT_EQ(top.shared_impls.size(), 1u);
+  EXPECT_EQ(top.shared_impls[0], 0u);  // p1
+  EXPECT_TRUE(top.fresh_impls.empty());
+}
+
+TEST(ExplanationTest, FreshImplementationsSeparated) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  // For H = {a2, a3}, a1's implementations p2 (g2) and p3 (g3) share no
+  // activity action — they open fresh paths.
+  Explanation explanation = ExplainAction(lib, {A(2), A(3)}, A(1));
+  for (const GoalContribution& contribution : explanation.contributions) {
+    if (contribution.goal == G(2) || contribution.goal == G(3)) {
+      EXPECT_TRUE(contribution.shared_impls.empty());
+      EXPECT_EQ(contribution.fresh_impls.size(), 1u);
+      EXPECT_DOUBLE_EQ(contribution.completeness_before, 0.0);
+      EXPECT_DOUBLE_EQ(contribution.completeness_after, 0.5);
+    }
+  }
+}
+
+TEST(ExplanationTest, SortedByResultingCompleteness) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  Explanation explanation = ExplainAction(lib, {A(2), A(3)}, A(1));
+  for (size_t i = 1; i < explanation.contributions.size(); ++i) {
+    const GoalContribution& prev = explanation.contributions[i - 1];
+    const GoalContribution& curr = explanation.contributions[i];
+    EXPECT_GE(prev.completeness_after, curr.completeness_after);
+    if (prev.completeness_after == curr.completeness_after) {
+      EXPECT_GE(prev.gain(), curr.gain());
+    }
+  }
+}
+
+TEST(ExplanationTest, ActionWithNoGoalsHasEmptyContributions) {
+  model::LibraryBuilder builder;
+  builder.InternAction("orphan");
+  builder.AddImplementation("g", {"x"});
+  model::ImplementationLibrary lib = std::move(builder).Build();
+  Explanation explanation =
+      ExplainAction(lib, {}, *lib.actions().Find("orphan"));
+  EXPECT_TRUE(explanation.contributions.empty());
+}
+
+TEST(ExplanationTest, EmptyActivityStillExplainsGoalSpace) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  Explanation explanation = ExplainAction(lib, {}, A(6));
+  // a6 is in p4 (g4) and p5 (g5): both fresh, 0 -> 1/2.
+  ASSERT_EQ(explanation.contributions.size(), 2u);
+  for (const GoalContribution& contribution : explanation.contributions) {
+    EXPECT_TRUE(contribution.shared_impls.empty());
+    EXPECT_EQ(contribution.fresh_impls.size(), 1u);
+    EXPECT_DOUBLE_EQ(contribution.completeness_after, 0.5);
+  }
+}
+
+TEST(ExplanationTest, FormatMentionsGoalNamesAndPercentages) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  Explanation explanation = ExplainAction(lib, {A(2), A(3)}, A(1));
+  std::string rendered = FormatExplanation(lib, explanation);
+  EXPECT_NE(rendered.find("'a1'"), std::string::npos);
+  EXPECT_NE(rendered.find("completes goal 'g1'"), std::string::npos);
+  EXPECT_NE(rendered.find("67% -> 100%"), std::string::npos);
+}
+
+TEST(ExplanationTest, FormatTruncatesLongExplanations) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  Explanation explanation = ExplainAction(lib, {A(2), A(3)}, A(1));
+  std::string rendered = FormatExplanation(lib, explanation, /*max_goals=*/2);
+  EXPECT_NE(rendered.find("and 2 more goal(s)"), std::string::npos);
+}
+
+TEST(ExplanationTest, FormatHandlesNoContributions) {
+  model::LibraryBuilder builder;
+  builder.InternAction("orphan");
+  builder.AddImplementation("g", {"x"});
+  model::ImplementationLibrary lib = std::move(builder).Build();
+  Explanation explanation =
+      ExplainAction(lib, {}, *lib.actions().Find("orphan"));
+  std::string rendered = FormatExplanation(lib, explanation);
+  EXPECT_NE(rendered.find("contributes to no goal"), std::string::npos);
+}
+
+TEST(ExplanationDeathTest, UnknownActionAborts) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  EXPECT_DEATH({ ExplainAction(lib, {}, 999); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace goalrec::core

@@ -1,0 +1,134 @@
+#include "core/goal_weights.h"
+
+#include <gtest/gtest.h>
+
+#include "core/best_match.h"
+#include "core/breadth.h"
+#include "core/focus.h"
+#include "testing/fixtures.h"
+
+namespace goalrec::core {
+namespace {
+
+using goalrec::testing::A;
+using goalrec::testing::G;
+using goalrec::testing::PaperLibrary;
+
+TEST(GoalWeightsTest, DefaultsToOne) {
+  GoalWeights weights;
+  EXPECT_TRUE(weights.empty());
+  EXPECT_DOUBLE_EQ(weights.WeightOf(0), 1.0);
+  EXPECT_DOUBLE_EQ(weights.WeightOf(99), 1.0);
+}
+
+TEST(GoalWeightsTest, SetGrowsTable) {
+  GoalWeights weights;
+  weights.Set(3, 2.5);
+  EXPECT_DOUBLE_EQ(weights.WeightOf(3), 2.5);
+  EXPECT_DOUBLE_EQ(weights.WeightOf(0), 1.0);  // backfilled default
+  EXPECT_DOUBLE_EQ(weights.WeightOf(4), 1.0);  // beyond table
+}
+
+TEST(GoalWeightsTest, VectorConstructor) {
+  GoalWeights weights({0.5, 2.0});
+  EXPECT_DOUBLE_EQ(weights.WeightOf(0), 0.5);
+  EXPECT_DOUBLE_EQ(weights.WeightOf(1), 2.0);
+}
+
+TEST(GoalWeightsDeathTest, NegativeWeightAborts) {
+  GoalWeights weights;
+  EXPECT_DEATH({ weights.Set(0, -1.0); }, "CHECK failed");
+}
+
+TEST(WeightedFocusTest, BoostedGoalWinsDespiteLowerCompleteness) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  // H = {a2, a3}: unweighted Focus_cmp prefers p1 (g1, 2/3) over p4 (g4,
+  // 1/2). Boosting g4 flips the order.
+  GoalWeights weights;
+  weights.Set(G(4), 10.0);
+  FocusRecommender focus(&lib, FocusVariant::kCompleteness, &weights);
+  RecommendationList list = focus.Recommend({A(2), A(3)}, 2);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].action, A(6));  // from p4 (g4)
+  EXPECT_EQ(list[1].action, A(1));  // from p1 (g1)
+}
+
+TEST(WeightedFocusTest, ZeroWeightExcludesGoal) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  GoalWeights weights;
+  weights.Set(G(1), 0.0);
+  FocusRecommender focus(&lib, FocusVariant::kCompleteness, &weights);
+  std::vector<RankedImplementation> ranked =
+      focus.RankImplementations({A(2), A(3)});
+  // Only p4 (g4) remains; p1 implements the excluded g1.
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0].impl, 3u);
+}
+
+TEST(WeightedFocusTest, UniformWeightsMatchUnweighted) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  GoalWeights uniform({1.0, 1.0, 1.0, 1.0, 1.0});
+  FocusRecommender weighted(&lib, FocusVariant::kCloseness, &uniform);
+  FocusRecommender plain(&lib, FocusVariant::kCloseness);
+  EXPECT_EQ(weighted.Recommend({A(1)}, 10), plain.Recommend({A(1)}, 10));
+}
+
+TEST(WeightedBreadthTest, WeightScalesContributions) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  GoalWeights weights;
+  weights.Set(G(4), 5.0);
+  BreadthRecommender breadth(&lib, &weights);
+  model::Activity h = {A(2), A(3)};
+  // a6 contributes via p4 (g4): 1 · 5 = 5; a1 via p1 (g1): 2 · 1 = 2.
+  EXPECT_DOUBLE_EQ(breadth.Score(A(6), h), 5.0);
+  EXPECT_DOUBLE_EQ(breadth.Score(A(1), h), 2.0);
+  RecommendationList list = breadth.Recommend(h, 2);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].action, A(6));
+}
+
+TEST(WeightedBreadthTest, ZeroWeightRemovesOnlyContribution) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  GoalWeights weights;
+  weights.Set(G(4), 0.0);
+  BreadthRecommender breadth(&lib, &weights);
+  // a6's only relevant implementation for H = {a2, a3} is p4 (g4); with g4
+  // zeroed it disappears from the list.
+  RecommendationList list = breadth.Recommend({A(2), A(3)}, 10);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].action, A(1));
+}
+
+TEST(WeightedBestMatchTest, WeightScalesVectorDimensions) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  GoalWeights weights;
+  weights.Set(G(1), 3.0);
+  BestMatchOptions options;
+  options.goal_weights = &weights;
+  BestMatchRecommender best_match(&lib, options);
+  model::IdSet goal_space = {G(1), G(4)};
+  // Unweighted a1 vector over {g1, g4} is [1, 0]; g1 scaled by 3.
+  EXPECT_EQ(best_match.ActionVector(A(1), goal_space),
+            (util::DenseVector{3.0, 0.0}));
+  // The profile scales the same way: [2, 1] -> [6, 1].
+  EXPECT_EQ(best_match.Profile({A(2), A(3)}, goal_space),
+            (util::DenseVector{6.0, 1.0}));
+}
+
+TEST(WeightedBestMatchTest, PriorityChangesRanking) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  // Unweighted, a1 (serves g1) beats a6 (serves g4) for H = {a2, a3}.
+  // Exaggerating g4's weight makes the g4 mismatch dominate the distance,
+  // so a6 — the only action reducing it — wins.
+  GoalWeights weights;
+  weights.Set(G(4), 100.0);
+  BestMatchOptions options;
+  options.goal_weights = &weights;
+  BestMatchRecommender weighted(&lib, options);
+  RecommendationList list = weighted.Recommend({A(2), A(3)}, 2);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].action, A(6));
+}
+
+}  // namespace
+}  // namespace goalrec::core

@@ -1,0 +1,146 @@
+#include "core/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include "core/breadth.h"
+#include "core/focus.h"
+#include "testing/fixtures.h"
+
+namespace goalrec::core {
+namespace {
+
+using goalrec::testing::A;
+using goalrec::testing::PaperLibrary;
+
+// Features for the paper library: a1/a2 share feature 0, a3 has feature 1,
+// a4/a5 share feature 2, a6 has feature 3.
+model::ActionFeatureTable MakeFeatures() {
+  model::ActionFeatureTable table;
+  table.num_features = 4;
+  table.features = {{0}, {0}, {1}, {2}, {2}, {3}};
+  return table;
+}
+
+TEST(HybridTest, NameWrapsStrategy) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  model::ActionFeatureTable features = MakeFeatures();
+  BreadthRecommender breadth(&lib);
+  HybridRecommender hybrid(&breadth, &features);
+  EXPECT_EQ(hybrid.name(), "Hybrid(Breadth)");
+}
+
+TEST(HybridTest, AlphaZeroPreservesGoalRanking) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  model::ActionFeatureTable features = MakeFeatures();
+  BreadthRecommender breadth(&lib);
+  HybridOptions options;
+  options.alpha = 0.0;
+  HybridRecommender hybrid(&breadth, &features, options);
+  model::Activity h = {A(2), A(3)};
+  EXPECT_EQ(ActionsOf(hybrid.Recommend(h, 10)),
+            ActionsOf(breadth.Recommend(h, 10)));
+}
+
+TEST(HybridTest, ContentSimilarity) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  model::ActionFeatureTable features = MakeFeatures();
+  BreadthRecommender breadth(&lib);
+  HybridRecommender hybrid(&breadth, &features);
+  // Activity {a2}: profile = feature 0. a1 shares it fully; a6 not at all.
+  EXPECT_DOUBLE_EQ(hybrid.ContentSimilarity({A(2)}, A(1)), 1.0);
+  EXPECT_DOUBLE_EQ(hybrid.ContentSimilarity({A(2)}, A(6)), 0.0);
+}
+
+TEST(HybridTest, ContentComponentReordersEqualGoalScores) {
+  // Library where two candidates have identical Breadth scores but
+  // different content similarity to the activity.
+  model::LibraryBuilder builder;
+  builder.AddImplementation("g1", {"h", "similar"});
+  builder.AddImplementation("g2", {"h", "different"});
+  model::ImplementationLibrary lib = std::move(builder).Build();
+  model::ActionId h = *lib.actions().Find("h");
+  model::ActionId similar = *lib.actions().Find("similar");
+  model::ActionId different = *lib.actions().Find("different");
+
+  model::ActionFeatureTable features;
+  features.num_features = 2;
+  features.features.resize(lib.num_actions());
+  features.features[h] = {0};
+  features.features[similar] = {0};   // same feature as the activity
+  features.features[different] = {1};
+
+  BreadthRecommender breadth(&lib);
+  // Unweighted Breadth ties (both score 1) and orders by id; content
+  // breaks the tie toward `similar` regardless of ids.
+  HybridOptions options;
+  options.alpha = 0.5;
+  HybridRecommender hybrid(&breadth, &features, options);
+  RecommendationList list = hybrid.Recommend({h}, 2);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].action, similar);
+  EXPECT_EQ(list[1].action, different);
+}
+
+TEST(HybridTest, AlphaOneRanksPoolByContentOnly) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  model::ActionFeatureTable features = MakeFeatures();
+  FocusRecommender focus(&lib, FocusVariant::kCompleteness);
+  HybridOptions options;
+  options.alpha = 1.0;
+  HybridRecommender hybrid(&focus, &features, options);
+  // H = {a2}: candidates include a1 (feature 0, sim 1) and others (sim 0).
+  RecommendationList list = hybrid.Recommend({A(2)}, 3);
+  ASSERT_FALSE(list.empty());
+  EXPECT_EQ(list[0].action, A(1));
+  EXPECT_DOUBLE_EQ(list[0].score, 1.0);
+}
+
+TEST(HybridTest, BlendedScoresStayInUnitInterval) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  model::ActionFeatureTable features = MakeFeatures();
+  BreadthRecommender breadth(&lib);
+  HybridRecommender hybrid(&breadth, &features);
+  for (const ScoredAction& entry : hybrid.Recommend({A(1), A(2)}, 10)) {
+    EXPECT_GE(entry.score, 0.0);
+    EXPECT_LE(entry.score, 1.0);
+  }
+}
+
+TEST(HybridTest, EmptyPoolGivesEmptyList) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  model::ActionFeatureTable features = MakeFeatures();
+  BreadthRecommender breadth(&lib);
+  HybridRecommender hybrid(&breadth, &features);
+  EXPECT_TRUE(hybrid.Recommend({}, 10).empty());
+  EXPECT_TRUE(hybrid.Recommend({A(1)}, 0).empty());
+}
+
+TEST(HybridTest, FeaturelessActionsKeepGoalScore) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  model::ActionFeatureTable features;
+  features.num_features = 1;
+  features.features.resize(lib.num_actions());  // nobody has features
+  BreadthRecommender breadth(&lib);
+  HybridOptions options;
+  options.alpha = 0.5;
+  HybridRecommender hybrid(&breadth, &features, options);
+  // Content component is uniformly zero -> ordering identical to Breadth.
+  model::Activity h = {A(2), A(3)};
+  EXPECT_EQ(ActionsOf(hybrid.Recommend(h, 10)),
+            ActionsOf(breadth.Recommend(h, 10)));
+}
+
+TEST(HybridDeathTest, InvalidConstructionAborts) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  model::ActionFeatureTable features = MakeFeatures();
+  BreadthRecommender breadth(&lib);
+  EXPECT_DEATH({ HybridRecommender h(nullptr, &features); }, "CHECK failed");
+  EXPECT_DEATH({ HybridRecommender h(&breadth, nullptr); }, "CHECK failed");
+  HybridOptions bad;
+  bad.alpha = 1.5;
+  EXPECT_DEATH({ HybridRecommender h(&breadth, &features, bad); },
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace goalrec::core

@@ -1,0 +1,104 @@
+#include "core/query_context.h"
+
+#include <gtest/gtest.h>
+
+#include "core/best_match.h"
+#include "core/breadth.h"
+#include "core/focus.h"
+#include "testing/fixtures.h"
+#include "util/random.h"
+
+namespace goalrec::core {
+namespace {
+
+using goalrec::testing::A;
+using goalrec::testing::G;
+using goalrec::testing::PaperLibrary;
+using goalrec::testing::RandomActivity;
+using goalrec::testing::RandomLibrary;
+
+TEST(QueryContextTest, SpacesMatchLibraryQueries) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  model::Activity h = {A(2), A(3)};
+  QueryContext context = QueryContext::Create(lib, h);
+  EXPECT_EQ(context.library, &lib);
+  EXPECT_EQ(context.activity, h);
+  EXPECT_EQ(context.impl_space, lib.ImplementationSpace(h));
+  EXPECT_EQ(context.goal_space, lib.GoalSpace(h));
+  EXPECT_EQ(context.candidates, lib.CandidateActions(h));
+}
+
+TEST(QueryContextTest, NormalisesActivity) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  QueryContext context = QueryContext::Create(lib, {A(3), A(2), A(3)});
+  EXPECT_EQ(context.activity, (model::Activity{A(2), A(3)}));
+}
+
+TEST(QueryContextTest, EmptyActivity) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  QueryContext context = QueryContext::Create(lib, {});
+  EXPECT_TRUE(context.impl_space.empty());
+  EXPECT_TRUE(context.goal_space.empty());
+  EXPECT_TRUE(context.candidates.empty());
+}
+
+TEST(QueryContextTest, CandidatesMatchOnRandomLibraries) {
+  for (uint64_t seed : {600u, 601u, 602u}) {
+    model::ImplementationLibrary lib = RandomLibrary(40, 15, 200, 6, seed);
+    util::Rng rng(seed + 7);
+    for (int trial = 0; trial < 20; ++trial) {
+      model::Activity h = RandomActivity(40, 1 + rng.UniformUint32(6), rng);
+      QueryContext context = QueryContext::Create(lib, h);
+      EXPECT_EQ(context.candidates, lib.CandidateActions(h));
+      EXPECT_EQ(context.goal_space, lib.GoalSpace(h));
+    }
+  }
+}
+
+TEST(QueryContextTest, StrategiesAgreeWithAndWithoutContext) {
+  for (uint64_t seed : {610u, 611u}) {
+    model::ImplementationLibrary lib = RandomLibrary(50, 20, 300, 6, seed);
+    FocusRecommender focus_cmp(&lib, FocusVariant::kCompleteness);
+    FocusRecommender focus_cl(&lib, FocusVariant::kCloseness);
+    BreadthRecommender breadth(&lib);
+    BestMatchRecommender best_match(&lib);
+    util::Rng rng(seed + 9);
+    for (int trial = 0; trial < 20; ++trial) {
+      model::Activity h = RandomActivity(50, 1 + rng.UniformUint32(6), rng);
+      QueryContext context = QueryContext::Create(lib, h);
+      EXPECT_EQ(focus_cmp.RecommendInContext(context, 10),
+                focus_cmp.Recommend(h, 10));
+      EXPECT_EQ(focus_cl.RecommendInContext(context, 10),
+                focus_cl.Recommend(h, 10));
+      EXPECT_EQ(breadth.RecommendInContext(context, 10),
+                breadth.Recommend(h, 10));
+      EXPECT_EQ(best_match.RecommendInContext(context, 10),
+                best_match.Recommend(h, 10));
+    }
+  }
+}
+
+TEST(QueryContextTest, FocusRankingAgrees) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  FocusRecommender focus(&lib, FocusVariant::kCompleteness);
+  model::Activity h = {A(1)};
+  QueryContext context = QueryContext::Create(lib, h);
+  std::vector<RankedImplementation> direct = focus.RankImplementations(h);
+  std::vector<RankedImplementation> via = focus.RankImplementationsIn(context);
+  ASSERT_EQ(direct.size(), via.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i].impl, via[i].impl);
+    EXPECT_DOUBLE_EQ(direct[i].score, via[i].score);
+  }
+}
+
+TEST(QueryContextDeathTest, ForeignContextAborts) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  model::ImplementationLibrary other = PaperLibrary();
+  BreadthRecommender breadth(&lib);
+  QueryContext context = QueryContext::Create(other, {A(1)});
+  EXPECT_DEATH({ breadth.RecommendInContext(context, 5); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace goalrec::core

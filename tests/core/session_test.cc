@@ -1,0 +1,135 @@
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include "core/breadth.h"
+#include "core/focus.h"
+#include "testing/fixtures.h"
+
+namespace goalrec::core {
+namespace {
+
+using goalrec::testing::A;
+using goalrec::testing::G;
+using goalrec::testing::PaperLibrary;
+
+TEST(SessionTest, StartsEmpty) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  BreadthRecommender breadth(&lib);
+  RecommendationSession session(&lib, &breadth);
+  EXPECT_TRUE(session.activity().empty());
+  EXPECT_TRUE(session.ImplementationSpace().empty());
+  EXPECT_TRUE(session.GoalSpace().empty());
+  EXPECT_TRUE(session.Recommend(5).empty());
+}
+
+TEST(SessionTest, PerformMergesImplementationSpaceIncrementally) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  BreadthRecommender breadth(&lib);
+  RecommendationSession session(&lib, &breadth);
+  EXPECT_TRUE(session.Perform(A(2)));
+  EXPECT_EQ(session.ImplementationSpace(), (model::IdSet{0, 3}));  // p1, p4
+  EXPECT_TRUE(session.Perform(A(4)));
+  EXPECT_EQ(session.ImplementationSpace(), (model::IdSet{0, 1, 3}));  // +p2
+  // The incremental space equals the batch query.
+  EXPECT_EQ(session.ImplementationSpace(),
+            lib.ImplementationSpace(session.activity()));
+}
+
+TEST(SessionTest, RePerformIsNoOp) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  BreadthRecommender breadth(&lib);
+  RecommendationSession session(&lib, &breadth);
+  EXPECT_TRUE(session.Perform(A(1)));
+  EXPECT_FALSE(session.Perform(A(1)));
+  EXPECT_EQ(session.activity().size(), 1u);
+}
+
+TEST(SessionTest, UnknownActionIsTrackedButInert) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  BreadthRecommender breadth(&lib);
+  RecommendationSession session(&lib, &breadth);
+  EXPECT_TRUE(session.Perform(999));
+  EXPECT_EQ(session.activity(), (model::Activity{999}));
+  EXPECT_TRUE(session.ImplementationSpace().empty());
+}
+
+TEST(SessionTest, UndoRemovesAndRebuilds) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  BreadthRecommender breadth(&lib);
+  RecommendationSession session(&lib, &breadth);
+  session.Perform(A(2));
+  session.Perform(A(4));
+  EXPECT_TRUE(session.Undo(A(4)));
+  EXPECT_EQ(session.activity(), (model::Activity{A(2)}));
+  EXPECT_EQ(session.ImplementationSpace(), (model::IdSet{0, 3}));
+  EXPECT_FALSE(session.Undo(A(4)));  // already gone
+}
+
+TEST(SessionTest, GoalSpaceTracksActivity) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  BreadthRecommender breadth(&lib);
+  RecommendationSession session(&lib, &breadth);
+  session.Perform(A(2));
+  session.Perform(A(3));
+  EXPECT_EQ(session.GoalSpace(), (model::IdSet{G(1), G(4)}));
+}
+
+TEST(SessionTest, FindClosestGoal) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  BreadthRecommender breadth(&lib);
+  RecommendationSession session(&lib, &breadth);
+  EXPECT_EQ(session.FindClosestGoal().goal, model::kInvalidId);
+  session.Perform(A(2));
+  session.Perform(A(3));
+  // p1 = (g1, {a1,a2,a3}) is 2/3 complete; p4 = (g4, {a2,a6}) is 1/2.
+  RecommendationSession::ClosestGoal closest = session.FindClosestGoal();
+  EXPECT_EQ(closest.goal, G(1));
+  EXPECT_NEAR(closest.completeness, 2.0 / 3.0, 1e-12);
+}
+
+TEST(SessionTest, RecommendDelegatesWithCurrentActivity) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  BreadthRecommender breadth(&lib);
+  RecommendationSession session(&lib, &breadth);
+  session.Perform(A(2));
+  session.Perform(A(3));
+  EXPECT_EQ(session.Recommend(10),
+            breadth.Recommend({A(2), A(3)}, 10));
+}
+
+TEST(SessionTest, NarrativeShoppingTrip) {
+  // The introduction's supermarket story: completing a goal shifts the
+  // closest-goal signal as the cart fills.
+  model::LibraryBuilder builder;
+  builder.AddImplementation("olivier salad", {"potatoes", "carrots",
+                                              "pickles"});
+  builder.AddImplementation("mashed potatoes", {"potatoes", "nutmeg"});
+  model::ImplementationLibrary lib = std::move(builder).Build();
+  FocusRecommender focus(&lib, FocusVariant::kCompleteness);
+  RecommendationSession session(&lib, &focus);
+
+  session.Perform(*lib.actions().Find("potatoes"));
+  session.Perform(*lib.actions().Find("carrots"));
+  RecommendationList list = session.Recommend(1);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].action, *lib.actions().Find("pickles"));
+
+  session.Perform(*lib.actions().Find("pickles"));
+  EXPECT_DOUBLE_EQ(session.FindClosestGoal().completeness, 1.0);
+  // Salad is done; the only remaining suggestion is nutmeg.
+  list = session.Recommend(1);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].action, *lib.actions().Find("nutmeg"));
+}
+
+TEST(SessionDeathTest, NullArgumentsAbort) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  BreadthRecommender breadth(&lib);
+  EXPECT_DEATH({ RecommendationSession s(nullptr, &breadth); },
+               "CHECK failed");
+  EXPECT_DEATH({ RecommendationSession s(&lib, nullptr); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace goalrec::core

@@ -1,0 +1,165 @@
+// Invariants of the wrapper layers — Hybrid, MMR and RecommendationSession —
+// on random libraries: they must inherit the base guarantees (no performed
+// actions, no duplicates, determinism, k-respect) whatever the data.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/breadth.h"
+#include "core/diversity.h"
+#include "core/hybrid.h"
+#include "core/session.h"
+#include "testing/fixtures.h"
+#include "util/random.h"
+#include "util/set_ops.h"
+
+namespace goalrec::core {
+namespace {
+
+using goalrec::testing::RandomActivity;
+using goalrec::testing::RandomLibrary;
+
+struct WrapperParams {
+  uint32_t num_actions;
+  uint32_t num_goals;
+  uint32_t num_impls;
+  uint64_t seed;
+};
+
+class WrapperPropertyTest : public ::testing::TestWithParam<WrapperParams> {
+ protected:
+  void SetUp() override {
+    const WrapperParams& p = GetParam();
+    library_ = RandomLibrary(p.num_actions, p.num_goals, p.num_impls, 6,
+                             p.seed);
+    features_.num_features = 6;
+    features_.features.resize(p.num_actions);
+    for (uint32_t a = 0; a < p.num_actions; ++a) {
+      features_.features[a] = {a % 6};
+    }
+    breadth_ = std::make_unique<BreadthRecommender>(&library_);
+    HybridOptions hybrid_options;
+    hybrid_options.alpha = 0.4;
+    hybrid_ = std::make_unique<HybridRecommender>(breadth_.get(), &features_,
+                                                  hybrid_options);
+    DiversityOptions mmr_options;
+    mmr_options.lambda = 0.5;
+    mmr_ = std::make_unique<DiversityReranker>(breadth_.get(), &features_,
+                                               mmr_options);
+  }
+
+  model::ImplementationLibrary library_;
+  model::ActionFeatureTable features_;
+  std::unique_ptr<BreadthRecommender> breadth_;
+  std::unique_ptr<HybridRecommender> hybrid_;
+  std::unique_ptr<DiversityReranker> mmr_;
+};
+
+TEST_P(WrapperPropertyTest, WrappersNeverRecommendPerformedActions) {
+  util::Rng rng(GetParam().seed + 1);
+  for (int trial = 0; trial < 15; ++trial) {
+    model::Activity h = RandomActivity(GetParam().num_actions,
+                                       1 + rng.UniformUint32(6), rng);
+    for (Recommender* rec :
+         std::initializer_list<Recommender*>{hybrid_.get(), mmr_.get()}) {
+      for (const ScoredAction& entry : rec->Recommend(h, 10)) {
+        EXPECT_FALSE(util::Contains(h, entry.action)) << rec->name();
+      }
+    }
+  }
+}
+
+TEST_P(WrapperPropertyTest, WrappersProduceNoDuplicates) {
+  util::Rng rng(GetParam().seed + 2);
+  for (int trial = 0; trial < 15; ++trial) {
+    model::Activity h = RandomActivity(GetParam().num_actions,
+                                       1 + rng.UniformUint32(6), rng);
+    for (Recommender* rec :
+         std::initializer_list<Recommender*>{hybrid_.get(), mmr_.get()}) {
+      std::vector<model::ActionId> actions =
+          ActionsOf(rec->Recommend(h, 15));
+      std::sort(actions.begin(), actions.end());
+      EXPECT_TRUE(std::adjacent_find(actions.begin(), actions.end()) ==
+                  actions.end())
+          << rec->name();
+    }
+  }
+}
+
+TEST_P(WrapperPropertyTest, WrappersAreDeterministic) {
+  util::Rng rng(GetParam().seed + 3);
+  for (int trial = 0; trial < 10; ++trial) {
+    model::Activity h = RandomActivity(GetParam().num_actions,
+                                       1 + rng.UniformUint32(6), rng);
+    for (Recommender* rec :
+         std::initializer_list<Recommender*>{hybrid_.get(), mmr_.get()}) {
+      EXPECT_EQ(rec->Recommend(h, 10), rec->Recommend(h, 10)) << rec->name();
+    }
+  }
+}
+
+TEST_P(WrapperPropertyTest, WrappersDrawFromBasePool) {
+  util::Rng rng(GetParam().seed + 4);
+  for (int trial = 0; trial < 10; ++trial) {
+    model::Activity h = RandomActivity(GetParam().num_actions,
+                                       1 + rng.UniformUint32(6), rng);
+    // The pool requested by the wrappers (pool_factor 3) bounds their
+    // output universe.
+    std::vector<model::ActionId> pool =
+        ActionsOf(breadth_->Recommend(h, 30));
+    std::sort(pool.begin(), pool.end());
+    for (Recommender* rec :
+         std::initializer_list<Recommender*>{hybrid_.get(), mmr_.get()}) {
+      for (const ScoredAction& entry : rec->Recommend(h, 10)) {
+        EXPECT_TRUE(std::binary_search(pool.begin(), pool.end(),
+                                       entry.action))
+            << rec->name();
+      }
+    }
+  }
+}
+
+TEST_P(WrapperPropertyTest, SessionTracksBatchRecommendations) {
+  util::Rng rng(GetParam().seed + 5);
+  for (int trial = 0; trial < 10; ++trial) {
+    model::Activity h = RandomActivity(GetParam().num_actions,
+                                       1 + rng.UniformUint32(8), rng);
+    RecommendationSession session(&library_, breadth_.get());
+    // Perform in shuffled order; the session must converge to the batch
+    // result regardless of insertion order.
+    std::vector<model::ActionId> order(h.begin(), h.end());
+    rng.Shuffle(order);
+    for (model::ActionId a : order) session.Perform(a);
+    EXPECT_EQ(session.activity(), h);
+    EXPECT_EQ(session.ImplementationSpace(),
+              library_.ImplementationSpace(h));
+    EXPECT_EQ(session.Recommend(10), breadth_->Recommend(h, 10));
+  }
+}
+
+TEST_P(WrapperPropertyTest, SessionUndoMatchesFreshSession) {
+  util::Rng rng(GetParam().seed + 6);
+  for (int trial = 0; trial < 10; ++trial) {
+    model::Activity h = RandomActivity(GetParam().num_actions,
+                                       2 + rng.UniformUint32(6), rng);
+    RecommendationSession session(&library_, breadth_.get());
+    for (model::ActionId a : h) session.Perform(a);
+    model::ActionId removed = h[rng.UniformUint32(
+        static_cast<uint32_t>(h.size()))];
+    session.Undo(removed);
+    model::Activity expected = util::Difference(h, {removed});
+    EXPECT_EQ(session.activity(), expected);
+    EXPECT_EQ(session.ImplementationSpace(),
+              library_.ImplementationSpace(expected));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomLibraries, WrapperPropertyTest,
+    ::testing::Values(WrapperParams{20, 8, 80, 700},
+                      WrapperParams{50, 20, 300, 701},
+                      WrapperParams{35, 12, 150, 702}));
+
+}  // namespace
+}  // namespace goalrec::core

@@ -1,0 +1,109 @@
+#include "data/loaders.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace goalrec::data {
+namespace {
+
+using goalrec::testing::PaperLibrary;
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(LoadersTest, ActivitiesRoundTrip) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  std::string path = TempPath("goalrec_activities.csv");
+  std::vector<model::Activity> activities = {{0, 2}, {1}, {3, 4, 5}};
+  ASSERT_TRUE(SaveActivitiesCsv(path, activities, lib.actions()).ok());
+  util::StatusOr<std::vector<model::Activity>> loaded =
+      LoadActivitiesCsv(path, lib.actions());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, activities);
+  std::remove(path.c_str());
+}
+
+TEST(LoadersTest, ActivitiesGroupedByUserId) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  std::string path = TempPath("goalrec_grouped.csv");
+  {
+    std::ofstream out(path);
+    out << "alice,a1\nbob,a2\nalice,a3\n";
+  }
+  util::StatusOr<std::vector<model::Activity>> loaded =
+      LoadActivitiesCsv(path, lib.actions());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0], (model::Activity{0, 2}));  // alice: a1, a3
+  EXPECT_EQ((*loaded)[1], (model::Activity{1}));     // bob: a2
+  std::remove(path.c_str());
+}
+
+TEST(LoadersTest, UnknownActionFails) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  std::string path = TempPath("goalrec_unknown.csv");
+  {
+    std::ofstream out(path);
+    out << "u,not_an_action\n";
+  }
+  util::StatusOr<std::vector<model::Activity>> loaded =
+      LoadActivitiesCsv(path, lib.actions());
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(LoadersTest, WrongColumnCountFails) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  std::string path = TempPath("goalrec_badcols.csv");
+  {
+    std::ofstream out(path);
+    out << "u,a1,extra\n";
+  }
+  EXPECT_FALSE(LoadActivitiesCsv(path, lib.actions()).ok());
+  std::remove(path.c_str());
+}
+
+TEST(LoadersTest, FeaturesLoadAndIntern) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  std::string path = TempPath("goalrec_features.csv");
+  {
+    std::ofstream out(path);
+    out << "a1,shoes\na2,shoes\na2,formal\na3,casual\n";
+  }
+  util::StatusOr<model::ActionFeatureTable> table =
+      LoadFeaturesCsv(path, lib.actions());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_features, 3u);
+  EXPECT_EQ(table->num_actions(), lib.num_actions());
+  EXPECT_EQ(table->features[0], (model::IdSet{0}));     // a1: shoes
+  EXPECT_EQ(table->features[1], (model::IdSet{0, 1}));  // a2: shoes, formal
+  EXPECT_EQ(table->features[2], (model::IdSet{2}));     // a3: casual
+  EXPECT_TRUE(table->features[3].empty());              // a4: none
+  std::remove(path.c_str());
+}
+
+TEST(LoadersTest, FeaturesUnknownActionFails) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  std::string path = TempPath("goalrec_feat_unknown.csv");
+  {
+    std::ofstream out(path);
+    out << "mystery,shoes\n";
+  }
+  EXPECT_FALSE(LoadFeaturesCsv(path, lib.actions()).ok());
+  std::remove(path.c_str());
+}
+
+TEST(LoadersTest, MissingFilesFail) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  EXPECT_FALSE(LoadActivitiesCsv("/nonexistent/acts.csv", lib.actions()).ok());
+  EXPECT_FALSE(LoadFeaturesCsv("/nonexistent/feat.csv", lib.actions()).ok());
+}
+
+}  // namespace
+}  // namespace goalrec::data

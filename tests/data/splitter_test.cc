@@ -1,0 +1,105 @@
+#include "data/splitter.h"
+
+#include <gtest/gtest.h>
+
+#include "data/fortythree.h"
+#include "util/set_ops.h"
+
+namespace goalrec::data {
+namespace {
+
+TEST(SplitterTest, MassConservation) {
+  util::Rng rng(1);
+  model::Activity activity = {1, 3, 5, 7, 9, 11, 13, 15, 17, 19};
+  SplitActivity split = SplitOne(activity, 0.3, rng);
+  EXPECT_EQ(util::Union(split.visible, split.hidden), activity);
+  EXPECT_EQ(util::IntersectionSize(split.visible, split.hidden), 0u);
+}
+
+TEST(SplitterTest, ThirtyPercentVisible) {
+  util::Rng rng(2);
+  model::Activity activity;
+  for (uint32_t i = 0; i < 10; ++i) activity.push_back(i);
+  SplitActivity split = SplitOne(activity, 0.3, rng);
+  EXPECT_EQ(split.visible.size(), 3u);  // ceil(0.3 * 10)
+  EXPECT_EQ(split.hidden.size(), 7u);
+}
+
+TEST(SplitterTest, CeilRoundsUp) {
+  util::Rng rng(3);
+  model::Activity activity = {0, 1, 2, 3};  // ceil(0.3 * 4) = 2
+  SplitActivity split = SplitOne(activity, 0.3, rng);
+  EXPECT_EQ(split.visible.size(), 2u);
+}
+
+TEST(SplitterTest, AtLeastOneVisibleForTinyActivities) {
+  util::Rng rng(4);
+  SplitActivity split = SplitOne({42}, 0.3, rng);
+  EXPECT_EQ(split.visible, (model::Activity{42}));
+  EXPECT_TRUE(split.hidden.empty());
+}
+
+TEST(SplitterTest, ZeroFractionStillShowsOneAction) {
+  util::Rng rng(5);
+  SplitActivity split = SplitOne({1, 2, 3}, 0.0, rng);
+  EXPECT_EQ(split.visible.size(), 1u);
+}
+
+TEST(SplitterTest, FullFractionHidesNothing) {
+  util::Rng rng(6);
+  model::Activity activity = {1, 2, 3};
+  SplitActivity split = SplitOne(activity, 1.0, rng);
+  EXPECT_EQ(split.visible, activity);
+  EXPECT_TRUE(split.hidden.empty());
+}
+
+TEST(SplitterTest, EmptyActivity) {
+  util::Rng rng(7);
+  SplitActivity split = SplitOne({}, 0.3, rng);
+  EXPECT_TRUE(split.visible.empty());
+  EXPECT_TRUE(split.hidden.empty());
+}
+
+TEST(SplitterTest, HalvesAreSorted) {
+  util::Rng rng(8);
+  model::Activity activity;
+  for (uint32_t i = 0; i < 50; ++i) activity.push_back(i * 2);
+  SplitActivity split = SplitOne(activity, 0.4, rng);
+  EXPECT_TRUE(util::IsSortedSet(split.visible));
+  EXPECT_TRUE(util::IsSortedSet(split.hidden));
+}
+
+TEST(SplitterTest, DeterministicForSeed) {
+  Dataset dataset = GenerateFortyThree(SmallFortyThreeOptions());
+  std::vector<EvalUser> a = SplitDataset(dataset, 0.3, 99);
+  std::vector<EvalUser> b = SplitDataset(dataset, 0.3, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].visible, b[i].visible);
+    EXPECT_EQ(a[i].hidden, b[i].hidden);
+  }
+}
+
+TEST(SplitterTest, DifferentSeedsGiveDifferentSplits) {
+  Dataset dataset = GenerateFortyThree(SmallFortyThreeOptions());
+  std::vector<EvalUser> a = SplitDataset(dataset, 0.3, 1);
+  std::vector<EvalUser> b = SplitDataset(dataset, 0.3, 2);
+  ASSERT_EQ(a.size(), b.size());
+  size_t differing = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].visible != b[i].visible) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(SplitterTest, DatasetSplitPreservesTrueGoals) {
+  Dataset dataset = GenerateFortyThree(SmallFortyThreeOptions());
+  std::vector<EvalUser> users = SplitDataset(dataset, 0.3, 11);
+  ASSERT_EQ(users.size(), dataset.users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    EXPECT_EQ(users[i].true_goals, dataset.users[i].true_goals);
+  }
+}
+
+}  // namespace
+}  // namespace goalrec::data

@@ -1,0 +1,97 @@
+#include "eval/breakdown.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace goalrec::eval {
+namespace {
+
+using goalrec::testing::A;
+using goalrec::testing::G;
+using goalrec::testing::PaperLibrary;
+
+core::RecommendationList MakeList(std::vector<model::ActionId> actions) {
+  core::RecommendationList list;
+  for (model::ActionId a : actions) list.push_back({a, 0.0});
+  return list;
+}
+
+TEST(BreakdownTest, BucketsUsersByGoalCount) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  // Three users pursuing 1, 2 and 5 goals respectively.
+  data::EvalUser one, two, many;
+  one.visible = {A(2)};
+  one.hidden = {A(1)};
+  one.true_goals = {G(1)};
+  two.visible = {A(2)};
+  two.hidden = {A(1)};
+  two.true_goals = {G(1), G(4)};
+  many.visible = {A(1)};
+  many.hidden = {A(2)};
+  many.true_goals = {G(1), G(2), G(3), G(4), G(5)};
+  MethodResult method{"M",
+                      {MakeList({A(1)}), MakeList({A(6)}), MakeList({A(5)})}};
+  std::vector<BreakdownRow> rows = ComputeGoalCountBreakdown(
+      lib, {one, two, many}, {method});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].cells[0].num_users, 1u);  // 1 goal
+  EXPECT_EQ(rows[0].cells[1].num_users, 1u);  // 2 goals
+  EXPECT_EQ(rows[0].cells[2].num_users, 0u);  // 3 goals
+  EXPECT_EQ(rows[0].cells[3].num_users, 1u);  // >= 4 goals
+}
+
+TEST(BreakdownTest, TprPerBucket) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  data::EvalUser user;
+  user.visible = {A(2)};
+  user.hidden = {A(1), A(3)};
+  user.true_goals = {G(1)};
+  // List hits a1 (hidden) and misses with a6.
+  MethodResult method{"M", {MakeList({A(1), A(6)})}};
+  std::vector<BreakdownRow> rows =
+      ComputeGoalCountBreakdown(lib, {user}, {method});
+  EXPECT_DOUBLE_EQ(rows[0].cells[0].avg_tpr, 0.5);
+}
+
+TEST(BreakdownTest, CompletenessUsesTrueGoals) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  data::EvalUser user;
+  user.visible = {A(2), A(3)};
+  user.true_goals = {G(1)};
+  MethodResult method{"M", {MakeList({A(1)})}};  // completes g1
+  std::vector<BreakdownRow> rows =
+      ComputeGoalCountBreakdown(lib, {user}, {method});
+  EXPECT_DOUBLE_EQ(rows[0].cells[0].completeness_avg_avg, 1.0);
+}
+
+TEST(BreakdownTest, UsersWithoutTrueGoalsExcluded) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  data::EvalUser anonymous;
+  anonymous.visible = {A(2)};
+  anonymous.hidden = {A(1)};
+  MethodResult method{"M", {MakeList({A(1)})}};
+  std::vector<BreakdownRow> rows =
+      ComputeGoalCountBreakdown(lib, {anonymous}, {method});
+  for (size_t b = 0; b < kGoalCountBuckets; ++b) {
+    EXPECT_EQ(rows[0].cells[b].num_users, 0u);
+  }
+}
+
+TEST(BreakdownTest, RenderShowsBothMetricsAndCounts) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  data::EvalUser user;
+  user.visible = {A(2)};
+  user.hidden = {A(1)};
+  user.true_goals = {G(1)};
+  MethodResult method{"M", {MakeList({A(1)})}};
+  std::string rendered = RenderGoalCountBreakdown(
+      ComputeGoalCountBreakdown(lib, {user}, {method}));
+  EXPECT_NE(rendered.find("AvgTPR"), std::string::npos);
+  EXPECT_NE(rendered.find("completeness"), std::string::npos);
+  EXPECT_NE(rendered.find(">=4 goals"), std::string::npos);
+  EXPECT_NE(rendered.find("users per bucket"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace goalrec::eval

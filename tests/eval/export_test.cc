@@ -1,0 +1,107 @@
+#include "eval/export.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/fortythree.h"
+#include "data/foodmart.h"
+#include "data/splitter.h"
+#include "util/csv.h"
+
+namespace goalrec::eval {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunArtifacts {
+  data::Dataset dataset;
+  std::vector<data::EvalUser> users;
+  std::vector<model::Activity> inputs;
+  std::vector<MethodResult> results;
+};
+
+RunArtifacts MakeRun(bool with_features) {
+  RunArtifacts run;
+  if (with_features) {
+    data::FoodmartOptions options = data::SmallFoodmartOptions();
+    options.num_recipes = 120;
+    options.num_carts = 30;
+    run.dataset = data::GenerateFoodmart(options);
+  } else {
+    data::FortyThreeOptions options = data::SmallFortyThreeOptions();
+    options.num_goals = 40;
+    options.num_actions = 80;
+    options.num_implementations = 150;
+    options.users_per_goal_count = {30, 10, 5, 5};
+    run.dataset = data::GenerateFortyThree(options);
+  }
+  run.users = data::SplitDataset(run.dataset, 0.5, 3);
+  for (const data::EvalUser& user : run.users) {
+    run.inputs.push_back(user.visible);
+  }
+  SuiteOptions suite_options;
+  suite_options.include_cf_mf = false;  // keep the test fast
+  Suite suite(&run.dataset, run.inputs, suite_options);
+  run.results = suite.RunAll(run.inputs, 5);
+  return run;
+}
+
+TEST(ExportTest, WritesAllCsvFiles) {
+  RunArtifacts run = MakeRun(/*with_features=*/true);
+  fs::path dir = fs::temp_directory_path() / "goalrec_export_test";
+  fs::create_directories(dir);
+  util::Status status = ExportReportsCsv(dir.string(), run.dataset, run.users,
+                                         run.inputs, run.results);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  for (const char* name :
+       {"overlap.csv", "popularity_correlation.csv", "completeness.csv",
+        "tpr.csv", "pairwise_similarity.csv"}) {
+    EXPECT_TRUE(fs::exists(dir / name)) << name;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ExportTest, SkipsSimilarityWithoutFeatures) {
+  RunArtifacts run = MakeRun(/*with_features=*/false);
+  fs::path dir = fs::temp_directory_path() / "goalrec_export_nofeat";
+  fs::create_directories(dir);
+  ASSERT_TRUE(ExportReportsCsv(dir.string(), run.dataset, run.users,
+                               run.inputs, run.results)
+                  .ok());
+  EXPECT_FALSE(fs::exists(dir / "pairwise_similarity.csv"));
+  EXPECT_TRUE(fs::exists(dir / "overlap.csv"));
+  fs::remove_all(dir);
+}
+
+TEST(ExportTest, CsvContentsParseAndMatchRoster) {
+  RunArtifacts run = MakeRun(/*with_features=*/false);
+  fs::path dir = fs::temp_directory_path() / "goalrec_export_parse";
+  fs::create_directories(dir);
+  ASSERT_TRUE(ExportReportsCsv(dir.string(), run.dataset, run.users,
+                               run.inputs, run.results)
+                  .ok());
+  util::StatusOr<std::vector<util::CsvRow>> rows =
+      util::ReadCsvFile((dir / "completeness.csv").string());
+  ASSERT_TRUE(rows.ok());
+  // Header + one row per method.
+  ASSERT_EQ(rows->size(), run.results.size() + 1);
+  EXPECT_EQ((*rows)[0][0], "method");
+  for (size_t m = 0; m < run.results.size(); ++m) {
+    EXPECT_EQ((*rows)[m + 1][0], run.results[m].name);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ExportTest, MissingDirectoryFails) {
+  RunArtifacts run = MakeRun(/*with_features=*/false);
+  util::Status status =
+      ExportReportsCsv("/nonexistent/goalrec_export", run.dataset, run.users,
+                       run.inputs, run.results);
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace goalrec::eval

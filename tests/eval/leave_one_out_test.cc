@@ -1,0 +1,114 @@
+#include "eval/leave_one_out.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/breadth.h"
+#include "core/focus.h"
+#include "testing/fixtures.h"
+
+namespace goalrec::eval {
+namespace {
+
+using goalrec::testing::A;
+using goalrec::testing::PaperLibrary;
+
+// A recommender that always returns a fixed list; for protocol arithmetic.
+class FixedRecommender : public core::Recommender {
+ public:
+  explicit FixedRecommender(core::RecommendationList list)
+      : list_(std::move(list)) {}
+  std::string name() const override { return "Fixed"; }
+  core::RecommendationList Recommend(const model::Activity&,
+                                     size_t k) const override {
+    core::RecommendationList out = list_;
+    if (out.size() > k) out.resize(k);
+    return out;
+  }
+
+ private:
+  core::RecommendationList list_;
+};
+
+TEST(LeaveOneOutTest, PerfectRecommenderGetsFullHitRate) {
+  // Library with one two-action implementation: hiding either action, the
+  // other one implies it.
+  model::LibraryBuilder builder;
+  builder.AddImplementation("g", {"x", "y"});
+  model::ImplementationLibrary lib = std::move(builder).Build();
+  core::BreadthRecommender breadth(&lib);
+  model::Activity full = {*lib.actions().Find("x"), *lib.actions().Find("y")};
+  LeaveOneOutResult result = RunLeaveOneOut(breadth, {full});
+  EXPECT_EQ(result.num_trials, 2u);
+  EXPECT_DOUBLE_EQ(result.hit_rate, 1.0);
+  EXPECT_DOUBLE_EQ(result.mean_reciprocal_rank, 1.0);  // always rank 1
+  EXPECT_DOUBLE_EQ(result.ndcg, 1.0);                  // 1/log2(2)
+}
+
+TEST(LeaveOneOutTest, MissesScoreZero) {
+  FixedRecommender never_right({{999, 1.0}});
+  LeaveOneOutResult result = RunLeaveOneOut(never_right, {{0, 1, 2}});
+  EXPECT_EQ(result.num_trials, 3u);
+  EXPECT_DOUBLE_EQ(result.hit_rate, 0.0);
+  EXPECT_DOUBLE_EQ(result.mean_reciprocal_rank, 0.0);
+}
+
+TEST(LeaveOneOutTest, ReciprocalRankUsesPosition) {
+  // The fixed list has action 1 at rank 2; holding out action 1 from {0, 1}
+  // hits at rank 2 (RR = 0.5); holding out 0 misses.
+  FixedRecommender fixed({{7, 3.0}, {1, 2.0}, {0, 1.0}});
+  LeaveOneOutOptions options;
+  options.k = 2;  // action 0 (rank 3) is cut off -> miss
+  LeaveOneOutResult result = RunLeaveOneOut(fixed, {{0, 1}}, options);
+  EXPECT_EQ(result.num_trials, 2u);
+  EXPECT_DOUBLE_EQ(result.hit_rate, 0.5);
+  EXPECT_DOUBLE_EQ(result.mean_reciprocal_rank, 0.25);  // (0 + 1/2) / 2
+  // NDCG: (0 + 1/log2(3)) / 2.
+  EXPECT_NEAR(result.ndcg, 0.5 / std::log2(3.0), 1e-12);
+}
+
+TEST(LeaveOneOutTest, SkipsTinyActivities) {
+  FixedRecommender fixed({{0, 1.0}});
+  LeaveOneOutResult result = RunLeaveOneOut(fixed, {{5}, {}});
+  EXPECT_EQ(result.num_trials, 0u);
+  EXPECT_DOUBLE_EQ(result.hit_rate, 0.0);
+}
+
+TEST(LeaveOneOutTest, MaxHoldoutsBoundsTrials) {
+  FixedRecommender fixed({{0, 1.0}});
+  LeaveOneOutOptions options;
+  options.max_holdouts_per_user = 2;
+  LeaveOneOutResult result =
+      RunLeaveOneOut(fixed, {{0, 1, 2, 3, 4, 5}}, options);
+  EXPECT_EQ(result.num_trials, 2u);
+}
+
+TEST(LeaveOneOutTest, GoalBasedRecoversHiddenPaperActions) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  core::FocusRecommender focus(&lib, core::FocusVariant::kCompleteness);
+  // Users who completed p1 and p2 exactly.
+  std::vector<model::Activity> users = {{A(1), A(2), A(3)}, {A(1), A(4)}};
+  LeaveOneOutResult result = RunLeaveOneOut(focus, users);
+  EXPECT_EQ(result.num_trials, 5u);
+  EXPECT_GT(result.hit_rate, 0.8);
+}
+
+TEST(LeaveOneOutTest, RenderHasColumns) {
+  std::vector<LeaveOneOutRow> rows = {{"M", {0.5, 0.25, 0.4, 10}}};
+  std::string rendered = RenderLeaveOneOut(rows, 10);
+  EXPECT_NE(rendered.find("hit@10"), std::string::npos);
+  EXPECT_NE(rendered.find("MRR"), std::string::npos);
+  EXPECT_NE(rendered.find("NDCG@10"), std::string::npos);
+  EXPECT_NE(rendered.find("0.500"), std::string::npos);
+}
+
+TEST(LeaveOneOutDeathTest, InvalidOptionsAbort) {
+  FixedRecommender fixed({{0, 1.0}});
+  LeaveOneOutOptions options;
+  options.k = 0;
+  EXPECT_DEATH({ RunLeaveOneOut(fixed, {}, options); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace goalrec::eval

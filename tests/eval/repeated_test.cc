@@ -1,0 +1,93 @@
+#include "eval/repeated.h"
+
+#include <gtest/gtest.h>
+
+#include "data/fortythree.h"
+
+namespace goalrec::eval {
+namespace {
+
+data::Dataset TinyDataset() {
+  data::FortyThreeOptions options = data::SmallFortyThreeOptions();
+  options.num_goals = 60;
+  options.num_actions = 120;
+  options.num_implementations = 240;
+  options.users_per_goal_count = {60, 25, 10, 5};
+  return data::GenerateFortyThree(options);
+}
+
+RepeatedOptions FastOptions() {
+  RepeatedOptions options;
+  options.split_seeds = {1, 2, 3};
+  options.suite.als.num_factors = 4;
+  options.suite.als.num_iterations = 2;
+  return options;
+}
+
+TEST(RepeatedTest, OneRowPerMethodWithFiniteStats) {
+  data::Dataset dataset = TinyDataset();
+  std::vector<RepeatedRow> rows = RunRepeated(dataset, FastOptions());
+  ASSERT_EQ(rows.size(), 6u);  // 4 goal-based + kNN + MF (no features)
+  for (const RepeatedRow& row : rows) {
+    EXPECT_GE(row.tpr.mean, 0.0);
+    EXPECT_LE(row.tpr.mean, 1.0);
+    EXPECT_GE(row.tpr.std_dev, 0.0);
+    EXPECT_GE(row.completeness_avg_avg.mean, 0.0);
+    EXPECT_LE(row.completeness_avg_avg.mean, 1.0);
+  }
+}
+
+TEST(RepeatedTest, SingleSeedHasZeroStdDev) {
+  data::Dataset dataset = TinyDataset();
+  RepeatedOptions options = FastOptions();
+  options.split_seeds = {42};
+  std::vector<RepeatedRow> rows = RunRepeated(dataset, options);
+  for (const RepeatedRow& row : rows) {
+    EXPECT_DOUBLE_EQ(row.tpr.std_dev, 0.0);
+    EXPECT_DOUBLE_EQ(row.completeness_avg_avg.std_dev, 0.0);
+  }
+}
+
+TEST(RepeatedTest, DeterministicAcrossCalls) {
+  data::Dataset dataset = TinyDataset();
+  std::vector<RepeatedRow> a = RunRepeated(dataset, FastOptions());
+  std::vector<RepeatedRow> b = RunRepeated(dataset, FastOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_DOUBLE_EQ(a[i].tpr.mean, b[i].tpr.mean);
+    EXPECT_DOUBLE_EQ(a[i].completeness_avg_avg.mean,
+                     b[i].completeness_avg_avg.mean);
+  }
+}
+
+TEST(RepeatedTest, GoalBasedBeatBaselinesOnAverageToo) {
+  // The Table 4 relationship holds not just for one lucky split.
+  data::Dataset dataset = TinyDataset();
+  std::vector<RepeatedRow> rows = RunRepeated(dataset, FastOptions());
+  double best_goal_based = 0.0, best_baseline = 0.0;
+  for (const RepeatedRow& row : rows) {
+    bool goal_based = row.name == "Focus_cmp" || row.name == "Focus_cl" ||
+                      row.name == "Breadth" || row.name == "BestMatch";
+    double& slot = goal_based ? best_goal_based : best_baseline;
+    slot = std::max(slot, row.completeness_avg_avg.mean);
+  }
+  EXPECT_GT(best_goal_based, best_baseline);
+}
+
+TEST(RepeatedTest, RenderShowsPlusMinus) {
+  data::Dataset dataset = TinyDataset();
+  std::string rendered = RenderRepeated(RunRepeated(dataset, FastOptions()));
+  EXPECT_NE(rendered.find("±"), std::string::npos);
+  EXPECT_NE(rendered.find("Focus_cmp"), std::string::npos);
+}
+
+TEST(RepeatedDeathTest, NoSeedsAborts) {
+  data::Dataset dataset = TinyDataset();
+  RepeatedOptions options;
+  options.split_seeds = {};
+  EXPECT_DEATH({ RunRepeated(dataset, options); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace goalrec::eval

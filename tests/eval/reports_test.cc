@@ -1,0 +1,168 @@
+#include "eval/reports.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace goalrec::eval {
+namespace {
+
+using goalrec::testing::A;
+using goalrec::testing::G;
+using goalrec::testing::PaperLibrary;
+
+core::RecommendationList MakeList(std::vector<model::ActionId> actions) {
+  core::RecommendationList list;
+  for (model::ActionId a : actions) list.push_back({a, 0.0});
+  return list;
+}
+
+std::vector<MethodResult> TwoMethods() {
+  // Method X and Y agree on user 0, disagree on user 1.
+  MethodResult x{"X", {MakeList({1, 2}), MakeList({3, 4})}};
+  MethodResult y{"Y", {MakeList({1, 2}), MakeList({5, 6})}};
+  return {x, y};
+}
+
+TEST(OverlapReportTest, MatrixIsSymmetricWithUnitDiagonal) {
+  OverlapReport report = ComputeOverlap(TwoMethods());
+  ASSERT_EQ(report.names, (std::vector<std::string>{"X", "Y"}));
+  EXPECT_DOUBLE_EQ(report.matrix[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(report.matrix[1][1], 1.0);
+  EXPECT_DOUBLE_EQ(report.matrix[0][1], 0.5);  // (1.0 + 0.0) / 2
+  EXPECT_DOUBLE_EQ(report.matrix[1][0], 0.5);
+}
+
+TEST(OverlapReportTest, RenderContainsNamesAndPercents) {
+  std::string rendered = RenderOverlap(ComputeOverlap(TwoMethods()));
+  EXPECT_NE(rendered.find("X"), std::string::npos);
+  EXPECT_NE(rendered.find("50.00%"), std::string::npos);
+}
+
+TEST(CorrelationReportTest, OneRowPerMethod) {
+  std::vector<model::Activity> activities = {{1, 2}, {1}, {1, 3}};
+  std::vector<CorrelationRow> rows =
+      ComputePopularityCorrelations(activities, TwoMethods());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "X");
+  std::string rendered = RenderCorrelations(rows);
+  EXPECT_NE(rendered.find("correlation"), std::string::npos);
+}
+
+TEST(CompletenessReportTest, UsesTrueGoalsWhenPresent) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  // One user pursuing g1 with visible {a2, a3}; method recommends a1 which
+  // completes g1.
+  data::EvalUser user;
+  user.visible = {A(2), A(3)};
+  user.true_goals = {G(1)};
+  MethodResult method{"M", {MakeList({A(1)})}};
+  std::vector<CompletenessRow> rows =
+      ComputeCompleteness(lib, {user}, {method});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].avg_avg, 1.0);
+  EXPECT_DOUBLE_EQ(rows[0].min_avg, 1.0);
+  EXPECT_DOUBLE_EQ(rows[0].max_avg, 1.0);
+}
+
+TEST(CompletenessReportTest, FallsBackToGoalSpace) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  data::EvalUser user;
+  user.visible = {A(2), A(3)};  // goal space {g1, g4}
+  MethodResult method{"M", {MakeList({A(1)})}};
+  std::vector<CompletenessRow> rows =
+      ComputeCompleteness(lib, {user}, {method});
+  ASSERT_EQ(rows.size(), 1u);
+  // g1 complete, g4 half complete.
+  EXPECT_DOUBLE_EQ(rows[0].max_avg, 1.0);
+  EXPECT_DOUBLE_EQ(rows[0].min_avg, 0.5);
+  EXPECT_DOUBLE_EQ(rows[0].avg_avg, 0.75);
+}
+
+TEST(CompletenessReportTest, RenderHasPaperColumns) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  data::EvalUser user;
+  user.visible = {A(2)};
+  MethodResult method{"M", {MakeList({})}};
+  std::string rendered =
+      RenderCompleteness(ComputeCompleteness(lib, {user}, {method}));
+  EXPECT_NE(rendered.find("AvgAvg"), std::string::npos);
+  EXPECT_NE(rendered.find("MinAvg"), std::string::npos);
+  EXPECT_NE(rendered.find("MaxAvg"), std::string::npos);
+}
+
+TEST(SimilarityReportTest, AveragesOverLists) {
+  model::ActionFeatureTable table;
+  table.num_features = 2;
+  table.features = {{0}, {0}, {1}, {1}};
+  // List 1: identical features (avg 1); list 2: disjoint (avg 0).
+  MethodResult method{"M", {MakeList({0, 1}), MakeList({0, 2})}};
+  std::vector<SimilarityRow> rows =
+      ComputePairwiseSimilarity(table, {method});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].avg_avg, 0.5);
+  std::string rendered = RenderSimilarity(rows);
+  EXPECT_NE(rendered.find("AvgMax"), std::string::npos);
+}
+
+TEST(SimilarityReportTest, SkipsSingletonLists) {
+  model::ActionFeatureTable table;
+  table.num_features = 1;
+  table.features = {{0}, {0}};
+  MethodResult method{"M", {MakeList({0}), MakeList({0, 1})}};
+  std::vector<SimilarityRow> rows =
+      ComputePairwiseSimilarity(table, {method});
+  // Only the two-element list contributes.
+  EXPECT_DOUBLE_EQ(rows[0].avg_avg, 1.0);
+}
+
+TEST(TprReportTest, AveragesOverUsersWithHiddenActions) {
+  data::EvalUser u1;
+  u1.visible = {0};
+  u1.hidden = {1, 2};
+  data::EvalUser u2;
+  u2.visible = {5};
+  u2.hidden = {};
+  // User 2 has nothing hidden and is skipped.
+  MethodResult method{"M", {MakeList({1, 9}), MakeList({7})}};
+  std::vector<TprRow> rows = ComputeTpr({u1, u2}, {method});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].avg_tpr, 0.5);
+}
+
+TEST(TprReportTest, RenderPairsTopLists) {
+  std::vector<TprRow> top5 = {{"M", 0.4}};
+  std::vector<TprRow> top10 = {{"M", 0.3}};
+  std::string rendered = RenderTpr(top5, top10);
+  EXPECT_NE(rendered.find("top-5"), std::string::npos);
+  EXPECT_NE(rendered.find("0.400"), std::string::npos);
+  EXPECT_NE(rendered.find("0.300"), std::string::npos);
+}
+
+TEST(FrequencyReportTest, RecListFrequencies) {
+  // Action 1 in both lists (freq 1.0), actions 2/3 in one (0.5).
+  MethodResult method{"M", {MakeList({1, 2}), MakeList({1, 3})}};
+  std::vector<FrequencyRow> rows = ComputeRecListFrequency({method});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].max_frequency, 1.0);
+  EXPECT_EQ(rows[0].histogram.total(), 3u);
+}
+
+TEST(FrequencyReportTest, ImplSetFrequencies) {
+  model::ImplementationLibrary lib = PaperLibrary();
+  MethodResult method{"M", {MakeList({A(4)})}};  // a4: 1/5 impls
+  std::vector<FrequencyRow> rows = ComputeImplSetFrequency(lib, {method});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].max_frequency, 0.2);
+  EXPECT_DOUBLE_EQ(rows[0].below_02, 0.0);  // 0.2 lands in bucket [0.2, 0.4)
+}
+
+TEST(FrequencyReportTest, RenderListsBuckets) {
+  MethodResult method{"M", {MakeList({1})}};
+  std::string rendered = RenderFrequency(ComputeRecListFrequency({method}));
+  EXPECT_NE(rendered.find("[0.0,0.2)"), std::string::npos);
+  EXPECT_NE(rendered.find("max"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace goalrec::eval

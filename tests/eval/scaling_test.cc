@@ -1,0 +1,95 @@
+#include "eval/scaling.h"
+
+#include <gtest/gtest.h>
+
+#include "model/statistics.h"
+
+namespace goalrec::eval {
+namespace {
+
+ScalingWorkload TinyWorkload() {
+  ScalingWorkload workload;
+  workload.num_implementations = 400;
+  workload.num_actions = 300;
+  workload.implementation_size = 5;
+  workload.implementations_per_goal = 4;
+  return workload;
+}
+
+TEST(ScalingLibraryTest, MatchesWorkloadShape) {
+  ScalingWorkload workload = TinyWorkload();
+  model::ImplementationLibrary lib = BuildScalingLibrary(workload, 1);
+  EXPECT_EQ(lib.num_implementations(), workload.num_implementations);
+  EXPECT_EQ(lib.num_actions(), workload.num_actions);
+  EXPECT_EQ(lib.num_goals(), 100u);
+  for (model::ImplId p = 0; p < lib.num_implementations(); ++p) {
+    EXPECT_EQ(lib.ActionsOf(p).size(), workload.implementation_size);
+  }
+}
+
+TEST(ScalingLibraryTest, ConnectivityTracksActionCount) {
+  ScalingWorkload dense = TinyWorkload();
+  dense.num_actions = 50;  // fewer actions -> higher connectivity
+  ScalingWorkload sparse = TinyWorkload();
+  sparse.num_actions = 300;
+  double dense_conn =
+      model::ComputeStats(BuildScalingLibrary(dense, 2)).connectivity;
+  double sparse_conn =
+      model::ComputeStats(BuildScalingLibrary(sparse, 2)).connectivity;
+  EXPECT_GT(dense_conn, 2.0 * sparse_conn);
+}
+
+TEST(ScalingLibraryTest, DeterministicForSeed) {
+  ScalingWorkload workload = TinyWorkload();
+  model::ImplementationLibrary a = BuildScalingLibrary(workload, 7);
+  model::ImplementationLibrary b = BuildScalingLibrary(workload, 7);
+  for (model::ImplId p = 0; p < a.num_implementations(); ++p) {
+    EXPECT_EQ(a.ActionsOf(p), b.ActionsOf(p));
+  }
+}
+
+TEST(ScalingRunTest, ProducesOneRowPerWorkloadWithFourStrategies) {
+  ScalingOptions options;
+  options.workloads = {TinyWorkload(), TinyWorkload()};
+  options.workloads[1].num_actions = 150;
+  options.num_queries = 3;
+  options.activity_size = 4;
+  std::vector<ScalingRow> rows = RunScaling(options);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const ScalingRow& row : rows) {
+    EXPECT_EQ(row.method_names,
+              (std::vector<std::string>{"Focus_cmp", "Focus_cl", "Breadth",
+                                        "BestMatch"}));
+    ASSERT_EQ(row.mean_ms.size(), 4u);
+    for (double ms : row.mean_ms) EXPECT_GE(ms, 0.0);
+    EXPECT_GT(row.measured_connectivity, 0.0);
+  }
+}
+
+TEST(ScalingRunTest, RenderHasAllColumns) {
+  ScalingOptions options;
+  options.workloads = {TinyWorkload()};
+  options.num_queries = 2;
+  options.activity_size = 3;
+  std::string rendered = RenderScaling(RunScaling(options));
+  EXPECT_NE(rendered.find("impls"), std::string::npos);
+  EXPECT_NE(rendered.find("connectivity"), std::string::npos);
+  EXPECT_NE(rendered.find("Breadth ms"), std::string::npos);
+}
+
+TEST(ScalingDefaultsTest, SweepsAreNonTrivial) {
+  EXPECT_GE(DefaultImplCountSweep().workloads.size(), 3u);
+  EXPECT_GE(DefaultConnectivitySweep().workloads.size(), 3u);
+  // The impl-count sweep must actually vary the implementation count.
+  const auto& impl_sweep = DefaultImplCountSweep().workloads;
+  EXPECT_LT(impl_sweep.front().num_implementations,
+            impl_sweep.back().num_implementations);
+  // The connectivity sweep holds implementations fixed and varies actions.
+  const auto& conn_sweep = DefaultConnectivitySweep().workloads;
+  EXPECT_EQ(conn_sweep.front().num_implementations,
+            conn_sweep.back().num_implementations);
+  EXPECT_NE(conn_sweep.front().num_actions, conn_sweep.back().num_actions);
+}
+
+}  // namespace
+}  // namespace goalrec::eval

@@ -1,0 +1,89 @@
+#include "eval/significance.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace goalrec::eval {
+namespace {
+
+TEST(BootstrapTest, ClearWinnerIsSignificant) {
+  // a beats b by 0.2 for every user: the gap cannot flip.
+  std::vector<double> a(50, 0.7), b(50, 0.5);
+  BootstrapResult result = PairedBootstrap(a, b);
+  EXPECT_NEAR(result.mean_difference, 0.2, 1e-12);
+  EXPECT_NEAR(result.ci_low, 0.2, 1e-12);
+  EXPECT_NEAR(result.ci_high, 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(result.p_not_better, 0.0);
+}
+
+TEST(BootstrapTest, IdenticalMethodsAreNotSignificant) {
+  std::vector<double> a(50, 0.5), b(50, 0.5);
+  BootstrapResult result = PairedBootstrap(a, b);
+  EXPECT_DOUBLE_EQ(result.mean_difference, 0.0);
+  // Every resample has difference exactly 0 -> "not better" always.
+  EXPECT_DOUBLE_EQ(result.p_not_better, 1.0);
+}
+
+TEST(BootstrapTest, NoisyTieStraddlesZero) {
+  util::Rng rng(77);
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) {
+    double base = rng.UniformDouble();
+    a.push_back(base + 0.1 * rng.Gaussian());
+    b.push_back(base + 0.1 * rng.Gaussian());
+  }
+  BootstrapResult result = PairedBootstrap(a, b);
+  EXPECT_LT(result.ci_low, 0.0);
+  EXPECT_GT(result.ci_high, 0.0);
+  EXPECT_GT(result.p_not_better, 0.05);
+  EXPECT_LT(result.p_not_better, 0.95);
+}
+
+TEST(BootstrapTest, RealGapWithNoiseIsDetected) {
+  util::Rng rng(78);
+  std::vector<double> a, b;
+  for (int i = 0; i < 300; ++i) {
+    double base = rng.UniformDouble();
+    a.push_back(base + 0.3 + 0.05 * rng.Gaussian());
+    b.push_back(base + 0.05 * rng.Gaussian());
+  }
+  BootstrapResult result = PairedBootstrap(a, b);
+  EXPECT_GT(result.ci_low, 0.0);           // CI excludes zero
+  EXPECT_LT(result.p_not_better, 0.01);
+}
+
+TEST(BootstrapTest, DeterministicForSeed) {
+  std::vector<double> a = {0.1, 0.5, 0.9, 0.3};
+  std::vector<double> b = {0.2, 0.4, 0.8, 0.1};
+  BootstrapResult r1 = PairedBootstrap(a, b);
+  BootstrapResult r2 = PairedBootstrap(a, b);
+  EXPECT_DOUBLE_EQ(r1.ci_low, r2.ci_low);
+  EXPECT_DOUBLE_EQ(r1.ci_high, r2.ci_high);
+  EXPECT_DOUBLE_EQ(r1.p_not_better, r2.p_not_better);
+}
+
+TEST(BootstrapTest, ConfidenceWidensInterval) {
+  util::Rng rng(79);
+  std::vector<double> a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(rng.UniformDouble());
+    b.push_back(rng.UniformDouble());
+  }
+  BootstrapOptions narrow;
+  narrow.confidence = 0.5;
+  BootstrapOptions wide;
+  wide.confidence = 0.99;
+  BootstrapResult r_narrow = PairedBootstrap(a, b, narrow);
+  BootstrapResult r_wide = PairedBootstrap(a, b, wide);
+  EXPECT_LT(r_wide.ci_low, r_narrow.ci_low);
+  EXPECT_GT(r_wide.ci_high, r_narrow.ci_high);
+}
+
+TEST(BootstrapDeathTest, InvalidInputsAbort) {
+  EXPECT_DEATH({ PairedBootstrap({1.0}, {1.0, 2.0}); }, "CHECK failed");
+  EXPECT_DEATH({ PairedBootstrap({}, {}); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace goalrec::eval

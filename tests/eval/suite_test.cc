@@ -1,0 +1,141 @@
+#include "eval/suite.h"
+
+#include <gtest/gtest.h>
+
+#include "data/foodmart.h"
+#include "data/fortythree.h"
+#include "data/splitter.h"
+#include "util/set_ops.h"
+
+namespace goalrec::eval {
+namespace {
+
+SuiteOptions FastSuiteOptions() {
+  SuiteOptions options;
+  options.als.num_factors = 4;
+  options.als.num_iterations = 2;
+  return options;
+}
+
+data::Dataset TinyFoodmart() {
+  data::FoodmartOptions options = data::SmallFoodmartOptions();
+  options.num_recipes = 150;
+  options.num_carts = 40;
+  return data::GenerateFoodmart(options);
+}
+
+std::vector<model::Activity> VisibleActivities(
+    const std::vector<data::EvalUser>& users) {
+  std::vector<model::Activity> inputs;
+  for (const data::EvalUser& user : users) inputs.push_back(user.visible);
+  return inputs;
+}
+
+TEST(SuiteTest, FoodmartRosterIncludesContent) {
+  data::Dataset dataset = TinyFoodmart();
+  std::vector<data::EvalUser> users = data::SplitDataset(dataset, 0.5, 1);
+  Suite suite(&dataset, VisibleActivities(users), FastSuiteOptions());
+  std::vector<std::string> names = suite.names();
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"Focus_cmp", "Focus_cl", "Breadth",
+                                      "BestMatch", "CF_kNN", "CF_MF",
+                                      "Content"}));
+}
+
+TEST(SuiteTest, FortyThreeRosterSkipsContent) {
+  data::Dataset dataset =
+      data::GenerateFortyThree(data::SmallFortyThreeOptions());
+  std::vector<data::EvalUser> users = data::SplitDataset(dataset, 0.3, 1);
+  Suite suite(&dataset, VisibleActivities(users), FastSuiteOptions());
+  std::vector<std::string> names = suite.names();
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"Focus_cmp", "Focus_cl", "Breadth",
+                                      "BestMatch", "CF_kNN", "CF_MF"}));
+}
+
+TEST(SuiteTest, OptionalAnchorsCanBeEnabled) {
+  data::Dataset dataset = TinyFoodmart();
+  SuiteOptions options = FastSuiteOptions();
+  options.include_popularity = true;
+  options.include_association_rules = true;
+  std::vector<data::EvalUser> users = data::SplitDataset(dataset, 0.5, 1);
+  Suite suite(&dataset, VisibleActivities(users), options);
+  std::vector<std::string> names = suite.names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "Popularity"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "AssocRules"), names.end());
+}
+
+TEST(SuiteTest, ExtensionRosterMembers) {
+  data::Dataset dataset = TinyFoodmart();
+  SuiteOptions options = FastSuiteOptions();
+  options.include_cf_item_knn = true;
+  options.include_hybrid = true;
+  options.include_mmr = true;
+  std::vector<data::EvalUser> users = data::SplitDataset(dataset, 0.5, 9);
+  Suite suite(&dataset, VisibleActivities(users), options);
+  std::vector<std::string> names = suite.names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "CF_itemKNN"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Hybrid(Breadth)"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "MMR(Breadth)"),
+            names.end());
+}
+
+TEST(SuiteTest, WrappersSkippedWithoutFeatures) {
+  data::Dataset dataset =
+      data::GenerateFortyThree(data::SmallFortyThreeOptions());
+  SuiteOptions options = FastSuiteOptions();
+  options.include_hybrid = true;
+  options.include_mmr = true;
+  std::vector<data::EvalUser> users = data::SplitDataset(dataset, 0.3, 9);
+  Suite suite(&dataset, VisibleActivities(users), options);
+  for (const std::string& name : suite.names()) {
+    EXPECT_EQ(name.find("Hybrid"), std::string::npos);
+    EXPECT_EQ(name.find("MMR"), std::string::npos);
+  }
+}
+
+TEST(SuiteTest, GoalBasedOnlySuiteNeedsNoTraining) {
+  data::Dataset dataset = TinyFoodmart();
+  SuiteOptions options;
+  options.include_cf_knn = false;
+  options.include_cf_mf = false;
+  options.include_content = false;
+  Suite suite(&dataset, {}, options);
+  EXPECT_EQ(suite.size(), 4u);
+}
+
+TEST(SuiteTest, RunAllShapesAndConstraints) {
+  data::Dataset dataset = TinyFoodmart();
+  std::vector<data::EvalUser> users = data::SplitDataset(dataset, 0.5, 2);
+  std::vector<model::Activity> inputs = VisibleActivities(users);
+  Suite suite(&dataset, inputs, FastSuiteOptions());
+  std::vector<MethodResult> results = suite.RunAll(inputs, 5);
+  ASSERT_EQ(results.size(), suite.size());
+  for (const MethodResult& result : results) {
+    ASSERT_EQ(result.lists.size(), inputs.size());
+    for (size_t u = 0; u < inputs.size(); ++u) {
+      EXPECT_LE(result.lists[u].size(), 5u);
+      for (const core::ScoredAction& entry : result.lists[u]) {
+        EXPECT_FALSE(util::Contains(inputs[u], entry.action))
+            << result.name << " recommended an input action";
+      }
+    }
+  }
+}
+
+TEST(SuiteTest, RunAllDeterministicAcrossThreadCounts) {
+  data::Dataset dataset = TinyFoodmart();
+  std::vector<data::EvalUser> users = data::SplitDataset(dataset, 0.5, 3);
+  std::vector<model::Activity> inputs = VisibleActivities(users);
+  Suite suite(&dataset, inputs, FastSuiteOptions());
+  std::vector<MethodResult> serial = suite.RunAll(inputs, 5, 1);
+  std::vector<MethodResult> parallel = suite.RunAll(inputs, 5, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t m = 0; m < serial.size(); ++m) {
+    EXPECT_EQ(serial[m].lists, parallel[m].lists) << serial[m].name;
+  }
+}
+
+}  // namespace
+}  // namespace goalrec::eval

@@ -1,0 +1,60 @@
+#include "eval/table.h"
+
+#include <gtest/gtest.h>
+
+namespace goalrec::eval {
+namespace {
+
+TEST(TextTableTest, RendersHeadersAndRows) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("name"), std::string::npos);
+  EXPECT_NE(rendered.find("alpha"), std::string::npos);
+  EXPECT_NE(rendered.find("22"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAreAligned) {
+  TextTable table({"m", "v"});
+  table.AddRow({"longname", "1"});
+  table.AddRow({"x", "2"});
+  std::string rendered = table.ToString();
+  // Both value cells must start at the same column.
+  size_t line_start = 0;
+  std::vector<size_t> value_columns;
+  for (char digit : {'1', '2'}) {
+    size_t pos = rendered.find(digit);
+    ASSERT_NE(pos, std::string::npos);
+    size_t start = rendered.rfind('\n', pos);
+    value_columns.push_back(pos - start);
+  }
+  (void)line_start;
+  EXPECT_EQ(value_columns[0], value_columns[1]);
+}
+
+TEST(TextTableTest, ShortRowsArePadded) {
+  TextTable table({"a", "b", "c"});
+  table.AddRow({"only"});
+  EXPECT_NE(table.ToString().find("only"), std::string::npos);
+}
+
+TEST(TextTableDeathTest, TooManyCellsAborts) {
+  TextTable table({"a"});
+  EXPECT_DEATH({ table.AddRow({"1", "2"}); }, "CHECK failed");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(0.34567, 3), "0.346");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+  EXPECT_EQ(FormatDouble(-0.5, 2), "-0.50");
+}
+
+TEST(FormatPercentTest, Rendering) {
+  EXPECT_EQ(FormatPercent(0.348, 1), "34.8%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+  EXPECT_EQ(FormatPercent(0.0215, 2), "2.15%");
+}
+
+}  // namespace
+}  // namespace goalrec::eval

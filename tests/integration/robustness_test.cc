@@ -1,0 +1,122 @@
+// Failure-injection / fuzz-style robustness: parsers must reject (never
+// crash on) malformed bytes, and loaders must round-trip arbitrary valid
+// structures.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "model/library_io.h"
+#include "model/validate.h"
+#include "testing/fixtures.h"
+#include "util/csv.h"
+#include "util/random.h"
+
+namespace goalrec {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string RandomBytes(util::Rng& rng, size_t length) {
+  std::string bytes(length, '\0');
+  for (char& c : bytes) {
+    c = static_cast<char>(rng.UniformUint32(256));
+  }
+  return bytes;
+}
+
+TEST(RobustnessTest, CsvParserNeverCrashesOnRandomBytes) {
+  util::Rng rng(404);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string line = RandomBytes(rng, rng.UniformUint32(80));
+    // Strip newlines — ParseCsvLine contract is one line.
+    for (char& c : line) {
+      if (c == '\n' || c == '\r') c = ' ';
+    }
+    util::StatusOr<util::CsvRow> row = util::ParseCsvLine(line);
+    if (row.ok()) {
+      // Whatever parsed must re-format and re-parse to the same fields.
+      util::StatusOr<util::CsvRow> again =
+          util::ParseCsvLine(util::FormatCsvLine(*row));
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(*again, *row);
+    }
+  }
+}
+
+TEST(RobustnessTest, BinaryLoaderNeverCrashesOnRandomBytes) {
+  util::Rng rng(405);
+  std::string path = TempPath("goalrec_fuzz.bin");
+  for (int trial = 0; trial < 200; ++trial) {
+    {
+      std::ofstream out(path, std::ios::binary);
+      std::string bytes = RandomBytes(rng, rng.UniformUint32(256));
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    util::StatusOr<model::ImplementationLibrary> loaded =
+        model::LoadLibraryBinary(path);
+    if (loaded.ok()) {
+      // Random bytes that happen to parse must still be structurally valid.
+      EXPECT_TRUE(model::ValidateLibrary(*loaded).ok());
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, TextLoaderNeverCrashesOnRandomPrintableLines) {
+  util::Rng rng(406);
+  std::string path = TempPath("goalrec_fuzz.txt");
+  for (int trial = 0; trial < 200; ++trial) {
+    {
+      std::ofstream out(path);
+      out << "# goalrec-library v1\n";
+      uint32_t lines = rng.UniformUint32(6);
+      for (uint32_t l = 0; l < lines; ++l) {
+        std::string line = RandomBytes(rng, 1 + rng.UniformUint32(40));
+        for (char& c : line) {
+          unsigned char u = static_cast<unsigned char>(c);
+          if (u < 32 || u > 126) c = 'x';
+          if (rng.Bernoulli(0.2)) c = '\t';
+        }
+        out << line << "\n";
+      }
+    }
+    util::StatusOr<model::ImplementationLibrary> loaded =
+        model::LoadLibraryText(path);
+    if (loaded.ok()) {
+      EXPECT_TRUE(model::ValidateLibrary(*loaded).ok());
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, TruncatedBinariesAlwaysRejected) {
+  std::string full_path = TempPath("goalrec_trunc_full.bin");
+  std::string cut_path = TempPath("goalrec_trunc_cut.bin");
+  model::ImplementationLibrary lib =
+      goalrec::testing::RandomLibrary(20, 8, 60, 4, 11);
+  ASSERT_TRUE(model::SaveLibraryBinary(lib, full_path).ok());
+  std::ifstream in(full_path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  // Every strict prefix must be rejected (step through a sample of cuts).
+  for (size_t cut = 1; cut + 1 < contents.size(); cut += 13) {
+    {
+      std::ofstream out(cut_path, std::ios::binary);
+      out.write(contents.data(), static_cast<std::streamsize>(cut));
+    }
+    util::StatusOr<model::ImplementationLibrary> loaded =
+        model::LoadLibraryBinary(cut_path);
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << cut << " bytes parsed";
+  }
+  std::remove(full_path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+}  // namespace
+}  // namespace goalrec

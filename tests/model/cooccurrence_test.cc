@@ -1,0 +1,95 @@
+#include "model/cooccurrence.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace goalrec::model {
+namespace {
+
+using goalrec::testing::A;
+using goalrec::testing::PaperLibrary;
+
+TEST(CoOccurrenceTest, CountsSharedImplementations) {
+  ImplementationLibrary lib = PaperLibrary();
+  // a1 and a2 share only p1; a2 and a6 share only p4; a1 and a6 share p5.
+  EXPECT_EQ(CoOccurrenceCount(lib, A(1), A(2)), 1u);
+  EXPECT_EQ(CoOccurrenceCount(lib, A(2), A(6)), 1u);
+  EXPECT_EQ(CoOccurrenceCount(lib, A(1), A(6)), 1u);
+  // a4 and a5 never co-occur.
+  EXPECT_EQ(CoOccurrenceCount(lib, A(4), A(5)), 0u);
+}
+
+TEST(CoOccurrenceTest, CountIsSymmetric) {
+  ImplementationLibrary lib = PaperLibrary();
+  for (ActionId a = 0; a < lib.num_actions(); ++a) {
+    for (ActionId b = 0; b < lib.num_actions(); ++b) {
+      EXPECT_EQ(CoOccurrenceCount(lib, a, b), CoOccurrenceCount(lib, b, a));
+    }
+  }
+}
+
+TEST(CoOccurrenceTest, TopCoActionsRanked) {
+  // Library where x pairs with y twice and z once.
+  LibraryBuilder builder;
+  builder.AddImplementation("g1", {"x", "y"});
+  builder.AddImplementation("g2", {"x", "y"});
+  builder.AddImplementation("g3", {"x", "z"});
+  ImplementationLibrary lib = std::move(builder).Build();
+  ActionId x = *lib.actions().Find("x");
+  std::vector<CoAction> top = TopCoActions(lib, x, 10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].action, *lib.actions().Find("y"));
+  EXPECT_EQ(top[0].count, 2u);
+  EXPECT_EQ(top[1].action, *lib.actions().Find("z"));
+  EXPECT_EQ(top[1].count, 1u);
+}
+
+TEST(CoOccurrenceTest, TopCoActionsRespectsK) {
+  ImplementationLibrary lib = PaperLibrary();
+  EXPECT_EQ(TopCoActions(lib, A(1), 2).size(), 2u);
+  EXPECT_TRUE(TopCoActions(lib, A(1), 0).empty());
+}
+
+TEST(CoOccurrenceTest, PmiPositiveForAssortedPairs) {
+  // y always appears with x (2 of 3 impls each, both shared): strong
+  // positive association.
+  LibraryBuilder builder;
+  builder.AddImplementation("g1", {"x", "y"});
+  builder.AddImplementation("g2", {"x", "y"});
+  builder.AddImplementation("g3", {"z", "w"});
+  ImplementationLibrary lib = std::move(builder).Build();
+  ActionId x = *lib.actions().Find("x");
+  ActionId y = *lib.actions().Find("y");
+  ActionId z = *lib.actions().Find("z");
+  // P(x,y)=2/3, P(x)=P(y)=2/3 -> PMI = log2((2/3)/(4/9)) = log2(1.5).
+  EXPECT_NEAR(PointwiseMutualInformation(lib, x, y), std::log2(1.5), 1e-12);
+  EXPECT_DOUBLE_EQ(PointwiseMutualInformation(lib, x, z), 0.0);
+}
+
+TEST(CoOccurrenceTest, PmiMatchesTopCoActions) {
+  ImplementationLibrary lib = PaperLibrary();
+  for (const CoAction& entry : TopCoActions(lib, A(1), 10)) {
+    EXPECT_NEAR(entry.pmi,
+                PointwiseMutualInformation(lib, A(1), entry.action), 1e-12);
+  }
+}
+
+TEST(CoOccurrenceTest, InertActionHasNoCoActions) {
+  LibraryBuilder builder;
+  builder.InternAction("lonely");
+  builder.AddImplementation("g", {"x", "y"});
+  ImplementationLibrary lib = std::move(builder).Build();
+  EXPECT_TRUE(TopCoActions(lib, *lib.actions().Find("lonely"), 5).empty());
+}
+
+TEST(CoOccurrenceDeathTest, OutOfRangeAborts) {
+  ImplementationLibrary lib = PaperLibrary();
+  EXPECT_DEATH({ TopCoActions(lib, 999, 5); }, "CHECK failed");
+  EXPECT_DEATH({ CoOccurrenceCount(lib, 0, 999); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace goalrec::model

@@ -1,0 +1,81 @@
+#include "model/export_dot.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace goalrec::model {
+namespace {
+
+using goalrec::testing::G;
+using goalrec::testing::PaperLibrary;
+
+TEST(ExportDotTest, ContainsAllNodesAndEdges) {
+  std::string dot = ToDot(PaperLibrary());
+  EXPECT_NE(dot.find("graph \"goalrec\""), std::string::npos);
+  for (const char* goal : {"g1", "g2", "g3", "g4", "g5"}) {
+    EXPECT_NE(dot.find("label=\"" + std::string(goal) + "\""),
+              std::string::npos);
+  }
+  for (const char* action : {"a1", "a2", "a3", "a4", "a5", "a6"}) {
+    EXPECT_NE(dot.find("label=\"" + std::string(action) + "\""),
+              std::string::npos);
+  }
+  // p1 = (g1, {a1, a2, a3}) -> goal id 0 connects to action ids 0..2.
+  EXPECT_NE(dot.find("g0 -- a0;"), std::string::npos);
+  EXPECT_NE(dot.find("g0 -- a1;"), std::string::npos);
+  EXPECT_NE(dot.find("g0 -- a2;"), std::string::npos);
+}
+
+TEST(ExportDotTest, GoalFilterRestrictsOutput) {
+  DotOptions options;
+  options.goals = {G(4)};  // only "be warm" = (g4, {a2, a6})
+  std::string dot = ToDot(PaperLibrary(), options);
+  EXPECT_NE(dot.find("label=\"g4\""), std::string::npos);
+  EXPECT_EQ(dot.find("label=\"g1\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"a2\""), std::string::npos);
+  EXPECT_EQ(dot.find("label=\"a4\""), std::string::npos);
+}
+
+TEST(ExportDotTest, MultiImplementationEdgesAreLabelled) {
+  LibraryBuilder builder;
+  builder.AddImplementation("g", {"x", "y"});
+  builder.AddImplementation("g", {"x", "z"});
+  ImplementationLibrary lib = std::move(builder).Build();
+  std::string dot = ToDot(lib);
+  // x appears in both implementations of g -> labelled edge.
+  EXPECT_NE(dot.find("[label=\"x2\"]"), std::string::npos);
+}
+
+TEST(ExportDotTest, QuotesEscaped) {
+  LibraryBuilder builder;
+  builder.AddImplementation("say \"hi\"", {"wave \\ smile"});
+  ImplementationLibrary lib = std::move(builder).Build();
+  std::string dot = ToDot(lib);
+  EXPECT_NE(dot.find("say \\\"hi\\\""), std::string::npos);
+  EXPECT_NE(dot.find("wave \\\\ smile"), std::string::npos);
+}
+
+TEST(ExportDotTest, WriteToFile) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "goalrec_graph.dot").string();
+  ASSERT_TRUE(ExportDot(PaperLibrary(), path).ok());
+  std::ifstream in(path);
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "graph \"goalrec\" {");
+  std::remove(path.c_str());
+}
+
+TEST(ExportDotTest, EmptyLibraryProducesEmptyGraph) {
+  std::string dot = ToDot(ImplementationLibrary());
+  EXPECT_NE(dot.find("graph"), std::string::npos);
+  EXPECT_EQ(dot.find("--"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace goalrec::model

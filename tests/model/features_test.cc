@@ -1,0 +1,68 @@
+#include "model/features.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace goalrec::model {
+namespace {
+
+ActionFeatureTable MakeTable() {
+  ActionFeatureTable table;
+  table.num_features = 4;
+  table.features = {
+      {0},        // a0: category 0
+      {0},        // a1: category 0 (same as a0)
+      {1},        // a2: category 1
+      {0, 1},     // a3: multi-label
+      {},         // a4: no features
+  };
+  return table;
+}
+
+TEST(FeaturesTest, IdenticalSingleLabelSimilarityIsOne) {
+  ActionFeatureTable table = MakeTable();
+  EXPECT_DOUBLE_EQ(FeatureSimilarity(table, 0, 1), 1.0);
+}
+
+TEST(FeaturesTest, DisjointLabelsSimilarityIsZero) {
+  ActionFeatureTable table = MakeTable();
+  EXPECT_DOUBLE_EQ(FeatureSimilarity(table, 0, 2), 0.0);
+}
+
+TEST(FeaturesTest, PartialOverlapCosine) {
+  ActionFeatureTable table = MakeTable();
+  // |{0} ∩ {0,1}| / (sqrt(1) * sqrt(2)) = 1/sqrt(2)
+  EXPECT_NEAR(FeatureSimilarity(table, 0, 3), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(FeaturesTest, EmptyFeatureSetSimilarityIsZero) {
+  ActionFeatureTable table = MakeTable();
+  EXPECT_DOUBLE_EQ(FeatureSimilarity(table, 0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(FeatureSimilarity(table, 4, 4), 0.0);
+}
+
+TEST(FeaturesTest, SimilarityIsSymmetric) {
+  ActionFeatureTable table = MakeTable();
+  for (ActionId a = 0; a < table.num_actions(); ++a) {
+    for (ActionId b = 0; b < table.num_actions(); ++b) {
+      EXPECT_DOUBLE_EQ(FeatureSimilarity(table, a, b),
+                       FeatureSimilarity(table, b, a));
+    }
+  }
+}
+
+TEST(FeaturesTest, TableAccessors) {
+  ActionFeatureTable table = MakeTable();
+  EXPECT_EQ(table.num_actions(), 5u);
+  EXPECT_FALSE(table.empty());
+  EXPECT_TRUE(ActionFeatureTable{}.empty());
+}
+
+TEST(FeaturesDeathTest, OutOfRangeActionAborts) {
+  ActionFeatureTable table = MakeTable();
+  EXPECT_DEATH({ FeatureSimilarity(table, 0, 99); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace goalrec::model

@@ -1,0 +1,70 @@
+#include "model/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace goalrec::model {
+namespace {
+
+using goalrec::testing::PaperLibrary;
+
+TEST(StatisticsTest, PaperLibraryStats) {
+  LibraryStats stats = ComputeStats(PaperLibrary());
+  EXPECT_EQ(stats.num_actions, 6u);
+  EXPECT_EQ(stats.num_goals, 5u);
+  EXPECT_EQ(stats.num_implementations, 5u);
+  EXPECT_EQ(stats.active_actions, 6u);
+  EXPECT_NEAR(stats.connectivity, 11.0 / 6.0, 1e-12);
+  EXPECT_EQ(stats.max_connectivity, 4u);  // a1
+  EXPECT_NEAR(stats.avg_implementation_length, 11.0 / 5.0, 1e-12);
+  EXPECT_EQ(stats.max_implementation_length, 3u);  // p1
+  EXPECT_DOUBLE_EQ(stats.avg_implementations_per_goal, 1.0);
+}
+
+TEST(StatisticsTest, InertActionsAreCounted) {
+  LibraryBuilder builder;
+  builder.InternAction("unused1");
+  builder.InternAction("unused2");
+  builder.AddImplementation("g", {"x", "y"});
+  LibraryStats stats = ComputeStats(std::move(builder).Build());
+  EXPECT_EQ(stats.num_actions, 4u);
+  EXPECT_EQ(stats.active_actions, 2u);
+  EXPECT_DOUBLE_EQ(stats.connectivity, 1.0);
+}
+
+TEST(StatisticsTest, MultipleImplementationsPerGoal) {
+  LibraryBuilder builder;
+  builder.AddImplementation("g", {"x"});
+  builder.AddImplementation("g", {"y"});
+  builder.AddImplementation("h", {"z"});
+  LibraryStats stats = ComputeStats(std::move(builder).Build());
+  EXPECT_NEAR(stats.avg_implementations_per_goal, 1.5, 1e-12);
+}
+
+TEST(StatisticsTest, EmptyLibrary) {
+  LibraryStats stats = ComputeStats(ImplementationLibrary());
+  EXPECT_EQ(stats.num_actions, 0u);
+  EXPECT_DOUBLE_EQ(stats.connectivity, 0.0);
+  EXPECT_DOUBLE_EQ(stats.avg_implementation_length, 0.0);
+  EXPECT_DOUBLE_EQ(stats.avg_implementations_per_goal, 0.0);
+}
+
+TEST(StatisticsTest, IndexFootprint) {
+  // Paper library: 11 containments + 5 implementations ->
+  // (2*11 + 2*5) * 4 bytes = 128.
+  LibraryStats stats = ComputeStats(PaperLibrary());
+  EXPECT_EQ(stats.index_bytes, 128u);
+  EXPECT_EQ(ComputeStats(ImplementationLibrary()).index_bytes, 0u);
+}
+
+TEST(StatisticsTest, ToStringMentionsEveryField) {
+  std::string rendered = StatsToString(ComputeStats(PaperLibrary()));
+  EXPECT_NE(rendered.find("actions"), std::string::npos);
+  EXPECT_NE(rendered.find("goals"), std::string::npos);
+  EXPECT_NE(rendered.find("implementations"), std::string::npos);
+  EXPECT_NE(rendered.find("connectivity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace goalrec::model

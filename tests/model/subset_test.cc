@@ -1,0 +1,73 @@
+#include "model/subset.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace goalrec::model {
+namespace {
+
+using goalrec::testing::A;
+using goalrec::testing::G;
+using goalrec::testing::PaperLibrary;
+
+TEST(SubsetTest, KeepEverythingIsIdentityUpToIds) {
+  ImplementationLibrary lib = PaperLibrary();
+  ImplementationLibrary all =
+      FilterByGoal(lib, [](GoalId, const std::string&) { return true; });
+  EXPECT_EQ(all.num_implementations(), lib.num_implementations());
+  EXPECT_EQ(all.num_goals(), lib.num_goals());
+  EXPECT_EQ(all.num_actions(), lib.num_actions());
+}
+
+TEST(SubsetTest, FilterByIdsKeepsOnlyThoseGoals) {
+  ImplementationLibrary lib = PaperLibrary();
+  ImplementationLibrary sub = FilterByGoalIds(lib, {G(1), G(4)});
+  EXPECT_EQ(sub.num_goals(), 2u);
+  EXPECT_EQ(sub.num_implementations(), 2u);  // p1 and p4
+  // Actions of dropped implementations (a4, a5) are absent.
+  EXPECT_FALSE(sub.actions().Find("a4").has_value());
+  EXPECT_FALSE(sub.actions().Find("a5").has_value());
+  EXPECT_TRUE(sub.actions().Find("a1").has_value());
+}
+
+TEST(SubsetTest, NamesSurviveReInterning) {
+  ImplementationLibrary lib = PaperLibrary();
+  ImplementationLibrary sub = FilterByGoalIds(lib, {G(4)});
+  ASSERT_EQ(sub.num_implementations(), 1u);
+  EXPECT_EQ(sub.goals().Name(sub.GoalOf(0)), "g4");
+  IdSet actions = sub.ActionsOf(0);
+  ASSERT_EQ(actions.size(), 2u);
+  EXPECT_EQ(sub.actions().Name(actions[0]), "a2");
+  EXPECT_EQ(sub.actions().Name(actions[1]), "a6");
+}
+
+TEST(SubsetTest, PredicateSeesNames) {
+  ImplementationLibrary lib = PaperLibrary();
+  ImplementationLibrary sub =
+      FilterByGoal(lib, [](GoalId, const std::string& name) {
+        return name == "g2" || name == "g3";
+      });
+  EXPECT_EQ(sub.num_implementations(), 2u);
+  EXPECT_EQ(sub.num_goals(), 2u);
+}
+
+TEST(SubsetTest, EmptySelectionGivesEmptyLibrary) {
+  ImplementationLibrary lib = PaperLibrary();
+  ImplementationLibrary sub = FilterByGoalIds(lib, {});
+  EXPECT_EQ(sub.num_implementations(), 0u);
+  EXPECT_EQ(sub.num_goals(), 0u);
+  EXPECT_EQ(sub.num_actions(), 0u);
+}
+
+TEST(SubsetTest, QueriesWorkOnTheSubLibrary) {
+  ImplementationLibrary lib = PaperLibrary();
+  ImplementationLibrary sub = FilterByGoalIds(lib, {G(1), G(4)});
+  ActionId a2 = *sub.actions().Find("a2");
+  // In the sub-library a2 still links p1-like and p4-like implementations.
+  EXPECT_EQ(sub.ImplsOfAction(a2).size(), 2u);
+  EXPECT_EQ(sub.GoalSpaceOfAction(a2).size(), 2u);
+}
+
+}  // namespace
+}  // namespace goalrec::model

@@ -1,0 +1,67 @@
+#include "model/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "data/fortythree.h"
+#include "model/library_io.h"
+#include "model/subset.h"
+#include "testing/fixtures.h"
+#include "textmine/extractor.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace goalrec::model {
+namespace {
+
+using goalrec::testing::PaperLibrary;
+using goalrec::testing::RandomLibrary;
+
+TEST(ValidateTest, PaperLibraryIsValid) {
+  EXPECT_TRUE(ValidateLibrary(PaperLibrary()).ok());
+}
+
+TEST(ValidateTest, EmptyLibraryIsValid) {
+  EXPECT_TRUE(ValidateLibrary(ImplementationLibrary()).ok());
+}
+
+TEST(ValidateTest, RandomLibrariesAreValid) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    EXPECT_TRUE(
+        ValidateLibrary(RandomLibrary(40, 15, 200, 6, seed)).ok());
+  }
+}
+
+TEST(ValidateTest, GeneratedDatasetIsValid) {
+  data::Dataset dataset =
+      data::GenerateFortyThree(data::SmallFortyThreeOptions());
+  EXPECT_TRUE(ValidateLibrary(dataset.library).ok());
+}
+
+TEST(ValidateTest, SubLibraryIsValid) {
+  ImplementationLibrary lib = PaperLibrary();
+  EXPECT_TRUE(ValidateLibrary(FilterByGoalIds(lib, {0, 2})).ok());
+}
+
+TEST(ValidateTest, TextMinedLibraryIsValid) {
+  std::vector<textmine::HowToDocument> docs = {
+      {"g1", "Do a thing. Do another thing."},
+      {"g2", "Do another thing; then rest."},
+  };
+  EXPECT_TRUE(
+      ValidateLibrary(textmine::BuildLibraryFromDocuments(docs)).ok());
+}
+
+TEST(ValidateTest, RoundTrippedLibrariesAreValid) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "goalrec_validate.bin")
+          .string();
+  ASSERT_TRUE(SaveLibraryBinary(PaperLibrary(), path).ok());
+  util::StatusOr<ImplementationLibrary> loaded = LoadLibraryBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(ValidateLibrary(*loaded).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace goalrec::model

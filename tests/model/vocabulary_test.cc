@@ -1,0 +1,74 @@
+#include "model/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace goalrec::model {
+namespace {
+
+TEST(VocabularyTest, InternAssignsDenseIds) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Intern("alpha"), 0u);
+  EXPECT_EQ(vocab.Intern("beta"), 1u);
+  EXPECT_EQ(vocab.Intern("gamma"), 2u);
+  EXPECT_EQ(vocab.size(), 3u);
+}
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary vocab;
+  uint32_t id = vocab.Intern("alpha");
+  EXPECT_EQ(vocab.Intern("alpha"), id);
+  EXPECT_EQ(vocab.size(), 1u);
+}
+
+TEST(VocabularyTest, FindExisting) {
+  Vocabulary vocab;
+  vocab.Intern("alpha");
+  auto found = vocab.Find("alpha");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, 0u);
+}
+
+TEST(VocabularyTest, FindMissing) {
+  Vocabulary vocab;
+  EXPECT_FALSE(vocab.Find("nothing").has_value());
+}
+
+TEST(VocabularyTest, NameRoundTrip) {
+  Vocabulary vocab;
+  vocab.Intern("alpha");
+  vocab.Intern("beta");
+  EXPECT_EQ(vocab.Name(0), "alpha");
+  EXPECT_EQ(vocab.Name(1), "beta");
+}
+
+TEST(VocabularyTest, EmptyStringIsAValidName) {
+  Vocabulary vocab;
+  uint32_t id = vocab.Intern("");
+  EXPECT_EQ(vocab.Name(id), "");
+  EXPECT_TRUE(vocab.Find("").has_value());
+}
+
+TEST(VocabularyTest, Empty) {
+  Vocabulary vocab;
+  EXPECT_TRUE(vocab.empty());
+  vocab.Intern("x");
+  EXPECT_FALSE(vocab.empty());
+}
+
+TEST(VocabularyDeathTest, NameOutOfRangeAborts) {
+  Vocabulary vocab;
+  EXPECT_DEATH({ vocab.Name(0); }, "CHECK failed");
+}
+
+TEST(VocabularyTest, ManyNames) {
+  Vocabulary vocab;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(vocab.Intern("name" + std::to_string(i)), i);
+  }
+  for (uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(vocab.Name(i), "name" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace goalrec::model

@@ -1,0 +1,82 @@
+#ifndef GOALREC_TESTS_TESTING_FIXTURES_H_
+#define GOALREC_TESTS_TESTING_FIXTURES_H_
+
+#include <vector>
+
+#include "model/library.h"
+#include "util/random.h"
+
+// Shared fixtures. PaperLibrary() is the clothing-store example of the paper
+// (Example 3.2 / Figure 1), reconstructed to satisfy every constraint the
+// text states in Example 4.3:
+//
+//   p1 = (g1, {a1, a2, a3})   g1 = "meeting friends"
+//   p2 = (g2, {a1, a4})       g2 = "going to the office"
+//   p3 = (g3, {a1, a5})
+//   p4 = (g4, {a2, a6})       g4 = "be warm"
+//   p5 = (g5, {a1, a6})
+//
+// so action a1 participates in A1, A2, A3 and A5, its implementation space is
+// {p1, p2, p3, p5}, its goal space {g1, g2, g3, g5} and its action space
+// {a2, a3, a4, a5, a6} — exactly the values of Example 4.3. Actions are
+// interned as "a1".."a6" (ids 0..5) and goals as "g1".."g5" (ids 0..4).
+
+namespace goalrec::testing {
+
+inline model::ImplementationLibrary PaperLibrary() {
+  model::LibraryBuilder builder;
+  builder.AddImplementation("g1", {"a1", "a2", "a3"});
+  builder.AddImplementation("g2", {"a1", "a4"});
+  builder.AddImplementation("g3", {"a1", "a5"});
+  builder.AddImplementation("g4", {"a2", "a6"});
+  builder.AddImplementation("g5", {"a1", "a6"});
+  return std::move(builder).Build();
+}
+
+/// Id of "aN" in PaperLibrary(): a1 -> 0, ..., a6 -> 5.
+inline model::ActionId A(uint32_t n) { return n - 1; }
+
+/// Id of "gN" in PaperLibrary(): g1 -> 0, ..., g5 -> 4.
+inline model::GoalId G(uint32_t n) { return n - 1; }
+
+/// A random library for property tests: `num_impls` implementations over
+/// `num_actions` actions and `num_goals` goals, sizes in [1, max_size].
+inline model::ImplementationLibrary RandomLibrary(uint32_t num_actions,
+                                                  uint32_t num_goals,
+                                                  uint32_t num_impls,
+                                                  uint32_t max_size,
+                                                  uint64_t seed) {
+  util::Rng rng(seed);
+  model::LibraryBuilder builder;
+  for (uint32_t a = 0; a < num_actions; ++a) {
+    builder.InternAction("act" + std::to_string(a));
+  }
+  for (uint32_t g = 0; g < num_goals; ++g) {
+    builder.InternGoal("goal" + std::to_string(g));
+  }
+  for (uint32_t p = 0; p < num_impls; ++p) {
+    uint32_t size = 1 + rng.UniformUint32(max_size);
+    model::IdSet actions;
+    for (uint32_t i = 0; i < size; ++i) {
+      actions.push_back(rng.UniformUint32(num_actions));
+    }
+    builder.AddImplementationIds(rng.UniformUint32(num_goals),
+                                 std::move(actions));
+  }
+  return std::move(builder).Build();
+}
+
+/// A random sorted activity over [0, num_actions).
+inline model::Activity RandomActivity(uint32_t num_actions, uint32_t size,
+                                      util::Rng& rng) {
+  model::Activity activity;
+  for (uint32_t i = 0; i < size; ++i) {
+    activity.push_back(rng.UniformUint32(num_actions));
+  }
+  util::Normalize(activity);
+  return activity;
+}
+
+}  // namespace goalrec::testing
+
+#endif  // GOALREC_TESTS_TESTING_FIXTURES_H_

@@ -1,0 +1,104 @@
+#include "textmine/aliases.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "textmine/extractor.h"
+
+namespace goalrec::textmine {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(AliasMapTest, ResolveMappedAndUnmapped) {
+  AliasMap map;
+  map.Add("work out", "exercise");
+  EXPECT_EQ(map.Resolve("work out"), "exercise");
+  EXPECT_EQ(map.Resolve("sleep"), "sleep");
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(AliasMapTest, LaterRegistrationsWin) {
+  AliasMap map;
+  map.Add("x", "first");
+  map.Add("x", "second");
+  EXPECT_EQ(map.Resolve("x"), "second");
+}
+
+TEST(AliasMapTest, ChainsAreNotFollowed) {
+  AliasMap map;
+  map.Add("a", "b");
+  map.Add("b", "c");
+  EXPECT_EQ(map.Resolve("a"), "b");
+}
+
+TEST(AliasMapTest, LoadFromCsv) {
+  std::string path = TempPath("goalrec_aliases.csv");
+  {
+    std::ofstream out(path);
+    out << "work out,exercise\nhit gym,exercise\n";
+  }
+  util::StatusOr<AliasMap> map = LoadAliasesCsv(path);
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  EXPECT_EQ(map->size(), 2u);
+  EXPECT_EQ(map->Resolve("hit gym"), "exercise");
+  std::remove(path.c_str());
+}
+
+TEST(AliasMapTest, LoadRejectsMalformedRows) {
+  std::string path = TempPath("goalrec_aliases_bad.csv");
+  {
+    std::ofstream out(path);
+    out << "one_field_only\n";
+  }
+  EXPECT_FALSE(LoadAliasesCsv(path).ok());
+  {
+    std::ofstream out(path);
+    out << ",empty\n";
+  }
+  EXPECT_FALSE(LoadAliasesCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(AliasMapTest, MissingFileFails) {
+  EXPECT_FALSE(LoadAliasesCsv("/nonexistent/aliases.csv").ok());
+}
+
+TEST(AliasExtractionTest, VariantsMergeOntoCanonicalAction) {
+  AliasMap aliases;
+  aliases.Add("work out", "exercise");
+  aliases.Add("hit gym", "exercise");
+  ExtractorOptions options;
+  options.aliases = &aliases;
+
+  std::vector<HowToDocument> docs = {
+      {"get fit", "Work out. Drink water."},
+      {"get strong", "Hit the gym; eat protein."},
+  };
+  model::ImplementationLibrary lib = BuildLibraryFromDocuments(docs, options);
+  auto canonical = lib.actions().Find("exercise");
+  ASSERT_TRUE(canonical.has_value());
+  // Both documents' variants resolved to the same action id.
+  EXPECT_EQ(lib.ImplsOfAction(*canonical).size(), 2u);
+  EXPECT_FALSE(lib.actions().Find("work out").has_value());
+  EXPECT_FALSE(lib.actions().Find("hit gym").has_value());
+}
+
+TEST(AliasExtractionTest, AppliesAfterStemming) {
+  // The alias key targets the *stemmed* form.
+  AliasMap aliases;
+  aliases.Add("jog park", "go jogging");
+  ExtractorOptions options;
+  options.stem_words = true;
+  options.aliases = &aliases;
+  // "jogging parks" stems to "jog park", which the alias canonicalises.
+  EXPECT_EQ(ExtractActionPhrase("jogging parks", options), "go jogging");
+}
+
+}  // namespace
+}  // namespace goalrec::textmine

@@ -1,0 +1,111 @@
+#include "textmine/corpus.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace goalrec::textmine {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(CorpusTest, ParsesDocuments) {
+  std::string path = TempPath("goalrec_corpus.txt");
+  {
+    std::ofstream out(path);
+    out << "# a comment\n"
+        << "GOAL: lose weight\n"
+        << "Drink more water.\n"
+        << "Go running.\n"
+        << "\n"
+        << "GOAL: save money\n"
+        << "Cook at home.\n";
+  }
+  util::StatusOr<std::vector<HowToDocument>> corpus = LoadCorpus(path);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  ASSERT_EQ(corpus->size(), 2u);
+  EXPECT_EQ((*corpus)[0].goal, "lose weight");
+  EXPECT_NE((*corpus)[0].text.find("Drink more water."), std::string::npos);
+  EXPECT_EQ((*corpus)[1].goal, "save money");
+  std::remove(path.c_str());
+}
+
+TEST(CorpusTest, RepeatedGoalsAreSeparateDocuments) {
+  std::string path = TempPath("goalrec_corpus_repeat.txt");
+  {
+    std::ofstream out(path);
+    out << "GOAL: g\nfirst telling.\nGOAL: g\nsecond telling.\n";
+  }
+  util::StatusOr<std::vector<HowToDocument>> corpus = LoadCorpus(path);
+  ASSERT_TRUE(corpus.ok());
+  ASSERT_EQ(corpus->size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusTest, RejectsContentBeforeFirstGoal) {
+  std::string path = TempPath("goalrec_corpus_bad.txt");
+  {
+    std::ofstream out(path);
+    out << "orphan text\nGOAL: g\nsteps.\n";
+  }
+  EXPECT_FALSE(LoadCorpus(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CorpusTest, RejectsEmptyGoalName) {
+  std::string path = TempPath("goalrec_corpus_empty.txt");
+  {
+    std::ofstream out(path);
+    out << "GOAL:   \nsteps.\n";
+  }
+  EXPECT_FALSE(LoadCorpus(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CorpusTest, RoundTrip) {
+  std::string path = TempPath("goalrec_corpus_rt.txt");
+  std::vector<HowToDocument> documents = {
+      {"lose weight", "Drink water.\nGo running.\n"},
+      {"get fit", "Join a gym.\n"},
+  };
+  ASSERT_TRUE(SaveCorpus(documents, path).ok());
+  util::StatusOr<std::vector<HowToDocument>> loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].goal, "lose weight");
+  EXPECT_NE((*loaded)[0].text.find("Go running."), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusTest, RoundTripFeedsExtractor) {
+  std::string path = TempPath("goalrec_corpus_extract.txt");
+  std::vector<HowToDocument> documents = {
+      {"lose weight", "Drink more water. Go running."},
+  };
+  ASSERT_TRUE(SaveCorpus(documents, path).ok());
+  util::StatusOr<std::vector<HowToDocument>> loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.ok());
+  model::ImplementationLibrary lib = BuildLibraryFromDocuments(*loaded);
+  EXPECT_EQ(lib.num_implementations(), 1u);
+  EXPECT_EQ(lib.num_actions(), 2u);
+}
+
+TEST(CorpusTest, MissingFileFails) {
+  EXPECT_FALSE(LoadCorpus("/nonexistent/corpus.txt").ok());
+}
+
+TEST(CorpusTest, EmptyFileGivesEmptyCorpus) {
+  std::string path = TempPath("goalrec_corpus_none.txt");
+  { std::ofstream out(path); }
+  util::StatusOr<std::vector<HowToDocument>> corpus = LoadCorpus(path);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_TRUE(corpus->empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace goalrec::textmine

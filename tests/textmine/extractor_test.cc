@@ -1,0 +1,106 @@
+#include "textmine/extractor.h"
+
+#include <gtest/gtest.h>
+
+namespace goalrec::textmine {
+namespace {
+
+TEST(ExtractActionPhraseTest, DropsNarrationCuesAndStopwords) {
+  EXPECT_EQ(ExtractActionPhrase("First, I started to drink more water"),
+            "drink more water");
+  EXPECT_EQ(ExtractActionPhrase("Then I stopped eating at restaurants"),
+            "stopped eating restaurants");
+}
+
+TEST(ExtractActionPhraseTest, CueWordsInsidePhraseAreKept) {
+  // "start" gates only the beginning; "jump start the car" keeps it.
+  EXPECT_EQ(ExtractActionPhrase("jump start the car"), "jump start car");
+}
+
+TEST(ExtractActionPhraseTest, CapsPhraseLength) {
+  ExtractorOptions options;
+  options.max_phrase_words = 2;
+  EXPECT_EQ(ExtractActionPhrase("buy fresh organic vegetables", options),
+            "buy fresh");
+}
+
+TEST(ExtractActionPhraseTest, EmptyWhenNothingActionable) {
+  EXPECT_EQ(ExtractActionPhrase("and then I was"), "");
+  EXPECT_EQ(ExtractActionPhrase(""), "");
+}
+
+TEST(ExtractActionsTest, OneActionPerStepDeduplicated) {
+  HowToDocument doc;
+  doc.goal = "lose weight";
+  doc.text = "Drink more water. Go running. Drink more water.";
+  EXPECT_EQ(ExtractActions(doc),
+            (std::vector<std::string>{"drink more water", "go running"}));
+}
+
+TEST(ExtractActionsTest, NumberedHowTo) {
+  HowToDocument doc;
+  doc.goal = "make pasta";
+  doc.text = "1. boil water\n2. add salt\n3. cook the pasta";
+  EXPECT_EQ(ExtractActions(doc),
+            (std::vector<std::string>{"boil water", "add salt",
+                                      "cook pasta"}));
+}
+
+TEST(BuildLibraryTest, OneImplementationPerDocument) {
+  std::vector<HowToDocument> docs = {
+      {"lose weight", "Drink more water. Go running."},
+      {"get fit", "Go running. Join a gym."},
+  };
+  model::ImplementationLibrary lib = BuildLibraryFromDocuments(docs);
+  EXPECT_EQ(lib.num_implementations(), 2u);
+  EXPECT_EQ(lib.num_goals(), 2u);
+  // "go running" is shared between the two implementations.
+  auto shared = lib.actions().Find("go running");
+  ASSERT_TRUE(shared.has_value());
+  EXPECT_EQ(lib.ImplsOfAction(*shared).size(), 2u);
+}
+
+TEST(BuildLibraryTest, GoalNamesAreCanonicalised) {
+  std::vector<HowToDocument> docs = {
+      {"Lose Weight ", "Drink water."},
+      {"lose weight", "Go running."},
+  };
+  model::ImplementationLibrary lib = BuildLibraryFromDocuments(docs);
+  EXPECT_EQ(lib.num_goals(), 1u);  // same goal, two implementations
+  EXPECT_EQ(lib.ImplsOfGoal(0).size(), 2u);
+}
+
+TEST(BuildLibraryTest, DocumentsWithoutActionsAreSkipped) {
+  std::vector<HowToDocument> docs = {
+      {"vague goal", "...!"},
+      {"real goal", "Do something concrete."},
+  };
+  model::ImplementationLibrary lib = BuildLibraryFromDocuments(docs);
+  EXPECT_EQ(lib.num_implementations(), 1u);
+}
+
+TEST(BuildLibraryTest, EmptyGoalNamesAreSkipped) {
+  std::vector<HowToDocument> docs = {{"  ", "Do something."}};
+  model::ImplementationLibrary lib = BuildLibraryFromDocuments(docs);
+  EXPECT_EQ(lib.num_implementations(), 0u);
+}
+
+TEST(BuildLibraryTest, ExtractedLibrarySupportsRecommendation) {
+  // End-to-end: text -> library -> spaces behave sensibly.
+  std::vector<HowToDocument> docs = {
+      {"lose weight", "Drink more water. Go running. Eat vegetables."},
+      {"get fit", "Go running. Join a gym."},
+      {"save money", "Cancel subscriptions. Cook at home."},
+  };
+  model::ImplementationLibrary lib = BuildLibraryFromDocuments(docs);
+  model::ActionId running = *lib.actions().Find("go running");
+  model::IdSet goal_space = lib.GoalSpaceOfAction(running);
+  EXPECT_EQ(goal_space.size(), 2u);  // lose weight + get fit
+  model::IdSet action_space = lib.ActionSpaceOfAction(running);
+  // "drink more water", "eat vegetables" (lose weight) + "join gym" (get
+  // fit); the save-money actions are unreachable from "go running".
+  EXPECT_EQ(action_space.size(), 3u);
+}
+
+}  // namespace
+}  // namespace goalrec::textmine

@@ -1,0 +1,87 @@
+#include "textmine/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "textmine/extractor.h"
+
+namespace goalrec::textmine {
+namespace {
+
+TEST(StemWordTest, Plurals) {
+  EXPECT_EQ(StemWord("restaurants"), "restaurant");
+  EXPECT_EQ(StemWord("dishes"), "dish");
+  EXPECT_EQ(StemWord("boxes"), "box");
+  EXPECT_EQ(StemWord("calories"), "calory");
+  EXPECT_EQ(StemWord("classes"), "class");
+}
+
+TEST(StemWordTest, PluralGuards) {
+  EXPECT_EQ(StemWord("glass"), "glass");  // -ss is not a plural
+  EXPECT_EQ(StemWord("bus"), "bus");      // too short / -us
+  EXPECT_EQ(StemWord("focus"), "focus");  // -us guard
+}
+
+TEST(StemWordTest, IngAndEd) {
+  EXPECT_EQ(StemWord("running"), "run");    // undoubled consonant
+  EXPECT_EQ(StemWord("drinking"), "drink");
+  EXPECT_EQ(StemWord("stopped"), "stop");
+  EXPECT_EQ(StemWord("cooked"), "cook");
+}
+
+TEST(StemWordTest, IngGuards) {
+  EXPECT_EQ(StemWord("sing"), "sing");    // short word unchanged
+  EXPECT_EQ(StemWord("bring"), "bring");  // vowel-less stem "br"
+  EXPECT_EQ(StemWord("king"), "king");
+}
+
+TEST(StemWordTest, ShortWordsUnchanged) {
+  EXPECT_EQ(StemWord("go"), "go");
+  EXPECT_EQ(StemWord("eat"), "eat");
+  EXPECT_EQ(StemWord("as"), "as");
+}
+
+TEST(StemPhraseTest, StemsEveryWord) {
+  EXPECT_EQ(StemPhrase("drinking glasses of water"),
+            "drink glass of water");
+  EXPECT_EQ(StemPhrase("stopped eating at restaurants"),
+            "stop eat at restaurant");
+}
+
+TEST(ExtractorStemmingTest, InflectedRetellingsDeduplicate) {
+  ExtractorOptions options;
+  options.stem_words = true;
+  HowToDocument doc;
+  doc.goal = "lose weight";
+  doc.text = "Drink more water. Drinking more water. I drank soda less.";
+  std::vector<std::string> actions = ExtractActions(doc, options);
+  // "drink more water" and "drinking more water" fold together.
+  ASSERT_EQ(actions.size(), 2u);
+  EXPECT_EQ(actions[0], "drink more water");
+}
+
+TEST(ExtractorStemmingTest, OffByDefault) {
+  HowToDocument doc;
+  doc.goal = "g";
+  doc.text = "Drinking more water.";
+  std::vector<std::string> actions = ExtractActions(doc);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0], "drinking more water");
+}
+
+TEST(ExtractorStemmingTest, CrossDocumentAssociationsEmerge) {
+  ExtractorOptions options;
+  options.stem_words = true;
+  std::vector<HowToDocument> docs = {
+      {"lose weight", "Drinking more water. Going running."},
+      {"get fit", "Drink more water. Join a gym."},
+  };
+  model::ImplementationLibrary lib =
+      BuildLibraryFromDocuments(docs, options);
+  auto shared = lib.actions().Find("drink more water");
+  ASSERT_TRUE(shared.has_value());
+  // The stemmed action now bridges the two goals.
+  EXPECT_EQ(lib.GoalSpaceOfAction(*shared).size(), 2u);
+}
+
+}  // namespace
+}  // namespace goalrec::textmine

@@ -1,0 +1,59 @@
+#include "textmine/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace goalrec::textmine {
+namespace {
+
+TEST(SplitStepsTest, SentenceBoundaries) {
+  EXPECT_EQ(SplitSteps("Buy milk. Walk the dog! Done?"),
+            (std::vector<std::string>{"Buy milk", "Walk the dog", "Done"}));
+}
+
+TEST(SplitStepsTest, NewlinesAndSemicolons) {
+  EXPECT_EQ(SplitSteps("step one\nstep two; step three"),
+            (std::vector<std::string>{"step one", "step two", "step three"}));
+}
+
+TEST(SplitStepsTest, EnumerationMarkersStripped) {
+  EXPECT_EQ(SplitSteps("1. first thing\n2) second thing\n- third thing"),
+            (std::vector<std::string>{"first thing", "second thing",
+                                      "third thing"}));
+}
+
+TEST(SplitStepsTest, EmptySegmentsDropped) {
+  EXPECT_EQ(SplitSteps("a..b.  ."), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(SplitSteps("").empty());
+  EXPECT_TRUE(SplitSteps("...").empty());
+}
+
+TEST(TokenizeTest, LowercasesAndStripsPunctuation) {
+  EXPECT_EQ(Tokenize("Hello, World!"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(TokenizeTest, ApostrophesDropped) {
+  EXPECT_EQ(Tokenize("don't stop"),
+            (std::vector<std::string>{"dont", "stop"}));
+}
+
+TEST(TokenizeTest, NumbersKept) {
+  EXPECT_EQ(Tokenize("run 5 km"),
+            (std::vector<std::string>{"run", "5", "km"}));
+}
+
+TEST(TokenizeTest, Empty) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("!!! ---").empty());
+}
+
+TEST(IsStopwordTest, CommonFunctionWords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("to"));
+  EXPECT_TRUE(IsStopword("i"));
+  EXPECT_FALSE(IsStopword("run"));
+  EXPECT_FALSE(IsStopword("water"));
+}
+
+}  // namespace
+}  // namespace goalrec::textmine

@@ -1,0 +1,104 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace goalrec::util {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(CsvTest, ParseSimpleLine) {
+  StatusOr<CsvRow> row = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, (CsvRow{"a", "b", "c"}));
+}
+
+TEST(CsvTest, ParseEmptyFields) {
+  StatusOr<CsvRow> row = ParseCsvLine("a,,c,");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, (CsvRow{"a", "", "c", ""}));
+}
+
+TEST(CsvTest, ParseQuotedField) {
+  StatusOr<CsvRow> row = ParseCsvLine("\"a,b\",c");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, (CsvRow{"a,b", "c"}));
+}
+
+TEST(CsvTest, ParseEscapedQuote) {
+  StatusOr<CsvRow> row = ParseCsvLine("\"he said \"\"hi\"\"\",x");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, (CsvRow{"he said \"hi\"", "x"}));
+}
+
+TEST(CsvTest, ParseUnterminatedQuoteFails) {
+  StatusOr<CsvRow> row = ParseCsvLine("\"abc");
+  EXPECT_FALSE(row.ok());
+  EXPECT_EQ(row.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, ParseQuoteInsideUnquotedFieldFails) {
+  StatusOr<CsvRow> row = ParseCsvLine("ab\"c");
+  EXPECT_FALSE(row.ok());
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  StatusOr<CsvRow> row = ParseCsvLine("a\tb", '\t');
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, (CsvRow{"a", "b"}));
+}
+
+TEST(CsvTest, FormatPlain) {
+  EXPECT_EQ(FormatCsvLine({"a", "b"}), "a,b");
+}
+
+TEST(CsvTest, FormatQuotesWhenNeeded) {
+  EXPECT_EQ(FormatCsvLine({"a,b", "c\"d"}), "\"a,b\",\"c\"\"d\"");
+}
+
+TEST(CsvTest, RoundTripThroughFormatAndParse) {
+  CsvRow original = {"plain", "with,comma", "with\"quote", ""};
+  StatusOr<CsvRow> parsed = ParseCsvLine(FormatCsvLine(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path = TempPath("goalrec_csv_test.csv");
+  std::vector<CsvRow> rows = {{"u1", "buy milk"}, {"u2", "a,b"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  StatusOr<std::vector<CsvRow>> read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadSkipsEmptyLinesAndCr) {
+  std::string path = TempPath("goalrec_csv_crlf.csv");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a,b\r\n\r\nc,d\n";
+  }
+  StatusOr<std::vector<CsvRow>> read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 2u);
+  EXPECT_EQ((*read)[0], (CsvRow{"a", "b"}));
+  EXPECT_EQ((*read)[1], (CsvRow{"c", "d"}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  StatusOr<std::vector<CsvRow>> read =
+      ReadCsvFile("/nonexistent/goalrec.csv");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace goalrec::util

@@ -1,0 +1,73 @@
+#include "util/dense_vector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace goalrec::util {
+namespace {
+
+TEST(DenseVectorTest, Dot) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(DenseVectorTest, Norm2) {
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Norm2({0, 0}), 0.0);
+}
+
+TEST(DenseVectorTest, EuclideanDistance) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(DenseVectorTest, ManhattanDistance) {
+  EXPECT_DOUBLE_EQ(ManhattanDistance({0, 0}, {3, -4}), 7.0);
+  EXPECT_DOUBLE_EQ(ManhattanDistance({2}, {2}), 0.0);
+}
+
+TEST(DenseVectorTest, CosineSimilarity) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {2, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {-1, 0}), -1.0);
+  // Zero vector convention.
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(DenseVectorTest, CosineDistance) {
+  EXPECT_DOUBLE_EQ(CosineDistance({1, 0}, {2, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineDistance({0, 0}, {1, 0}), 1.0);
+}
+
+TEST(DenseVectorTest, DistanceDispatch) {
+  DenseVector a = {0, 0}, b = {3, 4};
+  EXPECT_DOUBLE_EQ(Distance(a, b, DistanceMetric::kEuclidean), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b, DistanceMetric::kManhattan), 7.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 0}, {0, 1}, DistanceMetric::kCosine), 1.0);
+}
+
+TEST(DenseVectorTest, JaccardFromCounts) {
+  EXPECT_DOUBLE_EQ(JaccardFromCounts(2, 3, 4), 0.4);  // 2 / (3+4-2)
+  EXPECT_DOUBLE_EQ(JaccardFromCounts(0, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardFromCounts(3, 3, 3), 1.0);
+}
+
+TEST(DenseVectorTest, AddInPlace) {
+  DenseVector a = {1, 2};
+  AddInPlace(a, {3, 4});
+  EXPECT_EQ(a, (DenseVector{4, 6}));
+}
+
+TEST(DenseVectorTest, ScaleInPlace) {
+  DenseVector a = {1, -2};
+  ScaleInPlace(a, 2.5);
+  EXPECT_EQ(a, (DenseVector{2.5, -5.0}));
+}
+
+TEST(DenseVectorDeathTest, MismatchedSizesAbort) {
+  EXPECT_DEATH({ Dot({1.0}, {1.0, 2.0}); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace goalrec::util

@@ -1,0 +1,89 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace goalrec::util {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "tool");
+  return FlagParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagParserTest, PositionalAndFlagsSeparated) {
+  FlagParser parser = Parse({"stats", "--k=5", "file.txt"});
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"stats", "file.txt"}));
+  EXPECT_TRUE(parser.Has("k"));
+}
+
+TEST(FlagParserTest, GetStringWithDefault) {
+  FlagParser parser = Parse({"--name=value"});
+  EXPECT_EQ(parser.GetString("name"), "value");
+  EXPECT_EQ(parser.GetString("missing", "fallback"), "fallback");
+}
+
+TEST(FlagParserTest, BareFlagIsEmptyString) {
+  FlagParser parser = Parse({"--verbose"});
+  EXPECT_TRUE(parser.Has("verbose"));
+  EXPECT_EQ(parser.GetString("verbose", "unset"), "");
+}
+
+TEST(FlagParserTest, GetInt) {
+  FlagParser parser = Parse({"--k=42", "--bad=xyz"});
+  StatusOr<int64_t> k = parser.GetInt("k", 0);
+  ASSERT_TRUE(k.ok());
+  EXPECT_EQ(*k, 42);
+  EXPECT_EQ(*parser.GetInt("missing", 7), 7);
+  EXPECT_FALSE(parser.GetInt("bad", 0).ok());
+}
+
+TEST(FlagParserTest, GetIntNegative) {
+  FlagParser parser = Parse({"--delta=-3"});
+  EXPECT_EQ(*parser.GetInt("delta", 0), -3);
+}
+
+TEST(FlagParserTest, GetDouble) {
+  FlagParser parser = Parse({"--alpha=0.25", "--bad=x"});
+  EXPECT_DOUBLE_EQ(*parser.GetDouble("alpha", 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(*parser.GetDouble("missing", 1.5), 1.5);
+  EXPECT_FALSE(parser.GetDouble("bad", 0.0).ok());
+}
+
+TEST(FlagParserTest, GetBool) {
+  FlagParser parser =
+      Parse({"--on", "--yes=true", "--no=false", "--one=1", "--bad=maybe"});
+  EXPECT_TRUE(*parser.GetBool("on", false));
+  EXPECT_TRUE(*parser.GetBool("yes", false));
+  EXPECT_FALSE(*parser.GetBool("no", true));
+  EXPECT_TRUE(*parser.GetBool("one", false));
+  EXPECT_TRUE(*parser.GetBool("missing", true));
+  EXPECT_FALSE(parser.GetBool("bad", false).ok());
+}
+
+TEST(FlagParserTest, DoubleDashEndsFlagParsing) {
+  FlagParser parser = Parse({"--k=1", "--", "--not-a-flag"});
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"--not-a-flag"}));
+  EXPECT_FALSE(parser.Has("not-a-flag"));
+}
+
+TEST(FlagParserTest, UnknownFlags) {
+  FlagParser parser = Parse({"--known=1", "--mystery=2"});
+  EXPECT_EQ(parser.UnknownFlags({"known"}),
+            (std::vector<std::string>{"mystery"}));
+  EXPECT_TRUE(parser.UnknownFlags({"known", "mystery"}).empty());
+}
+
+TEST(FlagParserTest, LastValueWinsOnRepeat) {
+  FlagParser parser = Parse({"--k=1", "--k=2"});
+  EXPECT_EQ(*parser.GetInt("k", 0), 2);
+}
+
+TEST(FlagParserTest, ValueMayContainEquals) {
+  FlagParser parser = Parse({"--expr=a=b"});
+  EXPECT_EQ(parser.GetString("expr"), "a=b");
+}
+
+}  // namespace
+}  // namespace goalrec::util

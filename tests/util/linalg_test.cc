@@ -1,0 +1,108 @@
+#include "util/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace goalrec::util {
+namespace {
+
+TEST(DenseMatrixTest, ZeroInitialised) {
+  DenseMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m.At(r, c), 0.0);
+  }
+}
+
+TEST(DenseMatrixTest, FillAndAt) {
+  DenseMatrix m(2, 2);
+  m.Fill(1.5);
+  m.At(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 7.0);
+}
+
+TEST(DenseMatrixTest, AddInPlace) {
+  DenseMatrix a(1, 2), b(1, 2);
+  a.At(0, 0) = 1;
+  b.At(0, 1) = 2;
+  a.AddInPlace(b);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 1), 2.0);
+}
+
+TEST(DenseMatrixTest, AddToDiagonal) {
+  DenseMatrix m(3, 3);
+  m.AddToDiagonal(2.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 0.0);
+}
+
+TEST(DenseMatrixTest, AddOuterProduct) {
+  DenseMatrix m(2, 2);
+  m.AddOuterProduct({1, 2}, 2.0);  // m += 2 * [1;2][1 2]
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 8.0);
+}
+
+TEST(CholeskySolveTest, Identity) {
+  DenseMatrix a(2, 2);
+  a.AddToDiagonal(1.0);
+  StatusOr<DenseVector> x = CholeskySolve(a, {3, -4});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], -4.0, 1e-12);
+}
+
+TEST(CholeskySolveTest, KnownSystem) {
+  // A = [[4, 2], [2, 3]], b = [10, 8] -> x = [1.75, 1.5]
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 4;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 2;
+  a.At(1, 1) = 3;
+  StatusOr<DenseVector> x = CholeskySolve(a, {10, 8});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.75, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.5, 1e-12);
+}
+
+TEST(CholeskySolveTest, NotPositiveDefiniteFails) {
+  DenseMatrix a(2, 2);  // all zeros
+  StatusOr<DenseVector> x = CholeskySolve(a, {1, 1});
+  ASSERT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// Property: for random SPD systems A = B Bᵀ + I, solving then multiplying
+// back recovers b.
+TEST(CholeskySolvePropertyTest, SolveThenMultiplyRecoversRhs) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t n = 1 + rng.UniformUint32(8);
+    DenseMatrix a(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      DenseVector col(n);
+      for (double& v : col) v = rng.Gaussian();
+      a.AddOuterProduct(col, 1.0);
+    }
+    a.AddToDiagonal(1.0);
+    DenseVector b(n);
+    for (double& v : b) v = rng.Gaussian();
+    StatusOr<DenseVector> x = CholeskySolve(a, b);
+    ASSERT_TRUE(x.ok());
+    for (size_t i = 0; i < n; ++i) {
+      double recovered = 0.0;
+      for (size_t j = 0; j < n; ++j) recovered += a.At(i, j) * (*x)[j];
+      EXPECT_NEAR(recovered, b[i], 1e-8);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace goalrec::util

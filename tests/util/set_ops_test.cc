@@ -1,0 +1,88 @@
+#include "util/set_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace goalrec::util {
+namespace {
+
+TEST(SetOpsTest, IsSortedSet) {
+  EXPECT_TRUE(IsSortedSet({}));
+  EXPECT_TRUE(IsSortedSet({5}));
+  EXPECT_TRUE(IsSortedSet({1, 2, 9}));
+  EXPECT_FALSE(IsSortedSet({2, 1}));
+  EXPECT_FALSE(IsSortedSet({1, 1}));  // duplicates are not sets
+}
+
+TEST(SetOpsTest, NormalizeSortsAndDedups) {
+  IdVector v = {5, 1, 5, 3, 1};
+  Normalize(v);
+  EXPECT_EQ(v, (IdVector{1, 3, 5}));
+}
+
+TEST(SetOpsTest, IntersectionSize) {
+  EXPECT_EQ(IntersectionSize({1, 2, 3}, {2, 3, 4}), 2u);
+  EXPECT_EQ(IntersectionSize({1, 2, 3}, {4, 5}), 0u);
+  EXPECT_EQ(IntersectionSize({}, {1}), 0u);
+  EXPECT_EQ(IntersectionSize({1, 2}, {1, 2}), 2u);
+}
+
+TEST(SetOpsTest, DifferenceSizeIsAsymmetric) {
+  EXPECT_EQ(DifferenceSize({1, 2, 3}, {2}), 2u);
+  EXPECT_EQ(DifferenceSize({2}, {1, 2, 3}), 0u);
+  EXPECT_EQ(DifferenceSize({1, 2, 3}, {}), 3u);
+  EXPECT_EQ(DifferenceSize({}, {1, 2}), 0u);
+}
+
+TEST(SetOpsTest, IntersectMaterialises) {
+  EXPECT_EQ(Intersect({1, 3, 5, 7}, {3, 4, 5}), (IdVector{3, 5}));
+  EXPECT_EQ(Intersect({1}, {2}), IdVector{});
+}
+
+TEST(SetOpsTest, DifferenceMaterialises) {
+  EXPECT_EQ(Difference({1, 3, 5}, {3}), (IdVector{1, 5}));
+  EXPECT_EQ(Difference({1, 3}, {1, 3}), IdVector{});
+}
+
+TEST(SetOpsTest, UnionMaterialises) {
+  EXPECT_EQ(Union({1, 3}, {2, 3, 4}), (IdVector{1, 2, 3, 4}));
+  EXPECT_EQ(Union({}, {}), IdVector{});
+}
+
+TEST(SetOpsTest, IsSubset) {
+  EXPECT_TRUE(IsSubset({}, {1, 2}));
+  EXPECT_TRUE(IsSubset({1, 2}, {1, 2, 3}));
+  EXPECT_FALSE(IsSubset({1, 4}, {1, 2, 3}));
+  EXPECT_TRUE(IsSubset({}, {}));
+}
+
+TEST(SetOpsTest, Contains) {
+  EXPECT_TRUE(Contains({1, 3, 5}, 3));
+  EXPECT_FALSE(Contains({1, 3, 5}, 4));
+  EXPECT_FALSE(Contains({}, 0));
+}
+
+// Property: size functions agree with materialised results on random sets.
+TEST(SetOpsPropertyTest, SizesMatchMaterialisedResults) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    IdVector a, b;
+    uint32_t na = rng.UniformUint32(20);
+    uint32_t nb = rng.UniformUint32(20);
+    for (uint32_t i = 0; i < na; ++i) a.push_back(rng.UniformUint32(30));
+    for (uint32_t i = 0; i < nb; ++i) b.push_back(rng.UniformUint32(30));
+    Normalize(a);
+    Normalize(b);
+    EXPECT_EQ(IntersectionSize(a, b), Intersect(a, b).size());
+    EXPECT_EQ(DifferenceSize(a, b), Difference(a, b).size());
+    // Inclusion–exclusion.
+    EXPECT_EQ(Union(a, b).size() + Intersect(a, b).size(),
+              a.size() + b.size());
+    // a = (a − b) ∪ (a ∩ b).
+    EXPECT_EQ(Union(Difference(a, b), Intersect(a, b)), a);
+  }
+}
+
+}  // namespace
+}  // namespace goalrec::util

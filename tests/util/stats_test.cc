@@ -1,0 +1,111 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace goalrec::util {
+namespace {
+
+TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_DOUBLE_EQ(Mean({}), 0.0); }
+
+TEST(StatsTest, Mean) { EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5); }
+
+TEST(StatsTest, Variance) {
+  EXPECT_DOUBLE_EQ(Variance({2, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(Variance({5}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+}
+
+TEST(StatsTest, PearsonPerfectPositive) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonPerfectNegative) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonUncorrelated) {
+  // Symmetric pattern with zero linear correlation.
+  EXPECT_NEAR(PearsonCorrelation({-1, 0, 1}, {1, 0, 1}), 0.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(StatsTest, PearsonTooFewPoints) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1}, {2}), 0.0);
+}
+
+TEST(StatsTest, Summarize) {
+  Summary s = Summarize({3, 1, 2});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.avg, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_EQ(s.count, 3u);
+}
+
+TEST(StatsTest, SummarizeEmpty) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.avg, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(HistogramTest, BucketsValues) {
+  Histogram h(5);
+  h.Add(0.05);  // bucket 0
+  h.Add(0.25);  // bucket 1
+  h.Add(0.99);  // bucket 4
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+}
+
+TEST(HistogramTest, BoundaryValueOneGoesToLastBucket) {
+  Histogram h(4);
+  h.Add(1.0);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+}
+
+TEST(HistogramTest, OutOfRangeClamped) {
+  Histogram h(4);
+  h.Add(-0.5);
+  h.Add(1.5);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+}
+
+TEST(HistogramTest, Fraction) {
+  Histogram h(2);
+  h.Add(0.1);
+  h.Add(0.2);
+  h.Add(0.9);
+  EXPECT_NEAR(h.Fraction(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.Fraction(1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(HistogramTest, FractionBelow) {
+  Histogram h(5);
+  for (double v : {0.05, 0.1, 0.3, 0.5, 0.9}) h.Add(v);
+  EXPECT_NEAR(h.FractionBelow(0.2), 0.4, 1e-12);  // two of five below 0.2
+  EXPECT_DOUBLE_EQ(h.FractionBelow(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(1.0), 1.0);
+}
+
+TEST(HistogramTest, EmptyFractions) {
+  Histogram h(3);
+  EXPECT_DOUBLE_EQ(h.Fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(0.5), 0.0);
+}
+
+TEST(HistogramTest, ToStringHasOneLinePerBucket) {
+  Histogram h(3);
+  h.Add(0.5);
+  std::string rendered = h.ToString();
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace goalrec::util

@@ -1,0 +1,47 @@
+#include "util/string_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace goalrec::util {
+namespace {
+
+TEST(StringUtilsTest, SplitBasic) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtilsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b,", ','),
+            (std::vector<std::string>{"a", "", "b", ""}));
+}
+
+TEST(StringUtilsTest, SplitEmptyString) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilsTest, Trim) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("hello"), "hello");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilsTest, ToLower) {
+  EXPECT_EQ(ToLower("HeLLo 123!"), "hello 123!");
+}
+
+TEST(StringUtilsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_FALSE(StartsWith("xfoo", "foo"));
+}
+
+TEST(StringUtilsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace goalrec::util

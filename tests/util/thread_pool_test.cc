@@ -1,0 +1,76 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace goalrec::util {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ParallelForTest, CoversAllIndicesExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(1000, [&](size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroIterations) {
+  ParallelFor(0, [](size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> order;
+  ParallelFor(5, [&](size_t i) { order.push_back(static_cast<int>(i)); },
+              /*num_threads=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::atomic<int> sum{0};
+  ParallelFor(3, [&](size_t i) { sum += static_cast<int>(i); },
+              /*num_threads=*/16);
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ParallelForTest, LargeSumMatchesSerial) {
+  const size_t n = 10000;
+  std::vector<int64_t> values(n);
+  ParallelFor(n, [&](size_t i) { values[i] = static_cast<int64_t>(i) * 2; });
+  int64_t total = std::accumulate(values.begin(), values.end(), int64_t{0});
+  EXPECT_EQ(total, static_cast<int64_t>(n) * (n - 1));
+}
+
+}  // namespace
+}  // namespace goalrec::util

@@ -1,0 +1,37 @@
+#include "util/timer.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace goalrec::util {
+namespace {
+
+TEST(WallTimerTest, ElapsedIsNonNegativeAndMonotonic) {
+  WallTimer timer;
+  double first = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double second = timer.ElapsedSeconds();
+  EXPECT_GE(second, first);
+  EXPECT_GE(second, 0.004);  // at least the sleep, minus clock granularity
+}
+
+TEST(WallTimerTest, MicrosAgreeWithSeconds) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  int64_t micros = timer.ElapsedMicros();
+  double seconds = timer.ElapsedSeconds();
+  EXPECT_GE(micros, 4000);
+  EXPECT_GE(seconds * 1e6, static_cast<double>(micros) * 0.5);
+}
+
+TEST(WallTimerTest, ResetRestartsTheClock) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.009);
+}
+
+}  // namespace
+}  // namespace goalrec::util

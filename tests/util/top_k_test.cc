@@ -1,0 +1,73 @@
+#include "util/top_k.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace goalrec::util {
+namespace {
+
+TEST(TopKTest, KeepsLargest) {
+  TopK<int, std::greater<int>> top(3);
+  for (int v : {5, 1, 9, 3, 7, 2}) top.Push(v);
+  EXPECT_EQ(top.Take(), (std::vector<int>{9, 7, 5}));
+}
+
+TEST(TopKTest, FewerElementsThanK) {
+  TopK<int, std::greater<int>> top(10);
+  top.Push(2);
+  top.Push(8);
+  EXPECT_EQ(top.Take(), (std::vector<int>{8, 2}));
+}
+
+TEST(TopKTest, SizeAndCapacity) {
+  TopK<int, std::greater<int>> top(2);
+  EXPECT_EQ(top.capacity(), 2u);
+  EXPECT_EQ(top.size(), 0u);
+  top.Push(1);
+  EXPECT_EQ(top.size(), 1u);
+  top.Push(2);
+  top.Push(3);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+TEST(TopKTest, CustomComparatorSmallestFirst) {
+  TopK<int, std::less<int>> bottom(2);
+  for (int v : {5, 1, 9, 3}) bottom.Push(v);
+  EXPECT_EQ(bottom.Take(), (std::vector<int>{1, 3}));
+}
+
+TEST(TopKTest, DuplicatesRetained) {
+  TopK<int, std::greater<int>> top(3);
+  for (int v : {4, 4, 4, 1}) top.Push(v);
+  EXPECT_EQ(top.Take(), (std::vector<int>{4, 4, 4}));
+}
+
+TEST(TopKDeathTest, ZeroCapacityAborts) {
+  EXPECT_DEATH({ TopK<int> top(0); }, "CHECK failed");
+}
+
+// Property: TopK agrees with full sort on random streams.
+TEST(TopKPropertyTest, MatchesFullSort) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t k = 1 + rng.UniformUint32(10);
+    std::vector<int> values;
+    uint32_t n = rng.UniformUint32(100);
+    for (uint32_t i = 0; i < n; ++i) {
+      values.push_back(static_cast<int>(rng.UniformUint32(1000)));
+    }
+    TopK<int, std::greater<int>> top(k);
+    for (int v : values) top.Push(v);
+    std::vector<int> expected = values;
+    std::sort(expected.begin(), expected.end(), std::greater<int>());
+    expected.resize(std::min(k, expected.size()));
+    EXPECT_EQ(top.Take(), expected);
+  }
+}
+
+}  // namespace
+}  // namespace goalrec::util
