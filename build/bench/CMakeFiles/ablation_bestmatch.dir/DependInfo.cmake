@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_bestmatch.cc" "bench/CMakeFiles/ablation_bestmatch.dir/ablation_bestmatch.cc.o" "gcc" "bench/CMakeFiles/ablation_bestmatch.dir/ablation_bestmatch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/goalrec_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/goalrec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/goalrec_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/goalrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/goalrec_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/goalrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bestmatch.dir/ablation_bestmatch.cc.o"
+  "CMakeFiles/ablation_bestmatch.dir/ablation_bestmatch.cc.o.d"
+  "ablation_bestmatch"
+  "ablation_bestmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bestmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

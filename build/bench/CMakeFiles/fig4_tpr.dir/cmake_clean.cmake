@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_tpr.dir/fig4_tpr.cc.o"
+  "CMakeFiles/fig4_tpr.dir/fig4_tpr.cc.o.d"
+  "fig4_tpr"
+  "fig4_tpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_tpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

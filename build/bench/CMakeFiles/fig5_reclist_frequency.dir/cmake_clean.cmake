@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_reclist_frequency.dir/fig5_reclist_frequency.cc.o"
+  "CMakeFiles/fig5_reclist_frequency.dir/fig5_reclist_frequency.cc.o.d"
+  "fig5_reclist_frequency"
+  "fig5_reclist_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_reclist_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

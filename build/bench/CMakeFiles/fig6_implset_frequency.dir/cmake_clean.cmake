@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_implset_frequency.dir/fig6_implset_frequency.cc.o"
+  "CMakeFiles/fig6_implset_frequency.dir/fig6_implset_frequency.cc.o.d"
+  "fig6_implset_frequency"
+  "fig6_implset_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_implset_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goal_count_breakdown.dir/goal_count_breakdown.cc.o"
+  "CMakeFiles/goal_count_breakdown.dir/goal_count_breakdown.cc.o.d"
+  "goal_count_breakdown"
+  "goal_count_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goal_count_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

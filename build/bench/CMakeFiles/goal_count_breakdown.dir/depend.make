@@ -1,0 +1,2 @@
+# Empty dependencies file for goal_count_breakdown.
+# This may be replaced when dependencies are built.

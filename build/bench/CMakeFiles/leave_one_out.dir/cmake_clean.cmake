@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leave_one_out.dir/leave_one_out.cc.o"
+  "CMakeFiles/leave_one_out.dir/leave_one_out.cc.o.d"
+  "leave_one_out"
+  "leave_one_out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leave_one_out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for leave_one_out.
+# This may be replaced when dependencies are built.

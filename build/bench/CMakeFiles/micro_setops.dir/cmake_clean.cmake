@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_setops.dir/micro_setops.cc.o"
+  "CMakeFiles/micro_setops.dir/micro_setops.cc.o.d"
+  "micro_setops"
+  "micro_setops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_setops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

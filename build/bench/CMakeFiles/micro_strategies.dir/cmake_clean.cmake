@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_strategies.dir/micro_strategies.cc.o"
+  "CMakeFiles/micro_strategies.dir/micro_strategies.cc.o.d"
+  "micro_strategies"
+  "micro_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_textmine.dir/micro_textmine.cc.o"
+  "CMakeFiles/micro_textmine.dir/micro_textmine.cc.o.d"
+  "micro_textmine"
+  "micro_textmine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_textmine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

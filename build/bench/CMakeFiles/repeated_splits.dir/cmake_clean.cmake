@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repeated_splits.dir/repeated_splits.cc.o"
+  "CMakeFiles/repeated_splits.dir/repeated_splits.cc.o.d"
+  "repeated_splits"
+  "repeated_splits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repeated_splits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

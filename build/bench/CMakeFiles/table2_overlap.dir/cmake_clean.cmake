@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_overlap.dir/table2_overlap.cc.o"
+  "CMakeFiles/table2_overlap.dir/table2_overlap.cc.o.d"
+  "table2_overlap"
+  "table2_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

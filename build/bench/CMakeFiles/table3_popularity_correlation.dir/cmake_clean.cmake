@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_popularity_correlation.dir/table3_popularity_correlation.cc.o"
+  "CMakeFiles/table3_popularity_correlation.dir/table3_popularity_correlation.cc.o.d"
+  "table3_popularity_correlation"
+  "table3_popularity_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_popularity_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_completeness.dir/table4_completeness.cc.o"
+  "CMakeFiles/table4_completeness.dir/table4_completeness.cc.o.d"
+  "table4_completeness"
+  "table4_completeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_completeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_pairwise_similarity.dir/table5_pairwise_similarity.cc.o"
+  "CMakeFiles/table5_pairwise_similarity.dir/table5_pairwise_similarity.cc.o.d"
+  "table5_pairwise_similarity"
+  "table5_pairwise_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_pairwise_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

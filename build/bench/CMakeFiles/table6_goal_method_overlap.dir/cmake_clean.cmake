@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_goal_method_overlap.dir/table6_goal_method_overlap.cc.o"
+  "CMakeFiles/table6_goal_method_overlap.dir/table6_goal_method_overlap.cc.o.d"
+  "table6_goal_method_overlap"
+  "table6_goal_method_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_goal_method_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table6_goal_method_overlap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goal_priorities.dir/goal_priorities.cpp.o"
+  "CMakeFiles/goal_priorities.dir/goal_priorities.cpp.o.d"
+  "goal_priorities"
+  "goal_priorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goal_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for goal_priorities.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grocery_store.dir/grocery_store.cpp.o"
+  "CMakeFiles/grocery_store.dir/grocery_store.cpp.o.d"
+  "grocery_store"
+  "grocery_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grocery_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

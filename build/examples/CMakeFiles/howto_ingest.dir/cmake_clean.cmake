@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/howto_ingest.dir/howto_ingest.cpp.o"
+  "CMakeFiles/howto_ingest.dir/howto_ingest.cpp.o.d"
+  "howto_ingest"
+  "howto_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/howto_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for howto_ingest.
+# This may be replaced when dependencies are built.

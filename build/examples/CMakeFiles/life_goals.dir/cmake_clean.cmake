@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/life_goals.dir/life_goals.cpp.o"
+  "CMakeFiles/life_goals.dir/life_goals.cpp.o.d"
+  "life_goals"
+  "life_goals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/life_goals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for life_goals.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outfit_store.dir/outfit_store.cpp.o"
+  "CMakeFiles/outfit_store.dir/outfit_store.cpp.o.d"
+  "outfit_store"
+  "outfit_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outfit_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for outfit_store.
+# This may be replaced when dependencies are built.

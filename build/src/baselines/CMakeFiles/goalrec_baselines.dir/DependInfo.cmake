@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/als.cc" "src/baselines/CMakeFiles/goalrec_baselines.dir/als.cc.o" "gcc" "src/baselines/CMakeFiles/goalrec_baselines.dir/als.cc.o.d"
+  "/root/repo/src/baselines/association_rules.cc" "src/baselines/CMakeFiles/goalrec_baselines.dir/association_rules.cc.o" "gcc" "src/baselines/CMakeFiles/goalrec_baselines.dir/association_rules.cc.o.d"
+  "/root/repo/src/baselines/content_based.cc" "src/baselines/CMakeFiles/goalrec_baselines.dir/content_based.cc.o" "gcc" "src/baselines/CMakeFiles/goalrec_baselines.dir/content_based.cc.o.d"
+  "/root/repo/src/baselines/interaction_data.cc" "src/baselines/CMakeFiles/goalrec_baselines.dir/interaction_data.cc.o" "gcc" "src/baselines/CMakeFiles/goalrec_baselines.dir/interaction_data.cc.o.d"
+  "/root/repo/src/baselines/item_knn.cc" "src/baselines/CMakeFiles/goalrec_baselines.dir/item_knn.cc.o" "gcc" "src/baselines/CMakeFiles/goalrec_baselines.dir/item_knn.cc.o.d"
+  "/root/repo/src/baselines/knn.cc" "src/baselines/CMakeFiles/goalrec_baselines.dir/knn.cc.o" "gcc" "src/baselines/CMakeFiles/goalrec_baselines.dir/knn.cc.o.d"
+  "/root/repo/src/baselines/markov.cc" "src/baselines/CMakeFiles/goalrec_baselines.dir/markov.cc.o" "gcc" "src/baselines/CMakeFiles/goalrec_baselines.dir/markov.cc.o.d"
+  "/root/repo/src/baselines/popularity.cc" "src/baselines/CMakeFiles/goalrec_baselines.dir/popularity.cc.o" "gcc" "src/baselines/CMakeFiles/goalrec_baselines.dir/popularity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/goalrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/goalrec_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/goalrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

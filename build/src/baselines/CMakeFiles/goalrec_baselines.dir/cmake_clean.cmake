@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalrec_baselines.dir/als.cc.o"
+  "CMakeFiles/goalrec_baselines.dir/als.cc.o.d"
+  "CMakeFiles/goalrec_baselines.dir/association_rules.cc.o"
+  "CMakeFiles/goalrec_baselines.dir/association_rules.cc.o.d"
+  "CMakeFiles/goalrec_baselines.dir/content_based.cc.o"
+  "CMakeFiles/goalrec_baselines.dir/content_based.cc.o.d"
+  "CMakeFiles/goalrec_baselines.dir/interaction_data.cc.o"
+  "CMakeFiles/goalrec_baselines.dir/interaction_data.cc.o.d"
+  "CMakeFiles/goalrec_baselines.dir/item_knn.cc.o"
+  "CMakeFiles/goalrec_baselines.dir/item_knn.cc.o.d"
+  "CMakeFiles/goalrec_baselines.dir/knn.cc.o"
+  "CMakeFiles/goalrec_baselines.dir/knn.cc.o.d"
+  "CMakeFiles/goalrec_baselines.dir/markov.cc.o"
+  "CMakeFiles/goalrec_baselines.dir/markov.cc.o.d"
+  "CMakeFiles/goalrec_baselines.dir/popularity.cc.o"
+  "CMakeFiles/goalrec_baselines.dir/popularity.cc.o.d"
+  "libgoalrec_baselines.a"
+  "libgoalrec_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalrec_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/best_match.cc" "src/core/CMakeFiles/goalrec_core.dir/best_match.cc.o" "gcc" "src/core/CMakeFiles/goalrec_core.dir/best_match.cc.o.d"
+  "/root/repo/src/core/breadth.cc" "src/core/CMakeFiles/goalrec_core.dir/breadth.cc.o" "gcc" "src/core/CMakeFiles/goalrec_core.dir/breadth.cc.o.d"
+  "/root/repo/src/core/diversity.cc" "src/core/CMakeFiles/goalrec_core.dir/diversity.cc.o" "gcc" "src/core/CMakeFiles/goalrec_core.dir/diversity.cc.o.d"
+  "/root/repo/src/core/explanation.cc" "src/core/CMakeFiles/goalrec_core.dir/explanation.cc.o" "gcc" "src/core/CMakeFiles/goalrec_core.dir/explanation.cc.o.d"
+  "/root/repo/src/core/focus.cc" "src/core/CMakeFiles/goalrec_core.dir/focus.cc.o" "gcc" "src/core/CMakeFiles/goalrec_core.dir/focus.cc.o.d"
+  "/root/repo/src/core/goal_weights.cc" "src/core/CMakeFiles/goalrec_core.dir/goal_weights.cc.o" "gcc" "src/core/CMakeFiles/goalrec_core.dir/goal_weights.cc.o.d"
+  "/root/repo/src/core/hybrid.cc" "src/core/CMakeFiles/goalrec_core.dir/hybrid.cc.o" "gcc" "src/core/CMakeFiles/goalrec_core.dir/hybrid.cc.o.d"
+  "/root/repo/src/core/query_context.cc" "src/core/CMakeFiles/goalrec_core.dir/query_context.cc.o" "gcc" "src/core/CMakeFiles/goalrec_core.dir/query_context.cc.o.d"
+  "/root/repo/src/core/recommender.cc" "src/core/CMakeFiles/goalrec_core.dir/recommender.cc.o" "gcc" "src/core/CMakeFiles/goalrec_core.dir/recommender.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/goalrec_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/goalrec_core.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/goalrec_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/goalrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

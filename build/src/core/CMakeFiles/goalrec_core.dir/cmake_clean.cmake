@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalrec_core.dir/best_match.cc.o"
+  "CMakeFiles/goalrec_core.dir/best_match.cc.o.d"
+  "CMakeFiles/goalrec_core.dir/breadth.cc.o"
+  "CMakeFiles/goalrec_core.dir/breadth.cc.o.d"
+  "CMakeFiles/goalrec_core.dir/diversity.cc.o"
+  "CMakeFiles/goalrec_core.dir/diversity.cc.o.d"
+  "CMakeFiles/goalrec_core.dir/explanation.cc.o"
+  "CMakeFiles/goalrec_core.dir/explanation.cc.o.d"
+  "CMakeFiles/goalrec_core.dir/focus.cc.o"
+  "CMakeFiles/goalrec_core.dir/focus.cc.o.d"
+  "CMakeFiles/goalrec_core.dir/goal_weights.cc.o"
+  "CMakeFiles/goalrec_core.dir/goal_weights.cc.o.d"
+  "CMakeFiles/goalrec_core.dir/hybrid.cc.o"
+  "CMakeFiles/goalrec_core.dir/hybrid.cc.o.d"
+  "CMakeFiles/goalrec_core.dir/query_context.cc.o"
+  "CMakeFiles/goalrec_core.dir/query_context.cc.o.d"
+  "CMakeFiles/goalrec_core.dir/recommender.cc.o"
+  "CMakeFiles/goalrec_core.dir/recommender.cc.o.d"
+  "CMakeFiles/goalrec_core.dir/session.cc.o"
+  "CMakeFiles/goalrec_core.dir/session.cc.o.d"
+  "libgoalrec_core.a"
+  "libgoalrec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalrec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/foodmart.cc" "src/data/CMakeFiles/goalrec_data.dir/foodmart.cc.o" "gcc" "src/data/CMakeFiles/goalrec_data.dir/foodmart.cc.o.d"
+  "/root/repo/src/data/fortythree.cc" "src/data/CMakeFiles/goalrec_data.dir/fortythree.cc.o" "gcc" "src/data/CMakeFiles/goalrec_data.dir/fortythree.cc.o.d"
+  "/root/repo/src/data/loaders.cc" "src/data/CMakeFiles/goalrec_data.dir/loaders.cc.o" "gcc" "src/data/CMakeFiles/goalrec_data.dir/loaders.cc.o.d"
+  "/root/repo/src/data/splitter.cc" "src/data/CMakeFiles/goalrec_data.dir/splitter.cc.o" "gcc" "src/data/CMakeFiles/goalrec_data.dir/splitter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/goalrec_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/goalrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalrec_data.dir/foodmart.cc.o"
+  "CMakeFiles/goalrec_data.dir/foodmart.cc.o.d"
+  "CMakeFiles/goalrec_data.dir/fortythree.cc.o"
+  "CMakeFiles/goalrec_data.dir/fortythree.cc.o.d"
+  "CMakeFiles/goalrec_data.dir/loaders.cc.o"
+  "CMakeFiles/goalrec_data.dir/loaders.cc.o.d"
+  "CMakeFiles/goalrec_data.dir/splitter.cc.o"
+  "CMakeFiles/goalrec_data.dir/splitter.cc.o.d"
+  "libgoalrec_data.a"
+  "libgoalrec_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalrec_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/breakdown.cc" "src/eval/CMakeFiles/goalrec_eval.dir/breakdown.cc.o" "gcc" "src/eval/CMakeFiles/goalrec_eval.dir/breakdown.cc.o.d"
+  "/root/repo/src/eval/export.cc" "src/eval/CMakeFiles/goalrec_eval.dir/export.cc.o" "gcc" "src/eval/CMakeFiles/goalrec_eval.dir/export.cc.o.d"
+  "/root/repo/src/eval/leave_one_out.cc" "src/eval/CMakeFiles/goalrec_eval.dir/leave_one_out.cc.o" "gcc" "src/eval/CMakeFiles/goalrec_eval.dir/leave_one_out.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/goalrec_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/goalrec_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/repeated.cc" "src/eval/CMakeFiles/goalrec_eval.dir/repeated.cc.o" "gcc" "src/eval/CMakeFiles/goalrec_eval.dir/repeated.cc.o.d"
+  "/root/repo/src/eval/reports.cc" "src/eval/CMakeFiles/goalrec_eval.dir/reports.cc.o" "gcc" "src/eval/CMakeFiles/goalrec_eval.dir/reports.cc.o.d"
+  "/root/repo/src/eval/scaling.cc" "src/eval/CMakeFiles/goalrec_eval.dir/scaling.cc.o" "gcc" "src/eval/CMakeFiles/goalrec_eval.dir/scaling.cc.o.d"
+  "/root/repo/src/eval/significance.cc" "src/eval/CMakeFiles/goalrec_eval.dir/significance.cc.o" "gcc" "src/eval/CMakeFiles/goalrec_eval.dir/significance.cc.o.d"
+  "/root/repo/src/eval/suite.cc" "src/eval/CMakeFiles/goalrec_eval.dir/suite.cc.o" "gcc" "src/eval/CMakeFiles/goalrec_eval.dir/suite.cc.o.d"
+  "/root/repo/src/eval/table.cc" "src/eval/CMakeFiles/goalrec_eval.dir/table.cc.o" "gcc" "src/eval/CMakeFiles/goalrec_eval.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/goalrec_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/goalrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/goalrec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/goalrec_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/goalrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalrec_eval.dir/breakdown.cc.o"
+  "CMakeFiles/goalrec_eval.dir/breakdown.cc.o.d"
+  "CMakeFiles/goalrec_eval.dir/export.cc.o"
+  "CMakeFiles/goalrec_eval.dir/export.cc.o.d"
+  "CMakeFiles/goalrec_eval.dir/leave_one_out.cc.o"
+  "CMakeFiles/goalrec_eval.dir/leave_one_out.cc.o.d"
+  "CMakeFiles/goalrec_eval.dir/metrics.cc.o"
+  "CMakeFiles/goalrec_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/goalrec_eval.dir/repeated.cc.o"
+  "CMakeFiles/goalrec_eval.dir/repeated.cc.o.d"
+  "CMakeFiles/goalrec_eval.dir/reports.cc.o"
+  "CMakeFiles/goalrec_eval.dir/reports.cc.o.d"
+  "CMakeFiles/goalrec_eval.dir/scaling.cc.o"
+  "CMakeFiles/goalrec_eval.dir/scaling.cc.o.d"
+  "CMakeFiles/goalrec_eval.dir/significance.cc.o"
+  "CMakeFiles/goalrec_eval.dir/significance.cc.o.d"
+  "CMakeFiles/goalrec_eval.dir/suite.cc.o"
+  "CMakeFiles/goalrec_eval.dir/suite.cc.o.d"
+  "CMakeFiles/goalrec_eval.dir/table.cc.o"
+  "CMakeFiles/goalrec_eval.dir/table.cc.o.d"
+  "libgoalrec_eval.a"
+  "libgoalrec_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalrec_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

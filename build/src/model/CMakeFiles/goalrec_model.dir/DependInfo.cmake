@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/cooccurrence.cc" "src/model/CMakeFiles/goalrec_model.dir/cooccurrence.cc.o" "gcc" "src/model/CMakeFiles/goalrec_model.dir/cooccurrence.cc.o.d"
+  "/root/repo/src/model/export_dot.cc" "src/model/CMakeFiles/goalrec_model.dir/export_dot.cc.o" "gcc" "src/model/CMakeFiles/goalrec_model.dir/export_dot.cc.o.d"
+  "/root/repo/src/model/features.cc" "src/model/CMakeFiles/goalrec_model.dir/features.cc.o" "gcc" "src/model/CMakeFiles/goalrec_model.dir/features.cc.o.d"
+  "/root/repo/src/model/library.cc" "src/model/CMakeFiles/goalrec_model.dir/library.cc.o" "gcc" "src/model/CMakeFiles/goalrec_model.dir/library.cc.o.d"
+  "/root/repo/src/model/library_io.cc" "src/model/CMakeFiles/goalrec_model.dir/library_io.cc.o" "gcc" "src/model/CMakeFiles/goalrec_model.dir/library_io.cc.o.d"
+  "/root/repo/src/model/statistics.cc" "src/model/CMakeFiles/goalrec_model.dir/statistics.cc.o" "gcc" "src/model/CMakeFiles/goalrec_model.dir/statistics.cc.o.d"
+  "/root/repo/src/model/subset.cc" "src/model/CMakeFiles/goalrec_model.dir/subset.cc.o" "gcc" "src/model/CMakeFiles/goalrec_model.dir/subset.cc.o.d"
+  "/root/repo/src/model/validate.cc" "src/model/CMakeFiles/goalrec_model.dir/validate.cc.o" "gcc" "src/model/CMakeFiles/goalrec_model.dir/validate.cc.o.d"
+  "/root/repo/src/model/vocabulary.cc" "src/model/CMakeFiles/goalrec_model.dir/vocabulary.cc.o" "gcc" "src/model/CMakeFiles/goalrec_model.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/goalrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

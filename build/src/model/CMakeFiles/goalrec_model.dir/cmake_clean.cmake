@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalrec_model.dir/cooccurrence.cc.o"
+  "CMakeFiles/goalrec_model.dir/cooccurrence.cc.o.d"
+  "CMakeFiles/goalrec_model.dir/export_dot.cc.o"
+  "CMakeFiles/goalrec_model.dir/export_dot.cc.o.d"
+  "CMakeFiles/goalrec_model.dir/features.cc.o"
+  "CMakeFiles/goalrec_model.dir/features.cc.o.d"
+  "CMakeFiles/goalrec_model.dir/library.cc.o"
+  "CMakeFiles/goalrec_model.dir/library.cc.o.d"
+  "CMakeFiles/goalrec_model.dir/library_io.cc.o"
+  "CMakeFiles/goalrec_model.dir/library_io.cc.o.d"
+  "CMakeFiles/goalrec_model.dir/statistics.cc.o"
+  "CMakeFiles/goalrec_model.dir/statistics.cc.o.d"
+  "CMakeFiles/goalrec_model.dir/subset.cc.o"
+  "CMakeFiles/goalrec_model.dir/subset.cc.o.d"
+  "CMakeFiles/goalrec_model.dir/validate.cc.o"
+  "CMakeFiles/goalrec_model.dir/validate.cc.o.d"
+  "CMakeFiles/goalrec_model.dir/vocabulary.cc.o"
+  "CMakeFiles/goalrec_model.dir/vocabulary.cc.o.d"
+  "libgoalrec_model.a"
+  "libgoalrec_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalrec_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

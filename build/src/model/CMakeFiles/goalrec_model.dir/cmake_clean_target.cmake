@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgoalrec_model.a"
+)

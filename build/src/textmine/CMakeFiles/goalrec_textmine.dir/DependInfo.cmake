@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/textmine/aliases.cc" "src/textmine/CMakeFiles/goalrec_textmine.dir/aliases.cc.o" "gcc" "src/textmine/CMakeFiles/goalrec_textmine.dir/aliases.cc.o.d"
+  "/root/repo/src/textmine/corpus.cc" "src/textmine/CMakeFiles/goalrec_textmine.dir/corpus.cc.o" "gcc" "src/textmine/CMakeFiles/goalrec_textmine.dir/corpus.cc.o.d"
+  "/root/repo/src/textmine/extractor.cc" "src/textmine/CMakeFiles/goalrec_textmine.dir/extractor.cc.o" "gcc" "src/textmine/CMakeFiles/goalrec_textmine.dir/extractor.cc.o.d"
+  "/root/repo/src/textmine/normalize.cc" "src/textmine/CMakeFiles/goalrec_textmine.dir/normalize.cc.o" "gcc" "src/textmine/CMakeFiles/goalrec_textmine.dir/normalize.cc.o.d"
+  "/root/repo/src/textmine/tokenizer.cc" "src/textmine/CMakeFiles/goalrec_textmine.dir/tokenizer.cc.o" "gcc" "src/textmine/CMakeFiles/goalrec_textmine.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/goalrec_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/goalrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalrec_textmine.dir/aliases.cc.o"
+  "CMakeFiles/goalrec_textmine.dir/aliases.cc.o.d"
+  "CMakeFiles/goalrec_textmine.dir/corpus.cc.o"
+  "CMakeFiles/goalrec_textmine.dir/corpus.cc.o.d"
+  "CMakeFiles/goalrec_textmine.dir/extractor.cc.o"
+  "CMakeFiles/goalrec_textmine.dir/extractor.cc.o.d"
+  "CMakeFiles/goalrec_textmine.dir/normalize.cc.o"
+  "CMakeFiles/goalrec_textmine.dir/normalize.cc.o.d"
+  "CMakeFiles/goalrec_textmine.dir/tokenizer.cc.o"
+  "CMakeFiles/goalrec_textmine.dir/tokenizer.cc.o.d"
+  "libgoalrec_textmine.a"
+  "libgoalrec_textmine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalrec_textmine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

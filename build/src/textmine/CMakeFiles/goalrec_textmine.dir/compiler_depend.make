@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for goalrec_textmine.
+# This may be replaced when dependencies are built.

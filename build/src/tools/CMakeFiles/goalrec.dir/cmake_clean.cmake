@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalrec.dir/goalrec_cli.cc.o"
+  "CMakeFiles/goalrec.dir/goalrec_cli.cc.o.d"
+  "goalrec"
+  "goalrec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalrec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/csv.cc" "src/util/CMakeFiles/goalrec_util.dir/csv.cc.o" "gcc" "src/util/CMakeFiles/goalrec_util.dir/csv.cc.o.d"
+  "/root/repo/src/util/dense_vector.cc" "src/util/CMakeFiles/goalrec_util.dir/dense_vector.cc.o" "gcc" "src/util/CMakeFiles/goalrec_util.dir/dense_vector.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/util/CMakeFiles/goalrec_util.dir/flags.cc.o" "gcc" "src/util/CMakeFiles/goalrec_util.dir/flags.cc.o.d"
+  "/root/repo/src/util/linalg.cc" "src/util/CMakeFiles/goalrec_util.dir/linalg.cc.o" "gcc" "src/util/CMakeFiles/goalrec_util.dir/linalg.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/util/CMakeFiles/goalrec_util.dir/random.cc.o" "gcc" "src/util/CMakeFiles/goalrec_util.dir/random.cc.o.d"
+  "/root/repo/src/util/set_ops.cc" "src/util/CMakeFiles/goalrec_util.dir/set_ops.cc.o" "gcc" "src/util/CMakeFiles/goalrec_util.dir/set_ops.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/goalrec_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/goalrec_util.dir/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/goalrec_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/goalrec_util.dir/status.cc.o.d"
+  "/root/repo/src/util/string_utils.cc" "src/util/CMakeFiles/goalrec_util.dir/string_utils.cc.o" "gcc" "src/util/CMakeFiles/goalrec_util.dir/string_utils.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/goalrec_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/goalrec_util.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

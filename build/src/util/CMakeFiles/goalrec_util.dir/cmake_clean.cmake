@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalrec_util.dir/csv.cc.o"
+  "CMakeFiles/goalrec_util.dir/csv.cc.o.d"
+  "CMakeFiles/goalrec_util.dir/dense_vector.cc.o"
+  "CMakeFiles/goalrec_util.dir/dense_vector.cc.o.d"
+  "CMakeFiles/goalrec_util.dir/flags.cc.o"
+  "CMakeFiles/goalrec_util.dir/flags.cc.o.d"
+  "CMakeFiles/goalrec_util.dir/linalg.cc.o"
+  "CMakeFiles/goalrec_util.dir/linalg.cc.o.d"
+  "CMakeFiles/goalrec_util.dir/random.cc.o"
+  "CMakeFiles/goalrec_util.dir/random.cc.o.d"
+  "CMakeFiles/goalrec_util.dir/set_ops.cc.o"
+  "CMakeFiles/goalrec_util.dir/set_ops.cc.o.d"
+  "CMakeFiles/goalrec_util.dir/stats.cc.o"
+  "CMakeFiles/goalrec_util.dir/stats.cc.o.d"
+  "CMakeFiles/goalrec_util.dir/status.cc.o"
+  "CMakeFiles/goalrec_util.dir/status.cc.o.d"
+  "CMakeFiles/goalrec_util.dir/string_utils.cc.o"
+  "CMakeFiles/goalrec_util.dir/string_utils.cc.o.d"
+  "CMakeFiles/goalrec_util.dir/thread_pool.cc.o"
+  "CMakeFiles/goalrec_util.dir/thread_pool.cc.o.d"
+  "libgoalrec_util.a"
+  "libgoalrec_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalrec_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

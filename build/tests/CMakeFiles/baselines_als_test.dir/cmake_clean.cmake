@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_als_test.dir/baselines/als_test.cc.o"
+  "CMakeFiles/baselines_als_test.dir/baselines/als_test.cc.o.d"
+  "baselines_als_test"
+  "baselines_als_test.pdb"
+  "baselines_als_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_als_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

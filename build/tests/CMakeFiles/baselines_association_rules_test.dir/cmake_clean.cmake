@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_association_rules_test.dir/baselines/association_rules_test.cc.o"
+  "CMakeFiles/baselines_association_rules_test.dir/baselines/association_rules_test.cc.o.d"
+  "baselines_association_rules_test"
+  "baselines_association_rules_test.pdb"
+  "baselines_association_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_association_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_content_test.dir/baselines/content_test.cc.o"
+  "CMakeFiles/baselines_content_test.dir/baselines/content_test.cc.o.d"
+  "baselines_content_test"
+  "baselines_content_test.pdb"
+  "baselines_content_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_content_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

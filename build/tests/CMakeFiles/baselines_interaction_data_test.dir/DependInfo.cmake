@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/interaction_data_test.cc" "tests/CMakeFiles/baselines_interaction_data_test.dir/baselines/interaction_data_test.cc.o" "gcc" "tests/CMakeFiles/baselines_interaction_data_test.dir/baselines/interaction_data_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/goalrec_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/textmine/CMakeFiles/goalrec_textmine.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/goalrec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/goalrec_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/goalrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/goalrec_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/goalrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

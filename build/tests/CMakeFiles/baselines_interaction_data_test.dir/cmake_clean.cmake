@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_interaction_data_test.dir/baselines/interaction_data_test.cc.o"
+  "CMakeFiles/baselines_interaction_data_test.dir/baselines/interaction_data_test.cc.o.d"
+  "baselines_interaction_data_test"
+  "baselines_interaction_data_test.pdb"
+  "baselines_interaction_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_interaction_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

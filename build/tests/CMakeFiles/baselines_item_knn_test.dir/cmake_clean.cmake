@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_item_knn_test.dir/baselines/item_knn_test.cc.o"
+  "CMakeFiles/baselines_item_knn_test.dir/baselines/item_knn_test.cc.o.d"
+  "baselines_item_knn_test"
+  "baselines_item_knn_test.pdb"
+  "baselines_item_knn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_item_knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_knn_test.dir/baselines/knn_test.cc.o"
+  "CMakeFiles/baselines_knn_test.dir/baselines/knn_test.cc.o.d"
+  "baselines_knn_test"
+  "baselines_knn_test.pdb"
+  "baselines_knn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

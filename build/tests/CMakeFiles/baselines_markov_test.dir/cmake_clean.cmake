@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_markov_test.dir/baselines/markov_test.cc.o"
+  "CMakeFiles/baselines_markov_test.dir/baselines/markov_test.cc.o.d"
+  "baselines_markov_test"
+  "baselines_markov_test.pdb"
+  "baselines_markov_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_markov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

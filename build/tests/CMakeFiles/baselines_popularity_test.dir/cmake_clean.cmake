@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_popularity_test.dir/baselines/popularity_test.cc.o"
+  "CMakeFiles/baselines_popularity_test.dir/baselines/popularity_test.cc.o.d"
+  "baselines_popularity_test"
+  "baselines_popularity_test.pdb"
+  "baselines_popularity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_popularity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

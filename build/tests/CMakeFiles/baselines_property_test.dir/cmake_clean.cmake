@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_property_test.dir/baselines/property_test.cc.o"
+  "CMakeFiles/baselines_property_test.dir/baselines/property_test.cc.o.d"
+  "baselines_property_test"
+  "baselines_property_test.pdb"
+  "baselines_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

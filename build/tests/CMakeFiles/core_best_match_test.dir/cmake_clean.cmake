@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_best_match_test.dir/core/best_match_test.cc.o"
+  "CMakeFiles/core_best_match_test.dir/core/best_match_test.cc.o.d"
+  "core_best_match_test"
+  "core_best_match_test.pdb"
+  "core_best_match_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_best_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

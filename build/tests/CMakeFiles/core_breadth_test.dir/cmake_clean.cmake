@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_breadth_test.dir/core/breadth_test.cc.o"
+  "CMakeFiles/core_breadth_test.dir/core/breadth_test.cc.o.d"
+  "core_breadth_test"
+  "core_breadth_test.pdb"
+  "core_breadth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_breadth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

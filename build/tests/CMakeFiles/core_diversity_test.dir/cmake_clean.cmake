@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_diversity_test.dir/core/diversity_test.cc.o"
+  "CMakeFiles/core_diversity_test.dir/core/diversity_test.cc.o.d"
+  "core_diversity_test"
+  "core_diversity_test.pdb"
+  "core_diversity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_diversity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

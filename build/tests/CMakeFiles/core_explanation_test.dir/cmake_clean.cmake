@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_explanation_test.dir/core/explanation_test.cc.o"
+  "CMakeFiles/core_explanation_test.dir/core/explanation_test.cc.o.d"
+  "core_explanation_test"
+  "core_explanation_test.pdb"
+  "core_explanation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_explanation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

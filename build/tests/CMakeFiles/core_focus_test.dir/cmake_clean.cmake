@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_focus_test.dir/core/focus_test.cc.o"
+  "CMakeFiles/core_focus_test.dir/core/focus_test.cc.o.d"
+  "core_focus_test"
+  "core_focus_test.pdb"
+  "core_focus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_focus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

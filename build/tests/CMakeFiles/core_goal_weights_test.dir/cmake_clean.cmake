@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_goal_weights_test.dir/core/goal_weights_test.cc.o"
+  "CMakeFiles/core_goal_weights_test.dir/core/goal_weights_test.cc.o.d"
+  "core_goal_weights_test"
+  "core_goal_weights_test.pdb"
+  "core_goal_weights_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_goal_weights_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hybrid_test.dir/core/hybrid_test.cc.o"
+  "CMakeFiles/core_hybrid_test.dir/core/hybrid_test.cc.o.d"
+  "core_hybrid_test"
+  "core_hybrid_test.pdb"
+  "core_hybrid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hybrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_query_context_test.dir/core/query_context_test.cc.o"
+  "CMakeFiles/core_query_context_test.dir/core/query_context_test.cc.o.d"
+  "core_query_context_test"
+  "core_query_context_test.pdb"
+  "core_query_context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_query_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_session_test.dir/core/session_test.cc.o"
+  "CMakeFiles/core_session_test.dir/core/session_test.cc.o.d"
+  "core_session_test"
+  "core_session_test.pdb"
+  "core_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_foodmart_test.dir/data/foodmart_test.cc.o"
+  "CMakeFiles/data_foodmart_test.dir/data/foodmart_test.cc.o.d"
+  "data_foodmart_test"
+  "data_foodmart_test.pdb"
+  "data_foodmart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_foodmart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_fortythree_test.dir/data/fortythree_test.cc.o"
+  "CMakeFiles/data_fortythree_test.dir/data/fortythree_test.cc.o.d"
+  "data_fortythree_test"
+  "data_fortythree_test.pdb"
+  "data_fortythree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_fortythree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

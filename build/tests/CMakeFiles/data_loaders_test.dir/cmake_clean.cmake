@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_loaders_test.dir/data/loaders_test.cc.o"
+  "CMakeFiles/data_loaders_test.dir/data/loaders_test.cc.o.d"
+  "data_loaders_test"
+  "data_loaders_test.pdb"
+  "data_loaders_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_loaders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

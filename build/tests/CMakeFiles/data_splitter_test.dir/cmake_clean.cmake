@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_splitter_test.dir/data/splitter_test.cc.o"
+  "CMakeFiles/data_splitter_test.dir/data/splitter_test.cc.o.d"
+  "data_splitter_test"
+  "data_splitter_test.pdb"
+  "data_splitter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_splitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

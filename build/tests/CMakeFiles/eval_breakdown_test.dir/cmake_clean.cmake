@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_breakdown_test.dir/eval/breakdown_test.cc.o"
+  "CMakeFiles/eval_breakdown_test.dir/eval/breakdown_test.cc.o.d"
+  "eval_breakdown_test"
+  "eval_breakdown_test.pdb"
+  "eval_breakdown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_breakdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

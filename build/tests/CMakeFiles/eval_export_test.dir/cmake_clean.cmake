@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_export_test.dir/eval/export_test.cc.o"
+  "CMakeFiles/eval_export_test.dir/eval/export_test.cc.o.d"
+  "eval_export_test"
+  "eval_export_test.pdb"
+  "eval_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_leave_one_out_test.dir/eval/leave_one_out_test.cc.o"
+  "CMakeFiles/eval_leave_one_out_test.dir/eval/leave_one_out_test.cc.o.d"
+  "eval_leave_one_out_test"
+  "eval_leave_one_out_test.pdb"
+  "eval_leave_one_out_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_leave_one_out_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_repeated_test.dir/eval/repeated_test.cc.o"
+  "CMakeFiles/eval_repeated_test.dir/eval/repeated_test.cc.o.d"
+  "eval_repeated_test"
+  "eval_repeated_test.pdb"
+  "eval_repeated_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_repeated_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_reports_test.dir/eval/reports_test.cc.o"
+  "CMakeFiles/eval_reports_test.dir/eval/reports_test.cc.o.d"
+  "eval_reports_test"
+  "eval_reports_test.pdb"
+  "eval_reports_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_reports_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_scaling_test.dir/eval/scaling_test.cc.o"
+  "CMakeFiles/eval_scaling_test.dir/eval/scaling_test.cc.o.d"
+  "eval_scaling_test"
+  "eval_scaling_test.pdb"
+  "eval_scaling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_scaling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_suite_test.dir/eval/suite_test.cc.o"
+  "CMakeFiles/eval_suite_test.dir/eval/suite_test.cc.o.d"
+  "eval_suite_test"
+  "eval_suite_test.pdb"
+  "eval_suite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for eval_suite_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_table_test.dir/eval/table_test.cc.o"
+  "CMakeFiles/eval_table_test.dir/eval/table_test.cc.o.d"
+  "eval_table_test"
+  "eval_table_test.pdb"
+  "eval_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_robustness_test.dir/integration/robustness_test.cc.o"
+  "CMakeFiles/integration_robustness_test.dir/integration/robustness_test.cc.o.d"
+  "integration_robustness_test"
+  "integration_robustness_test.pdb"
+  "integration_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_cooccurrence_test.dir/model/cooccurrence_test.cc.o"
+  "CMakeFiles/model_cooccurrence_test.dir/model/cooccurrence_test.cc.o.d"
+  "model_cooccurrence_test"
+  "model_cooccurrence_test.pdb"
+  "model_cooccurrence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_cooccurrence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

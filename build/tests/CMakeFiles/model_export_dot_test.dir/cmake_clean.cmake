@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_export_dot_test.dir/model/export_dot_test.cc.o"
+  "CMakeFiles/model_export_dot_test.dir/model/export_dot_test.cc.o.d"
+  "model_export_dot_test"
+  "model_export_dot_test.pdb"
+  "model_export_dot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_export_dot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_features_test.dir/model/features_test.cc.o"
+  "CMakeFiles/model_features_test.dir/model/features_test.cc.o.d"
+  "model_features_test"
+  "model_features_test.pdb"
+  "model_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_library_test.dir/model/library_test.cc.o"
+  "CMakeFiles/model_library_test.dir/model/library_test.cc.o.d"
+  "model_library_test"
+  "model_library_test.pdb"
+  "model_library_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_library_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_statistics_test.dir/model/statistics_test.cc.o"
+  "CMakeFiles/model_statistics_test.dir/model/statistics_test.cc.o.d"
+  "model_statistics_test"
+  "model_statistics_test.pdb"
+  "model_statistics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

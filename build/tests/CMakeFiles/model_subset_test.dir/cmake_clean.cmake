@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_subset_test.dir/model/subset_test.cc.o"
+  "CMakeFiles/model_subset_test.dir/model/subset_test.cc.o.d"
+  "model_subset_test"
+  "model_subset_test.pdb"
+  "model_subset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_subset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

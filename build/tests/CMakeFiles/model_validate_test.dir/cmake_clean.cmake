@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_validate_test.dir/model/validate_test.cc.o"
+  "CMakeFiles/model_validate_test.dir/model/validate_test.cc.o.d"
+  "model_validate_test"
+  "model_validate_test.pdb"
+  "model_validate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_validate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

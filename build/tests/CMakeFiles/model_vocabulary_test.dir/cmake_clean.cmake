@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_vocabulary_test.dir/model/vocabulary_test.cc.o"
+  "CMakeFiles/model_vocabulary_test.dir/model/vocabulary_test.cc.o.d"
+  "model_vocabulary_test"
+  "model_vocabulary_test.pdb"
+  "model_vocabulary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_vocabulary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textmine_aliases_test.dir/textmine/aliases_test.cc.o"
+  "CMakeFiles/textmine_aliases_test.dir/textmine/aliases_test.cc.o.d"
+  "textmine_aliases_test"
+  "textmine_aliases_test.pdb"
+  "textmine_aliases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textmine_aliases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textmine_corpus_test.dir/textmine/corpus_test.cc.o"
+  "CMakeFiles/textmine_corpus_test.dir/textmine/corpus_test.cc.o.d"
+  "textmine_corpus_test"
+  "textmine_corpus_test.pdb"
+  "textmine_corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textmine_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textmine_extractor_test.dir/textmine/extractor_test.cc.o"
+  "CMakeFiles/textmine_extractor_test.dir/textmine/extractor_test.cc.o.d"
+  "textmine_extractor_test"
+  "textmine_extractor_test.pdb"
+  "textmine_extractor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textmine_extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textmine_normalize_test.dir/textmine/normalize_test.cc.o"
+  "CMakeFiles/textmine_normalize_test.dir/textmine/normalize_test.cc.o.d"
+  "textmine_normalize_test"
+  "textmine_normalize_test.pdb"
+  "textmine_normalize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textmine_normalize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textmine_tokenizer_test.dir/textmine/tokenizer_test.cc.o"
+  "CMakeFiles/textmine_tokenizer_test.dir/textmine/tokenizer_test.cc.o.d"
+  "textmine_tokenizer_test"
+  "textmine_tokenizer_test.pdb"
+  "textmine_tokenizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textmine_tokenizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_dense_vector_test.dir/util/dense_vector_test.cc.o"
+  "CMakeFiles/util_dense_vector_test.dir/util/dense_vector_test.cc.o.d"
+  "util_dense_vector_test"
+  "util_dense_vector_test.pdb"
+  "util_dense_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_dense_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

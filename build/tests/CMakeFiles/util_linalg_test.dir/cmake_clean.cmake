@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_linalg_test.dir/util/linalg_test.cc.o"
+  "CMakeFiles/util_linalg_test.dir/util/linalg_test.cc.o.d"
+  "util_linalg_test"
+  "util_linalg_test.pdb"
+  "util_linalg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_set_ops_test.dir/util/set_ops_test.cc.o"
+  "CMakeFiles/util_set_ops_test.dir/util/set_ops_test.cc.o.d"
+  "util_set_ops_test"
+  "util_set_ops_test.pdb"
+  "util_set_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_set_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

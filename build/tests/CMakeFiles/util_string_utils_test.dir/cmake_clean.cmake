@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_string_utils_test.dir/util/string_utils_test.cc.o"
+  "CMakeFiles/util_string_utils_test.dir/util/string_utils_test.cc.o.d"
+  "util_string_utils_test"
+  "util_string_utils_test.pdb"
+  "util_string_utils_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_string_utils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_timer_test.dir/util/timer_test.cc.o"
+  "CMakeFiles/util_timer_test.dir/util/timer_test.cc.o.d"
+  "util_timer_test"
+  "util_timer_test.pdb"
+  "util_timer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_timer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

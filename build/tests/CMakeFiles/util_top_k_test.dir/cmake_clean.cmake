@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_top_k_test.dir/util/top_k_test.cc.o"
+  "CMakeFiles/util_top_k_test.dir/util/top_k_test.cc.o.d"
+  "util_top_k_test"
+  "util_top_k_test.pdb"
+  "util_top_k_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_top_k_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
