@@ -1,0 +1,161 @@
+// Serving-engine latency and degradation benchmark: p50/p99 per-query
+// latency and the fallback rate of the BestMatch → Breadth → Popularity
+// ladder, healthy and under injected faults plus a tight deadline. Emits
+// one JSON document on stdout (see BENCH_serve.json for a recorded run).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/best_match.h"
+#include "core/breadth.h"
+#include "eval/scaling.h"
+#include "serve/engine.h"
+#include "serve/fault_injection.h"
+#include "serve/popularity_floor.h"
+#include "util/random.h"
+#include "util/set_ops.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+goalrec::model::Activity MakeActivity(uint32_t num_actions, uint64_t seed) {
+  goalrec::util::Rng rng(seed);
+  goalrec::model::Activity activity;
+  while (activity.size() < 8) {
+    uint32_t a = rng.UniformUint32(num_actions);
+    if (!goalrec::util::Contains(activity, a)) {
+      activity.push_back(a);
+      std::sort(activity.begin(), activity.end());
+    }
+  }
+  return activity;
+}
+
+double PercentileUs(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  size_t index = static_cast<size_t>(p * static_cast<double>(samples.size()));
+  index = std::min(index, samples.size() - 1);
+  return samples[index];
+}
+
+struct ScenarioResult {
+  std::string name;
+  int queries = 0;
+  int served = 0;
+  int degraded = 0;
+  int unavailable = 0;
+  std::vector<int> rung_counts;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+ScenarioResult RunScenario(const std::string& name,
+                           const goalrec::model::ImplementationLibrary& lib,
+                           goalrec::serve::EngineOptions options, int queries,
+                           uint64_t seed) {
+  goalrec::core::BestMatchRecommender best_match(&lib);
+  goalrec::core::BreadthRecommender breadth(&lib);
+  goalrec::serve::LibraryPopularityRecommender floor(&lib);
+  goalrec::serve::ServingEngine engine({{"best_match", &best_match},
+                                        {"breadth", &breadth},
+                                        {"popularity", &floor}},
+                                       options);
+  ScenarioResult result;
+  result.name = name;
+  result.queries = queries;
+  result.rung_counts.assign(3, 0);
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<size_t>(queries));
+  for (int q = 0; q < queries; ++q) {
+    goalrec::model::Activity activity =
+        MakeActivity(lib.num_actions(), seed + static_cast<uint64_t>(q));
+    Clock::time_point start = Clock::now();
+    goalrec::util::StatusOr<goalrec::serve::ServeResult> served =
+        engine.Serve(activity, 10);
+    std::chrono::nanoseconds elapsed = Clock::now() - start;
+    latencies_us.push_back(static_cast<double>(elapsed.count()) / 1e3);
+    if (served.ok()) {
+      ++result.served;
+      if (served->degraded) ++result.degraded;
+      ++result.rung_counts[served->rung_index];
+    } else {
+      ++result.unavailable;
+    }
+  }
+  result.p50_us = PercentileUs(latencies_us, 0.50);
+  result.p99_us = PercentileUs(latencies_us, 0.99);
+  return result;
+}
+
+void PrintScenario(const ScenarioResult& r, bool last) {
+  double denominator = r.queries > 0 ? static_cast<double>(r.queries) : 1.0;
+  std::printf(
+      "    {\"name\": \"%s\", \"queries\": %d, \"p50_us\": %.1f, "
+      "\"p99_us\": %.1f, \"fallback_rate\": %.4f, \"unavailable_rate\": "
+      "%.4f, \"rung_counts\": [%d, %d, %d]}%s\n",
+      r.name.c_str(), r.queries, r.p50_us, r.p99_us,
+      static_cast<double>(r.degraded) / denominator,
+      static_cast<double>(r.unavailable) / denominator, r.rung_counts[0],
+      r.rung_counts[1], r.rung_counts[2], last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+  goalrec::eval::ScalingWorkload workload;
+  workload.num_implementations = 50000;
+  workload.num_actions = 5000;
+  workload.implementation_size = 6;
+  goalrec::model::ImplementationLibrary lib =
+      goalrec::eval::BuildScalingLibrary(workload, 9);
+
+  std::vector<ScenarioResult> scenarios;
+
+  // Healthy ladder, no budget: everything should land on rung one.
+  scenarios.push_back(
+      RunScenario("healthy", lib, goalrec::serve::EngineOptions{}, 500, 100));
+
+  // Tight budget, no faults: rung one may or may not fit depending on the
+  // machine; the point is the query always comes back.
+  {
+    goalrec::serve::EngineOptions options;
+    options.deadline_ms = 2;
+    scenarios.push_back(RunScenario("deadline_2ms", lib, options, 500, 200));
+  }
+
+  // Faults plus a budget: seeded injector, so re-runs see the same schedule.
+  goalrec::serve::FaultInjectionOptions fault_options;
+  fault_options.seed = 7;
+  fault_options.error_rate = 0.15;
+  fault_options.latency_rate = 0.05;
+  fault_options.latency_ms = 3;
+  goalrec::serve::FaultInjector faults(fault_options);
+  {
+    goalrec::serve::EngineOptions options;
+    options.deadline_ms = 5;
+    options.faults = &faults;
+    scenarios.push_back(
+        RunScenario("faults_deadline_5ms", lib, options, 500, 300));
+  }
+
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"micro_serve\",\n");
+  std::printf(
+      "  \"workload\": {\"implementations\": %u, \"actions\": %u, "
+      "\"implementation_size\": %u},\n",
+      workload.num_implementations, workload.num_actions,
+      workload.implementation_size);
+  std::printf("  \"ladder\": [\"best_match\", \"breadth\", \"popularity\"],\n");
+  std::printf("  \"scenarios\": [\n");
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    PrintScenario(scenarios[i], i + 1 == scenarios.size());
+  }
+  std::printf("  ]\n");
+  std::printf("}\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Builds the tree and runs the full test suite under ASan+UBSan
+# (-DGOALREC_SANITIZE=ON). Pass --plain to also run the normal
+# (non-sanitized) build first. See CONTRIBUTING.md.
+#
+#   scripts/check.sh [--plain] [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+GENERATOR_ARGS=()
+if command -v ninja >/dev/null 2>&1; then
+  GENERATOR_ARGS=(-G Ninja)
+fi
+
+run_suite() {
+  local build_dir=$1; shift
+  cmake -B "$build_dir" -S . "${GENERATOR_ARGS[@]}" "$@" >/dev/null
+  cmake --build "$build_dir" -j "$(nproc)"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "${CTEST_ARGS[@]}"
+}
+
+CTEST_ARGS=()
+PLAIN=0
+for arg in "$@"; do
+  if [[ "$arg" == "--plain" ]]; then PLAIN=1; else CTEST_ARGS+=("$arg"); fi
+done
+
+if [[ "$PLAIN" == 1 ]]; then
+  echo "=== plain build + ctest (build/) ==="
+  run_suite build
+fi
+
+echo "=== ASan+UBSan build + ctest (build-asan/) ==="
+run_suite build-asan -DGOALREC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+echo "OK: sanitized test suite green"

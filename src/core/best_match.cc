@@ -58,25 +58,34 @@ util::DenseVector BestMatchRecommender::Profile(
 RecommendationList BestMatchRecommender::Recommend(
     const model::Activity& activity, size_t k) const {
   return RecommendOver(activity, library_->GoalSpace(activity),
-                       library_->CandidateActions(activity), k);
+                       library_->CandidateActions(activity), k, nullptr);
+}
+
+RecommendationList BestMatchRecommender::RecommendCancellable(
+    const model::Activity& activity, size_t k,
+    const util::StopToken* stop) const {
+  QueryContext context = QueryContext::Create(*library_, activity, stop);
+  return RecommendInContext(context, k);
 }
 
 RecommendationList BestMatchRecommender::RecommendInContext(
     const QueryContext& context, size_t k) const {
   GOALREC_CHECK(context.library == library_);
   return RecommendOver(context.activity, context.goal_space,
-                       context.candidates, k);
+                       context.candidates, k, context.stop);
 }
 
 RecommendationList BestMatchRecommender::RecommendOver(
     const model::Activity& activity, const model::IdSet& goal_space,
-    const model::IdSet& candidates, size_t k) const {
+    const model::IdSet& candidates, size_t k,
+    const util::StopToken* stop) const {
   RecommendationList list;
   if (k == 0) return list;
   if (goal_space.empty()) return list;
   util::DenseVector profile = Profile(activity, goal_space);
   util::TopK<ScoredAction, ByScoreDesc> top_k(k);
   for (model::ActionId a : candidates) {
+    if (stop != nullptr && stop->ShouldStop()) break;  // best-effort partial
     util::DenseVector vec = ActionVector(a, goal_space);
     double distance = util::Distance(profile, vec, options_.metric);
     // Negate: smaller distance ranks first under the shared

@@ -49,6 +49,13 @@ class BestMatchRecommender : public Recommender {
   RecommendationList Recommend(const model::Activity& activity,
                                size_t k) const override;
 
+  /// Deadline-aware Recommend: the per-candidate vectorisation loop (the
+  /// strategy's dominant cost, §5.4) polls `stop` and the result is a
+  /// best-effort partial once it fires.
+  RecommendationList RecommendCancellable(
+      const model::Activity& activity, size_t k,
+      const util::StopToken* stop) const override;
+
   /// Same result as Recommend, reusing the context's precomputed goal space
   /// and candidate set.
   RecommendationList RecommendInContext(const QueryContext& context,
@@ -66,8 +73,8 @@ class BestMatchRecommender : public Recommender {
  private:
   RecommendationList RecommendOver(const model::Activity& activity,
                                    const model::IdSet& goal_space,
-                                   const model::IdSet& candidates,
-                                   size_t k) const;
+                                   const model::IdSet& candidates, size_t k,
+                                   const util::StopToken* stop) const;
 
   const model::ImplementationLibrary* library_;
   BestMatchOptions options_;

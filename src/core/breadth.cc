@@ -32,24 +32,33 @@ double BreadthRecommender::Score(model::ActionId action,
 
 RecommendationList BreadthRecommender::Recommend(
     const model::Activity& activity, size_t k) const {
-  return RecommendOver(activity, library_->ImplementationSpace(activity), k);
+  return RecommendOver(activity, library_->ImplementationSpace(activity), k,
+                       nullptr);
+}
+
+RecommendationList BreadthRecommender::RecommendCancellable(
+    const model::Activity& activity, size_t k,
+    const util::StopToken* stop) const {
+  return RecommendOver(activity, library_->ImplementationSpace(activity), k,
+                       stop);
 }
 
 RecommendationList BreadthRecommender::RecommendInContext(
     const QueryContext& context, size_t k) const {
   GOALREC_CHECK(context.library == library_);
-  return RecommendOver(context.activity, context.impl_space, k);
+  return RecommendOver(context.activity, context.impl_space, k, context.stop);
 }
 
 RecommendationList BreadthRecommender::RecommendOver(
-    const model::Activity& activity, const model::IdSet& impl_space,
-    size_t k) const {
+    const model::Activity& activity, const model::IdSet& impl_space, size_t k,
+    const util::StopToken* stop) const {
   RecommendationList list;
   if (k == 0) return list;
   // Algorithm 2: one pass over IS(H); every implementation credits its
   // |A ∩ H| to each of its member actions.
   std::unordered_map<model::ActionId, double> scores;
   for (model::ImplId p : impl_space) {
+    if (stop != nullptr && stop->ShouldStop()) break;  // best-effort partial
     const model::IdSet& actions = library_->ActionsOf(p);
     double common =
         static_cast<double>(util::IntersectionSize(actions, activity));

@@ -35,6 +35,12 @@ class BreadthRecommender : public Recommender {
   RecommendationList Recommend(const model::Activity& activity,
                                size_t k) const override;
 
+  /// Deadline-aware Recommend: the IS(H) accumulation loop polls `stop` and
+  /// the result is a best-effort partial once it fires.
+  RecommendationList RecommendCancellable(
+      const model::Activity& activity, size_t k,
+      const util::StopToken* stop) const override;
+
   /// Same result as Recommend, reusing the context's precomputed IS(H).
   RecommendationList RecommendInContext(const QueryContext& context,
                                         size_t k) const;
@@ -45,8 +51,8 @@ class BreadthRecommender : public Recommender {
 
  private:
   RecommendationList RecommendOver(const model::Activity& activity,
-                                   const model::IdSet& impl_space,
-                                   size_t k) const;
+                                   const model::IdSet& impl_space, size_t k,
+                                   const util::StopToken* stop) const;
 
   const model::ImplementationLibrary* library_;
   const GoalWeights* goal_weights_;

@@ -35,19 +35,21 @@ std::string FocusRecommender::name() const {
 
 std::vector<RankedImplementation> FocusRecommender::RankImplementations(
     const model::Activity& activity) const {
-  return RankOver(activity, library_->ImplementationSpace(activity));
+  return RankOver(activity, library_->ImplementationSpace(activity), nullptr);
 }
 
 std::vector<RankedImplementation> FocusRecommender::RankImplementationsIn(
     const QueryContext& context) const {
   GOALREC_CHECK(context.library == library_);
-  return RankOver(context.activity, context.impl_space);
+  return RankOver(context.activity, context.impl_space, context.stop);
 }
 
 std::vector<RankedImplementation> FocusRecommender::RankOver(
-    const model::Activity& activity, const model::IdSet& impl_space) const {
+    const model::Activity& activity, const model::IdSet& impl_space,
+    const util::StopToken* stop) const {
   std::vector<RankedImplementation> ranked;
   for (model::ImplId p : impl_space) {
+    if (stop != nullptr && stop->ShouldStop()) break;  // best-effort partial
     const model::IdSet& actions = library_->ActionsOf(p);
     // Implementations fully covered by the activity cannot contribute
     // candidates; both measures skip them.
@@ -72,6 +74,13 @@ std::vector<RankedImplementation> FocusRecommender::RankOver(
 RecommendationList FocusRecommender::Recommend(
     const model::Activity& activity, size_t k) const {
   return EmitFromRanking(activity, RankImplementations(activity), k);
+}
+
+RecommendationList FocusRecommender::RecommendCancellable(
+    const model::Activity& activity, size_t k,
+    const util::StopToken* stop) const {
+  QueryContext context = QueryContext::Create(*library_, activity, stop);
+  return RecommendInContext(context, k);
 }
 
 RecommendationList FocusRecommender::RecommendInContext(

@@ -57,6 +57,12 @@ class FocusRecommender : public Recommender {
   RecommendationList Recommend(const model::Activity& activity,
                                size_t k) const override;
 
+  /// Deadline-aware Recommend: the implementation-ranking loop polls `stop`
+  /// and the result is a best-effort partial once it fires.
+  RecommendationList RecommendCancellable(
+      const model::Activity& activity, size_t k,
+      const util::StopToken* stop) const override;
+
   /// Same result as Recommend, reusing the context's precomputed IS(H).
   /// The context must have been created against this recommender's library.
   RecommendationList RecommendInContext(const QueryContext& context,
@@ -74,8 +80,8 @@ class FocusRecommender : public Recommender {
 
  private:
   std::vector<RankedImplementation> RankOver(
-      const model::Activity& activity,
-      const model::IdSet& impl_space) const;
+      const model::Activity& activity, const model::IdSet& impl_space,
+      const util::StopToken* stop) const;
   RecommendationList EmitFromRanking(
       const model::Activity& activity,
       const std::vector<RankedImplementation>& ranking, size_t k) const;

@@ -6,9 +6,11 @@
 namespace goalrec::core {
 
 QueryContext QueryContext::Create(
-    const model::ImplementationLibrary& library, model::Activity activity) {
+    const model::ImplementationLibrary& library, model::Activity activity,
+    const util::StopToken* stop) {
   QueryContext context;
   context.library = &library;
+  context.stop = stop;
   util::Normalize(activity);
   context.activity = std::move(activity);
   context.impl_space = library.ImplementationSpace(context.activity);
@@ -18,6 +20,7 @@ QueryContext QueryContext::Create(
   model::IdSet actions;
   goals.reserve(context.impl_space.size());
   for (model::ImplId p : context.impl_space) {
+    if (stop != nullptr && stop->ShouldStop()) break;  // partial is discarded
     goals.push_back(library.GoalOf(p));
     const model::IdSet& impl_actions = library.ActionsOf(p);
     actions.insert(actions.end(), impl_actions.begin(), impl_actions.end());

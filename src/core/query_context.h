@@ -3,6 +3,7 @@
 
 #include "model/library.h"
 #include "model/types.h"
+#include "util/deadline.h"
 
 // Shared per-query state. All four goal-based strategies start from the same
 // derived spaces — IS(H), GS(H) and the candidate set AS(H) − H. A
@@ -26,10 +27,21 @@ struct QueryContext {
   model::IdSet goal_space;
   /// AS(activity) − activity, ascending.
   model::IdSet candidates;
+  /// Optional cooperative stop (deadline and/or cancellation), polled inside
+  /// the strategy scoring loops. Null means unbounded. Not owned; must
+  /// outlive the context. When the token fires mid-query the strategies
+  /// return best-effort partial lists — callers that set a stop must check
+  /// stop->StopRequested() before trusting a result (the serving engine
+  /// discards such answers and falls down its degradation ladder).
+  const util::StopToken* stop = nullptr;
 
-  /// Computes all three spaces. `library` must outlive the context.
+  /// Computes all three spaces. `library` must outlive the context. `stop`,
+  /// when given, is stored on the context and also polled while the spaces
+  /// themselves are being built (space construction is O(|IS(H)|) and counts
+  /// against the query's budget).
   static QueryContext Create(const model::ImplementationLibrary& library,
-                             model::Activity activity);
+                             model::Activity activity,
+                             const util::StopToken* stop = nullptr);
 };
 
 }  // namespace goalrec::core

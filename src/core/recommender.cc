@@ -2,6 +2,12 @@
 
 namespace goalrec::core {
 
+RecommendationList Recommender::RecommendCancellable(
+    const model::Activity& activity, size_t k,
+    const util::StopToken* /*stop*/) const {
+  return Recommend(activity, k);
+}
+
 std::vector<model::ActionId> ActionsOf(const RecommendationList& list) {
   std::vector<model::ActionId> actions;
   actions.reserve(list.size());

@@ -7,6 +7,10 @@
 
 #include "model/types.h"
 
+namespace goalrec::util {
+class StopToken;
+}  // namespace goalrec::util
+
 // Common recommender abstraction. A recommender observes a user activity H
 // (the sorted set of actions already performed) and produces a ranked list of
 // up to k actions the user has not performed. Both the paper's goal-based
@@ -46,6 +50,16 @@ class Recommender {
   /// by ascending action id. Thread-safe for concurrent calls.
   virtual RecommendationList Recommend(const model::Activity& activity,
                                        size_t k) const = 0;
+
+  /// Deadline/cancellation-aware entry point used by the serving engine.
+  /// `stop` may be null (no limit). Strategies that honour it poll
+  /// stop->ShouldStop() inside their scoring loops and bail out early; a
+  /// list returned while stop->StopRequested() is a best-effort partial
+  /// answer the caller must treat as unusable for exact ranking. The default
+  /// ignores the token (the full answer is computed unbounded).
+  virtual RecommendationList RecommendCancellable(
+      const model::Activity& activity, size_t k,
+      const util::StopToken* stop) const;
 };
 
 /// Comparator used by every strategy that ranks by descending score:

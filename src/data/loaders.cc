@@ -70,4 +70,18 @@ util::StatusOr<model::ActionFeatureTable> LoadFeaturesCsv(
   return table;
 }
 
+util::StatusOr<std::vector<model::Activity>> LoadActivitiesCsv(
+    const std::string& path, const model::Vocabulary& actions,
+    const util::RetryOptions& retry) {
+  return util::RetryCall(retry,
+                         [&] { return LoadActivitiesCsv(path, actions); });
+}
+
+util::StatusOr<model::ActionFeatureTable> LoadFeaturesCsv(
+    const std::string& path, const model::Vocabulary& actions,
+    const util::RetryOptions& retry) {
+  return util::RetryCall(retry,
+                         [&] { return LoadFeaturesCsv(path, actions); });
+}
+
 }  // namespace goalrec::data

@@ -7,6 +7,7 @@
 #include "model/features.h"
 #include "model/library.h"
 #include "model/types.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 // CSV interchange for real datasets: activities as (user_id, action_name)
@@ -33,6 +34,17 @@ util::Status SaveActivitiesCsv(const std::string& path,
 /// file get empty feature sets.
 util::StatusOr<model::ActionFeatureTable> LoadFeaturesCsv(
     const std::string& path, const model::Vocabulary& actions);
+
+// Retry-aware variants (see model/library_io.h): transient I/O failures are
+// retried with jittered backoff, parse errors fail immediately.
+
+util::StatusOr<std::vector<model::Activity>> LoadActivitiesCsv(
+    const std::string& path, const model::Vocabulary& actions,
+    const util::RetryOptions& retry);
+
+util::StatusOr<model::ActionFeatureTable> LoadFeaturesCsv(
+    const std::string& path, const model::Vocabulary& actions,
+    const util::RetryOptions& retry);
 
 }  // namespace goalrec::data
 

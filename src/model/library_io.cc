@@ -162,4 +162,14 @@ util::StatusOr<ImplementationLibrary> LoadLibraryBinary(
   return std::move(builder).Build();
 }
 
+util::StatusOr<ImplementationLibrary> LoadLibraryText(
+    const std::string& path, const util::RetryOptions& retry) {
+  return util::RetryCall(retry, [&] { return LoadLibraryText(path); });
+}
+
+util::StatusOr<ImplementationLibrary> LoadLibraryBinary(
+    const std::string& path, const util::RetryOptions& retry) {
+  return util::RetryCall(retry, [&] { return LoadLibraryBinary(path); });
+}
+
 }  // namespace goalrec::model

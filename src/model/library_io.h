@@ -4,6 +4,7 @@
 #include <string>
 
 #include "model/library.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 // Serialisation of implementation libraries.
@@ -38,6 +39,18 @@ util::Status SaveLibraryBinary(const ImplementationLibrary& library,
 /// Reads a binary-format library.
 util::StatusOr<ImplementationLibrary> LoadLibraryBinary(
     const std::string& path);
+
+// Retry-aware variants: transient failures (kIoError/kUnavailable — NFS
+// hiccups, files mid-rotation) are retried with jittered backoff per
+// `retry`; structural errors (bad magic, malformed lines) are returned
+// immediately. Serving paths that load libraries at startup or on reload
+// should prefer these.
+
+util::StatusOr<ImplementationLibrary> LoadLibraryText(
+    const std::string& path, const util::RetryOptions& retry);
+
+util::StatusOr<ImplementationLibrary> LoadLibraryBinary(
+    const std::string& path, const util::RetryOptions& retry);
 
 }  // namespace goalrec::model
 

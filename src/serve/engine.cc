@@ -1,0 +1,152 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace goalrec::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Sleeps an injected latency spike, but never meaningfully past the query's
+// deadline: overshooting the budget inside the fault plane would make every
+// rung below unreachable and the test clock unnecessarily slow.
+void SleepInjectedDelay(std::chrono::milliseconds delay,
+                        const util::Deadline& deadline) {
+  if (delay.count() <= 0) return;
+  std::chrono::nanoseconds capped = delay;
+  if (!deadline.is_infinite()) {
+    capped = std::min(capped,
+                      deadline.Remaining() + std::chrono::milliseconds(1));
+  }
+  if (capped.count() > 0) std::this_thread::sleep_for(capped);
+}
+
+}  // namespace
+
+const char* RungOutcomeToString(RungOutcome outcome) {
+  switch (outcome) {
+    case RungOutcome::kServed:
+      return "SERVED";
+    case RungOutcome::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case RungOutcome::kError:
+      return "ERROR";
+    case RungOutcome::kEmpty:
+      return "EMPTY";
+  }
+  return "UNKNOWN";
+}
+
+ServingEngine::ServingEngine(std::vector<Rung> rungs, EngineOptions options)
+    : rungs_(std::move(rungs)), options_(options) {
+  GOALREC_CHECK(!rungs_.empty()) << "a serving ladder needs at least one rung";
+  for (const Rung& rung : rungs_) {
+    GOALREC_CHECK(rung.recommender != nullptr);
+  }
+}
+
+util::StatusOr<ServeResult> ServingEngine::Serve(
+    const model::Activity& activity, size_t k,
+    util::CancellationToken cancel) const {
+  Clock::time_point query_start = Clock::now();
+  util::Deadline deadline = options_.deadline_ms > 0
+                                ? util::Deadline::AfterMillis(options_.deadline_ms)
+                                : util::Deadline::Infinite();
+  ServeResult result;
+  result.num_rungs = rungs_.size();
+  for (size_t i = 0; i < rungs_.size(); ++i) {
+    const Rung& rung = rungs_[i];
+    const bool is_last = i + 1 == rungs_.size();
+    Clock::time_point rung_start = Clock::now();
+    RungReport report;
+    report.name = rung.name;
+
+    if (cancel.Cancelled()) {
+      return util::CancelledError("query cancelled before rung '" +
+                                  rung.name + "'");
+    }
+    if (options_.faults != nullptr) {
+      util::Status injected = options_.faults->MaybeFail("rung/" + rung.name);
+      if (!injected.ok()) {
+        report.outcome = RungOutcome::kError;
+        report.status = injected;
+        report.latency = Clock::now() - rung_start;
+        result.rungs.push_back(std::move(report));
+        continue;
+      }
+      SleepInjectedDelay(options_.faults->MaybeDelay("rung/" + rung.name),
+                         deadline);
+    }
+    if (!is_last && deadline.Expired()) {
+      report.outcome = RungOutcome::kDeadlineExceeded;
+      report.latency = Clock::now() - rung_start;
+      result.rungs.push_back(std::move(report));
+      continue;
+    }
+
+    // The final rung runs unbounded (see header); others under the budget.
+    util::StopToken stop = is_last
+                               ? util::StopToken()
+                               : util::StopToken(deadline, cancel);
+    core::RecommendationList list =
+        rung.recommender->RecommendCancellable(activity, k, &stop);
+    report.latency = Clock::now() - rung_start;
+
+    if (cancel.Cancelled()) {
+      return util::CancelledError("query cancelled in rung '" + rung.name +
+                                  "'");
+    }
+    if (!is_last && stop.StopRequested()) {
+      // The budget fired mid-rung: the list is a partial answer; discard it
+      // and degrade.
+      report.outcome = RungOutcome::kDeadlineExceeded;
+      result.rungs.push_back(std::move(report));
+      continue;
+    }
+    if (list.empty() && !is_last) {
+      report.outcome = RungOutcome::kEmpty;
+      result.rungs.push_back(std::move(report));
+      continue;
+    }
+
+    report.outcome = RungOutcome::kServed;
+    result.rungs.push_back(std::move(report));
+    result.list = std::move(list);
+    result.rung_index = i;
+    result.rung_name = rung.name;
+    result.degraded = i > 0;
+    result.latency = Clock::now() - query_start;
+    return result;
+  }
+  // Only reachable when the final rung itself failed (injected fault).
+  std::string detail;
+  for (const RungReport& report : result.rungs) {
+    if (!detail.empty()) detail += "; ";
+    detail += report.name + ": " + RungOutcomeToString(report.outcome);
+  }
+  return util::UnavailableError("all " + std::to_string(rungs_.size()) +
+                                " rungs failed (" + detail + ")");
+}
+
+std::string FormatServeReport(const ServeResult& result) {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer),
+                "served by rung %zu/%zu '%s'%s in %.2f ms",
+                result.rung_index + 1, result.num_rungs,
+                result.rung_name.c_str(),
+                result.degraded ? " (degraded)" : "",
+                static_cast<double>(result.latency.count()) / 1e6);
+  std::string out = buffer;
+  for (const RungReport& report : result.rungs) {
+    if (report.outcome == RungOutcome::kServed) continue;
+    out += "; " + report.name + ": " + RungOutcomeToString(report.outcome);
+    if (!report.status.ok()) out += " (" + report.status.ToString() + ")";
+  }
+  return out;
+}
+
+}  // namespace goalrec::serve

@@ -1,0 +1,116 @@
+#ifndef GOALREC_SERVE_ENGINE_H_
+#define GOALREC_SERVE_ENGINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "model/types.h"
+#include "serve/fault_injection.h"
+#include "util/deadline.h"
+#include "util/status.h"
+
+// Resilient query serving. A ServingEngine wraps an ordered ladder of
+// recommenders — typically expensive-and-good down to cheap-and-coarse, e.g.
+// BestMatch → Breadth → LibraryPopularity — and enforces a per-query
+// deadline cooperatively (util::StopToken polled inside the strategies'
+// scoring loops). When a rung times out, errors, or answers empty, the query
+// falls to the next rung instead of failing; the result reports which rung
+// served it and why the better ones did not. This mirrors how production
+// recommenders degrade to cheaper models under pressure (cf. the hybrid
+// goal/CF ranking of arXiv 2011.06237) rather than erroring.
+//
+// Deadline semantics: one budget covers the whole query. Non-final rungs run
+// under it and are abandoned the moment it expires; the FINAL rung always
+// runs unbounded, because a floor that can also time out would turn overload
+// into outages — so make it structurally cheap (LibraryPopularity is).
+// Cancellation, by contrast, aborts the whole query: a caller that hung up
+// does not want a cheaper answer.
+
+namespace goalrec::serve {
+
+/// Why a rung did not (or did) produce the answer.
+enum class RungOutcome {
+  kServed,            // this rung's answer was returned
+  kDeadlineExceeded,  // budget expired before or while the rung ran
+  kError,             // the rung failed (today: injected faults)
+  kEmpty,             // ran to completion but had nothing to recommend
+};
+
+const char* RungOutcomeToString(RungOutcome outcome);
+
+/// Per-rung audit record of one Serve call.
+struct RungReport {
+  std::string name;
+  RungOutcome outcome = RungOutcome::kError;
+  util::Status status;  // non-OK for kError
+  std::chrono::nanoseconds latency{0};
+};
+
+struct EngineOptions {
+  /// Per-query budget in milliseconds; 0 means unbounded.
+  int64_t deadline_ms = 0;
+  /// Optional fault plane consulted before each rung (not owned; may be
+  /// null). Injected delays are slept (capped at the remaining budget plus
+  /// one millisecond) and injected errors fail the rung.
+  FaultInjector* faults = nullptr;
+};
+
+struct ServeResult {
+  core::RecommendationList list;
+  /// Index/name of the rung that answered.
+  size_t rung_index = 0;
+  std::string rung_name;
+  /// True when any rung above the serving one was skipped, failed, timed
+  /// out, or answered empty — i.e. the answer is not the ladder's best.
+  bool degraded = false;
+  /// One entry per rung attempted, in ladder order.
+  std::vector<RungReport> rungs;
+  /// Total rungs in the ladder (>= rungs.size()).
+  size_t num_rungs = 0;
+  /// End-to-end latency of the Serve call.
+  std::chrono::nanoseconds latency{0};
+};
+
+class ServingEngine {
+ public:
+  struct Rung {
+    std::string name;
+    /// Not owned; must outlive the engine.
+    const core::Recommender* recommender = nullptr;
+  };
+
+  /// Requires at least one rung. Rungs are tried in order; see the file
+  /// comment for the deadline contract on the final rung.
+  ServingEngine(std::vector<Rung> rungs, EngineOptions options = {});
+
+  /// Serves one query. Returns an error only when the query was cancelled
+  /// (kCancelled) or every rung failed (kUnavailable); a deadline alone
+  /// never produces an error, it produces a degraded answer.
+  util::StatusOr<ServeResult> Serve(const model::Activity& activity,
+                                    size_t k) const {
+    return Serve(activity, k, util::CancellationToken());
+  }
+
+  /// Serve with caller-side cancellation.
+  util::StatusOr<ServeResult> Serve(const model::Activity& activity, size_t k,
+                                    util::CancellationToken cancel) const;
+
+  size_t num_rungs() const { return rungs_.size(); }
+  const std::vector<Rung>& rungs() const { return rungs_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  std::vector<Rung> rungs_;
+  EngineOptions options_;
+};
+
+/// Renders a ServeResult's audit trail for CLI/log output, e.g.
+/// "served by rung 2/3 'breadth' (degraded) in 4.1 ms; best_match: DEADLINE_EXCEEDED".
+std::string FormatServeReport(const ServeResult& result);
+
+}  // namespace goalrec::serve
+
+#endif  // GOALREC_SERVE_ENGINE_H_

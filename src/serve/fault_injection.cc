@@ -1,0 +1,42 @@
+#include "serve/fault_injection.h"
+
+namespace goalrec::serve {
+
+FaultInjector::FaultInjector(FaultInjectionOptions options)
+    : options_(options), rng_(options.seed) {}
+
+util::Status FaultInjector::MaybeFail(std::string_view op) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++counters_.calls;
+  if (!rng_.Bernoulli(options_.error_rate)) return util::Status::Ok();
+  ++counters_.errors;
+  return util::UnavailableError("injected fault: " + std::string(op));
+}
+
+std::chrono::milliseconds FaultInjector::MaybeDelay(std::string_view /*op*/) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++counters_.calls;
+  if (options_.latency_ms <= 0 || !rng_.Bernoulli(options_.latency_rate)) {
+    return std::chrono::milliseconds::zero();
+  }
+  ++counters_.delays;
+  return std::chrono::milliseconds(options_.latency_ms);
+}
+
+bool FaultInjector::MaybeTruncate(std::string* bytes) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++counters_.calls;
+  if (bytes->empty() || !rng_.Bernoulli(options_.partial_read_rate)) {
+    return false;
+  }
+  ++counters_.truncations;
+  bytes->resize(rng_.UniformUint32(static_cast<uint32_t>(bytes->size())));
+  return true;
+}
+
+FaultInjector::Counters FaultInjector::counters() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace goalrec::serve

@@ -1,0 +1,72 @@
+#ifndef GOALREC_SERVE_FAULT_INJECTION_H_
+#define GOALREC_SERVE_FAULT_INJECTION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/random.h"
+#include "util/status.h"
+
+// Deterministic fault plane for robustness testing. A FaultInjector is a
+// seeded source of synthetic failures — injected Status errors, latency
+// spikes, and partial reads — that the serving engine, the retry-aware
+// loaders, and the benchmarks consult at their failure points. Because every
+// decision flows from one seeded util::Rng, a fixed seed replays the exact
+// same fault schedule, so tests can assert that the degradation ladder and
+// the retry loops actually engaged (and bench/micro_serve can report a
+// reproducible fallback rate). Production code paths simply pass no
+// injector; the hooks cost one null check.
+
+namespace goalrec::serve {
+
+struct FaultInjectionOptions {
+  /// Seed of the fault schedule; equal seeds replay equal schedules.
+  uint64_t seed = 1;
+  /// Probability that MaybeFail returns an injected kUnavailable error.
+  double error_rate = 0.0;
+  /// Probability that MaybeDelay asks for a latency spike...
+  double latency_rate = 0.0;
+  /// ...of this size.
+  int64_t latency_ms = 0;
+  /// Probability that MaybeTruncate cuts a payload to a strict prefix.
+  double partial_read_rate = 0.0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectionOptions options);
+
+  /// OK, or an injected kUnavailable error naming `op`. Draws once from the
+  /// schedule per call. Thread-safe; under concurrency the schedule is
+  /// consumed in call order, so determinism holds for serial callers.
+  util::Status MaybeFail(std::string_view op);
+
+  /// Zero, or the configured latency spike. The caller decides how to apply
+  /// it (the engine sleeps, capped at the query's remaining budget).
+  std::chrono::milliseconds MaybeDelay(std::string_view op);
+
+  /// With probability partial_read_rate truncates `bytes` to a random strict
+  /// prefix, returning true. Simulates torn reads for loader tests.
+  bool MaybeTruncate(std::string* bytes);
+
+  struct Counters {
+    uint64_t calls = 0;        // total decisions drawn
+    uint64_t errors = 0;       // injected failures
+    uint64_t delays = 0;       // injected latency spikes
+    uint64_t truncations = 0;  // injected partial reads
+  };
+  Counters counters() const;
+
+ private:
+  mutable std::mutex mutex_;
+  FaultInjectionOptions options_;
+  util::Rng rng_;
+  Counters counters_;
+};
+
+}  // namespace goalrec::serve
+
+#endif  // GOALREC_SERVE_FAULT_INJECTION_H_

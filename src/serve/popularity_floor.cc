@@ -1,0 +1,35 @@
+#include "serve/popularity_floor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/set_ops.h"
+
+namespace goalrec::serve {
+
+LibraryPopularityRecommender::LibraryPopularityRecommender(
+    const model::ImplementationLibrary* library)
+    : library_(library) {
+  GOALREC_CHECK(library_ != nullptr);
+  ranking_.reserve(library_->num_actions());
+  for (model::ActionId a = 0; a < library_->num_actions(); ++a) {
+    double degree = static_cast<double>(library_->ImplsOfAction(a).size());
+    if (degree > 0.0) ranking_.push_back(core::ScoredAction{a, degree});
+  }
+  std::sort(ranking_.begin(), ranking_.end(), core::ByScoreDesc{});
+}
+
+core::RecommendationList LibraryPopularityRecommender::Recommend(
+    const model::Activity& activity, size_t k) const {
+  core::RecommendationList list;
+  if (k == 0) return list;
+  list.reserve(std::min(k, ranking_.size()));
+  for (const core::ScoredAction& entry : ranking_) {
+    if (util::Contains(activity, entry.action)) continue;
+    list.push_back(entry);
+    if (list.size() == k) break;
+  }
+  return list;
+}
+
+}  // namespace goalrec::serve

@@ -1,0 +1,43 @@
+#ifndef GOALREC_SERVE_POPULARITY_FLOOR_H_
+#define GOALREC_SERVE_POPULARITY_FLOOR_H_
+
+#include <vector>
+
+#include "core/recommender.h"
+#include "model/library.h"
+
+// Structural popularity: rank actions by the number of implementations that
+// contain them — the action's degree in the goal–action association graph.
+// Graph-reachability analyses of recommenders (Mirza et al., arXiv
+// cs/0104009) show such cheap structural signals retain much of the value of
+// the full model, which is exactly what a degradation ladder needs from its
+// terminal rung: an answer computable in O(k log k + |H|) with no per-query
+// index probes, available even when the activity matches no implementation
+// at all (where Focus/Breadth/Best Match all return empty). Unlike
+// baselines::PopularityRecommender it needs no interaction data, only the
+// library, so it can serve as the floor wherever the goal strategies run.
+
+namespace goalrec::serve {
+
+class LibraryPopularityRecommender : public core::Recommender {
+ public:
+  /// Precomputes the global ranking. `library` must outlive the recommender.
+  explicit LibraryPopularityRecommender(
+      const model::ImplementationLibrary* library);
+
+  std::string name() const override { return "LibraryPopularity"; }
+
+  /// The `k` highest-degree actions outside `activity`; ties by ascending
+  /// id. Score is the implementation count.
+  core::RecommendationList Recommend(const model::Activity& activity,
+                                     size_t k) const override;
+
+ private:
+  const model::ImplementationLibrary* library_;
+  /// All actions with degree > 0, best first (precomputed once).
+  core::RecommendationList ranking_;
+};
+
+}  // namespace goalrec::serve
+
+#endif  // GOALREC_SERVE_POPULARITY_FLOOR_H_

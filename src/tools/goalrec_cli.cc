@@ -5,9 +5,21 @@
 //
 //   goalrec recommend <library> --actions=a,b,c [--strategy=focus_cmp]
 //                     [--k=10] [--explain] [--metric=euclidean]
+//                     [--deadline_ms=N] [--fallback_chain=s1,s2,...]
+//                     [--fault_seed=N --fault_error_rate=P
+//                      --fault_latency_ms=N --fault_latency_rate=P]
 //       Rank recommendations for the given activity. Strategies: focus_cmp,
-//       focus_cl, breadth, best_match. --explain prints, per recommendation,
-//       the goals it advances.
+//       focus_cl, breadth, best_match, popularity (structural floor).
+//       --explain prints, per recommendation, the goals it advances.
+//       --deadline_ms / --fallback_chain route the query through the
+//       resilient serving engine (docs/serving.md): the chain's rungs are
+//       tried best-first under the deadline and the serving rung is
+//       reported. --fault_* inject deterministic faults to exercise the
+//       ladder. Defaults: chain "<strategy>,popularity".
+//
+// Every command that loads a library or CSV honours --retry_attempts=N,
+// --retry_backoff_ms=N and --retry_seed=N: transient I/O errors are retried
+// with decorrelated-jitter backoff before giving up.
 //
 //   goalrec spaces <library> --actions=a,b,c
 //       Print the activity's implementation/goal/action spaces (Eq. 1–2).
@@ -31,6 +43,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,6 +62,9 @@
 #include "model/cooccurrence.h"
 #include "model/export_dot.h"
 #include "model/library_io.h"
+#include "serve/engine.h"
+#include "serve/fault_injection.h"
+#include "serve/popularity_floor.h"
 #include "textmine/aliases.h"
 #include "textmine/corpus.h"
 #include "model/statistics.h"
@@ -73,9 +89,27 @@ bool IsBinaryPath(const std::string& path) {
   return path.size() >= 4 && path.substr(path.size() - 4) == ".bin";
 }
 
-StatusOr<ImplementationLibrary> LoadLibrary(const std::string& path) {
-  if (IsBinaryPath(path)) return goalrec::model::LoadLibraryBinary(path);
-  return goalrec::model::LoadLibraryText(path);
+// The --retry_* flags, defaulting to a single attempt (no retry).
+goalrec::util::RetryOptions RetryFromFlags(const FlagParser& flags) {
+  goalrec::util::RetryOptions retry;
+  retry.max_attempts = static_cast<int>(
+      flags.GetInt("retry_attempts", 1).ok()
+          ? *flags.GetInt("retry_attempts", 1) : 1);
+  retry.initial_backoff_ms =
+      flags.GetInt("retry_backoff_ms", 10).ok()
+          ? *flags.GetInt("retry_backoff_ms", 10) : 10;
+  retry.jitter_seed = static_cast<uint64_t>(
+      flags.GetInt("retry_seed", 1).ok() ? *flags.GetInt("retry_seed", 1) : 1);
+  return retry;
+}
+
+StatusOr<ImplementationLibrary> LoadLibrary(const FlagParser& flags,
+                                            const std::string& path) {
+  goalrec::util::RetryOptions retry = RetryFromFlags(flags);
+  if (IsBinaryPath(path)) {
+    return goalrec::model::LoadLibraryBinary(path, retry);
+  }
+  return goalrec::model::LoadLibraryText(path, retry);
 }
 
 Status SaveLibrary(const ImplementationLibrary& library,
@@ -112,7 +146,7 @@ int CmdStats(const FlagParser& flags) {
     std::fprintf(stderr, "usage: goalrec stats <library>\n");
     return 2;
   }
-  StatusOr<ImplementationLibrary> library = LoadLibrary(flags.positional()[1]);
+  StatusOr<ImplementationLibrary> library = LoadLibrary(flags, flags.positional()[1]);
   if (!library.ok()) {
     std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
     return 1;
@@ -129,7 +163,7 @@ int CmdSpaces(const FlagParser& flags) {
                  "usage: goalrec spaces <library> --actions=a,b,c\n");
     return 2;
   }
-  StatusOr<ImplementationLibrary> library = LoadLibrary(flags.positional()[1]);
+  StatusOr<ImplementationLibrary> library = LoadLibrary(flags, flags.positional()[1]);
   if (!library.ok()) {
     std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
     return 1;
@@ -163,12 +197,14 @@ int CmdRecommend(const FlagParser& flags) {
   if (flags.positional().size() != 2 || !flags.Has("actions")) {
     std::fprintf(stderr,
                  "usage: goalrec recommend <library> --actions=a,b,c "
-                 "[--strategy=focus_cmp|focus_cl|breadth|best_match] "
+                 "[--strategy=focus_cmp|focus_cl|breadth|best_match|popularity] "
                  "[--k=10] [--metric=euclidean|manhattan|cosine] "
-                 "[--explain]\n");
+                 "[--explain] [--deadline_ms=N] [--fallback_chain=s1,s2,...] "
+                 "[--fault_seed=N] [--fault_error_rate=P] "
+                 "[--fault_latency_ms=N] [--fault_latency_rate=P]\n");
     return 2;
   }
-  StatusOr<ImplementationLibrary> library = LoadLibrary(flags.positional()[1]);
+  StatusOr<ImplementationLibrary> library = LoadLibrary(flags, flags.positional()[1]);
   if (!library.ok()) {
     std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
     return 1;
@@ -209,22 +245,80 @@ int CmdRecommend(const FlagParser& flags) {
   goalrec::core::BreadthRecommender breadth(&*library);
   goalrec::core::BestMatchRecommender best_match(&*library,
                                                  best_match_options);
-  goalrec::core::Recommender* recommender = nullptr;
-  if (strategy == "focus_cmp") {
-    recommender = &focus_cmp;
-  } else if (strategy == "focus_cl") {
-    recommender = &focus_cl;
-  } else if (strategy == "breadth") {
-    recommender = &breadth;
-  } else if (strategy == "best_match") {
-    recommender = &best_match;
-  } else {
+  goalrec::serve::LibraryPopularityRecommender popularity(&*library);
+  auto resolve = [&](const std::string& name) -> goalrec::core::Recommender* {
+    if (name == "focus_cmp") return &focus_cmp;
+    if (name == "focus_cl") return &focus_cl;
+    if (name == "breadth") return &breadth;
+    if (name == "best_match") return &best_match;
+    if (name == "popularity") return &popularity;
+    return nullptr;
+  };
+  goalrec::core::Recommender* recommender = resolve(strategy);
+  if (recommender == nullptr) {
     std::fprintf(stderr, "unknown --strategy '%s'\n", strategy.c_str());
     return 2;
   }
 
-  goalrec::core::RecommendationList list =
-      recommender->Recommend(*activity, static_cast<size_t>(*k));
+  goalrec::core::RecommendationList list;
+  bool use_engine = flags.Has("deadline_ms") || flags.Has("fallback_chain") ||
+                    flags.Has("fault_seed");
+  if (use_engine) {
+    std::string chain = flags.GetString("fallback_chain");
+    if (chain.empty()) chain = strategy + ",popularity";
+    std::vector<goalrec::serve::ServingEngine::Rung> rungs;
+    for (const std::string& raw : goalrec::util::Split(chain, ',')) {
+      std::string name(goalrec::util::Trim(raw));
+      if (name.empty()) continue;
+      goalrec::core::Recommender* rung = resolve(name);
+      if (rung == nullptr) {
+        std::fprintf(stderr, "unknown rung '%s' in --fallback_chain\n",
+                     name.c_str());
+        return 2;
+      }
+      rungs.push_back({name, rung});
+    }
+    if (rungs.empty()) {
+      std::fprintf(stderr, "--fallback_chain names no strategies\n");
+      return 2;
+    }
+    goalrec::serve::EngineOptions engine_options;
+    StatusOr<int64_t> deadline_ms = flags.GetInt("deadline_ms", 0);
+    if (!deadline_ms.ok() || *deadline_ms < 0) {
+      std::fprintf(stderr, "--deadline_ms must be a non-negative integer\n");
+      return 2;
+    }
+    engine_options.deadline_ms = *deadline_ms;
+    goalrec::serve::FaultInjectionOptions fault_options;
+    std::optional<goalrec::serve::FaultInjector> faults;
+    if (flags.Has("fault_seed")) {
+      fault_options.seed = static_cast<uint64_t>(
+          flags.GetInt("fault_seed", 1).ok() ? *flags.GetInt("fault_seed", 1)
+                                             : 1);
+      fault_options.error_rate =
+          flags.GetDouble("fault_error_rate", 0.0).ok()
+              ? *flags.GetDouble("fault_error_rate", 0.0) : 0.0;
+      fault_options.latency_rate =
+          flags.GetDouble("fault_latency_rate", 0.0).ok()
+              ? *flags.GetDouble("fault_latency_rate", 0.0) : 0.0;
+      fault_options.latency_ms =
+          flags.GetInt("fault_latency_ms", 0).ok()
+              ? *flags.GetInt("fault_latency_ms", 0) : 0;
+      faults.emplace(fault_options);
+      engine_options.faults = &*faults;
+    }
+    goalrec::serve::ServingEngine engine(std::move(rungs), engine_options);
+    goalrec::util::StatusOr<goalrec::serve::ServeResult> served =
+        engine.Serve(*activity, static_cast<size_t>(*k));
+    if (!served.ok()) {
+      std::fprintf(stderr, "%s\n", served.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", goalrec::serve::FormatServeReport(*served).c_str());
+    list = std::move(served->list);
+  } else {
+    list = recommender->Recommend(*activity, static_cast<size_t>(*k));
+  }
   if (list.empty()) {
     std::printf("no recommendations (activity matches no implementation)\n");
     return 0;
@@ -249,7 +343,7 @@ int CmdConvert(const FlagParser& flags) {
     std::fprintf(stderr, "usage: goalrec convert <in> <out>\n");
     return 2;
   }
-  StatusOr<ImplementationLibrary> library = LoadLibrary(flags.positional()[1]);
+  StatusOr<ImplementationLibrary> library = LoadLibrary(flags, flags.positional()[1]);
   if (!library.ok()) {
     std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
     return 1;
@@ -374,7 +468,7 @@ int CmdRelated(const FlagParser& flags) {
                  "usage: goalrec related <library> --action=<name> [--k=10]\n");
     return 2;
   }
-  StatusOr<ImplementationLibrary> library = LoadLibrary(flags.positional()[1]);
+  StatusOr<ImplementationLibrary> library = LoadLibrary(flags, flags.positional()[1]);
   if (!library.ok()) {
     std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
     return 1;
@@ -414,7 +508,7 @@ int CmdServe(const FlagParser& flags) {
                  "recommend [k] | status | quit\n");
     return 2;
   }
-  StatusOr<ImplementationLibrary> library = LoadLibrary(flags.positional()[1]);
+  StatusOr<ImplementationLibrary> library = LoadLibrary(flags, flags.positional()[1]);
   if (!library.ok()) {
     std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
     return 1;
@@ -499,7 +593,7 @@ int CmdDot(const FlagParser& flags) {
                  "usage: goalrec dot <library> <out.dot> [--goals=g1,g2]\n");
     return 2;
   }
-  StatusOr<ImplementationLibrary> library = LoadLibrary(flags.positional()[1]);
+  StatusOr<ImplementationLibrary> library = LoadLibrary(flags, flags.positional()[1]);
   if (!library.ok()) {
     std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
     return 1;
@@ -536,7 +630,7 @@ int CmdEvaluate(const FlagParser& flags) {
                  "[--k=10] [--visible=0.3] [--seed=17] [--out=<dir>]\n");
     return 2;
   }
-  StatusOr<ImplementationLibrary> library = LoadLibrary(flags.positional()[1]);
+  StatusOr<ImplementationLibrary> library = LoadLibrary(flags, flags.positional()[1]);
   if (!library.ok()) {
     std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
     return 1;
@@ -549,7 +643,8 @@ int CmdEvaluate(const FlagParser& flags) {
   }
   StatusOr<std::vector<goalrec::model::Activity>> activities =
       goalrec::data::LoadActivitiesCsv(flags.positional()[2],
-                                       library->actions());
+                                       library->actions(),
+                                       RetryFromFlags(flags));
   if (!activities.ok()) {
     std::fprintf(stderr, "%s\n", activities.status().ToString().c_str());
     return 1;

@@ -1,0 +1,25 @@
+#include "util/deadline.h"
+
+namespace goalrec::util {
+
+Deadline Deadline::AfterMillis(int64_t ms) {
+  return After(std::chrono::milliseconds(ms));
+}
+
+Deadline Deadline::After(std::chrono::nanoseconds duration) {
+  Deadline deadline;
+  deadline.when_ = std::chrono::steady_clock::now() + duration;
+  return deadline;
+}
+
+bool Deadline::Expired() const {
+  if (!when_.has_value()) return false;
+  return std::chrono::steady_clock::now() >= *when_;
+}
+
+std::chrono::nanoseconds Deadline::Remaining() const {
+  std::chrono::nanoseconds left = *when_ - std::chrono::steady_clock::now();
+  return left.count() < 0 ? std::chrono::nanoseconds::zero() : left;
+}
+
+}  // namespace goalrec::util

@@ -1,0 +1,44 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace goalrec::util {
+
+bool IsRetriableStatus(const Status& status) {
+  return status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kUnavailable;
+}
+
+BackoffPolicy::BackoffPolicy(int64_t initial_ms, int64_t cap_ms, uint64_t seed)
+    : initial_ms_(std::max<int64_t>(1, initial_ms)),
+      cap_ms_(std::max(cap_ms, initial_ms_)),
+      previous_ms_(initial_ms_),
+      // splitmix64 step so seed 0 still yields a usable stream.
+      rng_state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+std::chrono::milliseconds BackoffPolicy::Next() {
+  // splitmix64: tiny, portable, and plenty for jitter.
+  uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  // Decorrelated jitter: uniform in [initial, previous * 3], capped.
+  int64_t upper = std::min(cap_ms_, previous_ms_ * 3);
+  int64_t span = std::max<int64_t>(1, upper - initial_ms_ + 1);
+  previous_ms_ = initial_ms_ + static_cast<int64_t>(z % static_cast<uint64_t>(span));
+  return std::chrono::milliseconds(previous_ms_);
+}
+
+namespace internal {
+
+void SleepOrInvoke(const RetryOptions& options, std::chrono::milliseconds d) {
+  if (options.sleeper) {
+    options.sleeper(d);
+  } else {
+    std::this_thread::sleep_for(d);
+  }
+}
+
+}  // namespace internal
+}  // namespace goalrec::util

@@ -1,0 +1,87 @@
+#ifndef GOALREC_UTIL_RETRY_H_
+#define GOALREC_UTIL_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "util/status.h"
+
+// Status-aware retry with exponential backoff and decorrelated jitter
+// (Brooker, "Exponential Backoff And Jitter"): each delay is drawn uniformly
+// from [base, 3 * previous], capped. Decorrelated jitter avoids the
+// synchronized retry storms that plain exponential backoff produces when many
+// queries hit the same transient fault together. Used by model/library_io
+// and data/loaders so transient I/O failures degrade to latency instead of
+// errors; the jitter stream is a seeded util::Rng so retry schedules are
+// reproducible in tests.
+
+namespace goalrec::util {
+
+struct RetryOptions {
+  /// Total attempts including the first (1 = no retry).
+  int max_attempts = 3;
+  /// Lower bound of every backoff draw.
+  int64_t initial_backoff_ms = 10;
+  /// Upper cap on any single backoff.
+  int64_t max_backoff_ms = 2000;
+  /// Seed for the jitter stream; equal seeds give equal schedules.
+  uint64_t jitter_seed = 1;
+  /// Test seam: invoked instead of actually sleeping when set.
+  std::function<void(std::chrono::milliseconds)> sleeper;
+  /// Which errors are worth retrying; default: kIoError and kUnavailable.
+  std::function<bool(const Status&)> retriable;
+};
+
+/// Default retry predicate: transient I/O and availability failures.
+bool IsRetriableStatus(const Status& status);
+
+/// Stateful decorrelated-jitter schedule. Next() draws the following delay.
+class BackoffPolicy {
+ public:
+  BackoffPolicy(int64_t initial_ms, int64_t cap_ms, uint64_t seed);
+
+  std::chrono::milliseconds Next();
+
+ private:
+  int64_t initial_ms_;
+  int64_t cap_ms_;
+  int64_t previous_ms_;
+  uint64_t rng_state_;
+};
+
+namespace internal {
+inline const Status& StatusOf(const Status& status) { return status; }
+template <typename T>
+const Status& StatusOf(const StatusOr<T>& status_or) {
+  return status_or.status();
+}
+void SleepOrInvoke(const RetryOptions& options, std::chrono::milliseconds d);
+}  // namespace internal
+
+/// Invokes `fn` (returning Status or StatusOr<T>) up to
+/// `options.max_attempts` times, sleeping a jittered backoff between
+/// attempts. Non-retriable errors and the final attempt's result are
+/// returned as-is. `attempts_out`, when given, receives the attempt count.
+template <typename Fn>
+auto RetryCall(const RetryOptions& options, Fn&& fn, int* attempts_out = nullptr)
+    -> decltype(fn()) {
+  const int max_attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
+  BackoffPolicy backoff(options.initial_backoff_ms, options.max_backoff_ms,
+                        options.jitter_seed);
+  for (int attempt = 1;; ++attempt) {
+    auto result = fn();
+    if (attempts_out != nullptr) *attempts_out = attempt;
+    const Status& status = internal::StatusOf(result);
+    if (status.ok() || attempt >= max_attempts) return result;
+    bool retriable = options.retriable ? options.retriable(status)
+                                       : IsRetriableStatus(status);
+    if (!retriable) return result;
+    internal::SleepOrInvoke(options, backoff.Next());
+  }
+}
+
+}  // namespace goalrec::util
+
+#endif  // GOALREC_UTIL_RETRY_H_

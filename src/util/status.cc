@@ -20,6 +20,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kIoError:
       return "IO_ERROR";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }
@@ -54,6 +58,12 @@ Status InternalError(std::string message) {
 }
 Status IoError(std::string message) {
   return Status(StatusCode::kIoError, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
 }
 
 }  // namespace goalrec::util

@@ -22,6 +22,8 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kIoError,
+  kUnavailable,
+  kCancelled,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "INVALID_ARGUMENT"...).
@@ -56,6 +58,8 @@ Status FailedPreconditionError(std::string message);
 Status OutOfRangeError(std::string message);
 Status InternalError(std::string message);
 Status IoError(std::string message);
+Status UnavailableError(std::string message);
+Status CancelledError(std::string message);
 
 /// Either a value of type T or an error Status. Mirrors absl::StatusOr.
 template <typename T>

@@ -1,10 +1,25 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <string>
 
 #include "util/logging.h"
 
 namespace goalrec::util {
+namespace {
+
+std::string DescribeException(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "non-std::exception thrown";
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   size_t count = std::max<size_t>(1, num_threads);
@@ -38,6 +53,30 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+Status ThreadPool::status() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (first_failure_ == nullptr) return Status::Ok();
+  return InternalError(std::to_string(failed_tasks_) +
+                       " task(s) threw; first: " +
+                       DescribeException(first_failure_));
+}
+
+size_t ThreadPool::failed_tasks() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return failed_tasks_;
+}
+
+void ThreadPool::RethrowIfFailed() {
+  std::exception_ptr failure;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    failure = first_failure_;
+    first_failure_ = nullptr;
+    failed_tasks_ = 0;
+  }
+  if (failure != nullptr) std::rethrow_exception(failure);
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -52,9 +91,18 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    std::exception_ptr failure;
+    try {
+      task();
+    } catch (...) {
+      failure = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      if (failure != nullptr) {
+        ++failed_tasks_;
+        if (first_failure_ == nullptr) first_failure_ = failure;
+      }
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }
@@ -74,16 +122,26 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& body,
   }
   std::vector<std::thread> threads;
   threads.reserve(workers);
+  std::mutex failure_mutex;
+  std::exception_ptr first_failure;
   size_t chunk = (n + workers - 1) / workers;
   for (size_t w = 0; w < workers; ++w) {
     size_t begin = w * chunk;
     size_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    threads.emplace_back([begin, end, &body] {
-      for (size_t i = begin; i < end; ++i) body(i);
+    threads.emplace_back([begin, end, &body, &failure_mutex, &first_failure] {
+      for (size_t i = begin; i < end; ++i) {
+        try {
+          body(i);
+        } catch (...) {
+          std::unique_lock<std::mutex> lock(failure_mutex);
+          if (first_failure == nullptr) first_failure = std::current_exception();
+        }
+      }
     });
   }
   for (std::thread& t : threads) t.join();
+  if (first_failure != nullptr) std::rethrow_exception(first_failure);
 }
 
 }  // namespace goalrec::util

@@ -1,19 +1,27 @@
 // Failure-injection / fuzz-style robustness: parsers must reject (never
-// crash on) malformed bytes, and loaders must round-trip arbitrary valid
-// structures.
+// crash on) malformed bytes, loaders must round-trip arbitrary valid
+// structures, retries must mask transient I/O failures, and the serving
+// engine must survive random queries under injected faults and a tight
+// deadline without ever crashing or hanging.
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/best_match.h"
+#include "core/breadth.h"
 #include "model/library_io.h"
 #include "model/validate.h"
+#include "serve/engine.h"
+#include "serve/popularity_floor.h"
 #include "testing/fixtures.h"
 #include "util/csv.h"
 #include "util/random.h"
+#include "util/retry.h"
 
 namespace goalrec {
 namespace {
@@ -116,6 +124,111 @@ TEST(RobustnessTest, TruncatedBinariesAlwaysRejected) {
   }
   std::remove(full_path.c_str());
   std::remove(cut_path.c_str());
+}
+
+TEST(RobustnessTest, RetryMasksTransientlyMissingLibraryFile) {
+  std::string path = TempPath("goalrec_retry_lib.txt");
+  std::remove(path.c_str());
+  model::ImplementationLibrary lib = goalrec::testing::RandomLibrary(
+      /*num_actions=*/10, /*num_goals=*/4, /*num_impls=*/20, /*max_size=*/3,
+      /*seed=*/21);
+
+  // The file materialises between attempts (a stand-in for a flaky mount);
+  // the sleeper hook doubles as the "meanwhile, the world healed" event.
+  util::RetryOptions retry;
+  retry.max_attempts = 3;
+  int sleeps = 0;
+  retry.sleeper = [&](std::chrono::milliseconds) {
+    if (++sleeps == 1) {
+      ASSERT_TRUE(model::SaveLibraryText(lib, path).ok());
+    }
+  };
+  util::StatusOr<model::ImplementationLibrary> loaded =
+      model::LoadLibraryText(path, retry);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(sleeps, 1);
+  EXPECT_EQ(loaded->num_actions(), lib.num_actions());
+  EXPECT_EQ(loaded->num_implementations(), lib.num_implementations());
+  std::remove(path.c_str());
+}
+
+// Fuzz the full serving ladder: random activities against a random library,
+// with injected faults and a 1 ms budget. Every query must end in either a
+// served answer or a clean Status — never a crash, never a hang.
+TEST(RobustnessTest, ServingEngineSurvivesFuzzedQueriesUnderFaults) {
+  model::ImplementationLibrary lib = goalrec::testing::RandomLibrary(
+      /*num_actions=*/40, /*num_goals=*/12, /*num_impls=*/120, /*max_size=*/5,
+      /*seed=*/31);
+  core::BestMatchRecommender best_match(&lib);
+  core::BreadthRecommender breadth(&lib);
+  serve::LibraryPopularityRecommender floor(&lib);
+
+  serve::FaultInjectionOptions fault_options;
+  fault_options.seed = 99;
+  fault_options.error_rate = 0.2;
+  fault_options.latency_rate = 0.1;
+  fault_options.latency_ms = 2;
+  serve::FaultInjector faults(fault_options);
+
+  serve::EngineOptions options;
+  options.deadline_ms = 1;
+  options.faults = &faults;
+  serve::ServingEngine engine({{"best_match", &best_match},
+                               {"breadth", &breadth},
+                               {"popularity", &floor}},
+                              options);
+
+  util::Rng rng(505);
+  int served = 0;
+  int failed = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    model::Activity activity =
+        goalrec::testing::RandomActivity(40, 1 + rng.UniformUint32(6), rng);
+    util::StatusOr<serve::ServeResult> result =
+        engine.Serve(activity, 1 + rng.UniformUint32(10));
+    if (result.ok()) {
+      ++served;
+      EXPECT_LT(result->rung_index, 3u);
+      EXPECT_EQ(result->degraded, result->rung_index > 0);
+    } else {
+      ++failed;
+      // The only clean terminal failure is "every rung failed".
+      EXPECT_EQ(result.status().code(), util::StatusCode::kUnavailable);
+    }
+  }
+  EXPECT_EQ(served + failed, 200);
+  EXPECT_GT(served, 0) << "fault rates are moderate; some queries must land";
+}
+
+// Same fuzz, run twice with identical seeds: the rung decisions must match
+// query for query, or fault schedules are not reproducible.
+TEST(RobustnessTest, ServingEngineFuzzIsDeterministicUnderFixedSeeds) {
+  auto run = []() {
+    model::ImplementationLibrary lib = goalrec::testing::RandomLibrary(
+        /*num_actions=*/25, /*num_goals=*/8, /*num_impls=*/60, /*max_size=*/4,
+        /*seed=*/77);
+    core::BreadthRecommender breadth(&lib);
+    serve::LibraryPopularityRecommender floor(&lib);
+    serve::FaultInjectionOptions fault_options;
+    fault_options.seed = 13;
+    fault_options.error_rate = 0.3;
+    serve::FaultInjector faults(fault_options);
+    serve::EngineOptions options;
+    options.faults = &faults;
+    serve::ServingEngine engine(
+        {{"breadth", &breadth}, {"popularity", &floor}}, options);
+    util::Rng rng(808);
+    std::vector<int> decisions;
+    for (int trial = 0; trial < 100; ++trial) {
+      model::Activity activity =
+          goalrec::testing::RandomActivity(25, 1 + rng.UniformUint32(4), rng);
+      util::StatusOr<serve::ServeResult> result = engine.Serve(activity, 5);
+      decisions.push_back(result.ok() ? static_cast<int>(result->rung_index)
+                                      : -1);
+    }
+    return decisions;
+  };
+  EXPECT_EQ(run(), run());
 }
 
 }  // namespace

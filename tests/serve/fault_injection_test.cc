@@ -1,0 +1,92 @@
+#include "serve/fault_injection.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace goalrec::serve {
+namespace {
+
+TEST(FaultInjectorTest, ZeroRatesInjectNothing) {
+  FaultInjector injector(FaultInjectionOptions{});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(injector.MaybeFail("op").ok());
+    EXPECT_EQ(injector.MaybeDelay("op").count(), 0);
+  }
+  std::string bytes = "payload";
+  EXPECT_FALSE(injector.MaybeTruncate(&bytes));
+  EXPECT_EQ(bytes, "payload");
+  EXPECT_EQ(injector.counters().errors, 0u);
+  EXPECT_EQ(injector.counters().delays, 0u);
+  EXPECT_EQ(injector.counters().truncations, 0u);
+}
+
+TEST(FaultInjectorTest, CertainErrorAlwaysFails) {
+  FaultInjectionOptions options;
+  options.error_rate = 1.0;
+  FaultInjector injector(options);
+  for (int i = 0; i < 20; ++i) {
+    util::Status status = injector.MaybeFail("load");
+    EXPECT_EQ(status.code(), util::StatusCode::kUnavailable);
+    EXPECT_NE(status.message().find("load"), std::string::npos);
+  }
+  EXPECT_EQ(injector.counters().errors, 20u);
+}
+
+TEST(FaultInjectorTest, CertainLatencyReturnsConfiguredSpike) {
+  FaultInjectionOptions options;
+  options.latency_rate = 1.0;
+  options.latency_ms = 25;
+  FaultInjector injector(options);
+  EXPECT_EQ(injector.MaybeDelay("rung").count(), 25);
+  EXPECT_EQ(injector.counters().delays, 1u);
+}
+
+TEST(FaultInjectorTest, TruncationProducesStrictPrefix) {
+  FaultInjectionOptions options;
+  options.seed = 11;
+  options.partial_read_rate = 1.0;
+  FaultInjector injector(options);
+  std::string original = "0123456789";
+  std::string bytes = original;
+  EXPECT_TRUE(injector.MaybeTruncate(&bytes));
+  EXPECT_LT(bytes.size(), original.size());
+  EXPECT_EQ(bytes, original.substr(0, bytes.size()));
+  // Empty payloads cannot be truncated further.
+  std::string empty;
+  EXPECT_FALSE(injector.MaybeTruncate(&empty));
+}
+
+TEST(FaultInjectorTest, EqualSeedsReplayEqualSchedules) {
+  FaultInjectionOptions options;
+  options.seed = 7;
+  options.error_rate = 0.4;
+  options.latency_rate = 0.3;
+  options.latency_ms = 5;
+  FaultInjector a(options);
+  FaultInjector b(options);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.MaybeFail("x").ok(), b.MaybeFail("x").ok());
+    EXPECT_EQ(a.MaybeDelay("x").count(), b.MaybeDelay("x").count());
+  }
+  EXPECT_EQ(a.counters().errors, b.counters().errors);
+  EXPECT_EQ(a.counters().delays, b.counters().delays);
+}
+
+TEST(FaultInjectorTest, DistinctSeedsDiverge) {
+  FaultInjectionOptions options;
+  options.error_rate = 0.5;
+  options.seed = 1;
+  FaultInjector a(options);
+  options.seed = 2;
+  FaultInjector b(options);
+  bool diverged = false;
+  for (int i = 0; i < 100 && !diverged; ++i) {
+    diverged = a.MaybeFail("x").ok() != b.MaybeFail("x").ok();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+}  // namespace
+}  // namespace goalrec::serve

@@ -1,0 +1,99 @@
+#include "util/deadline.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace goalrec::util {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.is_infinite());
+  EXPECT_FALSE(deadline.Expired());
+}
+
+TEST(DeadlineTest, NonPositiveBudgetIsAlreadyExpired) {
+  EXPECT_TRUE(Deadline::AfterMillis(0).Expired());
+  EXPECT_TRUE(Deadline::AfterMillis(-5).Expired());
+}
+
+TEST(DeadlineTest, FarFutureNotExpired) {
+  Deadline deadline = Deadline::AfterMillis(60'000);
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_GT(deadline.Remaining().count(), 0);
+}
+
+TEST(DeadlineTest, ExpiresAfterBudgetElapses) {
+  Deadline deadline = Deadline::AfterMillis(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_EQ(deadline.Remaining().count(), 0);
+}
+
+TEST(CancellationTest, DefaultTokenNeverCancelled) {
+  CancellationToken token;
+  EXPECT_FALSE(token.Cancelled());
+}
+
+TEST(CancellationTest, SourceSignalsEveryToken) {
+  CancellationSource source;
+  CancellationToken a = source.token();
+  CancellationToken b = source.token();
+  EXPECT_FALSE(a.Cancelled());
+  source.Cancel();
+  EXPECT_TRUE(a.Cancelled());
+  EXPECT_TRUE(b.Cancelled());
+  EXPECT_TRUE(source.Cancelled());
+}
+
+TEST(CancellationTest, TokenOutlivesSource) {
+  CancellationToken token;
+  {
+    CancellationSource source;
+    token = source.token();
+    source.Cancel();
+  }
+  EXPECT_TRUE(token.Cancelled());
+}
+
+TEST(StopTokenTest, DefaultNeverStops) {
+  StopToken stop;
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(stop.ShouldStop());
+  EXPECT_FALSE(stop.StopRequested());
+}
+
+TEST(StopTokenTest, StridedPollObservesCancellationWithinOneStride) {
+  CancellationSource source;
+  StopToken stop(Deadline::Infinite(), source.token(), /*stride=*/64);
+  source.Cancel();
+  bool observed = false;
+  for (int i = 0; i < 64 && !observed; ++i) observed = stop.ShouldStop();
+  EXPECT_TRUE(observed);
+}
+
+TEST(StopTokenTest, StopLatches) {
+  CancellationSource source;
+  StopToken stop(Deadline::Infinite(), source.token());
+  source.Cancel();
+  EXPECT_TRUE(stop.StopRequested());
+  // Even after the flag could no longer be consulted, it stays stopped and
+  // every strided poll is now an immediate true.
+  EXPECT_TRUE(stop.ShouldStop());
+  EXPECT_TRUE(stop.ShouldStop());
+}
+
+TEST(StopTokenTest, ExpiredDeadlineStops) {
+  StopToken stop(Deadline::AfterMillis(0), CancellationToken(), /*stride=*/1);
+  EXPECT_TRUE(stop.ShouldStop());
+}
+
+TEST(StopTokenTest, StrideZeroIsTreatedAsOne) {
+  CancellationSource source;
+  StopToken stop(Deadline::Infinite(), source.token(), /*stride=*/0);
+  source.Cancel();
+  EXPECT_TRUE(stop.ShouldStop());
+}
+
+}  // namespace
+}  // namespace goalrec::util

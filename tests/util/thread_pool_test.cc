@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -40,6 +41,55 @@ TEST(ThreadPoolTest, AtLeastOneWorker) {
   EXPECT_GE(pool.num_threads(), 1u);
 }
 
+TEST(ThreadPoolTest, ThrowingTaskDoesNotKillPoolOrWedgeWait) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&completed] { ++completed; });
+  }
+  pool.Wait();  // must return despite the throwing task
+  EXPECT_EQ(completed.load(), 50);
+  EXPECT_EQ(pool.failed_tasks(), 1u);
+  Status status = pool.status();
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("task boom"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, StatusIsOkWhileNoTaskThrows) {
+  ThreadPool pool(2);
+  pool.Submit([] {});
+  pool.Wait();
+  EXPECT_TRUE(pool.status().ok());
+  EXPECT_EQ(pool.failed_tasks(), 0u);
+}
+
+TEST(ThreadPoolTest, RethrowIfFailedRethrowsFirstAndResets) {
+  ThreadPool pool(1);
+  pool.Submit([] { throw std::runtime_error("first"); });
+  pool.Wait();
+  pool.Submit([] { throw std::logic_error("second"); });
+  pool.Wait();
+  EXPECT_EQ(pool.failed_tasks(), 2u);
+  EXPECT_THROW(pool.RethrowIfFailed(), std::runtime_error);
+  // The failure state is cleared; the pool is usable again.
+  EXPECT_TRUE(pool.status().ok());
+  EXPECT_EQ(pool.failed_tasks(), 0u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.RethrowIfFailed();  // no-op when everything succeeded
+}
+
+TEST(ThreadPoolTest, NonExceptionThrowSurfacesAsInternal) {
+  ThreadPool pool(1);
+  pool.Submit([] { throw 42; });  // NOLINT: deliberately not std::exception
+  pool.Wait();
+  EXPECT_EQ(pool.status().code(), StatusCode::kInternal);
+  EXPECT_THROW(pool.RethrowIfFailed(), int);
+}
+
 TEST(ParallelForTest, CoversAllIndicesExactlyOnce) {
   std::vector<std::atomic<int>> hits(1000);
   ParallelFor(1000, [&](size_t i) { ++hits[i]; });
@@ -70,6 +120,28 @@ TEST(ParallelForTest, LargeSumMatchesSerial) {
   ParallelFor(n, [&](size_t i) { values[i] = static_cast<int64_t>(i) * 2; });
   int64_t total = std::accumulate(values.begin(), values.end(), int64_t{0});
   EXPECT_EQ(total, static_cast<int64_t>(n) * (n - 1));
+}
+
+TEST(ParallelForTest, ThrowingBodyRethrowsAfterJoin) {
+  std::atomic<int> ran{0};
+  EXPECT_THROW(ParallelFor(100,
+                           [&ran](size_t i) {
+                             ++ran;
+                             if (i == 7) throw std::runtime_error("body boom");
+                           },
+                           /*num_threads=*/4),
+               std::runtime_error);
+  // Other chunks keep running to completion; only the exception propagates.
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ParallelForTest, ThrowingBodyRethrowsInSingleThreadFallback) {
+  EXPECT_THROW(ParallelFor(5,
+                           [](size_t i) {
+                             if (i == 2) throw std::runtime_error("boom");
+                           },
+                           /*num_threads=*/1),
+               std::runtime_error);
 }
 
 }  // namespace
