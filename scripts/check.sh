@@ -18,6 +18,12 @@ run_suite() {
   cmake -B "$build_dir" -S . "${GENERATOR_ARGS[@]}" "$@" >/dev/null
   cmake --build "$build_dir" -j "$(nproc)"
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "${CTEST_ARGS[@]}"
+  # Differential fuzz smoke: optimized strategies vs the naive reference
+  # oracle on a fixed seed (~1200 checks, well under 2 s). Exits non-zero —
+  # with a shrunk repro file — on any divergence. See docs/testing.md.
+  echo "=== fuzz smoke ($build_dir) ==="
+  "$build_dir/src/tools/goalrec_fuzz" --seed=42 --rounds=300 --quiet \
+      --out="$build_dir"
 }
 
 CTEST_ARGS=()

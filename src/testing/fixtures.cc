@@ -1,0 +1,54 @@
+#include "testing/fixtures.h"
+
+#include <string>
+#include <utility>
+
+#include "util/set_ops.h"
+
+namespace goalrec::testing {
+
+model::ImplementationLibrary PaperLibrary() {
+  model::LibraryBuilder builder;
+  builder.AddImplementation("g1", {"a1", "a2", "a3"});
+  builder.AddImplementation("g2", {"a1", "a4"});
+  builder.AddImplementation("g3", {"a1", "a5"});
+  builder.AddImplementation("g4", {"a2", "a6"});
+  builder.AddImplementation("g5", {"a1", "a6"});
+  return std::move(builder).Build();
+}
+
+model::ImplementationLibrary RandomLibrary(uint32_t num_actions,
+                                           uint32_t num_goals,
+                                           uint32_t num_impls,
+                                           uint32_t max_size, uint64_t seed) {
+  util::Rng rng(seed);
+  model::LibraryBuilder builder;
+  for (uint32_t a = 0; a < num_actions; ++a) {
+    builder.InternAction("act" + std::to_string(a));
+  }
+  for (uint32_t g = 0; g < num_goals; ++g) {
+    builder.InternGoal("goal" + std::to_string(g));
+  }
+  for (uint32_t p = 0; p < num_impls; ++p) {
+    uint32_t size = 1 + rng.UniformUint32(max_size);
+    model::IdSet actions;
+    for (uint32_t i = 0; i < size; ++i) {
+      actions.push_back(rng.UniformUint32(num_actions));
+    }
+    builder.AddImplementationIds(rng.UniformUint32(num_goals),
+                                 std::move(actions));
+  }
+  return std::move(builder).Build();
+}
+
+model::Activity RandomActivity(uint32_t num_actions, uint32_t size,
+                               util::Rng& rng) {
+  model::Activity activity;
+  for (uint32_t i = 0; i < size; ++i) {
+    activity.push_back(rng.UniformUint32(num_actions));
+  }
+  util::Normalize(activity);
+  return activity;
+}
+
+}  // namespace goalrec::testing

@@ -1,0 +1,53 @@
+#ifndef GOALREC_TESTING_FIXTURES_H_
+#define GOALREC_TESTING_FIXTURES_H_
+
+#include <cstdint>
+
+#include "model/library.h"
+#include "util/random.h"
+
+// Shared fixtures for tests, benchmarks and the differential fuzz tool.
+// PaperLibrary() is the clothing-store example of the paper (Example 3.2 /
+// Figure 1), reconstructed to satisfy every constraint the text states in
+// Example 4.3:
+//
+//   p1 = (g1, {a1, a2, a3})   g1 = "meeting friends"
+//   p2 = (g2, {a1, a4})       g2 = "going to the office"
+//   p3 = (g3, {a1, a5})
+//   p4 = (g4, {a2, a6})       g4 = "be warm"
+//   p5 = (g5, {a1, a6})
+//
+// so action a1 participates in A1, A2, A3 and A5, its implementation space is
+// {p1, p2, p3, p5}, its goal space {g1, g2, g3, g5} and its action space
+// {a2, a3, a4, a5, a6} — exactly the values of Example 4.3. Actions are
+// interned as "a1".."a6" (ids 0..5) and goals as "g1".."g5" (ids 0..4).
+//
+// For structured random libraries with tunable shape (skewed popularity,
+// degenerate implementations), prefer testing/generator.h; RandomLibrary here
+// is the minimal uniform generator the property tests are seeded with.
+
+namespace goalrec::testing {
+
+/// The worked example of the paper; see the file comment.
+model::ImplementationLibrary PaperLibrary();
+
+/// Id of "aN" in PaperLibrary(): a1 -> 0, ..., a6 -> 5.
+inline model::ActionId A(uint32_t n) { return n - 1; }
+
+/// Id of "gN" in PaperLibrary(): g1 -> 0, ..., g5 -> 4.
+inline model::GoalId G(uint32_t n) { return n - 1; }
+
+/// A random library for property tests: `num_impls` implementations over
+/// `num_actions` actions and `num_goals` goals, sizes in [1, max_size].
+model::ImplementationLibrary RandomLibrary(uint32_t num_actions,
+                                           uint32_t num_goals,
+                                           uint32_t num_impls,
+                                           uint32_t max_size, uint64_t seed);
+
+/// A random sorted activity over [0, num_actions).
+model::Activity RandomActivity(uint32_t num_actions, uint32_t size,
+                               util::Rng& rng);
+
+}  // namespace goalrec::testing
+
+#endif  // GOALREC_TESTING_FIXTURES_H_

@@ -1,0 +1,163 @@
+#include "testing/generator.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/set_ops.h"
+
+namespace goalrec::testing {
+namespace {
+
+// Draws one action id from the connected pool via the (permuted) popularity
+// ranking.
+model::ActionId DrawAction(const std::vector<model::ActionId>& by_popularity,
+                           const util::ZipfSampler& zipf, util::Rng& rng) {
+  return by_popularity[zipf.Sample(rng)];
+}
+
+}  // namespace
+
+model::ImplementationLibrary GenerateLibrary(const LibraryShape& shape,
+                                             util::Rng& rng) {
+  GOALREC_CHECK_GT(shape.num_actions, 0u);
+  GOALREC_CHECK_GT(shape.num_goals, 0u);
+  GOALREC_CHECK_LE(shape.min_impls_per_goal, shape.max_impls_per_goal);
+  GOALREC_CHECK_LE(shape.min_actions_per_impl, shape.max_actions_per_impl);
+
+  model::LibraryBuilder builder;
+  for (uint32_t a = 0; a < shape.num_actions; ++a) {
+    builder.InternAction("act" + std::to_string(a));
+  }
+  for (uint32_t g = 0; g < shape.num_goals; ++g) {
+    builder.InternGoal("goal" + std::to_string(g));
+  }
+
+  // Popularity: a random permutation of the connected pool, ranked by a Zipf
+  // law — rank 0 (the hub) lands on a random action, not always id 0.
+  uint32_t disconnected = static_cast<uint32_t>(
+      static_cast<double>(shape.num_actions) *
+      shape.disconnected_action_fraction);
+  uint32_t pool = shape.num_actions - std::min(disconnected,
+                                               shape.num_actions - 1);
+  std::vector<model::ActionId> by_popularity(shape.num_actions);
+  for (uint32_t a = 0; a < shape.num_actions; ++a) by_popularity[a] = a;
+  rng.Shuffle(by_popularity);
+  by_popularity.resize(pool);  // the rest stay disconnected
+  util::ZipfSampler zipf(pool, std::max(0.0, shape.zipf_exponent));
+
+  for (model::GoalId g = 0; g < shape.num_goals; ++g) {
+    uint32_t impls = static_cast<uint32_t>(
+        rng.UniformInt(shape.min_impls_per_goal, shape.max_impls_per_goal));
+    for (uint32_t i = 0; i < impls; ++i) {
+      double degenerate = rng.UniformDouble();
+      uint32_t size;
+      if (degenerate < shape.empty_impl_prob) {
+        size = 0;
+      } else if (degenerate < shape.empty_impl_prob +
+                                  shape.singleton_impl_prob) {
+        size = 1;
+      } else {
+        size = static_cast<uint32_t>(rng.UniformInt(
+            shape.min_actions_per_impl, shape.max_actions_per_impl));
+      }
+      model::IdSet actions;
+      for (uint32_t j = 0; j < size; ++j) {
+        actions.push_back(DrawAction(by_popularity, zipf, rng));
+      }
+      builder.AddImplementationIds(g, std::move(actions));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+model::Activity GenerateActivity(const model::ImplementationLibrary& library,
+                                 const ActivityShape& shape, util::Rng& rng) {
+  GOALREC_CHECK_LE(shape.min_size, shape.max_size);
+  model::Activity activity;
+  if (library.num_implementations() > 0 &&
+      rng.Bernoulli(shape.superset_prob)) {
+    // H ⊇ A: start from a full implementation activity (possibly empty) and
+    // extend with a few extra actions.
+    model::ImplId p = rng.UniformUint32(library.num_implementations());
+    activity = library.ActionsOf(p);
+    uint32_t extra = rng.UniformUint32(4);
+    for (uint32_t i = 0; i < extra; ++i) {
+      activity.push_back(rng.UniformUint32(library.num_actions()));
+    }
+  } else {
+    uint32_t size =
+        static_cast<uint32_t>(rng.UniformInt(shape.min_size, shape.max_size));
+    for (uint32_t i = 0; i < size; ++i) {
+      // Uniform over the whole vocabulary, disconnected actions included.
+      activity.push_back(rng.UniformUint32(library.num_actions()));
+    }
+  }
+  util::Normalize(activity);
+  return activity;
+}
+
+OracleCase GenerateCase(const CaseShape& shape, uint64_t seed) {
+  GOALREC_CHECK_LE(shape.min_k, shape.max_k);
+  util::Rng rng(seed, /*stream=*/7);
+  OracleCase c;
+  c.library = GenerateLibrary(shape.library, rng);
+  c.activity = GenerateActivity(c.library, shape.activity, rng);
+  c.k = static_cast<size_t>(rng.UniformInt(shape.min_k, shape.max_k));
+  return c;
+}
+
+std::vector<CaseShape> DefaultCaseShapes() {
+  std::vector<CaseShape> shapes;
+
+  CaseShape tiny;
+  tiny.library.num_goals = 3;
+  tiny.library.num_actions = 8;
+  tiny.library.max_impls_per_goal = 3;
+  tiny.library.max_actions_per_impl = 4;
+  tiny.library.zipf_exponent = 0.0;
+  tiny.library.disconnected_action_fraction = 0.0;
+  tiny.activity.max_size = 5;
+  tiny.max_k = 10;  // > num_actions: exercises the unbounded path
+  shapes.push_back(tiny);
+
+  CaseShape medium;  // the LibraryShape defaults
+  shapes.push_back(medium);
+
+  CaseShape degenerate;
+  degenerate.library.num_goals = 6;
+  degenerate.library.num_actions = 20;
+  degenerate.library.empty_impl_prob = 0.2;
+  degenerate.library.singleton_impl_prob = 0.3;
+  degenerate.library.disconnected_action_fraction = 0.3;
+  degenerate.activity.superset_prob = 0.4;
+  degenerate.activity.min_size = 0;
+  degenerate.activity.max_size = 10;
+  shapes.push_back(degenerate);
+
+  CaseShape hubby;
+  hubby.library.num_goals = 10;
+  hubby.library.num_actions = 40;
+  hubby.library.max_impls_per_goal = 6;
+  hubby.library.max_actions_per_impl = 8;
+  hubby.library.zipf_exponent = 1.6;  // a few hub actions dominate
+  hubby.activity.max_size = 12;
+  shapes.push_back(hubby);
+
+  CaseShape sparse;
+  sparse.library.num_goals = 12;
+  sparse.library.num_actions = 48;
+  sparse.library.min_impls_per_goal = 1;
+  sparse.library.max_impls_per_goal = 2;
+  sparse.library.min_actions_per_impl = 1;
+  sparse.library.max_actions_per_impl = 3;
+  sparse.library.zipf_exponent = 0.2;
+  sparse.library.disconnected_action_fraction = 0.2;
+  sparse.activity.max_size = 6;
+  shapes.push_back(sparse);
+
+  return shapes;
+}
+
+}  // namespace goalrec::testing

@@ -1,0 +1,216 @@
+// goalrec_fuzz: differential fuzzing of the optimized src/core/ strategies
+// against the naive reference oracle (src/testing/reference.h).
+//
+// Generate mode (default): runs `--rounds` seeded random cases through every
+// strategy under test; on the first optimized-vs-reference mismatch it
+// greedily shrinks the case (drop goals, drop implementations, drop actions
+// from H) to a minimal repro, writes it as a loadable library file and exits
+// 1 with the replay command line. Exits 0 when every round matches.
+//
+//   goalrec_fuzz --seed=42 --rounds=100
+//   goalrec_fuzz --seed=42 --rounds=100 --strategy=Breadth --out=/tmp
+//
+// Replay mode: re-runs a repro file written by a previous fuzz run (or by
+// hand; the format is the library text format plus #! directives, see
+// src/testing/shrink.h). Exits 1 while the divergence persists, 0 once the
+// bug is fixed.
+//
+//   goalrec_fuzz --replay=fuzz_repro_Breadth_1234.tsv
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "testing/differential.h"
+#include "testing/generator.h"
+#include "testing/shrink.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace goalrec {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: goalrec_fuzz [--seed=N] [--rounds=N] [--strategy=NAME|all]\n"
+    "                    [--out=DIR] [--strict_order] [--quiet]\n"
+    "       goalrec_fuzz --replay=REPRO_FILE\n"
+    "\n"
+    "Differential fuzzing of the optimized strategies against the naive\n"
+    "reference oracle. Strategies: Focus_cmp, Focus_cl, Breadth, BestMatch.\n";
+
+struct FuzzConfig {
+  uint64_t seed = 42;
+  int64_t rounds = 100;
+  std::vector<testing::OracleStrategy> strategies;
+  std::string out_dir = ".";
+  std::string replay;
+  testing::DiffOptions diff;
+  bool quiet = false;
+};
+
+int Replay(const FuzzConfig& config) {
+  util::StatusOr<testing::ReproCase> loaded =
+      testing::LoadRepro(config.replay);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "goalrec_fuzz: %s\n",
+                 loaded.status().ToString().c_str());
+    return 2;
+  }
+  const testing::ReproCase& repro = *loaded;
+  std::vector<testing::OracleStrategy> strategies;
+  if (!repro.strategy.empty()) {
+    auto s = testing::OracleStrategyFromName(repro.strategy);
+    if (!s) {
+      std::fprintf(stderr, "goalrec_fuzz: repro names unknown strategy '%s'\n",
+                   repro.strategy.c_str());
+      return 2;
+    }
+    strategies.push_back(*s);
+  } else {
+    strategies = testing::AllOracleStrategies();
+  }
+  std::printf(
+      "replaying %s: %u implementations, |H| = %zu, k = %zu, seed %llu\n",
+      config.replay.c_str(),
+      repro.oracle_case.library.num_implementations(),
+      repro.oracle_case.activity.size(), repro.oracle_case.k,
+      static_cast<unsigned long long>(repro.seed));
+  bool mismatch = false;
+  for (testing::OracleStrategy strategy : strategies) {
+    testing::DiffOutcome outcome = testing::DiffStrategy(
+        repro.oracle_case.library, strategy, repro.oracle_case.activity,
+        repro.oracle_case.k, config.diff);
+    if (outcome.match) {
+      std::printf("  %s: match\n", testing::OracleStrategyName(strategy));
+    } else {
+      std::printf("  MISMATCH %s\n", outcome.detail.c_str());
+      mismatch = true;
+    }
+  }
+  std::printf(mismatch ? "divergence still present\n"
+                       : "repro no longer diverges (bug fixed?)\n");
+  return mismatch ? 1 : 0;
+}
+
+int Fuzz(const FuzzConfig& config) {
+  std::vector<testing::CaseShape> shapes = testing::DefaultCaseShapes();
+  util::Rng seed_sequence(config.seed, /*stream=*/21);
+  int64_t checks = 0;
+  for (int64_t round = 0; round < config.rounds; ++round) {
+    uint64_t case_seed = seed_sequence.NextUint64();
+    const testing::CaseShape& shape =
+        shapes[static_cast<size_t>(round) % shapes.size()];
+    testing::OracleCase c = testing::GenerateCase(shape, case_seed);
+    for (testing::OracleStrategy strategy : config.strategies) {
+      testing::DiffOutcome outcome = testing::DiffStrategy(
+          c.library, strategy, c.activity, c.k, config.diff);
+      ++checks;
+      if (outcome.match) continue;
+
+      std::printf("round %lld (case seed %llu): MISMATCH %s\n",
+                  static_cast<long long>(round),
+                  static_cast<unsigned long long>(case_seed),
+                  outcome.detail.c_str());
+      std::printf("shrinking from %u implementations, |H| = %zu ...\n",
+                  c.library.num_implementations(), c.activity.size());
+      testing::DiffOptions diff = config.diff;
+      auto still_fails = [strategy, diff](const testing::OracleCase& cand) {
+        return !testing::DiffStrategy(cand.library, strategy, cand.activity,
+                                      cand.k, diff)
+                    .match;
+      };
+      testing::ShrinkStats stats;
+      testing::OracleCase shrunk = testing::ShrinkFailure(c, still_fails,
+                                                          &stats);
+      testing::DiffOutcome shrunk_outcome = testing::DiffStrategy(
+          shrunk.library, strategy, shrunk.activity, shrunk.k, config.diff);
+      std::printf(
+          "shrunk to %u implementations, |H| = %zu "
+          "(%zu predicate calls, %zu passes)\n",
+          shrunk.library.num_implementations(), shrunk.activity.size(),
+          stats.predicate_calls, stats.passes);
+      std::printf("minimal divergence: %s\n", shrunk_outcome.detail.c_str());
+
+      std::string path = config.out_dir + "/fuzz_repro_" +
+                         testing::OracleStrategyName(strategy) + "_" +
+                         std::to_string(case_seed) + ".tsv";
+      util::Status written = testing::WriteRepro(
+          shrunk, testing::OracleStrategyName(strategy), case_seed, path);
+      if (written.ok()) {
+        std::printf("repro written: %s\nreplay with: %s\n", path.c_str(),
+                    testing::ReproCommandLine(path).c_str());
+      } else {
+        std::fprintf(stderr, "goalrec_fuzz: failed to write repro: %s\n",
+                     written.ToString().c_str());
+      }
+      return 1;
+    }
+    if (!config.quiet && (round + 1) % 50 == 0) {
+      std::printf("  %lld/%lld rounds clean\n",
+                  static_cast<long long>(round + 1),
+                  static_cast<long long>(config.rounds));
+    }
+  }
+  std::printf(
+      "OK: %lld rounds x %zu strategies (%lld differential checks), "
+      "0 mismatches (seed %llu)\n",
+      static_cast<long long>(config.rounds), config.strategies.size(),
+      static_cast<long long>(checks),
+      static_cast<unsigned long long>(config.seed));
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  util::FlagParser flags(argc, argv);
+  std::vector<std::string> unknown = flags.UnknownFlags(
+      {"seed", "rounds", "strategy", "out", "strict_order", "quiet", "replay",
+       "help"});
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "goalrec_fuzz: unknown flag --%s\n%s",
+                 unknown.front().c_str(), kUsage);
+    return 2;
+  }
+  if (flags.Has("help")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+
+  FuzzConfig config;
+  util::StatusOr<int64_t> seed = flags.GetInt("seed", 42);
+  util::StatusOr<int64_t> rounds = flags.GetInt("rounds", 100);
+  util::StatusOr<bool> strict = flags.GetBool("strict_order", false);
+  util::StatusOr<bool> quiet = flags.GetBool("quiet", false);
+  if (!seed.ok() || !rounds.ok() || !strict.ok() || !quiet.ok()) {
+    std::fprintf(stderr, "goalrec_fuzz: bad flag value\n%s", kUsage);
+    return 2;
+  }
+  config.seed = static_cast<uint64_t>(*seed);
+  config.rounds = *rounds;
+  config.diff.strict_order = *strict;
+  config.quiet = *quiet;
+  config.out_dir = flags.GetString("out", ".");
+  config.replay = flags.GetString("replay", "");
+
+  std::string strategy = flags.GetString("strategy", "all");
+  if (strategy == "all" || strategy.empty()) {
+    config.strategies = testing::AllOracleStrategies();
+  } else {
+    auto s = testing::OracleStrategyFromName(strategy);
+    if (!s) {
+      std::fprintf(stderr, "goalrec_fuzz: unknown strategy '%s'\n%s",
+                   strategy.c_str(), kUsage);
+      return 2;
+    }
+    config.strategies.push_back(*s);
+  }
+
+  if (!config.replay.empty()) return Replay(config);
+  return Fuzz(config);
+}
+
+}  // namespace
+}  // namespace goalrec
+
+int main(int argc, char** argv) { return goalrec::Main(argc, argv); }

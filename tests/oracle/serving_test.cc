@@ -1,0 +1,107 @@
+// Serving differential: a ServingEngine with no fault plane and no deadline
+// is a pure dispatcher — its answer must be byte-identical to calling the
+// first rung whose direct Recommend() is non-empty. Anything else means the
+// engine is altering lists (re-scoring, truncating, reordering) on the happy
+// path, which the resilience layer must never do.
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/best_match.h"
+#include "core/breadth.h"
+#include "core/recommender.h"
+#include "model/library.h"
+#include "serve/engine.h"
+#include "serve/popularity_floor.h"
+#include "testing/fixtures.h"
+#include "testing/generator.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace goalrec::serve {
+namespace {
+
+using goalrec::testing::A;
+using goalrec::testing::CaseShape;
+using goalrec::testing::DefaultCaseShapes;
+using goalrec::testing::GenerateCase;
+using goalrec::testing::OracleCase;
+using goalrec::testing::PaperLibrary;
+
+constexpr uint64_t kMasterSeed = 20260808;
+constexpr int kTrials = 120;
+
+// What the ladder contract promises on a fault-free, unbounded query: the
+// list of the first rung that answers non-empty, verbatim (the final rung
+// serves unconditionally).
+struct ExpectedServe {
+  core::RecommendationList list;
+  size_t rung_index = 0;
+};
+
+ExpectedServe FirstNonEmpty(
+    const std::vector<const core::Recommender*>& ladder,
+    const model::Activity& activity, size_t k) {
+  ExpectedServe expected;
+  for (size_t i = 0; i < ladder.size(); ++i) {
+    expected.list = ladder[i]->Recommend(activity, k);
+    expected.rung_index = i;
+    if (!expected.list.empty()) break;
+  }
+  return expected;
+}
+
+TEST(OracleServingTest, FaultFreeEngineIsByteIdenticalToDirectDispatch) {
+  std::vector<CaseShape> shapes = DefaultCaseShapes();
+  util::Rng seeds(kMasterSeed, /*stream=*/31);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    uint64_t case_seed = seeds.NextUint64();
+    OracleCase c = GenerateCase(
+        shapes[static_cast<size_t>(trial) % shapes.size()], case_seed);
+
+    core::BestMatchRecommender best_match(&c.library);
+    core::BreadthRecommender breadth(&c.library);
+    LibraryPopularityRecommender floor(&c.library);
+    ServingEngine engine(
+        {{"best_match", &best_match}, {"breadth", &breadth},
+         {"floor", &floor}},
+        EngineOptions{});
+
+    ExpectedServe expected =
+        FirstNonEmpty({&best_match, &breadth, &floor}, c.activity, c.k);
+    util::StatusOr<ServeResult> served = engine.Serve(c.activity, c.k);
+    ASSERT_TRUE(served.ok()) << served.status().ToString() << " (case seed "
+                             << case_seed << ")";
+    EXPECT_EQ(served->list, expected.list)
+        << "engine altered the rung's list (case seed " << case_seed << ")";
+    EXPECT_EQ(served->rung_index, expected.rung_index)
+        << "engine skipped a non-empty rung (case seed " << case_seed << ")";
+    EXPECT_EQ(served->degraded, expected.rung_index != 0)
+        << "degradation flag disagrees with the serving rung (case seed "
+        << case_seed << ")";
+    EXPECT_EQ(served->num_rungs, 3u);
+  }
+}
+
+TEST(OracleServingTest, TopRungServesThePaperExampleUndegraded) {
+  model::ImplementationLibrary library = PaperLibrary();
+  core::BestMatchRecommender best_match(&library);
+  core::BreadthRecommender breadth(&library);
+  LibraryPopularityRecommender floor(&library);
+  ServingEngine engine(
+      {{"best_match", &best_match}, {"breadth", &breadth}, {"floor", &floor}},
+      EngineOptions{});
+
+  model::Activity h = {A(1), A(2)};
+  util::StatusOr<ServeResult> served = engine.Serve(h, 5);
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(served->rung_index, 0u);
+  EXPECT_EQ(served->rung_name, "best_match");
+  EXPECT_FALSE(served->degraded);
+  EXPECT_EQ(served->list, best_match.Recommend(h, 5));
+}
+
+}  // namespace
+}  // namespace goalrec::serve

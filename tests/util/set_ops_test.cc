@@ -63,6 +63,28 @@ TEST(SetOpsTest, Contains) {
   EXPECT_FALSE(Contains({}, 0));
 }
 
+// Every operation must emit a strictly sorted set even when fed
+// duplicate-heavy input through Normalize — downstream binary merges and the
+// oracle's set comparisons silently misbehave on near-sets.
+TEST(SetOpsTest, DuplicateHeavyInputNormalizesToAStrictSet) {
+  IdVector v = {9, 0, 9, 9, 3, 0, 3, 9, 0, 0};
+  Normalize(v);
+  EXPECT_TRUE(IsSortedSet(v));
+  EXPECT_EQ(v, (IdVector{0, 3, 9}));
+  Normalize(v);  // idempotent on an already-normal set
+  EXPECT_EQ(v, (IdVector{0, 3, 9}));
+}
+
+TEST(SetOpsTest, SelfOperationIdentities) {
+  IdVector a = {1, 4, 6, 8};
+  EXPECT_EQ(Intersect(a, a), a);
+  EXPECT_EQ(Union(a, a), a);
+  EXPECT_EQ(Difference(a, a), IdVector{});
+  EXPECT_EQ(IntersectionSize(a, a), a.size());
+  EXPECT_EQ(DifferenceSize(a, a), 0u);
+  EXPECT_TRUE(IsSubset(a, a));
+}
+
 // Property: size functions agree with materialised results on random sets.
 TEST(SetOpsPropertyTest, SizesMatchMaterialisedResults) {
   Rng rng(99);

@@ -1,6 +1,7 @@
 #include "util/top_k.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -44,6 +45,54 @@ TEST(TopKTest, DuplicatesRetained) {
   TopK<int, std::greater<int>> top(3);
   for (int v : {4, 4, 4, 1}) top.Push(v);
   EXPECT_EQ(top.Take(), (std::vector<int>{4, 4, 4}));
+}
+
+// The recommenders' (score desc, action id asc) total order, as a strict
+// comparator on (score, id) pairs.
+struct ByScoreThenId {
+  bool operator()(const std::pair<double, uint32_t>& a,
+                  const std::pair<double, uint32_t>& b) const {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  }
+};
+
+// With a total order the boundary is never ambiguous: of several candidates
+// tied at the cutoff score, the lowest ids are retained — exactly the
+// tie-break the ranked lists promise.
+TEST(TopKTest, BoundaryTiesResolvedByIdUnderTotalOrder) {
+  TopK<std::pair<double, uint32_t>, ByScoreThenId> top(3);
+  for (uint32_t id : {7u, 2u, 9u, 4u}) top.Push({1.0, id});
+  top.Push({2.0, 8u});
+  EXPECT_EQ(top.Take(),
+            (std::vector<std::pair<double, uint32_t>>{
+                {2.0, 8u}, {1.0, 2u}, {1.0, 4u}}));
+}
+
+// Property: under a total order the retained set and Take() order are
+// insertion-order independent, even when the stream is mostly duplicate
+// scores.
+TEST(TopKPropertyTest, DuplicateScoreStreamsAreInsertionOrderIndependent) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::pair<double, uint32_t>> values;
+    uint32_t n = 1 + rng.UniformUint32(40);
+    for (uint32_t id = 0; id < n; ++id) {
+      // Only three distinct scores → boundary ties on nearly every push.
+      values.push_back({static_cast<double>(rng.UniformUint32(3)), id});
+    }
+    std::vector<std::pair<double, uint32_t>> expected = values;
+    std::sort(expected.begin(), expected.end(), ByScoreThenId());
+    size_t k = 1 + rng.UniformUint32(10);
+    expected.resize(std::min(k, expected.size()));
+
+    for (int shuffle = 0; shuffle < 4; ++shuffle) {
+      rng.Shuffle(values);
+      TopK<std::pair<double, uint32_t>, ByScoreThenId> top(k);
+      for (const auto& v : values) top.Push(v);
+      EXPECT_EQ(top.Take(), expected) << "trial " << trial;
+    }
+  }
 }
 
 TEST(TopKDeathTest, ZeroCapacityAborts) {
