@@ -2,6 +2,11 @@
 // latency and the fallback rate of the BestMatch → Breadth → Popularity
 // ladder, healthy and under injected faults plus a tight deadline. Emits
 // one JSON document on stdout (see BENCH_serve.json for a recorded run).
+// Each scenario runs against its own obs::MetricRegistry and embeds the
+// full metrics snapshot (rung attempt counters, per-rung latency
+// histograms, injected-fault counters) in its JSON entry; `obs_enabled`
+// records whether instrumentation was compiled in (GOALREC_OBS_NOOP), for
+// the overhead comparison in docs/observability.md.
 
 #include <algorithm>
 #include <chrono>
@@ -12,6 +17,8 @@
 #include "core/best_match.h"
 #include "core/breadth.h"
 #include "eval/scaling.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "serve/engine.h"
 #include "serve/fault_injection.h"
 #include "serve/popularity_floor.h"
@@ -52,6 +59,9 @@ struct ScenarioResult {
   std::vector<int> rung_counts;
   double p50_us = 0.0;
   double p99_us = 0.0;
+  /// The scenario's full metrics snapshot (engine counters/histograms), as
+  /// an ExportJson document.
+  std::string metrics_json;
 };
 
 ScenarioResult RunScenario(const std::string& name,
@@ -61,6 +71,10 @@ ScenarioResult RunScenario(const std::string& name,
   goalrec::core::BestMatchRecommender best_match(&lib);
   goalrec::core::BreadthRecommender breadth(&lib);
   goalrec::serve::LibraryPopularityRecommender floor(&lib);
+  // Per-scenario registry: the snapshot below reflects only this scenario's
+  // queries, not the whole process.
+  goalrec::obs::MetricRegistry registry;
+  options.metrics = &registry;
   goalrec::serve::ServingEngine engine({{"best_match", &best_match},
                                         {"breadth", &breadth},
                                         {"popularity", &floor}},
@@ -89,6 +103,7 @@ ScenarioResult RunScenario(const std::string& name,
   }
   result.p50_us = PercentileUs(latencies_us, 0.50);
   result.p99_us = PercentileUs(latencies_us, 0.99);
+  result.metrics_json = goalrec::obs::ExportJson(registry);
   return result;
 }
 
@@ -97,11 +112,12 @@ void PrintScenario(const ScenarioResult& r, bool last) {
   std::printf(
       "    {\"name\": \"%s\", \"queries\": %d, \"p50_us\": %.1f, "
       "\"p99_us\": %.1f, \"fallback_rate\": %.4f, \"unavailable_rate\": "
-      "%.4f, \"rung_counts\": [%d, %d, %d]}%s\n",
+      "%.4f, \"rung_counts\": [%d, %d, %d],\n     \"metrics\": %s}%s\n",
       r.name.c_str(), r.queries, r.p50_us, r.p99_us,
       static_cast<double>(r.degraded) / denominator,
       static_cast<double>(r.unavailable) / denominator, r.rung_counts[0],
-      r.rung_counts[1], r.rung_counts[2], last ? "" : ",");
+      r.rung_counts[1], r.rung_counts[2], r.metrics_json.c_str(),
+      last ? "" : ",");
 }
 
 }  // namespace
@@ -145,6 +161,8 @@ int main() {
 
   std::printf("{\n");
   std::printf("  \"benchmark\": \"micro_serve\",\n");
+  std::printf("  \"obs_enabled\": %s,\n",
+              goalrec::obs::kObsEnabled ? "true" : "false");
   std::printf(
       "  \"workload\": {\"implementations\": %u, \"actions\": %u, "
       "\"implementation_size\": %u},\n",

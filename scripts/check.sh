@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Builds the tree and runs the full test suite under ASan+UBSan
-# (-DGOALREC_SANITIZE=ON). Pass --plain to also run the normal
-# (non-sanitized) build first. See CONTRIBUTING.md.
+# (-DGOALREC_SANITIZE=ON), then the concurrency-relevant tests (src/obs/
+# sharded metrics, trace propagation, engine serving path, thread pool)
+# under ThreadSanitizer (-DGOALREC_TSAN=ON). Pass --plain to also run the
+# normal (non-sanitized) build first. See CONTRIBUTING.md.
 #
 #   scripts/check.sh [--plain] [extra ctest args...]
 set -euo pipefail
@@ -18,6 +20,10 @@ run_suite() {
   cmake -B "$build_dir" -S . "${GENERATOR_ARGS[@]}" "$@" >/dev/null
   cmake --build "$build_dir" -j "$(nproc)"
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "${CTEST_ARGS[@]}"
+}
+
+run_fuzz_smoke() {
+  local build_dir=$1
   # Differential fuzz smoke: optimized strategies vs the naive reference
   # oracle on a fixed seed (~1200 checks, well under 2 s). Exits non-zero —
   # with a shrunk repro file — on any divergence. See docs/testing.md.
@@ -35,8 +41,17 @@ done
 if [[ "$PLAIN" == 1 ]]; then
   echo "=== plain build + ctest (build/) ==="
   run_suite build
+  run_fuzz_smoke build
 fi
 
 echo "=== ASan+UBSan build + ctest (build-asan/) ==="
 run_suite build-asan -DGOALREC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-echo "OK: sanitized test suite green"
+run_fuzz_smoke build-asan
+
+# TSan is mutually exclusive with ASan, so it gets its own tree. The test
+# registration in tests/CMakeLists.txt trims this build to the tests that
+# actually exercise cross-thread state (metric shards, trace activation,
+# pool queues); single-threaded tests add nothing under TSan.
+echo "=== TSan build + ctest (build-tsan/) ==="
+run_suite build-tsan -DGOALREC_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+echo "OK: sanitized test suites green (ASan+UBSan, TSan)"

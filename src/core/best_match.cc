@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/top_k.h"
 
@@ -79,6 +80,9 @@ RecommendationList BestMatchRecommender::RecommendOver(
     const model::Activity& activity, const model::IdSet& goal_space,
     const model::IdSet& candidates, size_t k,
     const util::StopToken* stop) const {
+  obs::ScopedSpan span(obs::CurrentTrace(), "strategy/" + name());
+  span.Annotate("goal_space", goal_space.size());
+  span.Annotate("candidates", candidates.size());
   RecommendationList list;
   if (k == 0) return list;
   if (goal_space.empty()) return list;
@@ -92,7 +96,12 @@ RecommendationList BestMatchRecommender::RecommendOver(
     // higher-score-wins comparator.
     top_k.Push(ScoredAction{a, -distance});
   }
-  return top_k.Take();
+  list = top_k.Take();
+  span.Annotate("emitted", list.size());
+  if (stop != nullptr && stop->StopRequested()) {
+    span.Annotate("stopped_early", true);
+  }
+  return list;
 }
 
 }  // namespace goalrec::core

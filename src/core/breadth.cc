@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/set_ops.h"
 #include "util/top_k.h"
@@ -52,6 +53,7 @@ RecommendationList BreadthRecommender::RecommendInContext(
 RecommendationList BreadthRecommender::RecommendOver(
     const model::Activity& activity, const model::IdSet& impl_space, size_t k,
     const util::StopToken* stop) const {
+  obs::ScopedSpan span(obs::CurrentTrace(), "strategy/" + name());
   RecommendationList list;
   if (k == 0) return list;
   // Algorithm 2: one pass over IS(H); every implementation credits its
@@ -73,7 +75,14 @@ RecommendationList BreadthRecommender::RecommendOver(
     if (score <= 0.0) continue;  // only weight-0 goals contributed
     top_k.Push(ScoredAction{action, score});
   }
-  return top_k.Take();
+  list = top_k.Take();
+  span.Annotate("impl_space", impl_space.size());
+  span.Annotate("actions_scored", scores.size());
+  span.Annotate("emitted", list.size());
+  if (stop != nullptr && stop->StopRequested()) {
+    span.Annotate("stopped_early", true);
+  }
+  return list;
 }
 
 }  // namespace goalrec::core

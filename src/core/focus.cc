@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/set_ops.h"
 
@@ -85,7 +86,16 @@ RecommendationList FocusRecommender::RecommendCancellable(
 
 RecommendationList FocusRecommender::RecommendInContext(
     const QueryContext& context, size_t k) const {
-  return EmitFromRanking(context.activity, RankImplementationsIn(context), k);
+  obs::ScopedSpan span(context.trace, "strategy/" + name());
+  std::vector<RankedImplementation> ranking = RankImplementationsIn(context);
+  RecommendationList list = EmitFromRanking(context.activity, ranking, k);
+  span.Annotate("impl_space", context.impl_space.size());
+  span.Annotate("impls_ranked", ranking.size());
+  span.Annotate("emitted", list.size());
+  if (context.stop != nullptr && context.stop->StopRequested()) {
+    span.Annotate("stopped_early", true);
+  }
+  return list;
 }
 
 RecommendationList FocusRecommender::EmitFromRanking(

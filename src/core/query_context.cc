@@ -1,16 +1,49 @@
 #include "core/query_context.h"
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/set_ops.h"
 
 namespace goalrec::core {
+namespace {
+
+// Candidate-set size distributions: the load-bearing workload descriptors
+// for capacity planning (they bound every strategy's per-query work).
+struct SpaceMetrics {
+  obs::Histogram* impl_space;
+  obs::Histogram* goal_space;
+  obs::Histogram* candidates;
+
+  static const SpaceMetrics& Get() {
+    static const SpaceMetrics metrics = [] {
+      obs::MetricRegistry& registry = obs::MetricRegistry::Default();
+      std::vector<double> bounds = obs::ExponentialBuckets(1.0, 4.0, 12);
+      SpaceMetrics m;
+      m.impl_space = registry.GetHistogram(
+          "goalrec_query_impl_space_size", bounds, {},
+          "|IS(H)| per QueryContext");
+      m.goal_space = registry.GetHistogram(
+          "goalrec_query_goal_space_size", bounds, {},
+          "|GS(H)| per QueryContext");
+      m.candidates = registry.GetHistogram(
+          "goalrec_query_candidates_size", bounds, {},
+          "|AS(H) - H| per QueryContext");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 QueryContext QueryContext::Create(
     const model::ImplementationLibrary& library, model::Activity activity,
     const util::StopToken* stop) {
+  obs::ScopedSpan span(obs::CurrentTrace(), "spaces");
   QueryContext context;
   context.library = &library;
   context.stop = stop;
+  context.trace = obs::CurrentTrace();
   util::Normalize(activity);
   context.activity = std::move(activity);
   context.impl_space = library.ImplementationSpace(context.activity);
@@ -32,6 +65,16 @@ QueryContext QueryContext::Create(
   // (AS(H)'s self-exclusion subtleties only affect members of H, which the
   // difference removes anyway.)
   context.candidates = util::Difference(actions, context.activity);
+  const SpaceMetrics& metrics = SpaceMetrics::Get();
+  metrics.impl_space->Observe(static_cast<double>(context.impl_space.size()));
+  metrics.goal_space->Observe(static_cast<double>(context.goal_space.size()));
+  metrics.candidates->Observe(static_cast<double>(context.candidates.size()));
+  span.Annotate("impl_space", context.impl_space.size());
+  span.Annotate("goal_space", context.goal_space.size());
+  span.Annotate("candidates", context.candidates.size());
+  if (stop != nullptr && stop->StopRequested()) {
+    span.Annotate("stopped_early", true);
+  }
   return context;
 }
 

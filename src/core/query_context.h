@@ -3,6 +3,7 @@
 
 #include "model/library.h"
 #include "model/types.h"
+#include "obs/trace.h"
 #include "util/deadline.h"
 
 // Shared per-query state. All four goal-based strategies start from the same
@@ -34,11 +35,18 @@ struct QueryContext {
   /// stop->StopRequested() before trusting a result (the serving engine
   /// discards such answers and falls down its degradation ladder).
   const util::StopToken* stop = nullptr;
+  /// Per-query trace of the sampled query this context belongs to, or null
+  /// (the overwhelmingly common case). Captured from obs::CurrentTrace() by
+  /// Create — the serving engine activates the trace around each rung — so
+  /// the strategies can annotate spans without a new parameter on every
+  /// signature. Not owned; must outlive the context.
+  obs::Trace* trace = nullptr;
 
   /// Computes all three spaces. `library` must outlive the context. `stop`,
   /// when given, is stored on the context and also polled while the spaces
   /// themselves are being built (space construction is O(|IS(H)|) and counts
-  /// against the query's budget).
+  /// against the query's budget). When a trace is active on this thread,
+  /// records a "spaces" span with |IS(H)|, |GS(H)| and |AS(H)−H|.
   static QueryContext Create(const model::ImplementationLibrary& library,
                              model::Activity activity,
                              const util::StopToken* stop = nullptr);

@@ -1,14 +1,47 @@
 #include "data/loaders.h"
 
+#include <chrono>
 #include <unordered_map>
 
 #include "model/vocabulary.h"
+#include "obs/metrics.h"
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/set_ops.h"
 
 namespace goalrec::data {
+namespace {
 
-util::StatusOr<std::vector<model::Activity>> LoadActivitiesCsv(
+// Same attempt-level accounting as model/library_io.cc, keyed by dataset
+// kind. Startup-path code: per-call registry lookups are fine.
+template <typename Fn>
+auto InstrumentedLoad(const char* kind, const std::string& path, Fn fn)
+    -> decltype(fn()) {
+  obs::MetricRegistry& registry = obs::MetricRegistry::Default();
+  auto start = std::chrono::steady_clock::now();
+  auto result = fn();
+  double elapsed_us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  registry
+      .GetHistogram("goalrec_dataset_load_latency_us",
+                    obs::DefaultLatencyBucketsUs(), {{"kind", kind}},
+                    "Dataset load attempt latency (microseconds)")
+      ->Observe(elapsed_us);
+  registry
+      .GetCounter("goalrec_dataset_load_total",
+                  {{"kind", kind}, {"result", result.ok() ? "ok" : "error"}},
+                  "Dataset load attempts, by kind and result")
+      ->Increment();
+  if (!result.ok()) {
+    GOALREC_LOG(WARN) << "dataset load failed" << util::Kv("kind", kind)
+                      << util::Kv("path", path)
+                      << util::Kv("status", result.status().ToString());
+  }
+  return result;
+}
+
+util::StatusOr<std::vector<model::Activity>> LoadActivitiesCsvImpl(
     const std::string& path, const model::Vocabulary& actions) {
   util::StatusOr<std::vector<util::CsvRow>> rows = util::ReadCsvFile(path);
   if (!rows.ok()) return rows.status();
@@ -33,6 +66,15 @@ util::StatusOr<std::vector<model::Activity>> LoadActivitiesCsv(
   return activities;
 }
 
+}  // namespace
+
+util::StatusOr<std::vector<model::Activity>> LoadActivitiesCsv(
+    const std::string& path, const model::Vocabulary& actions) {
+  return InstrumentedLoad("activities", path, [&] {
+    return LoadActivitiesCsvImpl(path, actions);
+  });
+}
+
 util::Status SaveActivitiesCsv(const std::string& path,
                                const std::vector<model::Activity>& activities,
                                const model::Vocabulary& actions) {
@@ -45,7 +87,9 @@ util::Status SaveActivitiesCsv(const std::string& path,
   return util::WriteCsvFile(path, rows);
 }
 
-util::StatusOr<model::ActionFeatureTable> LoadFeaturesCsv(
+namespace {
+
+util::StatusOr<model::ActionFeatureTable> LoadFeaturesCsvImpl(
     const std::string& path, const model::Vocabulary& actions) {
   util::StatusOr<std::vector<util::CsvRow>> rows = util::ReadCsvFile(path);
   if (!rows.ok()) return rows.status();
@@ -68,6 +112,15 @@ util::StatusOr<model::ActionFeatureTable> LoadFeaturesCsv(
   for (model::IdSet& f : table.features) util::Normalize(f);
   table.num_features = feature_names.size();
   return table;
+}
+
+}  // namespace
+
+util::StatusOr<model::ActionFeatureTable> LoadFeaturesCsv(
+    const std::string& path, const model::Vocabulary& actions) {
+  return InstrumentedLoad("features", path, [&] {
+    return LoadFeaturesCsvImpl(path, actions);
+  });
 }
 
 util::StatusOr<std::vector<model::Activity>> LoadActivitiesCsv(

@@ -1,14 +1,47 @@
 #include "model/library_io.h"
 
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "util/logging.h"
 #include "util/string_utils.h"
 
 namespace goalrec::model {
 namespace {
+
+// Counts each load attempt by format/result and times it. Loads happen at
+// startup, not per query, so the mutex-guarded registry lookups per call are
+// acceptable here (unlike the serving hot path, which caches handles).
+template <typename Fn>
+auto InstrumentedLoad(const char* format, const std::string& path, Fn fn)
+    -> decltype(fn()) {
+  obs::MetricRegistry& registry = obs::MetricRegistry::Default();
+  auto start = std::chrono::steady_clock::now();
+  auto result = fn();
+  double elapsed_us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  registry
+      .GetHistogram("goalrec_library_load_latency_us",
+                    obs::DefaultLatencyBucketsUs(), {{"format", format}},
+                    "Library load attempt latency (microseconds)")
+      ->Observe(elapsed_us);
+  registry
+      .GetCounter("goalrec_library_load_total",
+                  {{"format", format}, {"result", result.ok() ? "ok" : "error"}},
+                  "Library load attempts, by format and result")
+      ->Increment();
+  if (!result.ok()) {
+    GOALREC_LOG(WARN) << "library load failed" << util::Kv("format", format)
+                      << util::Kv("path", path)
+                      << util::Kv("status", result.status().ToString());
+  }
+  return result;
+}
 
 constexpr char kTextHeader[] = "# goalrec-library v1";
 constexpr uint32_t kBinaryMagic = 0x47524C31;  // "GRL1"
@@ -54,7 +87,9 @@ util::Status SaveLibraryText(const ImplementationLibrary& library,
   return util::Status::Ok();
 }
 
-util::StatusOr<ImplementationLibrary> LoadLibraryText(
+namespace {
+
+util::StatusOr<ImplementationLibrary> LoadLibraryTextImpl(
     const std::string& path) {
   std::ifstream in(path);
   if (!in) return util::IoError("cannot open " + path);
@@ -81,6 +116,14 @@ util::StatusOr<ImplementationLibrary> LoadLibraryText(
   return std::move(builder).Build();
 }
 
+}  // namespace
+
+util::StatusOr<ImplementationLibrary> LoadLibraryText(
+    const std::string& path) {
+  return InstrumentedLoad("text", path,
+                          [&] { return LoadLibraryTextImpl(path); });
+}
+
 util::Status SaveLibraryBinary(const ImplementationLibrary& library,
                                const std::string& path) {
   std::ofstream out(path, std::ios::binary);
@@ -105,7 +148,9 @@ util::Status SaveLibraryBinary(const ImplementationLibrary& library,
   return util::Status::Ok();
 }
 
-util::StatusOr<ImplementationLibrary> LoadLibraryBinary(
+namespace {
+
+util::StatusOr<ImplementationLibrary> LoadLibraryBinaryImpl(
     const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return util::IoError("cannot open " + path);
@@ -160,6 +205,14 @@ util::StatusOr<ImplementationLibrary> LoadLibraryBinary(
     builder.AddImplementationIds(goal, std::move(actions));
   }
   return std::move(builder).Build();
+}
+
+}  // namespace
+
+util::StatusOr<ImplementationLibrary> LoadLibraryBinary(
+    const std::string& path) {
+  return InstrumentedLoad("binary", path,
+                          [&] { return LoadLibraryBinaryImpl(path); });
 }
 
 util::StatusOr<ImplementationLibrary> LoadLibraryText(

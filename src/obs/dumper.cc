@@ -1,0 +1,73 @@
+#include "obs/dumper.h"
+
+#include <cstdio>
+
+#include "obs/export.h"
+#include "util/logging.h"
+
+namespace goalrec::obs {
+
+PeriodicDumper::PeriodicDumper(const MetricRegistry* registry,
+                               std::string path, Options options)
+    : registry_(registry), path_(std::move(path)), options_(options) {
+  GOALREC_CHECK(registry_ != nullptr);
+  GOALREC_CHECK(options_.interval.count() > 0);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+PeriodicDumper::~PeriodicDumper() {
+  Stop();
+  thread_.join();
+  DumpNow();
+}
+
+void PeriodicDumper::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+}
+
+size_t PeriodicDumper::dumps() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dumps_;
+}
+
+bool PeriodicDumper::DumpNow() {
+  std::string contents = options_.format == Format::kJson
+                             ? ExportJson(*registry_)
+                             : ExportPrometheus(*registry_);
+  bool ok;
+  if (path_ == "-") {
+    ok = WriteSnapshotFile(path_, contents);
+  } else {
+    // Write-then-rename so readers never observe a truncated snapshot.
+    std::string tmp = path_ + ".tmp";
+    ok = WriteSnapshotFile(tmp, contents) &&
+         std::rename(tmp.c_str(), path_.c_str()) == 0;
+    if (!ok) {
+      GOALREC_LOG(ERROR) << "metrics dump failed"
+                         << goalrec::util::Kv("path", path_);
+    }
+  }
+  if (ok) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++dumps_;
+  }
+  return ok;
+}
+
+void PeriodicDumper::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    if (wake_.wait_for(lock, options_.interval, [this] { return stop_; })) {
+      return;
+    }
+    lock.unlock();
+    DumpNow();
+    lock.lock();
+  }
+}
+
+}  // namespace goalrec::obs

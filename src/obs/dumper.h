@@ -1,0 +1,68 @@
+#ifndef GOALREC_OBS_DUMPER_H_
+#define GOALREC_OBS_DUMPER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+// Background metrics flushing. A PeriodicDumper snapshots a registry every
+// `interval` and rewrites one output file (Prometheus text or JSON), giving
+// long-running commands a monitorable side-channel without wiring an HTTP
+// scrape endpoint into a batch tool. The write is atomic-rename'd
+// (path.tmp -> path) so a concurrent reader never sees a half-written file.
+
+namespace goalrec::obs {
+
+enum class DumpFormat { kPrometheus, kJson };
+
+struct DumperOptions {
+  std::chrono::milliseconds interval{1000};
+  DumpFormat format = DumpFormat::kPrometheus;
+};
+
+class PeriodicDumper {
+ public:
+  using Options = DumperOptions;
+  using Format = DumpFormat;
+
+  /// Starts the dump thread. `registry` must outlive the dumper; `path` is
+  /// rewritten in place each interval ("-" appends snapshots to stdout,
+  /// which is only sensible for debugging).
+  PeriodicDumper(const MetricRegistry* registry, std::string path,
+                 Options options = {});
+  PeriodicDumper(const PeriodicDumper&) = delete;
+  PeriodicDumper& operator=(const PeriodicDumper&) = delete;
+
+  /// Stops the thread after writing one final snapshot.
+  ~PeriodicDumper();
+
+  /// Synchronously writes one snapshot now. Also called on every tick and
+  /// at destruction. Returns false when the write failed.
+  bool DumpNow();
+
+  /// Stops the ticker early (idempotent); the destructor still writes the
+  /// final snapshot.
+  void Stop();
+
+  size_t dumps() const;
+
+ private:
+  void Loop();
+
+  const MetricRegistry* registry_;
+  std::string path_;
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+  size_t dumps_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace goalrec::obs
+
+#endif  // GOALREC_OBS_DUMPER_H_

@@ -1,0 +1,244 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace goalrec::obs {
+namespace {
+
+// Shortest round-trippable-enough rendering: integers print bare
+// ("1024"), fractions keep up to 12 significant digits ("0.5").
+std::string FormatNumber(double value) {
+  char buffer[40];
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      value > -1e15 && value < 1e15) {
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  }
+  return buffer;
+}
+
+void AppendEscaped(std::string& out, const std::string& value) {
+  for (char c : value) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+}
+
+// {k1="v1",k2="v2"} with `extra` appended last (used for le="...").
+// Empty label sets with no extra render as nothing.
+std::string PrometheusLabels(const LabelSet& labels,
+                             const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    AppendEscaped(out, value);
+    out += '"';
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+void AppendJsonString(std::string& out, const std::string& value) {
+  out += '"';
+  AppendEscaped(out, value);
+  out += '"';
+}
+
+void AppendJsonLabels(std::string& out, const LabelSet& labels) {
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, key);
+    out += ':';
+    AppendJsonString(out, value);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const RegistrySnapshot& snapshot) {
+  std::string out;
+  const std::string* previous_name = nullptr;
+  for (const MetricSnapshot& metric : snapshot.metrics) {
+    if (previous_name == nullptr || *previous_name != metric.name) {
+      if (!metric.help.empty()) {
+        out += "# HELP " + metric.name + " " + metric.help + "\n";
+      }
+      out += "# TYPE " + metric.name + " ";
+      out += MetricTypeToString(metric.type);
+      out += '\n';
+    }
+    previous_name = &metric.name;
+    if (metric.type == MetricType::kHistogram) {
+      const HistogramSnapshot& h = metric.histogram;
+      int64_t cumulative = 0;
+      for (size_t i = 0; i < h.counts.size(); ++i) {
+        cumulative += h.counts[i];
+        std::string le = i < h.bounds.size()
+                             ? "le=\"" + FormatNumber(h.bounds[i]) + "\""
+                             : std::string("le=\"+Inf\"");
+        out += metric.name + "_bucket" + PrometheusLabels(metric.labels, le) +
+               " " + std::to_string(cumulative) + "\n";
+      }
+      out += metric.name + "_sum" + PrometheusLabels(metric.labels) + " " +
+             FormatNumber(h.sum) + "\n";
+      out += metric.name + "_count" + PrometheusLabels(metric.labels) + " " +
+             std::to_string(h.count) + "\n";
+    } else {
+      out += metric.name + PrometheusLabels(metric.labels) + " " +
+             std::to_string(metric.value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string ExportPrometheus(const MetricRegistry& registry) {
+  return ExportPrometheus(registry.Snapshot());
+}
+
+std::string ExportJson(const RegistrySnapshot& snapshot) {
+  std::string out = "{\"metrics\":[";
+  bool first_metric = true;
+  for (const MetricSnapshot& metric : snapshot.metrics) {
+    if (!first_metric) out += ',';
+    first_metric = false;
+    out += "{\"name\":";
+    AppendJsonString(out, metric.name);
+    out += ",\"type\":\"";
+    out += MetricTypeToString(metric.type);
+    out += "\",\"labels\":";
+    AppendJsonLabels(out, metric.labels);
+    if (metric.type == MetricType::kHistogram) {
+      const HistogramSnapshot& h = metric.histogram;
+      out += ",\"count\":" + std::to_string(h.count);
+      out += ",\"sum\":" + FormatNumber(h.sum);
+      out += ",\"buckets\":[";
+      for (size_t i = 0; i < h.counts.size(); ++i) {
+        if (i > 0) out += ',';
+        out += "{\"le\":";
+        if (i < h.bounds.size()) {
+          out += FormatNumber(h.bounds[i]);
+        } else {
+          out += "\"+Inf\"";
+        }
+        out += ",\"count\":" + std::to_string(h.counts[i]) + "}";
+      }
+      out += ']';
+    } else {
+      out += ",\"value\":" + std::to_string(metric.value);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ExportJson(const MetricRegistry& registry) {
+  return ExportJson(registry.Snapshot());
+}
+
+std::string TraceToJson(const Trace& trace) {
+  std::string out = "{\"trace\":";
+  AppendJsonString(out, trace.name());
+  out += ",\"spans\":[";
+  const std::vector<TraceSpan>& spans = trace.spans();
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& span = spans[i];
+    if (i > 0) out += ',';
+    out += "{\"id\":" + std::to_string(i);
+    out += ",\"parent\":";
+    out += span.parent == TraceSpan::kNoParent ? "null"
+                                               : std::to_string(span.parent);
+    out += ",\"name\":";
+    AppendJsonString(out, span.name);
+    out += ",\"start_ns\":" + std::to_string(span.start_ns);
+    out += ",\"duration_ns\":" + std::to_string(span.duration_ns());
+    out += ",\"annotations\":{";
+    bool first_annotation = true;
+    for (const Annotation& annotation : span.annotations) {
+      if (!first_annotation) out += ',';
+      first_annotation = false;
+      AppendJsonString(out, annotation.key);
+      out += ':';
+      if (annotation.kind == Annotation::Kind::kString) {
+        AppendJsonString(out, annotation.value);
+      } else {
+        out += annotation.value;
+      }
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string FormatTrace(const Trace& trace) {
+  const std::vector<TraceSpan>& spans = trace.spans();
+  // Depth of each span via its (always earlier) parent.
+  std::vector<size_t> depth(spans.size(), 0);
+  std::string out;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& span = spans[i];
+    if (span.parent != TraceSpan::kNoParent) depth[i] = depth[span.parent] + 1;
+    out.append(2 * depth[i], ' ');
+    out += span.name;
+    char timing[48];
+    if (span.end_ns >= 0) {
+      std::snprintf(timing, sizeof(timing), "  %.3fms",
+                    static_cast<double>(span.duration_ns()) / 1e6);
+    } else {
+      std::snprintf(timing, sizeof(timing), "  (open)");
+    }
+    out += timing;
+    for (const Annotation& annotation : span.annotations) {
+      out += "  " + annotation.key + "=" + annotation.value;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool WriteSnapshotFile(const std::string& path, const std::string& contents) {
+  if (path == "-") {
+    std::fwrite(contents.data(), 1, contents.size(), stdout);
+    return true;
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    GOALREC_LOG(ERROR) << "cannot open snapshot file"
+                       << goalrec::util::Kv("path", path);
+    return false;
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  bool ok = written == contents.size() && std::fclose(file) == 0;
+  if (!ok) {
+    GOALREC_LOG(ERROR) << "short write on snapshot file"
+                       << goalrec::util::Kv("path", path);
+  }
+  return ok;
+}
+
+}  // namespace goalrec::obs

@@ -1,0 +1,197 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace goalrec::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  GOALREC_CHECK(!bounds_.empty()) << "a histogram needs at least one bound";
+  GOALREC_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+  GOALREC_CHECK(std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                bounds_.end())
+      << "histogram bounds must be distinct";
+  for (Shard& shard : shards_) {
+    shard.buckets =
+        std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+    for (size_t i = 0; i <= bounds_.size(); ++i) shard.buckets[i] = 0;
+  }
+}
+
+void Histogram::Observe(double value) {
+  if constexpr (!kObsEnabled) return;
+  // First bucket whose upper bound admits the value; past the last bound
+  // the observation lands in the implicit +Inf bucket.
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  Shard& shard = shards_[internal::ShardIndex()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      snapshot.counts[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    snapshot.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (int64_t c : snapshot.counts) snapshot.count += c;
+  return snapshot;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count) {
+  GOALREC_CHECK(start > 0.0 && factor > 1.0 && count >= 1);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LinearBuckets(double start, double width, size_t count) {
+  GOALREC_CHECK(width > 0.0 && count >= 1);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(start + width * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+std::vector<double> DefaultLatencyBucketsUs() {
+  // 1us .. ~16.8s in powers of two: covers a sub-microsecond popularity
+  // lookup through a multi-second degraded query with 25 buckets.
+  return ExponentialBuckets(1.0, 2.0, 25);
+}
+
+const char* MetricTypeToString(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+const MetricSnapshot* RegistrySnapshot::Find(const std::string& name,
+                                             const LabelSet& labels) const {
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (const MetricSnapshot& metric : metrics) {
+    if (metric.name == name && metric.labels == sorted) return &metric;
+  }
+  return nullptr;
+}
+
+MetricRegistry::Family* MetricRegistry::FamilyFor(const std::string& name,
+                                                  MetricType type,
+                                                  const std::string& help) {
+  GOALREC_CHECK(!name.empty());
+  Family& family = families_[name];
+  if (family.instruments.empty()) {
+    family.type = type;
+    family.help = help;
+  } else {
+    GOALREC_CHECK(family.type == type)
+        << "metric '" << name << "' re-registered as a different type";
+  }
+  if (family.help.empty()) family.help = help;
+  return &family;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const LabelSet& labels,
+                                    const std::string& help) {
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family* family = FamilyFor(name, MetricType::kCounter, help);
+  Instrument& instrument = family->instruments[sorted];
+  if (instrument.counter == nullptr) {
+    instrument.counter.reset(new Counter());
+  }
+  return instrument.counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name,
+                                const LabelSet& labels,
+                                const std::string& help) {
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family* family = FamilyFor(name, MetricType::kGauge, help);
+  Instrument& instrument = family->instruments[sorted];
+  if (instrument.gauge == nullptr) {
+    instrument.gauge.reset(new Gauge());
+  }
+  return instrument.gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        std::vector<double> bounds,
+                                        const LabelSet& labels,
+                                        const std::string& help) {
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family* family = FamilyFor(name, MetricType::kHistogram, help);
+  if (family->instruments.empty()) {
+    family->bounds = bounds;
+  } else {
+    GOALREC_CHECK(family->bounds == bounds)
+        << "histogram '" << name << "' re-registered with different bounds";
+  }
+  Instrument& instrument = family->instruments[sorted];
+  if (instrument.histogram == nullptr) {
+    instrument.histogram.reset(new Histogram(std::move(bounds)));
+  }
+  return instrument.histogram.get();
+}
+
+RegistrySnapshot MetricRegistry::Snapshot() const {
+  RegistrySnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, family] : families_) {
+    for (const auto& [labels, instrument] : family.instruments) {
+      MetricSnapshot metric;
+      metric.name = name;
+      metric.help = family.help;
+      metric.type = family.type;
+      metric.labels = labels;
+      switch (family.type) {
+        case MetricType::kCounter:
+          metric.value = instrument.counter->Value();
+          break;
+        case MetricType::kGauge:
+          metric.value = instrument.gauge->Value();
+          break;
+        case MetricType::kHistogram:
+          metric.histogram = instrument.histogram->Snapshot();
+          break;
+      }
+      snapshot.metrics.push_back(std::move(metric));
+    }
+  }
+  return snapshot;
+}
+
+MetricRegistry& MetricRegistry::Default() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+}  // namespace goalrec::obs

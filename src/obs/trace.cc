@@ -1,0 +1,114 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace goalrec::obs {
+namespace {
+
+thread_local Trace* g_current_trace = nullptr;
+
+std::string FormatDoubleValue(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
+Trace::Trace(std::string name)
+    : name_(std::move(name)), epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t Trace::ElapsedNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+size_t Trace::StartSpan(std::string_view name) {
+  TraceSpan span;
+  span.name = std::string(name);
+  span.start_ns = ElapsedNs();
+  span.parent = open_stack_.empty() ? TraceSpan::kNoParent : open_stack_.back();
+  spans_.push_back(std::move(span));
+  size_t id = spans_.size() - 1;
+  open_stack_.push_back(id);
+  return id;
+}
+
+void Trace::EndSpan(size_t id) {
+  GOALREC_CHECK(id < spans_.size());
+  if (spans_[id].end_ns >= 0) return;  // idempotent close
+  GOALREC_CHECK(!open_stack_.empty() && open_stack_.back() == id)
+      << "spans must close innermost-first; open span "
+      << spans_[open_stack_.back()].name << " while closing "
+      << spans_[id].name;
+  spans_[id].end_ns = ElapsedNs();
+  open_stack_.pop_back();
+}
+
+void Trace::Annotate(size_t span_id, std::string_view key,
+                     std::string_view value) {
+  GOALREC_CHECK(span_id < spans_.size());
+  spans_[span_id].annotations.push_back(Annotation{
+      std::string(key), std::string(value), Annotation::Kind::kString});
+}
+
+void Trace::Annotate(size_t span_id, std::string_view key, const char* value) {
+  Annotate(span_id, key, std::string_view(value));
+}
+
+void Trace::Annotate(size_t span_id, std::string_view key, int64_t value) {
+  GOALREC_CHECK(span_id < spans_.size());
+  spans_[span_id].annotations.push_back(Annotation{
+      std::string(key), std::to_string(value), Annotation::Kind::kInt});
+}
+
+void Trace::Annotate(size_t span_id, std::string_view key, uint64_t value) {
+  Annotate(span_id, key, static_cast<int64_t>(value));
+}
+
+void Trace::Annotate(size_t span_id, std::string_view key, double value) {
+  GOALREC_CHECK(span_id < spans_.size());
+  spans_[span_id].annotations.push_back(Annotation{
+      std::string(key), FormatDoubleValue(value), Annotation::Kind::kDouble});
+}
+
+void Trace::Annotate(size_t span_id, std::string_view key, bool value) {
+  GOALREC_CHECK(span_id < spans_.size());
+  spans_[span_id].annotations.push_back(Annotation{
+      std::string(key), value ? "true" : "false", Annotation::Kind::kBool});
+}
+
+Trace* CurrentTrace() { return g_current_trace; }
+
+ScopedTraceActivation::ScopedTraceActivation(Trace* trace)
+    : previous_(g_current_trace) {
+  g_current_trace = trace;
+}
+
+ScopedTraceActivation::~ScopedTraceActivation() {
+  g_current_trace = previous_;
+}
+
+TraceSampler::TraceSampler(double rate) : rate_(rate) {
+  if (!(rate > 0.0)) {
+    period_ = 0;
+  } else if (rate >= 1.0) {
+    period_ = 1;
+  } else {
+    period_ = static_cast<uint64_t>(std::llround(1.0 / rate));
+    if (period_ == 0) period_ = 1;
+  }
+}
+
+bool TraceSampler::Sample() {
+  if (period_ == 0) return false;
+  if (period_ == 1) return true;
+  uint64_t n = calls_.fetch_add(1, std::memory_order_relaxed);
+  return n % period_ == 0;
+}
+
+}  // namespace goalrec::obs

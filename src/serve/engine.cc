@@ -41,18 +41,93 @@ const char* RungOutcomeToString(RungOutcome outcome) {
   return "UNKNOWN";
 }
 
+const char* RungOutcomeLabel(RungOutcome outcome) {
+  switch (outcome) {
+    case RungOutcome::kServed:
+      return "served";
+    case RungOutcome::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case RungOutcome::kError:
+      return "error";
+    case RungOutcome::kEmpty:
+      return "empty";
+  }
+  return "unknown";
+}
+
 ServingEngine::ServingEngine(std::vector<Rung> rungs, EngineOptions options)
-    : rungs_(std::move(rungs)), options_(options) {
+    : rungs_(std::move(rungs)),
+      options_(std::move(options)),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : &obs::MetricRegistry::Default()),
+      sampler_(options_.trace_sample_rate) {
   GOALREC_CHECK(!rungs_.empty()) << "a serving ladder needs at least one rung";
+  std::vector<double> latency_bounds = obs::DefaultLatencyBucketsUs();
+  queries_ = metrics_->GetCounter("goalrec_serve_queries_total", {},
+                                  "Serve calls, any outcome");
+  degraded_ = metrics_->GetCounter(
+      "goalrec_serve_degraded_total", {},
+      "Queries answered by a rung below the ladder's best");
+  unavailable_ = metrics_->GetCounter(
+      "goalrec_serve_unavailable_total", {},
+      "Queries where every rung failed (kUnavailable)");
+  cancelled_ = metrics_->GetCounter("goalrec_serve_cancelled_total", {},
+                                    "Queries aborted by caller cancellation");
+  latency_us_ =
+      metrics_->GetHistogram("goalrec_serve_latency_us", latency_bounds, {},
+                             "End-to-end Serve latency (microseconds)");
+  fault_errors_ =
+      metrics_->GetCounter("goalrec_faults_injected_total",
+                           {{"kind", "error"}}, "Injected faults, by kind");
+  fault_delays_ =
+      metrics_->GetCounter("goalrec_faults_injected_total",
+                           {{"kind", "delay"}}, "Injected faults, by kind");
+  rung_metrics_.reserve(rungs_.size());
   for (const Rung& rung : rungs_) {
     GOALREC_CHECK(rung.recommender != nullptr);
+    RungMetrics rm;
+    for (size_t o = 0; o < 4; ++o) {
+      rm.outcome[o] = metrics_->GetCounter(
+          "goalrec_serve_rung_attempts_total",
+          {{"rung", rung.name},
+           {"outcome", RungOutcomeLabel(static_cast<RungOutcome>(o))}},
+          "Rung attempts, by rung and outcome");
+    }
+    rm.latency_us = metrics_->GetHistogram(
+        "goalrec_serve_rung_latency_us", latency_bounds, {{"rung", rung.name}},
+        "Per-rung attempt latency (microseconds)");
+    rung_metrics_.push_back(rm);
   }
 }
 
 util::StatusOr<ServeResult> ServingEngine::Serve(
     const model::Activity& activity, size_t k,
     util::CancellationToken cancel) const {
+  // Sampling decision and trace lifetime live out here so ServeInternal's
+  // early returns cannot leak a trace with open spans into the sink.
+  std::shared_ptr<obs::Trace> trace;
+  if (sampler_.Sample()) trace = std::make_shared<obs::Trace>("serve");
+  util::StatusOr<ServeResult> result =
+      ServeInternal(activity, k, std::move(cancel), trace.get());
+  if (trace != nullptr) {
+    if (result.ok()) result.value().trace = trace;
+    if (options_.trace_sink) options_.trace_sink(*trace);
+  }
+  return result;
+}
+
+util::StatusOr<ServeResult> ServingEngine::ServeInternal(
+    const model::Activity& activity, size_t k, util::CancellationToken cancel,
+    obs::Trace* trace) const {
   Clock::time_point query_start = Clock::now();
+  queries_->Increment();
+  // Activate the trace for the whole query: QueryContext::Create and the
+  // strategies pick it up through obs::CurrentTrace().
+  obs::ScopedTraceActivation activation(trace);
+  obs::ScopedSpan serve_span(trace, "serve");
+  serve_span.Annotate("k", k);
+  serve_span.Annotate("activity_size", activity.size());
+  serve_span.Annotate("deadline_ms", options_.deadline_ms);
   util::Deadline deadline = options_.deadline_ms > 0
                                 ? util::Deadline::AfterMillis(options_.deadline_ms)
                                 : util::Deadline::Infinite();
@@ -60,31 +135,62 @@ util::StatusOr<ServeResult> ServingEngine::Serve(
   result.num_rungs = rungs_.size();
   for (size_t i = 0; i < rungs_.size(); ++i) {
     const Rung& rung = rungs_[i];
+    const RungMetrics& rm = rung_metrics_[i];
     const bool is_last = i + 1 == rungs_.size();
     Clock::time_point rung_start = Clock::now();
+    obs::ScopedSpan rung_span(trace, "rung/" + rung.name);
+    rung_span.Annotate("index", i);
+    if (!deadline.is_infinite()) {
+      rung_span.Annotate("deadline_slack_us",
+                         std::chrono::duration_cast<std::chrono::microseconds>(
+                             deadline.Remaining())
+                             .count());
+    }
     RungReport report;
     report.name = rung.name;
+    // Records the rung's outcome everywhere it is visible: the audit report,
+    // the per-rung counters/latency histogram, and the rung span.
+    auto finish_rung = [&](RungOutcome outcome) {
+      report.outcome = outcome;
+      rm.outcome[static_cast<size_t>(outcome)]->Increment();
+      rm.latency_us->Observe(
+          static_cast<double>(report.latency.count()) / 1e3);
+      rung_span.Annotate("outcome", RungOutcomeLabel(outcome));
+      result.rungs.push_back(std::move(report));
+    };
 
     if (cancel.Cancelled()) {
+      cancelled_->Increment();
+      latency_us_->Observe(
+          static_cast<double>((Clock::now() - query_start).count()) / 1e3);
+      rung_span.Annotate("outcome", "cancelled");
+      serve_span.Annotate("outcome", "cancelled");
       return util::CancelledError("query cancelled before rung '" +
                                   rung.name + "'");
     }
     if (options_.faults != nullptr) {
       util::Status injected = options_.faults->MaybeFail("rung/" + rung.name);
       if (!injected.ok()) {
-        report.outcome = RungOutcome::kError;
+        fault_errors_->Increment();
+        rung_span.Annotate("injected_fault", "error");
+        rung_span.Annotate("status", injected.ToString());
         report.status = injected;
         report.latency = Clock::now() - rung_start;
-        result.rungs.push_back(std::move(report));
+        finish_rung(RungOutcome::kError);
         continue;
       }
-      SleepInjectedDelay(options_.faults->MaybeDelay("rung/" + rung.name),
-                         deadline);
+      std::chrono::milliseconds delay =
+          options_.faults->MaybeDelay("rung/" + rung.name);
+      if (delay.count() > 0) {
+        fault_delays_->Increment();
+        rung_span.Annotate("injected_fault", "delay");
+        rung_span.Annotate("injected_delay_ms", delay.count());
+      }
+      SleepInjectedDelay(delay, deadline);
     }
     if (!is_last && deadline.Expired()) {
-      report.outcome = RungOutcome::kDeadlineExceeded;
       report.latency = Clock::now() - rung_start;
-      result.rungs.push_back(std::move(report));
+      finish_rung(RungOutcome::kDeadlineExceeded);
       continue;
     }
 
@@ -97,37 +203,52 @@ util::StatusOr<ServeResult> ServingEngine::Serve(
     report.latency = Clock::now() - rung_start;
 
     if (cancel.Cancelled()) {
+      cancelled_->Increment();
+      latency_us_->Observe(
+          static_cast<double>((Clock::now() - query_start).count()) / 1e3);
+      rung_span.Annotate("outcome", "cancelled");
+      serve_span.Annotate("outcome", "cancelled");
       return util::CancelledError("query cancelled in rung '" + rung.name +
                                   "'");
     }
     if (!is_last && stop.StopRequested()) {
       // The budget fired mid-rung: the list is a partial answer; discard it
       // and degrade.
-      report.outcome = RungOutcome::kDeadlineExceeded;
-      result.rungs.push_back(std::move(report));
+      finish_rung(RungOutcome::kDeadlineExceeded);
       continue;
     }
     if (list.empty() && !is_last) {
-      report.outcome = RungOutcome::kEmpty;
-      result.rungs.push_back(std::move(report));
+      finish_rung(RungOutcome::kEmpty);
       continue;
     }
 
-    report.outcome = RungOutcome::kServed;
-    result.rungs.push_back(std::move(report));
+    finish_rung(RungOutcome::kServed);
     result.list = std::move(list);
     result.rung_index = i;
     result.rung_name = rung.name;
     result.degraded = i > 0;
     result.latency = Clock::now() - query_start;
+    if (result.degraded) degraded_->Increment();
+    latency_us_->Observe(static_cast<double>(result.latency.count()) / 1e3);
+    serve_span.Annotate("outcome", "served");
+    serve_span.Annotate("rung", rung.name);
+    serve_span.Annotate("rung_index", i);
+    serve_span.Annotate("degraded", result.degraded);
     return result;
   }
   // Only reachable when the final rung itself failed (injected fault).
+  unavailable_->Increment();
+  latency_us_->Observe(
+      static_cast<double>((Clock::now() - query_start).count()) / 1e3);
+  serve_span.Annotate("outcome", "unavailable");
   std::string detail;
   for (const RungReport& report : result.rungs) {
     if (!detail.empty()) detail += "; ";
     detail += report.name + ": " + RungOutcomeToString(report.outcome);
   }
+  GOALREC_LOG(WARN) << "all serving rungs failed"
+                    << util::Kv("rungs", rungs_.size())
+                    << util::Kv("detail", detail);
   return util::UnavailableError("all " + std::to_string(rungs_.size()) +
                                 " rungs failed (" + detail + ")");
 }

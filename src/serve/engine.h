@@ -3,11 +3,15 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/recommender.h"
 #include "model/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/fault_injection.h"
 #include "util/deadline.h"
 #include "util/status.h"
@@ -41,6 +45,10 @@ enum class RungOutcome {
 
 const char* RungOutcomeToString(RungOutcome outcome);
 
+/// Lowercase form used as the `outcome` metric label (e.g.
+/// "deadline_exceeded"); RungOutcomeToString is the loud report form.
+const char* RungOutcomeLabel(RungOutcome outcome);
+
 /// Per-rung audit record of one Serve call.
 struct RungReport {
   std::string name;
@@ -56,6 +64,17 @@ struct EngineOptions {
   /// null). Injected delays are slept (capped at the remaining budget plus
   /// one millisecond) and injected errors fail the rung.
   FaultInjector* faults = nullptr;
+  /// Registry the engine's counters/histograms report into. Null means
+  /// obs::MetricRegistry::Default(); tests pass their own to scrape in
+  /// isolation. Not owned; must outlive the engine.
+  obs::MetricRegistry* metrics = nullptr;
+  /// Fraction of queries that record a full obs::Trace (deterministic head
+  /// sampling; 0 disables tracing, 1 traces everything). Sampled traces are
+  /// attached to the ServeResult and handed to `trace_sink`.
+  double trace_sample_rate = 0.0;
+  /// Invoked with every sampled trace after the query finishes (all spans
+  /// closed), on the serving thread. May be empty.
+  std::function<void(const obs::Trace&)> trace_sink;
 };
 
 struct ServeResult {
@@ -72,6 +91,9 @@ struct ServeResult {
   size_t num_rungs = 0;
   /// End-to-end latency of the Serve call.
   std::chrono::nanoseconds latency{0};
+  /// The query's trace when it was sampled (EngineOptions::trace_sample_rate),
+  /// null otherwise. Shared so callers can keep it past the result.
+  std::shared_ptr<obs::Trace> trace;
 };
 
 class ServingEngine {
@@ -103,8 +125,31 @@ class ServingEngine {
   const EngineOptions& options() const { return options_; }
 
  private:
+  /// Instrument handles resolved once at construction: the per-query path
+  /// touches only relaxed atomics, never the registry mutex.
+  struct RungMetrics {
+    /// Indexed by static_cast<size_t>(RungOutcome).
+    obs::Counter* outcome[4] = {nullptr, nullptr, nullptr, nullptr};
+    obs::Histogram* latency_us = nullptr;
+  };
+
+  util::StatusOr<ServeResult> ServeInternal(const model::Activity& activity,
+                                            size_t k,
+                                            util::CancellationToken cancel,
+                                            obs::Trace* trace) const;
+
   std::vector<Rung> rungs_;
   EngineOptions options_;
+  obs::MetricRegistry* metrics_ = nullptr;
+  std::vector<RungMetrics> rung_metrics_;
+  obs::Counter* queries_ = nullptr;
+  obs::Counter* degraded_ = nullptr;
+  obs::Counter* unavailable_ = nullptr;
+  obs::Counter* cancelled_ = nullptr;
+  obs::Histogram* latency_us_ = nullptr;
+  obs::Counter* fault_errors_ = nullptr;
+  obs::Counter* fault_delays_ = nullptr;
+  mutable obs::TraceSampler sampler_;
 };
 
 /// Renders a ServeResult's audit trail for CLI/log output, e.g.

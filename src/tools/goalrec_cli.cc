@@ -21,6 +21,20 @@
 // --retry_backoff_ms=N and --retry_seed=N: transient I/O errors are retried
 // with decorrelated-jitter backoff before giving up.
 //
+// Observability flags, honoured by every subcommand (docs/observability.md):
+//   --log_level=info|warn|error   minimum severity emitted by GOALREC_LOG
+//   --vlog=N                      GOALREC_VLOG verbosity (default 0)
+//   --metrics_out=<path|->        write a metrics snapshot when the command
+//                                 exits ("-" = stdout)
+//   --metrics_format=prometheus|json
+//   --metrics_every_ms=N          with --metrics_out=<file>, rewrite the
+//                                 snapshot every N ms while the command runs
+//   --trace_sample_rate=R         fraction of engine queries traced (the
+//                                 `recommend` engine path; --trace_out alone
+//                                 implies R=1)
+//   --trace_out=<path|->          where the sampled trace tree is written
+//                                 (default "-")
+//
 //   goalrec spaces <library> --actions=a,b,c
 //       Print the activity's implementation/goal/action spaces (Eq. 1–2).
 //
@@ -41,6 +55,7 @@
 // Library files ending in .bin are read/written in the binary format;
 // anything else uses the text format.
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <optional>
@@ -62,6 +77,9 @@
 #include "model/cooccurrence.h"
 #include "model/export_dot.h"
 #include "model/library_io.h"
+#include "obs/dumper.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "serve/engine.h"
 #include "serve/fault_injection.h"
 #include "serve/popularity_floor.h"
@@ -70,6 +88,7 @@
 #include "model/statistics.h"
 #include "model/validate.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/set_ops.h"
 #include "util/string_utils.h"
 
@@ -148,7 +167,9 @@ int CmdStats(const FlagParser& flags) {
   }
   StatusOr<ImplementationLibrary> library = LoadLibrary(flags, flags.positional()[1]);
   if (!library.ok()) {
-    std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
+    GOALREC_LOG(ERROR) << "library load failed"
+                       << goalrec::util::Kv("status",
+                                            library.status().ToString());
     return 1;
   }
   std::printf("%s", goalrec::model::StatsToString(
@@ -165,13 +186,17 @@ int CmdSpaces(const FlagParser& flags) {
   }
   StatusOr<ImplementationLibrary> library = LoadLibrary(flags, flags.positional()[1]);
   if (!library.ok()) {
-    std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
+    GOALREC_LOG(ERROR) << "library load failed"
+                       << goalrec::util::Kv("status",
+                                            library.status().ToString());
     return 1;
   }
   StatusOr<goalrec::model::Activity> activity =
       ParseActivity(*library, flags.GetString("actions"));
   if (!activity.ok()) {
-    std::fprintf(stderr, "%s\n", activity.status().ToString().c_str());
+    GOALREC_LOG(ERROR) << "bad --actions"
+                       << goalrec::util::Kv("status",
+                                            activity.status().ToString());
     return 1;
   }
   goalrec::model::IdSet impls = library->ImplementationSpace(*activity);
@@ -206,23 +231,29 @@ int CmdRecommend(const FlagParser& flags) {
   }
   StatusOr<ImplementationLibrary> library = LoadLibrary(flags, flags.positional()[1]);
   if (!library.ok()) {
-    std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
+    GOALREC_LOG(ERROR) << "library load failed"
+                       << goalrec::util::Kv("status",
+                                            library.status().ToString());
     return 1;
   }
   StatusOr<goalrec::model::Activity> activity =
       ParseActivity(*library, flags.GetString("actions"));
   if (!activity.ok()) {
-    std::fprintf(stderr, "%s\n", activity.status().ToString().c_str());
+    GOALREC_LOG(ERROR) << "bad --actions"
+                       << goalrec::util::Kv("status",
+                                            activity.status().ToString());
     return 1;
   }
   StatusOr<int64_t> k = flags.GetInt("k", 10);
   if (!k.ok() || *k <= 0) {
-    std::fprintf(stderr, "--k must be a positive integer\n");
+    GOALREC_LOG(ERROR) << "--k must be a positive integer";
     return 2;
   }
   StatusOr<bool> explain = flags.GetBool("explain", false);
   if (!explain.ok()) {
-    std::fprintf(stderr, "%s\n", explain.status().ToString().c_str());
+    GOALREC_LOG(ERROR) << "bad --explain"
+                       << goalrec::util::Kv("status",
+                                            explain.status().ToString());
     return 2;
   }
 
@@ -233,7 +264,7 @@ int CmdRecommend(const FlagParser& flags) {
   } else if (metric_name == "cosine") {
     best_match_options.metric = goalrec::util::DistanceMetric::kCosine;
   } else if (metric_name != "euclidean") {
-    std::fprintf(stderr, "unknown --metric '%s'\n", metric_name.c_str());
+    GOALREC_LOG(ERROR) << "unknown --metric '" << metric_name << "'";
     return 2;
   }
 
@@ -256,13 +287,14 @@ int CmdRecommend(const FlagParser& flags) {
   };
   goalrec::core::Recommender* recommender = resolve(strategy);
   if (recommender == nullptr) {
-    std::fprintf(stderr, "unknown --strategy '%s'\n", strategy.c_str());
+    GOALREC_LOG(ERROR) << "unknown --strategy '" << strategy << "'";
     return 2;
   }
 
   goalrec::core::RecommendationList list;
   bool use_engine = flags.Has("deadline_ms") || flags.Has("fallback_chain") ||
-                    flags.Has("fault_seed");
+                    flags.Has("fault_seed") || flags.Has("trace_sample_rate") ||
+                    flags.Has("trace_out");
   if (use_engine) {
     std::string chain = flags.GetString("fallback_chain");
     if (chain.empty()) chain = strategy + ",popularity";
@@ -272,23 +304,32 @@ int CmdRecommend(const FlagParser& flags) {
       if (name.empty()) continue;
       goalrec::core::Recommender* rung = resolve(name);
       if (rung == nullptr) {
-        std::fprintf(stderr, "unknown rung '%s' in --fallback_chain\n",
-                     name.c_str());
+        GOALREC_LOG(ERROR) << "unknown rung '" << name
+                           << "' in --fallback_chain";
         return 2;
       }
       rungs.push_back({name, rung});
     }
     if (rungs.empty()) {
-      std::fprintf(stderr, "--fallback_chain names no strategies\n");
+      GOALREC_LOG(ERROR) << "--fallback_chain names no strategies";
       return 2;
     }
     goalrec::serve::EngineOptions engine_options;
     StatusOr<int64_t> deadline_ms = flags.GetInt("deadline_ms", 0);
     if (!deadline_ms.ok() || *deadline_ms < 0) {
-      std::fprintf(stderr, "--deadline_ms must be a non-negative integer\n");
+      GOALREC_LOG(ERROR) << "--deadline_ms must be a non-negative integer";
       return 2;
     }
     engine_options.deadline_ms = *deadline_ms;
+    // --trace_out alone means "trace this query": the common one-shot
+    // debugging call should not need two flags.
+    StatusOr<double> sample_rate = flags.GetDouble(
+        "trace_sample_rate", flags.Has("trace_out") ? 1.0 : 0.0);
+    if (!sample_rate.ok() || *sample_rate < 0.0 || *sample_rate > 1.0) {
+      GOALREC_LOG(ERROR) << "--trace_sample_rate must be in [0, 1]";
+      return 2;
+    }
+    engine_options.trace_sample_rate = *sample_rate;
     goalrec::serve::FaultInjectionOptions fault_options;
     std::optional<goalrec::serve::FaultInjector> faults;
     if (flags.Has("fault_seed")) {
@@ -311,10 +352,17 @@ int CmdRecommend(const FlagParser& flags) {
     goalrec::util::StatusOr<goalrec::serve::ServeResult> served =
         engine.Serve(*activity, static_cast<size_t>(*k));
     if (!served.ok()) {
-      std::fprintf(stderr, "%s\n", served.status().ToString().c_str());
+      GOALREC_LOG(ERROR) << "serve failed"
+                         << goalrec::util::Kv("status",
+                                              served.status().ToString());
       return 1;
     }
     std::printf("%s\n", goalrec::serve::FormatServeReport(*served).c_str());
+    if (served->trace != nullptr) {
+      goalrec::obs::WriteSnapshotFile(
+          flags.GetString("trace_out", "-"),
+          goalrec::obs::FormatTrace(*served->trace));
+    }
     list = std::move(served->list);
   } else {
     list = recommender->Recommend(*activity, static_cast<size_t>(*k));
@@ -345,12 +393,15 @@ int CmdConvert(const FlagParser& flags) {
   }
   StatusOr<ImplementationLibrary> library = LoadLibrary(flags, flags.positional()[1]);
   if (!library.ok()) {
-    std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
+    GOALREC_LOG(ERROR) << "library load failed"
+                       << goalrec::util::Kv("status",
+                                            library.status().ToString());
     return 1;
   }
   Status saved = SaveLibrary(*library, flags.positional()[2]);
   if (!saved.ok()) {
-    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    GOALREC_LOG(ERROR) << "library save failed"
+                       << goalrec::util::Kv("status", saved.ToString());
     return 1;
   }
   std::printf("wrote %s (%u implementations)\n",
@@ -369,7 +420,9 @@ int CmdGenerate(const FlagParser& flags) {
   std::string scale = flags.GetString("scale", "small");
   StatusOr<int64_t> seed_flag = flags.GetInt("seed", -1);
   if (!seed_flag.ok()) {
-    std::fprintf(stderr, "%s\n", seed_flag.status().ToString().c_str());
+    GOALREC_LOG(ERROR) << "bad --seed"
+                       << goalrec::util::Kv("status",
+                                            seed_flag.status().ToString());
     return 2;
   }
 
@@ -387,7 +440,7 @@ int CmdGenerate(const FlagParser& flags) {
     if (*seed_flag >= 0) options.seed = static_cast<uint64_t>(*seed_flag);
     dataset = goalrec::data::GenerateFortyThree(options);
   } else {
-    std::fprintf(stderr, "unknown dataset '%s'\n", kind.c_str());
+    GOALREC_LOG(ERROR) << "unknown dataset '" << kind << "'";
     return 2;
   }
 
@@ -395,7 +448,8 @@ int CmdGenerate(const FlagParser& flags) {
   Status lib_status = goalrec::model::SaveLibraryText(
       dataset.library, prefix + ".library.txt");
   if (!lib_status.ok()) {
-    std::fprintf(stderr, "%s\n", lib_status.ToString().c_str());
+    GOALREC_LOG(ERROR) << "library save failed"
+                       << goalrec::util::Kv("status", lib_status.ToString());
     return 1;
   }
   std::vector<goalrec::model::Activity> activities;
@@ -405,7 +459,8 @@ int CmdGenerate(const FlagParser& flags) {
   Status act_status = goalrec::data::SaveActivitiesCsv(
       prefix + ".activities.csv", activities, dataset.library.actions());
   if (!act_status.ok()) {
-    std::fprintf(stderr, "%s\n", act_status.ToString().c_str());
+    GOALREC_LOG(ERROR) << "activities save failed"
+                       << goalrec::util::Kv("status", act_status.ToString());
     return 1;
   }
   std::printf("wrote %s.library.txt and %s.activities.csv\n%s",
@@ -426,12 +481,16 @@ int CmdExtract(const FlagParser& flags) {
   StatusOr<std::vector<goalrec::textmine::HowToDocument>> corpus =
       goalrec::textmine::LoadCorpus(flags.positional()[1]);
   if (!corpus.ok()) {
-    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    GOALREC_LOG(ERROR) << "corpus load failed"
+                       << goalrec::util::Kv("status",
+                                            corpus.status().ToString());
     return 1;
   }
   StatusOr<bool> stem = flags.GetBool("stem", false);
   if (!stem.ok()) {
-    std::fprintf(stderr, "%s\n", stem.status().ToString().c_str());
+    GOALREC_LOG(ERROR) << "bad --stem"
+                       << goalrec::util::Kv("status",
+                                            stem.status().ToString());
     return 2;
   }
   goalrec::textmine::ExtractorOptions options;
@@ -441,7 +500,9 @@ int CmdExtract(const FlagParser& flags) {
     StatusOr<goalrec::textmine::AliasMap> loaded =
         goalrec::textmine::LoadAliasesCsv(flags.GetString("aliases"));
     if (!loaded.ok()) {
-      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      GOALREC_LOG(ERROR) << "alias load failed"
+                         << goalrec::util::Kv("status",
+                                              loaded.status().ToString());
       return 1;
     }
     aliases = std::move(*loaded);
@@ -451,7 +512,8 @@ int CmdExtract(const FlagParser& flags) {
       goalrec::textmine::BuildLibraryFromDocuments(*corpus, options);
   Status saved = SaveLibrary(library, flags.positional()[2]);
   if (!saved.ok()) {
-    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    GOALREC_LOG(ERROR) << "library save failed"
+                       << goalrec::util::Kv("status", saved.ToString());
     return 1;
   }
   std::printf("extracted %zu documents into %s\n%s", corpus->size(),
@@ -470,19 +532,21 @@ int CmdRelated(const FlagParser& flags) {
   }
   StatusOr<ImplementationLibrary> library = LoadLibrary(flags, flags.positional()[1]);
   if (!library.ok()) {
-    std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
+    GOALREC_LOG(ERROR) << "library load failed"
+                       << goalrec::util::Kv("status",
+                                            library.status().ToString());
     return 1;
   }
   std::optional<uint32_t> action =
       library->actions().Find(flags.GetString("action"));
   if (!action.has_value()) {
-    std::fprintf(stderr, "unknown action '%s'\n",
-                 flags.GetString("action").c_str());
+    GOALREC_LOG(ERROR) << "unknown action '" << flags.GetString("action")
+                       << "'";
     return 1;
   }
   StatusOr<int64_t> k = flags.GetInt("k", 10);
   if (!k.ok() || *k <= 0) {
-    std::fprintf(stderr, "--k must be a positive integer\n");
+    GOALREC_LOG(ERROR) << "--k must be a positive integer";
     return 2;
   }
   std::vector<goalrec::model::CoAction> related = goalrec::model::TopCoActions(
@@ -510,7 +574,9 @@ int CmdServe(const FlagParser& flags) {
   }
   StatusOr<ImplementationLibrary> library = LoadLibrary(flags, flags.positional()[1]);
   if (!library.ok()) {
-    std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
+    GOALREC_LOG(ERROR) << "library load failed"
+                       << goalrec::util::Kv("status",
+                                            library.status().ToString());
     return 1;
   }
   std::string strategy_name = flags.GetString("strategy", "breadth");
@@ -524,7 +590,7 @@ int CmdServe(const FlagParser& flags) {
   } else if (strategy_name == "best_match") {
     strategy = &best_match;
   } else if (strategy_name != "breadth") {
-    std::fprintf(stderr, "unknown --strategy '%s'\n", strategy_name.c_str());
+    GOALREC_LOG(ERROR) << "unknown --strategy '" << strategy_name << "'";
     return 2;
   }
   goalrec::core::RecommendationSession session(&*library, strategy);
@@ -595,7 +661,9 @@ int CmdDot(const FlagParser& flags) {
   }
   StatusOr<ImplementationLibrary> library = LoadLibrary(flags, flags.positional()[1]);
   if (!library.ok()) {
-    std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
+    GOALREC_LOG(ERROR) << "library load failed"
+                       << goalrec::util::Kv("status",
+                                            library.status().ToString());
     return 1;
   }
   goalrec::model::DotOptions options;
@@ -606,7 +674,7 @@ int CmdDot(const FlagParser& flags) {
       if (name.empty()) continue;
       std::optional<uint32_t> id = library->goals().Find(name);
       if (!id.has_value()) {
-        std::fprintf(stderr, "unknown goal '%s'\n", name.c_str());
+        GOALREC_LOG(ERROR) << "unknown goal '" << name << "'";
         return 1;
       }
       options.goals.push_back(*id);
@@ -616,7 +684,8 @@ int CmdDot(const FlagParser& flags) {
   Status written = goalrec::model::ExportDot(*library, flags.positional()[2],
                                              options);
   if (!written.ok()) {
-    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    GOALREC_LOG(ERROR) << "dot export failed"
+                       << goalrec::util::Kv("status", written.ToString());
     return 1;
   }
   std::printf("wrote %s\n", flags.positional()[2].c_str());
@@ -632,13 +701,15 @@ int CmdEvaluate(const FlagParser& flags) {
   }
   StatusOr<ImplementationLibrary> library = LoadLibrary(flags, flags.positional()[1]);
   if (!library.ok()) {
-    std::fprintf(stderr, "%s\n", library.status().ToString().c_str());
+    GOALREC_LOG(ERROR) << "library load failed"
+                       << goalrec::util::Kv("status",
+                                            library.status().ToString());
     return 1;
   }
   Status valid = goalrec::model::ValidateLibrary(*library);
   if (!valid.ok()) {
-    std::fprintf(stderr, "library failed validation: %s\n",
-                 valid.ToString().c_str());
+    GOALREC_LOG(ERROR) << "library failed validation"
+                       << goalrec::util::Kv("status", valid.ToString());
     return 1;
   }
   StatusOr<std::vector<goalrec::model::Activity>> activities =
@@ -646,7 +717,9 @@ int CmdEvaluate(const FlagParser& flags) {
                                        library->actions(),
                                        RetryFromFlags(flags));
   if (!activities.ok()) {
-    std::fprintf(stderr, "%s\n", activities.status().ToString().c_str());
+    GOALREC_LOG(ERROR) << "activities load failed"
+                       << goalrec::util::Kv("status",
+                                            activities.status().ToString());
     return 1;
   }
   StatusOr<int64_t> k = flags.GetInt("k", 10);
@@ -654,7 +727,7 @@ int CmdEvaluate(const FlagParser& flags) {
   StatusOr<int64_t> seed = flags.GetInt("seed", 17);
   if (!k.ok() || *k <= 0 || !visible.ok() || *visible <= 0.0 ||
       *visible > 1.0 || !seed.ok()) {
-    std::fprintf(stderr, "invalid --k/--visible/--seed\n");
+    GOALREC_LOG(ERROR) << "invalid --k/--visible/--seed";
     return 2;
   }
 
@@ -706,7 +779,8 @@ int CmdEvaluate(const FlagParser& flags) {
     Status exported = goalrec::eval::ExportReportsCsv(out_dir, dataset, users,
                                                       inputs, results);
     if (!exported.ok()) {
-      std::fprintf(stderr, "%s\n", exported.ToString().c_str());
+      GOALREC_LOG(ERROR) << "report export failed"
+                         << goalrec::util::Kv("status", exported.ToString());
       return 1;
     }
     std::printf("\nwrote CSV reports into %s\n", out_dir.c_str());
@@ -714,14 +788,7 @@ int CmdEvaluate(const FlagParser& flags) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  FlagParser flags(argc, argv);
-  if (flags.positional().empty()) {
-    std::fprintf(stderr, "%s", kUsage);
-    return 2;
-  }
+int Dispatch(const FlagParser& flags) {
   const std::string& command = flags.positional()[0];
   if (command == "stats") return CmdStats(flags);
   if (command == "spaces") return CmdSpaces(flags);
@@ -735,4 +802,68 @@ int main(int argc, char** argv) {
   if (command == "serve") return CmdServe(flags);
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
   return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+
+  // Observability flags apply before and after whichever subcommand runs.
+  goalrec::util::LogLevel level = goalrec::util::LogLevel::kInfo;
+  if (!goalrec::util::ParseLogLevel(flags.GetString("log_level", "info"),
+                                    &level)) {
+    std::fprintf(stderr, "--log_level must be info|warn|error\n");
+    return 2;
+  }
+  goalrec::util::SetMinLogLevel(level);
+  StatusOr<int64_t> vlog = flags.GetInt("vlog", 0);
+  if (!vlog.ok() || *vlog < 0) {
+    std::fprintf(stderr, "--vlog must be a non-negative integer\n");
+    return 2;
+  }
+  goalrec::util::SetVerbosity(static_cast<int>(*vlog));
+
+  std::string metrics_out = flags.GetString("metrics_out");
+  std::string metrics_format = flags.GetString("metrics_format", "prometheus");
+  if (metrics_format != "prometheus" && metrics_format != "json") {
+    std::fprintf(stderr, "--metrics_format must be prometheus|json\n");
+    return 2;
+  }
+  StatusOr<int64_t> every_ms = flags.GetInt("metrics_every_ms", 0);
+  if (!every_ms.ok() || *every_ms < 0) {
+    std::fprintf(stderr, "--metrics_every_ms must be a non-negative integer\n");
+    return 2;
+  }
+
+  goalrec::obs::MetricRegistry& registry = goalrec::obs::MetricRegistry::Default();
+  goalrec::obs::DumperOptions dumper_options;
+  dumper_options.format = metrics_format == "json"
+                              ? goalrec::obs::DumpFormat::kJson
+                              : goalrec::obs::DumpFormat::kPrometheus;
+  // A periodic dumper only makes sense against a real file; with plain
+  // --metrics_out the snapshot is written once, after the command finishes.
+  std::optional<goalrec::obs::PeriodicDumper> dumper;
+  if (!metrics_out.empty() && *every_ms > 0 && metrics_out != "-") {
+    dumper_options.interval = std::chrono::milliseconds(*every_ms);
+    dumper.emplace(&registry, metrics_out, dumper_options);
+  }
+
+  int code = Dispatch(flags);
+
+  if (dumper.has_value()) {
+    dumper.reset();  // joins the ticker and writes the final snapshot
+  } else if (!metrics_out.empty()) {
+    std::string rendered = metrics_format == "json"
+                               ? goalrec::obs::ExportJson(registry)
+                               : goalrec::obs::ExportPrometheus(registry);
+    if (!goalrec::obs::WriteSnapshotFile(metrics_out, rendered) && code == 0) {
+      code = 1;
+    }
+  }
+  return code;
 }

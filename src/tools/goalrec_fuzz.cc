@@ -22,10 +22,17 @@
 #include <string>
 #include <vector>
 
+#include "core/best_match.h"
+#include "core/breadth.h"
+#include "core/focus.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "serve/engine.h"
 #include "testing/differential.h"
 #include "testing/generator.h"
 #include "testing/shrink.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -50,12 +57,63 @@ struct FuzzConfig {
   bool quiet = false;
 };
 
+// Re-runs the shrunk case once through a single-rung ServingEngine with
+// tracing forced on and a private metric registry, and writes the trace tree
+// plus a Prometheus snapshot next to the repro file. The repro reproduces
+// the divergence; the obs snapshot shows what the optimized path actually
+// did (spaces, candidate counts, per-span timings) without re-running under
+// a debugger. Returns the written path, or "" on failure.
+std::string DumpReproObservability(const testing::OracleCase& shrunk,
+                                   testing::OracleStrategy strategy,
+                                   const std::string& repro_path) {
+  core::FocusRecommender focus_cmp(&shrunk.library,
+                                   core::FocusVariant::kCompleteness);
+  core::FocusRecommender focus_cl(&shrunk.library,
+                                  core::FocusVariant::kCloseness);
+  core::BreadthRecommender breadth(&shrunk.library);
+  core::BestMatchRecommender best_match(&shrunk.library);
+  core::Recommender* recommender = nullptr;
+  switch (strategy) {
+    case testing::OracleStrategy::kFocusCompleteness:
+      recommender = &focus_cmp;
+      break;
+    case testing::OracleStrategy::kFocusCloseness:
+      recommender = &focus_cl;
+      break;
+    case testing::OracleStrategy::kBreadth:
+      recommender = &breadth;
+      break;
+    case testing::OracleStrategy::kBestMatch:
+      recommender = &best_match;
+      break;
+  }
+  if (recommender == nullptr) return "";
+  obs::MetricRegistry registry;
+  serve::EngineOptions options;
+  options.metrics = &registry;
+  options.trace_sample_rate = 1.0;
+  serve::ServingEngine engine(
+      {{testing::OracleStrategyName(strategy), recommender}}, options);
+  util::StatusOr<serve::ServeResult> served =
+      engine.Serve(shrunk.activity, shrunk.k);
+  std::string out =
+      "# goalrec_fuzz observability snapshot for " + repro_path + "\n";
+  if (served.ok() && served->trace != nullptr) {
+    out += "# trace\n" + obs::FormatTrace(*served->trace);
+  }
+  out += "# metrics\n" + obs::ExportPrometheus(registry);
+  std::string path = repro_path + ".obs.txt";
+  if (!obs::WriteSnapshotFile(path, out)) return "";
+  return path;
+}
+
 int Replay(const FuzzConfig& config) {
   util::StatusOr<testing::ReproCase> loaded =
       testing::LoadRepro(config.replay);
   if (!loaded.ok()) {
-    std::fprintf(stderr, "goalrec_fuzz: %s\n",
-                 loaded.status().ToString().c_str());
+    GOALREC_LOG(ERROR) << "cannot load repro"
+                       << util::Kv("path", config.replay)
+                       << util::Kv("status", loaded.status().ToString());
     return 2;
   }
   const testing::ReproCase& repro = *loaded;
@@ -63,8 +121,8 @@ int Replay(const FuzzConfig& config) {
   if (!repro.strategy.empty()) {
     auto s = testing::OracleStrategyFromName(repro.strategy);
     if (!s) {
-      std::fprintf(stderr, "goalrec_fuzz: repro names unknown strategy '%s'\n",
-                   repro.strategy.c_str());
+      GOALREC_LOG(ERROR) << "repro names unknown strategy '" << repro.strategy
+                         << "'";
       return 2;
     }
     strategies.push_back(*s);
@@ -141,9 +199,15 @@ int Fuzz(const FuzzConfig& config) {
       if (written.ok()) {
         std::printf("repro written: %s\nreplay with: %s\n", path.c_str(),
                     testing::ReproCommandLine(path).c_str());
+        std::string obs_path =
+            DumpReproObservability(shrunk, strategy, path);
+        if (!obs_path.empty()) {
+          std::printf("observability snapshot: %s\n", obs_path.c_str());
+        }
       } else {
-        std::fprintf(stderr, "goalrec_fuzz: failed to write repro: %s\n",
-                     written.ToString().c_str());
+        GOALREC_LOG(ERROR) << "failed to write repro"
+                           << util::Kv("path", path)
+                           << util::Kv("status", written.ToString());
       }
       return 1;
     }
@@ -168,8 +232,8 @@ int Main(int argc, char** argv) {
       {"seed", "rounds", "strategy", "out", "strict_order", "quiet", "replay",
        "help"});
   if (!unknown.empty()) {
-    std::fprintf(stderr, "goalrec_fuzz: unknown flag --%s\n%s",
-                 unknown.front().c_str(), kUsage);
+    GOALREC_LOG(ERROR) << "unknown flag --" << unknown.front();
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   if (flags.Has("help")) {
@@ -183,7 +247,8 @@ int Main(int argc, char** argv) {
   util::StatusOr<bool> strict = flags.GetBool("strict_order", false);
   util::StatusOr<bool> quiet = flags.GetBool("quiet", false);
   if (!seed.ok() || !rounds.ok() || !strict.ok() || !quiet.ok()) {
-    std::fprintf(stderr, "goalrec_fuzz: bad flag value\n%s", kUsage);
+    GOALREC_LOG(ERROR) << "bad flag value";
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   config.seed = static_cast<uint64_t>(*seed);
@@ -199,8 +264,8 @@ int Main(int argc, char** argv) {
   } else {
     auto s = testing::OracleStrategyFromName(strategy);
     if (!s) {
-      std::fprintf(stderr, "goalrec_fuzz: unknown strategy '%s'\n%s",
-                   strategy.c_str(), kUsage);
+      GOALREC_LOG(ERROR) << "unknown strategy '" << strategy << "'";
+      std::fprintf(stderr, "%s", kUsage);
       return 2;
     }
     config.strategies.push_back(*s);

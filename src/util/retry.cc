@@ -3,7 +3,45 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace goalrec::util {
+namespace {
+
+struct RetryMetrics {
+  obs::Counter* attempts;
+  obs::Counter* calls;
+  obs::Counter* recovered;
+  obs::Counter* exhausted;
+  obs::Counter* sleeps;
+
+  static const RetryMetrics& Get() {
+    static const RetryMetrics metrics = [] {
+      obs::MetricRegistry& registry = obs::MetricRegistry::Default();
+      RetryMetrics m;
+      m.attempts = registry.GetCounter(
+          "goalrec_retry_attempts_total", {},
+          "Individual attempts made by RetryCall (first tries included)");
+      m.calls = registry.GetCounter("goalrec_retry_calls_total", {},
+                                    "RetryCall invocations");
+      m.recovered = registry.GetCounter(
+          "goalrec_retry_recovered_total", {},
+          "RetryCall invocations that succeeded after at least one retry");
+      m.exhausted = registry.GetCounter(
+          "goalrec_retry_exhausted_total", {},
+          "RetryCall invocations that gave up on a retriable error");
+      m.sleeps = registry.GetCounter(
+          "goalrec_retry_backoff_sleeps_total", {},
+          "Backoff sleeps taken between attempts");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+const RetryMetrics& g_retry_metrics = RetryMetrics::Get();
+
+}  // namespace
 
 bool IsRetriableStatus(const Status& status) {
   return status.code() == StatusCode::kIoError ||
@@ -33,11 +71,20 @@ std::chrono::milliseconds BackoffPolicy::Next() {
 namespace internal {
 
 void SleepOrInvoke(const RetryOptions& options, std::chrono::milliseconds d) {
+  g_retry_metrics.sleeps->Increment();
   if (options.sleeper) {
     options.sleeper(d);
   } else {
     std::this_thread::sleep_for(d);
   }
+}
+
+void RecordRetryAttempt() { g_retry_metrics.attempts->Increment(); }
+
+void RecordRetryOutcome(int attempts, bool ok, bool exhausted) {
+  g_retry_metrics.calls->Increment();
+  if (ok && attempts > 1) g_retry_metrics.recovered->Increment();
+  if (!ok && exhausted) g_retry_metrics.exhausted->Increment();
 }
 
 }  // namespace internal

@@ -58,6 +58,12 @@ const Status& StatusOf(const StatusOr<T>& status_or) {
   return status_or.status();
 }
 void SleepOrInvoke(const RetryOptions& options, std::chrono::milliseconds d);
+// Metrics hooks (defined in retry.cc, reporting into
+// obs::MetricRegistry::Default()): one attempt per fn() invocation; an
+// outcome per RetryCall, distinguishing calls that recovered after >= 1
+// retry from calls that exhausted max_attempts on a retriable error.
+void RecordRetryAttempt();
+void RecordRetryOutcome(int attempts, bool ok, bool exhausted);
 }  // namespace internal
 
 /// Invokes `fn` (returning Status or StatusOr<T>) up to
@@ -72,12 +78,20 @@ auto RetryCall(const RetryOptions& options, Fn&& fn, int* attempts_out = nullptr
                         options.jitter_seed);
   for (int attempt = 1;; ++attempt) {
     auto result = fn();
+    internal::RecordRetryAttempt();
     if (attempts_out != nullptr) *attempts_out = attempt;
     const Status& status = internal::StatusOf(result);
-    if (status.ok() || attempt >= max_attempts) return result;
+    if (status.ok()) {
+      internal::RecordRetryOutcome(attempt, /*ok=*/true, /*exhausted=*/false);
+      return result;
+    }
     bool retriable = options.retriable ? options.retriable(status)
                                        : IsRetriableStatus(status);
-    if (!retriable) return result;
+    if (attempt >= max_attempts || !retriable) {
+      internal::RecordRetryOutcome(attempt, /*ok=*/false,
+                                   /*exhausted=*/retriable);
+      return result;
+    }
     internal::SleepOrInvoke(options, backoff.Next());
   }
 }

@@ -2,12 +2,48 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace goalrec::util {
 namespace {
+
+// Pool-wide instruments in the default registry. Several pools may coexist;
+// they aggregate, which is what a fleet dashboard wants. Registered at load
+// time so a scrape shows the gauge (at 0) before any task runs.
+struct PoolMetrics {
+  obs::Counter* submitted;
+  obs::Counter* failed;
+  obs::Gauge* queue_depth;
+  obs::Histogram* task_latency_us;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics metrics = [] {
+      obs::MetricRegistry& registry = obs::MetricRegistry::Default();
+      PoolMetrics m;
+      m.submitted = registry.GetCounter(
+          "goalrec_threadpool_tasks_total", {},
+          "Tasks submitted to any ThreadPool");
+      m.failed = registry.GetCounter(
+          "goalrec_threadpool_task_failures_total", {},
+          "ThreadPool tasks that terminated with an exception");
+      m.queue_depth = registry.GetGauge(
+          "goalrec_threadpool_queue_depth", {},
+          "Tasks submitted but not yet picked up by a worker");
+      m.task_latency_us = registry.GetHistogram(
+          "goalrec_threadpool_task_latency_us",
+          obs::DefaultLatencyBucketsUs(), {},
+          "Per-task execution time in microseconds");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+const PoolMetrics& g_pool_metrics = PoolMetrics::Get();
 
 std::string DescribeException(const std::exception_ptr& e) {
   try {
@@ -45,6 +81,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push(std::move(task));
     ++in_flight_;
   }
+  g_pool_metrics.submitted->Increment();
+  g_pool_metrics.queue_depth->Add(1);
   task_available_.notify_one();
 }
 
@@ -91,12 +129,19 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    g_pool_metrics.queue_depth->Sub(1);
     std::exception_ptr failure;
+    auto task_start = std::chrono::steady_clock::now();
     try {
       task();
     } catch (...) {
       failure = std::current_exception();
     }
+    g_pool_metrics.task_latency_us->Observe(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - task_start)
+            .count());
+    if (failure != nullptr) g_pool_metrics.failed->Increment();
     {
       std::unique_lock<std::mutex> lock(mutex_);
       if (failure != nullptr) {

@@ -1,0 +1,134 @@
+// Exporter goldens. Output is deterministic given a snapshot (metrics
+// sorted by name then labels, spans in start order), so these compare
+// whole documents, not fragments — any formatting drift fails loudly.
+
+#include "obs/export.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace goalrec::obs {
+namespace {
+
+TEST(ExportPrometheusTest, CountersAndGaugesGolden) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with GOALREC_OBS_NOOP";
+  MetricRegistry registry;
+  registry.GetCounter("b_total", {{"rung", "focus"}}, "attempts per rung")
+      ->Increment(3);
+  registry.GetCounter("b_total", {{"rung", "breadth"}})->Increment(5);
+  registry.GetGauge("a_depth", {}, "queue depth")->Set(2);
+  EXPECT_EQ(ExportPrometheus(registry),
+            "# HELP a_depth queue depth\n"
+            "# TYPE a_depth gauge\n"
+            "a_depth 2\n"
+            "# HELP b_total attempts per rung\n"
+            "# TYPE b_total counter\n"
+            "b_total{rung=\"breadth\"} 5\n"
+            "b_total{rung=\"focus\"} 3\n");
+}
+
+TEST(ExportPrometheusTest, HistogramCumulativeBucketsGolden) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with GOALREC_OBS_NOOP";
+  MetricRegistry registry;
+  Histogram* histogram = registry.GetHistogram("lat_us", {1.0, 2.0});
+  histogram->Observe(0.5);
+  histogram->Observe(1.5);
+  histogram->Observe(9.0);
+  EXPECT_EQ(ExportPrometheus(registry),
+            "# TYPE lat_us histogram\n"
+            "lat_us_bucket{le=\"1\"} 1\n"
+            "lat_us_bucket{le=\"2\"} 2\n"
+            "lat_us_bucket{le=\"+Inf\"} 3\n"
+            "lat_us_sum 11\n"
+            "lat_us_count 3\n");
+}
+
+TEST(ExportPrometheusTest, LabelValuesAreEscaped) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with GOALREC_OBS_NOOP";
+  MetricRegistry registry;
+  registry.GetCounter("esc_total", {{"path", "a\"b\\c"}})->Increment();
+  EXPECT_EQ(ExportPrometheus(registry),
+            "# TYPE esc_total counter\n"
+            "esc_total{path=\"a\\\"b\\\\c\"} 1\n");
+}
+
+TEST(ExportJsonTest, MixedRegistryGolden) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with GOALREC_OBS_NOOP";
+  MetricRegistry registry;
+  registry.GetCounter("served_total", {{"rung", "best_match"}})->Increment(4);
+  registry.GetHistogram("lat_us", {2.0})->Observe(1.0);
+  EXPECT_EQ(
+      ExportJson(registry),
+      "{\"metrics\":["
+      "{\"name\":\"lat_us\",\"type\":\"histogram\",\"labels\":{},"
+      "\"count\":1,\"sum\":1,\"buckets\":[{\"le\":2,\"count\":1},"
+      "{\"le\":\"+Inf\",\"count\":0}]},"
+      "{\"name\":\"served_total\",\"type\":\"counter\","
+      "\"labels\":{\"rung\":\"best_match\"},\"value\":4}"
+      "]}");
+}
+
+TEST(TraceToJsonTest, SpanTreeWithTypedAnnotations) {
+  Trace trace("serve");
+  size_t root = trace.StartSpan("serve");
+  size_t child = trace.StartSpan("rung/best_match");
+  trace.Annotate(child, "outcome", "served");
+  trace.Annotate(child, "candidates", static_cast<int64_t>(42));
+  trace.Annotate(child, "degraded", false);
+  trace.EndSpan(child);
+  trace.EndSpan(root);
+
+  std::string json = TraceToJson(trace);
+  EXPECT_NE(json.find("{\"trace\":\"serve\",\"spans\":["), std::string::npos);
+  EXPECT_NE(json.find("{\"id\":0,\"parent\":null,\"name\":\"serve\""),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"id\":1,\"parent\":0,\"name\":\"rung/best_match\""),
+            std::string::npos);
+  // String annotations are quoted, ints and bools are bare.
+  EXPECT_NE(json.find("\"outcome\":\"served\",\"candidates\":42,"
+                      "\"degraded\":false"),
+            std::string::npos);
+}
+
+TEST(FormatTraceTest, IndentsByDepthAndAppendsAnnotations) {
+  Trace trace("serve");
+  size_t root = trace.StartSpan("serve");
+  size_t child = trace.StartSpan("rung/best_match");
+  trace.Annotate(child, "candidates", static_cast<int64_t>(7));
+  trace.EndSpan(child);
+  trace.EndSpan(root);
+  size_t open = trace.StartSpan("still_open");
+  (void)open;
+
+  std::string text = FormatTrace(trace);
+  // Line structure: root unindented, child indented two spaces, open span
+  // marked "(open)". Durations vary run to run, so match around them.
+  EXPECT_EQ(text.find("serve  "), 0u);
+  EXPECT_NE(text.find("\n  rung/best_match  "), std::string::npos);
+  EXPECT_NE(text.find("  candidates=7\n"), std::string::npos);
+  EXPECT_NE(text.find("\nstill_open  (open)\n"), std::string::npos);
+}
+
+TEST(WriteSnapshotFileTest, RoundTripsThroughDisk) {
+  std::string path = ::testing::TempDir() + "/obs_export_test_snapshot.txt";
+  ASSERT_TRUE(WriteSnapshotFile(path, "metric 1\n"));
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  char buffer[64] = {};
+  size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buffer, n), "metric 1\n");
+}
+
+TEST(WriteSnapshotFileTest, FailsOnUnwritablePath) {
+  EXPECT_FALSE(WriteSnapshotFile("/nonexistent_dir_for_test/file.txt", "x"));
+}
+
+}  // namespace
+}  // namespace goalrec::obs

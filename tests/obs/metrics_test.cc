@@ -1,0 +1,158 @@
+// MetricRegistry contract: instrument identity (same name + labels -> same
+// pointer), histogram bucket boundary semantics (le: a value equal to a
+// bound lands in that bound's bucket), and torn-free merged reads under a
+// ThreadPool hammer — the property the sharded relaxed-atomic design exists
+// to provide.
+
+#include "obs/metrics.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace goalrec::obs {
+namespace {
+
+TEST(CounterTest, IncrementsAccumulate) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with GOALREC_OBS_NOOP";
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("test_total");
+  EXPECT_EQ(counter->Value(), 0);
+  counter->Increment();
+  counter->Increment(41);
+  EXPECT_EQ(counter->Value(), 42);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with GOALREC_OBS_NOOP";
+  MetricRegistry registry;
+  Gauge* gauge = registry.GetGauge("test_depth");
+  gauge->Set(10);
+  gauge->Add(5);
+  gauge->Sub(12);
+  EXPECT_EQ(gauge->Value(), 3);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with GOALREC_OBS_NOOP";
+  MetricRegistry registry;
+  Histogram* histogram =
+      registry.GetHistogram("test_latency", {1.0, 2.0, 4.0});
+  // One observation per region: below/at the first bound, at the second
+  // bound exactly, inside the third bucket, and past every bound (+Inf).
+  histogram->Observe(0.5);
+  histogram->Observe(1.0);  // == bound: belongs to the le=1 bucket
+  histogram->Observe(2.0);  // == bound: le=2, not le=4
+  histogram->Observe(3.0);
+  histogram->Observe(100.0);
+  HistogramSnapshot snapshot = histogram->Snapshot();
+  ASSERT_EQ(snapshot.bounds, (std::vector<double>{1.0, 2.0, 4.0}));
+  ASSERT_EQ(snapshot.counts.size(), 4u);
+  EXPECT_EQ(snapshot.counts[0], 2);  // 0.5, 1.0
+  EXPECT_EQ(snapshot.counts[1], 1);  // 2.0
+  EXPECT_EQ(snapshot.counts[2], 1);  // 3.0
+  EXPECT_EQ(snapshot.counts[3], 1);  // 100.0 -> +Inf
+  EXPECT_EQ(snapshot.count, 5);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 106.5);
+}
+
+TEST(BucketHelpersTest, ExponentialAndLinear) {
+  EXPECT_EQ(ExponentialBuckets(1.0, 2.0, 4),
+            (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  EXPECT_EQ(LinearBuckets(10.0, 5.0, 3),
+            (std::vector<double>{10.0, 15.0, 20.0}));
+  std::vector<double> latency = DefaultLatencyBucketsUs();
+  ASSERT_FALSE(latency.empty());
+  EXPECT_DOUBLE_EQ(latency.front(), 1.0);
+  for (size_t i = 1; i < latency.size(); ++i) {
+    EXPECT_GT(latency[i], latency[i - 1]);
+  }
+}
+
+TEST(MetricRegistryTest, SameNameAndLabelsYieldSameInstrument) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("hits_total", {{"rung", "breadth"}});
+  Counter* b = registry.GetCounter("hits_total", {{"rung", "breadth"}});
+  Counter* other = registry.GetCounter("hits_total", {{"rung", "focus"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+  // Label order at the call site must not matter.
+  Counter* ab = registry.GetCounter("pair_total",
+                                    {{"a", "1"}, {"b", "2"}});
+  Counter* ba = registry.GetCounter("pair_total",
+                                    {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(ab, ba);
+}
+
+TEST(MetricRegistryTest, SnapshotFindsByNameAndLabels) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with GOALREC_OBS_NOOP";
+  MetricRegistry registry;
+  registry.GetCounter("served_total", {{"rung", "best_match"}})->Increment(7);
+  registry.GetGauge("depth")->Set(3);
+  RegistrySnapshot snapshot = registry.Snapshot();
+  const MetricSnapshot* counter =
+      snapshot.Find("served_total", {{"rung", "best_match"}});
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value, 7);
+  EXPECT_EQ(counter->type, MetricType::kCounter);
+  const MetricSnapshot* gauge = snapshot.Find("depth");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->value, 3);
+  EXPECT_EQ(snapshot.Find("missing"), nullptr);
+  EXPECT_EQ(snapshot.Find("served_total", {{"rung", "nope"}}), nullptr);
+}
+
+TEST(MetricRegistryTest, ConcurrentIncrementsMergeExactly) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with GOALREC_OBS_NOOP";
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("hammer_total");
+  Histogram* histogram =
+      registry.GetHistogram("hammer_values", {10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  util::ThreadPool pool(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.Submit([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        histogram->Observe(static_cast<double>(t));
+      }
+    });
+  }
+  pool.Wait();
+  ASSERT_TRUE(pool.status().ok());
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+  HistogramSnapshot snapshot = histogram->Snapshot();
+  EXPECT_EQ(snapshot.count, kThreads * kPerThread);
+  // All observed values are < 10, so every observation is in bucket 0.
+  EXPECT_EQ(snapshot.counts[0], kThreads * kPerThread);
+}
+
+TEST(MetricRegistryTest, ScrapeWhileWritingIsTornFree) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with GOALREC_OBS_NOOP";
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("live_total");
+  util::ThreadPool pool(4);
+  for (int t = 0; t < 4; ++t) {
+    pool.Submit([&] {
+      for (int i = 0; i < 50000; ++i) counter->Increment();
+    });
+  }
+  // Concurrent scrapes must always see a value between 0 and the final
+  // total, monotonically consistent with "sum of atomic cells".
+  int64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    int64_t value = counter->Value();
+    EXPECT_GE(value, 0);
+    EXPECT_LE(value, 4 * 50000);
+    EXPECT_GE(value, last);  // shards only grow
+    last = value;
+  }
+  pool.Wait();
+  EXPECT_EQ(counter->Value(), 4 * 50000);
+}
+
+}  // namespace
+}  // namespace goalrec::obs

@@ -1,0 +1,161 @@
+// Trace contract: span nesting (parent indices, start order), typed
+// annotations, the thread-local CurrentTrace()/ScopedTraceActivation
+// propagation the engine relies on, and TraceSampler admission rates.
+
+#include "obs/trace.h"
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace goalrec::obs {
+namespace {
+
+TEST(TraceTest, SpansNestAndRecordParents) {
+  Trace trace("serve");
+  size_t root = trace.StartSpan("serve");
+  size_t rung = trace.StartSpan("rung/best_match");
+  size_t strategy = trace.StartSpan("strategy/BestMatch");
+  trace.EndSpan(strategy);
+  trace.EndSpan(rung);
+  size_t sibling = trace.StartSpan("rung/breadth");
+  trace.EndSpan(sibling);
+  trace.EndSpan(root);
+
+  const std::vector<TraceSpan>& spans = trace.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "serve");
+  EXPECT_EQ(spans[0].parent, TraceSpan::kNoParent);
+  EXPECT_EQ(spans[1].name, "rung/best_match");
+  EXPECT_EQ(spans[1].parent, root);
+  EXPECT_EQ(spans[2].name, "strategy/BestMatch");
+  EXPECT_EQ(spans[2].parent, rung);
+  EXPECT_EQ(spans[3].name, "rung/breadth");
+  EXPECT_EQ(spans[3].parent, root);
+  for (const TraceSpan& span : spans) {
+    EXPECT_GE(span.end_ns, span.start_ns);
+    EXPECT_GE(span.duration_ns(), 0);
+  }
+  // Start order: parents always precede children.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent != TraceSpan::kNoParent) {
+      EXPECT_LT(spans[i].parent, i);
+    }
+  }
+}
+
+TEST(TraceTest, OpenSpanHasNegativeEnd) {
+  Trace trace;
+  size_t id = trace.StartSpan("open");
+  EXPECT_EQ(trace.spans()[id].end_ns, -1);
+  EXPECT_EQ(trace.spans()[id].duration_ns(), -1);
+  trace.EndSpan(id);
+  EXPECT_GE(trace.spans()[id].end_ns, 0);
+}
+
+TEST(TraceTest, AnnotationsKeepTypeKind) {
+  Trace trace;
+  size_t id = trace.StartSpan("annotated");
+  trace.Annotate(id, "outcome", "served");
+  trace.Annotate(id, "candidates", static_cast<int64_t>(117));
+  trace.Annotate(id, "score", 0.5);
+  trace.Annotate(id, "degraded", true);
+  trace.EndSpan(id);
+
+  const std::vector<Annotation>& annotations = trace.spans()[id].annotations;
+  ASSERT_EQ(annotations.size(), 4u);
+  EXPECT_EQ(annotations[0].key, "outcome");
+  EXPECT_EQ(annotations[0].value, "served");
+  EXPECT_EQ(annotations[0].kind, Annotation::Kind::kString);
+  EXPECT_EQ(annotations[1].value, "117");
+  EXPECT_EQ(annotations[1].kind, Annotation::Kind::kInt);
+  EXPECT_EQ(annotations[2].kind, Annotation::Kind::kDouble);
+  EXPECT_EQ(annotations[3].value, "true");
+  EXPECT_EQ(annotations[3].kind, Annotation::Kind::kBool);
+}
+
+TEST(ScopedSpanTest, NullTraceIsNoOp) {
+  ScopedSpan span(nullptr, "ignored");
+  span.Annotate("key", 1);  // must not crash
+  span.End();
+  EXPECT_EQ(span.trace(), nullptr);
+}
+
+TEST(ScopedSpanTest, EndIsIdempotent) {
+  Trace trace;
+  {
+    ScopedSpan span(&trace, "once");
+    span.End();
+    // Destructor runs after an explicit End(); must not double-close.
+  }
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_GE(trace.spans()[0].end_ns, 0);
+}
+
+TEST(CurrentTraceTest, ActivationInstallsAndRestores) {
+  EXPECT_EQ(CurrentTrace(), nullptr);
+  Trace outer_trace;
+  {
+    ScopedTraceActivation outer(&outer_trace);
+    EXPECT_EQ(CurrentTrace(), &outer_trace);
+    Trace inner_trace;
+    {
+      ScopedTraceActivation inner(&inner_trace);
+      EXPECT_EQ(CurrentTrace(), &inner_trace);
+      {
+        // Null deactivates without losing the outer value.
+        ScopedTraceActivation off(nullptr);
+        EXPECT_EQ(CurrentTrace(), nullptr);
+      }
+      EXPECT_EQ(CurrentTrace(), &inner_trace);
+    }
+    EXPECT_EQ(CurrentTrace(), &outer_trace);
+  }
+  EXPECT_EQ(CurrentTrace(), nullptr);
+}
+
+TEST(CurrentTraceTest, IsThreadLocal) {
+  Trace trace;
+  ScopedTraceActivation activation(&trace);
+  ASSERT_EQ(CurrentTrace(), &trace);
+  util::ThreadPool pool(2);
+  std::atomic<int> null_on_worker{0};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&] {
+      if (CurrentTrace() == nullptr) null_on_worker.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  ASSERT_TRUE(pool.status().ok());
+  // Activation on this thread must not leak into pool workers.
+  EXPECT_EQ(null_on_worker.load(), 2);
+}
+
+TEST(TraceSamplerTest, RateZeroNeverSamples) {
+  TraceSampler sampler(0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(sampler.Sample());
+}
+
+TEST(TraceSamplerTest, RateOneAlwaysSamples) {
+  TraceSampler sampler(1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(sampler.Sample());
+  TraceSampler clamped(7.0);
+  EXPECT_TRUE(clamped.Sample());
+}
+
+TEST(TraceSamplerTest, FractionalRateAdmitsEvenlySpacedFraction) {
+  TraceSampler sampler(0.25);
+  int admitted = 0;
+  constexpr int kCalls = 1000;
+  for (int i = 0; i < kCalls; ++i) {
+    if (sampler.Sample()) ++admitted;
+  }
+  EXPECT_EQ(admitted, kCalls / 4);
+}
+
+}  // namespace
+}  // namespace goalrec::obs
