@@ -32,6 +32,16 @@ run_fuzz_smoke() {
       --out="$build_dir"
 }
 
+run_overload_smoke() {
+  local build_dir=$1
+  # Overload-protection smoke: a ~2 s closed-loop run of the admission
+  # controller + breakers bench (bench/micro_overload.cc). Checks that the
+  # binary runs and emits its JSON document; the acceptance-grade numbers
+  # live in BENCH_overload.json from a full run. See docs/serving.md.
+  echo "=== overload smoke ($build_dir) ==="
+  "$build_dir/bench/micro_overload" --smoke >/dev/null
+}
+
 CTEST_ARGS=()
 PLAIN=0
 for arg in "$@"; do
@@ -42,11 +52,13 @@ if [[ "$PLAIN" == 1 ]]; then
   echo "=== plain build + ctest (build/) ==="
   run_suite build
   run_fuzz_smoke build
+  run_overload_smoke build
 fi
 
 echo "=== ASan+UBSan build + ctest (build-asan/) ==="
 run_suite build-asan -DGOALREC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 run_fuzz_smoke build-asan
+run_overload_smoke build-asan
 
 # TSan is mutually exclusive with ASan, so it gets its own tree. The test
 # registration in tests/CMakeLists.txt trims this build to the tests that

@@ -1,0 +1,269 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace goalrec::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const char* RejectReasonLabel(AdmissionRejectReason reason) {
+  switch (reason) {
+    case AdmissionRejectReason::kQueueFull:
+      return "queue_full";
+    case AdmissionRejectReason::kDeadline:
+      return "deadline";
+    case AdmissionRejectReason::kQueueTimeout:
+      return "queue_timeout";
+    case AdmissionRejectReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+/// How long a queued waiter sleeps between grant checks. Short enough to
+/// keep cancellation and deadline expiry responsive; Release() notifies the
+/// condition variable, so the poll only bounds the unhappy paths.
+constexpr std::chrono::milliseconds kWaitSlice{1};
+
+}  // namespace
+
+const char* QueryPriorityLabel(QueryPriority priority) {
+  return priority == QueryPriority::kInteractive ? "interactive" : "batch";
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(std::move(options)) {
+  GOALREC_CHECK(options_.min_limit >= 1);
+  GOALREC_CHECK(options_.max_limit >= options_.min_limit);
+  limit_ = std::clamp(options_.initial_limit, options_.min_limit,
+                      options_.max_limit);
+  if (options_.initial_baseline.count() > 0) {
+    baseline_us_ =
+        static_cast<double>(options_.initial_baseline.count()) / 1e3;
+  }
+  if (!options_.now) {
+    options_.now = [] { return Clock::now(); };
+  }
+  obs::MetricRegistry* metrics = options_.metrics != nullptr
+                                     ? options_.metrics
+                                     : &obs::MetricRegistry::Default();
+  limit_gauge_ = metrics->GetGauge("goalrec_admission_limit", {},
+                                   "Adaptive in-flight concurrency cap");
+  limit_gauge_->Set(limit_);
+  in_flight_gauge_ = metrics->GetGauge("goalrec_admission_in_flight", {},
+                                       "Queries currently holding a slot");
+  limit_increases_ = metrics->GetCounter(
+      "goalrec_admission_limit_changes_total", {{"direction", "increase"}},
+      "Concurrency-limit adjustments, by direction");
+  limit_backoffs_ = metrics->GetCounter(
+      "goalrec_admission_limit_changes_total", {{"direction", "backoff"}},
+      "Concurrency-limit adjustments, by direction");
+  deadline_met_ = metrics->GetCounter(
+      "goalrec_admission_released_total", {{"deadline", "met"}},
+      "Admitted queries released, by whether they met their deadline");
+  deadline_missed_ = metrics->GetCounter(
+      "goalrec_admission_released_total", {{"deadline", "missed"}},
+      "Admitted queries released, by whether they met their deadline");
+  queue_wait_us_ = metrics->GetHistogram(
+      "goalrec_admission_queue_wait_us", obs::DefaultLatencyBucketsUs(), {},
+      "Time admitted queries spent waiting for a slot (microseconds)");
+  for (QueryPriority priority :
+       {QueryPriority::kInteractive, QueryPriority::kBatch}) {
+    ClassState& cls = classes_[static_cast<size_t>(priority)];
+    const std::string label = QueryPriorityLabel(priority);
+    cls.depth = metrics->GetGauge("goalrec_admission_queue_depth",
+                                  {{"priority", label}},
+                                  "Waiters queued for a slot, by priority");
+    cls.admitted = metrics->GetCounter("goalrec_admission_admitted_total",
+                                       {{"priority", label}},
+                                       "Queries granted a slot, by priority");
+    for (AdmissionRejectReason reason :
+         {AdmissionRejectReason::kQueueFull, AdmissionRejectReason::kDeadline,
+          AdmissionRejectReason::kQueueTimeout,
+          AdmissionRejectReason::kCancelled}) {
+      cls.rejected[static_cast<size_t>(reason)] = metrics->GetCounter(
+          "goalrec_admission_rejected_total",
+          {{"priority", label}, {"reason", RejectReasonLabel(reason)}},
+          "Queries shed at admission, by priority and reason");
+    }
+  }
+}
+
+bool AdmissionController::CanGrantLocked(QueryPriority priority) const {
+  if (in_flight_ >= limit_) return false;
+  // Batch yields to any queued interactive traffic.
+  if (priority == QueryPriority::kBatch &&
+      classes_[static_cast<size_t>(QueryPriority::kInteractive)].waiting > 0) {
+    return false;
+  }
+  return true;
+}
+
+void AdmissionController::RejectLocked(QueryPriority priority,
+                                       AdmissionRejectReason reason) {
+  classes_[static_cast<size_t>(priority)]
+      .rejected[static_cast<size_t>(reason)]
+      ->Increment();
+}
+
+util::Status AdmissionController::Admit(QueryPriority priority,
+                                        const util::Deadline& deadline,
+                                        const util::CancellationToken& cancel) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ClassState& cls = classes_[static_cast<size_t>(priority)];
+
+  // Fast path: a free slot and nobody of this class ahead of us.
+  if (cls.waiting == 0 && CanGrantLocked(priority)) {
+    ++in_flight_;
+    in_flight_gauge_->Set(in_flight_);
+    cls.admitted->Increment();
+    queue_wait_us_->Observe(0.0);
+    return util::Status::Ok();
+  }
+
+  // Shed rather than queue when the queue is full or the budget cannot
+  // cover the predicted wait — failing in microseconds here is the whole
+  // point; timing out inside a strategy later costs the full deadline.
+  const size_t capacity = priority == QueryPriority::kInteractive
+                              ? options_.max_queue_interactive
+                              : options_.max_queue_batch;
+  if (cls.waiting >= capacity) {
+    RejectLocked(priority, AdmissionRejectReason::kQueueFull);
+    return util::ResourceExhaustedError(
+        std::string("admission queue full (") + QueryPriorityLabel(priority) +
+        ", depth " + std::to_string(cls.waiting) + ")");
+  }
+  if (options_.deadline_aware && !deadline.is_infinite()) {
+    // The query must fit the predicted queue wait AND the service itself:
+    // admitting a query whose budget covers only the wait hands a doomed
+    // query to the engine, which burns a slot to produce a deadline miss.
+    // baseline_us_ is the limiter's service-time EWMA (0 until the first
+    // release, which degrades this to a wait-only check).
+    const double predicted_us =
+        predicted_wait_us_ * static_cast<double>(cls.waiting + 1) +
+        baseline_us_;
+    const double remaining_us =
+        static_cast<double>(deadline.Remaining().count()) / 1e3;
+    if (predicted_us > remaining_us) {
+      RejectLocked(priority, AdmissionRejectReason::kDeadline);
+      return util::ResourceExhaustedError(
+          "predicted queue wait " + std::to_string(predicted_us / 1e3) +
+          " ms exceeds remaining budget " + std::to_string(remaining_us / 1e3) +
+          " ms");
+    }
+  }
+
+  // Queue until a slot frees, the budget expires, or the caller hangs up.
+  ++cls.waiting;
+  cls.depth->Set(static_cast<int64_t>(cls.waiting));
+  const Clock::time_point enqueued = options_.now();
+  util::Status verdict;
+  while (true) {
+    if (cancel.Cancelled()) {
+      RejectLocked(priority, AdmissionRejectReason::kCancelled);
+      verdict = util::CancelledError("query cancelled while queued");
+      break;
+    }
+    if (!deadline.is_infinite() && deadline.Expired()) {
+      RejectLocked(priority, AdmissionRejectReason::kQueueTimeout);
+      verdict = util::ResourceExhaustedError(
+          "deadline expired while queued for admission");
+      break;
+    }
+    if (CanGrantLocked(priority)) {
+      verdict = util::Status::Ok();
+      break;
+    }
+    slot_freed_.wait_for(lock, kWaitSlice);
+  }
+  --cls.waiting;
+  cls.depth->Set(static_cast<int64_t>(cls.waiting));
+  if (!verdict.ok()) return verdict;
+
+  ++in_flight_;
+  in_flight_gauge_->Set(in_flight_);
+  cls.admitted->Increment();
+  const double waited_us = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(options_.now() -
+                                                           enqueued)
+          .count()) /
+      1e3;
+  queue_wait_us_->Observe(waited_us);
+  predicted_wait_us_ += options_.queue_wait_alpha *
+                        (waited_us - predicted_wait_us_);
+  return util::Status::Ok();
+}
+
+void AdmissionController::Release(std::chrono::nanoseconds latency,
+                                  bool deadline_met, bool limiter_sample) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    GOALREC_CHECK(in_flight_ > 0) << "Release without a matching Admit";
+    --in_flight_;
+    in_flight_gauge_->Set(in_flight_);
+    (deadline_met ? deadline_met_ : deadline_missed_)->Increment();
+    if (limiter_sample) UpdateLimitLocked(latency);
+  }
+  slot_freed_.notify_all();
+}
+
+void AdmissionController::UpdateLimitLocked(std::chrono::nanoseconds latency) {
+  const double us = static_cast<double>(latency.count()) / 1e3;
+  // Asymmetric EWMA baseline: chases lower samples at full alpha (the
+  // no-load latency is a floor) and drifts up at alpha/8, so a genuinely
+  // slower workload re-anchors eventually but congestion cannot quickly
+  // poison the reference.
+  if (baseline_us_ <= 0.0) {
+    baseline_us_ = us;
+  } else if (us < baseline_us_) {
+    baseline_us_ += options_.baseline_alpha * (us - baseline_us_);
+  } else {
+    baseline_us_ += (options_.baseline_alpha / 8.0) * (us - baseline_us_);
+  }
+  if (!options_.adaptive) return;
+  if (us > options_.latency_threshold * baseline_us_) {
+    good_streak_ = 0;
+    const int next = std::max(
+        options_.min_limit,
+        static_cast<int>(std::floor(static_cast<double>(limit_) *
+                                    options_.backoff_ratio)));
+    if (next < limit_) {
+      limit_ = next;
+      limit_gauge_->Set(limit_);
+      limit_backoffs_->Increment();
+    }
+  } else if (++good_streak_ >= options_.increase_after) {
+    good_streak_ = 0;
+    if (limit_ < options_.max_limit) {
+      ++limit_;
+      limit_gauge_->Set(limit_);
+      limit_increases_->Increment();
+    }
+  }
+}
+
+int AdmissionController::concurrency_limit() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return limit_;
+}
+
+int AdmissionController::in_flight() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+size_t AdmissionController::queue_depth(QueryPriority priority) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return classes_[static_cast<size_t>(priority)].waiting;
+}
+
+std::chrono::nanoseconds AdmissionController::latency_baseline() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return std::chrono::nanoseconds(static_cast<int64_t>(baseline_us_ * 1e3));
+}
+
+}  // namespace goalrec::serve

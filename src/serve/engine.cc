@@ -37,6 +37,8 @@ const char* RungOutcomeToString(RungOutcome outcome) {
       return "ERROR";
     case RungOutcome::kEmpty:
       return "EMPTY";
+    case RungOutcome::kBreakerOpen:
+      return "BREAKER_OPEN";
   }
   return "UNKNOWN";
 }
@@ -51,6 +53,8 @@ const char* RungOutcomeLabel(RungOutcome outcome) {
       return "error";
     case RungOutcome::kEmpty:
       return "empty";
+    case RungOutcome::kBreakerOpen:
+      return "breaker_open";
   }
   return "unknown";
 }
@@ -73,6 +77,9 @@ ServingEngine::ServingEngine(std::vector<Rung> rungs, EngineOptions options)
       "Queries where every rung failed (kUnavailable)");
   cancelled_ = metrics_->GetCounter("goalrec_serve_cancelled_total", {},
                                     "Queries aborted by caller cancellation");
+  shed_ = metrics_->GetCounter(
+      "goalrec_serve_shed_total", {},
+      "Queries rejected by admission control (kResourceExhausted)");
   latency_us_ =
       metrics_->GetHistogram("goalrec_serve_latency_us", latency_bounds, {},
                              "End-to-end Serve latency (microseconds)");
@@ -83,10 +90,12 @@ ServingEngine::ServingEngine(std::vector<Rung> rungs, EngineOptions options)
       metrics_->GetCounter("goalrec_faults_injected_total",
                            {{"kind", "delay"}}, "Injected faults, by kind");
   rung_metrics_.reserve(rungs_.size());
-  for (const Rung& rung : rungs_) {
+  if (options_.breaker.has_value()) breakers_.reserve(rungs_.size());
+  for (size_t i = 0; i < rungs_.size(); ++i) {
+    const Rung& rung = rungs_[i];
     GOALREC_CHECK(rung.recommender != nullptr);
     RungMetrics rm;
-    for (size_t o = 0; o < 4; ++o) {
+    for (size_t o = 0; o < kNumRungOutcomes; ++o) {
       rm.outcome[o] = metrics_->GetCounter(
           "goalrec_serve_rung_attempts_total",
           {{"rung", rung.name},
@@ -96,19 +105,68 @@ ServingEngine::ServingEngine(std::vector<Rung> rungs, EngineOptions options)
     rm.latency_us = metrics_->GetHistogram(
         "goalrec_serve_rung_latency_us", latency_bounds, {{"rung", rung.name}},
         "Per-rung attempt latency (microseconds)");
+    if (options_.breaker.has_value()) {
+      rm.breaker_state = metrics_->GetGauge(
+          "goalrec_breaker_state", {{"rung", rung.name}},
+          "Circuit breaker state (0 closed, 1 open, 2 half-open)");
+      CircuitBreakerOptions breaker_options = *options_.breaker;
+      breaker_options.seed += i;  // distinct jitter stream per rung
+      breakers_.push_back(std::make_unique<CircuitBreaker>(breaker_options));
+    }
     rung_metrics_.push_back(rm);
   }
 }
 
-util::StatusOr<ServeResult> ServingEngine::Serve(
-    const model::Activity& activity, size_t k,
-    util::CancellationToken cancel) const {
-  // Sampling decision and trace lifetime live out here so ServeInternal's
-  // early returns cannot leak a trace with open spans into the sink.
+util::StatusOr<ServeResult> ServingEngine::ServeImpl(
+    const model::Activity& activity, size_t k, util::CancellationToken cancel,
+    QueryPriority priority) const {
+  Clock::time_point query_start = Clock::now();
+  queries_->Increment();
+  // The budget starts at arrival: time spent queued for admission is spent
+  // from the same deadline the ladder runs under.
+  util::Deadline deadline =
+      options_.deadline_ms > 0
+          ? util::Deadline::AfterMillis(options_.deadline_ms)
+          : util::Deadline::Infinite();
+  if (options_.admission != nullptr) {
+    util::Status admitted =
+        options_.admission->Admit(priority, deadline, cancel);
+    if (!admitted.ok()) {
+      if (admitted.code() == util::StatusCode::kCancelled) {
+        cancelled_->Increment();
+      } else {
+        shed_->Increment();
+      }
+      return admitted;
+    }
+  }
+  // Sampling decision and trace lifetime live out here so RunLadder's early
+  // returns cannot leak a trace with open spans into the sink.
   std::shared_ptr<obs::Trace> trace;
   if (sampler_.Sample()) trace = std::make_shared<obs::Trace>("serve");
+  Clock::time_point ladder_start = Clock::now();
   util::StatusOr<ServeResult> result =
-      ServeInternal(activity, k, std::move(cancel), trace.get());
+      RunLadder(activity, k, cancel, deadline, query_start, trace.get());
+  if (options_.admission != nullptr) {
+    // The limiter learns from ladder time only: queue wait is the
+    // controller's own doing and would double-count in its service
+    // estimate (see AdmissionController::Release). Breaker-gated queries
+    // skip straight toward the floor, so their latency is withheld from
+    // the limiter entirely.
+    std::chrono::nanoseconds latency = Clock::now() - ladder_start;
+    bool met = result.ok() &&
+               (deadline.is_infinite() || !deadline.Expired());
+    bool breaker_gated = false;
+    if (result.ok()) {
+      for (const RungReport& report : result.value().rungs) {
+        if (report.outcome == RungOutcome::kBreakerOpen) {
+          breaker_gated = true;
+          break;
+        }
+      }
+    }
+    options_.admission->Release(latency, met, /*limiter_sample=*/!breaker_gated);
+  }
   if (trace != nullptr) {
     if (result.ok()) result.value().trace = trace;
     if (options_.trace_sink) options_.trace_sink(*trace);
@@ -116,11 +174,10 @@ util::StatusOr<ServeResult> ServingEngine::Serve(
   return result;
 }
 
-util::StatusOr<ServeResult> ServingEngine::ServeInternal(
-    const model::Activity& activity, size_t k, util::CancellationToken cancel,
-    obs::Trace* trace) const {
-  Clock::time_point query_start = Clock::now();
-  queries_->Increment();
+util::StatusOr<ServeResult> ServingEngine::RunLadder(
+    const model::Activity& activity, size_t k,
+    const util::CancellationToken& cancel, const util::Deadline& deadline,
+    Clock::time_point query_start, obs::Trace* trace) const {
   // Activate the trace for the whole query: QueryContext::Create and the
   // strategies pick it up through obs::CurrentTrace().
   obs::ScopedTraceActivation activation(trace);
@@ -128,15 +185,13 @@ util::StatusOr<ServeResult> ServingEngine::ServeInternal(
   serve_span.Annotate("k", k);
   serve_span.Annotate("activity_size", activity.size());
   serve_span.Annotate("deadline_ms", options_.deadline_ms);
-  util::Deadline deadline = options_.deadline_ms > 0
-                                ? util::Deadline::AfterMillis(options_.deadline_ms)
-                                : util::Deadline::Infinite();
   ServeResult result;
   result.num_rungs = rungs_.size();
   for (size_t i = 0; i < rungs_.size(); ++i) {
     const Rung& rung = rungs_[i];
     const RungMetrics& rm = rung_metrics_[i];
     const bool is_last = i + 1 == rungs_.size();
+    CircuitBreaker* breaker = breakers_.empty() ? nullptr : breakers_[i].get();
     Clock::time_point rung_start = Clock::now();
     obs::ScopedSpan rung_span(trace, "rung/" + rung.name);
     rung_span.Annotate("index", i);
@@ -158,6 +213,25 @@ util::StatusOr<ServeResult> ServingEngine::ServeInternal(
       rung_span.Annotate("outcome", RungOutcomeLabel(outcome));
       result.rungs.push_back(std::move(report));
     };
+    // Feeds the rung's outcome to its breaker and refreshes the state
+    // gauge. Empty answers count as healthy: the rung responded promptly,
+    // it just had nothing to say.
+    auto record_breaker = [&](RungOutcome outcome) {
+      if (breaker == nullptr) return;
+      switch (outcome) {
+        case RungOutcome::kServed:
+        case RungOutcome::kEmpty:
+          breaker->RecordSuccess();
+          break;
+        case RungOutcome::kDeadlineExceeded:
+        case RungOutcome::kError:
+          breaker->RecordFailure();
+          break;
+        case RungOutcome::kBreakerOpen:
+          break;
+      }
+      rm.breaker_state->Set(static_cast<int64_t>(breaker->state()));
+    };
 
     if (cancel.Cancelled()) {
       cancelled_->Increment();
@@ -168,6 +242,15 @@ util::StatusOr<ServeResult> ServingEngine::ServeInternal(
       return util::CancelledError("query cancelled before rung '" +
                                   rung.name + "'");
     }
+    // Breaker check first: skipping an unhealthy rung must cost
+    // microseconds, not a fault-plane sleep or a doomed attempt. The final
+    // rung is never gated — the floor always runs.
+    if (!is_last && breaker != nullptr && !breaker->Allow()) {
+      report.latency = Clock::now() - rung_start;
+      rm.breaker_state->Set(static_cast<int64_t>(breaker->state()));
+      finish_rung(RungOutcome::kBreakerOpen);
+      continue;
+    }
     if (options_.faults != nullptr) {
       util::Status injected = options_.faults->MaybeFail("rung/" + rung.name);
       if (!injected.ok()) {
@@ -177,6 +260,7 @@ util::StatusOr<ServeResult> ServingEngine::ServeInternal(
         report.status = injected;
         report.latency = Clock::now() - rung_start;
         finish_rung(RungOutcome::kError);
+        record_breaker(RungOutcome::kError);
         continue;
       }
       std::chrono::milliseconds delay =
@@ -191,6 +275,7 @@ util::StatusOr<ServeResult> ServingEngine::ServeInternal(
     if (!is_last && deadline.Expired()) {
       report.latency = Clock::now() - rung_start;
       finish_rung(RungOutcome::kDeadlineExceeded);
+      record_breaker(RungOutcome::kDeadlineExceeded);
       continue;
     }
 
@@ -215,14 +300,17 @@ util::StatusOr<ServeResult> ServingEngine::ServeInternal(
       // The budget fired mid-rung: the list is a partial answer; discard it
       // and degrade.
       finish_rung(RungOutcome::kDeadlineExceeded);
+      record_breaker(RungOutcome::kDeadlineExceeded);
       continue;
     }
     if (list.empty() && !is_last) {
       finish_rung(RungOutcome::kEmpty);
+      record_breaker(RungOutcome::kEmpty);
       continue;
     }
 
     finish_rung(RungOutcome::kServed);
+    record_breaker(RungOutcome::kServed);
     result.list = std::move(list);
     result.rung_index = i;
     result.rung_name = rung.name;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,8 @@
 #include "model/types.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/admission.h"
+#include "serve/circuit_breaker.h"
 #include "serve/fault_injection.h"
 #include "util/deadline.h"
 #include "util/status.h"
@@ -26,12 +29,21 @@
 // recommenders degrade to cheaper models under pressure (cf. the hybrid
 // goal/CF ranking of arXiv 2011.06237) rather than erroring.
 //
-// Deadline semantics: one budget covers the whole query. Non-final rungs run
-// under it and are abandoned the moment it expires; the FINAL rung always
-// runs unbounded, because a floor that can also time out would turn overload
-// into outages — so make it structurally cheap (LibraryPopularity is).
-// Cancellation, by contrast, aborts the whole query: a caller that hung up
-// does not want a cheaper answer.
+// Deadline semantics: one budget covers the whole query, including any time
+// spent queued for admission. Non-final rungs run under it and are abandoned
+// the moment it expires; the FINAL rung always runs unbounded, because a
+// floor that can also time out would turn overload into outages — so make it
+// structurally cheap (LibraryPopularity is). Cancellation, by contrast,
+// aborts the whole query: a caller that hung up does not want a cheaper
+// answer.
+//
+// Overload protection (optional, see serve/admission.h and
+// serve/circuit_breaker.h): an AdmissionController in front of the ladder
+// sheds excess traffic with kResourceExhausted before it can burn a
+// deadline, and a per-rung CircuitBreaker skips a rung that keeps failing
+// (outcome kBreakerOpen) instead of re-discovering the failure on every
+// query. The degradation ladder degrades every answer a little; admission
+// control keeps admitted answers good and fails the rest fast.
 
 namespace goalrec::serve {
 
@@ -41,7 +53,11 @@ enum class RungOutcome {
   kDeadlineExceeded,  // budget expired before or while the rung ran
   kError,             // the rung failed (today: injected faults)
   kEmpty,             // ran to completion but had nothing to recommend
+  kBreakerOpen,       // skipped: the rung's circuit breaker refused it
 };
+
+/// Number of RungOutcome values (metric array bound).
+inline constexpr size_t kNumRungOutcomes = 5;
 
 const char* RungOutcomeToString(RungOutcome outcome);
 
@@ -64,6 +80,16 @@ struct EngineOptions {
   /// null). Injected delays are slept (capped at the remaining budget plus
   /// one millisecond) and injected errors fail the rung.
   FaultInjector* faults = nullptr;
+  /// Optional admission controller consulted before the ladder runs (not
+  /// owned; may be null; may be shared between engines so they compete for
+  /// one concurrency budget). Shed queries return kResourceExhausted
+  /// without touching a rung; queue wait is spent from the query deadline.
+  AdmissionController* admission = nullptr;
+  /// When set, every rung gets a CircuitBreaker built from these options
+  /// (rung index added to the seed so jitter streams differ). An open
+  /// breaker skips its rung at admission time — except the final rung,
+  /// which is never gated: the floor must always run.
+  std::optional<CircuitBreakerOptions> breaker;
   /// Registry the engine's counters/histograms report into. Null means
   /// obs::MetricRegistry::Default(); tests pass their own to scrape in
   /// isolation. Not owned; must outlive the engine.
@@ -109,43 +135,79 @@ class ServingEngine {
   ServingEngine(std::vector<Rung> rungs, EngineOptions options = {});
 
   /// Serves one query. Returns an error only when the query was cancelled
-  /// (kCancelled) or every rung failed (kUnavailable); a deadline alone
-  /// never produces an error, it produces a degraded answer.
+  /// (kCancelled), shed by admission control (kResourceExhausted), or every
+  /// rung failed (kUnavailable); a deadline alone never produces an error,
+  /// it produces a degraded answer.
   util::StatusOr<ServeResult> Serve(const model::Activity& activity,
                                     size_t k) const {
-    return Serve(activity, k, util::CancellationToken());
+    return ServeImpl(activity, k, util::CancellationToken(),
+                     QueryPriority::kInteractive);
   }
 
   /// Serve with caller-side cancellation.
   util::StatusOr<ServeResult> Serve(const model::Activity& activity, size_t k,
-                                    util::CancellationToken cancel) const;
+                                    util::CancellationToken cancel) const {
+    return ServeImpl(activity, k, std::move(cancel),
+                     QueryPriority::kInteractive);
+  }
+
+  /// Serve with cancellation and an explicit priority class. Batch traffic
+  /// is shed first under overload (see serve/admission.h).
+  util::StatusOr<ServeResult> Serve(const model::Activity& activity, size_t k,
+                                    util::CancellationToken cancel,
+                                    QueryPriority priority) const {
+    return ServeImpl(activity, k, std::move(cancel), priority);
+  }
 
   size_t num_rungs() const { return rungs_.size(); }
   const std::vector<Rung>& rungs() const { return rungs_; }
   const EngineOptions& options() const { return options_; }
+
+  /// The rung's circuit breaker, or null when EngineOptions::breaker is
+  /// unset. Exposed for tests and operational introspection.
+  const CircuitBreaker* breaker(size_t rung_index) const {
+    return breakers_.empty() ? nullptr : breakers_[rung_index].get();
+  }
 
  private:
   /// Instrument handles resolved once at construction: the per-query path
   /// touches only relaxed atomics, never the registry mutex.
   struct RungMetrics {
     /// Indexed by static_cast<size_t>(RungOutcome).
-    obs::Counter* outcome[4] = {nullptr, nullptr, nullptr, nullptr};
+    obs::Counter* outcome[kNumRungOutcomes] = {};
     obs::Histogram* latency_us = nullptr;
+    /// CircuitBreaker::State as an integer; null when breakers are off.
+    obs::Gauge* breaker_state = nullptr;
   };
 
-  util::StatusOr<ServeResult> ServeInternal(const model::Activity& activity,
-                                            size_t k,
-                                            util::CancellationToken cancel,
-                                            obs::Trace* trace) const;
+  /// The single entry point behind every public Serve overload: admission
+  /// (exactly once per query), trace sampling, the ladder walk, slot
+  /// release.
+  util::StatusOr<ServeResult> ServeImpl(const model::Activity& activity,
+                                        size_t k,
+                                        util::CancellationToken cancel,
+                                        QueryPriority priority) const;
+
+  util::StatusOr<ServeResult> RunLadder(const model::Activity& activity,
+                                        size_t k,
+                                        const util::CancellationToken& cancel,
+                                        const util::Deadline& deadline,
+                                        std::chrono::steady_clock::time_point
+                                            query_start,
+                                        obs::Trace* trace) const;
 
   std::vector<Rung> rungs_;
   EngineOptions options_;
   obs::MetricRegistry* metrics_ = nullptr;
   std::vector<RungMetrics> rung_metrics_;
+  /// One breaker per rung when options_.breaker is set; empty otherwise.
+  /// Mutable: breakers accumulate health state across const Serve calls.
+  mutable std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
   obs::Counter* queries_ = nullptr;
   obs::Counter* degraded_ = nullptr;
   obs::Counter* unavailable_ = nullptr;
   obs::Counter* cancelled_ = nullptr;
+  obs::Counter* shed_ = nullptr;
   obs::Histogram* latency_us_ = nullptr;
   obs::Counter* fault_errors_ = nullptr;
   obs::Counter* fault_delays_ = nullptr;

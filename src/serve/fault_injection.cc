@@ -16,10 +16,29 @@ util::Status FaultInjector::MaybeFail(std::string_view op) {
 std::chrono::milliseconds FaultInjector::MaybeDelay(std::string_view /*op*/) {
   std::unique_lock<std::mutex> lock(mutex_);
   ++counters_.calls;
-  if (options_.latency_ms <= 0 || !rng_.Bernoulli(options_.latency_rate)) {
+  const int64_t burst_ms = options_.latency_burst_ms > 0
+                               ? options_.latency_burst_ms
+                               : options_.latency_ms;
+  // An active burst delays unconditionally and consumes no schedule draw,
+  // so the Bernoulli stream (and hence determinism for callers probing
+  // seeds) is unaffected by burst length.
+  if (burst_remaining_ > 0) {
+    --burst_remaining_;
+    ++counters_.delays;
+    return std::chrono::milliseconds(burst_ms);
+  }
+  const bool spike_possible =
+      options_.latency_ms > 0 ||
+      (options_.latency_burst_count > 0 && options_.latency_burst_ms > 0);
+  if (!spike_possible || !rng_.Bernoulli(options_.latency_rate)) {
     return std::chrono::milliseconds::zero();
   }
   ++counters_.delays;
+  if (options_.latency_burst_count > 0) {
+    ++counters_.bursts;
+    burst_remaining_ = options_.latency_burst_count - 1;
+    return std::chrono::milliseconds(burst_ms);
+  }
   return std::chrono::milliseconds(options_.latency_ms);
 }
 

@@ -31,6 +31,14 @@ struct FaultInjectionOptions {
   double latency_rate = 0.0;
   /// ...of this size.
   int64_t latency_ms = 0;
+  /// Sustained-spike mode: when a latency fault fires and this is > 0, the
+  /// spike extends over `latency_burst_count` consecutive MaybeDelay calls
+  /// (the trigger included), each sleeping `latency_burst_ms` (or
+  /// latency_ms when burst_ms is 0). Models a correlated slowdown — a
+  /// saturated dependency, a GC pause train — rather than i.i.d. spikes,
+  /// which is what trips a circuit breaker end-to-end.
+  int latency_burst_count = 0;
+  int64_t latency_burst_ms = 0;
   /// Probability that MaybeTruncate cuts a payload to a strict prefix.
   double partial_read_rate = 0.0;
 };
@@ -57,6 +65,7 @@ class FaultInjector {
     uint64_t errors = 0;       // injected failures
     uint64_t delays = 0;       // injected latency spikes
     uint64_t truncations = 0;  // injected partial reads
+    uint64_t bursts = 0;       // sustained-spike bursts started
   };
   Counters counters() const;
 
@@ -65,6 +74,8 @@ class FaultInjector {
   FaultInjectionOptions options_;
   util::Rng rng_;
   Counters counters_;
+  /// Remaining calls in the current latency burst (0 when not bursting).
+  int burst_remaining_ = 0;
 };
 
 }  // namespace goalrec::serve

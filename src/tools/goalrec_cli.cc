@@ -7,7 +7,13 @@
 //                     [--k=10] [--explain] [--metric=euclidean]
 //                     [--deadline_ms=N] [--fallback_chain=s1,s2,...]
 //                     [--fault_seed=N --fault_error_rate=P
-//                      --fault_latency_ms=N --fault_latency_rate=P]
+//                      --fault_latency_ms=N --fault_latency_rate=P
+//                      --fault_latency_burst_ms=N --fault_latency_burst_count=N]
+//                     [--admission --admission_limit=N --admission_adaptive=B
+//                      --admission_queue=N --admission_batch_queue=N
+//                      --priority=interactive|batch]
+//                     [--breaker_failures=N --breaker_cooldown_ms=N
+//                      --breaker_probes=N]
 //       Rank recommendations for the given activity. Strategies: focus_cmp,
 //       focus_cl, breadth, best_match, popularity (structural floor).
 //       --explain prints, per recommendation, the goals it advances.
@@ -15,7 +21,12 @@
 //       resilient serving engine (docs/serving.md): the chain's rungs are
 //       tried best-first under the deadline and the serving rung is
 //       reported. --fault_* inject deterministic faults to exercise the
-//       ladder. Defaults: chain "<strategy>,popularity".
+//       ladder; --fault_latency_burst_* turn a spike into a sustained burst
+//       (the breaker trip scenario). --admission* put an overload-
+//       protection front door before the ladder (shed with
+//       RESOURCE_EXHAUSTED instead of timing out); --breaker_* give every
+//       non-final rung a circuit breaker. Defaults: chain
+//       "<strategy>,popularity".
 //
 // Every command that loads a library or CSV honours --retry_attempts=N,
 // --retry_backoff_ms=N and --retry_seed=N: transient I/O errors are retried
@@ -292,9 +303,16 @@ int CmdRecommend(const FlagParser& flags) {
   }
 
   goalrec::core::RecommendationList list;
+  bool use_admission =
+      flags.Has("admission") || flags.Has("admission_limit") ||
+      flags.Has("admission_queue") || flags.Has("admission_batch_queue");
+  bool use_breakers = flags.Has("breaker_failures") ||
+                      flags.Has("breaker_cooldown_ms") ||
+                      flags.Has("breaker_probes");
   bool use_engine = flags.Has("deadline_ms") || flags.Has("fallback_chain") ||
                     flags.Has("fault_seed") || flags.Has("trace_sample_rate") ||
-                    flags.Has("trace_out");
+                    flags.Has("trace_out") || use_admission || use_breakers ||
+                    flags.Has("priority");
   if (use_engine) {
     std::string chain = flags.GetString("fallback_chain");
     if (chain.empty()) chain = strategy + ",popularity";
@@ -345,12 +363,59 @@ int CmdRecommend(const FlagParser& flags) {
       fault_options.latency_ms =
           flags.GetInt("fault_latency_ms", 0).ok()
               ? *flags.GetInt("fault_latency_ms", 0) : 0;
+      fault_options.latency_burst_ms =
+          flags.GetInt("fault_latency_burst_ms", 0).ok()
+              ? *flags.GetInt("fault_latency_burst_ms", 0) : 0;
+      fault_options.latency_burst_count = static_cast<int>(
+          flags.GetInt("fault_latency_burst_count", 0).ok()
+              ? *flags.GetInt("fault_latency_burst_count", 0) : 0);
       faults.emplace(fault_options);
       engine_options.faults = &*faults;
     }
+    // Overload protection: an admission front door and per-rung breakers.
+    std::optional<goalrec::serve::AdmissionController> admission;
+    if (use_admission) {
+      goalrec::serve::AdmissionOptions admission_options;
+      admission_options.initial_limit = static_cast<int>(
+          flags.GetInt("admission_limit", 8).ok()
+              ? *flags.GetInt("admission_limit", 8) : 8);
+      StatusOr<bool> adaptive = flags.GetBool("admission_adaptive", true);
+      admission_options.adaptive = adaptive.ok() ? *adaptive : true;
+      admission_options.max_queue_interactive = static_cast<size_t>(
+          flags.GetInt("admission_queue", 64).ok()
+              ? *flags.GetInt("admission_queue", 64) : 64);
+      admission_options.max_queue_batch = static_cast<size_t>(
+          flags.GetInt("admission_batch_queue", 16).ok()
+              ? *flags.GetInt("admission_batch_queue", 16) : 16);
+      admission.emplace(admission_options);
+      engine_options.admission = &*admission;
+    }
+    if (use_breakers) {
+      goalrec::serve::CircuitBreakerOptions breaker_options;
+      breaker_options.failure_threshold = static_cast<int>(
+          flags.GetInt("breaker_failures", 5).ok()
+              ? *flags.GetInt("breaker_failures", 5) : 5);
+      breaker_options.open_cooldown = std::chrono::milliseconds(
+          flags.GetInt("breaker_cooldown_ms", 1000).ok()
+              ? *flags.GetInt("breaker_cooldown_ms", 1000) : 1000);
+      breaker_options.half_open_probes = static_cast<int>(
+          flags.GetInt("breaker_probes", 3).ok()
+              ? *flags.GetInt("breaker_probes", 3) : 3);
+      engine_options.breaker = breaker_options;
+    }
+    std::string priority_name = flags.GetString("priority", "interactive");
+    goalrec::serve::QueryPriority priority =
+        goalrec::serve::QueryPriority::kInteractive;
+    if (priority_name == "batch") {
+      priority = goalrec::serve::QueryPriority::kBatch;
+    } else if (priority_name != "interactive") {
+      GOALREC_LOG(ERROR) << "--priority must be interactive|batch";
+      return 2;
+    }
     goalrec::serve::ServingEngine engine(std::move(rungs), engine_options);
     goalrec::util::StatusOr<goalrec::serve::ServeResult> served =
-        engine.Serve(*activity, static_cast<size_t>(*k));
+        engine.Serve(*activity, static_cast<size_t>(*k),
+                     goalrec::util::CancellationToken(), priority);
     if (!served.ok()) {
       GOALREC_LOG(ERROR) << "serve failed"
                          << goalrec::util::Kv("status",

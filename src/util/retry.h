@@ -6,6 +6,7 @@
 #include <functional>
 #include <utility>
 
+#include "util/deadline.h"
 #include "util/status.h"
 
 // Status-aware retry with exponential backoff and decorrelated jitter
@@ -32,6 +33,11 @@ struct RetryOptions {
   std::function<void(std::chrono::milliseconds)> sleeper;
   /// Which errors are worth retrying; default: kIoError and kUnavailable.
   std::function<bool(const Status&)> retriable;
+  /// Overall wall-time budget, typically the deadline of the query this
+  /// retry sequence serves. No backoff sleep is started that the remaining
+  /// budget cannot cover, and no attempt starts past expiry — a retry loop
+  /// must never outlive its caller's deadline. Default: infinite.
+  Deadline deadline;
 };
 
 /// Default retry predicate: transient I/O and availability failures.
@@ -92,7 +98,17 @@ auto RetryCall(const RetryOptions& options, Fn&& fn, int* attempts_out = nullptr
                                    /*exhausted=*/retriable);
       return result;
     }
-    internal::SleepOrInvoke(options, backoff.Next());
+    std::chrono::milliseconds delay = backoff.Next();
+    if (!options.deadline.is_infinite() &&
+        (options.deadline.Expired() ||
+         delay > std::chrono::duration_cast<std::chrono::milliseconds>(
+                     options.deadline.Remaining()))) {
+      // The budget cannot cover another backoff + attempt: give up with
+      // the last error instead of sleeping past the caller's deadline.
+      internal::RecordRetryOutcome(attempt, /*ok=*/false, /*exhausted=*/true);
+      return result;
+    }
+    internal::SleepOrInvoke(options, delay);
   }
 }
 

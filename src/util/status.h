@@ -24,6 +24,7 @@ enum class StatusCode {
   kIoError,
   kUnavailable,
   kCancelled,
+  kResourceExhausted,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "INVALID_ARGUMENT"...).
@@ -60,6 +61,7 @@ Status InternalError(std::string message);
 Status IoError(std::string message);
 Status UnavailableError(std::string message);
 Status CancelledError(std::string message);
+Status ResourceExhaustedError(std::string message);
 
 /// Either a value of type T or an error Status. Mirrors absl::StatusOr.
 template <typename T>

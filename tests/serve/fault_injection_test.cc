@@ -74,6 +74,69 @@ TEST(FaultInjectorTest, EqualSeedsReplayEqualSchedules) {
   EXPECT_EQ(a.counters().delays, b.counters().delays);
 }
 
+TEST(FaultInjectorTest, LatencyBurstExtendsOverConsecutiveCalls) {
+  FaultInjectionOptions options;
+  options.latency_rate = 1.0;
+  options.latency_burst_count = 3;
+  options.latency_burst_ms = 40;
+  FaultInjector injector(options);
+  // The trigger and the next two calls all delay: one sustained slowdown,
+  // not three i.i.d. spikes.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(injector.MaybeDelay("rung").count(), 40) << "call " << i;
+  }
+  EXPECT_EQ(injector.counters().delays, 3u);
+  EXPECT_EQ(injector.counters().bursts, 1u);
+}
+
+TEST(FaultInjectorTest, BurstFallsBackToLatencyMsWhenBurstMsUnset) {
+  FaultInjectionOptions options;
+  options.latency_rate = 1.0;
+  options.latency_ms = 15;
+  options.latency_burst_count = 2;
+  FaultInjector injector(options);
+  EXPECT_EQ(injector.MaybeDelay("rung").count(), 15);
+  EXPECT_EQ(injector.MaybeDelay("rung").count(), 15);
+  EXPECT_EQ(injector.counters().bursts, 1u);
+}
+
+TEST(FaultInjectorTest, BurstConsumesNoScheduleDraws) {
+  // Burst-mode delays must not advance the Bernoulli stream: an injector
+  // with bursts and one without must agree on every error decision, so
+  // tests that probe seeds for specific fault schedules stay valid when a
+  // burst is added.
+  FaultInjectionOptions plain;
+  plain.seed = 5;
+  plain.error_rate = 0.5;
+  plain.latency_rate = 1.0;
+  plain.latency_ms = 10;  // i.i.d. single spikes
+  FaultInjectionOptions bursty = plain;
+  bursty.latency_burst_count = 8;
+  bursty.latency_burst_ms = 10;
+  FaultInjector a(plain);
+  FaultInjector b(bursty);
+  // Both first MaybeDelay calls consume one trigger draw (b's starts the
+  // burst); after that, burst-covered delays consume none, so the error
+  // streams must stay in lockstep.
+  a.MaybeDelay("rung");
+  b.MaybeDelay("rung");
+  for (int i = 0; i < 6; ++i) {
+    b.MaybeDelay("rung");  // inside the burst: no draw consumed
+    EXPECT_EQ(a.MaybeFail("x").ok(), b.MaybeFail("x").ok()) << "call " << i;
+  }
+}
+
+TEST(FaultInjectorTest, ZeroBurstCountKeepsSingleSpikes) {
+  FaultInjectionOptions options;
+  options.latency_rate = 1.0;
+  options.latency_ms = 25;
+  FaultInjector injector(options);
+  injector.MaybeDelay("rung");
+  injector.MaybeDelay("rung");
+  EXPECT_EQ(injector.counters().bursts, 0u);
+  EXPECT_EQ(injector.counters().delays, 2u);
+}
+
 TEST(FaultInjectorTest, DistinctSeedsDiverge) {
   FaultInjectionOptions options;
   options.error_rate = 0.5;

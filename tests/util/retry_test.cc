@@ -98,6 +98,52 @@ TEST(RetryTest, MaxAttemptsBelowOneMeansSingleAttempt) {
   EXPECT_EQ(attempts, 1);
 }
 
+TEST(RetryTest, ExpiredDeadlineStopsAfterFirstAttempt) {
+  std::vector<std::chrono::milliseconds> slept;
+  RetryOptions options = NoSleepOptions(5, &slept);
+  options.deadline = Deadline::AfterMillis(0);  // already expired
+  int attempts = 0;
+  Status result = RetryCall(options, [] { return IoError("flaky"); },
+                            &attempts);
+  // Retriable error and budget left for 4 more attempts — but the deadline
+  // is spent, so the loop returns the last error without sleeping.
+  EXPECT_EQ(result.code(), StatusCode::kIoError);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST(RetryTest, BackoffThatWouldOvershootDeadlineIsNotSlept) {
+  // First backoff draw is pinned at 1000 ms by the cap; the 50 ms deadline
+  // cannot cover it, so the retry sequence must give up immediately instead
+  // of sleeping 20x past its caller's budget.
+  std::vector<std::chrono::milliseconds> slept;
+  RetryOptions options = NoSleepOptions(5, &slept);
+  options.initial_backoff_ms = 1000;
+  options.max_backoff_ms = 1000;
+  options.deadline = Deadline::AfterMillis(50);
+  int attempts = 0;
+  Status result = RetryCall(options, [] { return IoError("flaky"); },
+                            &attempts);
+  EXPECT_EQ(result.code(), StatusCode::kIoError);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST(RetryTest, GenerousDeadlineLeavesRetriesUnaffected) {
+  std::vector<std::chrono::milliseconds> slept;
+  RetryOptions options = NoSleepOptions(5, &slept);
+  options.deadline = Deadline::AfterMillis(60'000);
+  int attempts = 0;
+  int calls = 0;
+  Status result = RetryCall(
+      options,
+      [&calls] { return ++calls < 3 ? IoError("flaky") : Status::Ok(); },
+      &attempts);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(slept.size(), 2u);
+}
+
 TEST(BackoffPolicyTest, DelaysStayWithinBounds) {
   BackoffPolicy policy(10, 500, 7);
   int64_t previous = 10;

@@ -28,12 +28,16 @@ TEST(StatusTest, FactoryFunctionsSetDistinctCodes) {
   EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
   EXPECT_EQ(IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
 }
 
 TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IO_ERROR");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
 }
 
 TEST(StatusOrTest, HoldsValue) {
