@@ -42,6 +42,17 @@ run_overload_smoke() {
   "$build_dir/bench/micro_overload" --smoke >/dev/null
 }
 
+run_snapshot_smoke() {
+  local build_dir=$1
+  # Snapshot smoke (bench/micro_snapshot.cc): library build + snapshot wrap,
+  # per-query allocation counts, and a swap-under-load sweep. The binary
+  # exits non-zero if the pooled query path allocates in steady state, so
+  # this run is the zero-allocation regression gate; the recorded numbers
+  # live in BENCH_snapshot.json. See docs/serving.md ("Library hot reload").
+  echo "=== snapshot smoke ($build_dir) ==="
+  "$build_dir/bench/micro_snapshot" --smoke >/dev/null
+}
+
 CTEST_ARGS=()
 PLAIN=0
 for arg in "$@"; do
@@ -53,17 +64,22 @@ if [[ "$PLAIN" == 1 ]]; then
   run_suite build
   run_fuzz_smoke build
   run_overload_smoke build
+  run_snapshot_smoke build
 fi
 
 echo "=== ASan+UBSan build + ctest (build-asan/) ==="
 run_suite build-asan -DGOALREC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 run_fuzz_smoke build-asan
 run_overload_smoke build-asan
+run_snapshot_smoke build-asan
 
 # TSan is mutually exclusive with ASan, so it gets its own tree. The test
 # registration in tests/CMakeLists.txt trims this build to the tests that
 # actually exercise cross-thread state (metric shards, trace activation,
 # pool queues); single-threaded tests add nothing under TSan.
 echo "=== TSan build + ctest (build-tsan/) ==="
+# The suppressions file documents the one known false positive (libstdc++'s
+# atomic<shared_ptr> internal spin lock, hit by SnapshotManager).
+export TSAN_OPTIONS="suppressions=$PWD/scripts/tsan_suppressions.txt ${TSAN_OPTIONS:-}"
 run_suite build-tsan -DGOALREC_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 echo "OK: sanitized test suites green (ASan+UBSan, TSan)"

@@ -10,7 +10,8 @@ namespace goalrec::core {
 namespace {
 
 // Index of `goal` within the sorted goal space, or -1 when absent.
-int64_t GoalIndex(const model::IdSet& goal_space, model::GoalId goal) {
+int64_t GoalIndex(std::span<const model::GoalId> goal_space,
+                  model::GoalId goal) {
   auto it = std::lower_bound(goal_space.begin(), goal_space.end(), goal);
   if (it == goal_space.end() || *it != goal) return -1;
   return it - goal_space.begin();
@@ -24,42 +25,57 @@ BestMatchRecommender::BestMatchRecommender(
   GOALREC_CHECK(library_ != nullptr);
 }
 
-util::DenseVector BestMatchRecommender::ActionVector(
-    model::ActionId action, const model::IdSet& goal_space) const {
-  util::DenseVector vec(goal_space.size(), 0.0);
+void BestMatchRecommender::ActionVectorInto(
+    model::ActionId action, std::span<const model::GoalId> goal_space,
+    util::DenseVector& out) const {
+  out.assign(goal_space.size(), 0.0);
   for (model::ImplId p : library_->ImplsOfAction(action)) {
     int64_t idx = GoalIndex(goal_space, library_->GoalOf(p));
     if (idx < 0) continue;  // goal outside F_GS(H)
     if (options_.representation == GoalVectorRepresentation::kBoolean) {
-      vec[static_cast<size_t>(idx)] = 1.0;
+      out[static_cast<size_t>(idx)] = 1.0;
     } else {
-      vec[static_cast<size_t>(idx)] += 1.0;
+      out[static_cast<size_t>(idx)] += 1.0;
     }
   }
   if (options_.goal_weights != nullptr) {
     for (size_t i = 0; i < goal_space.size(); ++i) {
-      vec[i] *= options_.goal_weights->WeightOf(goal_space[i]);
+      out[i] *= options_.goal_weights->WeightOf(goal_space[i]);
     }
   }
+}
+
+util::DenseVector BestMatchRecommender::ActionVector(
+    model::ActionId action, const model::IdSet& goal_space) const {
+  util::DenseVector vec;
+  ActionVectorInto(action, goal_space, vec);
   return vec;
+}
+
+void BestMatchRecommender::ProfileInto(util::IdSpan activity,
+                                       std::span<const model::GoalId> goal_space,
+                                       util::DenseVector& out,
+                                       util::DenseVector& scratch) const {
+  // Eq. 9: H⃗ = Σ_{a ∈ H} a⃗. Identical to Algorithm 3's single map-building
+  // pass when the representation is kImplementationCount.
+  out.assign(goal_space.size(), 0.0);
+  for (model::ActionId a : activity) {
+    ActionVectorInto(a, goal_space, scratch);
+    util::AddInPlace(out, scratch);
+  }
 }
 
 util::DenseVector BestMatchRecommender::Profile(
     const model::Activity& activity, const model::IdSet& goal_space) const {
-  // Eq. 9: H⃗ = Σ_{a ∈ H} a⃗. Identical to Algorithm 3's single map-building
-  // pass when the representation is kImplementationCount.
-  util::DenseVector profile(goal_space.size(), 0.0);
-  for (model::ActionId a : activity) {
-    util::DenseVector action_vec = ActionVector(a, goal_space);
-    util::AddInPlace(profile, action_vec);
-  }
+  util::DenseVector profile;
+  util::DenseVector scratch;
+  ProfileInto(activity, goal_space, profile, scratch);
   return profile;
 }
 
 RecommendationList BestMatchRecommender::Recommend(
     const model::Activity& activity, size_t k) const {
-  return RecommendOver(activity, library_->GoalSpace(activity),
-                       library_->CandidateActions(activity), k, nullptr);
+  return RecommendCancellable(activity, k, nullptr);
 }
 
 RecommendationList BestMatchRecommender::RecommendCancellable(
@@ -69,39 +85,62 @@ RecommendationList BestMatchRecommender::RecommendCancellable(
   return RecommendInContext(context, k);
 }
 
-RecommendationList BestMatchRecommender::RecommendInContext(
-    const QueryContext& context, size_t k) const {
-  GOALREC_CHECK(context.library == library_);
-  return RecommendOver(context.activity, context.goal_space,
-                       context.candidates, k, context.stop);
+void BestMatchRecommender::RecommendPooled(util::IdSpan activity, size_t k,
+                                           const util::StopToken* stop,
+                                           QueryWorkspace* workspace,
+                                           RecommendationList& out) const {
+  if (workspace == nullptr) {
+    out = RecommendCancellable(
+        model::Activity(activity.begin(), activity.end()), k, stop);
+    return;
+  }
+  QueryContext context =
+      QueryContext::Create(*library_, activity, *workspace, stop);
+  RecommendInContext(context, k, out);
 }
 
-RecommendationList BestMatchRecommender::RecommendOver(
-    const model::Activity& activity, const model::IdSet& goal_space,
-    const model::IdSet& candidates, size_t k,
-    const util::StopToken* stop) const {
-  obs::ScopedSpan span(obs::CurrentTrace(), "strategy/" + name());
+RecommendationList BestMatchRecommender::RecommendInContext(
+    const QueryContext& context, size_t k) const {
+  RecommendationList list;
+  RecommendInContext(context, k, list);
+  return list;
+}
+
+void BestMatchRecommender::RecommendInContext(const QueryContext& context,
+                                              size_t k,
+                                              RecommendationList& out) const {
+  GOALREC_CHECK(context.library == library_);
+  GOALREC_CHECK(context.workspace != nullptr);
+  RecommendOver(context.activity, context.goal_space, context.candidates, k,
+                context.stop, *context.workspace, out);
+}
+
+void BestMatchRecommender::RecommendOver(
+    util::IdSpan activity, std::span<const model::GoalId> goal_space,
+    util::IdSpan candidates, size_t k, const util::StopToken* stop,
+    QueryWorkspace& ws, RecommendationList& out) const {
+  obs::ScopedSpan span(obs::CurrentTrace(), "strategy/BestMatch");
   span.Annotate("goal_space", goal_space.size());
   span.Annotate("candidates", candidates.size());
-  RecommendationList list;
-  if (k == 0) return list;
-  if (goal_space.empty()) return list;
-  util::DenseVector profile = Profile(activity, goal_space);
-  util::TopK<ScoredAction, ByScoreDesc> top_k(k);
+  out.clear();
+  if (k == 0) return;
+  if (goal_space.empty()) return;
+  ProfileInto(activity, goal_space, ws.profile, ws.action_vec);
+  ws.top_k.Reset(k);
   for (model::ActionId a : candidates) {
     if (stop != nullptr && stop->ShouldStop()) break;  // best-effort partial
-    util::DenseVector vec = ActionVector(a, goal_space);
-    double distance = util::Distance(profile, vec, options_.metric);
+    ActionVectorInto(a, goal_space, ws.action_vec);
+    double distance = util::Distance(ws.profile, ws.action_vec,
+                                     options_.metric);
     // Negate: smaller distance ranks first under the shared
     // higher-score-wins comparator.
-    top_k.Push(ScoredAction{a, -distance});
+    ws.top_k.Push(ScoredAction{a, -distance});
   }
-  list = top_k.Take();
-  span.Annotate("emitted", list.size());
+  ws.top_k.TakeInto(out);
+  span.Annotate("emitted", out.size());
   if (stop != nullptr && stop->StopRequested()) {
     span.Annotate("stopped_early", true);
   }
-  return list;
 }
 
 }  // namespace goalrec::core

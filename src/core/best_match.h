@@ -56,10 +56,20 @@ class BestMatchRecommender : public Recommender {
       const model::Activity& activity, size_t k,
       const util::StopToken* stop) const override;
 
+  /// Zero-allocation serving path: spaces, profile and per-candidate vectors
+  /// all live on `workspace`'s reusable buffers.
+  void RecommendPooled(util::IdSpan activity, size_t k,
+                       const util::StopToken* stop, QueryWorkspace* workspace,
+                       RecommendationList& out) const override;
+
   /// Same result as Recommend, reusing the context's precomputed goal space
   /// and candidate set.
   RecommendationList RecommendInContext(const QueryContext& context,
                                         size_t k) const;
+
+  /// Out-param RecommendInContext: results land in `out` (cleared first).
+  void RecommendInContext(const QueryContext& context, size_t k,
+                          RecommendationList& out) const;
 
   /// Algorithm 3 (Get-Goal-Based-Profile): the aggregated user vector H⃗ over
   /// `goal_space` (which must be GoalSpace(activity), sorted).
@@ -71,10 +81,18 @@ class BestMatchRecommender : public Recommender {
                                  const model::IdSet& goal_space) const;
 
  private:
-  RecommendationList RecommendOver(const model::Activity& activity,
-                                   const model::IdSet& goal_space,
-                                   const model::IdSet& candidates, size_t k,
-                                   const util::StopToken* stop) const;
+  /// ActionVector into a reused buffer (assign, no reallocation once warm).
+  void ActionVectorInto(model::ActionId action,
+                        std::span<const model::GoalId> goal_space,
+                        util::DenseVector& out) const;
+  void ProfileInto(util::IdSpan activity,
+                   std::span<const model::GoalId> goal_space,
+                   util::DenseVector& out, util::DenseVector& scratch) const;
+  void RecommendOver(util::IdSpan activity,
+                     std::span<const model::GoalId> goal_space,
+                     util::IdSpan candidates, size_t k,
+                     const util::StopToken* stop, QueryWorkspace& workspace,
+                     RecommendationList& out) const;
 
   const model::ImplementationLibrary* library_;
   BestMatchOptions options_;

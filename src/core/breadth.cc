@@ -1,7 +1,5 @@
 #include "core/breadth.h"
 
-#include <unordered_map>
-
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/set_ops.h"
@@ -33,56 +31,97 @@ double BreadthRecommender::Score(model::ActionId action,
 
 RecommendationList BreadthRecommender::Recommend(
     const model::Activity& activity, size_t k) const {
-  return RecommendOver(activity, library_->ImplementationSpace(activity), k,
-                       nullptr);
+  return RecommendCancellable(activity, k, nullptr);
 }
 
 RecommendationList BreadthRecommender::RecommendCancellable(
     const model::Activity& activity, size_t k,
     const util::StopToken* stop) const {
-  return RecommendOver(activity, library_->ImplementationSpace(activity), k,
-                       stop);
+  QueryWorkspace ws;
+  RecommendationList list;
+  RecommendOver(activity, library_->ImplementationSpace(activity), k, stop,
+                ws, list);
+  return list;
+}
+
+void BreadthRecommender::RecommendPooled(util::IdSpan activity, size_t k,
+                                         const util::StopToken* stop,
+                                         QueryWorkspace* workspace,
+                                         RecommendationList& out) const {
+  if (workspace == nullptr) {
+    out = RecommendCancellable(
+        model::Activity(activity.begin(), activity.end()), k, stop);
+    return;
+  }
+  // Breadth only needs IS(H); build it into the workspace without the full
+  // context's goal space/candidate derivation.
+  QueryWorkspace& ws = *workspace;
+  ws.activity.assign(activity.begin(), activity.end());
+  util::Normalize(ws.activity);
+  ws.impl_space.clear();
+  for (model::ActionId a : ws.activity) {
+    if (a >= library_->num_actions()) continue;
+    std::span<const model::ImplId> postings = library_->ImplsOfAction(a);
+    ws.impl_space.insert(ws.impl_space.end(), postings.begin(),
+                         postings.end());
+  }
+  util::Normalize(ws.impl_space);
+  RecommendOver(ws.activity, ws.impl_space, k, stop, ws, out);
 }
 
 RecommendationList BreadthRecommender::RecommendInContext(
     const QueryContext& context, size_t k) const {
-  GOALREC_CHECK(context.library == library_);
-  return RecommendOver(context.activity, context.impl_space, k, context.stop);
+  RecommendationList list;
+  RecommendInContext(context, k, list);
+  return list;
 }
 
-RecommendationList BreadthRecommender::RecommendOver(
-    const model::Activity& activity, const model::IdSet& impl_space, size_t k,
-    const util::StopToken* stop) const {
-  obs::ScopedSpan span(obs::CurrentTrace(), "strategy/" + name());
-  RecommendationList list;
-  if (k == 0) return list;
+void BreadthRecommender::RecommendInContext(const QueryContext& context,
+                                            size_t k,
+                                            RecommendationList& out) const {
+  GOALREC_CHECK(context.library == library_);
+  GOALREC_CHECK(context.workspace != nullptr);
+  RecommendOver(context.activity, context.impl_space, k, context.stop,
+                *context.workspace, out);
+}
+
+void BreadthRecommender::RecommendOver(
+    util::IdSpan activity, std::span<const model::ImplId> impl_space,
+    size_t k, const util::StopToken* stop, QueryWorkspace& ws,
+    RecommendationList& out) const {
+  obs::ScopedSpan span(obs::CurrentTrace(), "strategy/Breadth");
+  out.clear();
+  if (k == 0) return;
   // Algorithm 2: one pass over IS(H); every implementation credits its
-  // |A ∩ H| to each of its member actions.
-  std::unordered_map<model::ActionId, double> scores;
+  // |A ∩ H| to each of its member actions. The epoch-stamped score array
+  // resets in O(1), so the accumulation is allocation- and hash-free.
+  ws.BeginActionPass(library_->num_actions());
   for (model::ImplId p : impl_space) {
     if (stop != nullptr && stop->ShouldStop()) break;  // best-effort partial
-    const model::IdSet& actions = library_->ActionsOf(p);
+    std::span<const model::ActionId> actions = library_->ActionsOf(p);
     double common =
         static_cast<double>(util::IntersectionSize(actions, activity));
     if (goal_weights_ != nullptr) {
       common *= goal_weights_->WeightOf(library_->GoalOf(p));
     }
-    for (model::ActionId a : actions) scores[a] += common;
+    for (model::ActionId a : actions) ws.AddScore(a, common);
   }
-  util::TopK<ScoredAction, ByScoreDesc> top_k(k);
-  for (const auto& [action, score] : scores) {
-    if (util::Contains(activity, action)) continue;  // already performed
+  // The top-k heap's comparator is a total order (score desc, action id
+  // asc), so the result is independent of the touched-list's order.
+  ws.top_k.Reset(k);
+  for (model::ActionId a : ws.touched()) {
+    if (util::Contains(activity, a)) continue;  // already performed
+    double score = ws.ScoreOf(a);
     if (score <= 0.0) continue;  // only weight-0 goals contributed
-    top_k.Push(ScoredAction{action, score});
+    ws.top_k.Push(ScoredAction{a, score});
   }
-  list = top_k.Take();
+  ws.top_k.TakeInto(out);
   span.Annotate("impl_space", impl_space.size());
-  span.Annotate("actions_scored", scores.size());
-  span.Annotate("emitted", list.size());
+  span.Annotate("actions_scored", ws.touched().size());
+  span.Annotate("emitted", out.size());
   if (stop != nullptr && stop->StopRequested()) {
     span.Annotate("stopped_early", true);
   }
-  return list;
 }
 
 }  // namespace goalrec::core

@@ -18,8 +18,10 @@
 //
 // Algorithm 2's single pass: instead of scoring each candidate independently
 // (O(|AS(H)| × connectivity)), iterate once over IS(H) and add each
-// implementation's |A ∩ H| to all of its member actions. Tests assert this
-// accumulation equals the brute-force Eq. 6 evaluation.
+// implementation's |A ∩ H| to all of its member actions. The accumulator is
+// the workspace's epoch-stamped dense score array — O(1) reset, no hashing,
+// no per-query map allocation. Tests assert this accumulation equals the
+// brute-force Eq. 6 evaluation.
 
 namespace goalrec::core {
 
@@ -41,18 +43,28 @@ class BreadthRecommender : public Recommender {
       const model::Activity& activity, size_t k,
       const util::StopToken* stop) const override;
 
+  /// Zero-allocation serving path over `workspace`'s reusable buffers.
+  void RecommendPooled(util::IdSpan activity, size_t k,
+                       const util::StopToken* stop, QueryWorkspace* workspace,
+                       RecommendationList& out) const override;
+
   /// Same result as Recommend, reusing the context's precomputed IS(H).
   RecommendationList RecommendInContext(const QueryContext& context,
                                         size_t k) const;
+
+  /// Out-param RecommendInContext: results land in `out` (cleared first).
+  void RecommendInContext(const QueryContext& context, size_t k,
+                          RecommendationList& out) const;
 
   /// Eq. 6 score of a single action (brute force over ImplsOfAction);
   /// exposed for tests and explainability.
   double Score(model::ActionId action, const model::Activity& activity) const;
 
  private:
-  RecommendationList RecommendOver(const model::Activity& activity,
-                                   const model::IdSet& impl_space, size_t k,
-                                   const util::StopToken* stop) const;
+  void RecommendOver(util::IdSpan activity,
+                     std::span<const model::ImplId> impl_space, size_t k,
+                     const util::StopToken* stop, QueryWorkspace& workspace,
+                     RecommendationList& out) const;
 
   const model::ImplementationLibrary* library_;
   const GoalWeights* goal_weights_;

@@ -14,7 +14,7 @@ double BestCompleteness(const model::ImplementationLibrary& library,
                         const model::Activity& performed) {
   double best = 0.0;
   for (model::ImplId p : library.ImplsOfGoal(goal)) {
-    const model::IdSet& actions = library.ActionsOf(p);
+    std::span<const model::ActionId> actions = library.ActionsOf(p);
     if (actions.empty()) continue;
     best = std::max(
         best, static_cast<double>(util::IntersectionSize(actions, performed)) /
@@ -43,7 +43,7 @@ Explanation ExplainAction(const model::ImplementationLibrary& library,
     GoalContribution contribution;
     contribution.goal = g;
     for (model::ImplId p : library.ImplsOfGoal(g)) {
-      const model::IdSet& actions = library.ActionsOf(p);
+      std::span<const model::ActionId> actions = library.ActionsOf(p);
       if (!util::Contains(actions, action)) continue;
       if (util::IntersectionSize(actions, activity) > 0) {
         contribution.shared_impls.push_back(p);

@@ -8,16 +8,14 @@
 
 namespace goalrec::core {
 
-double Completeness(const model::IdSet& impl_actions,
-                    const model::Activity& activity) {
+double Completeness(util::IdSpan impl_actions, util::IdSpan activity) {
   if (impl_actions.empty()) return 0.0;
   size_t common = util::IntersectionSize(impl_actions, activity);
   return static_cast<double>(common) /
          static_cast<double>(impl_actions.size());
 }
 
-double Closeness(const model::IdSet& impl_actions,
-                 const model::Activity& activity) {
+double Closeness(util::IdSpan impl_actions, util::IdSpan activity) {
   size_t remaining = util::DifferenceSize(impl_actions, activity);
   if (remaining == 0) return 0.0;  // nothing left to recommend
   return 1.0 / static_cast<double>(remaining);
@@ -28,6 +26,7 @@ FocusRecommender::FocusRecommender(
     const GoalWeights* goal_weights)
     : library_(library), variant_(variant), goal_weights_(goal_weights) {
   GOALREC_CHECK(library_ != nullptr);
+  trace_label_ = "strategy/" + name();
 }
 
 std::string FocusRecommender::name() const {
@@ -36,22 +35,27 @@ std::string FocusRecommender::name() const {
 
 std::vector<RankedImplementation> FocusRecommender::RankImplementations(
     const model::Activity& activity) const {
-  return RankOver(activity, library_->ImplementationSpace(activity), nullptr);
+  std::vector<RankedImplementation> ranked;
+  RankInto(activity, library_->ImplementationSpace(activity), nullptr, ranked);
+  return ranked;
 }
 
 std::vector<RankedImplementation> FocusRecommender::RankImplementationsIn(
     const QueryContext& context) const {
   GOALREC_CHECK(context.library == library_);
-  return RankOver(context.activity, context.impl_space, context.stop);
+  std::vector<RankedImplementation> ranked;
+  RankInto(context.activity, context.impl_space, context.stop, ranked);
+  return ranked;
 }
 
-std::vector<RankedImplementation> FocusRecommender::RankOver(
-    const model::Activity& activity, const model::IdSet& impl_space,
-    const util::StopToken* stop) const {
-  std::vector<RankedImplementation> ranked;
+void FocusRecommender::RankInto(util::IdSpan activity,
+                                std::span<const model::ImplId> impl_space,
+                                const util::StopToken* stop,
+                                std::vector<RankedImplementation>& out) const {
+  out.clear();
   for (model::ImplId p : impl_space) {
     if (stop != nullptr && stop->ShouldStop()) break;  // best-effort partial
-    const model::IdSet& actions = library_->ActionsOf(p);
+    std::span<const model::ActionId> actions = library_->ActionsOf(p);
     // Implementations fully covered by the activity cannot contribute
     // candidates; both measures skip them.
     if (util::IsSubset(actions, activity)) continue;
@@ -62,19 +66,18 @@ std::vector<RankedImplementation> FocusRecommender::RankOver(
       score *= goal_weights_->WeightOf(library_->GoalOf(p));
       if (score <= 0.0) continue;  // weight-0 goals are excluded
     }
-    ranked.push_back(RankedImplementation{p, score});
+    out.push_back(RankedImplementation{p, score});
   }
-  std::sort(ranked.begin(), ranked.end(),
+  std::sort(out.begin(), out.end(),
             [](const RankedImplementation& a, const RankedImplementation& b) {
               if (a.score != b.score) return a.score > b.score;
               return a.impl < b.impl;
             });
-  return ranked;
 }
 
 RecommendationList FocusRecommender::Recommend(
     const model::Activity& activity, size_t k) const {
-  return EmitFromRanking(activity, RankImplementations(activity), k);
+  return RecommendCancellable(activity, k, nullptr);
 }
 
 RecommendationList FocusRecommender::RecommendCancellable(
@@ -84,40 +87,64 @@ RecommendationList FocusRecommender::RecommendCancellable(
   return RecommendInContext(context, k);
 }
 
+void FocusRecommender::RecommendPooled(util::IdSpan activity, size_t k,
+                                       const util::StopToken* stop,
+                                       QueryWorkspace* workspace,
+                                       RecommendationList& out) const {
+  if (workspace == nullptr) {
+    out = RecommendCancellable(
+        model::Activity(activity.begin(), activity.end()), k, stop);
+    return;
+  }
+  QueryContext context =
+      QueryContext::Create(*library_, activity, *workspace, stop);
+  RecommendInContext(context, k, out);
+}
+
 RecommendationList FocusRecommender::RecommendInContext(
     const QueryContext& context, size_t k) const {
-  obs::ScopedSpan span(context.trace, "strategy/" + name());
-  std::vector<RankedImplementation> ranking = RankImplementationsIn(context);
-  RecommendationList list = EmitFromRanking(context.activity, ranking, k);
-  span.Annotate("impl_space", context.impl_space.size());
-  span.Annotate("impls_ranked", ranking.size());
-  span.Annotate("emitted", list.size());
-  if (context.stop != nullptr && context.stop->StopRequested()) {
-    span.Annotate("stopped_early", true);
-  }
+  RecommendationList list;
+  RecommendInContext(context, k, list);
   return list;
 }
 
-RecommendationList FocusRecommender::EmitFromRanking(
-    const model::Activity& activity,
-    const std::vector<RankedImplementation>& ranking, size_t k) const {
-  RecommendationList list;
-  if (k == 0) return list;
+void FocusRecommender::RecommendInContext(const QueryContext& context,
+                                          size_t k,
+                                          RecommendationList& out) const {
+  GOALREC_CHECK(context.library == library_);
+  GOALREC_CHECK(context.workspace != nullptr);
+  obs::ScopedSpan span(context.trace, trace_label_);
+  QueryWorkspace& ws = *context.workspace;
+  RankInto(context.activity, context.impl_space, context.stop, ws.ranked);
+  EmitFromRanking(context.activity, ws.ranked, k, ws, out);
+  span.Annotate("impl_space", context.impl_space.size());
+  span.Annotate("impls_ranked", ws.ranked.size());
+  span.Annotate("emitted", out.size());
+  if (context.stop != nullptr && context.stop->StopRequested()) {
+    span.Annotate("stopped_early", true);
+  }
+}
+
+void FocusRecommender::EmitFromRanking(
+    util::IdSpan activity, const std::vector<RankedImplementation>& ranking,
+    size_t k, QueryWorkspace& workspace, RecommendationList& out) const {
+  out.clear();
+  if (k == 0) return;
   // Walk the implementations best-first; "pop out" the missing actions of
   // each before moving to the next (paper §6.1.2 C.2.2 describes exactly this
   // behaviour), skipping actions already emitted via a better implementation.
-  model::IdSet emitted;
+  // Emitted-set membership is an O(1) epoch-stamped marker probe; actions of
+  // one implementation are visited in ascending id order, which preserves
+  // the strategy's tie order exactly.
+  workspace.BeginActionPass(library_->num_actions());
   for (const RankedImplementation& entry : ranking) {
-    const model::IdSet& actions = library_->ActionsOf(entry.impl);
-    for (model::ActionId a : util::Difference(actions, activity)) {
-      if (util::Contains(emitted, a)) continue;
-      emitted.push_back(a);
-      std::sort(emitted.begin(), emitted.end());
-      list.push_back(ScoredAction{a, entry.score});
-      if (list.size() == k) return list;
+    for (model::ActionId a : library_->ActionsOf(entry.impl)) {
+      if (util::Contains(activity, a)) continue;  // already performed
+      if (!workspace.TestAndMark(a)) continue;    // already emitted
+      out.push_back(ScoredAction{a, entry.score});
+      if (out.size() == k) return;
     }
   }
-  return list;
 }
 
 }  // namespace goalrec::core

@@ -27,22 +27,12 @@ enum class FocusVariant {
 
 /// Completeness of implementation activity `impl_actions` w.r.t. history
 /// `activity` (Eq. 3). Zero for an empty implementation.
-double Completeness(const model::IdSet& impl_actions,
-                    const model::Activity& activity);
+double Completeness(util::IdSpan impl_actions, util::IdSpan activity);
 
 /// Closeness (Eq. 4). An already-complete implementation (|A − H| = 0) has
 /// unbounded closeness; it contributes no candidate actions, so this returns
 /// 0 and Focus skips it.
-double Closeness(const model::IdSet& impl_actions,
-                 const model::Activity& activity);
-
-/// A ranked implementation considered by Focus, exposed for explainability
-/// (e.g. "we recommend pickles because the olivier-salad recipe is 2/3
-/// done").
-struct RankedImplementation {
-  model::ImplId impl = model::kInvalidId;
-  double score = 0.0;
-};
+double Closeness(util::IdSpan impl_actions, util::IdSpan activity);
 
 class FocusRecommender : public Recommender {
  public:
@@ -63,10 +53,21 @@ class FocusRecommender : public Recommender {
       const model::Activity& activity, size_t k,
       const util::StopToken* stop) const override;
 
+  /// Zero-allocation serving path: spaces are built into `workspace` and the
+  /// ranking/emission loops run entirely on its reusable buffers.
+  void RecommendPooled(util::IdSpan activity, size_t k,
+                       const util::StopToken* stop, QueryWorkspace* workspace,
+                       RecommendationList& out) const override;
+
   /// Same result as Recommend, reusing the context's precomputed IS(H).
   /// The context must have been created against this recommender's library.
   RecommendationList RecommendInContext(const QueryContext& context,
                                         size_t k) const;
+
+  /// Out-param RecommendInContext: results land in `out` (cleared first),
+  /// using the context's workspace for all intermediate state.
+  void RecommendInContext(const QueryContext& context, size_t k,
+                          RecommendationList& out) const;
 
   /// The implementation ranking that drives Recommend: every implementation
   /// of IS(H) with at least one missing action, best first (score
@@ -79,16 +80,20 @@ class FocusRecommender : public Recommender {
       const QueryContext& context) const;
 
  private:
-  std::vector<RankedImplementation> RankOver(
-      const model::Activity& activity, const model::IdSet& impl_space,
-      const util::StopToken* stop) const;
-  RecommendationList EmitFromRanking(
-      const model::Activity& activity,
-      const std::vector<RankedImplementation>& ranking, size_t k) const;
+  void RankInto(util::IdSpan activity, std::span<const model::ImplId> impl_space,
+                const util::StopToken* stop,
+                std::vector<RankedImplementation>& out) const;
+  void EmitFromRanking(util::IdSpan activity,
+                       const std::vector<RankedImplementation>& ranking,
+                       size_t k, QueryWorkspace& workspace,
+                       RecommendationList& out) const;
 
   const model::ImplementationLibrary* library_;
   FocusVariant variant_;
   const GoalWeights* goal_weights_;
+  /// "strategy/<name>", built once: the per-query trace span label must not
+  /// cost an allocation on the pooled path.
+  std::string trace_label_;
 };
 
 }  // namespace goalrec::core

@@ -1,5 +1,7 @@
 #include "core/query_context.h"
 
+#include <utility>
+
 #include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/set_ops.h"
@@ -34,37 +36,51 @@ struct SpaceMetrics {
   }
 };
 
-}  // namespace
-
-QueryContext QueryContext::Create(
-    const model::ImplementationLibrary& library, model::Activity activity,
-    const util::StopToken* stop) {
+// Builds the spaces into `ws`'s buffers. ws.activity must already hold the
+// normalised activity. Allocation-free once the workspace's buffers have
+// capacity for this library's space sizes.
+QueryContext BuildSpaces(const model::ImplementationLibrary& library,
+                         QueryWorkspace& ws, const util::StopToken* stop) {
   obs::ScopedSpan span(obs::CurrentTrace(), "spaces");
   QueryContext context;
   context.library = &library;
+  context.workspace = &ws;
   context.stop = stop;
   context.trace = obs::CurrentTrace();
-  util::Normalize(activity);
-  context.activity = std::move(activity);
-  context.impl_space = library.ImplementationSpace(context.activity);
-  // Goal space and candidate set both derive from the implementation space;
-  // reuse it instead of re-probing the A-GI index.
-  model::IdSet goals;
-  model::IdSet actions;
-  goals.reserve(context.impl_space.size());
-  for (model::ImplId p : context.impl_space) {
-    if (stop != nullptr && stop->ShouldStop()) break;  // partial is discarded
-    goals.push_back(library.GoalOf(p));
-    const model::IdSet& impl_actions = library.ActionsOf(p);
-    actions.insert(actions.end(), impl_actions.begin(), impl_actions.end());
+
+  // IS(H): union of the A-GI postings of every performed action.
+  ws.impl_space.clear();
+  for (model::ActionId a : ws.activity) {
+    if (a >= library.num_actions()) continue;  // action unseen by the library
+    std::span<const model::ImplId> postings = library.ImplsOfAction(a);
+    ws.impl_space.insert(ws.impl_space.end(), postings.begin(),
+                         postings.end());
   }
-  util::Normalize(goals);
-  util::Normalize(actions);
-  context.goal_space = std::move(goals);
+  util::Normalize(ws.impl_space);
+
+  // Goal space and candidate actions both derive from the implementation
+  // space; reuse it instead of re-probing the A-GI index.
+  ws.goal_space.clear();
+  ws.scratch.clear();
+  for (model::ImplId p : ws.impl_space) {
+    if (stop != nullptr && stop->ShouldStop()) break;  // partial is discarded
+    ws.goal_space.push_back(library.GoalOf(p));
+    std::span<const model::ActionId> impl_actions = library.ActionsOf(p);
+    ws.scratch.insert(ws.scratch.end(), impl_actions.begin(),
+                      impl_actions.end());
+  }
+  util::Normalize(ws.goal_space);
+  util::Normalize(ws.scratch);
   // Candidates: union of the implementations' actions minus the activity.
   // (AS(H)'s self-exclusion subtleties only affect members of H, which the
   // difference removes anyway.)
-  context.candidates = util::Difference(actions, context.activity);
+  util::DifferenceInto(ws.scratch, ws.activity, ws.candidates);
+
+  context.activity = ws.activity;
+  context.impl_space = ws.impl_space;
+  context.goal_space = ws.goal_space;
+  context.candidates = ws.candidates;
+
   const SpaceMetrics& metrics = SpaceMetrics::Get();
   metrics.impl_space->Observe(static_cast<double>(context.impl_space.size()));
   metrics.goal_space->Observe(static_cast<double>(context.goal_space.size()));
@@ -76,6 +92,27 @@ QueryContext QueryContext::Create(
     span.Annotate("stopped_early", true);
   }
   return context;
+}
+
+}  // namespace
+
+QueryContext QueryContext::Create(
+    const model::ImplementationLibrary& library, model::Activity activity,
+    const util::StopToken* stop) {
+  auto ws = std::make_shared<QueryWorkspace>();
+  ws->activity = std::move(activity);
+  util::Normalize(ws->activity);
+  QueryContext context = BuildSpaces(library, *ws, stop);
+  context.owned_workspace = std::move(ws);
+  return context;
+}
+
+QueryContext QueryContext::Create(
+    const model::ImplementationLibrary& library, util::IdSpan activity,
+    QueryWorkspace& workspace, const util::StopToken* stop) {
+  workspace.activity.assign(activity.begin(), activity.end());
+  util::Normalize(workspace.activity);
+  return BuildSpaces(library, workspace, stop);
 }
 
 }  // namespace goalrec::core

@@ -1,6 +1,10 @@
 #ifndef GOALREC_CORE_QUERY_CONTEXT_H_
 #define GOALREC_CORE_QUERY_CONTEXT_H_
 
+#include <memory>
+#include <span>
+
+#include "core/query_workspace.h"
 #include "model/library.h"
 #include "model/types.h"
 #include "obs/trace.h"
@@ -10,24 +14,31 @@
 // derived spaces — IS(H), GS(H) and the candidate set AS(H) − H. A
 // QueryContext computes them once; every strategy exposes a
 // RecommendInContext overload that reuses it, and the evaluation Suite
-// builds one context per user and fans it out. Measurement note
-// (bench/micro_strategies, BM_FourStrategiesSharedContext vs
-// ...Independent): with Best Match in the roster the saving is a wash —
-// its per-candidate vectorisation dominates the total — so the context is
-// primarily a correctness/clarity device (one canonical space computation)
-// and a win for Focus/Breadth-only rosters.
+// builds one context per user and fans it out.
+//
+// The spaces are *views*: spans into the buffers of a QueryWorkspace. With
+// the pooled Create overload the whole context is built without heap
+// allocation (steady state) — the workspace's buffers are reused query after
+// query. The legacy overload mints a private workspace per call for
+// convenience (tests, tools, one-shot queries).
 
 namespace goalrec::core {
 
 struct QueryContext {
   const model::ImplementationLibrary* library = nullptr;
-  model::Activity activity;
+  /// Normalised activity H, ascending.
+  util::IdSpan activity;
   /// IS(activity), ascending.
-  model::IdSet impl_space;
+  std::span<const model::ImplId> impl_space;
   /// GS(activity), ascending.
-  model::IdSet goal_space;
+  std::span<const model::GoalId> goal_space;
   /// AS(activity) − activity, ascending.
-  model::IdSet candidates;
+  util::IdSpan candidates;
+  /// The workspace the spans point into; also the strategies' scratch arena.
+  /// Never null for a Create-built context. The space buffers it holds must
+  /// not be rewritten (e.g. by creating another context on it) while this
+  /// context is in use; everything else on the workspace is fair game.
+  QueryWorkspace* workspace = nullptr;
   /// Optional cooperative stop (deadline and/or cancellation), polled inside
   /// the strategy scoring loops. Null means unbounded. Not owned; must
   /// outlive the context. When the token fires mid-query the strategies
@@ -41,14 +52,27 @@ struct QueryContext {
   /// the strategies can annotate spans without a new parameter on every
   /// signature. Not owned; must outlive the context.
   obs::Trace* trace = nullptr;
+  /// Set only by the legacy Create overload: keeps the private workspace the
+  /// spans point into alive for the lifetime of the context (and its
+  /// copies).
+  std::shared_ptr<QueryWorkspace> owned_workspace;
 
-  /// Computes all three spaces. `library` must outlive the context. `stop`,
-  /// when given, is stored on the context and also polled while the spaces
-  /// themselves are being built (space construction is O(|IS(H)|) and counts
-  /// against the query's budget). When a trace is active on this thread,
-  /// records a "spaces" span with |IS(H)|, |GS(H)| and |AS(H)−H|.
+  /// Computes all three spaces into a freshly allocated private workspace.
+  /// `library` must outlive the context. `stop`, when given, is stored on
+  /// the context and also polled while the spaces themselves are being built
+  /// (space construction is O(|IS(H)|) and counts against the query's
+  /// budget). When a trace is active on this thread, records a "spaces" span
+  /// with |IS(H)|, |GS(H)| and |AS(H)−H|.
   static QueryContext Create(const model::ImplementationLibrary& library,
                              model::Activity activity,
+                             const util::StopToken* stop = nullptr);
+
+  /// Pooled variant: computes the spaces into `workspace`'s buffers —
+  /// allocation-free once those buffers are warm. `activity` need not be
+  /// normalised (it is copied into the workspace and normalised there).
+  /// `workspace` must outlive the context and back no other live context.
+  static QueryContext Create(const model::ImplementationLibrary& library,
+                             util::IdSpan activity, QueryWorkspace& workspace,
                              const util::StopToken* stop = nullptr);
 };
 

@@ -1,0 +1,39 @@
+#include "core/query_workspace.h"
+
+namespace goalrec::core {
+
+void QueryWorkspacePool::Lease::Release() {
+  if (pool_ == nullptr || workspace_ == nullptr) {
+    workspace_.reset();
+    pool_ = nullptr;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(pool_->mu_);
+  pool_->free_.push_back(std::move(workspace_));
+  pool_ = nullptr;
+}
+
+QueryWorkspacePool::Lease QueryWorkspacePool::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      std::unique_ptr<QueryWorkspace> workspace = std::move(free_.back());
+      free_.pop_back();
+      return Lease(this, std::move(workspace));
+    }
+    ++created_;
+  }
+  return Lease(this, std::make_unique<QueryWorkspace>());
+}
+
+size_t QueryWorkspacePool::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+size_t QueryWorkspacePool::created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return created_;
+}
+
+}  // namespace goalrec::core

@@ -1,0 +1,160 @@
+#ifndef GOALREC_CORE_QUERY_WORKSPACE_H_
+#define GOALREC_CORE_QUERY_WORKSPACE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/recommender.h"
+#include "model/types.h"
+#include "util/dense_vector.h"
+#include "util/top_k.h"
+
+// Pooled per-query scratch memory. Every buffer the query path needs — the
+// derived spaces IS(H)/GS(H)/AS(H)−H, the Focus implementation ranking, the
+// Breadth score accumulator, Best Match's goal-space vectors, the top-k heap
+// — lives here and is *reused* across queries: after a few warm-up queries
+// the capacities stabilise and the steady-state per-query path performs zero
+// heap allocations (bench/micro_snapshot asserts this).
+//
+// A workspace is single-threaded state. One workspace backs at most one live
+// QueryContext at a time (creating a context overwrites the space buffers);
+// the serving engine leases one per query from a QueryWorkspacePool, the
+// evaluation suite keeps one per worker thread.
+
+namespace goalrec::core {
+
+class QueryWorkspace {
+ public:
+  // --- Epoch-stamped dense action marker -------------------------------
+  //
+  // A membership/accumulator array over action ids that resets in O(1): each
+  // pass bumps the epoch, and a slot is live only when its stamp equals the
+  // current epoch. Replaces the per-query unordered_map in Breadth and the
+  // sorted `emitted` vector in Focus without ever clearing O(num_actions)
+  // memory per query.
+
+  /// Starts a fresh marker/score pass over action ids < `num_actions`.
+  /// Invalidates all marks and scores of the previous pass.
+  void BeginActionPass(size_t num_actions) {
+    if (action_epoch_.size() < num_actions) action_epoch_.resize(num_actions, 0);
+    if (action_score_.size() < num_actions) action_score_.resize(num_actions, 0.0);
+    if (++epoch_ == 0) {
+      // uint32 wraparound (once per ~4B passes): stale stamps could collide
+      // with a recycled epoch value, so ground the whole array.
+      std::fill(action_epoch_.begin(), action_epoch_.end(), 0u);
+      epoch_ = 1;
+    }
+    touched_.clear();
+  }
+
+  /// Marks `a`; returns true iff it was unmarked in the current pass.
+  bool TestAndMark(model::ActionId a) {
+    if (action_epoch_[a] == epoch_) return false;
+    action_epoch_[a] = epoch_;
+    return true;
+  }
+
+  bool Marked(model::ActionId a) const { return action_epoch_[a] == epoch_; }
+
+  /// Adds `delta` to the pass-local score of `a` (0 at first touch). First
+  /// touches are recorded in touched() for later iteration.
+  void AddScore(model::ActionId a, double delta) {
+    if (action_epoch_[a] != epoch_) {
+      action_epoch_[a] = epoch_;
+      action_score_[a] = delta;
+      touched_.push_back(a);
+      return;
+    }
+    action_score_[a] += delta;
+  }
+
+  double ScoreOf(model::ActionId a) const {
+    return action_epoch_[a] == epoch_ ? action_score_[a] : 0.0;
+  }
+
+  /// Actions touched by AddScore this pass, in first-touch order.
+  const model::IdSet& touched() const { return touched_; }
+
+  // --- Reusable buffers -------------------------------------------------
+  //
+  // QueryContext::Create fills the four space buffers; the spans on the
+  // context point into them, so they must not be mutated while a context
+  // built from this workspace is in use. Everything below `candidates` is
+  // free strategy scratch.
+
+  model::IdSet activity;    ///< normalised H
+  model::IdSet impl_space;  ///< IS(H)
+  model::IdSet goal_space;  ///< GS(H)
+  model::IdSet candidates;  ///< AS(H) − H
+
+  model::IdSet scratch;                        ///< general id scratch
+  std::vector<RankedImplementation> ranked;    ///< Focus ranking buffer
+  util::TopK<ScoredAction, ByScoreDesc> top_k{1};  ///< Reset(k) before use
+  util::DenseVector profile;                   ///< Best Match H⃗
+  util::DenseVector action_vec;                ///< Best Match a⃗ scratch
+  RecommendationList result;                   ///< callers' reusable out-list
+
+ private:
+  uint32_t epoch_ = 0;
+  std::vector<uint32_t> action_epoch_;
+  std::vector<double> action_score_;
+  model::IdSet touched_;
+};
+
+/// A mutex-guarded free list of workspaces. Acquire() hands out an RAII
+/// lease; returning a workspace keeps its warmed-up buffers for the next
+/// query. The pool grows on demand (a burst of concurrent queries mints new
+/// workspaces) and never shrinks — capacity is bounded by the engine's
+/// admission-controlled concurrency limit.
+class QueryWorkspacePool {
+ public:
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(QueryWorkspacePool* pool, std::unique_ptr<QueryWorkspace> workspace)
+        : pool_(pool), workspace_(std::move(workspace)) {}
+    Lease(Lease&& other) noexcept = default;
+    Lease& operator=(Lease&& other) noexcept {
+      Release();
+      pool_ = other.pool_;
+      workspace_ = std::move(other.workspace_);
+      other.pool_ = nullptr;
+      return *this;
+    }
+    ~Lease() { Release(); }
+
+    QueryWorkspace* get() const { return workspace_.get(); }
+    QueryWorkspace& operator*() const { return *workspace_; }
+    QueryWorkspace* operator->() const { return workspace_.get(); }
+    explicit operator bool() const { return workspace_ != nullptr; }
+
+   private:
+    void Release();
+
+    QueryWorkspacePool* pool_ = nullptr;
+    std::unique_ptr<QueryWorkspace> workspace_;
+  };
+
+  /// Pops an idle workspace, or mints a fresh one if none is idle.
+  Lease Acquire();
+
+  /// Workspaces currently sitting idle in the pool.
+  size_t idle() const;
+
+  /// Total workspaces ever minted (high-water concurrency mark).
+  size_t created() const;
+
+ private:
+  friend class Lease;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<QueryWorkspace>> free_;
+  size_t created_ = 0;
+};
+
+}  // namespace goalrec::core
+
+#endif  // GOALREC_CORE_QUERY_WORKSPACE_H_

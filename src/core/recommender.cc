@@ -8,6 +8,14 @@ RecommendationList Recommender::RecommendCancellable(
   return Recommend(activity, k);
 }
 
+void Recommender::RecommendPooled(util::IdSpan activity, size_t k,
+                                  const util::StopToken* stop,
+                                  QueryWorkspace* /*workspace*/,
+                                  RecommendationList& out) const {
+  out = RecommendCancellable(model::Activity(activity.begin(), activity.end()),
+                             k, stop);
+}
+
 std::vector<model::ActionId> ActionsOf(const RecommendationList& list) {
   std::vector<model::ActionId> actions;
   actions.reserve(list.size());

@@ -37,6 +37,17 @@ using RecommendationList = std::vector<ScoredAction>;
 /// Extracts just the action ids of a list, preserving order.
 std::vector<model::ActionId> ActionsOf(const RecommendationList& list);
 
+/// A ranked implementation considered by Focus, exposed for explainability
+/// (e.g. "we recommend pickles because the olivier-salad recipe is 2/3
+/// done"). Lives here (not focus.h) so the pooled QueryWorkspace can carry a
+/// reusable ranking buffer without depending on a concrete strategy.
+struct RankedImplementation {
+  model::ImplId impl = model::kInvalidId;
+  double score = 0.0;
+};
+
+class QueryWorkspace;
+
 /// Interface implemented by every recommendation strategy.
 class Recommender {
  public:
@@ -60,6 +71,18 @@ class Recommender {
   virtual RecommendationList RecommendCancellable(
       const model::Activity& activity, size_t k,
       const util::StopToken* stop) const;
+
+  /// Allocation-free serving entry point. `activity` must be sorted
+  /// (canonical Activity form); results land in `out` (cleared first), so a
+  /// caller that reuses both `workspace` and `out` runs the whole query path
+  /// without touching the allocator once buffers have warmed up. `workspace`
+  /// may be null and is ignored by strategies that have no scratch needs; the
+  /// default forwards to RecommendCancellable (one activity copy + the
+  /// strategy's own allocations — correct, just not allocation-free).
+  virtual void RecommendPooled(util::IdSpan activity, size_t k,
+                               const util::StopToken* stop,
+                               QueryWorkspace* workspace,
+                               RecommendationList& out) const;
 };
 
 /// Comparator used by every strategy that ranks by descending score:

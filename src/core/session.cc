@@ -20,9 +20,7 @@ bool RecommendationSession::Perform(model::ActionId action) {
   std::sort(activity_.begin(), activity_.end());
   if (impl_space_valid_ && action < library_->num_actions()) {
     // Incremental merge of the new action's postings into the cached space.
-    std::span<const model::ImplId> postings = library_->ImplsOfAction(action);
-    model::IdSet incoming(postings.begin(), postings.end());
-    impl_space_ = util::Union(impl_space_, incoming);
+    impl_space_ = util::Union(impl_space_, library_->ImplsOfAction(action));
   }
   return true;
 }
@@ -56,7 +54,7 @@ RecommendationSession::ClosestGoal RecommendationSession::FindClosestGoal()
     const {
   ClosestGoal best;
   for (model::ImplId p : ImplementationSpace()) {
-    const model::IdSet& actions = library_->ActionsOf(p);
+    std::span<const model::ActionId> actions = library_->ActionsOf(p);
     if (actions.empty()) continue;
     double completeness =
         static_cast<double>(util::IntersectionSize(actions, activity_)) /

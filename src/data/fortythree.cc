@@ -144,7 +144,8 @@ Dataset GenerateFortyThree(const FortyThreeOptions& options) {
         const std::vector<model::ImplId>& impls = goal_impl_ids[g];
         model::ImplId chosen =
             impls[rng.UniformUint32(static_cast<uint32_t>(impls.size()))];
-        const model::IdSet& actions = dataset.library.ActionsOf(chosen);
+        std::span<const model::ActionId> actions =
+            dataset.library.ActionsOf(chosen);
         for (model::ActionId a : actions) {
           // Performance order: goal by goal, skipping repeats.
           if (!util::Contains(activity, a)) ordered.push_back(a);

@@ -40,7 +40,7 @@ double GoalCompleteness(const model::ImplementationLibrary& library,
                         model::GoalId g, const model::Activity& performed) {
   double best = 0.0;
   for (model::ImplId p : library.ImplsOfGoal(g)) {
-    const model::IdSet& actions = library.ActionsOf(p);
+    std::span<const model::ActionId> actions = library.ActionsOf(p);
     if (actions.empty()) continue;
     double completeness =
         static_cast<double>(util::IntersectionSize(actions, performed)) /

@@ -19,7 +19,26 @@ Suite::Suite(const data::Dataset* dataset,
              SuiteOptions options)
     : dataset_(dataset) {
   GOALREC_CHECK(dataset_ != nullptr);
-  const model::ImplementationLibrary& library = dataset_->library;
+  library_ = &dataset_->library;
+  Init(std::move(training_activities), options);
+}
+
+Suite::Suite(std::shared_ptr<const model::LibrarySnapshot> snapshot,
+             std::vector<model::Activity> training_activities,
+             SuiteOptions options)
+    : snapshot_(std::move(snapshot)) {
+  GOALREC_CHECK(snapshot_ != nullptr);
+  library_ = &snapshot_->library;
+  // No dataset: nothing can carry a feature table.
+  options.include_content = false;
+  options.include_hybrid = false;
+  options.include_mmr = false;
+  Init(std::move(training_activities), options);
+}
+
+void Suite::Init(std::vector<model::Activity> training_activities,
+                 const SuiteOptions& options) {
+  const model::ImplementationLibrary& library = *library_;
 
   bool needs_interactions = options.include_cf_knn || options.include_cf_mf ||
                             options.include_popularity ||
@@ -54,7 +73,8 @@ Suite::Suite(const data::Dataset* dataset,
     recommenders_.push_back(std::make_unique<baselines::AlsRecommender>(
         interactions_.get(), options.als));
   }
-  if (options.include_content && !dataset_->features.empty()) {
+  if (options.include_content && dataset_ != nullptr &&
+      !dataset_->features.empty()) {
     recommenders_.push_back(std::make_unique<baselines::ContentRecommender>(
         &dataset_->features));
   }
@@ -71,7 +91,7 @@ Suite::Suite(const data::Dataset* dataset,
     recommenders_.push_back(std::make_unique<baselines::ItemKnnRecommender>(
         interactions_.get()));
   }
-  bool has_features = !dataset_->features.empty();
+  bool has_features = dataset_ != nullptr && !dataset_->features.empty();
   if ((options.include_hybrid || options.include_mmr) && has_features) {
     wrapper_base_ = std::make_unique<core::BreadthRecommender>(&library);
     if (options.include_hybrid) {
@@ -110,25 +130,30 @@ std::vector<MethodResult> Suite::RunAll(
     results[m].lists.resize(inputs.size());
   }
   bool context_path = focus_cmp_ != nullptr;
+  const model::ImplementationLibrary& library = *library_;
   util::ParallelFor(
       inputs.size(),
       [&](size_t u) {
-        // One context per user, shared by the goal-based strategies.
+        // One pooled context per user, shared by the goal-based strategies:
+        // the spaces are computed once, into workspace buffers reused across
+        // users (each worker thread ends up with its own workspace).
+        core::QueryWorkspacePool::Lease lease;
         core::QueryContext context;
         if (context_path) {
-          context = core::QueryContext::Create(dataset_->library, inputs[u]);
+          lease = workspace_pool_.Acquire();
+          context = core::QueryContext::Create(library, inputs[u], *lease);
         }
         for (size_t m = 0; m < recommenders_.size(); ++m) {
           const core::Recommender* rec = recommenders_[m].get();
           core::RecommendationList& slot = results[m].lists[u];
           if (rec == focus_cmp_ && context_path) {
-            slot = focus_cmp_->RecommendInContext(context, k);
+            focus_cmp_->RecommendInContext(context, k, slot);
           } else if (rec == focus_cl_ && context_path) {
-            slot = focus_cl_->RecommendInContext(context, k);
+            focus_cl_->RecommendInContext(context, k, slot);
           } else if (rec == breadth_ && context_path) {
-            slot = breadth_->RecommendInContext(context, k);
+            breadth_->RecommendInContext(context, k, slot);
           } else if (rec == best_match_ && context_path) {
-            slot = best_match_->RecommendInContext(context, k);
+            best_match_->RecommendInContext(context, k, slot);
           } else {
             slot = rec->Recommend(inputs[u], k);
           }

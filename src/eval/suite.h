@@ -10,8 +10,10 @@
 #include "core/best_match.h"
 #include "core/breadth.h"
 #include "core/focus.h"
+#include "core/query_workspace.h"
 #include "core/recommender.h"
 #include "data/dataset.h"
+#include "model/snapshot.h"
 #include "model/types.h"
 
 // Assembles the full roster of recommenders the paper compares (§6): the
@@ -56,6 +58,15 @@ class Suite {
   Suite(const data::Dataset* dataset,
         std::vector<model::Activity> training_activities,
         SuiteOptions options = {});
+
+  /// Snapshot-pinned suite: co-owns `snapshot` for its whole lifetime, so a
+  /// run keeps evaluating one immutable library even while reloads publish
+  /// newer versions elsewhere. Feature-dependent methods (content, hybrid,
+  /// MMR) are skipped — a bare snapshot carries no feature table.
+  Suite(std::shared_ptr<const model::LibrarySnapshot> snapshot,
+        std::vector<model::Activity> training_activities,
+        SuiteOptions options = {});
+
   Suite(const Suite&) = delete;
   Suite& operator=(const Suite&) = delete;
 
@@ -65,14 +76,29 @@ class Suite {
 
   /// Runs every recommender over every input activity in parallel and
   /// returns one MethodResult per recommender. Deterministic regardless of
-  /// thread count. The goal-based strategies share one QueryContext per
-  /// user, so their common spaces are computed once.
+  /// thread count. The goal-based strategies share one pooled QueryContext
+  /// per user, so their common spaces are computed once and the scratch
+  /// buffers are reused across users (no steady-state allocation).
   std::vector<MethodResult> RunAll(
       const std::vector<model::Activity>& inputs, size_t k,
       size_t num_threads = 0) const;
 
+  /// Workspaces minted by RunAll so far — bounded by peak thread count.
+  size_t workspaces_created() const { return workspace_pool_.created(); }
+
  private:
-  const data::Dataset* dataset_;
+  /// Builds the roster against `library` (shared constructor body).
+  void Init(std::vector<model::Activity> training_activities,
+            const SuiteOptions& options);
+
+  /// Null for snapshot-pinned suites (no feature table).
+  const data::Dataset* dataset_ = nullptr;
+  /// Non-null for snapshot-pinned suites; keeps the library alive.
+  std::shared_ptr<const model::LibrarySnapshot> snapshot_;
+  /// The evaluated library: &dataset_->library or &snapshot_->library.
+  const model::ImplementationLibrary* library_ = nullptr;
+  /// Per-thread scratch for the goal-based context path.
+  mutable core::QueryWorkspacePool workspace_pool_;
   std::unique_ptr<baselines::InteractionData> interactions_;
   /// Base strategy borrowed by the hybrid/MMR wrappers (kept out of the
   /// roster vector so its address is stable).

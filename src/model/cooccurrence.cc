@@ -47,11 +47,8 @@ uint32_t CoOccurrenceCount(const ImplementationLibrary& library, ActionId a,
                            ActionId b) {
   GOALREC_CHECK_LT(a, library.num_actions());
   GOALREC_CHECK_LT(b, library.num_actions());
-  std::span<const ImplId> pa = library.ImplsOfAction(a);
-  std::span<const ImplId> pb = library.ImplsOfAction(b);
-  IdSet sa(pa.begin(), pa.end());
-  IdSet sb(pb.begin(), pb.end());
-  return static_cast<uint32_t>(util::IntersectionSize(sa, sb));
+  return static_cast<uint32_t>(util::IntersectionSize(
+      library.ImplsOfAction(a), library.ImplsOfAction(b)));
 }
 
 double PointwiseMutualInformation(const ImplementationLibrary& library,

@@ -12,7 +12,12 @@ LibraryBuilder LibraryBuilder::FromLibrary(
   LibraryBuilder builder;
   builder.actions_ = library.actions_;
   builder.goals_ = library.goals_;
-  builder.impls_ = library.impls_;
+  builder.impls_.reserve(library.num_implementations());
+  for (ImplId p = 0; p < library.num_implementations(); ++p) {
+    std::span<const ActionId> actions = library.ActionsOf(p);
+    builder.impls_.push_back(Implementation{
+        library.GoalOf(p), IdSet(actions.begin(), actions.end())});
+  }
   return builder;
 }
 
@@ -23,6 +28,10 @@ ActionId LibraryBuilder::InternAction(std::string_view name) {
 GoalId LibraryBuilder::InternGoal(std::string_view name) {
   return goals_.Intern(name);
 }
+
+void LibraryBuilder::ReserveActions(size_t n) { actions_.Reserve(n); }
+
+void LibraryBuilder::ReserveGoals(size_t n) { goals_.Reserve(n); }
 
 ImplId LibraryBuilder::AddImplementation(
     std::string_view goal, const std::vector<std::string>& actions) {
@@ -45,41 +54,96 @@ ImplementationLibrary LibraryBuilder::Build() && {
   ImplementationLibrary lib;
   lib.actions_ = std::move(actions_);
   lib.goals_ = std::move(goals_);
-  lib.impls_ = std::move(impls_);
-  lib.action_impls_.resize(lib.actions_.size());
-  lib.goal_impls_.resize(lib.goals_.size());
-  for (ImplId p = 0; p < lib.impls_.size(); ++p) {
-    const Implementation& impl = lib.impls_[p];
-    lib.goal_impls_[impl.goal].push_back(p);
-    for (ActionId a : impl.actions) lib.action_impls_[a].push_back(p);
+  const size_t num_impls = impls_.size();
+  const size_t num_actions = lib.actions_.size();
+  const size_t num_goals = lib.goals_.size();
+
+  // GI-A-idx / GI-G-idx: pack the per-implementation action sets into one
+  // contiguous arena.
+  size_t total_postings = 0;
+  for (const Implementation& impl : impls_) total_postings += impl.actions.size();
+  lib.impl_offsets_.resize(num_impls + 1, 0);
+  lib.impl_actions_.reserve(total_postings);
+  lib.impl_goals_.reserve(num_impls);
+  for (size_t p = 0; p < num_impls; ++p) {
+    const Implementation& impl = impls_[p];
+    lib.impl_offsets_[p] = static_cast<uint32_t>(lib.impl_actions_.size());
+    lib.impl_actions_.insert(lib.impl_actions_.end(), impl.actions.begin(),
+                             impl.actions.end());
+    lib.impl_goals_.push_back(impl.goal);
   }
-  // Postings are already ascending because impls were appended in id order;
-  // assert rather than re-sort.
+  lib.impl_offsets_[num_impls] = static_cast<uint32_t>(lib.impl_actions_.size());
+
+  // A-GI-idx / G-GI-idx: classic two-pass CSR build — count degrees, prefix
+  // sum, then fill with a moving cursor. Postings come out ascending because
+  // implementations are visited in id order.
+  lib.action_offsets_.assign(num_actions + 1, 0);
+  lib.goal_offsets_.assign(num_goals + 1, 0);
+  for (size_t p = 0; p < num_impls; ++p) {
+    ++lib.goal_offsets_[impls_[p].goal + 1];
+    for (ActionId a : impls_[p].actions) ++lib.action_offsets_[a + 1];
+  }
+  for (size_t a = 0; a < num_actions; ++a) {
+    lib.action_offsets_[a + 1] += lib.action_offsets_[a];
+  }
+  for (size_t g = 0; g < num_goals; ++g) {
+    lib.goal_offsets_[g + 1] += lib.goal_offsets_[g];
+  }
+  lib.action_postings_.resize(total_postings);
+  lib.goal_postings_.resize(num_impls);
+  std::vector<uint32_t> action_cursor(lib.action_offsets_.begin(),
+                                      lib.action_offsets_.end() - 1);
+  std::vector<uint32_t> goal_cursor(lib.goal_offsets_.begin(),
+                                    lib.goal_offsets_.end() - 1);
+  for (size_t p = 0; p < num_impls; ++p) {
+    const Implementation& impl = impls_[p];
+    lib.goal_postings_[goal_cursor[impl.goal]++] = static_cast<ImplId>(p);
+    for (ActionId a : impl.actions) {
+      lib.action_postings_[action_cursor[a]++] = static_cast<ImplId>(p);
+    }
+  }
   return lib;
 }
 
-const Implementation& ImplementationLibrary::implementation(ImplId id) const {
-  GOALREC_CHECK_LT(id, impls_.size());
-  return impls_[id];
+GoalId ImplementationLibrary::GoalOf(ImplId id) const {
+  GOALREC_CHECK_LT(id, impl_goals_.size())
+      << "implementation id " << id << " out of range (library has "
+      << impl_goals_.size() << " implementations)";
+  return impl_goals_[id];
+}
+
+std::span<const ActionId> ImplementationLibrary::ActionsOf(ImplId id) const {
+  GOALREC_CHECK_LT(id, impl_goals_.size())
+      << "implementation id " << id << " out of range (library has "
+      << impl_goals_.size() << " implementations)";
+  return std::span<const ActionId>(impl_actions_.data() + impl_offsets_[id],
+                                   impl_offsets_[id + 1] - impl_offsets_[id]);
 }
 
 std::span<const ImplId> ImplementationLibrary::ImplsOfAction(
     ActionId a) const {
-  GOALREC_CHECK_LT(a, action_impls_.size());
-  return action_impls_[a];
+  GOALREC_CHECK_LT(a, actions_.size())
+      << "action id " << a << " out of range (library has "
+      << actions_.size() << " actions)";
+  return std::span<const ImplId>(
+      action_postings_.data() + action_offsets_[a],
+      action_offsets_[a + 1] - action_offsets_[a]);
 }
 
 std::span<const ImplId> ImplementationLibrary::ImplsOfGoal(GoalId g) const {
-  GOALREC_CHECK_LT(g, goal_impls_.size());
-  return goal_impls_[g];
+  GOALREC_CHECK_LT(g, goals_.size())
+      << "goal id " << g << " out of range (library has " << goals_.size()
+      << " goals)";
+  return std::span<const ImplId>(goal_postings_.data() + goal_offsets_[g],
+                                 goal_offsets_[g + 1] - goal_offsets_[g]);
 }
 
 IdSet ImplementationLibrary::ImplementationSpace(
     const Activity& activity) const {
   IdSet result;
   for (ActionId a : activity) {
-    if (a >= action_impls_.size()) continue;  // action unseen by the library
-    const std::vector<ImplId>& postings = action_impls_[a];
+    if (a >= actions_.size()) continue;  // action unseen by the library
+    std::span<const ImplId> postings = ImplsOfAction(a);
     result.insert(result.end(), postings.begin(), postings.end());
   }
   util::Normalize(result);
@@ -89,7 +153,7 @@ IdSet ImplementationLibrary::ImplementationSpace(
 IdSet ImplementationLibrary::GoalSpace(const Activity& activity) const {
   IdSet goals;
   for (ImplId p : ImplementationSpace(activity)) {
-    goals.push_back(impls_[p].goal);
+    goals.push_back(impl_goals_[p]);
   }
   util::Normalize(goals);
   return goals;
@@ -104,7 +168,7 @@ IdSet ImplementationLibrary::ActionSpace(const Activity& activity) const {
   IdSet space;
   IdSet impl_space = ImplementationSpace(activity);
   for (ImplId p : impl_space) {
-    const IdSet& acts = impls_[p].actions;
+    std::span<const ActionId> acts = ActionsOf(p);
     space.insert(space.end(), acts.begin(), acts.end());
   }
   util::Normalize(space);
@@ -119,11 +183,10 @@ IdSet ImplementationLibrary::ActionSpace(const Activity& activity) const {
       continue;
     }
     bool co_occurs = false;
-    for (ImplId p : action_impls_[x]) {
-      const IdSet& acts = impls_[p].actions;
-      size_t common = util::IntersectionSize(acts, activity);
-      // `acts` contains x ∈ H, so common >= 1; a second common action is a
-      // different member of H.
+    for (ImplId p : ImplsOfAction(x)) {
+      size_t common = util::IntersectionSize(ActionsOf(p), activity);
+      // ActionsOf(p) contains x ∈ H, so common >= 1; a second common action
+      // is a different member of H.
       if (common >= 2) {
         co_occurs = true;
         break;
@@ -143,22 +206,19 @@ IdSet ImplementationLibrary::CandidateActions(const Activity& activity) const {
 }
 
 double ImplementationLibrary::ActionConnectivity() const {
-  size_t postings = 0;
+  size_t postings = action_postings_.size();
   size_t active_actions = 0;
-  for (const std::vector<ImplId>& p : action_impls_) {
-    if (p.empty()) continue;
-    postings += p.size();
-    ++active_actions;
+  for (size_t a = 0; a + 1 < action_offsets_.size(); ++a) {
+    if (action_offsets_[a + 1] > action_offsets_[a]) ++active_actions;
   }
   if (active_actions == 0) return 0.0;
   return static_cast<double>(postings) / static_cast<double>(active_actions);
 }
 
 double ImplementationLibrary::AvgImplementationLength() const {
-  if (impls_.empty()) return 0.0;
-  size_t total = 0;
-  for (const Implementation& impl : impls_) total += impl.actions.size();
-  return static_cast<double>(total) / static_cast<double>(impls_.size());
+  if (impl_goals_.empty()) return 0.0;
+  return static_cast<double>(impl_actions_.size()) /
+         static_cast<double>(impl_goals_.size());
 }
 
 }  // namespace goalrec::model

@@ -1,6 +1,7 @@
 #ifndef GOALREC_MODEL_LIBRARY_H_
 #define GOALREC_MODEL_LIBRARY_H_
 
+#include <cstdint>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -21,13 +22,31 @@
 // and answers the space queries of Definitions 4.1/4.2 (Equations 1–2):
 // implementation space IS(H), goal space GS(H) and action space AS(H) of a
 // user activity H.
+//
+// Storage layout. Every index is a flat CSR (compressed sparse row) pair —
+// one contiguous offsets[] array and one contiguous postings arena — built
+// once by LibraryBuilder::Build(). Accessors return spans into the arenas;
+// nothing on the query path chases per-row heap pointers, and a built
+// library is a handful of flat allocations that never mutate (docs/model.md
+// describes the layout; serve/snapshot_manager.h builds on the immutability
+// to hot-swap libraries under live traffic).
 
 namespace goalrec::model {
 
-/// One goal implementation p = (g, A).
+/// One goal implementation p = (g, A) as an owning record. This is the
+/// builder-side (and shrinker-side) representation; a built library stores
+/// implementations in its CSR arena and hands out ImplementationView.
 struct Implementation {
   GoalId goal = kInvalidId;
   IdSet actions;  // sorted, deduplicated
+};
+
+/// Read-only view of one implementation inside a built library. `actions`
+/// points into the library's postings arena and is valid for the library's
+/// lifetime.
+struct ImplementationView {
+  GoalId goal = kInvalidId;
+  std::span<const ActionId> actions;
 };
 
 class ImplementationLibrary;
@@ -41,7 +60,9 @@ class LibraryBuilder {
   /// Seeds a builder with an existing library's vocabularies and
   /// implementations (ids preserved), for the extend-and-rebuild pattern:
   /// libraries are immutable, so growing one means copying it into a
-  /// builder, adding, and building again — O(total postings).
+  /// builder, adding, and building again — O(total postings). The serving
+  /// layer pairs this with SnapshotManager to swap the rebuilt library in
+  /// under live queries.
   static LibraryBuilder FromLibrary(const ImplementationLibrary& library);
 
   /// Interns an action name (idempotent).
@@ -49,6 +70,11 @@ class LibraryBuilder {
 
   /// Interns a goal name (idempotent).
   GoalId InternGoal(std::string_view name);
+
+  /// Pre-sizes the vocabularies (used by the loaders, which know the file's
+  /// cardinality up front).
+  void ReserveActions(size_t n);
+  void ReserveGoals(size_t n);
 
   /// Adds implementation (goal, actions) by name. Duplicate action names
   /// within one implementation are collapsed. Empty activities are legal but
@@ -61,11 +87,17 @@ class LibraryBuilder {
   /// sorted. Every id must have been interned. Returns the new impl id.
   ImplId AddImplementationIds(GoalId goal, IdSet actions);
 
+  /// Span overload: copies `actions` (e.g. a posting span of another
+  /// library) into an owned set first.
+  ImplId AddImplementationIds(GoalId goal, std::span<const ActionId> actions) {
+    return AddImplementationIds(goal, IdSet(actions.begin(), actions.end()));
+  }
+
   uint32_t num_implementations() const {
     return static_cast<uint32_t>(impls_.size());
   }
 
-  /// Finalises the inverted indexes and produces the immutable library.
+  /// Finalises the CSR indexes and produces the immutable library.
   ImplementationLibrary Build() &&;
 
  private:
@@ -86,17 +118,20 @@ class ImplementationLibrary {
   uint32_t num_actions() const { return actions_.size(); }
   uint32_t num_goals() const { return goals_.size(); }
   uint32_t num_implementations() const {
-    return static_cast<uint32_t>(impls_.size());
+    return static_cast<uint32_t>(impl_goals_.size());
   }
 
-  /// GI-A-idx + GI-G-idx: the implementation record for `id`.
-  const Implementation& implementation(ImplId id) const;
+  /// GI-A-idx + GI-G-idx: a view of the implementation record for `id`.
+  ImplementationView implementation(ImplId id) const {
+    return ImplementationView{GoalOf(id), ActionsOf(id)};
+  }
 
   /// GI-G-idx: the goal fulfilled by implementation `id`.
-  GoalId GoalOf(ImplId id) const { return implementation(id).goal; }
+  GoalId GoalOf(ImplId id) const;
 
-  /// GI-A-idx: the activity (sorted action set) of implementation `id`.
-  const IdSet& ActionsOf(ImplId id) const { return implementation(id).actions; }
+  /// GI-A-idx: the activity (sorted action set) of implementation `id`, as a
+  /// span into the postings arena.
+  std::span<const ActionId> ActionsOf(ImplId id) const;
 
   /// A-GI-idx: ids of all implementations where action `a` contributes,
   /// sorted ascending. Empty span for actions in no implementation.
@@ -106,6 +141,10 @@ class ImplementationLibrary {
   std::span<const ImplId> ImplsOfGoal(GoalId g) const;
 
   // --- space queries (Definitions 4.1/4.2, Equations 1–2) --------------------
+  //
+  // These are the allocating convenience forms; the steady-state query path
+  // goes through core::QueryContext::Create with a pooled
+  // core::QueryWorkspace, which computes the same sets into reused buffers.
 
   /// IS(H): implementations sharing at least one action with `activity`.
   IdSet ImplementationSpace(const Activity& activity) const;
@@ -149,9 +188,20 @@ class ImplementationLibrary {
 
   Vocabulary actions_;
   Vocabulary goals_;
-  std::vector<Implementation> impls_;              // GI-A-idx / GI-G-idx
-  std::vector<std::vector<ImplId>> action_impls_;  // A-GI-idx
-  std::vector<std::vector<ImplId>> goal_impls_;    // G-GI-idx
+  // GI-A-idx: actions of implementation p live at
+  // impl_actions_[impl_offsets_[p] .. impl_offsets_[p + 1]).
+  std::vector<uint32_t> impl_offsets_;
+  std::vector<ActionId> impl_actions_;
+  // GI-G-idx: one goal per implementation.
+  std::vector<GoalId> impl_goals_;
+  // A-GI-idx: postings of action a live at
+  // action_postings_[action_offsets_[a] .. action_offsets_[a + 1]).
+  std::vector<uint32_t> action_offsets_;
+  std::vector<ImplId> action_postings_;
+  // G-GI-idx: postings of goal g live at
+  // goal_postings_[goal_offsets_[g] .. goal_offsets_[g + 1]).
+  std::vector<uint32_t> goal_offsets_;
+  std::vector<ImplId> goal_postings_;
 };
 
 }  // namespace goalrec::model

@@ -76,7 +76,7 @@ util::Status SaveLibraryText(const ImplementationLibrary& library,
   if (!out) return util::IoError("cannot open " + path + " for writing");
   out << kTextHeader << '\n';
   for (ImplId p = 0; p < library.num_implementations(); ++p) {
-    const Implementation& impl = library.implementation(p);
+    ImplementationView impl = library.implementation(p);
     out << library.goals().Name(impl.goal);
     for (ActionId a : impl.actions) {
       out << '\t' << library.actions().Name(a);
@@ -139,7 +139,7 @@ util::Status SaveLibraryBinary(const ImplementationLibrary& library,
   }
   WriteU32(out, library.num_implementations());
   for (ImplId p = 0; p < library.num_implementations(); ++p) {
-    const Implementation& impl = library.implementation(p);
+    ImplementationView impl = library.implementation(p);
     WriteU32(out, impl.goal);
     WriteU32(out, static_cast<uint32_t>(impl.actions.size()));
     for (ActionId a : impl.actions) WriteU32(out, a);
@@ -163,6 +163,7 @@ util::StatusOr<ImplementationLibrary> LoadLibraryBinaryImpl(
   if (!ReadU32(in, &num_actions)) {
     return util::InvalidArgumentError(path + ": truncated action count");
   }
+  builder.ReserveActions(num_actions);
   for (uint32_t i = 0; i < num_actions; ++i) {
     std::string name;
     if (!ReadString(in, &name)) {
@@ -174,6 +175,7 @@ util::StatusOr<ImplementationLibrary> LoadLibraryBinaryImpl(
   if (!ReadU32(in, &num_goals)) {
     return util::InvalidArgumentError(path + ": truncated goal count");
   }
+  builder.ReserveGoals(num_goals);
   for (uint32_t i = 0; i < num_goals; ++i) {
     std::string name;
     if (!ReadString(in, &name)) {
@@ -223,6 +225,15 @@ util::StatusOr<ImplementationLibrary> LoadLibraryText(
 util::StatusOr<ImplementationLibrary> LoadLibraryBinary(
     const std::string& path, const util::RetryOptions& retry) {
   return util::RetryCall(retry, [&] { return LoadLibraryBinary(path); });
+}
+
+util::StatusOr<std::shared_ptr<const LibrarySnapshot>> LoadLibrarySnapshot(
+    const std::string& path, const util::RetryOptions& retry) {
+  bool binary = path.size() >= 4 && path.compare(path.size() - 4, 4, ".bin") == 0;
+  auto loaded = binary ? LoadLibraryBinary(path, retry)
+                       : LoadLibraryText(path, retry);
+  if (!loaded.ok()) return loaded.status();
+  return MakeSnapshot(std::move(loaded).value(), path);
 }
 
 }  // namespace goalrec::model

@@ -1,9 +1,11 @@
 #ifndef GOALREC_MODEL_LIBRARY_IO_H_
 #define GOALREC_MODEL_LIBRARY_IO_H_
 
+#include <memory>
 #include <string>
 
 #include "model/library.h"
+#include "model/snapshot.h"
 #include "util/retry.h"
 #include "util/status.h"
 
@@ -51,6 +53,12 @@ util::StatusOr<ImplementationLibrary> LoadLibraryText(
 
 util::StatusOr<ImplementationLibrary> LoadLibraryBinary(
     const std::string& path, const util::RetryOptions& retry);
+
+/// Loads `path` (binary if it ends in ".bin", text otherwise) and wraps the
+/// result in a versioned LibrarySnapshot whose source is `path`. This is the
+/// entry point serving reload paths use (serve/snapshot_manager.h).
+util::StatusOr<std::shared_ptr<const LibrarySnapshot>> LoadLibrarySnapshot(
+    const std::string& path, const util::RetryOptions& retry = {});
 
 }  // namespace goalrec::model
 

@@ -1,0 +1,17 @@
+#include "model/snapshot.h"
+
+#include <atomic>
+
+namespace goalrec::model {
+
+std::shared_ptr<const LibrarySnapshot> MakeSnapshot(
+    ImplementationLibrary library, std::string source) {
+  static std::atomic<uint64_t> next_version{1};
+  auto snapshot = std::make_shared<LibrarySnapshot>();
+  snapshot->library = std::move(library);
+  snapshot->version = next_version.fetch_add(1, std::memory_order_relaxed);
+  snapshot->source = std::move(source);
+  return snapshot;
+}
+
+}  // namespace goalrec::model

@@ -1,0 +1,42 @@
+#ifndef GOALREC_MODEL_SNAPSHOT_H_
+#define GOALREC_MODEL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "model/library.h"
+
+// An immutable, shareable unit of library ownership. The library itself has
+// always been immutable-after-Build; LibrarySnapshot adds the two things a
+// serving system needs to swap libraries under live traffic:
+//
+//   * shared ownership — queries hold a std::shared_ptr<const
+//     LibrarySnapshot> for their whole lifetime, so a reload can replace the
+//     current snapshot without waiting for (or tearing) in-flight readers;
+//   * identity — a process-wide monotonically increasing version and a
+//     source tag, so logs, metrics and reload audits can say *which*
+//     library answered a query.
+//
+// serve/snapshot_manager.h owns the atomic current-snapshot pointer; the
+// loaders (model/library_io.h) and datasets produce snapshots directly.
+
+namespace goalrec::model {
+
+struct LibrarySnapshot {
+  ImplementationLibrary library;
+  /// Process-wide monotonically increasing build number (1, 2, ...).
+  uint64_t version = 0;
+  /// Where the library came from: a file path, "builder", a dataset name.
+  std::string source;
+};
+
+/// Wraps a built library into an immutable snapshot, stamping the next
+/// process-wide version. Thread-safe.
+std::shared_ptr<const LibrarySnapshot> MakeSnapshot(
+    ImplementationLibrary library, std::string source = "builder");
+
+}  // namespace goalrec::model
+
+#endif  // GOALREC_MODEL_SNAPSHOT_H_

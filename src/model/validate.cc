@@ -9,7 +9,7 @@ namespace goalrec::model {
 util::Status ValidateLibrary(const ImplementationLibrary& library) {
   // Implementation records.
   for (ImplId p = 0; p < library.num_implementations(); ++p) {
-    const Implementation& impl = library.implementation(p);
+    ImplementationView impl = library.implementation(p);
     if (impl.goal >= library.num_goals()) {
       return util::FailedPreconditionError(
           "implementation " + std::to_string(p) + " has goal id " +
@@ -32,13 +32,12 @@ util::Status ValidateLibrary(const ImplementationLibrary& library) {
   // A-GI index against the forward records.
   for (ActionId a = 0; a < library.num_actions(); ++a) {
     std::span<const ImplId> postings = library.ImplsOfAction(a);
-    IdSet posting_set(postings.begin(), postings.end());
-    if (!util::IsSortedSet(posting_set)) {
+    if (!util::IsSortedSet(postings)) {
       return util::FailedPreconditionError(
           "A-GI postings of action " + std::to_string(a) +
           " are not strictly ascending");
     }
-    for (ImplId p : posting_set) {
+    for (ImplId p : postings) {
       if (p >= library.num_implementations() ||
           !util::Contains(library.ActionsOf(p), a)) {
         return util::FailedPreconditionError(
@@ -51,9 +50,7 @@ util::Status ValidateLibrary(const ImplementationLibrary& library) {
   // Posting completeness: every containment appears in the index.
   for (ImplId p = 0; p < library.num_implementations(); ++p) {
     for (ActionId a : library.ActionsOf(p)) {
-      std::span<const ImplId> postings = library.ImplsOfAction(a);
-      IdSet posting_set(postings.begin(), postings.end());
-      if (!util::Contains(posting_set, p)) {
+      if (!util::Contains(library.ImplsOfAction(a), p)) {
         return util::FailedPreconditionError(
             "implementation " + std::to_string(p) + " contains action " +
             std::to_string(a) + " but is missing from its A-GI postings");
@@ -65,14 +62,13 @@ util::Status ValidateLibrary(const ImplementationLibrary& library) {
   size_t goal_posting_total = 0;
   for (GoalId g = 0; g < library.num_goals(); ++g) {
     std::span<const ImplId> postings = library.ImplsOfGoal(g);
-    IdSet posting_set(postings.begin(), postings.end());
-    goal_posting_total += posting_set.size();
-    if (!util::IsSortedSet(posting_set)) {
+    goal_posting_total += postings.size();
+    if (!util::IsSortedSet(postings)) {
       return util::FailedPreconditionError(
           "G-GI postings of goal " + std::to_string(g) +
           " are not strictly ascending");
     }
-    for (ImplId p : posting_set) {
+    for (ImplId p : postings) {
       if (p >= library.num_implementations() || library.GoalOf(p) != g) {
         return util::FailedPreconditionError(
             "G-GI postings of goal " + std::to_string(g) +

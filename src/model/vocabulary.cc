@@ -19,8 +19,15 @@ std::optional<uint32_t> Vocabulary::Find(std::string_view name) const {
   return it->second;
 }
 
+void Vocabulary::Reserve(size_t n) {
+  names_.reserve(n);
+  ids_.reserve(n);
+}
+
 const std::string& Vocabulary::Name(uint32_t id) const {
-  GOALREC_CHECK_LT(id, names_.size());
+  GOALREC_CHECK_LT(id, names_.size())
+      << "name id " << id << " out of range (vocabulary has " << names_.size()
+      << " entries)";
   return names_[id];
 }
 

@@ -16,11 +16,19 @@ namespace goalrec::model {
 class Vocabulary {
  public:
   /// Returns the id of `name`, interning it if unseen. Ids are assigned
-  /// densely in first-seen order starting from 0.
+  /// densely in first-seen order starting from 0. Heterogeneous lookup: the
+  /// probe never constructs a temporary std::string — a copy is made only
+  /// when the name is genuinely new.
   uint32_t Intern(std::string_view name);
 
-  /// Returns the id of `name` if already interned.
+  /// Returns the id of `name` if already interned. Like Intern, the lookup
+  /// is allocation-free.
   std::optional<uint32_t> Find(std::string_view name) const;
+
+  /// Pre-sizes both the name table and the id map for `n` entries. The
+  /// loaders call this with the file's cardinality so bulk interning does
+  /// not rehash/reallocate its way up.
+  void Reserve(size_t n);
 
   /// Returns the name for `id`. Requires id < size().
   const std::string& Name(uint32_t id) const;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <span>
 #include <thread>
 
+#include "serve/snapshot_manager.h"
 #include "util/logging.h"
 
 namespace goalrec::serve {
@@ -66,6 +68,30 @@ ServingEngine::ServingEngine(std::vector<Rung> rungs, EngineOptions options)
                                            : &obs::MetricRegistry::Default()),
       sampler_(options_.trace_sample_rate) {
   GOALREC_CHECK(!rungs_.empty()) << "a serving ladder needs at least one rung";
+  for (const Rung& rung : rungs_) GOALREC_CHECK(rung.recommender != nullptr);
+  InitInstruments();
+}
+
+ServingEngine::ServingEngine(SnapshotManager* snapshots, EngineOptions options)
+    : options_(std::move(options)),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : &obs::MetricRegistry::Default()),
+      sampler_(options_.trace_sample_rate) {
+  GOALREC_CHECK(snapshots != nullptr);
+  snapshots_ = snapshots;
+  std::shared_ptr<const ServingSnapshot> snapshot = snapshots_->Acquire();
+  GOALREC_CHECK(!snapshot->rungs.empty())
+      << "a serving ladder needs at least one rung";
+  rungs_.reserve(snapshot->rungs.size());
+  for (const Rung& rung : snapshot->rungs) {
+    // Names define the metric/breaker shape; the live recommenders belong
+    // to whichever snapshot each query acquires.
+    rungs_.push_back(Rung{rung.name, nullptr});
+  }
+  InitInstruments();
+}
+
+void ServingEngine::InitInstruments() {
   std::vector<double> latency_bounds = obs::DefaultLatencyBucketsUs();
   queries_ = metrics_->GetCounter("goalrec_serve_queries_total", {},
                                   "Serve calls, any outcome");
@@ -93,7 +119,6 @@ ServingEngine::ServingEngine(std::vector<Rung> rungs, EngineOptions options)
   if (options_.breaker.has_value()) breakers_.reserve(rungs_.size());
   for (size_t i = 0; i < rungs_.size(); ++i) {
     const Rung& rung = rungs_[i];
-    GOALREC_CHECK(rung.recommender != nullptr);
     RungMetrics rm;
     for (size_t o = 0; o < kNumRungOutcomes; ++o) {
       rm.outcome[o] = metrics_->GetCounter(
@@ -186,11 +211,28 @@ util::StatusOr<ServeResult> ServingEngine::RunLadder(
   serve_span.Annotate("activity_size", activity.size());
   serve_span.Annotate("deadline_ms", options_.deadline_ms);
   ServeResult result;
-  result.num_rungs = rungs_.size();
-  for (size_t i = 0; i < rungs_.size(); ++i) {
-    const Rung& rung = rungs_[i];
+  // Snapshot mode: pin the current serving snapshot for this whole query —
+  // a concurrent Reload publishes a replacement for *future* queries while
+  // this one keeps reading the library it acquired.
+  std::shared_ptr<const ServingSnapshot> snapshot;
+  std::span<const Rung> active(rungs_);
+  if (snapshots_ != nullptr) {
+    snapshot = snapshots_->Acquire();
+    GOALREC_CHECK_EQ(snapshot->rungs.size(), rung_metrics_.size())
+        << "ladder shape changed across a reload";
+    active = snapshot->rungs;
+    result.library_version = snapshot->library->version;
+    serve_span.Annotate("library_version", snapshot->library->version);
+  }
+  // One workspace per query, leased for the duration of the ladder walk:
+  // every rung's scoring runs on its reused buffers.
+  core::QueryWorkspacePool::Lease workspace = workspace_pool_.Acquire();
+  core::RecommendationList list;
+  result.num_rungs = active.size();
+  for (size_t i = 0; i < active.size(); ++i) {
+    const Rung& rung = active[i];
     const RungMetrics& rm = rung_metrics_[i];
-    const bool is_last = i + 1 == rungs_.size();
+    const bool is_last = i + 1 == active.size();
     CircuitBreaker* breaker = breakers_.empty() ? nullptr : breakers_[i].get();
     Clock::time_point rung_start = Clock::now();
     obs::ScopedSpan rung_span(trace, "rung/" + rung.name);
@@ -283,8 +325,8 @@ util::StatusOr<ServeResult> ServingEngine::RunLadder(
     util::StopToken stop = is_last
                                ? util::StopToken()
                                : util::StopToken(deadline, cancel);
-    core::RecommendationList list =
-        rung.recommender->RecommendCancellable(activity, k, &stop);
+    rung.recommender->RecommendPooled(activity, k, &stop, workspace.get(),
+                                      list);
     report.latency = Clock::now() - rung_start;
 
     if (cancel.Cancelled()) {

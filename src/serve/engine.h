@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/query_workspace.h"
 #include "core/recommender.h"
 #include "model/types.h"
 #include "obs/metrics.h"
@@ -46,6 +47,8 @@
 // control keeps admitted answers good and fails the rest fast.
 
 namespace goalrec::serve {
+
+class SnapshotManager;
 
 /// Why a rung did not (or did) produce the answer.
 enum class RungOutcome {
@@ -117,6 +120,9 @@ struct ServeResult {
   size_t num_rungs = 0;
   /// End-to-end latency of the Serve call.
   std::chrono::nanoseconds latency{0};
+  /// Version of the library snapshot that answered (0 when the engine was
+  /// built from a static rung list rather than a SnapshotManager).
+  uint64_t library_version = 0;
   /// The query's trace when it was sampled (EngineOptions::trace_sample_rate),
   /// null otherwise. Shared so callers can keep it past the result.
   std::shared_ptr<obs::Trace> trace;
@@ -133,6 +139,15 @@ class ServingEngine {
   /// Requires at least one rung. Rungs are tried in order; see the file
   /// comment for the deadline contract on the final rung.
   ServingEngine(std::vector<Rung> rungs, EngineOptions options = {});
+
+  /// Snapshot mode: every query acquires the manager's current serving
+  /// snapshot (one lock-free load) and runs that snapshot's ladder, so
+  /// SnapshotManager::Reload takes effect between queries with no engine
+  /// restart. The ladder *shape* is fixed at construction — per-rung metrics
+  /// and circuit breakers are resolved from the initial snapshot's rung
+  /// names and persist (positionally) across reloads. `snapshots` is not
+  /// owned and must outlive the engine.
+  ServingEngine(SnapshotManager* snapshots, EngineOptions options = {});
 
   /// Serves one query. Returns an error only when the query was cancelled
   /// (kCancelled), shed by admission control (kResourceExhausted), or every
@@ -160,8 +175,13 @@ class ServingEngine {
   }
 
   size_t num_rungs() const { return rungs_.size(); }
+  /// The ladder shape. In snapshot mode the `recommender` pointers are null
+  /// (the live ones belong to the current snapshot); the names are stable.
   const std::vector<Rung>& rungs() const { return rungs_; }
   const EngineOptions& options() const { return options_; }
+
+  /// Workspaces minted by the query path so far (high-water concurrency).
+  size_t workspaces_created() const { return workspace_pool_.created(); }
 
   /// The rung's circuit breaker, or null when EngineOptions::breaker is
   /// unset. Exposed for tests and operational introspection.
@@ -196,7 +216,16 @@ class ServingEngine {
                                             query_start,
                                         obs::Trace* trace) const;
 
+  /// Resolves the per-rung instrument handles and breakers from rungs_'
+  /// names (shared by both constructors).
+  void InitInstruments();
+
   std::vector<Rung> rungs_;
+  /// Snapshot mode source of live rungs; null in static-ladder mode.
+  SnapshotManager* snapshots_ = nullptr;
+  /// Per-query scratch memory: leased in RunLadder, returned when the query
+  /// finishes, buffers reused across queries (the zero-allocation path).
+  mutable core::QueryWorkspacePool workspace_pool_;
   EngineOptions options_;
   obs::MetricRegistry* metrics_ = nullptr;
   std::vector<RungMetrics> rung_metrics_;

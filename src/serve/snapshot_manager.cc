@@ -1,0 +1,124 @@
+#include "serve/snapshot_manager.h"
+
+#include <chrono>
+#include <utility>
+
+#include "model/library_io.h"
+#include "util/logging.h"
+
+namespace goalrec::serve {
+
+SnapshotManager::SnapshotManager(
+    std::shared_ptr<const model::LibrarySnapshot> initial,
+    LadderFactory factory, obs::MetricRegistry* metrics)
+    : factory_(std::move(factory)) {
+  GOALREC_CHECK(initial != nullptr);
+  GOALREC_CHECK(factory_ != nullptr);
+  obs::MetricRegistry& registry =
+      metrics != nullptr ? *metrics : obs::MetricRegistry::Default();
+  reload_ok_ = registry.GetCounter("goalrec_library_reload_total",
+                                   {{"result", "ok"}},
+                                   "Library reload attempts, by result");
+  reload_error_ = registry.GetCounter("goalrec_library_reload_total",
+                                      {{"result", "error"}},
+                                      "Library reload attempts, by result");
+  reload_latency_us_ = registry.GetHistogram(
+      "goalrec_library_reload_latency_us", obs::DefaultLatencyBucketsUs(), {},
+      "Reload latency: load + ladder build + swap (microseconds)");
+  library_version_ =
+      registry.GetGauge("goalrec_library_version", {},
+                        "Version of the currently served library snapshot");
+  library_impls_ =
+      registry.GetGauge("goalrec_library_implementations", {},
+                        "Implementations in the currently served library");
+
+  auto serving = BuildServing(std::move(initial));
+  GOALREC_CHECK(serving.ok()) << serving.status().ToString();
+  const ServingSnapshot& built = *serving.value();
+  GOALREC_CHECK(!built.rungs.empty())
+      << "LadderFactory produced an empty ladder";
+  expected_rungs_.reserve(built.rungs.size());
+  for (const ServingEngine::Rung& rung : built.rungs) {
+    expected_rungs_.push_back(rung.name);
+  }
+  library_version_->Set(static_cast<int64_t>(built.library->version));
+  library_impls_->Set(
+      static_cast<int64_t>(built.library->library.num_implementations()));
+  current_.store(std::move(serving).value(), std::memory_order_release);
+}
+
+util::StatusOr<std::shared_ptr<const ServingSnapshot>>
+SnapshotManager::BuildServing(
+    std::shared_ptr<const model::LibrarySnapshot> snapshot) const {
+  GOALREC_CHECK(snapshot != nullptr);
+  auto serving = std::make_shared<ServingSnapshot>();
+  serving->library = std::move(snapshot);
+  factory_(serving->library->library, *serving);
+  for (const ServingEngine::Rung& rung : serving->rungs) {
+    if (rung.recommender == nullptr) {
+      return util::FailedPreconditionError(
+          "LadderFactory left rung '" + rung.name + "' without a recommender");
+    }
+  }
+  if (!expected_rungs_.empty()) {
+    if (serving->rungs.size() != expected_rungs_.size()) {
+      return util::FailedPreconditionError(
+          "LadderFactory changed the ladder shape: expected " +
+          std::to_string(expected_rungs_.size()) + " rungs, got " +
+          std::to_string(serving->rungs.size()));
+    }
+    for (size_t i = 0; i < expected_rungs_.size(); ++i) {
+      if (serving->rungs[i].name != expected_rungs_[i]) {
+        return util::FailedPreconditionError(
+            "LadderFactory changed rung " + std::to_string(i) + " from '" +
+            expected_rungs_[i] + "' to '" + serving->rungs[i].name + "'");
+      }
+    }
+  }
+  return std::shared_ptr<const ServingSnapshot>(std::move(serving));
+}
+
+util::Status SnapshotManager::Reload(
+    std::shared_ptr<const model::LibrarySnapshot> snapshot) {
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  auto start = std::chrono::steady_clock::now();
+  auto serving = BuildServing(std::move(snapshot));
+  double elapsed_us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  reload_latency_us_->Observe(elapsed_us);
+  if (!serving.ok()) {
+    reload_error_->Increment();
+    GOALREC_LOG(WARN) << "library reload rejected"
+                      << util::Kv("status", serving.status().ToString());
+    return serving.status();
+  }
+  const ServingSnapshot& built = *serving.value();
+  uint64_t version = built.library->version;
+  size_t impls = built.library->library.num_implementations();
+  // The swap: in-flight queries keep the snapshot they acquired; new
+  // queries see the replacement from the next Acquire() on.
+  current_.store(std::move(serving).value(), std::memory_order_release);
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  reload_ok_->Increment();
+  library_version_->Set(static_cast<int64_t>(version));
+  library_impls_->Set(static_cast<int64_t>(impls));
+  GOALREC_LOG(INFO) << "library reloaded" << util::Kv("version", version)
+                    << util::Kv("implementations", impls);
+  return util::Status::Ok();
+}
+
+util::StatusOr<uint64_t> SnapshotManager::ReloadFromFile(
+    const std::string& path, const util::RetryOptions& retry) {
+  auto loaded = model::LoadLibrarySnapshot(path, retry);
+  if (!loaded.ok()) {
+    reload_error_->Increment();
+    return loaded.status();
+  }
+  uint64_t version = loaded.value()->version;
+  util::Status status = Reload(std::move(loaded).value());
+  if (!status.ok()) return status;
+  return version;
+}
+
+}  // namespace goalrec::serve

@@ -1,0 +1,110 @@
+#ifndef GOALREC_SERVE_SNAPSHOT_MANAGER_H_
+#define GOALREC_SERVE_SNAPSHOT_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "model/snapshot.h"
+#include "obs/metrics.h"
+#include "serve/engine.h"
+#include "util/retry.h"
+#include "util/status.h"
+
+// Hot library reload for the serving path.
+//
+// The manager owns the *current* serving snapshot behind a single
+// std::atomic<std::shared_ptr>: queries acquire it with one lock-free atomic
+// load and hold the shared_ptr for their whole lifetime, a reload builds the
+// replacement off to the side and publishes it with one atomic exchange.
+// In-flight queries keep answering from the snapshot they acquired — no
+// torn reads, no locks on the query path, no waiting for drain; the old
+// library is destroyed when its last query finishes.
+//
+// A ServingSnapshot bundles the library with the ladder recommenders built
+// against it, because a recommender must never outlive the library it
+// indexes: co-ownership makes the swap safe by construction. The ladder
+// *shape* (rung count and names) is fixed for the manager's lifetime — the
+// engine resolves per-rung metrics and circuit breakers positionally at
+// construction, and reloads swap the rungs' contents, not the ladder.
+//
+// See docs/serving.md ("Library hot reload") for the operational story.
+
+namespace goalrec::serve {
+
+/// One fully wired serving view: a library snapshot plus the ladder built
+/// against it. Immutable after construction.
+struct ServingSnapshot {
+  std::shared_ptr<const model::LibrarySnapshot> library;
+  /// The recommenders backing `rungs`, co-owned with the library.
+  std::vector<std::unique_ptr<const core::Recommender>> owned;
+  /// Ladder rungs, best first; `recommender` points into `owned`.
+  std::vector<ServingEngine::Rung> rungs;
+};
+
+/// Builds the ladder for one library: push recommenders into `out.owned`
+/// and the rung order into `out.rungs`. Invoked once per (re)load; must
+/// produce the same rung count and names every time.
+using LadderFactory = std::function<void(const model::ImplementationLibrary&,
+                                         ServingSnapshot& out)>;
+
+class SnapshotManager {
+ public:
+  /// Builds the initial serving snapshot from `initial` via `factory`.
+  /// `metrics` defaults to obs::MetricRegistry::Default(); not owned.
+  SnapshotManager(std::shared_ptr<const model::LibrarySnapshot> initial,
+                  LadderFactory factory,
+                  obs::MetricRegistry* metrics = nullptr);
+
+  /// The current serving snapshot — one lock-free atomic shared_ptr load.
+  /// Callers keep the returned pointer for the duration of their query.
+  std::shared_ptr<const ServingSnapshot> Acquire() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Builds a ladder for `snapshot` and atomically publishes it. Fails
+  /// (kFailedPrecondition, current snapshot untouched) if the factory
+  /// produced a different ladder shape. Reloads are serialised; queries are
+  /// never blocked.
+  util::Status Reload(std::shared_ptr<const model::LibrarySnapshot> snapshot);
+
+  /// Loads `path` (text, or binary for ".bin") with `retry` and publishes
+  /// it. On any failure the current snapshot keeps serving. Returns the new
+  /// library version on success.
+  util::StatusOr<uint64_t> ReloadFromFile(const std::string& path,
+                                          const util::RetryOptions& retry = {});
+
+  /// Version of the currently served library.
+  uint64_t current_version() const { return Acquire()->library->version; }
+
+  /// Successful reloads since construction (the initial build excluded).
+  uint64_t reload_count() const {
+    return reloads_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  util::StatusOr<std::shared_ptr<const ServingSnapshot>> BuildServing(
+      std::shared_ptr<const model::LibrarySnapshot> snapshot) const;
+
+  LadderFactory factory_;
+  /// Rung names of the initial build; every reload must reproduce them.
+  std::vector<std::string> expected_rungs_;
+  std::atomic<std::shared_ptr<const ServingSnapshot>> current_;
+  std::atomic<uint64_t> reloads_{0};
+  /// Serialises Reload/ReloadFromFile against each other only.
+  std::mutex reload_mu_;
+
+  obs::Counter* reload_ok_ = nullptr;
+  obs::Counter* reload_error_ = nullptr;
+  obs::Histogram* reload_latency_us_ = nullptr;
+  obs::Gauge* library_version_ = nullptr;
+  obs::Gauge* library_impls_ = nullptr;
+};
+
+}  // namespace goalrec::serve
+
+#endif  // GOALREC_SERVE_SNAPSHOT_MANAGER_H_

@@ -7,6 +7,7 @@
 #include "core/best_match.h"
 #include "core/breadth.h"
 #include "core/focus.h"
+#include "core/query_workspace.h"
 
 namespace goalrec::testing {
 namespace {
@@ -138,6 +139,33 @@ core::RecommendationList RunOptimized(
       return core::BestMatchRecommender(&library).Recommend(activity, k);
   }
   return {};
+}
+
+core::RecommendationList RunOptimizedPooled(
+    const model::ImplementationLibrary& library, OracleStrategy strategy,
+    const model::Activity& activity, size_t k,
+    core::QueryWorkspace& workspace) {
+  core::RecommendationList out;
+  switch (strategy) {
+    case OracleStrategy::kFocusCompleteness:
+      core::FocusRecommender(&library, core::FocusVariant::kCompleteness)
+          .RecommendPooled(activity, k, nullptr, &workspace, out);
+      break;
+    case OracleStrategy::kFocusCloseness:
+      core::FocusRecommender(&library, core::FocusVariant::kCloseness)
+          .RecommendPooled(activity, k, nullptr, &workspace, out);
+      break;
+    case OracleStrategy::kBreadth:
+      core::BreadthRecommender(&library).RecommendPooled(activity, k, nullptr,
+                                                         &workspace, out);
+      break;
+    case OracleStrategy::kBestMatch:
+      core::BestMatchRecommender(&library).RecommendPooled(activity, k,
+                                                           nullptr, &workspace,
+                                                           out);
+      break;
+  }
+  return out;
 }
 
 ReferenceList RunReference(const model::ImplementationLibrary& library,

@@ -72,6 +72,14 @@ core::RecommendationList RunOptimized(
     const model::ImplementationLibrary& library, OracleStrategy strategy,
     const model::Activity& activity, size_t k);
 
+/// Runs the optimized strategy through the pooled-workspace serving path
+/// (RecommendPooled over a caller-owned, reused QueryWorkspace) — the
+/// zero-allocation route a ServingEngine query takes. Must be bit-identical
+/// to RunOptimized; tests/oracle/snapshot_test.cc holds it to that.
+core::RecommendationList RunOptimizedPooled(
+    const model::ImplementationLibrary& library, OracleStrategy strategy,
+    const model::Activity& activity, size_t k, core::QueryWorkspace& workspace);
+
 /// Runs the naive reference for the same configuration.
 ReferenceList RunReference(const model::ImplementationLibrary& library,
                            OracleStrategy strategy,

@@ -1,6 +1,7 @@
 #include "testing/generator.h"
 
 #include <algorithm>
+#include <span>
 #include <string>
 #include <utility>
 
@@ -81,7 +82,8 @@ model::Activity GenerateActivity(const model::ImplementationLibrary& library,
     // H ⊇ A: start from a full implementation activity (possibly empty) and
     // extend with a few extra actions.
     model::ImplId p = rng.UniformUint32(library.num_implementations());
-    activity = library.ActionsOf(p);
+    std::span<const model::ActionId> base = library.ActionsOf(p);
+    activity.assign(base.begin(), base.end());
     uint32_t extra = rng.UniformUint32(4);
     for (uint32_t i = 0; i < extra; ++i) {
       activity.push_back(rng.UniformUint32(library.num_actions()));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <span>
 
 namespace goalrec::testing {
 namespace {
@@ -11,7 +12,7 @@ namespace {
 // here touches util/set_ops, so a bug in the optimized sorted-vector
 // primitives cannot hide in the oracle too.
 
-std::set<model::ActionId> ToSet(const model::IdSet& ids) {
+std::set<model::ActionId> ToSet(std::span<const model::ActionId> ids) {
   return std::set<model::ActionId>(ids.begin(), ids.end());
 }
 
@@ -19,7 +20,7 @@ bool InSet(const std::set<model::ActionId>& s, model::ActionId a) {
   return s.count(a) != 0;
 }
 
-size_t CommonCount(const model::IdSet& impl_actions,
+size_t CommonCount(std::span<const model::ActionId> impl_actions,
                    const std::set<model::ActionId>& activity) {
   size_t common = 0;
   for (model::ActionId a : impl_actions) {
@@ -31,7 +32,7 @@ size_t CommonCount(const model::IdSet& impl_actions,
 // Missing actions A − H of one implementation, ascending (impl activities
 // are stored sorted, and std::set iteration preserves order anyway).
 std::vector<model::ActionId> MissingActions(
-    const model::IdSet& impl_actions,
+    std::span<const model::ActionId> impl_actions,
     const std::set<model::ActionId>& activity) {
   std::vector<model::ActionId> missing;
   for (model::ActionId a : impl_actions) {
@@ -84,7 +85,7 @@ std::vector<model::ActionId> ReferenceActionSpace(
   std::set<model::ActionId> space;
   for (model::ActionId a : activity) {
     for (model::ImplId p = 0; p < library.num_implementations(); ++p) {
-      const model::IdSet& impl_actions = library.ActionsOf(p);
+      std::span<const model::ActionId> impl_actions = library.ActionsOf(p);
       bool contains_a = false;
       for (model::ActionId b : impl_actions) {
         if (b == a) contains_a = true;
@@ -109,7 +110,7 @@ std::vector<model::ActionId> ReferenceCandidates(
   return candidates;
 }
 
-double ReferenceCompleteness(const model::IdSet& impl_actions,
+double ReferenceCompleteness(std::span<const model::ActionId> impl_actions,
                              const model::Activity& activity) {
   if (impl_actions.empty()) return 0.0;
   size_t common = CommonCount(impl_actions, ToSet(activity));
@@ -117,7 +118,7 @@ double ReferenceCompleteness(const model::IdSet& impl_actions,
          static_cast<double>(impl_actions.size());
 }
 
-double ReferenceCloseness(const model::IdSet& impl_actions,
+double ReferenceCloseness(std::span<const model::ActionId> impl_actions,
                           const model::Activity& activity) {
   size_t remaining = MissingActions(impl_actions, ToSet(activity)).size();
   if (remaining == 0) return 0.0;
@@ -130,7 +131,7 @@ double ReferenceBreadthScore(const model::ImplementationLibrary& library,
   std::set<model::ActionId> h = ToSet(activity);
   double score = 0.0;
   for (model::ImplId p = 0; p < library.num_implementations(); ++p) {
-    const model::IdSet& impl_actions = library.ActionsOf(p);
+    std::span<const model::ActionId> impl_actions = library.ActionsOf(p);
     bool contains_action = false;
     for (model::ActionId b : impl_actions) {
       if (b == action) contains_action = true;
@@ -179,7 +180,7 @@ ReferenceList ReferenceFocus(const model::ImplementationLibrary& library,
   std::set<model::ActionId> h = ToSet(activity);
   std::vector<RankedImpl> ranked;
   for (model::ImplId p : ReferenceImplementationSpace(library, activity)) {
-    const model::IdSet& impl_actions = library.ActionsOf(p);
+    std::span<const model::ActionId> impl_actions = library.ActionsOf(p);
     if (MissingActions(impl_actions, h).empty()) continue;  // complete
     double score = variant == ReferenceFocusVariant::kCompleteness
                        ? ReferenceCompleteness(impl_actions, activity)

@@ -2,6 +2,7 @@
 #define GOALREC_TESTING_REFERENCE_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "model/library.h"
@@ -82,13 +83,13 @@ std::vector<model::ActionId> ReferenceCandidates(
 // --- naive scoring formulas -------------------------------------------------
 
 /// Eq. 3. Zero for an empty implementation activity.
-double ReferenceCompleteness(const model::IdSet& impl_actions,
+double ReferenceCompleteness(std::span<const model::ActionId> impl_actions,
                              const model::Activity& activity);
 
 /// Eq. 4. Zero when the implementation is already complete (|A − H| = 0),
 /// matching the optimized convention that complete implementations are
 /// skipped rather than scored as infinite.
-double ReferenceCloseness(const model::IdSet& impl_actions,
+double ReferenceCloseness(std::span<const model::ActionId> impl_actions,
                           const model::Activity& activity);
 
 /// Eq. 6, evaluated per action over all implementations.

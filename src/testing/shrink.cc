@@ -61,7 +61,9 @@ OracleCase ShrinkFailure(const OracleCase& failing,
   std::vector<model::Implementation> impls;
   impls.reserve(failing.library.num_implementations());
   for (model::ImplId p = 0; p < failing.library.num_implementations(); ++p) {
-    impls.push_back(failing.library.implementation(p));
+    model::ImplementationView view = failing.library.implementation(p);
+    impls.push_back(model::Implementation{
+        view.goal, model::IdSet(view.actions.begin(), view.actions.end())});
   }
   model::Activity activity = failing.activity;
 

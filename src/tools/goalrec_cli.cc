@@ -63,14 +63,28 @@
 //       paper's key metrics (overlap, popularity correlation, completeness,
 //       TPR).
 //
+//   goalrec serve <library> [--strategy=breadth] [--deadline_ms=N]
+//                 [--watch_library] [--watch_interval_ms=500]
+//       Interactive serving REPL over a hot-reloadable library snapshot
+//       (docs/serving.md, "Library hot reload"). Queries run through the
+//       resilient engine's <strategy> → popularity ladder against the
+//       current snapshot; `reload [path]` swaps the library atomically
+//       without dropping the session's activity, and --watch_library polls
+//       the file's mtime and reloads automatically when it changes.
+//
 // Library files ending in .bin are read/written in the binary format;
 // anything else uses the text format.
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/best_match.h"
@@ -91,9 +105,11 @@
 #include "obs/dumper.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "model/snapshot.h"
 #include "serve/engine.h"
 #include "serve/fault_injection.h"
 #include "serve/popularity_floor.h"
+#include "serve/snapshot_manager.h"
 #include "textmine/aliases.h"
 #include "textmine/corpus.h"
 #include "model/statistics.h"
@@ -629,59 +645,183 @@ int CmdRelated(const FlagParser& flags) {
   return 0;
 }
 
+// Builds the serve ladder for one library snapshot: the chosen strategy on
+// top, the structural popularity floor underneath. Invoked by the
+// SnapshotManager on every (re)load, so the recommenders are always indexed
+// against the library they co-own.
+goalrec::serve::LadderFactory MakeServeLadder(const std::string& strategy) {
+  return [strategy](const goalrec::model::ImplementationLibrary& library,
+                    goalrec::serve::ServingSnapshot& out) {
+    std::unique_ptr<const goalrec::core::Recommender> primary;
+    if (strategy == "focus_cmp") {
+      primary = std::make_unique<goalrec::core::FocusRecommender>(
+          &library, goalrec::core::FocusVariant::kCompleteness);
+    } else if (strategy == "focus_cl") {
+      primary = std::make_unique<goalrec::core::FocusRecommender>(
+          &library, goalrec::core::FocusVariant::kCloseness);
+    } else if (strategy == "best_match") {
+      primary = std::make_unique<goalrec::core::BestMatchRecommender>(&library);
+    } else {
+      primary = std::make_unique<goalrec::core::BreadthRecommender>(&library);
+    }
+    out.rungs.push_back({strategy, primary.get()});
+    out.owned.push_back(std::move(primary));
+    auto floor =
+        std::make_unique<goalrec::serve::LibraryPopularityRecommender>(&library);
+    out.rungs.push_back({"popularity", floor.get()});
+    out.owned.push_back(std::move(floor));
+  };
+}
+
 int CmdServe(const FlagParser& flags) {
   if (flags.positional().size() != 2) {
     std::fprintf(stderr,
-                 "usage: goalrec serve <library> [--strategy=breadth]\n"
+                 "usage: goalrec serve <library> [--strategy=breadth] "
+                 "[--deadline_ms=N] [--watch_library] "
+                 "[--watch_interval_ms=500]\n"
                  "interactive: perform <action> | undo <action> | "
-                 "recommend [k] | status | quit\n");
+                 "recommend [k] | reload [path] | status | quit\n");
     return 2;
   }
-  StatusOr<ImplementationLibrary> library = LoadLibrary(flags, flags.positional()[1]);
-  if (!library.ok()) {
-    GOALREC_LOG(ERROR) << "library load failed"
-                       << goalrec::util::Kv("status",
-                                            library.status().ToString());
-    return 1;
-  }
+  const std::string library_path = flags.positional()[1];
   std::string strategy_name = flags.GetString("strategy", "breadth");
-  goalrec::core::FocusRecommender focus(
-      &*library, goalrec::core::FocusVariant::kCompleteness);
-  goalrec::core::BreadthRecommender breadth(&*library);
-  goalrec::core::BestMatchRecommender best_match(&*library);
-  goalrec::core::Recommender* strategy = &breadth;
-  if (strategy_name == "focus_cmp") {
-    strategy = &focus;
-  } else if (strategy_name == "best_match") {
-    strategy = &best_match;
-  } else if (strategy_name != "breadth") {
+  if (strategy_name != "breadth" && strategy_name != "focus_cmp" &&
+      strategy_name != "focus_cl" && strategy_name != "best_match") {
     GOALREC_LOG(ERROR) << "unknown --strategy '" << strategy_name << "'";
     return 2;
   }
-  goalrec::core::RecommendationSession session(&*library, strategy);
-  std::printf("goalrec serve — %s over %u implementations. Commands: "
-              "perform <action> | undo <action> | recommend [k] | status | "
-              "quit\n",
-              strategy->name().c_str(), library->num_implementations());
+  StatusOr<std::shared_ptr<const goalrec::model::LibrarySnapshot>> initial =
+      goalrec::model::LoadLibrarySnapshot(library_path, RetryFromFlags(flags));
+  if (!initial.ok()) {
+    GOALREC_LOG(ERROR) << "library load failed"
+                       << goalrec::util::Kv("status",
+                                            initial.status().ToString());
+    return 1;
+  }
+  goalrec::serve::SnapshotManager manager(std::move(initial).value(),
+                                          MakeServeLadder(strategy_name));
+  goalrec::serve::EngineOptions engine_options;
+  StatusOr<int64_t> deadline_ms = flags.GetInt("deadline_ms", 0);
+  if (!deadline_ms.ok() || *deadline_ms < 0) {
+    GOALREC_LOG(ERROR) << "--deadline_ms must be a non-negative integer";
+    return 2;
+  }
+  engine_options.deadline_ms = *deadline_ms;
+  goalrec::serve::ServingEngine engine(&manager, engine_options);
+
+  // --watch_library: poll the library file's mtime and hot-reload on change.
+  // The failed-reload path is safe by construction — the manager keeps the
+  // current snapshot serving — so a half-written file only logs a warning.
+  StatusOr<bool> watch = flags.GetBool("watch_library", false);
+  StatusOr<int64_t> watch_ms = flags.GetInt("watch_interval_ms", 500);
+  if (!watch.ok() || !watch_ms.ok() || *watch_ms <= 0) {
+    GOALREC_LOG(ERROR) << "--watch_interval_ms must be a positive integer";
+    return 2;
+  }
+  std::atomic<bool> stop_watch{false};
+  std::thread watcher;
+  if (*watch) {
+    auto interval = std::chrono::milliseconds(*watch_ms);
+    watcher = std::thread([&manager, &stop_watch, library_path, interval] {
+      std::error_code ec;
+      std::filesystem::file_time_type last =
+          std::filesystem::last_write_time(library_path, ec);
+      while (!stop_watch.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(interval);
+        std::error_code poll_ec;
+        std::filesystem::file_time_type now =
+            std::filesystem::last_write_time(library_path, poll_ec);
+        if (poll_ec || (!ec && now == last)) continue;
+        last = now;
+        ec.clear();
+        StatusOr<uint64_t> version = manager.ReloadFromFile(library_path);
+        if (!version.ok()) {
+          GOALREC_LOG(WARN)
+              << "watched library reload failed; still serving v"
+              << manager.current_version()
+              << goalrec::util::Kv("status", version.status().ToString());
+        }
+      }
+    });
+  }
+
+  // The activity is tracked by *name* so it survives reloads that renumber
+  // the vocabulary; ids are resolved against the current snapshot per query.
+  std::vector<std::string> activity_names;
+  auto resolve_activity =
+      [&activity_names](const goalrec::model::ImplementationLibrary& library) {
+        goalrec::model::Activity activity;
+        for (const std::string& name : activity_names) {
+          std::optional<uint32_t> id = library.actions().Find(name);
+          if (id.has_value()) {
+            activity.push_back(*id);
+          } else {
+            std::printf("(action '%s' not in the current library; skipped)\n",
+                        name.c_str());
+          }
+        }
+        goalrec::util::Normalize(activity);
+        return activity;
+      };
+
+  std::printf("goalrec serve — %s ladder over library v%llu (%u "
+              "implementations)%s. Commands: perform <action> | undo "
+              "<action> | recommend [k] | reload [path] | status | quit\n",
+              strategy_name.c_str(),
+              static_cast<unsigned long long>(manager.current_version()),
+              manager.Acquire()->library->library.num_implementations(),
+              *watch ? ", watching for changes" : "");
   std::string line;
   while (std::printf("> "), std::fflush(stdout),
          std::getline(std::cin, line)) {
     std::string_view trimmed = goalrec::util::Trim(line);
     if (trimmed.empty()) continue;
     if (trimmed == "quit" || trimmed == "exit") break;
+    // Pin one snapshot for the whole command so names and ids agree even if
+    // the watcher swaps the library mid-line.
+    std::shared_ptr<const goalrec::serve::ServingSnapshot> snapshot =
+        manager.Acquire();
+    const goalrec::model::ImplementationLibrary& library =
+        snapshot->library->library;
     if (trimmed == "status") {
+      std::printf("library v%llu (%u implementations, %llu reloads)\n",
+                  static_cast<unsigned long long>(snapshot->library->version),
+                  library.num_implementations(),
+                  static_cast<unsigned long long>(manager.reload_count()));
       std::printf("activity:");
-      for (goalrec::model::ActionId a : session.activity()) {
-        std::printf(" '%s'", library->actions().Name(a).c_str());
+      goalrec::model::Activity activity = resolve_activity(library);
+      for (goalrec::model::ActionId a : activity) {
+        std::printf(" '%s'", library.actions().Name(a).c_str());
       }
+      goalrec::core::RecommendationSession session(
+          &library, snapshot->rungs.front().recommender);
+      for (goalrec::model::ActionId a : activity) session.Perform(a);
       goalrec::core::RecommendationSession::ClosestGoal closest =
           session.FindClosestGoal();
       if (closest.goal != goalrec::model::kInvalidId) {
         std::printf("\nclosest goal: '%s' at %.0f%%",
-                    library->goals().Name(closest.goal).c_str(),
+                    library.goals().Name(closest.goal).c_str(),
                     100.0 * closest.completeness);
       }
       std::printf("\n");
+      continue;
+    }
+    if (trimmed == "reload" || goalrec::util::StartsWith(trimmed, "reload ")) {
+      std::string path = library_path;
+      if (trimmed.size() > 7) {
+        std::string_view rest = goalrec::util::Trim(trimmed.substr(7));
+        if (!rest.empty()) path = std::string(rest);
+      }
+      StatusOr<uint64_t> version = manager.ReloadFromFile(path);
+      if (!version.ok()) {
+        std::printf("reload failed (%s); still serving v%llu\n",
+                    version.status().ToString().c_str(),
+                    static_cast<unsigned long long>(
+                        manager.current_version()));
+      } else {
+        std::printf("reloaded %s as v%llu\n", path.c_str(),
+                    static_cast<unsigned long long>(*version));
+      }
       continue;
     }
     if (goalrec::util::StartsWith(trimmed, "perform ") ||
@@ -689,12 +829,19 @@ int CmdServe(const FlagParser& flags) {
       bool is_perform = goalrec::util::StartsWith(trimmed, "perform ");
       std::string name(
           goalrec::util::Trim(trimmed.substr(is_perform ? 8 : 5)));
-      std::optional<uint32_t> id = library->actions().Find(name);
-      if (!id.has_value()) {
+      if (is_perform && !library.actions().Find(name).has_value()) {
         std::printf("unknown action '%s'\n", name.c_str());
         continue;
       }
-      bool changed = is_perform ? session.Perform(*id) : session.Undo(*id);
+      auto it = std::find(activity_names.begin(), activity_names.end(), name);
+      bool changed = false;
+      if (is_perform && it == activity_names.end()) {
+        activity_names.push_back(name);
+        changed = true;
+      } else if (!is_perform && it != activity_names.end()) {
+        activity_names.erase(it);
+        changed = true;
+      }
       std::printf("%s\n", changed ? "ok" : "no change");
       continue;
     }
@@ -703,17 +850,31 @@ int CmdServe(const FlagParser& flags) {
       std::string_view rest = goalrec::util::Trim(trimmed.substr(9));
       if (!rest.empty()) k = std::strtoul(std::string(rest).c_str(), nullptr, 10);
       if (k == 0) k = 5;
-      goalrec::core::RecommendationList list = session.Recommend(k);
-      if (list.empty()) std::printf("(nothing to recommend yet)\n");
-      for (const goalrec::core::ScoredAction& entry : list) {
+      goalrec::model::Activity activity = resolve_activity(library);
+      StatusOr<goalrec::serve::ServeResult> served =
+          engine.Serve(activity, k);
+      if (!served.ok()) {
+        std::printf("serve failed: %s\n", served.status().ToString().c_str());
+        continue;
+      }
+      if (served->list.empty()) std::printf("(nothing to recommend yet)\n");
+      for (const goalrec::core::ScoredAction& entry : served->list) {
         std::printf("  %s (%.3f)\n",
-                    library->actions().Name(entry.action).c_str(),
+                    library.actions().Name(entry.action).c_str(),
                     entry.score);
+      }
+      if (served->degraded || served->library_version != snapshot->library->version) {
+        std::printf("  [%s]\n",
+                    goalrec::serve::FormatServeReport(*served).c_str());
       }
       continue;
     }
     std::printf("commands: perform <action> | undo <action> | recommend "
-                "[k] | status | quit\n");
+                "[k] | reload [path] | status | quit\n");
+  }
+  if (watcher.joinable()) {
+    stop_watch.store(true, std::memory_order_relaxed);
+    watcher.join();
   }
   return 0;
 }

@@ -4,7 +4,7 @@
 
 namespace goalrec::util {
 
-bool IsSortedSet(const IdVector& ids) {
+bool IsSortedSet(IdSpan ids) {
   for (size_t i = 1; i < ids.size(); ++i) {
     if (ids[i - 1] >= ids[i]) return false;
   }
@@ -16,7 +16,7 @@ void Normalize(IdVector& ids) {
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
 }
 
-size_t IntersectionSize(const IdVector& a, const IdVector& b) {
+size_t IntersectionSize(IdSpan a, IdSpan b) {
   size_t count = 0;
   size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {
@@ -33,7 +33,7 @@ size_t IntersectionSize(const IdVector& a, const IdVector& b) {
   return count;
 }
 
-size_t DifferenceSize(const IdVector& a, const IdVector& b) {
+size_t DifferenceSize(IdSpan a, IdSpan b) {
   size_t count = 0;
   size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {
@@ -50,35 +50,50 @@ size_t DifferenceSize(const IdVector& a, const IdVector& b) {
   return count + (a.size() - i);
 }
 
-IdVector Intersect(const IdVector& a, const IdVector& b) {
+IdVector Intersect(IdSpan a, IdSpan b) {
   IdVector out;
+  IntersectInto(a, b, out);
+  return out;
+}
+
+IdVector Difference(IdSpan a, IdSpan b) {
+  IdVector out;
+  DifferenceInto(a, b, out);
+  return out;
+}
+
+IdVector Union(IdSpan a, IdSpan b) {
+  IdVector out;
+  UnionInto(a, b, out);
+  return out;
+}
+
+void IntersectInto(IdSpan a, IdSpan b, IdVector& out) {
+  out.clear();
   out.reserve(std::min(a.size(), b.size()));
   std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
                         std::back_inserter(out));
-  return out;
 }
 
-IdVector Difference(const IdVector& a, const IdVector& b) {
-  IdVector out;
+void DifferenceInto(IdSpan a, IdSpan b, IdVector& out) {
+  out.clear();
   out.reserve(a.size());
   std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
                       std::back_inserter(out));
-  return out;
 }
 
-IdVector Union(const IdVector& a, const IdVector& b) {
-  IdVector out;
+void UnionInto(IdSpan a, IdSpan b, IdVector& out) {
+  out.clear();
   out.reserve(a.size() + b.size());
   std::set_union(a.begin(), a.end(), b.begin(), b.end(),
                  std::back_inserter(out));
-  return out;
 }
 
-bool IsSubset(const IdVector& a, const IdVector& b) {
+bool IsSubset(IdSpan a, IdSpan b) {
   return std::includes(b.begin(), b.end(), a.begin(), a.end());
 }
 
-bool Contains(const IdVector& set, uint32_t id) {
+bool Contains(IdSpan set, uint32_t id) {
   return std::binary_search(set.begin(), set.end(), id);
 }
 

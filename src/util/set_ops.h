@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 // Operations on sets represented as strictly increasing sorted vectors of
@@ -10,37 +11,56 @@
 // implementation activities and user histories: it is cache-friendly and
 // makes the intersection/difference costs discussed in §5.4 of the paper
 // explicit and measurable (see bench/micro_setops).
+//
+// Every read-only operation takes IdSpan (std::span<const uint32_t>), so a
+// caller can pass either an owning IdVector or a span into a CSR postings
+// arena (model/library.h) without copying. The *Into variants write into a
+// caller-owned vector (clear + append), so a pooled query workspace can run
+// them with zero steady-state allocations.
 
 namespace goalrec::util {
 
 using IdVector = std::vector<uint32_t>;
 
+/// Read-only view of a sorted id set: an IdVector converts implicitly, and
+/// so does a span into a postings arena.
+using IdSpan = std::span<const uint32_t>;
+
 /// True iff `ids` is strictly increasing (a valid set representation).
-bool IsSortedSet(const IdVector& ids);
+bool IsSortedSet(IdSpan ids);
 
 /// Sorts and deduplicates `ids` in place, producing a valid set.
 void Normalize(IdVector& ids);
 
 /// |a ∩ b| without materialising the intersection.
-size_t IntersectionSize(const IdVector& a, const IdVector& b);
+size_t IntersectionSize(IdSpan a, IdSpan b);
 
 /// |a − b| (asymmetric difference) without materialising it.
-size_t DifferenceSize(const IdVector& a, const IdVector& b);
+size_t DifferenceSize(IdSpan a, IdSpan b);
 
 /// a ∩ b as a sorted set.
-IdVector Intersect(const IdVector& a, const IdVector& b);
+IdVector Intersect(IdSpan a, IdSpan b);
 
 /// a − b as a sorted set.
-IdVector Difference(const IdVector& a, const IdVector& b);
+IdVector Difference(IdSpan a, IdSpan b);
 
 /// a ∪ b as a sorted set.
-IdVector Union(const IdVector& a, const IdVector& b);
+IdVector Union(IdSpan a, IdSpan b);
+
+/// a ∩ b into `out` (clear + append; `out` must not alias a or b).
+void IntersectInto(IdSpan a, IdSpan b, IdVector& out);
+
+/// a − b into `out` (clear + append; `out` must not alias a or b).
+void DifferenceInto(IdSpan a, IdSpan b, IdVector& out);
+
+/// a ∪ b into `out` (clear + append; `out` must not alias a or b).
+void UnionInto(IdSpan a, IdSpan b, IdVector& out);
 
 /// True iff a ⊆ b.
-bool IsSubset(const IdVector& a, const IdVector& b);
+bool IsSubset(IdSpan a, IdSpan b);
 
 /// True iff `id` ∈ `set` (binary search).
-bool Contains(const IdVector& set, uint32_t id);
+bool Contains(IdSpan set, uint32_t id);
 
 }  // namespace goalrec::util
 

@@ -50,6 +50,24 @@ class TopK {
     return std::move(heap_);
   }
 
+  /// Take() into a caller-owned vector (clear + copy), keeping the internal
+  /// buffer's capacity. With Reset, a long-lived TopK (e.g. inside a pooled
+  /// query workspace) collects top-k sets with zero steady-state
+  /// allocations.
+  void TakeInto(std::vector<T>& out) {
+    std::sort_heap(heap_.begin(), heap_.end(), compare_);
+    out.assign(heap_.begin(), heap_.end());
+    heap_.clear();
+  }
+
+  /// Re-arms the collector for a fresh stream of pushes with a new bound,
+  /// retaining the heap buffer's capacity.
+  void Reset(size_t k) {
+    GOALREC_CHECK_GT(k, 0u);
+    k_ = k;
+    heap_.clear();
+  }
+
  private:
   size_t k_;
   Compare compare_;

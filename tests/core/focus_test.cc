@@ -13,18 +13,18 @@ using model::IdSet;
 
 TEST(CompletenessTest, Equation3) {
   // completeness(g, A, H) = |A ∩ H| / |A|
-  EXPECT_NEAR(Completeness({0, 1, 2}, {1, 2}), 2.0 / 3.0, 1e-12);
-  EXPECT_DOUBLE_EQ(Completeness({0, 1}, {0, 1}), 1.0);
-  EXPECT_DOUBLE_EQ(Completeness({0, 1}, {5}), 0.0);
-  EXPECT_DOUBLE_EQ(Completeness({}, {1}), 0.0);
+  EXPECT_NEAR(Completeness(IdSet{0, 1, 2}, IdSet{1, 2}), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Completeness(IdSet{0, 1}, IdSet{0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(Completeness(IdSet{0, 1}, IdSet{5}), 0.0);
+  EXPECT_DOUBLE_EQ(Completeness(IdSet{}, IdSet{1}), 0.0);
 }
 
 TEST(ClosenessTest, Equation4) {
   // closeness(g, A, H) = 1 / |A − H|
-  EXPECT_DOUBLE_EQ(Closeness({0, 1, 2}, {1}), 0.5);
-  EXPECT_DOUBLE_EQ(Closeness({0, 1}, {0}), 1.0);
+  EXPECT_DOUBLE_EQ(Closeness(IdSet{0, 1, 2}, IdSet{1}), 0.5);
+  EXPECT_DOUBLE_EQ(Closeness(IdSet{0, 1}, IdSet{0}), 1.0);
   // Complete implementations yield 0 (nothing left to recommend).
-  EXPECT_DOUBLE_EQ(Closeness({0, 1}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(Closeness(IdSet{0, 1}, IdSet{0, 1}), 0.0);
 }
 
 TEST(FocusTest, Names) {
@@ -125,6 +125,50 @@ TEST(FocusTest, NoDuplicateActionsAcrossImplementations) {
   std::sort(actions.begin(), actions.end());
   EXPECT_TRUE(std::adjacent_find(actions.begin(), actions.end()) ==
               actions.end());
+}
+
+TEST(FocusTest, TieOrderIsStableAcrossEmissionPaths) {
+  // Regression for the EmitFromRanking rewrite (re-sorting the emitted
+  // prefix per action, O(k² log k), replaced by a marker-array walk): two
+  // implementations tying exactly must emit in implementation-id order, each
+  // in ascending action-id order, with duplicates credited to the better
+  // implementation — and the pooled serving path must produce the identical
+  // sequence.
+  model::LibraryBuilder builder;
+  builder.AddImplementation("g0", {"a0", "a1", "a2"});  // cmp 1/3, tie
+  builder.AddImplementation("g1", {"a0", "a2", "a3"});  // cmp 1/3, tie
+  builder.AddImplementation("g2", {"a0", "a4"});        // cmp 1/2, best
+  model::ImplementationLibrary lib = std::move(builder).Build();
+  model::ActionId a0 = *lib.actions().Find("a0");
+  FocusRecommender focus(&lib, FocusVariant::kCompleteness);
+
+  RecommendationList list = focus.Recommend({a0}, 10);
+  std::vector<model::ActionId> actions = ActionsOf(list);
+  // p2's a4 first (score 1/2); then the 1/3 tie: p0 before p1 (impl-id
+  // order), p0's actions ascending (a1, a2), p1 adds only a3 (a2 already
+  // emitted via p0).
+  EXPECT_EQ(actions, (std::vector<model::ActionId>{
+                         *lib.actions().Find("a4"), *lib.actions().Find("a1"),
+                         *lib.actions().Find("a2"),
+                         *lib.actions().Find("a3")}));
+  ASSERT_EQ(list.size(), 4u);
+  EXPECT_DOUBLE_EQ(list[0].score, 0.5);
+  EXPECT_DOUBLE_EQ(list[1].score, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(list[3].score, 1.0 / 3.0);
+
+  // The pooled path, with a workspace reused across repeated queries, must
+  // not perturb the order (stale marker state would).
+  QueryWorkspace workspace;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    RecommendationList pooled;
+    focus.RecommendPooled(model::Activity{a0}, 10, nullptr, &workspace,
+                          pooled);
+    ASSERT_EQ(pooled.size(), list.size());
+    for (size_t i = 0; i < list.size(); ++i) {
+      EXPECT_EQ(pooled[i].action, list[i].action) << "rank " << i;
+      EXPECT_EQ(pooled[i].score, list[i].score) << "rank " << i;
+    }
+  }
 }
 
 TEST(FocusDeathTest, NullLibraryAborts) {

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "core/best_match.h"
 #include "core/breadth.h"
 #include "core/focus.h"
@@ -183,7 +185,8 @@ TEST_P(StrategyPropertyTest, FocusEmitsActionsOfItsRankedImplementations) {
     ASSERT_FALSE(list.empty());
     // The first recommendation is a missing action of the best
     // implementation.
-    const model::IdSet& best_actions = library_.ActionsOf(ranked[0].impl);
+    std::span<const model::ActionId> best_actions =
+        library_.ActionsOf(ranked[0].impl);
     EXPECT_TRUE(util::Contains(best_actions, list[0].action));
     EXPECT_DOUBLE_EQ(list[0].score, ranked[0].score);
   }

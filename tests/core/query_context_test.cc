@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "core/best_match.h"
 #include "core/breadth.h"
 #include "core/focus.h"
@@ -10,6 +12,12 @@
 
 namespace goalrec::core {
 namespace {
+
+// The CSR library hands out spans; materialise them for gtest comparisons
+// (std::span has no operator==).
+model::IdSet Ids(std::span<const uint32_t> ids) {
+  return model::IdSet(ids.begin(), ids.end());
+}
 
 using goalrec::testing::A;
 using goalrec::testing::G;
@@ -22,16 +30,16 @@ TEST(QueryContextTest, SpacesMatchLibraryQueries) {
   model::Activity h = {A(2), A(3)};
   QueryContext context = QueryContext::Create(lib, h);
   EXPECT_EQ(context.library, &lib);
-  EXPECT_EQ(context.activity, h);
-  EXPECT_EQ(context.impl_space, lib.ImplementationSpace(h));
-  EXPECT_EQ(context.goal_space, lib.GoalSpace(h));
-  EXPECT_EQ(context.candidates, lib.CandidateActions(h));
+  EXPECT_EQ(Ids(context.activity), h);
+  EXPECT_EQ(Ids(context.impl_space), lib.ImplementationSpace(h));
+  EXPECT_EQ(Ids(context.goal_space), lib.GoalSpace(h));
+  EXPECT_EQ(Ids(context.candidates), lib.CandidateActions(h));
 }
 
 TEST(QueryContextTest, NormalisesActivity) {
   model::ImplementationLibrary lib = PaperLibrary();
   QueryContext context = QueryContext::Create(lib, {A(3), A(2), A(3)});
-  EXPECT_EQ(context.activity, (model::Activity{A(2), A(3)}));
+  EXPECT_EQ(Ids(context.activity), (model::Activity{A(2), A(3)}));
 }
 
 TEST(QueryContextTest, EmptyActivity) {
@@ -49,8 +57,8 @@ TEST(QueryContextTest, CandidatesMatchOnRandomLibraries) {
     for (int trial = 0; trial < 20; ++trial) {
       model::Activity h = RandomActivity(40, 1 + rng.UniformUint32(6), rng);
       QueryContext context = QueryContext::Create(lib, h);
-      EXPECT_EQ(context.candidates, lib.CandidateActions(h));
-      EXPECT_EQ(context.goal_space, lib.GoalSpace(h));
+      EXPECT_EQ(Ids(context.candidates), lib.CandidateActions(h));
+      EXPECT_EQ(Ids(context.goal_space), lib.GoalSpace(h));
     }
   }
 }

@@ -148,7 +148,7 @@ TEST_P(WrapperPropertyTest, SessionUndoMatchesFreshSession) {
     model::ActionId removed = h[rng.UniformUint32(
         static_cast<uint32_t>(h.size()))];
     session.Undo(removed);
-    model::Activity expected = util::Difference(h, {removed});
+    model::Activity expected = util::Difference(h, model::IdSet{removed});
     EXPECT_EQ(session.activity(), expected);
     EXPECT_EQ(session.ImplementationSpace(),
               library_.ImplementationSpace(expected));

@@ -5,12 +5,20 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "model/features.h"
 #include "model/statistics.h"
 #include "util/set_ops.h"
 
 namespace goalrec::data {
 namespace {
+
+// The CSR library hands out spans; materialise them for gtest comparisons
+// (std::span has no operator==).
+model::IdSet Ids(std::span<const uint32_t> ids) {
+  return model::IdSet(ids.begin(), ids.end());
+}
 
 class FoodmartTest : public ::testing::Test {
  protected:
@@ -111,7 +119,8 @@ TEST_F(FoodmartTest, DeterministicForSeed) {
   ASSERT_EQ(again.library.num_implementations(),
             dataset_->library.num_implementations());
   for (model::ImplId p = 0; p < again.library.num_implementations(); ++p) {
-    EXPECT_EQ(again.library.ActionsOf(p), dataset_->library.ActionsOf(p));
+    EXPECT_EQ(Ids(again.library.ActionsOf(p)),
+              Ids(dataset_->library.ActionsOf(p)));
   }
 }
 
@@ -121,7 +130,8 @@ TEST_F(FoodmartTest, DifferentSeedsProduceDifferentData) {
   Dataset other = GenerateFoodmart(options);
   size_t differing = 0;
   for (model::ImplId p = 0; p < other.library.num_implementations(); ++p) {
-    if (other.library.ActionsOf(p) != dataset_->library.ActionsOf(p)) {
+    if (Ids(other.library.ActionsOf(p)) !=
+        Ids(dataset_->library.ActionsOf(p))) {
       ++differing;
     }
   }

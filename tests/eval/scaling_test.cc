@@ -2,10 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "model/statistics.h"
 
 namespace goalrec::eval {
 namespace {
+
+// The CSR library hands out spans; materialise them for gtest comparisons
+// (std::span has no operator==).
+model::IdSet Ids(std::span<const uint32_t> ids) {
+  return model::IdSet(ids.begin(), ids.end());
+}
 
 ScalingWorkload TinyWorkload() {
   ScalingWorkload workload;
@@ -44,7 +52,7 @@ TEST(ScalingLibraryTest, DeterministicForSeed) {
   model::ImplementationLibrary a = BuildScalingLibrary(workload, 7);
   model::ImplementationLibrary b = BuildScalingLibrary(workload, 7);
   for (model::ImplId p = 0; p < a.num_implementations(); ++p) {
-    EXPECT_EQ(a.ActionsOf(p), b.ActionsOf(p));
+    EXPECT_EQ(Ids(a.ActionsOf(p)), Ids(b.ActionsOf(p)));
   }
 }
 

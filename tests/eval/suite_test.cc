@@ -137,5 +137,37 @@ TEST(SuiteTest, RunAllDeterministicAcrossThreadCounts) {
   }
 }
 
+TEST(SuiteTest, SnapshotPinnedSuiteMatchesDatasetSuite) {
+  data::Dataset dataset = TinyFoodmart();
+  std::vector<data::EvalUser> users = data::SplitDataset(dataset, 0.5, 4);
+  std::vector<model::Activity> inputs = VisibleActivities(users);
+  SuiteOptions options;
+  options.include_cf_knn = false;
+  options.include_cf_mf = false;
+  options.include_content = false;
+  Suite from_dataset(&dataset, inputs, options);
+
+  // A snapshot-pinned suite co-owns the library; feature-dependent methods
+  // are dropped automatically (a bare snapshot has no feature table), and
+  // the goal-based strategies must answer identically to the dataset suite.
+  SuiteOptions wants_features = options;
+  wants_features.include_content = true;
+  wants_features.include_hybrid = true;
+  wants_features.include_mmr = true;
+  Suite pinned(model::MakeSnapshot(dataset.library, "suite"), inputs,
+               wants_features);
+  EXPECT_EQ(pinned.names(), from_dataset.names());
+
+  std::vector<MethodResult> want = from_dataset.RunAll(inputs, 5, 2);
+  std::vector<MethodResult> got = pinned.RunAll(inputs, 5, 2);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t m = 0; m < want.size(); ++m) {
+    EXPECT_EQ(got[m].lists, want[m].lists) << want[m].name;
+  }
+  // Pooled workspaces are per worker thread, not per query.
+  EXPECT_LE(pinned.workspaces_created(), 2u);
+  EXPECT_GE(pinned.workspaces_created(), 1u);
+}
+
 }  // namespace
 }  // namespace goalrec::eval

@@ -7,10 +7,18 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "testing/fixtures.h"
 
 namespace goalrec::model {
 namespace {
+
+// The CSR library hands out spans; materialise them for gtest comparisons
+// (std::span has no operator==).
+model::IdSet Ids(std::span<const uint32_t> ids) {
+  return model::IdSet(ids.begin(), ids.end());
+}
 
 using goalrec::testing::PaperLibrary;
 using goalrec::testing::RandomLibrary;
@@ -32,7 +40,7 @@ void ExpectLibrariesEqual(const ImplementationLibrary& a,
   }
   for (ImplId p = 0; p < a.num_implementations(); ++p) {
     EXPECT_EQ(a.GoalOf(p), b.GoalOf(p));
-    EXPECT_EQ(a.ActionsOf(p), b.ActionsOf(p));
+    EXPECT_EQ(Ids(a.ActionsOf(p)), Ids(b.ActionsOf(p)));
   }
 }
 

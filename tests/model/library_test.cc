@@ -2,12 +2,20 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "testing/fixtures.h"
 #include "util/random.h"
 #include "util/set_ops.h"
 
 namespace goalrec::model {
 namespace {
+
+// The CSR library hands out spans; materialise them for gtest comparisons
+// (std::span has no operator==).
+model::IdSet Ids(std::span<const uint32_t> ids) {
+  return model::IdSet(ids.begin(), ids.end());
+}
 
 using goalrec::testing::A;
 using goalrec::testing::G;
@@ -36,13 +44,13 @@ TEST(LibraryBuilderTest, UnsortedIdsAreNormalised) {
   GoalId g = builder.InternGoal("g");
   builder.AddImplementationIds(g, {y, x});
   ImplementationLibrary lib = std::move(builder).Build();
-  EXPECT_EQ(lib.ActionsOf(0), (IdSet{x, y}));
+  EXPECT_EQ(Ids(lib.ActionsOf(0)), (IdSet{x, y}));
 }
 
 TEST(LibraryBuilderTest, EmptyActivityIsLegal) {
   LibraryBuilder builder;
   builder.InternGoal("g");
-  builder.AddImplementationIds(0, {});
+  builder.AddImplementationIds(0, IdSet{});
   ImplementationLibrary lib = std::move(builder).Build();
   EXPECT_TRUE(lib.ActionsOf(0).empty());
 }
@@ -59,7 +67,7 @@ TEST(LibraryBuilderTest, FromLibraryExtendsExisting) {
   EXPECT_EQ(extended.num_goals(), original.num_goals() + 1);
   EXPECT_EQ(extended.num_actions(), original.num_actions() + 1);
   // Old implementations intact.
-  EXPECT_EQ(extended.ActionsOf(0), original.ActionsOf(0));
+  EXPECT_EQ(Ids(extended.ActionsOf(0)), Ids(original.ActionsOf(0)));
   // a1's postings gained the new implementation.
   EXPECT_EQ(extended.ImplsOfAction(A(1)).size(),
             original.ImplsOfAction(A(1)).size() + 1);
@@ -77,8 +85,8 @@ TEST(EmptyLibraryTest, AllCountsZero) {
 
 TEST(LibraryIndexTest, GiAIndexReturnsActivities) {
   ImplementationLibrary lib = PaperLibrary();
-  EXPECT_EQ(lib.ActionsOf(0), (IdSet{A(1), A(2), A(3)}));
-  EXPECT_EQ(lib.ActionsOf(3), (IdSet{A(2), A(6)}));
+  EXPECT_EQ(Ids(lib.ActionsOf(0)), (IdSet{A(1), A(2), A(3)}));
+  EXPECT_EQ(Ids(lib.ActionsOf(3)), (IdSet{A(2), A(6)}));
 }
 
 TEST(LibraryIndexTest, GiGIndexReturnsGoals) {
@@ -272,6 +280,22 @@ INSTANTIATE_TEST_SUITE_P(
                       SpaceParams{50, 20, 300, 8, 3},
                       SpaceParams{8, 2, 40, 3, 4},
                       SpaceParams{100, 50, 500, 5, 5}));
+
+// The CSR accessors must fail loudly on out-of-range ids, and the message
+// must say *which* id and how big the library is — the first question a
+// crash report answers.
+TEST(LibraryAccessorDeathTest, OutOfRangeIdsAbortWithDiagnostics) {
+  ImplementationLibrary lib = PaperLibrary();  // 5 impls, 6 actions, 5 goals
+  EXPECT_DEATH({ lib.implementation(99); },
+               "implementation id 99 out of range.*5 implementations");
+  EXPECT_DEATH({ lib.GoalOf(5); },
+               "implementation id 5 out of range.*5 implementations");
+  EXPECT_DEATH({ lib.ActionsOf(100); },
+               "implementation id 100 out of range.*5 implementations");
+  EXPECT_DEATH({ lib.ImplsOfAction(6); },
+               "action id 6 out of range.*6 actions");
+  EXPECT_DEATH({ lib.ImplsOfGoal(17); }, "goal id 17 out of range.*5 goals");
+}
 
 }  // namespace
 }  // namespace goalrec::model

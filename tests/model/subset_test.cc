@@ -36,7 +36,7 @@ TEST(SubsetTest, NamesSurviveReInterning) {
   ImplementationLibrary sub = FilterByGoalIds(lib, {G(4)});
   ASSERT_EQ(sub.num_implementations(), 1u);
   EXPECT_EQ(sub.goals().Name(sub.GoalOf(0)), "g4");
-  IdSet actions = sub.ActionsOf(0);
+  IdSet actions(sub.ActionsOf(0).begin(), sub.ActionsOf(0).end());
   ASSERT_EQ(actions.size(), 2u);
   EXPECT_EQ(sub.actions().Name(actions[0]), "a2");
   EXPECT_EQ(sub.actions().Name(actions[1]), "a6");

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
+
 namespace goalrec::model {
 namespace {
 
@@ -53,6 +56,37 @@ TEST(VocabularyTest, Empty) {
   EXPECT_TRUE(vocab.empty());
   vocab.Intern("x");
   EXPECT_FALSE(vocab.empty());
+}
+
+TEST(VocabularyTest, ReserveThenBulkInternKeepsIdsAndLookups) {
+  Vocabulary vocab;
+  vocab.Reserve(500);
+  for (uint32_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(vocab.Intern("item" + std::to_string(i)), i);
+  }
+  EXPECT_EQ(vocab.size(), 500u);
+  for (uint32_t i = 0; i < 500; ++i) {
+    auto found = vocab.Find("item" + std::to_string(i));
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, i);
+  }
+  // Reserving below or at the current size is a no-op.
+  vocab.Reserve(10);
+  EXPECT_EQ(vocab.size(), 500u);
+}
+
+TEST(VocabularyTest, HeterogeneousLookupTakesStringViews) {
+  Vocabulary vocab;
+  vocab.Intern("walk the dog");
+  // Find/Intern accept raw string_views — including non-null-terminated
+  // slices of a larger buffer — without materialising a std::string key.
+  std::string_view line = "walk the dog,feed the cat";
+  std::string_view first = line.substr(0, 12);
+  auto found = vocab.Find(first);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, 0u);
+  EXPECT_EQ(vocab.Intern(line.substr(13)), 1u);
+  EXPECT_EQ(vocab.Name(1), "feed the cat");
 }
 
 TEST(VocabularyDeathTest, NameOutOfRangeAborts) {

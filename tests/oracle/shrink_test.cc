@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "model/library.h"
 #include "testing/differential.h"
 #include "testing/generator.h"
@@ -21,7 +23,7 @@
 namespace goalrec::testing {
 namespace {
 
-bool Contains(const model::IdSet& set, uint32_t id) {
+bool Contains(std::span<const uint32_t> set, uint32_t id) {
   return std::find(set.begin(), set.end(), id) != set.end();
 }
 

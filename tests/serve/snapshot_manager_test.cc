@@ -1,0 +1,163 @@
+// SnapshotManager semantics: lock-free acquire, atomic publish, ladder-shape
+// pinning, failure-keeps-serving, and the engine's snapshot mode reporting
+// which library version answered. The multi-threaded swap-under-query test
+// lives in snapshot_reload_test.cc (also run under TSan).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/best_match.h"
+#include "core/breadth.h"
+#include "model/library.h"
+#include "model/library_io.h"
+#include "model/snapshot.h"
+#include "obs/metrics.h"
+#include "serve/engine.h"
+#include "serve/snapshot_manager.h"
+#include "testing/fixtures.h"
+#include "util/status.h"
+
+namespace goalrec::serve {
+namespace {
+
+using testing::A;
+using testing::PaperLibrary;
+using testing::RandomLibrary;
+
+// BestMatch over Breadth: two rungs, fixed names.
+void TwoRungLadder(const model::ImplementationLibrary& library,
+                   ServingSnapshot& out) {
+  auto best = std::make_unique<core::BestMatchRecommender>(&library);
+  auto breadth = std::make_unique<core::BreadthRecommender>(&library);
+  out.rungs.push_back({"best_match", best.get()});
+  out.rungs.push_back({"breadth", breadth.get()});
+  out.owned.push_back(std::move(best));
+  out.owned.push_back(std::move(breadth));
+}
+
+TEST(SnapshotManagerTest, ServesInitialSnapshot) {
+  obs::MetricRegistry metrics;
+  auto initial = model::MakeSnapshot(PaperLibrary(), "paper");
+  uint64_t version = initial->version;
+  SnapshotManager manager(initial, TwoRungLadder, &metrics);
+
+  std::shared_ptr<const ServingSnapshot> serving = manager.Acquire();
+  ASSERT_NE(serving, nullptr);
+  EXPECT_EQ(serving->library, initial);
+  EXPECT_EQ(manager.current_version(), version);
+  EXPECT_EQ(manager.reload_count(), 0u);
+  ASSERT_EQ(serving->rungs.size(), 2u);
+  EXPECT_EQ(serving->rungs[0].name, "best_match");
+  EXPECT_EQ(serving->rungs[1].name, "breadth");
+}
+
+TEST(SnapshotManagerTest, ReloadPublishesNewSnapshotAtomically) {
+  obs::MetricRegistry metrics;
+  SnapshotManager manager(model::MakeSnapshot(PaperLibrary(), "paper"),
+                          TwoRungLadder, &metrics);
+  std::shared_ptr<const ServingSnapshot> before = manager.Acquire();
+
+  auto next = model::MakeSnapshot(RandomLibrary(8, 4, 10, 4, 7), "random");
+  ASSERT_TRUE(manager.Reload(next).ok());
+
+  EXPECT_EQ(manager.reload_count(), 1u);
+  EXPECT_EQ(manager.current_version(), next->version);
+  std::shared_ptr<const ServingSnapshot> after = manager.Acquire();
+  EXPECT_EQ(after->library, next);
+  // The pre-reload serving snapshot is still a fully valid, queryable view:
+  // in-flight queries keep the old library alive until they finish.
+  EXPECT_EQ(before->library->source, "paper");
+  core::RecommendationList list =
+      before->rungs[0].recommender->Recommend(model::Activity{A(1)}, 3);
+  EXPECT_FALSE(list.empty());
+}
+
+TEST(SnapshotManagerTest, RejectsLadderShapeChange) {
+  obs::MetricRegistry metrics;
+  // A factory that (wrongly) grows the ladder on its second invocation.
+  int calls = 0;
+  LadderFactory unstable = [&calls](const model::ImplementationLibrary& library,
+                                    ServingSnapshot& out) {
+    ++calls;
+    auto best = std::make_unique<core::BestMatchRecommender>(&library);
+    out.rungs.push_back({"best_match", best.get()});
+    out.owned.push_back(std::move(best));
+    if (calls > 1) {
+      auto extra = std::make_unique<core::BreadthRecommender>(&library);
+      out.rungs.push_back({"breadth", extra.get()});
+      out.owned.push_back(std::move(extra));
+    }
+  };
+  auto initial = model::MakeSnapshot(PaperLibrary(), "paper");
+  SnapshotManager manager(initial, unstable, &metrics);
+
+  util::Status status =
+      manager.Reload(model::MakeSnapshot(PaperLibrary(), "again"));
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+  // The failed reload left the original snapshot serving.
+  EXPECT_EQ(manager.Acquire()->library, initial);
+  EXPECT_EQ(manager.reload_count(), 0u);
+}
+
+TEST(SnapshotManagerTest, ReloadFromFileFailureKeepsServing) {
+  obs::MetricRegistry metrics;
+  auto initial = model::MakeSnapshot(PaperLibrary(), "paper");
+  SnapshotManager manager(initial, TwoRungLadder, &metrics);
+
+  util::StatusOr<uint64_t> result =
+      manager.ReloadFromFile("/nonexistent/library.txt");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(manager.Acquire()->library, initial);
+  EXPECT_EQ(manager.reload_count(), 0u);
+}
+
+TEST(SnapshotManagerTest, ReloadFromFileRoundTrips) {
+  obs::MetricRegistry metrics;
+  SnapshotManager manager(model::MakeSnapshot(PaperLibrary(), "paper"),
+                          TwoRungLadder, &metrics);
+  std::string path =
+      ::testing::TempDir() + "/snapshot_manager_reload_library.txt";
+  ASSERT_TRUE(model::SaveLibraryText(RandomLibrary(8, 4, 10, 4, 11), path).ok());
+
+  util::StatusOr<uint64_t> version = manager.ReloadFromFile(path);
+  ASSERT_TRUE(version.ok()) << version.status().message();
+  EXPECT_EQ(manager.current_version(), version.value());
+  EXPECT_EQ(manager.reload_count(), 1u);
+  EXPECT_EQ(manager.Acquire()->library->source, path);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotManagerTest, EngineSnapshotModeReportsServingVersion) {
+  obs::MetricRegistry metrics;
+  auto first = model::MakeSnapshot(PaperLibrary(), "paper");
+  SnapshotManager manager(first, TwoRungLadder, &metrics);
+  EngineOptions options;
+  options.metrics = &metrics;
+  ServingEngine engine(&manager, options);
+
+  model::Activity activity{A(1)};
+  util::StatusOr<ServeResult> r1 = engine.Serve(activity, 5);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value().library_version, first->version);
+  EXPECT_FALSE(r1.value().list.empty());
+
+  auto second = model::MakeSnapshot(PaperLibrary(), "paper-v2");
+  ASSERT_TRUE(manager.Reload(second).ok());
+  util::StatusOr<ServeResult> r2 = engine.Serve(activity, 5);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().library_version, second->version);
+  // Same library content — the answer must not change across the swap.
+  ASSERT_EQ(r2.value().list.size(), r1.value().list.size());
+  for (size_t i = 0; i < r1.value().list.size(); ++i) {
+    EXPECT_EQ(r2.value().list[i].action, r1.value().list[i].action);
+    EXPECT_EQ(r2.value().list[i].score, r1.value().list[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace goalrec::serve

@@ -7,12 +7,15 @@
 namespace goalrec::util {
 namespace {
 
+// The ops take spans; braced literals need a materialised set.
+using V = IdVector;
+
 TEST(SetOpsTest, IsSortedSet) {
-  EXPECT_TRUE(IsSortedSet({}));
-  EXPECT_TRUE(IsSortedSet({5}));
-  EXPECT_TRUE(IsSortedSet({1, 2, 9}));
-  EXPECT_FALSE(IsSortedSet({2, 1}));
-  EXPECT_FALSE(IsSortedSet({1, 1}));  // duplicates are not sets
+  EXPECT_TRUE(IsSortedSet(V{}));
+  EXPECT_TRUE(IsSortedSet(V{5}));
+  EXPECT_TRUE(IsSortedSet(V{1, 2, 9}));
+  EXPECT_FALSE(IsSortedSet(V{2, 1}));
+  EXPECT_FALSE(IsSortedSet(V{1, 1}));  // duplicates are not sets
 }
 
 TEST(SetOpsTest, NormalizeSortsAndDedups) {
@@ -22,45 +25,45 @@ TEST(SetOpsTest, NormalizeSortsAndDedups) {
 }
 
 TEST(SetOpsTest, IntersectionSize) {
-  EXPECT_EQ(IntersectionSize({1, 2, 3}, {2, 3, 4}), 2u);
-  EXPECT_EQ(IntersectionSize({1, 2, 3}, {4, 5}), 0u);
-  EXPECT_EQ(IntersectionSize({}, {1}), 0u);
-  EXPECT_EQ(IntersectionSize({1, 2}, {1, 2}), 2u);
+  EXPECT_EQ(IntersectionSize(V{1, 2, 3}, V{2, 3, 4}), 2u);
+  EXPECT_EQ(IntersectionSize(V{1, 2, 3}, V{4, 5}), 0u);
+  EXPECT_EQ(IntersectionSize(V{}, V{1}), 0u);
+  EXPECT_EQ(IntersectionSize(V{1, 2}, V{1, 2}), 2u);
 }
 
 TEST(SetOpsTest, DifferenceSizeIsAsymmetric) {
-  EXPECT_EQ(DifferenceSize({1, 2, 3}, {2}), 2u);
-  EXPECT_EQ(DifferenceSize({2}, {1, 2, 3}), 0u);
-  EXPECT_EQ(DifferenceSize({1, 2, 3}, {}), 3u);
-  EXPECT_EQ(DifferenceSize({}, {1, 2}), 0u);
+  EXPECT_EQ(DifferenceSize(V{1, 2, 3}, V{2}), 2u);
+  EXPECT_EQ(DifferenceSize(V{2}, V{1, 2, 3}), 0u);
+  EXPECT_EQ(DifferenceSize(V{1, 2, 3}, V{}), 3u);
+  EXPECT_EQ(DifferenceSize(V{}, V{1, 2}), 0u);
 }
 
 TEST(SetOpsTest, IntersectMaterialises) {
-  EXPECT_EQ(Intersect({1, 3, 5, 7}, {3, 4, 5}), (IdVector{3, 5}));
-  EXPECT_EQ(Intersect({1}, {2}), IdVector{});
+  EXPECT_EQ(Intersect(V{1, 3, 5, 7}, V{3, 4, 5}), (IdVector{3, 5}));
+  EXPECT_EQ(Intersect(V{1}, V{2}), IdVector{});
 }
 
 TEST(SetOpsTest, DifferenceMaterialises) {
-  EXPECT_EQ(Difference({1, 3, 5}, {3}), (IdVector{1, 5}));
-  EXPECT_EQ(Difference({1, 3}, {1, 3}), IdVector{});
+  EXPECT_EQ(Difference(V{1, 3, 5}, V{3}), (IdVector{1, 5}));
+  EXPECT_EQ(Difference(V{1, 3}, V{1, 3}), IdVector{});
 }
 
 TEST(SetOpsTest, UnionMaterialises) {
-  EXPECT_EQ(Union({1, 3}, {2, 3, 4}), (IdVector{1, 2, 3, 4}));
-  EXPECT_EQ(Union({}, {}), IdVector{});
+  EXPECT_EQ(Union(V{1, 3}, V{2, 3, 4}), (IdVector{1, 2, 3, 4}));
+  EXPECT_EQ(Union(V{}, V{}), IdVector{});
 }
 
 TEST(SetOpsTest, IsSubset) {
-  EXPECT_TRUE(IsSubset({}, {1, 2}));
-  EXPECT_TRUE(IsSubset({1, 2}, {1, 2, 3}));
-  EXPECT_FALSE(IsSubset({1, 4}, {1, 2, 3}));
-  EXPECT_TRUE(IsSubset({}, {}));
+  EXPECT_TRUE(IsSubset(V{}, V{1, 2}));
+  EXPECT_TRUE(IsSubset(V{1, 2}, V{1, 2, 3}));
+  EXPECT_FALSE(IsSubset(V{1, 4}, V{1, 2, 3}));
+  EXPECT_TRUE(IsSubset(V{}, V{}));
 }
 
 TEST(SetOpsTest, Contains) {
-  EXPECT_TRUE(Contains({1, 3, 5}, 3));
-  EXPECT_FALSE(Contains({1, 3, 5}, 4));
-  EXPECT_FALSE(Contains({}, 0));
+  EXPECT_TRUE(Contains(V{1, 3, 5}, 3));
+  EXPECT_FALSE(Contains(V{1, 3, 5}, 4));
+  EXPECT_FALSE(Contains(V{}, 0));
 }
 
 // Every operation must emit a strictly sorted set even when fed
