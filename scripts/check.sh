@@ -42,6 +42,22 @@ run_overload_smoke() {
   "$build_dir/bench/micro_overload" --smoke >/dev/null
 }
 
+run_chaos_suite() {
+  local build_dir=$1
+  # Chaos suite for the hardened data plane (docs/data_plane.md): first the
+  # malformed-input fuzz corpus for the library parsers (truncations, giant
+  # declared counts, duplicate ids, non-UTF8 junk — the loaders must return
+  # a Status, never crash; under ASan a stray read is a hard failure), then
+  # a short chaos_reload run hammering snapshot reload with injected
+  # filesystem faults under concurrent query load. chaos_reload exits
+  # non-zero if a torn snapshot is ever served or the server fails to
+  # converge back to a good library; the recorded acceptance run lives in
+  # BENCH_chaos.json.
+  echo "=== chaos suite ($build_dir) ==="
+  "$build_dir/tests/model_library_fuzz_test" --gtest_brief=1
+  "$build_dir/bench/chaos_reload" --smoke >/dev/null
+}
+
 run_snapshot_smoke() {
   local build_dir=$1
   # Snapshot smoke (bench/micro_snapshot.cc): library build + snapshot wrap,
@@ -65,6 +81,7 @@ if [[ "$PLAIN" == 1 ]]; then
   run_fuzz_smoke build
   run_overload_smoke build
   run_snapshot_smoke build
+  run_chaos_suite build
 fi
 
 echo "=== ASan+UBSan build + ctest (build-asan/) ==="
@@ -72,6 +89,7 @@ run_suite build-asan -DGOALREC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 run_fuzz_smoke build-asan
 run_overload_smoke build-asan
 run_snapshot_smoke build-asan
+run_chaos_suite build-asan
 
 # TSan is mutually exclusive with ASan, so it gets its own tree. The test
 # registration in tests/CMakeLists.txt trims this build to the tests that

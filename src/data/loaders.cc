@@ -43,20 +43,23 @@ auto InstrumentedLoad(const char* kind, const std::string& path, Fn fn)
 
 util::StatusOr<std::vector<model::Activity>> LoadActivitiesCsvImpl(
     const std::string& path, const model::Vocabulary& actions) {
-  util::StatusOr<std::vector<util::CsvRow>> rows = util::ReadCsvFile(path);
+  util::StatusOr<std::vector<util::NumberedCsvRow>> rows =
+      util::ReadCsvFileNumbered(path);
   if (!rows.ok()) return rows.status();
   std::vector<model::Activity> activities;
   std::unordered_map<std::string, size_t> user_index;
-  for (const util::CsvRow& row : *rows) {
+  for (const util::NumberedCsvRow& numbered : *rows) {
+    const util::CsvRow& row = numbered.fields;
+    const std::string at = path + ":" + std::to_string(numbered.line);
     if (row.size() != 2) {
       return util::InvalidArgumentError(
-          path + ": expected 2 fields 'user_id,action_name', got " +
+          at + ": expected 2 fields 'user_id,action_name', got " +
           std::to_string(row.size()));
     }
     std::optional<uint32_t> action = actions.Find(row[1]);
     if (!action.has_value()) {
-      return util::InvalidArgumentError(path + ": unknown action '" + row[1] +
-                                        "'");
+      return util::InvalidArgumentError(at + ": unknown action near '" +
+                                        row[1] + "'");
     }
     auto [it, inserted] = user_index.emplace(row[0], activities.size());
     if (inserted) activities.emplace_back();
@@ -91,21 +94,24 @@ namespace {
 
 util::StatusOr<model::ActionFeatureTable> LoadFeaturesCsvImpl(
     const std::string& path, const model::Vocabulary& actions) {
-  util::StatusOr<std::vector<util::CsvRow>> rows = util::ReadCsvFile(path);
+  util::StatusOr<std::vector<util::NumberedCsvRow>> rows =
+      util::ReadCsvFileNumbered(path);
   if (!rows.ok()) return rows.status();
   model::ActionFeatureTable table;
   table.features.resize(actions.size());
   model::Vocabulary feature_names;
-  for (const util::CsvRow& row : *rows) {
+  for (const util::NumberedCsvRow& numbered : *rows) {
+    const util::CsvRow& row = numbered.fields;
+    const std::string at = path + ":" + std::to_string(numbered.line);
     if (row.size() != 2) {
       return util::InvalidArgumentError(
-          path + ": expected 2 fields 'action_name,feature_name', got " +
+          at + ": expected 2 fields 'action_name,feature_name', got " +
           std::to_string(row.size()));
     }
     std::optional<uint32_t> action = actions.Find(row[0]);
     if (!action.has_value()) {
-      return util::InvalidArgumentError(path + ": unknown action '" + row[0] +
-                                        "'");
+      return util::InvalidArgumentError(at + ": unknown action near '" +
+                                        row[0] + "'");
     }
     table.features[*action].push_back(feature_names.Intern(row[1]));
   }

@@ -97,6 +97,11 @@ class LibraryBuilder {
     return static_cast<uint32_t>(impls_.size());
   }
 
+  /// Vocabulary sizes so far (the validated loaders enforce their hard caps
+  /// against these as they go).
+  uint32_t num_actions() const { return actions_.size(); }
+  uint32_t num_goals() const { return goals_.size(); }
+
   /// Finalises the CSR indexes and produces the immutable library.
   ImplementationLibrary Build() &&;
 

@@ -1,11 +1,16 @@
 #include "model/library_io.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "model/snapshot_io.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/string_utils.h"
@@ -46,6 +51,33 @@ auto InstrumentedLoad(const char* format, const std::string& path, Fn fn)
 constexpr char kTextHeader[] = "# goalrec-library v1";
 constexpr uint32_t kBinaryMagic = 0x47524C31;  // "GRL1"
 
+/// Offending tokens are echoed into diagnostics; clip so a pathological
+/// multi-megabyte "line" cannot explode a log message.
+constexpr size_t kMaxTokenEcho = 48;
+
+std::string ClipToken(std::string_view token) {
+  std::string clipped(token.substr(0, kMaxTokenEcho));
+  // Control bytes (including the non-UTF8 junk the fuzz corpus feeds in)
+  // render as '?' so diagnostics stay single-line and terminal-safe.
+  for (char& c : clipped) {
+    if (static_cast<unsigned char>(c) < 0x20 ||
+        static_cast<unsigned char>(c) == 0x7F) {
+      c = '?';
+    }
+  }
+  if (token.size() > kMaxTokenEcho) clipped += "...";
+  return clipped;
+}
+
+/// Size of `path` for the pre-allocation cap, or nullopt if unavailable
+/// (nonexistent file, pipe); the open itself reports those cases.
+std::optional<uint64_t> FileSizeBytes(const std::string& path) {
+  std::error_code ec;
+  uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) return std::nullopt;
+  return static_cast<uint64_t>(size);
+}
+
 void WriteU32(std::ofstream& out, uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
@@ -60,15 +92,22 @@ void WriteString(std::ofstream& out, const std::string& s) {
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-bool ReadString(std::ifstream& in, std::string* s) {
-  uint32_t len = 0;
-  if (!ReadU32(in, &len)) return false;
-  s->resize(len);
-  in.read(s->data(), len);
-  return static_cast<bool>(in);
+}  // namespace
+
+std::string LoadIssue::ToString() const {
+  std::string rendered = file;
+  if (line > 0) rendered += ":" + std::to_string(line);
+  rendered += ": " + reason;
+  if (!token.empty()) rendered += " near '" + token + "'";
+  return rendered;
 }
 
-}  // namespace
+std::string LoadReport::Summary() const {
+  return std::to_string(records_loaded) + "/" + std::to_string(records_total) +
+         " records loaded, " + std::to_string(records_quarantined) +
+         " quarantined, " + std::to_string(duplicates) + " duplicates, " +
+         std::to_string(issues_total) + " issues";
+}
 
 util::Status SaveLibraryText(const ImplementationLibrary& library,
                              const std::string& path) {
@@ -90,28 +129,172 @@ util::Status SaveLibraryText(const ImplementationLibrary& library,
 namespace {
 
 util::StatusOr<ImplementationLibrary> LoadLibraryTextImpl(
-    const std::string& path) {
+    const std::string& path, const LoadOptions& options, LoadReport* report) {
+  LoadReport scratch;
+  LoadReport& rep = report != nullptr ? *report : scratch;
+  rep = LoadReport{};
+  const LoadLimits& limits = options.limits;
+  const bool quarantine = options.mode == ValidationMode::kQuarantine;
+
+  if (std::optional<uint64_t> size = FileSizeBytes(path);
+      size.has_value() && *size > limits.max_file_bytes) {
+    return util::ResourceExhaustedError(
+        path + ": file is " + std::to_string(*size) +
+        " bytes, over the load cap of " +
+        std::to_string(limits.max_file_bytes));
+  }
   std::ifstream in(path);
   if (!in) return util::IoError("cannot open " + path);
   std::string line;
   if (!std::getline(in, line) || util::Trim(line) != kTextHeader) {
-    return util::InvalidArgumentError(path + ": missing header '" +
-                                      kTextHeader + "'");
+    return util::InvalidArgumentError(path + ":1: missing header '" +
+                                      kTextHeader + "' near '" +
+                                      ClipToken(line) + "'");
   }
+
   LibraryBuilder builder;
+  // Canonical "<goal>\n<sorted actions>" keys of every record loaded so far;
+  // maintained only when someone can observe the answer (dedup tracking on a
+  // 100M-record load is pure overhead otherwise).
+  const bool track_duplicates =
+      report != nullptr || options.drop_duplicates;
+  std::unordered_set<std::string> seen;
+
+  // Flags one bad record: records it (with provenance) in the report, and
+  // either fails the load (strict) or signals the caller to drop the record
+  // and continue (quarantine, returns OK).
+  auto bad_record = [&](size_t line_number, std::string_view token,
+                        std::string reason) -> util::Status {
+    ++rep.issues_total;
+    std::string clipped = ClipToken(token);
+    if (rep.issues.size() < options.max_reported_issues) {
+      rep.issues.push_back(LoadIssue{path, line_number, clipped, reason});
+    }
+    if (!quarantine) {
+      return util::InvalidArgumentError(path + ":" +
+                                        std::to_string(line_number) + ": " +
+                                        std::move(reason) + " near '" +
+                                        clipped + "'");
+    }
+    ++rep.records_quarantined;
+    return util::Status::Ok();
+  };
+
   size_t line_number = 1;
   while (std::getline(in, line)) {
     ++line_number;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
+    ++rep.records_total;
+
     std::vector<std::string> fields = util::Split(line, '\t');
     if (fields.size() < 2) {
-      return util::InvalidArgumentError(
-          path + ":" + std::to_string(line_number) +
-          ": expected '<goal>\\t<action>...'");
+      util::Status status = bad_record(
+          line_number, line, "expected '<goal>\\t<action>...'");
+      if (!status.ok()) return status;
+      continue;
     }
+    const std::string& goal = fields[0];
+    if (goal.empty()) {
+      util::Status status = bad_record(line_number, line, "empty goal name");
+      if (!status.ok()) return status;
+      continue;
+    }
+    if (goal.size() > limits.max_name_bytes) {
+      util::Status status = bad_record(
+          line_number, goal,
+          "goal name is " + std::to_string(goal.size()) +
+              " bytes, over the cap of " +
+              std::to_string(limits.max_name_bytes));
+      if (!status.ok()) return status;
+      continue;
+    }
+
+    bool dropped = false;
     std::vector<std::string> actions(fields.begin() + 1, fields.end());
-    builder.AddImplementation(fields[0], actions);
+    if (actions.size() > limits.max_actions_per_impl) {
+      util::Status status = bad_record(
+          line_number, goal,
+          "implementation has " + std::to_string(actions.size()) +
+              " actions, over the cap of " +
+              std::to_string(limits.max_actions_per_impl));
+      if (!status.ok()) return status;
+      continue;
+    }
+    for (const std::string& action : actions) {
+      if (action.empty()) {
+        util::Status status =
+            bad_record(line_number, line, "empty action name");
+        if (!status.ok()) return status;
+        dropped = true;
+        break;
+      }
+      if (action.size() > limits.max_name_bytes) {
+        util::Status status = bad_record(
+            line_number, action,
+            "action name is " + std::to_string(action.size()) +
+                " bytes, over the cap of " +
+                std::to_string(limits.max_name_bytes));
+        if (!status.ok()) return status;
+        dropped = true;
+        break;
+      }
+    }
+    if (dropped) continue;
+
+    if (track_duplicates) {
+      std::vector<std::string> sorted_actions = actions;
+      std::sort(sorted_actions.begin(), sorted_actions.end());
+      sorted_actions.erase(
+          std::unique(sorted_actions.begin(), sorted_actions.end()),
+          sorted_actions.end());
+      std::string key = goal;
+      for (const std::string& action : sorted_actions) {
+        key += '\n';
+        key += action;
+      }
+      if (!seen.insert(std::move(key)).second) {
+        ++rep.duplicates;
+        ++rep.issues_total;
+        if (rep.issues.size() < options.max_reported_issues) {
+          rep.issues.push_back(LoadIssue{
+              path, line_number, ClipToken(goal),
+              "duplicate implementation (same goal and action set)"});
+        }
+        // Duplicates are structurally legal, so they never fail a strict
+        // load; they are only dropped on explicit request.
+        if (options.drop_duplicates) {
+          ++rep.records_quarantined;
+          continue;
+        }
+      }
+    }
+
+    // Hard caps are never quarantinable: past this point the file is trying
+    // to make us allocate without bound, and dropping records one by one
+    // would still scan (and intern from) all of it.
+    if (builder.num_implementations() >= limits.max_implementations) {
+      return util::ResourceExhaustedError(
+          path + ":" + std::to_string(line_number) + ": implementation count "
+          "exceeds the load cap of " +
+          std::to_string(limits.max_implementations));
+    }
+    builder.AddImplementation(goal, actions);
+    if (builder.num_actions() > limits.max_actions ||
+        builder.num_goals() > limits.max_goals) {
+      return util::ResourceExhaustedError(
+          path + ":" + std::to_string(line_number) +
+          ": vocabulary exceeds the load cap (" +
+          std::to_string(builder.num_actions()) + " actions, " +
+          std::to_string(builder.num_goals()) + " goals)");
+    }
+  }
+  if (in.bad()) return util::IoError("read failed: " + path);
+  rep.records_loaded = builder.num_implementations();
+  if (rep.records_quarantined > 0) {
+    GOALREC_LOG(WARN) << "library loaded with quarantined records"
+                      << util::Kv("path", path)
+                      << util::Kv("summary", rep.Summary());
   }
   return std::move(builder).Build();
 }
@@ -120,8 +303,14 @@ util::StatusOr<ImplementationLibrary> LoadLibraryTextImpl(
 
 util::StatusOr<ImplementationLibrary> LoadLibraryText(
     const std::string& path) {
-  return InstrumentedLoad("text", path,
-                          [&] { return LoadLibraryTextImpl(path); });
+  return LoadLibraryText(path, LoadOptions{}, nullptr);
+}
+
+util::StatusOr<ImplementationLibrary> LoadLibraryText(const std::string& path,
+                                                      const LoadOptions& options,
+                                                      LoadReport* report) {
+  return InstrumentedLoad(
+      "text", path, [&] { return LoadLibraryTextImpl(path, options, report); });
 }
 
 util::Status SaveLibraryBinary(const ImplementationLibrary& library,
@@ -151,9 +340,56 @@ util::Status SaveLibraryBinary(const ImplementationLibrary& library,
 namespace {
 
 util::StatusOr<ImplementationLibrary> LoadLibraryBinaryImpl(
-    const std::string& path) {
+    const std::string& path, const LoadOptions& options, LoadReport* report) {
+  LoadReport scratch;
+  LoadReport& rep = report != nullptr ? *report : scratch;
+  rep = LoadReport{};
+  const LoadLimits& limits = options.limits;
+
+  // The declared-count checks below bound every allocation against the real
+  // file size: a record costs at least 4 bytes on disk, so a count that
+  // implies more bytes than the file holds is a lie, rejected before the
+  // proportional reserve.
+  std::optional<uint64_t> file_size = FileSizeBytes(path);
+  if (file_size.has_value() && *file_size > limits.max_file_bytes) {
+    return util::ResourceExhaustedError(
+        path + ": file is " + std::to_string(*file_size) +
+        " bytes, over the load cap of " +
+        std::to_string(limits.max_file_bytes));
+  }
+  const uint64_t plausible_records =
+      file_size.has_value() ? *file_size / 4 : UINT64_MAX;
+
   std::ifstream in(path, std::ios::binary);
   if (!in) return util::IoError("cannot open " + path);
+  auto offset = [&in]() -> std::string {
+    return std::to_string(static_cast<long long>(in.tellg()));
+  };
+  // Length-prefixed string whose length is validated against the name cap
+  // (so a hostile prefix cannot make resize() allocate gigabytes).
+  auto read_name = [&](std::string* s, const char* what) -> util::Status {
+    uint32_t len = 0;
+    if (!ReadU32(in, &len)) {
+      return util::InvalidArgumentError(path + ": truncated " +
+                                        std::string(what) + " at offset " +
+                                        offset());
+    }
+    if (len > limits.max_name_bytes) {
+      return util::ResourceExhaustedError(
+          path + ": " + std::string(what) + " declares " +
+          std::to_string(len) + " bytes at offset " + offset() +
+          ", over the cap of " + std::to_string(limits.max_name_bytes));
+    }
+    s->resize(len);
+    in.read(s->data(), len);
+    if (!in) {
+      return util::InvalidArgumentError(path + ": truncated " +
+                                        std::string(what) + " at offset " +
+                                        offset());
+    }
+    return util::Status::Ok();
+  };
+
   uint32_t magic = 0;
   if (!ReadU32(in, &magic) || magic != kBinaryMagic) {
     return util::InvalidArgumentError(path + ": bad magic");
@@ -163,49 +399,94 @@ util::StatusOr<ImplementationLibrary> LoadLibraryBinaryImpl(
   if (!ReadU32(in, &num_actions)) {
     return util::InvalidArgumentError(path + ": truncated action count");
   }
+  if (num_actions > limits.max_actions || num_actions > plausible_records) {
+    return util::ResourceExhaustedError(
+        path + ": declared action count " + std::to_string(num_actions) +
+        " exceeds the load cap or the file size");
+  }
   builder.ReserveActions(num_actions);
   for (uint32_t i = 0; i < num_actions; ++i) {
     std::string name;
-    if (!ReadString(in, &name)) {
-      return util::InvalidArgumentError(path + ": truncated action table");
+    if (util::Status status = read_name(&name, "action name"); !status.ok()) {
+      return status;
     }
-    builder.InternAction(name);
+    // Ids are positional in this format: interning must assign exactly id i.
+    // A duplicate name collapses the mapping, and every later id in the file
+    // would point one slot off — reject rather than mis-wire silently.
+    if (builder.InternAction(name) != i) {
+      return util::InvalidArgumentError(
+          path + ": duplicate action name '" + ClipToken(name) +
+          "' in vocabulary at offset " + offset());
+    }
   }
   uint32_t num_goals = 0;
   if (!ReadU32(in, &num_goals)) {
     return util::InvalidArgumentError(path + ": truncated goal count");
   }
+  if (num_goals > limits.max_goals || num_goals > plausible_records) {
+    return util::ResourceExhaustedError(
+        path + ": declared goal count " + std::to_string(num_goals) +
+        " exceeds the load cap or the file size");
+  }
   builder.ReserveGoals(num_goals);
   for (uint32_t i = 0; i < num_goals; ++i) {
     std::string name;
-    if (!ReadString(in, &name)) {
-      return util::InvalidArgumentError(path + ": truncated goal table");
+    if (util::Status status = read_name(&name, "goal name"); !status.ok()) {
+      return status;
     }
-    builder.InternGoal(name);
+    if (builder.InternGoal(name) != i) {
+      return util::InvalidArgumentError(
+          path + ": duplicate goal name '" + ClipToken(name) +
+          "' in vocabulary at offset " + offset());
+    }
   }
   uint32_t num_impls = 0;
   if (!ReadU32(in, &num_impls)) {
     return util::InvalidArgumentError(path + ": truncated impl count");
   }
+  if (num_impls > limits.max_implementations ||
+      num_impls > plausible_records) {
+    return util::ResourceExhaustedError(
+        path + ": declared implementation count " + std::to_string(num_impls) +
+        " exceeds the load cap or the file size");
+  }
+  rep.records_total = num_impls;
   for (uint32_t i = 0; i < num_impls; ++i) {
     uint32_t goal = 0, len = 0;
     if (!ReadU32(in, &goal) || !ReadU32(in, &len)) {
-      return util::InvalidArgumentError(path + ": truncated implementation");
+      return util::InvalidArgumentError(
+          path + ": truncated implementation " + std::to_string(i) + "/" +
+          std::to_string(num_impls) + " at offset " + offset());
     }
     if (goal >= num_goals) {
-      return util::InvalidArgumentError(path + ": goal id out of range");
+      return util::InvalidArgumentError(
+          path + ": implementation " + std::to_string(i) + " has goal id " +
+          std::to_string(goal) + " out of range [0, " +
+          std::to_string(num_goals) + ")");
+    }
+    if (len > limits.max_actions_per_impl || len > plausible_records) {
+      return util::ResourceExhaustedError(
+          path + ": implementation " + std::to_string(i) + " declares " +
+          std::to_string(len) + " actions, over the cap of " +
+          std::to_string(limits.max_actions_per_impl));
     }
     IdSet actions(len);
     for (uint32_t j = 0; j < len; ++j) {
       if (!ReadU32(in, &actions[j])) {
-        return util::InvalidArgumentError(path + ": truncated action list");
+        return util::InvalidArgumentError(
+            path + ": truncated action list of implementation " +
+            std::to_string(i) + " at offset " + offset());
       }
       if (actions[j] >= num_actions) {
-        return util::InvalidArgumentError(path + ": action id out of range");
+        return util::InvalidArgumentError(
+            path + ": implementation " + std::to_string(i) +
+            " references action id " + std::to_string(actions[j]) +
+            " out of range [0, " + std::to_string(num_actions) + ")");
       }
     }
     builder.AddImplementationIds(goal, std::move(actions));
   }
+  rep.records_loaded = builder.num_implementations();
   return std::move(builder).Build();
 }
 
@@ -213,8 +494,14 @@ util::StatusOr<ImplementationLibrary> LoadLibraryBinaryImpl(
 
 util::StatusOr<ImplementationLibrary> LoadLibraryBinary(
     const std::string& path) {
-  return InstrumentedLoad("binary", path,
-                          [&] { return LoadLibraryBinaryImpl(path); });
+  return LoadLibraryBinary(path, LoadOptions{}, nullptr);
+}
+
+util::StatusOr<ImplementationLibrary> LoadLibraryBinary(
+    const std::string& path, const LoadOptions& options, LoadReport* report) {
+  return InstrumentedLoad("binary", path, [&] {
+    return LoadLibraryBinaryImpl(path, options, report);
+  });
 }
 
 util::StatusOr<ImplementationLibrary> LoadLibraryText(
@@ -228,10 +515,27 @@ util::StatusOr<ImplementationLibrary> LoadLibraryBinary(
 }
 
 util::StatusOr<std::shared_ptr<const LibrarySnapshot>> LoadLibrarySnapshot(
-    const std::string& path, const util::RetryOptions& retry) {
-  bool binary = path.size() >= 4 && path.compare(path.size() - 4, 4, ".bin") == 0;
-  auto loaded = binary ? LoadLibraryBinary(path, retry)
-                       : LoadLibraryText(path, retry);
+    const std::string& path, const util::RetryOptions& retry,
+    const LoadOptions& options) {
+  auto has_suffix = [&path](std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+  };
+  auto loaded = [&]() -> util::StatusOr<ImplementationLibrary> {
+    if (has_suffix(".snap")) {
+      return util::RetryCall(retry, [&] {
+        return InstrumentedLoad(
+            "snapshot", path, [&] { return LoadSnapshotFile(path, options); });
+      });
+    }
+    if (has_suffix(".bin")) {
+      return util::RetryCall(
+          retry, [&] { return LoadLibraryBinary(path, options); });
+    }
+    return util::RetryCall(retry,
+                           [&] { return LoadLibraryText(path, options); });
+  }();
   if (!loaded.ok()) return loaded.status();
   return MakeSnapshot(std::move(loaded).value(), path);
 }

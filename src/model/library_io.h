@@ -1,8 +1,11 @@
 #ifndef GOALREC_MODEL_LIBRARY_IO_H_
 #define GOALREC_MODEL_LIBRARY_IO_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "model/library.h"
 #include "model/snapshot.h"
@@ -23,24 +26,109 @@
 // save/load round-trip preserves names and structure but not numeric ids;
 // and actions/goals interned but never referenced by an implementation are
 // not written (they are unreachable by every query anyway). The binary
-// format preserves both the full vocabularies and the exact ids.
+// format preserves both the full vocabularies and the exact ids. The
+// checksummed snapshot format (model/snapshot_io.h) is the crash-safe
+// variant serving reload paths should persist.
+//
+// Validation. Library files are untrusted input — they arrive from text
+// miners, generators, other processes mid-write. Every loader validates
+// record-by-record against LoadOptions: hard caps bound what a hostile
+// declared count can make the parser allocate, and per-record checks catch
+// malformed lines with file/line/token provenance. Two modes:
+//
+//   * kStrict (default): the first bad record fails the whole load with a
+//     precise diagnostic ("path:line: reason near 'token'").
+//   * kQuarantine: bad records are dropped, recorded in the LoadReport, and
+//     the rest of the file loads. For operators who would rather serve
+//     99.9% of a library than none of it.
+//
+// Hard caps (LoadLimits) are never quarantinable: a file claiming 2^32
+// implementations is rejected outright in both modes, before any
+// proportional allocation happens.
 
 namespace goalrec::model {
+
+/// Upper bounds a load is allowed to allocate towards. All checks happen
+/// BEFORE the proportional allocation, so an adversarial header cannot OOM
+/// the parser. Defaults are far above any real library but far below
+/// memory-exhaustion scale.
+struct LoadLimits {
+  uint64_t max_file_bytes = 1ull << 32;       // 4 GiB
+  uint32_t max_actions = 1u << 26;            // 67M interned action names
+  uint32_t max_goals = 1u << 26;
+  uint32_t max_implementations = 1u << 27;    // 134M records
+  uint32_t max_actions_per_impl = 1u << 16;   // 65k actions in one activity
+  uint32_t max_name_bytes = 4096;             // one interned name
+};
+
+enum class ValidationMode {
+  kStrict,      // first bad record fails the load
+  kQuarantine,  // bad records dropped + reported, rest loads
+};
+
+struct LoadOptions {
+  ValidationMode mode = ValidationMode::kStrict;
+  LoadLimits limits;
+  /// Also drop records that duplicate an earlier (goal, action-set) record.
+  /// Duplicates are structurally legal (two users can describe the same
+  /// implementation) so they are reported but kept by default.
+  bool drop_duplicates = false;
+  /// Issues recorded in the report beyond this many are counted, not stored.
+  size_t max_reported_issues = 64;
+};
+
+/// One bad (or suspicious) record, with enough provenance to act on: which
+/// file, which line, what the offending token was and why it was rejected.
+struct LoadIssue {
+  std::string file;
+  size_t line = 0;     // 1-based; 0 when the issue is file-level
+  std::string token;   // the offending token/field, clipped for display
+  std::string reason;
+
+  /// "file:line: reason near 'token'".
+  std::string ToString() const;
+};
+
+/// Outcome summary of one validated load.
+struct LoadReport {
+  size_t records_total = 0;        // data lines / records seen
+  size_t records_loaded = 0;       // records that made it into the library
+  size_t records_quarantined = 0;  // dropped (kQuarantine or duplicates)
+  size_t duplicates = 0;           // duplicate (goal, action-set) records seen
+  size_t issues_total = 0;         // all issues, stored or not
+  std::vector<LoadIssue> issues;   // first max_reported_issues of them
+
+  /// One-line summary for logs.
+  std::string Summary() const;
+};
 
 /// Writes `library` in the text format. Overwrites `path`.
 util::Status SaveLibraryText(const ImplementationLibrary& library,
                              const std::string& path);
 
-/// Reads a text-format library.
+/// Reads a text-format library with default strict validation.
 util::StatusOr<ImplementationLibrary> LoadLibraryText(const std::string& path);
+
+/// Reads a text-format library under `options`. When `report` is non-null it
+/// receives per-record provenance for everything dropped or flagged; in
+/// quarantine mode the returned library contains every record that passed.
+util::StatusOr<ImplementationLibrary> LoadLibraryText(const std::string& path,
+                                                      const LoadOptions& options,
+                                                      LoadReport* report = nullptr);
 
 /// Writes `library` in the binary format. Overwrites `path`.
 util::Status SaveLibraryBinary(const ImplementationLibrary& library,
                                const std::string& path);
 
-/// Reads a binary-format library.
+/// Reads a binary-format library. The binary format is structural (ids, not
+/// names), so validation is always strict; LoadOptions caps still bound every
+/// allocation against the declared counts and the real file size.
 util::StatusOr<ImplementationLibrary> LoadLibraryBinary(
     const std::string& path);
+
+util::StatusOr<ImplementationLibrary> LoadLibraryBinary(
+    const std::string& path, const LoadOptions& options,
+    LoadReport* report = nullptr);
 
 // Retry-aware variants: transient failures (kIoError/kUnavailable — NFS
 // hiccups, files mid-rotation) are retried with jittered backoff per
@@ -54,11 +142,13 @@ util::StatusOr<ImplementationLibrary> LoadLibraryText(
 util::StatusOr<ImplementationLibrary> LoadLibraryBinary(
     const std::string& path, const util::RetryOptions& retry);
 
-/// Loads `path` (binary if it ends in ".bin", text otherwise) and wraps the
-/// result in a versioned LibrarySnapshot whose source is `path`. This is the
-/// entry point serving reload paths use (serve/snapshot_manager.h).
+/// Loads `path` (CRC-framed snapshot if it ends in ".snap", binary if it
+/// ends in ".bin", text otherwise) and wraps the result in a versioned
+/// LibrarySnapshot whose source is `path`. This is the entry point serving
+/// reload paths use (serve/snapshot_manager.h).
 util::StatusOr<std::shared_ptr<const LibrarySnapshot>> LoadLibrarySnapshot(
-    const std::string& path, const util::RetryOptions& retry = {});
+    const std::string& path, const util::RetryOptions& retry = {},
+    const LoadOptions& options = {});
 
 }  // namespace goalrec::model
 

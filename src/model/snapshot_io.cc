@@ -1,0 +1,436 @@
+#include "model/snapshot_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/crc32c.h"
+#include "util/status.h"
+
+namespace goalrec::model {
+namespace {
+
+constexpr char kHeaderMagic[8] = {'G', 'R', 'S', 'N', 'A', 'P', '1', '\n'};
+constexpr char kFooterMagic[8] = {'G', 'R', 'S', 'N', 'E', 'N', 'D', '\n'};
+constexpr size_t kHeaderSize = sizeof(kHeaderMagic) + 2 * sizeof(uint32_t);
+constexpr size_t kFooterSize =
+    sizeof(uint64_t) + sizeof(uint32_t) + sizeof(kFooterMagic);
+// tag + payload_len + crc
+constexpr size_t kFrameOverhead = sizeof(uint32_t) + sizeof(uint64_t) +
+                                  sizeof(uint32_t);
+
+constexpr uint32_t kTagActions = 1;
+constexpr uint32_t kTagGoals = 2;
+constexpr uint32_t kTagImpls = 3;
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, sizeof(buf));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, sizeof(buf));
+}
+
+uint32_t ReadU32At(std::string_view bytes, size_t at) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(bytes[at + i]);
+  }
+  return v;
+}
+
+uint64_t ReadU64At(std::string_view bytes, size_t at) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(bytes[at + i]);
+  }
+  return v;
+}
+
+/// Appends one frame: tag, payload length, payload, masked CRC over the
+/// first three (so a frame shifted or spliced from another snapshot fails
+/// its own check even if the payload is intact).
+void AppendFrame(std::string* out, uint32_t tag, const std::string& payload) {
+  size_t frame_start = out->size();
+  AppendU32(out, tag);
+  AppendU64(out, payload.size());
+  out->append(payload);
+  uint32_t crc = util::Crc32c(
+      std::string_view(out->data() + frame_start, out->size() - frame_start));
+  AppendU32(out, util::MaskCrc32c(crc));
+}
+
+std::string EncodeVocabulary(const Vocabulary& vocab) {
+  std::string payload;
+  AppendU32(&payload, vocab.size());
+  for (uint32_t id = 0; id < vocab.size(); ++id) {
+    const std::string& name = vocab.Name(id);
+    AppendU32(&payload, static_cast<uint32_t>(name.size()));
+    payload.append(name);
+  }
+  return payload;
+}
+
+/// Forward cursor over the snapshot bytes with bounds-checked reads; every
+/// failure carries the byte offset for diagnostics.
+class Cursor {
+ public:
+  Cursor(std::string_view bytes, const std::string& name)
+      : bytes_(bytes), name_(name) {}
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+  util::Status ReadU32(uint32_t* v, const char* what) {
+    if (remaining() < sizeof(uint32_t)) return Truncated(what);
+    *v = ReadU32At(bytes_, pos_);
+    pos_ += sizeof(uint32_t);
+    return util::Status::Ok();
+  }
+
+  util::Status ReadBytes(std::string_view* out, size_t n, const char* what) {
+    if (remaining() < n) return Truncated(what);
+    *out = bytes_.substr(pos_, n);
+    pos_ += n;
+    return util::Status::Ok();
+  }
+
+ private:
+  util::Status Truncated(const char* what) const {
+    return util::InvalidArgumentError(name_ + ": truncated " +
+                                      std::string(what) + " at offset " +
+                                      std::to_string(pos_));
+  }
+
+  std::string_view bytes_;
+  const std::string& name_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string EncodeSnapshot(const ImplementationLibrary& library) {
+  std::string out;
+  out.append(kHeaderMagic, sizeof(kHeaderMagic));
+  AppendU32(&out, kSnapshotFormatVersion);
+  AppendU32(&out, 0);  // flags
+
+  const size_t frames_start = out.size();
+  AppendFrame(&out, kTagActions, EncodeVocabulary(library.actions()));
+  AppendFrame(&out, kTagGoals, EncodeVocabulary(library.goals()));
+  std::string impls;
+  AppendU32(&impls, library.num_implementations());
+  for (ImplId p = 0; p < library.num_implementations(); ++p) {
+    ImplementationView impl = library.implementation(p);
+    AppendU32(&impls, impl.goal);
+    AppendU32(&impls, static_cast<uint32_t>(impl.actions.size()));
+    for (ActionId a : impl.actions) AppendU32(&impls, a);
+  }
+  AppendFrame(&out, kTagImpls, impls);
+
+  const uint64_t frames_len = out.size() - frames_start;
+  uint32_t body_crc = util::Crc32c(
+      std::string_view(out.data() + frames_start, frames_len));
+  AppendU64(&out, frames_len);
+  AppendU32(&out, util::MaskCrc32c(body_crc));
+  out.append(kFooterMagic, sizeof(kFooterMagic));
+  return out;
+}
+
+util::StatusOr<ImplementationLibrary> DecodeSnapshot(
+    std::string_view bytes, const std::string& name,
+    const LoadOptions& options) {
+  const LoadLimits& limits = options.limits;
+  if (bytes.size() < kHeaderSize + kFooterSize) {
+    return util::InvalidArgumentError(
+        name + ": " + std::to_string(bytes.size()) +
+        " bytes is too short for a snapshot (truncated write?)");
+  }
+  if (std::memcmp(bytes.data(), kHeaderMagic, sizeof(kHeaderMagic)) != 0) {
+    return util::InvalidArgumentError(name + ": bad snapshot header magic");
+  }
+  uint32_t version = ReadU32At(bytes, sizeof(kHeaderMagic));
+  if (version != kSnapshotFormatVersion) {
+    return util::InvalidArgumentError(
+        name + ": unsupported snapshot format version " +
+        std::to_string(version) + " (this build reads version " +
+        std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  // Version 1 defines no flags; the header is outside the body CRC, so a
+  // strict zero check is what makes bit rot in this field detectable.
+  uint32_t flags = ReadU32At(bytes, sizeof(kHeaderMagic) + sizeof(uint32_t));
+  if (flags != 0) {
+    return util::InvalidArgumentError(
+        name + ": unknown snapshot header flags 0x" + [flags] {
+          char buf[9];
+          std::snprintf(buf, sizeof(buf), "%08x", flags);
+          return std::string(buf);
+        }());
+  }
+
+  // Footer first: end magic then whole-body CRC. Anything torn or truncated
+  // dies here, before any frame is trusted.
+  const size_t footer_at = bytes.size() - kFooterSize;
+  if (std::memcmp(bytes.data() + footer_at + sizeof(uint64_t) +
+                      sizeof(uint32_t),
+                  kFooterMagic, sizeof(kFooterMagic)) != 0) {
+    return util::InvalidArgumentError(
+        name + ": missing snapshot end magic (truncated or torn write)");
+  }
+  uint64_t frames_len = ReadU64At(bytes, footer_at);
+  uint32_t want_crc =
+      util::UnmaskCrc32c(ReadU32At(bytes, footer_at + sizeof(uint64_t)));
+  if (frames_len != footer_at - kHeaderSize) {
+    return util::InvalidArgumentError(
+        name + ": footer declares " + std::to_string(frames_len) +
+        " frame bytes but the file holds " +
+        std::to_string(footer_at - kHeaderSize));
+  }
+  std::string_view frames = bytes.substr(kHeaderSize, frames_len);
+  if (util::Crc32c(frames) != want_crc) {
+    return util::InvalidArgumentError(
+        name + ": snapshot body CRC mismatch (corrupt or torn write)");
+  }
+
+  // Body verified; walk the frames, checking each frame CRC to localise any
+  // corruption the (already-passed) body CRC would have caught anyway.
+  std::string_view actions_payload, goals_payload, impls_payload;
+  size_t at = 0;
+  while (at < frames.size()) {
+    if (frames.size() - at < kFrameOverhead) {
+      return util::InvalidArgumentError(
+          name + ": trailing garbage after last frame at offset " +
+          std::to_string(kHeaderSize + at));
+    }
+    uint32_t tag = ReadU32At(frames, at);
+    uint64_t payload_len = ReadU64At(frames, at + sizeof(uint32_t));
+    size_t payload_at = at + sizeof(uint32_t) + sizeof(uint64_t);
+    if (payload_len > frames.size() - payload_at - sizeof(uint32_t)) {
+      return util::InvalidArgumentError(
+          name + ": frame at offset " + std::to_string(kHeaderSize + at) +
+          " declares " + std::to_string(payload_len) +
+          " payload bytes past the end of the body");
+    }
+    std::string_view framed = frames.substr(at, payload_at - at + payload_len);
+    uint32_t frame_crc = util::UnmaskCrc32c(
+        ReadU32At(frames, payload_at + payload_len));
+    if (util::Crc32c(framed) != frame_crc) {
+      return util::InvalidArgumentError(
+          name + ": frame CRC mismatch at offset " +
+          std::to_string(kHeaderSize + at));
+    }
+    std::string_view payload = frames.substr(payload_at, payload_len);
+    switch (tag) {
+      case kTagActions:
+        actions_payload = payload;
+        break;
+      case kTagGoals:
+        goals_payload = payload;
+        break;
+      case kTagImpls:
+        impls_payload = payload;
+        break;
+      default:
+        // Unknown tags are an error in version 1: there is nothing
+        // forward-compatible to skip yet, and silently ignoring frames hides
+        // splices.
+        return util::InvalidArgumentError(
+            name + ": unknown frame tag " + std::to_string(tag) +
+            " at offset " + std::to_string(kHeaderSize + at));
+    }
+    at = payload_at + payload_len + sizeof(uint32_t);
+  }
+  if (actions_payload.data() == nullptr || goals_payload.data() == nullptr ||
+      impls_payload.data() == nullptr) {
+    return util::InvalidArgumentError(
+        name + ": snapshot is missing a required frame");
+  }
+
+  LibraryBuilder builder;
+  auto decode_vocab = [&](std::string_view payload, const char* what,
+                          uint32_t max_entries,
+                          auto intern) -> util::StatusOr<uint32_t> {
+    Cursor cur(payload, name);
+    uint32_t count = 0;
+    if (util::Status s = cur.ReadU32(&count, what); !s.ok()) return s;
+    if (count > max_entries || count > payload.size() / 4) {
+      return util::ResourceExhaustedError(
+          name + ": declared " + std::string(what) + " count " +
+          std::to_string(count) + " exceeds the load cap or the frame size");
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t len = 0;
+      if (util::Status s = cur.ReadU32(&len, what); !s.ok()) return s;
+      if (len > limits.max_name_bytes) {
+        return util::ResourceExhaustedError(
+            name + ": " + std::string(what) + " " + std::to_string(i) +
+            " declares " + std::to_string(len) + " name bytes, over the cap");
+      }
+      std::string_view nm;
+      if (util::Status s = cur.ReadBytes(&nm, len, what); !s.ok()) return s;
+      uint32_t id = intern(nm);
+      if (id != i) {
+        return util::InvalidArgumentError(
+            name + ": duplicate " + std::string(what) + " name at index " +
+            std::to_string(i));
+      }
+    }
+    if (cur.remaining() != 0) {
+      return util::InvalidArgumentError(name + ": trailing bytes in " +
+                                        std::string(what) + " frame");
+    }
+    return count;
+  };
+
+  util::StatusOr<uint32_t> num_actions = decode_vocab(
+      actions_payload, "action", limits.max_actions,
+      [&](std::string_view nm) { return builder.InternAction(nm); });
+  if (!num_actions.ok()) return num_actions.status();
+  util::StatusOr<uint32_t> num_goals = decode_vocab(
+      goals_payload, "goal", limits.max_goals,
+      [&](std::string_view nm) { return builder.InternGoal(nm); });
+  if (!num_goals.ok()) return num_goals.status();
+
+  Cursor cur(impls_payload, name);
+  uint32_t num_impls = 0;
+  if (util::Status s = cur.ReadU32(&num_impls, "impl count"); !s.ok()) {
+    return s;
+  }
+  if (num_impls > limits.max_implementations ||
+      num_impls > impls_payload.size() / 8) {
+    return util::ResourceExhaustedError(
+        name + ": declared implementation count " + std::to_string(num_impls) +
+        " exceeds the load cap or the frame size");
+  }
+  for (uint32_t i = 0; i < num_impls; ++i) {
+    uint32_t goal = 0, len = 0;
+    if (util::Status s = cur.ReadU32(&goal, "implementation"); !s.ok()) {
+      return s;
+    }
+    if (util::Status s = cur.ReadU32(&len, "implementation"); !s.ok()) {
+      return s;
+    }
+    if (goal >= num_goals.value()) {
+      return util::InvalidArgumentError(
+          name + ": implementation " + std::to_string(i) + " has goal id " +
+          std::to_string(goal) + " out of range [0, " +
+          std::to_string(num_goals.value()) + ")");
+    }
+    if (len > limits.max_actions_per_impl ||
+        len > cur.remaining() / 4) {
+      return util::ResourceExhaustedError(
+          name + ": implementation " + std::to_string(i) + " declares " +
+          std::to_string(len) + " actions, over the cap or the frame size");
+    }
+    IdSet actions(len);
+    for (uint32_t j = 0; j < len; ++j) {
+      if (util::Status s = cur.ReadU32(&actions[j], "action list");
+          !s.ok()) {
+        return s;
+      }
+      if (actions[j] >= num_actions.value()) {
+        return util::InvalidArgumentError(
+            name + ": implementation " + std::to_string(i) +
+            " references action id " + std::to_string(actions[j]) +
+            " out of range [0, " + std::to_string(num_actions.value()) + ")");
+      }
+    }
+    builder.AddImplementationIds(goal, std::move(actions));
+  }
+  if (cur.remaining() != 0) {
+    return util::InvalidArgumentError(
+        name + ": trailing bytes in implementation frame");
+  }
+  return std::move(builder).Build();
+}
+
+namespace {
+
+util::Status PosixError(const std::string& what, const std::string& path) {
+  return util::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// Writes `bytes` to `fd` fully, retrying short writes.
+util::Status WriteAll(int fd, std::string_view bytes,
+                      const std::string& path) {
+  size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return PosixError("write", path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Status SaveSnapshot(const ImplementationLibrary& library,
+                          const std::string& path) {
+  std::string bytes = EncodeSnapshot(library);
+
+  // Same-directory temp name so the rename stays within one filesystem.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return PosixError("open", tmp);
+  util::Status status = WriteAll(fd, bytes, tmp);
+  if (status.ok() && ::fsync(fd) != 0) status = PosixError("fsync", tmp);
+  if (::close(fd) != 0 && status.ok()) status = PosixError("close", tmp);
+  if (status.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = PosixError("rename", tmp + " -> " + path);
+  }
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  // Persist the rename itself: fsync the parent directory.
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) return PosixError("open directory", dir);
+  if (::fsync(dir_fd) != 0) {
+    util::Status dir_status = PosixError("fsync directory", dir);
+    ::close(dir_fd);
+    return dir_status;
+  }
+  ::close(dir_fd);
+  return util::Status::Ok();
+}
+
+util::StatusOr<ImplementationLibrary> LoadSnapshotFile(
+    const std::string& path, const LoadOptions& options) {
+  std::error_code ec;
+  uintmax_t size = std::filesystem::file_size(path, ec);
+  if (!ec && size > options.limits.max_file_bytes) {
+    return util::ResourceExhaustedError(
+        path + ": file is " + std::to_string(size) +
+        " bytes, over the load cap of " +
+        std::to_string(options.limits.max_file_bytes));
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::IoError("cannot open " + path);
+  std::string bytes;
+  if (!ec) bytes.reserve(static_cast<size_t>(size));
+  bytes.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+  if (in.bad()) return util::IoError("read failed: " + path);
+  return DecodeSnapshot(bytes, path, options);
+}
+
+}  // namespace goalrec::model

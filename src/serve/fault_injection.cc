@@ -53,6 +53,63 @@ bool FaultInjector::MaybeTruncate(std::string* bytes) {
   return true;
 }
 
+std::string_view FsFaultToString(FsFault fault) {
+  switch (fault) {
+    case FsFault::kNone:
+      return "none";
+    case FsFault::kTruncate:
+      return "truncate";
+    case FsFault::kBitFlip:
+      return "bitflip";
+    case FsFault::kPartialWrite:
+      return "partial_write";
+  }
+  return "unknown";
+}
+
+FsFault FaultInjector::MaybeCorruptBytes(std::string* bytes,
+                                         std::string_view old_bytes) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++counters_.calls;
+  if (bytes->empty()) return FsFault::kNone;
+  if (rng_.Bernoulli(options_.fs_truncate_rate)) {
+    ++counters_.fs_truncations;
+    bytes->resize(rng_.UniformUint32(static_cast<uint32_t>(bytes->size())));
+    return FsFault::kTruncate;
+  }
+  if (rng_.Bernoulli(options_.fs_bitflip_rate)) {
+    ++counters_.fs_bitflips;
+    uint32_t byte = rng_.UniformUint32(static_cast<uint32_t>(bytes->size()));
+    (*bytes)[byte] = static_cast<char>(
+        (*bytes)[byte] ^ (1u << rng_.UniformUint32(8)));
+    return FsFault::kBitFlip;
+  }
+  if (rng_.Bernoulli(options_.fs_partial_write_rate)) {
+    ++counters_.fs_partial_writes;
+    uint32_t keep = rng_.UniformUint32(static_cast<uint32_t>(bytes->size()));
+    if (old_bytes.size() > keep) {
+      // Torn replace: the first `keep` new bytes landed, the rest is still
+      // the old file.
+      bytes->replace(keep, std::string::npos, old_bytes.substr(keep));
+    } else {
+      bytes->resize(keep);
+    }
+    return FsFault::kPartialWrite;
+  }
+  return FsFault::kNone;
+}
+
+std::chrono::milliseconds FaultInjector::MaybeRenameDelay() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++counters_.calls;
+  if (options_.fs_rename_delay_ms <= 0 ||
+      !rng_.Bernoulli(options_.fs_rename_delay_rate)) {
+    return std::chrono::milliseconds::zero();
+  }
+  ++counters_.rename_delays;
+  return std::chrono::milliseconds(options_.fs_rename_delay_ms);
+}
+
 FaultInjector::Counters FaultInjector::counters() const {
   std::unique_lock<std::mutex> lock(mutex_);
   return counters_;

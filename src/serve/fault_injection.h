@@ -41,7 +41,28 @@ struct FaultInjectionOptions {
   int64_t latency_burst_ms = 0;
   /// Probability that MaybeTruncate cuts a payload to a strict prefix.
   double partial_read_rate = 0.0;
+
+  // Filesystem fault plane (the chaos harness drives these against staged
+  // snapshot bytes before they hit disk). Rates are evaluated in the order
+  // truncate, bit-flip, partial-write; at most one fires per call.
+  /// Probability MaybeCorruptBytes truncates at a random byte offset.
+  double fs_truncate_rate = 0.0;
+  /// Probability MaybeCorruptBytes flips one random bit.
+  double fs_bitflip_rate = 0.0;
+  /// Probability MaybeCorruptBytes simulates a torn non-atomic replace:
+  /// a prefix of the new bytes spliced onto the tail of the old bytes.
+  double fs_partial_write_rate = 0.0;
+  /// Probability MaybeRenameDelay asks the writer to stall between steps of
+  /// a multi-step publish (widening the window a poller can observe)...
+  double fs_rename_delay_rate = 0.0;
+  /// ...for this long.
+  int64_t fs_rename_delay_ms = 0;
 };
+
+/// Which filesystem fault MaybeCorruptBytes injected (kNone: bytes intact).
+enum class FsFault { kNone, kTruncate, kBitFlip, kPartialWrite };
+
+std::string_view FsFaultToString(FsFault fault);
 
 class FaultInjector {
  public:
@@ -60,12 +81,29 @@ class FaultInjector {
   /// prefix, returning true. Simulates torn reads for loader tests.
   bool MaybeTruncate(std::string* bytes);
 
+  /// Corrupts `bytes` in place with at most one filesystem fault per the
+  /// fs_* rates: truncation at a random offset, a single bit flip, or — when
+  /// `old_bytes` (the file content being replaced) is given — a torn
+  /// partial write, i.e. a prefix of `bytes` over the tail of `old_bytes`.
+  /// Without `old_bytes` a partial-write fault degrades to truncation.
+  /// Returns the fault injected, kNone for clean passes.
+  FsFault MaybeCorruptBytes(std::string* bytes,
+                            std::string_view old_bytes = {});
+
+  /// Zero, or a configured stall between the steps of a multi-step file
+  /// publish (write/fsync/rename), per fs_rename_delay_rate.
+  std::chrono::milliseconds MaybeRenameDelay();
+
   struct Counters {
     uint64_t calls = 0;        // total decisions drawn
     uint64_t errors = 0;       // injected failures
     uint64_t delays = 0;       // injected latency spikes
     uint64_t truncations = 0;  // injected partial reads
     uint64_t bursts = 0;       // sustained-spike bursts started
+    uint64_t fs_truncations = 0;    // fs: truncate-at-offset faults
+    uint64_t fs_bitflips = 0;       // fs: single-bit corruption faults
+    uint64_t fs_partial_writes = 0; // fs: torn-replace faults
+    uint64_t rename_delays = 0;     // fs: injected publish stalls
   };
   Counters counters() const;
 

@@ -1,17 +1,22 @@
 #include "serve/snapshot_manager.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
+#include "core/recommender.h"
 #include "model/library_io.h"
+#include "model/validate.h"
 #include "util/logging.h"
+#include "util/set_ops.h"
 
 namespace goalrec::serve {
 
 SnapshotManager::SnapshotManager(
     std::shared_ptr<const model::LibrarySnapshot> initial,
-    LadderFactory factory, obs::MetricRegistry* metrics)
-    : factory_(std::move(factory)) {
+    LadderFactory factory, ReloadGuardOptions guard,
+    obs::MetricRegistry* metrics)
+    : factory_(std::move(factory)), guard_(std::move(guard)) {
   GOALREC_CHECK(initial != nullptr);
   GOALREC_CHECK(factory_ != nullptr);
   obs::MetricRegistry& registry =
@@ -31,7 +36,23 @@ SnapshotManager::SnapshotManager(
   library_impls_ =
       registry.GetGauge("goalrec_library_implementations", {},
                         "Implementations in the currently served library");
+  constexpr char kFailureHelp[] =
+      "Rejected reload candidates, by guard stage";
+  failure_load_ = registry.GetCounter("goalrec_reload_failure_total",
+                                      {{"reason", "load"}}, kFailureHelp);
+  failure_ladder_ = registry.GetCounter("goalrec_reload_failure_total",
+                                        {{"reason", "ladder"}}, kFailureHelp);
+  failure_validate_ = registry.GetCounter("goalrec_reload_failure_total",
+                                          {{"reason", "validate"}},
+                                          kFailureHelp);
+  failure_canary_ = registry.GetCounter("goalrec_reload_failure_total",
+                                        {{"reason", "canary"}}, kFailureHelp);
 
+  if (guard_.validate) {
+    util::Status valid = model::ValidateLibrary(initial->library);
+    GOALREC_CHECK(valid.ok()) << "initial library snapshot is invalid: "
+                              << valid.ToString();
+  }
   auto serving = BuildServing(std::move(initial));
   GOALREC_CHECK(serving.ok()) << serving.status().ToString();
   const ServingSnapshot& built = *serving.value();
@@ -78,20 +99,82 @@ SnapshotManager::BuildServing(
   return std::shared_ptr<const ServingSnapshot>(std::move(serving));
 }
 
+util::Status SnapshotManager::RunGuard(const ServingSnapshot& built,
+                                       obs::Counter** reason) const {
+  if (guard_.validate) {
+    util::Status valid = model::ValidateLibrary(built.library->library);
+    if (!valid.ok()) {
+      *reason = failure_validate_;
+      return util::Status(valid.code(),
+                          "candidate failed validation: " + valid.message());
+    }
+  }
+  if (guard_.canary_probes.empty()) return util::Status::Ok();
+
+  const model::ImplementationLibrary& library = built.library->library;
+  const core::Recommender& top = *built.rungs.front().recommender;
+  size_t passes = 0;
+  size_t first_failed = guard_.canary_probes.size();
+  for (size_t i = 0; i < guard_.canary_probes.size(); ++i) {
+    model::Activity activity;
+    for (const std::string& name : guard_.canary_probes[i]) {
+      if (std::optional<uint32_t> id = library.actions().Find(name);
+          id.has_value()) {
+        activity.push_back(*id);
+      }
+    }
+    util::Normalize(activity);
+    bool passed = false;
+    if (!activity.empty()) {
+      passed = !top.Recommend(activity, guard_.canary_k).empty();
+    }
+    if (passed) {
+      ++passes;
+    } else if (first_failed == guard_.canary_probes.size()) {
+      first_failed = i;
+    }
+  }
+  size_t need =
+      std::min(guard_.min_canary_passes, guard_.canary_probes.size());
+  if (passes < need) {
+    *reason = failure_canary_;
+    return util::FailedPreconditionError(
+        "candidate failed canary: " + std::to_string(passes) + "/" +
+        std::to_string(guard_.canary_probes.size()) +
+        " probes passed (need " + std::to_string(need) +
+        "; first failing probe " + std::to_string(first_failed) + ")");
+  }
+  return util::Status::Ok();
+}
+
+util::Status SnapshotManager::CountFailure(obs::Counter* reason_counter,
+                                           util::Status status) {
+  reason_counter->Increment();
+  reload_error_->Increment();
+  consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
+  GOALREC_LOG(WARN) << "library reload rejected"
+                    << util::Kv("status", status.ToString());
+  return status;
+}
+
 util::Status SnapshotManager::Reload(
     std::shared_ptr<const model::LibrarySnapshot> snapshot) {
   std::lock_guard<std::mutex> lock(reload_mu_);
   auto start = std::chrono::steady_clock::now();
   auto serving = BuildServing(std::move(snapshot));
+  obs::Counter* guard_reason = failure_validate_;
+  util::Status guard_status = serving.ok()
+                                  ? RunGuard(*serving.value(), &guard_reason)
+                                  : serving.status();
   double elapsed_us = std::chrono::duration<double, std::micro>(
                           std::chrono::steady_clock::now() - start)
                           .count();
   reload_latency_us_->Observe(elapsed_us);
   if (!serving.ok()) {
-    reload_error_->Increment();
-    GOALREC_LOG(WARN) << "library reload rejected"
-                      << util::Kv("status", serving.status().ToString());
-    return serving.status();
+    return CountFailure(failure_ladder_, serving.status());
+  }
+  if (!guard_status.ok()) {
+    return CountFailure(guard_reason, guard_status);
   }
   const ServingSnapshot& built = *serving.value();
   uint64_t version = built.library->version;
@@ -100,6 +183,7 @@ util::Status SnapshotManager::Reload(
   // queries see the replacement from the next Acquire() on.
   current_.store(std::move(serving).value(), std::memory_order_release);
   reloads_.fetch_add(1, std::memory_order_relaxed);
+  consecutive_failures_.store(0, std::memory_order_relaxed);
   reload_ok_->Increment();
   library_version_->Set(static_cast<int64_t>(version));
   library_impls_->Set(static_cast<int64_t>(impls));
@@ -109,11 +193,11 @@ util::Status SnapshotManager::Reload(
 }
 
 util::StatusOr<uint64_t> SnapshotManager::ReloadFromFile(
-    const std::string& path, const util::RetryOptions& retry) {
-  auto loaded = model::LoadLibrarySnapshot(path, retry);
+    const std::string& path, const util::RetryOptions& retry,
+    const model::LoadOptions& load_options) {
+  auto loaded = model::LoadLibrarySnapshot(path, retry, load_options);
   if (!loaded.ok()) {
-    reload_error_->Increment();
-    return loaded.status();
+    return CountFailure(failure_load_, loaded.status());
   }
   uint64_t version = loaded.value()->version;
   util::Status status = Reload(std::move(loaded).value());

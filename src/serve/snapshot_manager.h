@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "model/library_io.h"
 #include "model/snapshot.h"
 #include "obs/metrics.h"
 #include "serve/engine.h"
@@ -32,6 +33,14 @@
 // engine resolves per-rung metrics and circuit breakers positionally at
 // construction, and reloads swap the rungs' contents, not the ladder.
 //
+// Reload guard. Every candidate snapshot runs a guard BEFORE it is
+// published: structural validation (model/validate.h) and a pinned set of
+// canary queries against the candidate's own ladder. A candidate failing
+// any check is discarded — the swap never happens, so "rollback" is simply
+// the current snapshot continuing to serve — and the failure is counted in
+// goalrec_reload_failure_total{reason} (reason ∈ load|ladder|validate|
+// canary). docs/data_plane.md describes the full reload state machine.
+//
 // See docs/serving.md ("Library hot reload") for the operational story.
 
 namespace goalrec::serve {
@@ -52,13 +61,43 @@ struct ServingSnapshot {
 using LadderFactory = std::function<void(const model::ImplementationLibrary&,
                                          ServingSnapshot& out)>;
 
+/// Pre-publish checks a candidate snapshot must pass before it replaces the
+/// serving one. Failing candidates are discarded; the current snapshot keeps
+/// serving untouched.
+struct ReloadGuardOptions {
+  /// Run model::ValidateLibrary (index cross-consistency) on every
+  /// candidate. Cheap relative to the ladder build; leave on.
+  bool validate = true;
+  /// Pinned canary probes, each a list of action *names* (numeric ids are
+  /// renumbered across reloads; names are the stable vocabulary). For each
+  /// probe the guard resolves the names against the candidate's vocabulary
+  /// and queries the candidate's top rung: the probe passes when at least
+  /// one name resolves and at least one recommendation comes back.
+  std::vector<std::vector<std::string>> canary_probes;
+  /// Recommendations requested per canary probe.
+  size_t canary_k = 5;
+  /// Probes that must pass for the candidate to publish. Clamped to
+  /// canary_probes.size(); the default requires every probe to pass.
+  size_t min_canary_passes = static_cast<size_t>(-1);
+};
+
 class SnapshotManager {
  public:
-  /// Builds the initial serving snapshot from `initial` via `factory`.
-  /// `metrics` defaults to obs::MetricRegistry::Default(); not owned.
+  /// Builds the initial serving snapshot from `initial` via `factory`,
+  /// guarding reloads with `guard`. `metrics` defaults to
+  /// obs::MetricRegistry::Default(); not owned. The initial snapshot must
+  /// pass validation (checked fatally — serving cannot start from a corrupt
+  /// library); canaries apply to reloads only.
+  SnapshotManager(std::shared_ptr<const model::LibrarySnapshot> initial,
+                  LadderFactory factory, ReloadGuardOptions guard,
+                  obs::MetricRegistry* metrics = nullptr);
+
+  /// Convenience: default guard (validation on, no canaries).
   SnapshotManager(std::shared_ptr<const model::LibrarySnapshot> initial,
                   LadderFactory factory,
-                  obs::MetricRegistry* metrics = nullptr);
+                  obs::MetricRegistry* metrics = nullptr)
+      : SnapshotManager(std::move(initial), std::move(factory),
+                        ReloadGuardOptions{}, metrics) {}
 
   /// The current serving snapshot — one lock-free atomic shared_ptr load.
   /// Callers keep the returned pointer for the duration of their query.
@@ -72,11 +111,13 @@ class SnapshotManager {
   /// never blocked.
   util::Status Reload(std::shared_ptr<const model::LibrarySnapshot> snapshot);
 
-  /// Loads `path` (text, or binary for ".bin") with `retry` and publishes
-  /// it. On any failure the current snapshot keeps serving. Returns the new
+  /// Loads `path` (snapshot for ".snap", binary for ".bin", text otherwise)
+  /// with `retry` and `load_options`, then publishes it through the guard.
+  /// On any failure the current snapshot keeps serving. Returns the new
   /// library version on success.
-  util::StatusOr<uint64_t> ReloadFromFile(const std::string& path,
-                                          const util::RetryOptions& retry = {});
+  util::StatusOr<uint64_t> ReloadFromFile(
+      const std::string& path, const util::RetryOptions& retry = {},
+      const model::LoadOptions& load_options = {});
 
   /// Version of the currently served library.
   uint64_t current_version() const { return Acquire()->library->version; }
@@ -86,15 +127,32 @@ class SnapshotManager {
     return reloads_.load(std::memory_order_relaxed);
   }
 
+  /// Failed reloads since the last success. Watch loops feed this into
+  /// their backoff policy (util/retry.h) so a persistently bad file does
+  /// not get hammered at the poll interval.
+  uint64_t consecutive_failures() const {
+    return consecutive_failures_.load(std::memory_order_relaxed);
+  }
+
  private:
   util::StatusOr<std::shared_ptr<const ServingSnapshot>> BuildServing(
       std::shared_ptr<const model::LibrarySnapshot> snapshot) const;
 
+  /// Runs validation + canaries against a built candidate. On failure,
+  /// `*reason` names the goalrec_reload_failure_total counter to bump.
+  util::Status RunGuard(const ServingSnapshot& built,
+                        obs::Counter** reason) const;
+
+  /// Counts one failed reload attempt under `reason_counter`.
+  util::Status CountFailure(obs::Counter* reason_counter, util::Status status);
+
   LadderFactory factory_;
+  ReloadGuardOptions guard_;
   /// Rung names of the initial build; every reload must reproduce them.
   std::vector<std::string> expected_rungs_;
   std::atomic<std::shared_ptr<const ServingSnapshot>> current_;
   std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> consecutive_failures_{0};
   /// Serialises Reload/ReloadFromFile against each other only.
   std::mutex reload_mu_;
 
@@ -103,6 +161,11 @@ class SnapshotManager {
   obs::Histogram* reload_latency_us_ = nullptr;
   obs::Gauge* library_version_ = nullptr;
   obs::Gauge* library_impls_ = nullptr;
+  // goalrec_reload_failure_total{reason}: why candidates were rejected.
+  obs::Counter* failure_load_ = nullptr;
+  obs::Counter* failure_ladder_ = nullptr;
+  obs::Counter* failure_validate_ = nullptr;
+  obs::Counter* failure_canary_ = nullptr;
 };
 
 }  // namespace goalrec::serve

@@ -72,8 +72,11 @@
 //       without dropping the session's activity, and --watch_library polls
 //       the file's mtime and reloads automatically when it changes.
 //
-// Library files ending in .bin are read/written in the binary format;
-// anything else uses the text format.
+// Library files ending in .bin are read/written in the binary format and
+// files ending in .snap in the crash-consistent CRC-framed snapshot format
+// (docs/data_plane.md); anything else uses the text format. All loading
+// commands accept --load_mode=strict|quarantine: quarantine drops malformed
+// records (reported with file:line provenance) instead of failing the load.
 
 #include <algorithm>
 #include <atomic>
@@ -102,6 +105,7 @@
 #include "model/cooccurrence.h"
 #include "model/export_dot.h"
 #include "model/library_io.h"
+#include "model/snapshot_io.h"
 #include "obs/dumper.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -131,8 +135,14 @@ constexpr char kUsage[] =
     "run with a subcommand and --help for details; see the header of\n"
     "src/tools/goalrec_cli.cc for the full synopsis\n";
 
-bool IsBinaryPath(const std::string& path) {
-  return path.size() >= 4 && path.substr(path.size() - 4) == ".bin";
+bool HasSuffix(const std::string& path, std::string_view suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsBinaryPath(const std::string& path) { return HasSuffix(path, ".bin"); }
+bool IsSnapshotPath(const std::string& path) {
+  return HasSuffix(path, ".snap");
 }
 
 // The --retry_* flags, defaulting to a single attempt (no retry).
@@ -149,17 +159,58 @@ goalrec::util::RetryOptions RetryFromFlags(const FlagParser& flags) {
   return retry;
 }
 
+// --load_mode=strict|quarantine (docs/data_plane.md, "Validated loading").
+StatusOr<goalrec::model::LoadOptions> LoadOptionsFromFlags(
+    const FlagParser& flags) {
+  goalrec::model::LoadOptions options;
+  std::string mode = flags.GetString("load_mode", "strict");
+  if (mode == "quarantine") {
+    options.mode = goalrec::model::ValidationMode::kQuarantine;
+  } else if (mode != "strict") {
+    return goalrec::util::InvalidArgumentError(
+        "--load_mode must be 'strict' or 'quarantine', got '" + mode + "'");
+  }
+  return options;
+}
+
+// Prints what a quarantine-mode load dropped, with per-record provenance.
+void PrintLoadReport(const goalrec::model::LoadReport& report) {
+  if (report.issues_total == 0) return;
+  std::fprintf(stderr, "load report: %s\n", report.Summary().c_str());
+  for (const goalrec::model::LoadIssue& issue : report.issues) {
+    std::fprintf(stderr, "  %s\n", issue.ToString().c_str());
+  }
+  if (report.issues.size() < report.issues_total) {
+    std::fprintf(stderr, "  ... and %zu more\n",
+                 report.issues_total - report.issues.size());
+  }
+}
+
 StatusOr<ImplementationLibrary> LoadLibrary(const FlagParser& flags,
                                             const std::string& path) {
   goalrec::util::RetryOptions retry = RetryFromFlags(flags);
-  if (IsBinaryPath(path)) {
-    return goalrec::model::LoadLibraryBinary(path, retry);
-  }
-  return goalrec::model::LoadLibraryText(path, retry);
+  StatusOr<goalrec::model::LoadOptions> options = LoadOptionsFromFlags(flags);
+  if (!options.ok()) return options.status();
+  goalrec::model::LoadReport report;
+  StatusOr<ImplementationLibrary> library = goalrec::util::RetryCall(
+      retry, [&]() -> StatusOr<ImplementationLibrary> {
+        if (IsSnapshotPath(path)) {
+          return goalrec::model::LoadSnapshotFile(path, *options);
+        }
+        if (IsBinaryPath(path)) {
+          return goalrec::model::LoadLibraryBinary(path, *options, &report);
+        }
+        return goalrec::model::LoadLibraryText(path, *options, &report);
+      });
+  PrintLoadReport(report);
+  return library;
 }
 
 Status SaveLibrary(const ImplementationLibrary& library,
                    const std::string& path) {
+  if (IsSnapshotPath(path)) {
+    return goalrec::model::SaveSnapshot(library, path);
+  }
   if (IsBinaryPath(path)) {
     return goalrec::model::SaveLibraryBinary(library, path);
   }
@@ -678,7 +729,8 @@ int CmdServe(const FlagParser& flags) {
     std::fprintf(stderr,
                  "usage: goalrec serve <library> [--strategy=breadth] "
                  "[--deadline_ms=N] [--watch_library] "
-                 "[--watch_interval_ms=500]\n"
+                 "[--watch_interval_ms=500] [--canary_probes=3] "
+                 "[--load_mode=strict|quarantine]\n"
                  "interactive: perform <action> | undo <action> | "
                  "recommend [k] | reload [path] | status | quit\n");
     return 2;
@@ -690,16 +742,59 @@ int CmdServe(const FlagParser& flags) {
     GOALREC_LOG(ERROR) << "unknown --strategy '" << strategy_name << "'";
     return 2;
   }
+  StatusOr<goalrec::model::LoadOptions> load_options =
+      LoadOptionsFromFlags(flags);
+  if (!load_options.ok()) {
+    GOALREC_LOG(ERROR) << load_options.status().ToString();
+    return 2;
+  }
   StatusOr<std::shared_ptr<const goalrec::model::LibrarySnapshot>> initial =
-      goalrec::model::LoadLibrarySnapshot(library_path, RetryFromFlags(flags));
+      goalrec::model::LoadLibrarySnapshot(library_path, RetryFromFlags(flags),
+                                          *load_options);
   if (!initial.ok()) {
     GOALREC_LOG(ERROR) << "library load failed"
                        << goalrec::util::Kv("status",
                                             initial.status().ToString());
     return 1;
   }
+
+  // Reload guard: structural validation plus canary probes pinned from the
+  // initial library — action-name prefixes of a few implementations spread
+  // across it. A candidate needs only one probe to pass (vocabularies may
+  // legitimately drift between library generations), but zero passing means
+  // the candidate answers nothing a known-good library answered, and the
+  // reload is rejected (docs/data_plane.md, "Reload rollback").
+  StatusOr<int64_t> canary_count = flags.GetInt("canary_probes", 3);
+  if (!canary_count.ok() || *canary_count < 0) {
+    GOALREC_LOG(ERROR) << "--canary_probes must be a non-negative integer";
+    return 2;
+  }
+  goalrec::serve::ReloadGuardOptions guard;
+  {
+    const goalrec::model::ImplementationLibrary& lib =
+        initial.value()->library;
+    const uint32_t want = static_cast<uint32_t>(*canary_count);
+    const uint32_t step =
+        want > 0 ? std::max(1u, lib.num_implementations() / want) : 1;
+    for (uint32_t p = 0;
+         p < lib.num_implementations() && guard.canary_probes.size() < want;
+         ++p) {
+      goalrec::model::ImplementationView impl = lib.implementation(p);
+      if (impl.actions.size() < 2) continue;
+      std::vector<std::string> probe;
+      // All but the last action: a nearly-complete implementation is the
+      // query the ladder should always have an answer for.
+      for (size_t i = 0; i + 1 < impl.actions.size(); ++i) {
+        probe.push_back(lib.actions().Name(impl.actions[i]));
+      }
+      guard.canary_probes.push_back(std::move(probe));
+      p += step - 1;
+    }
+    guard.min_canary_passes = guard.canary_probes.empty() ? 0 : 1;
+  }
   goalrec::serve::SnapshotManager manager(std::move(initial).value(),
-                                          MakeServeLadder(strategy_name));
+                                          MakeServeLadder(strategy_name),
+                                          guard);
   goalrec::serve::EngineOptions engine_options;
   StatusOr<int64_t> deadline_ms = flags.GetInt("deadline_ms", 0);
   if (!deadline_ms.ok() || *deadline_ms < 0) {
@@ -722,24 +817,55 @@ int CmdServe(const FlagParser& flags) {
   std::thread watcher;
   if (*watch) {
     auto interval = std::chrono::milliseconds(*watch_ms);
-    watcher = std::thread([&manager, &stop_watch, library_path, interval] {
+    const goalrec::model::LoadOptions watch_load = *load_options;
+    watcher = std::thread([&manager, &stop_watch, library_path, interval,
+                           watch_load] {
       std::error_code ec;
       std::filesystem::file_time_type last =
           std::filesystem::last_write_time(library_path, ec);
+      // While the watched file is bad, polls back off with decorrelated
+      // jitter (capped at 60× the interval) instead of hammering the reload
+      // path, and state changes are logged exactly once per transition —
+      // one WARN when reloads start failing, one INFO when they recover.
+      const int64_t backoff_cap_ms = interval.count() * 60;
+      goalrec::util::BackoffPolicy backoff(interval.count(), backoff_cap_ms,
+                                           /*seed=*/1);
+      bool failing = false;
+      std::chrono::milliseconds sleep_for = interval;
       while (!stop_watch.load(std::memory_order_relaxed)) {
-        std::this_thread::sleep_for(interval);
+        std::this_thread::sleep_for(sleep_for);
         std::error_code poll_ec;
         std::filesystem::file_time_type now =
             std::filesystem::last_write_time(library_path, poll_ec);
-        if (poll_ec || (!ec && now == last)) continue;
-        last = now;
-        ec.clear();
-        StatusOr<uint64_t> version = manager.ReloadFromFile(library_path);
-        if (!version.ok()) {
-          GOALREC_LOG(WARN)
-              << "watched library reload failed; still serving v"
-              << manager.current_version()
-              << goalrec::util::Kv("status", version.status().ToString());
+        // While failing, keep retrying even without an mtime change: the
+        // first failure consumed the change notification, but the file is
+        // still bad and the writer may replace it at any moment.
+        bool changed = !poll_ec && (ec || now != last);
+        if (!changed && !failing) continue;
+        if (!poll_ec) {
+          last = now;
+          ec.clear();
+        }
+        StatusOr<uint64_t> version =
+            manager.ReloadFromFile(library_path, {}, watch_load);
+        if (version.ok()) {
+          if (failing) {
+            GOALREC_LOG(INFO) << "watched library recovered"
+                              << goalrec::util::Kv("version", *version);
+          }
+          failing = false;
+          backoff = goalrec::util::BackoffPolicy(interval.count(),
+                                                 backoff_cap_ms, /*seed=*/1);
+          sleep_for = interval;
+        } else {
+          if (!failing) {
+            GOALREC_LOG(WARN)
+                << "watched library reload failing; still serving v"
+                << manager.current_version()
+                << goalrec::util::Kv("status", version.status().ToString());
+          }
+          failing = true;
+          sleep_for = backoff.Next();
         }
       }
     });

@@ -1,0 +1,41 @@
+#ifndef GOALREC_UTIL_CRC32C_H_
+#define GOALREC_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+// CRC32C (Castagnoli polynomial 0x1EDC6A41, reflected 0x82F63B78) — the
+// checksum used to frame on-disk snapshots (model/snapshot_io.h). Chosen over
+// plain CRC32 for its better burst-error detection and because it is the de
+// facto standard for storage framing (iSCSI, ext4, LevelDB tables). This is a
+// portable table-driven implementation (slice-by-4): snapshot load/store is
+// dominated by I/O and library building, not checksumming, so hardware CRC
+// instructions are not worth the platform #ifdefs here.
+
+namespace goalrec::util {
+
+/// Extends a running CRC32C with `n` more bytes. Start from 0.
+uint32_t ExtendCrc32c(uint32_t crc, const void* data, size_t n);
+
+/// CRC32C of a whole buffer.
+inline uint32_t Crc32c(std::string_view bytes) {
+  return ExtendCrc32c(0, bytes.data(), bytes.size());
+}
+
+/// Masked form for storage: storing the CRC of a buffer that itself contains
+/// CRCs makes accidental collisions likelier, so on-disk frames store
+/// MaskCrc32c(crc) (the LevelDB rotation+offset construction).
+inline uint32_t MaskCrc32c(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+/// Inverse of MaskCrc32c.
+inline uint32_t UnmaskCrc32c(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace goalrec::util
+
+#endif  // GOALREC_UTIL_CRC32C_H_

@@ -80,6 +80,28 @@ StatusOr<std::vector<CsvRow>> ReadCsvFile(const std::string& path,
   return rows;
 }
 
+StatusOr<std::vector<NumberedCsvRow>> ReadCsvFileNumbered(
+    const std::string& path, char delimiter) {
+  std::ifstream in(path);
+  if (!in) return IoError("cannot open " + path);
+  std::vector<NumberedCsvRow> rows;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    StatusOr<CsvRow> row = ParseCsvLine(line, delimiter);
+    if (!row.ok()) {
+      return Status(row.status().code(), path + ":" +
+                                            std::to_string(line_number) +
+                                            ": " + row.status().message());
+    }
+    rows.push_back(NumberedCsvRow{line_number, std::move(row).value()});
+  }
+  return rows;
+}
+
 Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows,
                     char delimiter) {
   std::ofstream out(path);

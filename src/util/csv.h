@@ -25,6 +25,18 @@ std::string FormatCsvLine(const CsvRow& row, char delimiter = ',');
 StatusOr<std::vector<CsvRow>> ReadCsvFile(const std::string& path,
                                           char delimiter = ',');
 
+/// A parsed row together with its 1-based line number in the source file,
+/// for loaders that report per-record provenance ("file:line: ...").
+struct NumberedCsvRow {
+  size_t line = 0;
+  CsvRow fields;
+};
+
+/// Like ReadCsvFile but keeps each row's line number. Parse errors also
+/// carry the line number.
+StatusOr<std::vector<NumberedCsvRow>> ReadCsvFileNumbered(
+    const std::string& path, char delimiter = ',');
+
 /// Writes rows to `path`, overwriting.
 Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows,
                     char delimiter = ',');

@@ -1,0 +1,249 @@
+// Seeded malformed-input fuzzing for the three library parsers (text,
+// binary, snapshot). The contract under test is narrow and absolute: for
+// ANY input bytes, in strict and in quarantine mode, the loader returns a
+// Status — it never crashes, never hangs, and never allocates proportionally
+// to an adversarial declared count. scripts/check.sh runs this binary under
+// ASan/UBSan where an out-of-bounds read or overflow becomes a hard failure.
+//
+// The corpus is handcrafted adversarial cases (giant declared counts,
+// duplicate ids, non-UTF8 junk, empty files) plus seeded random mutations —
+// truncations, bit flips, byte splices — of valid files in every format.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/library.h"
+#include "model/library_io.h"
+#include "model/snapshot_io.h"
+#include "model/validate.h"
+#include "testing/fixtures.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace goalrec::model {
+namespace {
+
+using goalrec::testing::RandomLibrary;
+
+constexpr uint64_t kFuzzSeed = 20260808;
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          (name + "." + std::to_string(::getpid())))
+      .string();
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string ReadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void AppendU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+// Feeds `bytes` to every loader in every validation mode. The assertions
+// are implicit: no crash, no sanitizer report, and any library that IS
+// accepted passes structural validation (a parser must never hand out an
+// index-inconsistent library, whatever the input).
+void ExerciseLoaders(const std::string& bytes, const std::string& tag) {
+  SCOPED_TRACE(tag);
+  for (ValidationMode mode : {ValidationMode::kStrict,
+                              ValidationMode::kQuarantine}) {
+    LoadOptions options;
+    options.mode = mode;
+    // Tight caps keep adversarial declared counts from costing real memory
+    // while still letting small valid corpora load.
+    options.limits.max_file_bytes = 1 << 20;
+    options.limits.max_actions = 4096;
+    options.limits.max_goals = 4096;
+    options.limits.max_implementations = 8192;
+    options.limits.max_actions_per_impl = 256;
+    options.limits.max_name_bytes = 512;
+
+    std::string text_path = TempPath("goalrec_fuzz.txt");
+    std::string bin_path = TempPath("goalrec_fuzz.bin");
+    WriteBytes(text_path, bytes);
+    WriteBytes(bin_path, bytes);
+
+    LoadReport report;
+    util::StatusOr<ImplementationLibrary> text =
+        LoadLibraryText(text_path, options, &report);
+    if (text.ok()) {
+      EXPECT_TRUE(ValidateLibrary(*text).ok());
+    }
+    util::StatusOr<ImplementationLibrary> binary =
+        LoadLibraryBinary(bin_path, options, &report);
+    if (binary.ok()) {
+      EXPECT_TRUE(ValidateLibrary(*binary).ok());
+    }
+    util::StatusOr<ImplementationLibrary> snap =
+        DecodeSnapshot(bytes, tag, options);
+    if (snap.ok()) {
+      EXPECT_TRUE(ValidateLibrary(*snap).ok());
+    }
+
+    std::remove(text_path.c_str());
+    std::remove(bin_path.c_str());
+  }
+}
+
+TEST(LibraryFuzzTest, HandcraftedAdversarialCorpus) {
+  std::vector<std::pair<std::string, std::string>> corpus;
+  corpus.emplace_back("empty", "");
+  corpus.emplace_back("header_only", "# goalrec-library v1\n");
+  corpus.emplace_back("header_no_newline", "# goalrec-library v1");
+  corpus.emplace_back("no_header", "g1\ta1\ta2\n");
+  corpus.emplace_back("lone_goal", "# goalrec-library v1\ng1\n");
+  corpus.emplace_back("blank_fields", "# goalrec-library v1\n\t\t\n");
+  corpus.emplace_back("non_utf8_junk",
+                      "# goalrec-library v1\n\xff\xfe\x80\x01\tg\t\xc3\x28\n");
+  corpus.emplace_back("embedded_nul",
+                      std::string("# goalrec-library v1\ng\0\ta1\n", 27));
+  corpus.emplace_back("crlf_soup", "# goalrec-library v1\r\ng1\ta1\r\n\r\n");
+  corpus.emplace_back("giant_line",
+                      "# goalrec-library v1\ng1\t" + std::string(4096, 'x') +
+                          "\n");
+  corpus.emplace_back("many_tabs",
+                      "# goalrec-library v1\ng\t" + [] {
+                        std::string fields;
+                        for (int i = 0; i < 500; ++i) {
+                          fields += "a" + std::to_string(i) + "\t";
+                        }
+                        return fields;
+                      }() + "\n");
+
+  // Binary-shaped adversaries. The loader must reject giant declared counts
+  // BEFORE reserving memory for them.
+  std::string giant_actions;
+  AppendU32(giant_actions, 0x47524C31);   // "GRL1"
+  AppendU32(giant_actions, 0xFFFFFFFFu);  // 4B actions declared, 0 present
+  corpus.emplace_back("binary_giant_action_count", giant_actions);
+
+  std::string giant_name;
+  AppendU32(giant_name, 0x47524C31);
+  AppendU32(giant_name, 1);            // one action...
+  AppendU32(giant_name, 0x7FFFFFFFu);  // ...whose name claims 2GB
+  giant_name += "ab";
+  corpus.emplace_back("binary_giant_name_len", giant_name);
+
+  std::string giant_impls;
+  AppendU32(giant_impls, 0x47524C31);
+  AppendU32(giant_impls, 1);
+  AppendU32(giant_impls, 1);
+  giant_impls += 'a';
+  AppendU32(giant_impls, 1);
+  AppendU32(giant_impls, 1);
+  giant_impls += 'g';
+  AppendU32(giant_impls, 0xFFFFFFF0u);  // implementations declared
+  corpus.emplace_back("binary_giant_impl_count", giant_impls);
+
+  std::string out_of_range;
+  AppendU32(out_of_range, 0x47524C31);
+  AppendU32(out_of_range, 1);
+  AppendU32(out_of_range, 1);
+  out_of_range += 'a';
+  AppendU32(out_of_range, 1);
+  AppendU32(out_of_range, 1);
+  out_of_range += 'g';
+  AppendU32(out_of_range, 1);    // one impl
+  AppendU32(out_of_range, 7);    // goal id out of range
+  AppendU32(out_of_range, 2);    // two action ids
+  AppendU32(out_of_range, 0);
+  AppendU32(out_of_range, 99);   // action id out of range
+  corpus.emplace_back("binary_ids_out_of_range", out_of_range);
+
+  std::string dup_ids;
+  AppendU32(dup_ids, 0x47524C31);
+  AppendU32(dup_ids, 2);
+  AppendU32(dup_ids, 1);
+  dup_ids += 'a';
+  AppendU32(dup_ids, 1);
+  dup_ids += 'b';
+  AppendU32(dup_ids, 1);
+  AppendU32(dup_ids, 1);
+  dup_ids += 'g';
+  AppendU32(dup_ids, 1);
+  AppendU32(dup_ids, 0);
+  AppendU32(dup_ids, 3);  // duplicate action ids within one record
+  AppendU32(dup_ids, 1);
+  AppendU32(dup_ids, 1);
+  AppendU32(dup_ids, 0);
+  corpus.emplace_back("binary_duplicate_ids", dup_ids);
+
+  // Snapshot-shaped adversaries: valid magic, garbage after it.
+  corpus.emplace_back("snap_magic_only", "GRSNAP1\n");
+  corpus.emplace_back("snap_magic_junk",
+                      "GRSNAP1\n" + std::string(64, '\x5a') + "GRSNEND\n");
+
+  for (const auto& [tag, bytes] : corpus) {
+    ExerciseLoaders(bytes, tag);
+  }
+}
+
+// Random mutations of VALID files: truncate at a random offset, flip a
+// random bit, or splice random bytes. Every mutation of every format goes
+// through every loader.
+TEST(LibraryFuzzTest, SeededMutationsOfValidFilesNeverCrashLoaders) {
+  ImplementationLibrary library = RandomLibrary(25, 10, 80, 5, 13);
+
+  std::string text_path = TempPath("goalrec_fuzz_seed.txt");
+  std::string bin_path = TempPath("goalrec_fuzz_seed.bin");
+  ASSERT_TRUE(SaveLibraryText(library, text_path).ok());
+  ASSERT_TRUE(SaveLibraryBinary(library, bin_path).ok());
+  std::vector<std::string> seeds = {ReadBytes(text_path), ReadBytes(bin_path),
+                                    EncodeSnapshot(library)};
+  std::remove(text_path.c_str());
+  std::remove(bin_path.c_str());
+
+  util::Rng rng(kFuzzSeed);
+  constexpr int kMutationsPerSeed = 120;
+  for (size_t s = 0; s < seeds.size(); ++s) {
+    for (int m = 0; m < kMutationsPerSeed; ++m) {
+      std::string bytes = seeds[s];
+      uint32_t kind = rng.UniformUint32(3);
+      if (kind == 0) {  // truncate
+        bytes.resize(rng.UniformUint32(static_cast<uint32_t>(bytes.size())));
+      } else if (kind == 1) {  // flip one bit
+        uint32_t at = rng.UniformUint32(static_cast<uint32_t>(bytes.size()));
+        bytes[at] = static_cast<char>(bytes[at] ^ (1u << rng.UniformUint32(8)));
+      } else {  // splice a run of random bytes
+        uint32_t at = rng.UniformUint32(static_cast<uint32_t>(bytes.size()));
+        uint32_t run = 1 + rng.UniformUint32(16);
+        for (uint32_t i = at; i < bytes.size() && i < at + run; ++i) {
+          bytes[i] = static_cast<char>(rng.UniformUint32(256));
+        }
+      }
+      ExerciseLoaders(bytes, "seed" + std::to_string(s) + "_mut" +
+                                 std::to_string(m) + "_kind" +
+                                 std::to_string(kind));
+    }
+  }
+}
+
+// Pure noise: uniformly random bytes of assorted sizes.
+TEST(LibraryFuzzTest, RandomNoiseNeverCrashesLoaders) {
+  util::Rng rng(kFuzzSeed, /*stream=*/7);
+  for (uint32_t size : {1u, 7u, 16u, 64u, 255u, 1024u, 4096u}) {
+    std::string bytes(size, '\0');
+    for (auto& c : bytes) c = static_cast<char>(rng.UniformUint32(256));
+    ExerciseLoaders(bytes, "noise" + std::to_string(size));
+  }
+}
+
+}  // namespace
+}  // namespace goalrec::model

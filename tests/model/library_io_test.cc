@@ -191,5 +191,178 @@ TEST(LibraryIoTest, LoadMissingFileFails) {
   EXPECT_FALSE(LoadLibraryBinary("/nonexistent/lib.bin").ok());
 }
 
+// ---- Validated loading: strict vs quarantine, provenance, caps. ----
+
+void WriteTextFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::trunc);
+  out << contents;
+}
+
+TEST(LibraryIoValidationTest, StrictModeFailsWithLineProvenance) {
+  std::string path = TempPath("goalrec_lib_strict.txt");
+  WriteTextFile(path,
+                "# goalrec-library v1\n"
+                "g1\ta1\ta2\n"
+                "lonely_goal_no_actions\n"
+                "g2\ta3\n");
+  util::StatusOr<ImplementationLibrary> loaded = LoadLibraryText(path);
+  ASSERT_FALSE(loaded.ok());
+  // The error names the file, the 1-based line, and the offending token.
+  EXPECT_NE(loaded.status().message().find(path + ":3:"), std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find("lonely_goal_no_actions"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(LibraryIoValidationTest, QuarantineModeDropsBadRecordsKeepsGood) {
+  std::string path = TempPath("goalrec_lib_quarantine.txt");
+  WriteTextFile(path,
+                "# goalrec-library v1\n"
+                "g1\ta1\ta2\n"
+                "bad_record_no_actions\n"
+                "g2\ta3\n"
+                "\ta4\ta5\n"  // empty goal name
+                "g3\ta1\ta3\n");
+  LoadOptions options;
+  options.mode = ValidationMode::kQuarantine;
+  LoadReport report;
+  util::StatusOr<ImplementationLibrary> loaded =
+      LoadLibraryText(path, options, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_implementations(), 3u);
+  EXPECT_EQ(report.records_total, 5u);
+  EXPECT_EQ(report.records_loaded, 3u);
+  EXPECT_EQ(report.records_quarantined, 2u);
+  EXPECT_EQ(report.issues_total, 2u);
+  ASSERT_EQ(report.issues.size(), 2u);
+  EXPECT_EQ(report.issues[0].file, path);
+  EXPECT_EQ(report.issues[0].line, 3u);
+  EXPECT_NE(report.issues[0].ToString().find(path + ":3:"),
+            std::string::npos);
+  EXPECT_EQ(report.issues[1].line, 5u);
+  // Summary is loggable and mentions the quarantine count.
+  EXPECT_NE(report.Summary().find("2 quarantined"), std::string::npos)
+      << report.Summary();
+  std::remove(path.c_str());
+}
+
+TEST(LibraryIoValidationTest, IssueListIsCappedButCountIsNot) {
+  std::string path = TempPath("goalrec_lib_capped_issues.txt");
+  std::string contents = "# goalrec-library v1\n";
+  for (int i = 0; i < 10; ++i) contents += "bad_record_" + std::to_string(i) + "\n";
+  contents += "g1\ta1\ta2\n";
+  WriteTextFile(path, contents);
+  LoadOptions options;
+  options.mode = ValidationMode::kQuarantine;
+  options.max_reported_issues = 3;
+  LoadReport report;
+  util::StatusOr<ImplementationLibrary> loaded =
+      LoadLibraryText(path, options, &report);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(report.issues.size(), 3u);     // stored: capped
+  EXPECT_EQ(report.issues_total, 10u);     // counted: all of them
+  EXPECT_EQ(loaded->num_implementations(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(LibraryIoValidationTest, DuplicateRecordsReportedAndOptionallyDropped) {
+  std::string path = TempPath("goalrec_lib_dupes.txt");
+  WriteTextFile(path,
+                "# goalrec-library v1\n"
+                "g1\ta1\ta2\n"
+                "g2\ta3\n"
+                "g1\ta2\ta1\n");  // same goal + action set, reordered
+  LoadReport report;
+  util::StatusOr<ImplementationLibrary> kept =
+      LoadLibraryText(path, LoadOptions{}, &report);
+  ASSERT_TRUE(kept.ok());
+  // Duplicates are legal by default (multiplicity is a real signal the
+  // strategies exploit); they are reported, not dropped.
+  EXPECT_EQ(kept->num_implementations(), 3u);
+  EXPECT_EQ(report.duplicates, 1u);
+
+  LoadOptions drop;
+  drop.drop_duplicates = true;
+  LoadReport drop_report;
+  util::StatusOr<ImplementationLibrary> deduped =
+      LoadLibraryText(path, drop, &drop_report);
+  ASSERT_TRUE(deduped.ok());
+  EXPECT_EQ(deduped->num_implementations(), 2u);
+  EXPECT_EQ(drop_report.duplicates, 1u);
+  EXPECT_EQ(drop_report.records_quarantined, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(LibraryIoValidationTest, HardCapsRejectInBothModes) {
+  std::string path = TempPath("goalrec_lib_caps.txt");
+  WriteTextFile(path,
+                "# goalrec-library v1\n"
+                "g1\ta1\n"
+                "g2\ta2\n"
+                "g3\ta3\n");
+  LoadOptions options;
+  options.limits.max_implementations = 2;
+  for (ValidationMode mode : {ValidationMode::kStrict,
+                              ValidationMode::kQuarantine}) {
+    options.mode = mode;
+    util::StatusOr<ImplementationLibrary> loaded =
+        LoadLibraryText(path, options);
+    ASSERT_FALSE(loaded.ok());
+    // Caps are resource protection, not data quality: quarantine mode must
+    // NOT soak up an adversarial flood record by record.
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kResourceExhausted);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LibraryIoValidationTest, OversizedActionSetQuarantined) {
+  std::string path = TempPath("goalrec_lib_wide.txt");
+  std::string wide = "g_wide";
+  for (int i = 0; i < 20; ++i) wide += "\tw" + std::to_string(i);
+  WriteTextFile(path, "# goalrec-library v1\n" + wide + "\ng1\ta1\n");
+  LoadOptions options;
+  options.limits.max_actions_per_impl = 8;
+  options.mode = ValidationMode::kQuarantine;
+  LoadReport report;
+  util::StatusOr<ImplementationLibrary> loaded =
+      LoadLibraryText(path, options, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_implementations(), 1u);
+  EXPECT_EQ(report.records_quarantined, 1u);
+
+  options.mode = ValidationMode::kStrict;
+  EXPECT_FALSE(LoadLibraryText(path, options).ok());
+  std::remove(path.c_str());
+}
+
+TEST(LibraryIoValidationTest, BinaryGiantDeclaredCountRejectedCheaply) {
+  // magic + u32 count claiming 4 billion actions, then nothing. The loader
+  // must bound the reserve by what the file could actually hold.
+  std::string path = TempPath("goalrec_lib_giant.bin");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    const uint32_t magic = 0x47524C31, count = 0xFFFFFFFFu;
+    out.write(reinterpret_cast<const char*>(&magic), 4);
+    out.write(reinterpret_cast<const char*>(&count), 4);
+  }
+  util::StatusOr<ImplementationLibrary> loaded = LoadLibraryBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(LibraryIoValidationTest, FileSizeCapRejectsOversizedFile) {
+  std::string path = TempPath("goalrec_lib_big.txt");
+  ASSERT_TRUE(SaveLibraryText(PaperLibrary(), path).ok());
+  LoadOptions options;
+  options.limits.max_file_bytes = 10;
+  util::StatusOr<ImplementationLibrary> loaded =
+      LoadLibraryText(path, options);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kResourceExhausted);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace goalrec::model

@@ -4,6 +4,8 @@
 // lives in snapshot_reload_test.cc (also run under TSan).
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <utility>
@@ -16,6 +18,7 @@
 #include "model/library.h"
 #include "model/library_io.h"
 #include "model/snapshot.h"
+#include "model/snapshot_io.h"
 #include "obs/metrics.h"
 #include "serve/engine.h"
 #include "serve/snapshot_manager.h"
@@ -128,6 +131,143 @@ TEST(SnapshotManagerTest, ReloadFromFileRoundTrips) {
   ASSERT_TRUE(version.ok()) << version.status().message();
   EXPECT_EQ(manager.current_version(), version.value());
   EXPECT_EQ(manager.reload_count(), 1u);
+  EXPECT_EQ(manager.Acquire()->library->source, path);
+  std::remove(path.c_str());
+}
+
+// ---- Reload guard: validation, canaries, rollback, failure metrics. ----
+
+int64_t FailureCount(obs::MetricRegistry& metrics, const std::string& reason) {
+  return metrics
+      .GetCounter("goalrec_reload_failure_total", {{"reason", reason}})
+      ->Value();
+}
+
+TEST(SnapshotManagerGuardTest, CanaryFailureRejectsCandidateAndRollsBack) {
+  obs::MetricRegistry metrics;
+  ReloadGuardOptions guard;
+  // Probes are action NAMES from the serving vocabulary; the candidate
+  // below (RandomLibrary, "act0..." names) resolves none of them.
+  guard.canary_probes = {{"a1", "a2"}, {"a1", "a6"}};
+  auto initial = model::MakeSnapshot(PaperLibrary(), "paper");
+  SnapshotManager manager(initial, TwoRungLadder, guard, &metrics);
+
+  util::Status status =
+      manager.Reload(model::MakeSnapshot(RandomLibrary(8, 4, 10, 4, 7),
+                                         "vocabulary-drift"));
+  ASSERT_FALSE(status.ok());
+  // Rollback = the swap never happened: the old snapshot is still serving.
+  EXPECT_EQ(manager.Acquire()->library, initial);
+  EXPECT_EQ(manager.reload_count(), 0u);
+  EXPECT_EQ(manager.consecutive_failures(), 1u);
+  EXPECT_EQ(FailureCount(metrics, "canary"), 1);
+  EXPECT_EQ(FailureCount(metrics, "load"), 0);
+  EXPECT_EQ(FailureCount(metrics, "validate"), 0);
+
+  // A good candidate then publishes and resets the failure streak.
+  ASSERT_TRUE(
+      manager.Reload(model::MakeSnapshot(PaperLibrary(), "paper-v2")).ok());
+  EXPECT_EQ(manager.reload_count(), 1u);
+  EXPECT_EQ(manager.consecutive_failures(), 0u);
+}
+
+TEST(SnapshotManagerGuardTest, MinCanaryPassesAllowsPartialVocabularyDrift) {
+  obs::MetricRegistry metrics;
+  ReloadGuardOptions guard;
+  guard.canary_probes = {{"a1", "a2"}, {"gone_from_vocab"}};
+  guard.min_canary_passes = 1;
+  SnapshotManager manager(model::MakeSnapshot(PaperLibrary(), "paper"),
+                          TwoRungLadder, guard, &metrics);
+  // One of two probes resolves — enough under min_canary_passes=1.
+  EXPECT_TRUE(
+      manager.Reload(model::MakeSnapshot(PaperLibrary(), "paper-v2")).ok());
+  EXPECT_EQ(FailureCount(metrics, "canary"), 0);
+
+  // The default (all probes) would have rejected the same candidate.
+  ReloadGuardOptions all;
+  all.canary_probes = guard.canary_probes;
+  SnapshotManager strict_manager(model::MakeSnapshot(PaperLibrary(), "paper"),
+                                 TwoRungLadder, all, &metrics);
+  EXPECT_FALSE(
+      strict_manager.Reload(model::MakeSnapshot(PaperLibrary(), "v2")).ok());
+  EXPECT_EQ(FailureCount(metrics, "canary"), 1);
+}
+
+TEST(SnapshotManagerGuardTest, LadderShapeFailureCountsLadderReason) {
+  obs::MetricRegistry metrics;
+  int calls = 0;
+  LadderFactory unstable = [&calls](const model::ImplementationLibrary& library,
+                                    ServingSnapshot& out) {
+    ++calls;
+    auto best = std::make_unique<core::BestMatchRecommender>(&library);
+    out.rungs.push_back({"best_match", best.get()});
+    out.owned.push_back(std::move(best));
+    if (calls > 1) {
+      auto extra = std::make_unique<core::BreadthRecommender>(&library);
+      out.rungs.push_back({"breadth", extra.get()});
+      out.owned.push_back(std::move(extra));
+    }
+  };
+  SnapshotManager manager(model::MakeSnapshot(PaperLibrary(), "paper"),
+                          unstable, &metrics);
+  EXPECT_FALSE(
+      manager.Reload(model::MakeSnapshot(PaperLibrary(), "again")).ok());
+  EXPECT_EQ(FailureCount(metrics, "ladder"), 1);
+  EXPECT_EQ(manager.consecutive_failures(), 1u);
+}
+
+// The rollback regression from the chaos harness, in miniature: a good
+// snapshot is serving, the file on disk is replaced by a torn write, the
+// reload is rejected with reason=load, the old version keeps serving, and
+// once the file is repaired the manager converges to the new version.
+TEST(SnapshotManagerGuardTest, TornSnapshotFileRollsBackThenRecovers) {
+  obs::MetricRegistry metrics;
+  ReloadGuardOptions guard;
+  guard.canary_probes = {{"a1", "a2"}};
+  auto initial = model::MakeSnapshot(PaperLibrary(), "paper");
+  SnapshotManager manager(initial, TwoRungLadder, guard, &metrics);
+  uint64_t serving_version = manager.current_version();
+
+  std::string path = ::testing::TempDir() + "/snapshot_manager_torn.snap";
+  ASSERT_TRUE(model::SaveSnapshot(PaperLibrary(), path).ok());
+
+  // Tear the file: a non-atomic writer died mid-copy.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  util::StatusOr<uint64_t> torn = manager.ReloadFromFile(path);
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(FailureCount(metrics, "load"), 1);
+  EXPECT_EQ(manager.current_version(), serving_version);
+  EXPECT_EQ(manager.Acquire()->library, initial);
+  EXPECT_EQ(manager.consecutive_failures(), 1u);
+
+  // Repair the file (atomically, as the real writer would) and converge.
+  ASSERT_TRUE(model::SaveSnapshot(PaperLibrary(), path).ok());
+  util::StatusOr<uint64_t> fixed = manager.ReloadFromFile(path);
+  ASSERT_TRUE(fixed.ok()) << fixed.status().message();
+  EXPECT_EQ(manager.current_version(), fixed.value());
+  EXPECT_EQ(manager.reload_count(), 1u);
+  EXPECT_EQ(manager.consecutive_failures(), 0u);
+  // Failure totals are cumulative — recovery does not erase history.
+  EXPECT_EQ(FailureCount(metrics, "load"), 1);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotManagerGuardTest, ReloadFromFileRoutesSnapshotFormat) {
+  obs::MetricRegistry metrics;
+  SnapshotManager manager(model::MakeSnapshot(PaperLibrary(), "paper"),
+                          TwoRungLadder, &metrics);
+  std::string path = ::testing::TempDir() + "/snapshot_manager_route.snap";
+  ASSERT_TRUE(model::SaveSnapshot(RandomLibrary(8, 4, 10, 4, 11), path).ok());
+  util::StatusOr<uint64_t> version = manager.ReloadFromFile(path);
+  ASSERT_TRUE(version.ok()) << version.status().message();
+  EXPECT_EQ(manager.current_version(), version.value());
   EXPECT_EQ(manager.Acquire()->library->source, path);
   std::remove(path.c_str());
 }

@@ -1,0 +1,57 @@
+#include "util/crc32c.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace goalrec::util {
+namespace {
+
+// Known-answer vectors from RFC 3720 (iSCSI) appendix B.4 and the standard
+// check value.
+TEST(Crc32cTest, KnownVectors) {
+  EXPECT_EQ(Crc32c(""), 0x00000000u);
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+  std::string ascending(32, '\0');
+  for (size_t i = 0; i < ascending.size(); ++i) {
+    ascending[i] = static_cast<char>(i);
+  }
+  EXPECT_EQ(Crc32c(ascending), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, ExtendMatchesWholeBuffer) {
+  const std::string payload = "the quick brown fox jumps over the lazy dog";
+  uint32_t whole = Crc32c(payload);
+  for (size_t split = 0; split <= payload.size(); ++split) {
+    uint32_t crc = ExtendCrc32c(0, payload.data(), split);
+    crc = ExtendCrc32c(crc, payload.data() + split, payload.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::string payload(64, 'x');
+  uint32_t original = Crc32c(payload);
+  for (size_t byte = 0; byte < payload.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = payload;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32c(flipped), original)
+          << "flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTrips) {
+  for (uint32_t crc : {0u, 1u, 0xE3069283u, 0xFFFFFFFFu, 0xDEADBEEFu}) {
+    EXPECT_EQ(UnmaskCrc32c(MaskCrc32c(crc)), crc);
+    EXPECT_NE(MaskCrc32c(crc), crc);
+  }
+}
+
+}  // namespace
+}  // namespace goalrec::util
