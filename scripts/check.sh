@@ -69,6 +69,22 @@ run_snapshot_smoke() {
   "$build_dir/bench/micro_snapshot" --smoke >/dev/null
 }
 
+run_query_smoke() {
+  local build_dir=$1
+  # Scoring-kernel smoke (bench/micro_query.cc): a short run of the
+  # branch-lean per-strategy query kernels on a reduced workload, followed by
+  # the kernel differential wall — every strategy vs the naive reference on
+  # the full adversarial shape sweep. micro_query exits non-zero if the
+  # pooled kernels allocate in steady state; the differential binary exits
+  # non-zero on any bit divergence (under ASan/UBSan this doubles as a
+  # memory-safety pass over the kernels' epoch-stamped scratch arrays). The
+  # acceptance-grade numbers live in BENCH_query.json. See docs/model.md
+  # ("Scoring kernels").
+  echo "=== query kernel smoke ($build_dir) ==="
+  "$build_dir/bench/micro_query" --smoke >/dev/null
+  "$build_dir/tests/oracle_differential_test" --gtest_brief=1
+}
+
 CTEST_ARGS=()
 PLAIN=0
 for arg in "$@"; do
@@ -81,6 +97,7 @@ if [[ "$PLAIN" == 1 ]]; then
   run_fuzz_smoke build
   run_overload_smoke build
   run_snapshot_smoke build
+  run_query_smoke build
   run_chaos_suite build
 fi
 
@@ -89,6 +106,7 @@ run_suite build-asan -DGOALREC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 run_fuzz_smoke build-asan
 run_overload_smoke build-asan
 run_snapshot_smoke build-asan
+run_query_smoke build-asan
 run_chaos_suite build-asan
 
 # TSan is mutually exclusive with ASan, so it gets its own tree. The test

@@ -1,6 +1,7 @@
 #include "core/best_match.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -15,6 +16,18 @@ int64_t GoalIndex(std::span<const model::GoalId> goal_space,
   auto it = std::lower_bound(goal_space.begin(), goal_space.end(), goal);
   if (it == goal_space.end() || *it != goal) return -1;
   return it - goal_space.begin();
+}
+
+// Exactness certificate for the sparse distance kernel. Unweighted
+// goal-space vectors hold small non-negative integers, and doubles add,
+// subtract and multiply integers exactly while every intermediate stays
+// below 2^53 — under that bound the dense strict-order accumulation and the
+// sparse touched-slots-only accumulation compute the *same real number*,
+// hence the same double, and the kernel is bit-identical to the reference
+// walk. `dims` is the goal-space size and `cap` bounds every vector entry;
+// the 8·n margin generously covers the worst intermediate (≈ 3·n·cap²).
+bool SparseDistanceIsExact(size_t dims, double cap) {
+  return (8.0 * static_cast<double>(dims) + 8.0) * cap * cap < 9.0e15;
 }
 
 }  // namespace
@@ -94,9 +107,41 @@ void BestMatchRecommender::RecommendPooled(util::IdSpan activity, size_t k,
         model::Activity(activity.begin(), activity.end()), k, stop);
     return;
   }
-  QueryContext context =
-      QueryContext::Create(*library_, activity, *workspace, stop);
-  RecommendInContext(context, k, out);
+  // Build GS(H) and AS(H) − H straight from the postings scatter: one
+  // per-implementation counting pass gives IS(H); goals dedup through the
+  // goal marker, candidates through the action marker. Same sets as
+  // QueryContext::Create, without materialising IS(H)'s sorted union or the
+  // candidate sort (the top-k order is total, so candidate order is free).
+  QueryWorkspace& ws = *workspace;
+  ws.activity.assign(activity.begin(), activity.end());
+  util::Normalize(ws.activity);
+  const uint32_t num_actions = library_->num_actions();
+  ws.BeginHMark(num_actions);
+  ws.BeginImplPass(library_->num_implementations());
+  for (model::ActionId h : ws.activity) {
+    if (h >= num_actions) continue;  // action unseen by the library
+    ws.MarkH(h);
+    for (model::ImplId p : library_->ImplsOfAction(h)) ws.BumpImplCount(p);
+  }
+  ws.BeginGoalPass(library_->num_goals());
+  ws.goal_space.clear();
+  for (model::ImplId p : ws.touched_impls()) {
+    model::GoalId g = library_->GoalOf(p);
+    if (ws.GoalSlotOf(g) == QueryWorkspace::kNoSlot) {
+      ws.SetGoalSlot(g, 0);
+      ws.goal_space.push_back(g);
+    }
+  }
+  std::sort(ws.goal_space.begin(), ws.goal_space.end());
+  ws.BeginActionPass(num_actions);
+  ws.candidates.clear();
+  for (model::ImplId p : ws.touched_impls()) {
+    for (model::ActionId a : library_->ActionsOf(p)) {
+      if (ws.InH(a)) continue;
+      if (ws.TestAndMark(a)) ws.candidates.push_back(a);
+    }
+  }
+  RecommendOver(ws.activity, ws.goal_space, ws.candidates, k, stop, ws, out);
 }
 
 RecommendationList BestMatchRecommender::RecommendInContext(
@@ -115,6 +160,24 @@ void BestMatchRecommender::RecommendInContext(const QueryContext& context,
                 context.stop, *context.workspace, out);
 }
 
+// The scoring kernel. The dense evaluation embeds every candidate as a full
+// |GS(H)|-dimensional vector and walks all of it per distance; the kernel
+// exploits that a candidate touches only the goals of its own postings:
+//
+//   * an epoch-stamped goal → slot map replaces the per-posting binary
+//     search into the sorted goal space;
+//   * the profile is built by one sparse scatter over H's postings
+//     (bit-identical: integer counts accumulate exactly in doubles);
+//   * per candidate, only the touched slots are visited, and the distance
+//     is reconstructed from precomputed whole-profile totals — Euclidean
+//     from Σh², Manhattan from Σh, cosine from ‖H⃗‖ — all exact-integer
+//     arithmetic certified by SparseDistanceIsExact, so the result is the
+//     bit-identical double the dense strict-order walk produces. Candidates
+//     that exceed the certificate (astronomically large counts) fall back
+//     to the dense walk.
+//
+// Goal weights scale dimensions by arbitrary doubles, which breaks the
+// exact-integer argument, so the weighted path keeps the dense evaluation.
 void BestMatchRecommender::RecommendOver(
     util::IdSpan activity, std::span<const model::GoalId> goal_space,
     util::IdSpan candidates, size_t k, const util::StopToken* stop,
@@ -125,18 +188,136 @@ void BestMatchRecommender::RecommendOver(
   out.clear();
   if (k == 0) return;
   if (goal_space.empty()) return;
-  ProfileInto(activity, goal_space, ws.profile, ws.action_vec);
+
+  if (options_.goal_weights != nullptr) {
+    ProfileInto(activity, goal_space, ws.profile, ws.action_vec);
+    ws.top_k.Reset(k);
+    for (model::ActionId a : candidates) {
+      if (stop != nullptr && stop->ShouldStop()) break;  // best-effort partial
+      ActionVectorInto(a, goal_space, ws.action_vec);
+      double distance = util::Distance(ws.profile, ws.action_vec,
+                                       options_.metric);
+      // Negate: smaller distance ranks first under the shared
+      // higher-score-wins comparator.
+      ws.top_k.Push(-distance, a);
+    }
+    ws.top_k.TakeInto([&out](double score, uint32_t id) {
+      out.push_back(ScoredAction{id, score});
+    });
+    span.Annotate("emitted", out.size());
+    if (stop != nullptr && stop->StopRequested()) {
+      span.Annotate("stopped_early", true);
+    }
+    return;
+  }
+
+  const size_t n = goal_space.size();
+  const uint32_t num_actions = library_->num_actions();
+  const bool boolean =
+      options_.representation == GoalVectorRepresentation::kBoolean;
+
+  ws.BeginGoalPass(library_->num_goals());
+  for (size_t i = 0; i < n; ++i) {
+    ws.SetGoalSlot(goal_space[i], static_cast<uint32_t>(i));
+  }
+
+  // Sparse profile scatter. slot_stamp deduplicates per-action goal hits for
+  // the boolean representation (ActionVectorInto's idempotent 1.0 per
+  // action) and later gates the per-candidate accumulator; one monotone
+  // stamp counter serves both, grounded once per query.
+  ws.profile.assign(n, 0.0);
+  ws.slot_stamp.assign(n, 0);
+  if (ws.slot_value.size() < n) ws.slot_value.resize(n);
+  uint32_t stamp = 0;
+  for (model::ActionId a : activity) {
+    if (a >= num_actions) continue;  // action unseen by the library
+    ++stamp;
+    for (model::ImplId p : library_->ImplsOfAction(a)) {
+      uint32_t slot = ws.GoalSlotOf(library_->GoalOf(p));
+      if (slot == QueryWorkspace::kNoSlot) continue;  // goal outside F_GS(H)
+      if (boolean && ws.slot_stamp[slot] == stamp) continue;
+      ws.slot_stamp[slot] = stamp;
+      ws.profile[slot] += 1.0;
+    }
+  }
+
+  // Whole-profile totals (exact integers; ‖H⃗‖ matches util::Norm2 bitwise
+  // because Σh² is the same exact integer either way).
+  double max_h = 0.0, s1 = 0.0, s2 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double h = ws.profile[i];
+    max_h = std::max(max_h, h);
+    s1 += h;
+    s2 += h * h;
+  }
+  const double norm_h = std::sqrt(s2);
+  const bool profile_exact = SparseDistanceIsExact(n, max_h);
+  const util::DistanceMetric metric = options_.metric;
+
   ws.top_k.Reset(k);
   for (model::ActionId a : candidates) {
     if (stop != nullptr && stop->ShouldStop()) break;  // best-effort partial
-    ActionVectorInto(a, goal_space, ws.action_vec);
-    double distance = util::Distance(ws.profile, ws.action_vec,
-                                     options_.metric);
-    // Negate: smaller distance ranks first under the shared
-    // higher-score-wins comparator.
-    ws.top_k.Push(ScoredAction{a, -distance});
+    std::span<const model::ImplId> postings = library_->ImplsOfAction(a);
+    double cap = std::max(max_h, static_cast<double>(postings.size()));
+    if (!profile_exact || !SparseDistanceIsExact(n, cap)) {
+      ActionVectorInto(a, goal_space, ws.action_vec);
+      ws.top_k.Push(-util::Distance(ws.profile, ws.action_vec, metric), a);
+      continue;
+    }
+    ++stamp;
+    ws.touched_slots.clear();
+    for (model::ImplId p : postings) {
+      uint32_t slot = ws.GoalSlotOf(library_->GoalOf(p));
+      if (slot == QueryWorkspace::kNoSlot) continue;  // goal outside F_GS(H)
+      if (ws.slot_stamp[slot] != stamp) {
+        ws.slot_stamp[slot] = stamp;
+        ws.slot_value[slot] = 1.0;
+        ws.touched_slots.push_back(slot);
+      } else if (!boolean) {
+        ws.slot_value[slot] += 1.0;
+      }
+    }
+    double distance = 0.0;
+    switch (metric) {
+      case util::DistanceMetric::kEuclidean: {
+        // Σ_i (h_i − c_i)² = Σh² + Σ_touched ((h−c)² − h²), exactly.
+        double d2 = s2;
+        for (uint32_t slot : ws.touched_slots) {
+          double h = ws.profile[slot];
+          double d = h - ws.slot_value[slot];
+          d2 += d * d - h * h;
+        }
+        distance = std::sqrt(d2);
+        break;
+      }
+      case util::DistanceMetric::kManhattan: {
+        double m = s1;
+        for (uint32_t slot : ws.touched_slots) {
+          double h = ws.profile[slot];
+          m += std::abs(h - ws.slot_value[slot]) - h;
+        }
+        distance = m;
+        break;
+      }
+      case util::DistanceMetric::kCosine: {
+        double dot = 0.0, c2 = 0.0;
+        for (uint32_t slot : ws.touched_slots) {
+          double c = ws.slot_value[slot];
+          dot += ws.profile[slot] * c;
+          c2 += c * c;
+        }
+        double nb = std::sqrt(c2);
+        // Same expression shape as util::CosineSimilarity, same operands.
+        double sim = (norm_h == 0.0 || nb == 0.0) ? 0.0 : dot / (norm_h * nb);
+        distance = 1.0 - sim;
+        break;
+      }
+    }
+    ws.top_k.Push(-distance, a);
   }
-  ws.top_k.TakeInto(out);
+  ws.top_k.TakeInto([&out](double score, uint32_t id) {
+    out.push_back(ScoredAction{id, score});
+  });
   span.Annotate("emitted", out.size());
   if (stop != nullptr && stop->StopRequested()) {
     span.Annotate("stopped_early", true);

@@ -1,5 +1,7 @@
 #include "core/breadth.h"
 
+#include <algorithm>
+
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/set_ops.h"
@@ -38,9 +40,10 @@ RecommendationList BreadthRecommender::RecommendCancellable(
     const model::Activity& activity, size_t k,
     const util::StopToken* stop) const {
   QueryWorkspace ws;
+  model::Activity normalized = activity;
+  util::Normalize(normalized);
   RecommendationList list;
-  RecommendOver(activity, library_->ImplementationSpace(activity), k, stop,
-                ws, list);
+  RecommendOver(normalized, k, stop, ws, list);
   return list;
 }
 
@@ -53,20 +56,10 @@ void BreadthRecommender::RecommendPooled(util::IdSpan activity, size_t k,
         model::Activity(activity.begin(), activity.end()), k, stop);
     return;
   }
-  // Breadth only needs IS(H); build it into the workspace without the full
-  // context's goal space/candidate derivation.
   QueryWorkspace& ws = *workspace;
   ws.activity.assign(activity.begin(), activity.end());
   util::Normalize(ws.activity);
-  ws.impl_space.clear();
-  for (model::ActionId a : ws.activity) {
-    if (a >= library_->num_actions()) continue;
-    std::span<const model::ImplId> postings = library_->ImplsOfAction(a);
-    ws.impl_space.insert(ws.impl_space.end(), postings.begin(),
-                         postings.end());
-  }
-  util::Normalize(ws.impl_space);
-  RecommendOver(ws.activity, ws.impl_space, k, stop, ws, out);
+  RecommendOver(ws.activity, k, stop, ws, out);
 }
 
 RecommendationList BreadthRecommender::RecommendInContext(
@@ -81,42 +74,66 @@ void BreadthRecommender::RecommendInContext(const QueryContext& context,
                                             RecommendationList& out) const {
   GOALREC_CHECK(context.library == library_);
   GOALREC_CHECK(context.workspace != nullptr);
-  RecommendOver(context.activity, context.impl_space, k, context.stop,
-                *context.workspace, out);
+  RecommendOver(context.activity, k, context.stop, *context.workspace, out);
 }
 
-void BreadthRecommender::RecommendOver(
-    util::IdSpan activity, std::span<const model::ImplId> impl_space,
-    size_t k, const util::StopToken* stop, QueryWorkspace& ws,
-    RecommendationList& out) const {
+// Algorithm 2 as a two-scatter kernel. Pass 1 walks the ImplsOfAction
+// postings of every h ∈ H bumping a per-implementation counter — after the
+// pass every implementation p ∈ IS(H) holds |A_p ∩ H| with no sorted
+// intersections. Pass 2 walks the touched implementations and credits the
+// count to each member action through the epoch-stamped score array.
+//
+// Bit-identity: unweighted scores are sums of small non-negative integers
+// held in doubles — every partial sum is an exact integer, so the result is
+// independent of accumulation order and the first-touch traversal is safe.
+// With goal weights the terms are arbitrary doubles and addition order
+// matters, so that path sorts the touched list to restore the ascending
+// implementation-id order the reference accumulates in.
+void BreadthRecommender::RecommendOver(util::IdSpan activity, size_t k,
+                                       const util::StopToken* stop,
+                                       QueryWorkspace& ws,
+                                       RecommendationList& out) const {
   obs::ScopedSpan span(obs::CurrentTrace(), "strategy/Breadth");
   out.clear();
   if (k == 0) return;
-  // Algorithm 2: one pass over IS(H); every implementation credits its
-  // |A ∩ H| to each of its member actions. The epoch-stamped score array
-  // resets in O(1), so the accumulation is allocation- and hash-free.
-  ws.BeginActionPass(library_->num_actions());
-  for (model::ImplId p : impl_space) {
+  const uint32_t num_actions = library_->num_actions();
+  ws.BeginHMark(num_actions);
+  ws.BeginImplPass(library_->num_implementations());
+  for (model::ActionId h : activity) {
+    if (h >= num_actions) continue;  // action unseen by the library
+    ws.MarkH(h);
+    for (model::ImplId p : library_->ImplsOfAction(h)) ws.BumpImplCount(p);
+  }
+
+  ws.BeginActionPass(num_actions);
+  std::span<const model::ImplId> impls = ws.touched_impls();
+  if (goal_weights_ != nullptr) {
+    ws.scratch.assign(impls.begin(), impls.end());
+    std::sort(ws.scratch.begin(), ws.scratch.end());
+    impls = ws.scratch;
+  }
+  for (model::ImplId p : impls) {
     if (stop != nullptr && stop->ShouldStop()) break;  // best-effort partial
-    std::span<const model::ActionId> actions = library_->ActionsOf(p);
-    double common =
-        static_cast<double>(util::IntersectionSize(actions, activity));
+    double common = static_cast<double>(ws.ImplCountOf(p));
     if (goal_weights_ != nullptr) {
       common *= goal_weights_->WeightOf(library_->GoalOf(p));
     }
-    for (model::ActionId a : actions) ws.AddScore(a, common);
+    for (model::ActionId a : library_->ActionsOf(p)) ws.AddScore(a, common);
   }
-  // The top-k heap's comparator is a total order (score desc, action id
-  // asc), so the result is independent of the touched-list's order.
+
+  // The top-k comparator is a total order (score desc, action id asc), so
+  // the result is independent of the touched-list's order.
   ws.top_k.Reset(k);
   for (model::ActionId a : ws.touched()) {
-    if (util::Contains(activity, a)) continue;  // already performed
+    if (ws.InH(a)) continue;  // already performed
     double score = ws.ScoreOf(a);
     if (score <= 0.0) continue;  // only weight-0 goals contributed
-    ws.top_k.Push(ScoredAction{a, score});
+    ws.top_k.Push(score, a);
   }
-  ws.top_k.TakeInto(out);
-  span.Annotate("impl_space", impl_space.size());
+  ws.top_k.TakeInto([&out](double score, uint32_t id) {
+    out.push_back(ScoredAction{id, score});
+  });
+  span.Annotate("impl_space", ws.touched_impls().size());
   span.Annotate("actions_scored", ws.touched().size());
   span.Annotate("emitted", out.size());
   if (stop != nullptr && stop->StopRequested()) {

@@ -61,8 +61,10 @@ class BreadthRecommender : public Recommender {
   double Score(model::ActionId action, const model::Activity& activity) const;
 
  private:
-  void RecommendOver(util::IdSpan activity,
-                     std::span<const model::ImplId> impl_space, size_t k,
+  /// The scoring kernel: derives IS(H) and every |A ∩ H| itself via a
+  /// postings scatter into `workspace`'s epoch-stamped counters, then
+  /// accumulates and emits. `activity` must be normalised.
+  void RecommendOver(util::IdSpan activity, size_t k,
                      const util::StopToken* stop, QueryWorkspace& workspace,
                      RecommendationList& out) const;
 

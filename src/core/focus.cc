@@ -35,44 +35,76 @@ std::string FocusRecommender::name() const {
 
 std::vector<RankedImplementation> FocusRecommender::RankImplementations(
     const model::Activity& activity) const {
+  model::Activity normalized = activity;
+  util::Normalize(normalized);
+  QueryWorkspace workspace;
   std::vector<RankedImplementation> ranked;
-  RankInto(activity, library_->ImplementationSpace(activity), nullptr, ranked);
+  RankInto(normalized, nullptr, workspace, ranked);
   return ranked;
 }
 
 std::vector<RankedImplementation> FocusRecommender::RankImplementationsIn(
     const QueryContext& context) const {
   GOALREC_CHECK(context.library == library_);
+  GOALREC_CHECK(context.workspace != nullptr);
   std::vector<RankedImplementation> ranked;
-  RankInto(context.activity, context.impl_space, context.stop, ranked);
+  RankInto(context.activity, context.stop, *context.workspace, ranked);
   return ranked;
 }
 
 void FocusRecommender::RankInto(util::IdSpan activity,
-                                std::span<const model::ImplId> impl_space,
                                 const util::StopToken* stop,
+                                QueryWorkspace& ws,
                                 std::vector<RankedImplementation>& out) const {
+  RankUnsortedInto(activity, stop, ws, out);
+  // (score desc, impl asc) is a total order, so the sorted ranking is
+  // independent of the touched list's first-touch order.
+  std::sort(out.begin(), out.end(),
+            [](const RankedImplementation& a, const RankedImplementation& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.impl < b.impl;
+            });
+}
+
+// The ranking kernel. One scatter pass over the ImplsOfAction postings of
+// every h ∈ H computes |A_p ∩ H| for all of IS(H) at once (an epoch-stamped
+// per-implementation counter — no per-implementation sorted intersection),
+// and marks H in the workspace's dense H marker for the emission pass. The
+// score arithmetic is bit-identical to Completeness/Closeness above:
+// completeness performs the same double division (count / |A|, with |A|
+// pre-converted at build time), and closeness reads the library's 1/r
+// reciprocal table, whose entries are the exact IEEE quotients.
+void FocusRecommender::RankUnsortedInto(
+    util::IdSpan activity, const util::StopToken* stop, QueryWorkspace& ws,
+    std::vector<RankedImplementation>& out) const {
+  const uint32_t num_actions = library_->num_actions();
+  ws.BeginHMark(num_actions);
+  ws.BeginImplPass(library_->num_implementations());
+  for (model::ActionId h : activity) {
+    if (h >= num_actions) continue;  // action unseen by the library
+    ws.MarkH(h);
+    for (model::ImplId p : library_->ImplsOfAction(h)) ws.BumpImplCount(p);
+  }
   out.clear();
-  for (model::ImplId p : impl_space) {
+  const bool completeness = variant_ == FocusVariant::kCompleteness;
+  for (model::ImplId p : ws.touched_impls()) {
     if (stop != nullptr && stop->ShouldStop()) break;  // best-effort partial
-    std::span<const model::ActionId> actions = library_->ActionsOf(p);
-    // Implementations fully covered by the activity cannot contribute
-    // candidates; both measures skip them.
-    if (util::IsSubset(actions, activity)) continue;
-    double score = variant_ == FocusVariant::kCompleteness
-                       ? Completeness(actions, activity)
-                       : Closeness(actions, activity);
+    uint32_t common = ws.ImplCountOf(p);
+    uint32_t size = library_->ImplActionCount(p);
+    // |A ∩ H| = |A| ⇔ A ⊆ H: fully covered implementations contribute no
+    // candidates; both measures skip them. (Empty implementations are never
+    // touched by the scatter, matching the old IsSubset skip.)
+    if (common == size) continue;
+    double score = completeness
+                       ? static_cast<double>(common) /
+                             library_->ImplActionCountD(p)
+                       : library_->Reciprocal(size - common);
     if (goal_weights_ != nullptr) {
       score *= goal_weights_->WeightOf(library_->GoalOf(p));
       if (score <= 0.0) continue;  // weight-0 goals are excluded
     }
     out.push_back(RankedImplementation{p, score});
   }
-  std::sort(out.begin(), out.end(),
-            [](const RankedImplementation& a, const RankedImplementation& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.impl < b.impl;
-            });
 }
 
 RecommendationList FocusRecommender::Recommend(
@@ -96,9 +128,21 @@ void FocusRecommender::RecommendPooled(util::IdSpan activity, size_t k,
         model::Activity(activity.begin(), activity.end()), k, stop);
     return;
   }
-  QueryContext context =
-      QueryContext::Create(*library_, activity, *workspace, stop);
-  RecommendInContext(context, k, out);
+  // Focus needs neither the goal space nor the candidate set, and the
+  // ranking kernel derives IS(H) itself from the postings scatter — so the
+  // pooled path skips QueryContext::Create entirely.
+  QueryWorkspace& ws = *workspace;
+  ws.activity.assign(activity.begin(), activity.end());
+  util::Normalize(ws.activity);
+  obs::ScopedSpan span(obs::CurrentTrace(), trace_label_);
+  RankUnsortedInto(ws.activity, stop, ws, ws.ranked);
+  EmitFromRanking(ws.ranked, k, ws, out);
+  span.Annotate("impl_space", ws.touched_impls().size());
+  span.Annotate("impls_ranked", ws.ranked.size());
+  span.Annotate("emitted", out.size());
+  if (stop != nullptr && stop->StopRequested()) {
+    span.Annotate("stopped_early", true);
+  }
 }
 
 RecommendationList FocusRecommender::RecommendInContext(
@@ -115,8 +159,8 @@ void FocusRecommender::RecommendInContext(const QueryContext& context,
   GOALREC_CHECK(context.workspace != nullptr);
   obs::ScopedSpan span(context.trace, trace_label_);
   QueryWorkspace& ws = *context.workspace;
-  RankInto(context.activity, context.impl_space, context.stop, ws.ranked);
-  EmitFromRanking(context.activity, ws.ranked, k, ws, out);
+  RankUnsortedInto(context.activity, context.stop, ws, ws.ranked);
+  EmitFromRanking(ws.ranked, k, ws, out);
   span.Annotate("impl_space", context.impl_space.size());
   span.Annotate("impls_ranked", ws.ranked.size());
   span.Annotate("emitted", out.size());
@@ -126,21 +170,39 @@ void FocusRecommender::RecommendInContext(const QueryContext& context,
 }
 
 void FocusRecommender::EmitFromRanking(
-    util::IdSpan activity, const std::vector<RankedImplementation>& ranking,
-    size_t k, QueryWorkspace& workspace, RecommendationList& out) const {
+    std::vector<RankedImplementation>& ranking, size_t k,
+    QueryWorkspace& workspace, RecommendationList& out) const {
   out.clear();
-  if (k == 0) return;
+  if (k == 0 || ranking.empty()) return;
   // Walk the implementations best-first; "pop out" the missing actions of
   // each before moving to the next (paper §6.1.2 C.2.2 describes exactly this
   // behaviour), skipping actions already emitted via a better implementation.
-  // Emitted-set membership is an O(1) epoch-stamped marker probe; actions of
-  // one implementation are visited in ascending id order, which preserves
-  // the strategy's tie order exactly.
+  // Both membership probes — performed (H) and already-emitted — are O(1)
+  // epoch-stamped marker reads; RankUnsortedInto marked H, so this must run
+  // on the same workspace, after it. Actions of one implementation are
+  // visited in ascending id order, which preserves the tie order exactly.
+  //
+  // The best-first walk is a lazy heap selection rather than a full sort:
+  // emission usually stops after a handful of implementations, so O(n)
+  // heapify plus a few O(log n) pops beats sorting the whole ranking. The
+  // comparator is the same (score desc, impl asc) total order RankInto
+  // sorts by, so pop order is exactly the sorted order as far as the walk
+  // gets. `ranking` is scratch and left partially reordered.
   workspace.BeginActionPass(library_->num_actions());
-  for (const RankedImplementation& entry : ranking) {
+  auto worse = [](const RankedImplementation& a,
+                  const RankedImplementation& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.impl > b.impl;
+  };
+  std::make_heap(ranking.begin(), ranking.end(), worse);
+  auto end = ranking.end();
+  while (end != ranking.begin()) {
+    std::pop_heap(ranking.begin(), end, worse);
+    --end;
+    const RankedImplementation& entry = *end;
     for (model::ActionId a : library_->ActionsOf(entry.impl)) {
-      if (util::Contains(activity, a)) continue;  // already performed
-      if (!workspace.TestAndMark(a)) continue;    // already emitted
+      if (workspace.InH(a)) continue;            // already performed
+      if (!workspace.TestAndMark(a)) continue;   // already emitted
       out.push_back(ScoredAction{a, entry.score});
       if (out.size() == k) return;
     }

@@ -80,12 +80,24 @@ class FocusRecommender : public Recommender {
       const QueryContext& context) const;
 
  private:
-  void RankInto(util::IdSpan activity, std::span<const model::ImplId> impl_space,
-                const util::StopToken* stop,
+  /// The ranking kernel: scatter-counts |A_p ∩ H| over the ImplsOfAction
+  /// postings of H (epoch-stamped counters in `ws`), scores every touched
+  /// implementation in first-touch order, and leaves H marked in ws's H
+  /// marker for EmitFromRanking. `activity` must be normalised.
+  void RankUnsortedInto(util::IdSpan activity, const util::StopToken* stop,
+                        QueryWorkspace& ws,
+                        std::vector<RankedImplementation>& out) const;
+  /// RankUnsortedInto followed by the (score desc, impl asc) sort — the
+  /// public RankImplementations contract.
+  void RankInto(util::IdSpan activity, const util::StopToken* stop,
+                QueryWorkspace& ws,
                 std::vector<RankedImplementation>& out) const;
-  void EmitFromRanking(util::IdSpan activity,
-                       const std::vector<RankedImplementation>& ranking,
-                       size_t k, QueryWorkspace& workspace,
+  /// Missing-action emission over an (unsorted) ranking produced by
+  /// RankUnsortedInto on the same workspace (it reads the H marker the
+  /// kernel set). Selects implementations best-first by lazy heap pops, so
+  /// `ranking` is scratch: left partially reordered.
+  void EmitFromRanking(std::vector<RankedImplementation>& ranking, size_t k,
+                       QueryWorkspace& workspace,
                        RecommendationList& out) const;
 
   const model::ImplementationLibrary* library_;

@@ -24,23 +24,37 @@ std::string HybridRecommender::name() const {
   return "Hybrid(" + goal_strategy_->name() + ")";
 }
 
-double HybridRecommender::ContentSimilarity(const model::Activity& activity,
-                                            model::ActionId action) const {
-  if (action >= features_->features.size()) return 0.0;
-  const model::IdSet& action_features = features_->features[action];
-  if (action_features.empty()) return 0.0;
+void HybridRecommender::BuildProfile(const model::Activity& activity,
+                                     util::DenseVector& profile,
+                                     double& norm) const {
   // Profile: feature counts over the activity.
-  util::DenseVector profile(features_->num_features, 0.0);
+  profile.assign(features_->num_features, 0.0);
   for (model::ActionId a : activity) {
     if (a >= features_->features.size()) continue;
     for (uint32_t f : features_->features[a]) profile[f] += 1.0;
   }
-  double norm = util::Norm2(profile);
+  norm = util::Norm2(profile);
+}
+
+double HybridRecommender::SimilarityToProfile(const util::DenseVector& profile,
+                                              double norm,
+                                              model::ActionId action) const {
+  if (action >= features_->features.size()) return 0.0;
+  const model::IdSet& action_features = features_->features[action];
+  if (action_features.empty()) return 0.0;
   if (norm == 0.0) return 0.0;
   double dot = 0.0;
   for (uint32_t f : action_features) dot += profile[f];
   return dot / (norm * std::sqrt(static_cast<double>(
                            action_features.size())));
+}
+
+double HybridRecommender::ContentSimilarity(const model::Activity& activity,
+                                            model::ActionId action) const {
+  util::DenseVector profile;
+  double norm = 0.0;
+  BuildProfile(activity, profile, norm);
+  return SimilarityToProfile(profile, norm, action);
 }
 
 RecommendationList HybridRecommender::Recommend(
@@ -64,11 +78,19 @@ RecommendationList HybridRecommender::Recommend(
   }
   double range = max_score - min_score;
 
+  // The feature profile depends only on the activity: build it once and
+  // score every pooled candidate against it, instead of rebuilding the
+  // O(|H| · F) vector per candidate (same doubles, so identical results).
+  util::DenseVector profile;
+  double norm = 0.0;
+  BuildProfile(activity, profile, norm);
+
   util::TopK<ScoredAction, ByScoreDesc> top_k(k);
   for (const ScoredAction& entry : pool) {
     double goal_component =
         range > 0.0 ? (entry.score - min_score) / range : 1.0;
-    double content_component = ContentSimilarity(activity, entry.action);
+    double content_component =
+        SimilarityToProfile(profile, norm, entry.action);
     double blended = (1.0 - options_.alpha) * goal_component +
                      options_.alpha * content_component;
     top_k.Push(ScoredAction{entry.action, blended});

@@ -5,6 +5,7 @@
 
 #include "core/recommender.h"
 #include "model/features.h"
+#include "util/dense_vector.h"
 
 // Hybrid goal-based + content-based recommendation — the extension the
 // paper's conclusion names as future work ("methodologies that enhance the
@@ -46,6 +47,13 @@ class HybridRecommender : public Recommender {
                            model::ActionId action) const;
 
  private:
+  /// Feature-count profile of `activity` and its L2 norm — built once per
+  /// Recommend and shared across the candidate loop.
+  void BuildProfile(const model::Activity& activity,
+                    util::DenseVector& profile, double& norm) const;
+  double SimilarityToProfile(const util::DenseVector& profile, double norm,
+                             model::ActionId action) const;
+
   const Recommender* goal_strategy_;
   const model::ActionFeatureTable* features_;
   HybridOptions options_;

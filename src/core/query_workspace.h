@@ -78,6 +78,97 @@ class QueryWorkspace {
   /// Actions touched by AddScore this pass, in first-touch order.
   const model::IdSet& touched() const { return touched_; }
 
+  // --- Epoch-stamped H-membership marker --------------------------------
+  //
+  // A second, independent marker over action ids dedicated to "is this
+  // action in the activity H?". It replaces the per-action binary search
+  // into the sorted activity on the kernels' emission paths, and being a
+  // separate epoch array it survives BeginActionPass (the kernels mark H
+  // once up front, then run score/emission passes freely).
+
+  /// Starts a fresh H-membership pass over action ids < `num_actions`.
+  void BeginHMark(size_t num_actions) {
+    if (h_epoch_.size() < num_actions) h_epoch_.resize(num_actions, 0);
+    if (++h_mark_ == 0) {
+      std::fill(h_epoch_.begin(), h_epoch_.end(), 0u);
+      h_mark_ = 1;
+    }
+  }
+
+  void MarkH(model::ActionId a) { h_epoch_[a] = h_mark_; }
+
+  bool InH(model::ActionId a) const { return h_epoch_[a] == h_mark_; }
+
+  // --- Epoch-stamped per-implementation counter -------------------------
+  //
+  // The kernels' scatter pass: walking the ImplsOfAction postings of every
+  // h ∈ H and bumping a per-implementation counter computes |A_p ∩ H| for
+  // every implementation in IS(H) in one sweep — no per-implementation
+  // sorted intersection. First touches are recorded so only implementations
+  // actually in IS(H) are visited afterwards.
+
+  /// Starts a fresh counter pass over implementation ids < `num_impls`.
+  void BeginImplPass(size_t num_impls) {
+    if (impl_epoch_.size() < num_impls) {
+      impl_epoch_.resize(num_impls, 0);
+      impl_count_.resize(num_impls, 0);
+    }
+    if (++impl_mark_ == 0) {
+      std::fill(impl_epoch_.begin(), impl_epoch_.end(), 0u);
+      impl_mark_ = 1;
+    }
+    touched_impls_.clear();
+  }
+
+  /// Adds 1 to the pass-local counter of `p` (0 at first touch).
+  void BumpImplCount(model::ImplId p) {
+    if (impl_epoch_[p] != impl_mark_) {
+      impl_epoch_[p] = impl_mark_;
+      impl_count_[p] = 1;
+      touched_impls_.push_back(p);
+      return;
+    }
+    ++impl_count_[p];
+  }
+
+  uint32_t ImplCountOf(model::ImplId p) const {
+    return impl_epoch_[p] == impl_mark_ ? impl_count_[p] : 0;
+  }
+
+  /// Implementations touched by BumpImplCount this pass — exactly IS(H)
+  /// when the scatter walked every posting of H — in first-touch order.
+  const model::IdSet& touched_impls() const { return touched_impls_; }
+
+  // --- Epoch-stamped goal → slot map ------------------------------------
+  //
+  // Best Match's dense goal-space index: goal id → position in the sorted
+  // GS(H), replacing a binary search per posting. Doubles as a plain goal
+  // marker (slot value unused) when deduplicating GS(H) itself.
+
+  static constexpr uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// Starts a fresh goal→slot pass over goal ids < `num_goals`.
+  void BeginGoalPass(size_t num_goals) {
+    if (goal_epoch_.size() < num_goals) {
+      goal_epoch_.resize(num_goals, 0);
+      goal_slot_.resize(num_goals, 0);
+    }
+    if (++goal_mark_ == 0) {
+      std::fill(goal_epoch_.begin(), goal_epoch_.end(), 0u);
+      goal_mark_ = 1;
+    }
+  }
+
+  void SetGoalSlot(model::GoalId g, uint32_t slot) {
+    goal_epoch_[g] = goal_mark_;
+    goal_slot_[g] = slot;
+  }
+
+  /// Slot assigned this pass, or kNoSlot.
+  uint32_t GoalSlotOf(model::GoalId g) const {
+    return goal_epoch_[g] == goal_mark_ ? goal_slot_[g] : kNoSlot;
+  }
+
   // --- Reusable buffers -------------------------------------------------
   //
   // QueryContext::Create fills the four space buffers; the spans on the
@@ -92,9 +183,15 @@ class QueryWorkspace {
 
   model::IdSet scratch;                        ///< general id scratch
   std::vector<RankedImplementation> ranked;    ///< Focus ranking buffer
-  util::TopK<ScoredAction, ByScoreDesc> top_k{1};  ///< Reset(k) before use
+  util::ScoredTopK top_k;                      ///< Reset(k) before use
   util::DenseVector profile;                   ///< Best Match H⃗
   util::DenseVector action_vec;                ///< Best Match a⃗ scratch
+  /// Best Match slot-indexed candidate scratch (kernel-managed): sparse
+  /// per-candidate counts over GS(H) slots plus the stamp array that
+  /// doubles as the kBoolean profile dedup.
+  std::vector<double> slot_value;
+  std::vector<uint32_t> slot_stamp;
+  model::IdSet touched_slots;
   RecommendationList result;                   ///< callers' reusable out-list
 
  private:
@@ -102,6 +199,15 @@ class QueryWorkspace {
   std::vector<uint32_t> action_epoch_;
   std::vector<double> action_score_;
   model::IdSet touched_;
+  uint32_t h_mark_ = 0;
+  std::vector<uint32_t> h_epoch_;
+  uint32_t impl_mark_ = 0;
+  std::vector<uint32_t> impl_epoch_;
+  std::vector<uint32_t> impl_count_;
+  model::IdSet touched_impls_;
+  uint32_t goal_mark_ = 0;
+  std::vector<uint32_t> goal_epoch_;
+  std::vector<uint32_t> goal_slot_;
 };
 
 /// A mutex-guarded free list of workspaces. Acquire() hands out an RAII

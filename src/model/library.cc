@@ -102,7 +102,44 @@ ImplementationLibrary LibraryBuilder::Build() && {
       lib.action_postings_[action_cursor[a]++] = static_cast<ImplId>(p);
     }
   }
+
+  // Kernel precomputation: |A| per implementation as a double and the 1/r
+  // reciprocal table. Both are exact IEEE values (int→double conversion and
+  // division computed once here), so the kernels that read them stay
+  // bit-identical to code that computes them inline.
+  lib.impl_size_d_.reserve(num_impls);
+  for (size_t p = 0; p < num_impls; ++p) {
+    uint32_t size = lib.impl_offsets_[p + 1] - lib.impl_offsets_[p];
+    lib.max_impl_size_ = std::max(lib.max_impl_size_, size);
+    lib.impl_size_d_.push_back(static_cast<double>(size));
+  }
+  lib.reciprocal_.resize(static_cast<size_t>(lib.max_impl_size_) + 1);
+  lib.reciprocal_[0] = 0.0;
+  for (uint32_t r = 1; r <= lib.max_impl_size_; ++r) {
+    lib.reciprocal_[r] = 1.0 / static_cast<double>(r);
+  }
   return lib;
+}
+
+uint32_t ImplementationLibrary::ImplActionCount(ImplId id) const {
+  GOALREC_CHECK_LT(id, impl_goals_.size())
+      << "implementation id " << id << " out of range (library has "
+      << impl_goals_.size() << " implementations)";
+  return impl_offsets_[id + 1] - impl_offsets_[id];
+}
+
+double ImplementationLibrary::ImplActionCountD(ImplId id) const {
+  GOALREC_CHECK_LT(id, impl_size_d_.size())
+      << "implementation id " << id << " out of range (library has "
+      << impl_size_d_.size() << " implementations)";
+  return impl_size_d_[id];
+}
+
+double ImplementationLibrary::Reciprocal(uint32_t r) const {
+  GOALREC_CHECK_LT(r, reciprocal_.size())
+      << "reciprocal index " << r << " beyond the largest implementation ("
+      << max_impl_size_ << " actions)";
+  return reciprocal_[r];
 }
 
 GoalId ImplementationLibrary::GoalOf(ImplId id) const {

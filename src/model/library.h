@@ -138,6 +138,23 @@ class ImplementationLibrary {
   /// span into the postings arena.
   std::span<const ActionId> ActionsOf(ImplId id) const;
 
+  /// |A| of implementation `id` — an O(1) offsets difference.
+  uint32_t ImplActionCount(ImplId id) const;
+
+  /// |A| of implementation `id` as a double, precomputed at build time so
+  /// the Focus completeness kernel divides without an int→double conversion
+  /// in the loop. Bit-identical to static_cast<double>(ImplActionCount(id)).
+  double ImplActionCountD(ImplId id) const;
+
+  /// Largest |A| across all implementations (0 for an empty library).
+  uint32_t max_implementation_size() const { return max_impl_size_; }
+
+  /// Precomputed 1.0 / r for r ≤ max_implementation_size(); Reciprocal(0)
+  /// is 0.0. Each entry is the exact IEEE quotient, so Focus closeness
+  /// (1 / |A − H|) reads the table instead of dividing per implementation
+  /// and stays bit-identical to the division it replaces.
+  double Reciprocal(uint32_t r) const;
+
   /// A-GI-idx: ids of all implementations where action `a` contributes,
   /// sorted ascending. Empty span for actions in no implementation.
   std::span<const ImplId> ImplsOfAction(ActionId a) const;
@@ -207,6 +224,12 @@ class ImplementationLibrary {
   // goal_postings_[goal_offsets_[g] .. goal_offsets_[g + 1]).
   std::vector<uint32_t> goal_offsets_;
   std::vector<ImplId> goal_postings_;
+  // Build-time precomputation for the scoring kernels (docs/model.md,
+  // "Scoring kernels"): per-implementation |A| as a double, the largest
+  // |A|, and a 1/r reciprocal table covering r ∈ [0, max_impl_size_].
+  std::vector<double> impl_size_d_;
+  std::vector<double> reciprocal_;
+  uint32_t max_impl_size_ = 0;
 };
 
 }  // namespace goalrec::model

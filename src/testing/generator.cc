@@ -159,6 +159,78 @@ std::vector<CaseShape> DefaultCaseShapes() {
   sparse.activity.max_size = 6;
   shapes.push_back(sparse);
 
+  // --- Kernel-adversarial shapes. The flat-array scoring kernels reset
+  // their dense marker/counter arrays per vocabulary size and walk postings
+  // in word-sized strides; these shapes park |vocab| and |H| exactly on and
+  // around the 64-element word boundary (63/64/65) and the 128-lane
+  // boundary, where off-by-one epoch grounding or tail handling would bite.
+
+  CaseShape word_boundary;
+  word_boundary.library.num_goals = 16;
+  word_boundary.library.num_actions = 64;  // exactly one 64-bit word
+  word_boundary.library.max_impls_per_goal = 4;
+  word_boundary.library.min_actions_per_impl = 1;
+  word_boundary.library.max_actions_per_impl = 9;
+  word_boundary.library.zipf_exponent = 0.5;
+  word_boundary.library.disconnected_action_fraction = 0.0;
+  // Coupon-collector sizing: ~180–300 uniform draws over 64 actions dedup to
+  // |H| ≈ 60..64, so realised sizes straddle 63/64 (including H = the whole
+  // vocabulary — every candidate pool empty).
+  word_boundary.activity.min_size = 180;
+  word_boundary.activity.max_size = 300;
+  word_boundary.activity.superset_prob = 0.1;
+  word_boundary.max_k = 70;  // k > |vocab − H| exercises exhaustion
+  shapes.push_back(word_boundary);
+
+  CaseShape lane_boundary;
+  lane_boundary.library.num_goals = 20;
+  lane_boundary.library.num_actions = 129;  // one past two 64-lane blocks
+  lane_boundary.library.max_impls_per_goal = 5;
+  lane_boundary.library.max_actions_per_impl = 7;
+  lane_boundary.library.zipf_exponent = 0.9;
+  lane_boundary.library.disconnected_action_fraction = 0.05;
+  // ~500–800 draws over 129 actions dedup to |H| ≈ 125..129: realised sizes
+  // straddle 127/128/129.
+  lane_boundary.activity.min_size = 500;
+  lane_boundary.activity.max_size = 800;
+  shapes.push_back(lane_boundary);
+
+  // Every action in (almost) every implementation: maximal connectivity with
+  // uniform popularity, so IS(H) is the whole library and the per-impl
+  // counters all saturate near |A|. This is the worst case for the scatter
+  // pass and for the subset skip (|A ∩ H| = |A|).
+  CaseShape all_popular;
+  all_popular.library.num_goals = 10;
+  all_popular.library.num_actions = 12;
+  all_popular.library.max_impls_per_goal = 5;
+  all_popular.library.min_actions_per_impl = 6;
+  all_popular.library.max_actions_per_impl = 12;
+  all_popular.library.zipf_exponent = 0.0;  // uniform: no unpopular actions
+  all_popular.library.disconnected_action_fraction = 0.0;
+  all_popular.activity.min_size = 4;
+  all_popular.activity.max_size = 12;
+  all_popular.activity.superset_prob = 0.5;
+  shapes.push_back(all_popular);
+
+  // Singleton-dominated: most implementations have |A| = 1, so completeness
+  // is 0 or 1, closeness denominators are 0 or 1, and Breadth contributions
+  // collapse to single counts. Forces masses of exactly-equal scores — the
+  // tie-break order (score desc, id asc; Focus emission order) carries the
+  // whole comparison.
+  CaseShape tie_storm;
+  tie_storm.library.num_goals = 14;
+  tie_storm.library.num_actions = 24;
+  tie_storm.library.max_impls_per_goal = 6;
+  tie_storm.library.min_actions_per_impl = 1;
+  tie_storm.library.max_actions_per_impl = 2;  // |A| ∈ {1, 2} mostly
+  tie_storm.library.singleton_impl_prob = 0.5;
+  tie_storm.library.empty_impl_prob = 0.1;
+  tie_storm.library.zipf_exponent = 0.3;
+  tie_storm.activity.min_size = 1;
+  tie_storm.activity.max_size = 6;
+  tie_storm.max_k = 30;  // deep lists: ties reach far down the ranking
+  shapes.push_back(tie_storm);
+
   return shapes;
 }
 

@@ -103,7 +103,11 @@ OracleCase GenerateCase(const CaseShape& shape, uint64_t seed);
 
 /// The shape sweep the oracle tests and the fuzz driver cycle through:
 /// tiny/medium libraries, a degenerate-heavy mix, a hub-dominated popularity
-/// skew, and a sparse barely-connected one.
+/// skew, a sparse barely-connected one, and four kernel-adversarial shapes —
+/// vocabulary and |H| sizes straddling the 64-bit-word / SIMD-lane
+/// boundaries, an all-actions-popular maximal-connectivity mix, and a
+/// singleton-implementation "tie storm" where nearly all scores collide and
+/// only the documented tie order distinguishes outputs.
 std::vector<CaseShape> DefaultCaseShapes();
 
 }  // namespace goalrec::testing

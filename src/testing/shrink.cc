@@ -251,4 +251,16 @@ std::string ReproCommandLine(const std::string& path) {
   return "goalrec_fuzz --replay=" + path;
 }
 
+std::string DescribeRepro(const ReproCase& repro) {
+  std::string out =
+      repro.strategy.empty() ? "all strategies" : repro.strategy;
+  out += ": " +
+         std::to_string(repro.oracle_case.library.num_implementations()) +
+         " implementations, |H| = " +
+         std::to_string(repro.oracle_case.activity.size()) +
+         ", k = " + std::to_string(repro.oracle_case.k) + ", seed " +
+         std::to_string(repro.seed);
+  return out;
+}
+
 }  // namespace goalrec::testing

@@ -129,12 +129,10 @@ int Replay(const FuzzConfig& config) {
   } else {
     strategies = testing::AllOracleStrategies();
   }
-  std::printf(
-      "replaying %s: %u implementations, |H| = %zu, k = %zu, seed %llu\n",
-      config.replay.c_str(),
-      repro.oracle_case.library.num_implementations(),
-      repro.oracle_case.activity.size(), repro.oracle_case.k,
-      static_cast<unsigned long long>(repro.seed));
+  // The header names the diverging strategy up front (DescribeRepro), so a
+  // replay log identifies the suspect before any per-strategy output.
+  std::printf("replaying %s — %s\n", config.replay.c_str(),
+              testing::DescribeRepro(repro).c_str());
   bool mismatch = false;
   for (testing::OracleStrategy strategy : strategies) {
     testing::DiffOutcome outcome = testing::DiffStrategy(

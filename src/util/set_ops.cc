@@ -16,7 +16,57 @@ void Normalize(IdVector& ids) {
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
 }
 
+namespace {
+
+// One side gallops through the other when the length ratio crosses this;
+// below it the linear merge's branch locality wins.
+constexpr size_t kGallopRatio = 16;
+
+size_t GallopIntersectionSize(IdSpan small, IdSpan large) {
+  size_t count = 0;
+  size_t cursor = 0;
+  for (uint32_t id : small) {
+    cursor = GallopLowerBound(large, cursor, id);
+    if (cursor == large.size()) break;
+    if (large[cursor] == id) {
+      ++count;
+      ++cursor;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+size_t GallopLowerBound(IdSpan span, size_t start, uint32_t id) {
+  // Exponential probe from `start` to bracket id, then binary search the
+  // bracket. Keys arrive ascending in the intersection loop, so the bracket
+  // is usually a short hop from the previous match.
+  size_t lo = start;
+  size_t step = 1;
+  while (lo + step < span.size() && span[lo + step] < id) {
+    lo += step;
+    step <<= 1;
+  }
+  size_t hi = std::min(lo + step, span.size());
+  if (lo < span.size() && span[lo] < id) ++lo;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (span[mid] < id) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
 size_t IntersectionSize(IdSpan a, IdSpan b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return 0;
+  if (b.size() / a.size() >= kGallopRatio) {
+    return GallopIntersectionSize(a, b);
+  }
   size_t count = 0;
   size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {

@@ -32,8 +32,17 @@ bool IsSortedSet(IdSpan ids);
 /// Sorts and deduplicates `ids` in place, producing a valid set.
 void Normalize(IdVector& ids);
 
-/// |a ∩ b| without materialising the intersection.
+/// |a ∩ b| without materialising the intersection. Adaptive: lopsided
+/// inputs (one side ≥ ~16× longer) switch from the linear two-pointer merge
+/// to a galloping probe of the small side into the large one, turning the
+/// cost from O(|a| + |b|) into O(|small| · log |large|).
 size_t IntersectionSize(IdSpan a, IdSpan b);
+
+/// Galloping (exponential-then-binary) lower bound: the smallest index
+/// i ≥ `start` with span[i] >= id, or span.size(). The doubling probe makes
+/// a sequence of searches with ascending keys cost O(log gap) each instead
+/// of O(log n), which is what makes galloping intersection adaptive.
+size_t GallopLowerBound(IdSpan span, size_t start, uint32_t id);
 
 /// |a − b| (asymmetric difference) without materialising it.
 size_t DifferenceSize(IdSpan a, IdSpan b);

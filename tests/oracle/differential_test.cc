@@ -22,9 +22,11 @@
 namespace goalrec::testing {
 namespace {
 
-// >= 200 seeded differential cases per strategy (ISSUE 2 acceptance bar),
-// swept across every generator shape preset.
-constexpr int kCasesPerStrategy = 240;
+// >= 240 seeded differential cases per strategy (ISSUE 7 acceptance bar;
+// supersedes the >= 200 bar from ISSUE 2), swept evenly across every
+// generator shape preset — including the kernel-adversarial shapes
+// (word/lane-boundary sizes, all-actions-popular, singleton tie storms).
+constexpr int kCasesPerStrategy = 288;  // 32 per shape × 9 shapes
 constexpr uint64_t kMasterSeed = 20260806;
 
 class OracleDifferentialTest

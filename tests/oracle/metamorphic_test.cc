@@ -12,6 +12,12 @@
 //   3. Relabeling action ids by a permutation permutes the recommendations
 //      but preserves scores, for every strategy (nothing in the formulas
 //      depends on the numeric value of an action id).
+//   4. Padding the vocabulary with unused actions and goals changes nothing,
+//      bit-for-bit, for every strategy and on both the allocating and the
+//      pooled serving paths. The scoring kernels size their dense marker /
+//      counter / slot arrays by the vocabulary, so this pins down that array
+//      sizing, epoch grounding and tail handling never leak into scores or
+//      ranked order (pad widths cross the 64-element word boundary).
 
 #include <algorithm>
 #include <string>
@@ -23,6 +29,7 @@
 #include "core/best_match.h"
 #include "core/breadth.h"
 #include "core/focus.h"
+#include "core/query_workspace.h"
 #include "core/recommender.h"
 #include "model/library.h"
 #include "testing/differential.h"
@@ -95,6 +102,54 @@ TEST(MetamorphicTest, UnusedActionInActivityChangesNothing) {
           << OracleStrategyName(strategy)
           << " changed after adding an unused action to H (trial " << trial
           << ")";
+    }
+  }
+}
+
+// Library with `extra_actions` fresh unused actions and `extra_goals` fresh
+// goal-less goals appended to the vocabularies; no implementation changes.
+model::ImplementationLibrary WithPaddedVocabulary(
+    const model::ImplementationLibrary& library, uint32_t extra_actions,
+    uint32_t extra_goals) {
+  model::LibraryBuilder builder = model::LibraryBuilder::FromLibrary(library);
+  for (uint32_t i = 0; i < extra_actions; ++i) {
+    builder.InternAction("pad_action_" + std::to_string(i));
+  }
+  for (uint32_t i = 0; i < extra_goals; ++i) {
+    builder.InternGoal("pad_goal_" + std::to_string(i));
+  }
+  return std::move(builder).Build();
+}
+
+TEST(MetamorphicTest, VocabularyPaddingIsBitInvariant) {
+  util::Rng seeds(kMasterSeed, /*stream=*/17);
+  // Pad widths deliberately straddle the 64-element word boundary: +1 (tail
+  // of the current word), +64 (exactly one more word), +257 (four words + 1).
+  const uint32_t kPads[] = {1, 64, 257};
+  core::QueryWorkspace base_ws;
+  core::QueryWorkspace padded_ws;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    OracleCase c = CaseForTrial(trial, seeds);
+    for (uint32_t pad : kPads) {
+      model::ImplementationLibrary padded =
+          WithPaddedVocabulary(c.library, pad, pad);
+      for (OracleStrategy strategy : AllOracleStrategies()) {
+        core::RecommendationList base =
+            RunOptimized(c.library, strategy, c.activity, c.k);
+        EXPECT_EQ(base, RunOptimized(padded, strategy, c.activity, c.k))
+            << OracleStrategyName(strategy) << " changed under +" << pad
+            << " vocabulary padding (trial " << trial << ")";
+        // The pooled kernels on both libraries, through workspaces reused
+        // across trials and pad widths (the serving-path reuse pattern).
+        EXPECT_EQ(base, RunOptimizedPooled(c.library, strategy, c.activity,
+                                           c.k, base_ws))
+            << OracleStrategyName(strategy)
+            << " pooled path diverges unpadded (trial " << trial << ")";
+        EXPECT_EQ(base, RunOptimizedPooled(padded, strategy, c.activity, c.k,
+                                           padded_ws))
+            << OracleStrategyName(strategy) << " pooled path changed under +"
+            << pad << " vocabulary padding (trial " << trial << ")";
+      }
     }
   }
 }

@@ -147,6 +147,32 @@ TEST(ShrinkReproTest, RoundTripPreservesMetadataAndTheFailure) {
   EXPECT_NE(ReproCommandLine(path).find(path), std::string::npos);
 }
 
+// Regression: the fuzz driver's replay header must name the strategy that
+// diverged before anything else runs. It once printed only the case
+// dimensions, so a replay log did not say WHICH strategy to suspect until
+// after the per-strategy re-check output.
+TEST(ShrinkReproTest, DescribeReproLeadsWithTheDivergingStrategy) {
+  OracleCase shrunk = ShrinkFailure(NoisyNameBasedCase(), NameBasedFailure);
+  std::string path = ::testing::TempDir() + "/oracle_shrink_describe.tsv";
+  ASSERT_TRUE(WriteRepro(shrunk, "BestMatch", /*seed=*/13579, path).ok());
+  util::StatusOr<ReproCase> loaded = LoadRepro(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  std::string description = DescribeRepro(*loaded);
+  // Leads with the strategy name, and carries the dimensions and seed.
+  EXPECT_EQ(description.rfind("BestMatch:", 0), 0u) << description;
+  EXPECT_NE(description.find("|H| = "), std::string::npos) << description;
+  EXPECT_NE(description.find("k = " + std::to_string(shrunk.k)),
+            std::string::npos)
+      << description;
+  EXPECT_NE(description.find("seed 13579"), std::string::npos) << description;
+
+  // A repro that pins no strategy replays them all; the description says so.
+  ReproCase unpinned = *loaded;
+  unpinned.strategy.clear();
+  EXPECT_EQ(DescribeRepro(unpinned).rfind("all strategies:", 0), 0u);
+}
+
 TEST(ShrinkReproTest, LoadRejectsAFileWithoutTheLibraryHeader) {
   std::string path = ::testing::TempDir() + "/oracle_shrink_bad_repro.tsv";
   FILE* f = std::fopen(path.c_str(), "w");

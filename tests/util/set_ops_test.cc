@@ -109,5 +109,57 @@ TEST(SetOpsPropertyTest, SizesMatchMaterialisedResults) {
   }
 }
 
+TEST(SetOpsTest, GallopLowerBound) {
+  V span = {2, 4, 8, 16, 32, 64, 128};
+  EXPECT_EQ(GallopLowerBound(span, 0, 0), 0u);    // before everything
+  EXPECT_EQ(GallopLowerBound(span, 0, 2), 0u);    // exact first
+  EXPECT_EQ(GallopLowerBound(span, 0, 5), 2u);    // between elements
+  EXPECT_EQ(GallopLowerBound(span, 0, 128), 6u);  // exact last
+  EXPECT_EQ(GallopLowerBound(span, 0, 200), 7u);  // past the end
+  EXPECT_EQ(GallopLowerBound(span, 3, 16), 3u);   // start at the answer
+  EXPECT_EQ(GallopLowerBound(span, 5, 2), 5u);    // start past the answer
+  EXPECT_EQ(GallopLowerBound(V{}, 0, 1), 0u);
+}
+
+// IntersectionSize dispatches to a galloping probe on lopsided size ratios;
+// both code paths must agree exactly. Exercise the dispatch boundary
+// deliberately: |b| / |a| well below, at, and far beyond the switch ratio.
+TEST(SetOpsPropertyTest, GallopingIntersectionMatchesMergeOnLopsidedSets) {
+  Rng rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Small side: up to 8 elements. Large side: scale factor sweeps the
+    // adaptive dispatch threshold (merge below ~16×, gallop above).
+    uint32_t na = 1 + rng.UniformUint32(8);
+    uint32_t scale = 1 + rng.UniformUint32(64);
+    uint32_t nb = na * scale;
+    IdVector a, b;
+    for (uint32_t i = 0; i < na; ++i) a.push_back(rng.UniformUint32(4000));
+    for (uint32_t i = 0; i < nb; ++i) b.push_back(rng.UniformUint32(4000));
+    // Force some genuine overlap: copy a few of a's elements into b.
+    for (uint32_t i = 0; i < na; i += 2) b.push_back(a[i]);
+    Normalize(a);
+    Normalize(b);
+    // The materialising Intersect is the plain two-pointer merge — the
+    // reference the adaptive IntersectionSize must match in both argument
+    // orders (dispatch swaps internally; the result must not depend on it).
+    size_t expected = Intersect(a, b).size();
+    EXPECT_EQ(IntersectionSize(a, b), expected) << "trial " << trial;
+    EXPECT_EQ(IntersectionSize(b, a), expected) << "trial " << trial;
+  }
+}
+
+TEST(SetOpsTest, GallopingIntersectionEdgeCases) {
+  // Far beyond the dispatch ratio, with matches at the ends of the large
+  // side — the galloping cursor's boundary positions.
+  IdVector large;
+  for (uint32_t i = 0; i < 1000; ++i) large.push_back(i * 3);  // 0, 3, ..., 2997
+  EXPECT_EQ(IntersectionSize(V{0}, large), 1u);
+  EXPECT_EQ(IntersectionSize(V{2997}, large), 1u);
+  EXPECT_EQ(IntersectionSize(V{0, 2997}, large), 2u);
+  EXPECT_EQ(IntersectionSize(V{1, 2998}, large), 0u);   // straddles, no hits
+  EXPECT_EQ(IntersectionSize(V{5000}, large), 0u);      // beyond the end
+  EXPECT_EQ(IntersectionSize(V{0, 1500, 2997}, large), 3u);
+}
+
 }  // namespace
 }  // namespace goalrec::util

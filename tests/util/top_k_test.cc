@@ -118,5 +118,102 @@ TEST(TopKPropertyTest, MatchesFullSort) {
   }
 }
 
+// --- ScoredTopK: the branch-lean (score, id) collector the scoring kernels
+// emit through. Its contract is the ranked lists' documented total order —
+// score descending, id ascending on ties — independent of push order.
+
+using Drained = std::vector<std::pair<double, uint32_t>>;
+
+Drained Drain(ScoredTopK& top) {
+  Drained out;
+  top.TakeInto([&out](double score, uint32_t id) {
+    out.push_back({score, id});
+  });
+  return out;
+}
+
+TEST(ScoredTopKTest, KeepsBestScoresBestFirst) {
+  ScoredTopK top(3);
+  top.Push(0.5, 10);
+  top.Push(2.0, 4);
+  top.Push(1.0, 7);
+  top.Push(0.25, 1);
+  EXPECT_EQ(Drain(top), (Drained{{2.0, 4}, {1.0, 7}, {0.5, 10}}));
+}
+
+// Equal scores must come out id-ascending regardless of push order, and the
+// retained boundary set must be the lowest ids among the tied — the
+// regression the emission rewrite must never break.
+TEST(ScoredTopKTest, EqualScoresPreserveDocumentedIdOrder) {
+  ScoredTopK top(4);
+  for (uint32_t id : {9u, 2u, 14u, 5u, 11u, 3u}) top.Push(1.0, id);
+  EXPECT_EQ(Drain(top), (Drained{{1.0, 2}, {1.0, 3}, {1.0, 5}, {1.0, 9}}));
+}
+
+// Boundary fast reject: once full, a push tying the floor score with a
+// higher id must be rejected, and one with a lower id must evict the floor.
+TEST(ScoredTopKTest, FloorTieRejectsHigherIdAdmitsLowerId) {
+  ScoredTopK top(2);
+  top.Push(1.0, 5);
+  top.Push(2.0, 9);
+  // Floor is (1.0, 5). Tie with higher id: rejected.
+  top.Push(1.0, 8);
+  EXPECT_EQ(top.size(), 2u);
+  // Tie with lower id: replaces the floor.
+  top.Push(1.0, 3);
+  EXPECT_EQ(Drain(top), (Drained{{2.0, 9}, {1.0, 3}}));
+}
+
+TEST(ScoredTopKTest, ResetReusesBuffersAcrossStreams) {
+  ScoredTopK top(3);
+  top.Push(1.0, 1);
+  top.Push(2.0, 2);
+  EXPECT_EQ(Drain(top), (Drained{{2.0, 2}, {1.0, 1}}));
+  // Shrink, refill, and drain again: the second stream must be unaffected
+  // by the first (this is the per-query Reset the pooled path performs).
+  top.Reset(2);
+  for (uint32_t id : {4u, 1u, 3u, 2u}) {
+    top.Push(static_cast<double>(id), id);
+  }
+  EXPECT_EQ(Drain(top), (Drained{{4.0, 4}, {3.0, 3}}));
+}
+
+TEST(ScoredTopKTest, NegativeScoresOrderCorrectly) {
+  // BestMatch pushes -distance; best (least distant) first.
+  ScoredTopK top(2);
+  top.Push(-3.5, 1);
+  top.Push(-1.25, 2);
+  top.Push(-2.0, 3);
+  EXPECT_EQ(Drain(top), (Drained{{-1.25, 2}, {-2.0, 3}}));
+}
+
+// Property: ScoredTopK agrees with full sort under the documented total
+// order on duplicate-heavy random streams, for any push order.
+TEST(ScoredTopKPropertyTest, MatchesFullSortOnDuplicateHeavyStreams) {
+  Rng rng(23);
+  ScoredTopK top;  // reused across trials, as the workspaces reuse it
+  for (int trial = 0; trial < 100; ++trial) {
+    uint32_t n = 1 + rng.UniformUint32(60);
+    std::vector<std::pair<double, uint32_t>> values;
+    for (uint32_t id = 0; id < n; ++id) {
+      // Few distinct scores → constant boundary ties.
+      values.push_back({static_cast<double>(rng.UniformUint32(4)), id});
+    }
+    std::vector<std::pair<double, uint32_t>> expected = values;
+    std::sort(expected.begin(), expected.end(), ByScoreThenId());
+    size_t k = 1 + rng.UniformUint32(12);
+    expected.resize(std::min(k, expected.size()));
+
+    rng.Shuffle(values);
+    top.Reset(k);
+    for (const auto& [score, id] : values) top.Push(score, id);
+    EXPECT_EQ(Drain(top), expected) << "trial " << trial;
+  }
+}
+
+TEST(ScoredTopKDeathTest, ZeroCapacityAborts) {
+  EXPECT_DEATH({ ScoredTopK top(0); }, "CHECK failed");
+}
+
 }  // namespace
 }  // namespace goalrec::util
