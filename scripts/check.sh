@@ -85,6 +85,19 @@ run_query_smoke() {
   "$build_dir/tests/oracle_differential_test" --gtest_brief=1
 }
 
+run_obs_smoke() {
+  local build_dir=$1
+  # Observability smoke (bench/micro_recorder.cc): the flight-recorder
+  # overhead gate — enabled vs disabled on the BestMatch pooled hot path,
+  # exits non-zero when the delta exceeds 3% or the steady state allocates —
+  # plus the end-to-end tail-exemplar check: a latency-burst fault injector
+  # forces slow queries, which must land in the ExemplarReservoir with a
+  # decodable recorder slice listed on the statusz page. The recorded
+  # acceptance run lives in BENCH_obs.json. See docs/observability.md.
+  echo "=== obs smoke ($build_dir) ==="
+  "$build_dir/bench/micro_recorder" --smoke >/dev/null
+}
+
 CTEST_ARGS=()
 PLAIN=0
 for arg in "$@"; do
@@ -98,6 +111,7 @@ if [[ "$PLAIN" == 1 ]]; then
   run_overload_smoke build
   run_snapshot_smoke build
   run_query_smoke build
+  run_obs_smoke build
   run_chaos_suite build
 fi
 
@@ -107,6 +121,7 @@ run_fuzz_smoke build-asan
 run_overload_smoke build-asan
 run_snapshot_smoke build-asan
 run_query_smoke build-asan
+run_obs_smoke build-asan
 run_chaos_suite build-asan
 
 # TSan is mutually exclusive with ASan, so it gets its own tree. The test
@@ -118,4 +133,9 @@ echo "=== TSan build + ctest (build-tsan/) ==="
 # atomic<shared_ptr> internal spin lock, hit by SnapshotManager).
 export TSAN_OPTIONS="suppressions=$PWD/scripts/tsan_suppressions.txt ${TSAN_OPTIONS:-}"
 run_suite build-tsan -DGOALREC_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+# The recorder's lock-free rings and the exemplar fast path are exactly the
+# kind of code TSan exists for, so the obs smoke runs here too. The 3%
+# overhead gate still holds under TSan because both sides of the comparison
+# run instrumented — the delta is relative, not absolute.
+run_obs_smoke build-tsan
 echo "OK: sanitized test suites green (ASan+UBSan, TSan)"

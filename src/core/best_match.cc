@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/top_k.h"
@@ -241,6 +242,11 @@ void BestMatchRecommender::RecommendOver(
     }
   }
 
+  obs::FlightRecorder::Default().Record(
+      obs::RecorderEventType::kStageStamp,
+      static_cast<uint16_t>(obs::KernelStage::kScatter),
+      static_cast<uint32_t>(activity.size()));
+
   // Whole-profile totals (exact integers; ‖H⃗‖ matches util::Norm2 bitwise
   // because Σh² is the same exact integer either way).
   double max_h = 0.0, s1 = 0.0, s2 = 0.0;
@@ -260,6 +266,7 @@ void BestMatchRecommender::RecommendOver(
     std::span<const model::ImplId> postings = library_->ImplsOfAction(a);
     double cap = std::max(max_h, static_cast<double>(postings.size()));
     if (!profile_exact || !SparseDistanceIsExact(n, cap)) {
+      ++ws.kernel_stats.dense_fallbacks;
       ActionVectorInto(a, goal_space, ws.action_vec);
       ws.top_k.Push(-util::Distance(ws.profile, ws.action_vec, metric), a);
       continue;
@@ -313,11 +320,21 @@ void BestMatchRecommender::RecommendOver(
         break;
       }
     }
+    ws.kernel_stats.slots_touched +=
+        static_cast<uint32_t>(ws.touched_slots.size());
     ws.top_k.Push(-distance, a);
   }
+  obs::FlightRecorder::Default().Record(
+      obs::RecorderEventType::kStageStamp,
+      static_cast<uint16_t>(obs::KernelStage::kRank),
+      static_cast<uint32_t>(candidates.size()));
   ws.top_k.TakeInto([&out](double score, uint32_t id) {
     out.push_back(ScoredAction{id, score});
   });
+  obs::FlightRecorder::Default().Record(
+      obs::RecorderEventType::kStageStamp,
+      static_cast<uint16_t>(obs::KernelStage::kEmit),
+      static_cast<uint32_t>(out.size()));
   span.Annotate("emitted", out.size());
   if (stop != nullptr && stop->StopRequested()) {
     span.Annotate("stopped_early", true);

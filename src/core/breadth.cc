@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/set_ops.h"
@@ -104,6 +105,10 @@ void BreadthRecommender::RecommendOver(util::IdSpan activity, size_t k,
     ws.MarkH(h);
     for (model::ImplId p : library_->ImplsOfAction(h)) ws.BumpImplCount(p);
   }
+  obs::FlightRecorder::Default().Record(
+      obs::RecorderEventType::kStageStamp,
+      static_cast<uint16_t>(obs::KernelStage::kScatter),
+      static_cast<uint32_t>(activity.size()));
 
   ws.BeginActionPass(num_actions);
   std::span<const model::ImplId> impls = ws.touched_impls();
@@ -120,6 +125,10 @@ void BreadthRecommender::RecommendOver(util::IdSpan activity, size_t k,
     }
     for (model::ActionId a : library_->ActionsOf(p)) ws.AddScore(a, common);
   }
+  obs::FlightRecorder::Default().Record(
+      obs::RecorderEventType::kStageStamp,
+      static_cast<uint16_t>(obs::KernelStage::kRank),
+      static_cast<uint32_t>(ws.touched().size()));
 
   // The top-k comparator is a total order (score desc, action id asc), so
   // the result is independent of the touched-list's order.
@@ -133,6 +142,10 @@ void BreadthRecommender::RecommendOver(util::IdSpan activity, size_t k,
   ws.top_k.TakeInto([&out](double score, uint32_t id) {
     out.push_back(ScoredAction{id, score});
   });
+  obs::FlightRecorder::Default().Record(
+      obs::RecorderEventType::kStageStamp,
+      static_cast<uint16_t>(obs::KernelStage::kEmit),
+      static_cast<uint32_t>(out.size()));
   span.Annotate("impl_space", ws.touched_impls().size());
   span.Annotate("actions_scored", ws.touched().size());
   span.Annotate("emitted", out.size());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/set_ops.h"
@@ -85,6 +86,10 @@ void FocusRecommender::RankUnsortedInto(
     ws.MarkH(h);
     for (model::ImplId p : library_->ImplsOfAction(h)) ws.BumpImplCount(p);
   }
+  obs::FlightRecorder::Default().Record(
+      obs::RecorderEventType::kStageStamp,
+      static_cast<uint16_t>(obs::KernelStage::kScatter),
+      static_cast<uint32_t>(activity.size()));
   out.clear();
   const bool completeness = variant_ == FocusVariant::kCompleteness;
   for (model::ImplId p : ws.touched_impls()) {
@@ -136,7 +141,15 @@ void FocusRecommender::RecommendPooled(util::IdSpan activity, size_t k,
   util::Normalize(ws.activity);
   obs::ScopedSpan span(obs::CurrentTrace(), trace_label_);
   RankUnsortedInto(ws.activity, stop, ws, ws.ranked);
+  obs::FlightRecorder::Default().Record(
+      obs::RecorderEventType::kStageStamp,
+      static_cast<uint16_t>(obs::KernelStage::kRank),
+      static_cast<uint32_t>(ws.ranked.size()));
   EmitFromRanking(ws.ranked, k, ws, out);
+  obs::FlightRecorder::Default().Record(
+      obs::RecorderEventType::kStageStamp,
+      static_cast<uint16_t>(obs::KernelStage::kEmit),
+      static_cast<uint32_t>(out.size()));
   span.Annotate("impl_space", ws.touched_impls().size());
   span.Annotate("impls_ranked", ws.ranked.size());
   span.Annotate("emitted", out.size());

@@ -194,6 +194,16 @@ class QueryWorkspace {
   model::IdSet touched_slots;
   RecommendationList result;                   ///< callers' reusable out-list
 
+  /// Why-was-this-query-slow counters, accumulated by the scoring kernels
+  /// and read by the serving engine's tail exemplar capture. Plain fields
+  /// (a couple of integer bumps per candidate); the engine zeroes them
+  /// before each rung attempt.
+  struct KernelStats {
+    uint32_t dense_fallbacks = 0;  ///< candidates scored via the dense path
+    uint32_t slots_touched = 0;    ///< slot-scatter entries across candidates
+  };
+  KernelStats kernel_stats;
+
  private:
   uint32_t epoch_ = 0;
   std::vector<uint32_t> action_epoch_;

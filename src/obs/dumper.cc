@@ -9,9 +9,12 @@ namespace goalrec::obs {
 
 PeriodicDumper::PeriodicDumper(const MetricRegistry* registry,
                                std::string path, Options options)
-    : registry_(registry), path_(std::move(path)), options_(options) {
-  GOALREC_CHECK(registry_ != nullptr);
+    : registry_(registry), path_(std::move(path)), options_(std::move(options)) {
+  GOALREC_CHECK(registry_ != nullptr || options_.producer != nullptr);
   GOALREC_CHECK(options_.interval.count() > 0);
+  if (options_.write_file == nullptr) {
+    options_.write_file = WriteSnapshotFile;
+  }
   thread_ = std::thread([this] { Loop(); });
 }
 
@@ -35,16 +38,18 @@ size_t PeriodicDumper::dumps() const {
 }
 
 bool PeriodicDumper::DumpNow() {
-  std::string contents = options_.format == Format::kJson
-                             ? ExportJson(*registry_)
-                             : ExportPrometheus(*registry_);
+  std::string contents =
+      options_.producer != nullptr ? options_.producer()
+      : options_.format == Format::kJson ? ExportJson(*registry_)
+                                         : ExportPrometheus(*registry_);
   bool ok;
   if (path_ == "-") {
-    ok = WriteSnapshotFile(path_, contents);
+    ok = options_.write_file(path_, contents);
   } else {
-    // Write-then-rename so readers never observe a truncated snapshot.
+    // Write-then-rename so readers never observe a truncated snapshot; a
+    // failed write leaves at most a stale .tmp, never a partial `path_`.
     std::string tmp = path_ + ".tmp";
-    ok = WriteSnapshotFile(tmp, contents) &&
+    ok = options_.write_file(tmp, contents) &&
          std::rename(tmp.c_str(), path_.c_str()) == 0;
     if (!ok) {
       GOALREC_LOG(ERROR) << "metrics dump failed"

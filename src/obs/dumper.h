@@ -3,16 +3,19 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
 
 #include "obs/metrics.h"
 
-// Background metrics flushing. A PeriodicDumper snapshots a registry every
-// `interval` and rewrites one output file (Prometheus text or JSON), giving
-// long-running commands a monitorable side-channel without wiring an HTTP
-// scrape endpoint into a batch tool. The write is atomic-rename'd
+// Background metrics flushing. A PeriodicDumper renders a report every
+// `interval` and rewrites one output file, giving long-running commands a
+// monitorable side-channel without wiring an HTTP scrape endpoint into a
+// batch tool. By default the report is a registry snapshot (Prometheus text
+// or JSON); a custom `producer` turns the same lifecycle into a periodic
+// statusz dump or any other rendered view. The write is atomic-rename'd
 // (path.tmp -> path) so a concurrent reader never sees a half-written file.
 
 namespace goalrec::obs {
@@ -22,6 +25,13 @@ enum class DumpFormat { kPrometheus, kJson };
 struct DumperOptions {
   std::chrono::milliseconds interval{1000};
   DumpFormat format = DumpFormat::kPrometheus;
+  /// When set, each dump writes this instead of a registry export (the
+  /// registry/format fields are ignored). Called from the dump thread.
+  std::function<std::string()> producer;
+  /// Test seam for the raw file write (path, contents) -> ok. Defaults to
+  /// WriteSnapshotFile; tests swap in a fault-injecting writer to exercise
+  /// the tmp+rename path.
+  std::function<bool(const std::string&, const std::string&)> write_file;
 };
 
 class PeriodicDumper {
@@ -29,9 +39,10 @@ class PeriodicDumper {
   using Options = DumperOptions;
   using Format = DumpFormat;
 
-  /// Starts the dump thread. `registry` must outlive the dumper; `path` is
-  /// rewritten in place each interval ("-" appends snapshots to stdout,
-  /// which is only sensible for debugging).
+  /// Starts the dump thread. `registry` must outlive the dumper (it may be
+  /// null when options.producer is set); `path` is rewritten in place each
+  /// interval ("-" appends snapshots to stdout, which is only sensible for
+  /// debugging).
   PeriodicDumper(const MetricRegistry* registry, std::string path,
                  Options options = {});
   PeriodicDumper(const PeriodicDumper&) = delete;

@@ -1,0 +1,86 @@
+#include "obs/exemplar.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace goalrec::obs {
+
+ExemplarReservoir::ExemplarReservoir(size_t capacity_per_key)
+    : capacity_per_key_(std::max<size_t>(capacity_per_key, 1)) {}
+
+void ExemplarReservoir::RecomputeFloorLocked() {
+  // The global floor must not exceed any key's admission threshold, or
+  // WorthCapturing would reject queries that key still wants. A key below
+  // capacity admits anything, so it pins the floor at zero.
+  double floor = std::numeric_limits<double>::infinity();
+  if (buckets_.empty()) {
+    floor = 0.0;
+  }
+  for (const KeyBucket& bucket : buckets_) {
+    if (bucket.slots.size() < capacity_per_key_) {
+      floor = 0.0;
+      break;
+    }
+    double key_min = std::numeric_limits<double>::infinity();
+    for (const TailExemplar& exemplar : bucket.slots) {
+      key_min = std::min(key_min, exemplar.latency_us);
+    }
+    floor = std::min(floor, key_min);
+  }
+  floor_us_.store(floor, std::memory_order_relaxed);
+}
+
+bool ExemplarReservoir::Offer(TailExemplar exemplar) {
+  if constexpr (!kObsEnabled) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  KeyBucket* bucket = nullptr;
+  for (KeyBucket& candidate : buckets_) {
+    if (candidate.key == exemplar.key) {
+      bucket = &candidate;
+      break;
+    }
+  }
+  if (bucket == nullptr) {
+    // First query of this key: a new key admits anything, so the floor
+    // drops to zero until it fills.
+    buckets_.push_back(KeyBucket{exemplar.key, {}});
+    bucket = &buckets_.back();
+  }
+  if (bucket->slots.size() < capacity_per_key_) {
+    bucket->slots.push_back(std::move(exemplar));
+    RecomputeFloorLocked();
+    return true;
+  }
+  auto slowest_victim = std::min_element(
+      bucket->slots.begin(), bucket->slots.end(),
+      [](const TailExemplar& x, const TailExemplar& y) {
+        return x.latency_us < y.latency_us;
+      });
+  if (exemplar.latency_us <= slowest_victim->latency_us) return false;
+  *slowest_victim = std::move(exemplar);
+  RecomputeFloorLocked();
+  return true;
+}
+
+std::vector<TailExemplar> ExemplarReservoir::Snapshot() const {
+  std::vector<TailExemplar> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const KeyBucket& bucket : buckets_) {
+    std::vector<TailExemplar> slots = bucket.slots;
+    std::sort(slots.begin(), slots.end(),
+              [](const TailExemplar& x, const TailExemplar& y) {
+                return x.latency_us > y.latency_us;
+              });
+    for (TailExemplar& exemplar : slots) out.push_back(std::move(exemplar));
+  }
+  return out;
+}
+
+size_t ExemplarReservoir::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const KeyBucket& bucket : buckets_) total += bucket.slots.size();
+  return total;
+}
+
+}  // namespace goalrec::obs

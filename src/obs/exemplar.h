@@ -1,0 +1,119 @@
+#ifndef GOALREC_OBS_EXEMPLAR_H_
+#define GOALREC_OBS_EXEMPLAR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"  // kObsEnabled
+#include "obs/recorder.h"
+#include "obs/trace.h"
+
+// Tail exemplar capture: the bridge from "the p99.9 bucket has counts" to
+// "here is the query that put them there". The serving engine asks
+// WorthCapturing() after every served query; for the K slowest per
+// (strategy, rung) key it retains the query's full span tree, its flight
+// recorder slice, and the workspace counters that explain *why* it was slow
+// (candidate-set size, impls/slots touched, dense fallbacks taken). statusz
+// renders the reservoir, and the exemplar ids are the trace_ids attached to
+// the Prometheus latency buckets (OpenMetrics exemplars), so a dashboard's
+// worst bucket links straight back to a decodable query.
+//
+// Hot-path cost. WorthCapturing is one relaxed load and a compare against a
+// *global* floor — the smallest latency that could possibly displace any
+// retained exemplar (kept conservative: the min over keys, with a
+// not-yet-full key pinning it at zero). Queries below the floor — in steady
+// state, all but a handful per histogram refresh — never touch the mutex or
+// allocate. Only an actual tail event pays for the copy.
+
+namespace goalrec::obs {
+
+/// Why-slow counters copied out of the query workspace at capture time.
+struct WorkspaceStats {
+  uint32_t h_size = 0;           // |H|: candidate impls considered
+  uint32_t touched_impls = 0;    // impl accumulators scattered into
+  uint32_t touched_slots = 0;    // goal-space slots touched
+  uint32_t dense_fallbacks = 0;  // candidates scored via the dense path
+};
+
+/// One retained slow query.
+struct TailExemplar {
+  /// Reservoir key, `<strategy>` or `<strategy>/<rung>` as chosen by the
+  /// engine (rung name today).
+  std::string key;
+  /// Query id == the trace_id exported on the histogram bucket.
+  uint64_t id = 0;
+  double latency_us = 0.0;
+  uint64_t snapshot_version = 0;
+  /// FlightRecorder::NowNs() at capture.
+  int64_t captured_ts_ns = 0;
+  WorkspaceStats stats;
+  /// Full span tree (may be null when the query was not traced).
+  std::shared_ptr<Trace> trace;
+  /// The serving thread's recorder slice covering this query.
+  std::vector<RecorderEvent> events;
+};
+
+class ExemplarReservoir {
+ public:
+  /// Keeps the `capacity_per_key` slowest queries per key.
+  explicit ExemplarReservoir(size_t capacity_per_key = 4);
+  ExemplarReservoir(const ExemplarReservoir&) = delete;
+  ExemplarReservoir& operator=(const ExemplarReservoir&) = delete;
+
+  /// True when a query of this latency could enter the reservoir. One
+  /// relaxed load; the engine gates all capture work on it. Always false
+  /// under GOALREC_OBS_NOOP.
+  bool WorthCapturing(double latency_us) const {
+    if constexpr (!kObsEnabled) return false;
+    return latency_us >= floor_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Inserts if `exemplar.latency_us` ranks among the key's K slowest;
+  /// otherwise drops it (WorthCapturing is conservative — a racing faster
+  /// query may get here and lose). Returns whether it was retained.
+  bool Offer(TailExemplar exemplar);
+
+  /// All retained exemplars, slowest first within each key.
+  std::vector<TailExemplar> Snapshot() const;
+
+  /// Pins the fast-path floor. The overhead bench raises it to +inf so the
+  /// steady-state path is measured without reservoir churn; a restart of
+  /// capture requires re-Offer traffic above the pin.
+  void set_floor_us(double floor_us) {
+    floor_us_.store(floor_us, std::memory_order_relaxed);
+  }
+  double floor_us() const {
+    return floor_us_.load(std::memory_order_relaxed);
+  }
+
+  size_t capacity_per_key() const { return capacity_per_key_; }
+
+  /// Total retained exemplars across keys.
+  size_t size() const;
+
+ private:
+  /// Recomputes floor_us_ from the retained set. Caller holds mu_.
+  void RecomputeFloorLocked();
+
+  const size_t capacity_per_key_;
+  /// Smallest latency that could displace a retained exemplar; 0 while any
+  /// key is below capacity.
+  std::atomic<double> floor_us_{0.0};
+
+  struct KeyBucket {
+    std::string key;
+    /// Unordered; Offer evicts the minimum when full.
+    std::vector<TailExemplar> slots;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<KeyBucket> buckets_;  // linear scan; a handful of keys
+};
+
+}  // namespace goalrec::obs
+
+#endif  // GOALREC_OBS_EXEMPLAR_H_

@@ -77,6 +77,15 @@ void AppendJsonLabels(std::string& out, const LabelSet& labels) {
   out += '}';
 }
 
+// Exemplar trace ids render as 16 hex digits — fixed width, matches how the
+// statusz surface prints query ids.
+std::string FormatTraceId(uint64_t trace_id) {
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return buffer;
+}
+
 }  // namespace
 
 std::string ExportPrometheus(const RegistrySnapshot& snapshot) {
@@ -101,7 +110,14 @@ std::string ExportPrometheus(const RegistrySnapshot& snapshot) {
                              ? "le=\"" + FormatNumber(h.bounds[i]) + "\""
                              : std::string("le=\"+Inf\"");
         out += metric.name + "_bucket" + PrometheusLabels(metric.labels, le) +
-               " " + std::to_string(cumulative) + "\n";
+               " " + std::to_string(cumulative);
+        // OpenMetrics exemplar: ` # {trace_id="..."} <observed value>` on
+        // the bucket the exemplar landed in.
+        if (i < h.exemplars.size() && h.exemplars[i].set) {
+          out += " # {trace_id=\"" + FormatTraceId(h.exemplars[i].trace_id) +
+                 "\"} " + FormatNumber(h.exemplars[i].value);
+        }
+        out += "\n";
       }
       out += metric.name + "_sum" + PrometheusLabels(metric.labels) + " " +
              FormatNumber(h.sum) + "\n";
@@ -144,7 +160,13 @@ std::string ExportJson(const RegistrySnapshot& snapshot) {
         } else {
           out += "\"+Inf\"";
         }
-        out += ",\"count\":" + std::to_string(h.counts[i]) + "}";
+        out += ",\"count\":" + std::to_string(h.counts[i]);
+        if (i < h.exemplars.size() && h.exemplars[i].set) {
+          out += ",\"exemplar\":{\"trace_id\":\"" +
+                 FormatTraceId(h.exemplars[i].trace_id) +
+                 "\",\"value\":" + FormatNumber(h.exemplars[i].value) + "}";
+        }
+        out += "}";
       }
       out += ']';
     } else {

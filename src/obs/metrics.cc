@@ -32,6 +32,16 @@ void Histogram::Observe(double value) {
   shard.sum.fetch_add(value, std::memory_order_relaxed);
 }
 
+void Histogram::AttachExemplar(double value, uint64_t trace_id) {
+  if constexpr (!kObsEnabled) return;
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  if (exemplars_.empty()) exemplars_.resize(bounds_.size() + 1);
+  exemplars_[bucket] = HistogramExemplar{value, trace_id, true};
+}
+
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snapshot;
   snapshot.bounds = bounds_;
@@ -43,6 +53,10 @@ HistogramSnapshot Histogram::Snapshot() const {
     snapshot.sum += shard.sum.load(std::memory_order_relaxed);
   }
   for (int64_t c : snapshot.counts) snapshot.count += c;
+  {
+    std::lock_guard<std::mutex> lock(exemplar_mu_);
+    snapshot.exemplars = exemplars_;
+  }
   return snapshot;
 }
 

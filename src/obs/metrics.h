@@ -105,6 +105,14 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
+/// One bucket's attached exemplar (OpenMetrics): the observed value plus
+/// the trace/query id linking back to the concrete event.
+struct HistogramExemplar {
+  double value = 0.0;
+  uint64_t trace_id = 0;
+  bool set = false;
+};
+
 /// Merged read-side view of a Histogram.
 struct HistogramSnapshot {
   /// Upper bounds, ascending; the implicit +Inf bucket is counts.back().
@@ -113,6 +121,9 @@ struct HistogramSnapshot {
   std::vector<int64_t> counts;
   int64_t count = 0;  // total observations
   double sum = 0.0;   // sum of observed values
+  /// Per-bucket exemplars, size bounds.size() + 1; empty when none were
+  /// ever attached (the common case for non-latency histograms).
+  std::vector<HistogramExemplar> exemplars;
 };
 
 /// Distribution of a value (latencies, sizes) over fixed upper-bound
@@ -121,6 +132,12 @@ struct HistogramSnapshot {
 class Histogram {
  public:
   void Observe(double value);
+
+  /// Attaches an exemplar to the bucket `value` falls in, replacing the
+  /// bucket's previous one. Mutex-guarded — callers already gate on
+  /// ExemplarReservoir::WorthCapturing, so this runs a handful of times per
+  /// histogram refresh, never per query. No-op under GOALREC_OBS_NOOP.
+  void AttachExemplar(double value, uint64_t trace_id);
 
   /// Merges all shards into one snapshot.
   HistogramSnapshot Snapshot() const;
@@ -138,6 +155,10 @@ class Histogram {
 
   std::vector<double> bounds_;  // ascending upper bounds
   Shard shards_[internal::kNumShards];
+
+  mutable std::mutex exemplar_mu_;
+  /// Lazily sized to bounds_.size() + 1 on first attach.
+  std::vector<HistogramExemplar> exemplars_;
 };
 
 /// `count` bucket bounds: start, start*factor, start*factor^2, ...

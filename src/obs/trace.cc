@@ -27,30 +27,44 @@ int64_t Trace::ElapsedNs() const {
       .count();
 }
 
+std::vector<size_t>& Trace::OpenStackLocked() {
+  std::thread::id me = std::this_thread::get_id();
+  for (auto& [thread, stack] : open_stacks_) {
+    if (thread == me) return stack;
+  }
+  open_stacks_.emplace_back(me, std::vector<size_t>());
+  return open_stacks_.back().second;
+}
+
 size_t Trace::StartSpan(std::string_view name) {
   TraceSpan span;
   span.name = std::string(name);
   span.start_ns = ElapsedNs();
-  span.parent = open_stack_.empty() ? TraceSpan::kNoParent : open_stack_.back();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<size_t>& open_stack = OpenStackLocked();
+  span.parent = open_stack.empty() ? TraceSpan::kNoParent : open_stack.back();
   spans_.push_back(std::move(span));
   size_t id = spans_.size() - 1;
-  open_stack_.push_back(id);
+  open_stack.push_back(id);
   return id;
 }
 
 void Trace::EndSpan(size_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
   GOALREC_CHECK(id < spans_.size());
   if (spans_[id].end_ns >= 0) return;  // idempotent close
-  GOALREC_CHECK(!open_stack_.empty() && open_stack_.back() == id)
+  std::vector<size_t>& open_stack = OpenStackLocked();
+  GOALREC_CHECK(!open_stack.empty() && open_stack.back() == id)
       << "spans must close innermost-first; open span "
-      << spans_[open_stack_.back()].name << " while closing "
-      << spans_[id].name;
+      << (open_stack.empty() ? "<none>" : spans_[open_stack.back()].name)
+      << " while closing " << spans_[id].name;
   spans_[id].end_ns = ElapsedNs();
-  open_stack_.pop_back();
+  open_stack.pop_back();
 }
 
 void Trace::Annotate(size_t span_id, std::string_view key,
                      std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
   GOALREC_CHECK(span_id < spans_.size());
   spans_[span_id].annotations.push_back(Annotation{
       std::string(key), std::string(value), Annotation::Kind::kString});
@@ -61,6 +75,7 @@ void Trace::Annotate(size_t span_id, std::string_view key, const char* value) {
 }
 
 void Trace::Annotate(size_t span_id, std::string_view key, int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
   GOALREC_CHECK(span_id < spans_.size());
   spans_[span_id].annotations.push_back(Annotation{
       std::string(key), std::to_string(value), Annotation::Kind::kInt});
@@ -71,12 +86,14 @@ void Trace::Annotate(size_t span_id, std::string_view key, uint64_t value) {
 }
 
 void Trace::Annotate(size_t span_id, std::string_view key, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   GOALREC_CHECK(span_id < spans_.size());
   spans_[span_id].annotations.push_back(Annotation{
       std::string(key), FormatDoubleValue(value), Annotation::Kind::kDouble});
 }
 
 void Trace::Annotate(size_t span_id, std::string_view key, bool value) {
+  std::lock_guard<std::mutex> lock(mu_);
   GOALREC_CHECK(span_id < spans_.size());
   spans_[span_id].annotations.push_back(Annotation{
       std::string(key), value ? "true" : "false", Annotation::Kind::kBool});

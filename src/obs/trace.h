@@ -4,8 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <utility>
 #include <vector>
 
 // Per-query tracing. A Trace is a tree of timed spans with key/value
@@ -13,13 +16,20 @@
 // strategies annotate candidate-set sizes and early stops, and QueryContext
 // records the space-construction work. Traces are sampled (TraceSampler) so
 // the steady-state cost is a branch per query; a sampled query costs a few
-// vector pushes — no locks, no I/O.
+// vector pushes plus a mutex the query almost always holds uncontended —
+// no I/O.
 //
-// A Trace is a single-query, single-thread object: the query that owns it
-// is the only writer. Cross-cutting code (QueryContext, the strategies)
-// reaches the active trace through the thread-local CurrentTrace(), which
-// the engine sets for the duration of each rung via ScopedTraceActivation —
-// the same pattern as a request-scoped context in production RPC stacks.
+// Cross-cutting code (QueryContext, the strategies) reaches the active
+// trace through the thread-local CurrentTrace(), which the engine sets for
+// the duration of each rung via ScopedTraceActivation — the same pattern as
+// a request-scoped context in production RPC stacks. ThreadPool::Submit and
+// ParallelFor re-activate the submitter's trace in their workers, so spans
+// opened on pool threads land in the same tree. Each thread nests its spans
+// on its own open-span stack; a span opened on a pool thread is a root of
+// the forest (kNoParent) unless that thread already has a span open.
+// Mutation is mutex-guarded; spans() is a read of live state and is meant
+// for after-the-fact decoding, once the query (and any workers it fanned
+// out to) has finished.
 
 namespace goalrec::obs {
 
@@ -53,12 +63,13 @@ class Trace {
   /// epoch is captured here; span offsets are relative to it.
   explicit Trace(std::string name = "query");
 
-  /// Opens a span as a child of the innermost open span (or a root).
-  /// Returns its id. Prefer ScopedSpan.
+  /// Opens a span as a child of the calling thread's innermost open span
+  /// (or a root when this thread has none). Returns its id. Prefer
+  /// ScopedSpan. Thread-safe.
   size_t StartSpan(std::string_view name);
 
-  /// Closes span `id`. Spans must be closed innermost-first; closing out of
-  /// order aborts (it would corrupt the parent stack).
+  /// Closes span `id`. A thread's spans must close innermost-first; closing
+  /// out of order aborts (it would corrupt the parent stack). Thread-safe.
   void EndSpan(size_t id);
 
   void Annotate(size_t span_id, std::string_view key, std::string_view value);
@@ -73,15 +84,24 @@ class Trace {
 
   const std::string& name() const { return name_; }
   /// All spans in start order. Parent indices always point backwards.
+  /// Unsynchronized read — call only once writers are done (the exporters
+  /// and exemplar rendering run after the query finished).
   const std::vector<TraceSpan>& spans() const { return spans_; }
   /// Nanoseconds since the epoch, for annotations that record "now".
   int64_t ElapsedNs() const;
 
  private:
+  /// The calling thread's open-span stack, created on first use. Caller
+  /// holds mu_. Linear scan: a trace sees one submitter plus a few pool
+  /// workers.
+  std::vector<size_t>& OpenStackLocked();
+
   std::string name_;
   std::chrono::steady_clock::time_point epoch_;
+  std::mutex mu_;
   std::vector<TraceSpan> spans_;
-  std::vector<size_t> open_stack_;
+  /// Per-thread LIFO of open span ids, keyed by thread id.
+  std::vector<std::pair<std::thread::id, std::vector<size_t>>> open_stacks_;
 };
 
 /// RAII span. Null `trace` makes every operation a no-op, so call sites do

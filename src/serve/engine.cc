@@ -5,6 +5,9 @@
 #include <span>
 #include <thread>
 
+#include "obs/exemplar.h"
+#include "obs/recorder.h"
+#include "obs/slo.h"
 #include "serve/snapshot_manager.h"
 #include "util/logging.h"
 
@@ -12,6 +15,13 @@ namespace goalrec::serve {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+uint64_t ToNs(std::chrono::nanoseconds d) {
+  return d.count() <= 0 ? 0 : static_cast<uint64_t>(d.count());
+}
+
+/// kQueryEnd's rung field when no rung served the query.
+constexpr uint16_t kNoServingRung = 0xFFFF;
 
 // Sleeps an injected latency spike, but never meaningfully past the query's
 // deadline: overshooting the budget inside the fault plane would make every
@@ -140,12 +150,25 @@ void ServingEngine::InitInstruments() {
     }
     rung_metrics_.push_back(rm);
   }
+  last_breaker_state_ = std::vector<std::atomic<int>>(rungs_.size());
+  for (std::atomic<int>& state : last_breaker_state_) {
+    state.store(-1, std::memory_order_relaxed);
+  }
 }
 
 util::StatusOr<ServeResult> ServingEngine::ServeImpl(
     const model::Activity& activity, size_t k, util::CancellationToken cancel,
     QueryPriority priority) const {
   Clock::time_point query_start = Clock::now();
+  // Recorder-clock stamp of arrival: the TailSince bound that scopes this
+  // query's recorder slice when it turns out to be a tail exemplar.
+  int64_t recorder_start_ns = obs::FlightRecorder::NowNs();
+  uint64_t query_id = next_query_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Default();
+  recorder.Record(obs::RecorderEventType::kQueryStart,
+                  static_cast<uint16_t>(priority),
+                  static_cast<uint32_t>(std::min<size_t>(k, UINT32_MAX)),
+                  query_id);
   queries_->Increment();
   // The budget starts at arrival: time spent queued for admission is spent
   // from the same deadline the ladder runs under.
@@ -154,24 +177,44 @@ util::StatusOr<ServeResult> ServingEngine::ServeImpl(
           ? util::Deadline::AfterMillis(options_.deadline_ms)
           : util::Deadline::Infinite();
   if (options_.admission != nullptr) {
+    Clock::time_point admit_start = Clock::now();
     util::Status admitted =
         options_.admission->Admit(priority, deadline, cancel);
+    uint64_t wait_ns = ToNs(Clock::now() - admit_start);
     if (!admitted.ok()) {
+      obs::RecorderResult why = obs::RecorderResult::kShed;
       if (admitted.code() == util::StatusCode::kCancelled) {
         cancelled_->Increment();
+        why = obs::RecorderResult::kCancelled;
       } else {
         shed_->Increment();
       }
+      recorder.Record(obs::RecorderEventType::kAdmissionWait, 0,
+                      static_cast<uint32_t>(why), wait_ns);
+      recorder.Record(obs::RecorderEventType::kQueryEnd, kNoServingRung,
+                      static_cast<uint32_t>(why),
+                      ToNs(Clock::now() - query_start));
+      if (options_.slo != nullptr) options_.slo->Record(false);
       return admitted;
     }
+    recorder.Record(obs::RecorderEventType::kAdmissionWait, 0,
+                    static_cast<uint32_t>(obs::RecorderResult::kOk), wait_ns);
   }
   // Sampling decision and trace lifetime live out here so RunLadder's early
   // returns cannot leak a trace with open spans into the sink.
   std::shared_ptr<obs::Trace> trace;
   if (sampler_.Sample()) trace = std::make_shared<obs::Trace>("serve");
   Clock::time_point ladder_start = Clock::now();
-  util::StatusOr<ServeResult> result =
-      RunLadder(activity, k, cancel, deadline, query_start, trace.get());
+  util::StatusOr<ServeResult> result = RunLadder(
+      activity, k, cancel, deadline, query_start, trace, query_id,
+      recorder_start_ns);
+  // One SLO event per query that reached the ladder: good means it produced
+  // an answer AND the answer landed inside the deadline. (Shed and
+  // admission-cancelled queries were recorded as bad above.)
+  if (options_.slo != nullptr) {
+    bool met = deadline.is_infinite() || !deadline.Expired();
+    options_.slo->Record(result.ok() && met);
+  }
   if (options_.admission != nullptr) {
     // The limiter learns from ladder time only: queue wait is the
     // controller's own doing and would double-count in its service
@@ -202,11 +245,13 @@ util::StatusOr<ServeResult> ServingEngine::ServeImpl(
 util::StatusOr<ServeResult> ServingEngine::RunLadder(
     const model::Activity& activity, size_t k,
     const util::CancellationToken& cancel, const util::Deadline& deadline,
-    Clock::time_point query_start, obs::Trace* trace) const {
+    Clock::time_point query_start, const std::shared_ptr<obs::Trace>& trace,
+    uint64_t query_id, int64_t recorder_start_ns) const {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Default();
   // Activate the trace for the whole query: QueryContext::Create and the
   // strategies pick it up through obs::CurrentTrace().
-  obs::ScopedTraceActivation activation(trace);
-  obs::ScopedSpan serve_span(trace, "serve");
+  obs::ScopedTraceActivation activation(trace.get());
+  obs::ScopedSpan serve_span(trace.get(), "serve");
   serve_span.Annotate("k", k);
   serve_span.Annotate("activity_size", activity.size());
   serve_span.Annotate("deadline_ms", options_.deadline_ms);
@@ -235,7 +280,9 @@ util::StatusOr<ServeResult> ServingEngine::RunLadder(
     const bool is_last = i + 1 == active.size();
     CircuitBreaker* breaker = breakers_.empty() ? nullptr : breakers_[i].get();
     Clock::time_point rung_start = Clock::now();
-    obs::ScopedSpan rung_span(trace, "rung/" + rung.name);
+    recorder.Record(obs::RecorderEventType::kRungEnter,
+                    static_cast<uint16_t>(i));
+    obs::ScopedSpan rung_span(trace.get(), "rung/" + rung.name);
     rung_span.Annotate("index", i);
     if (!deadline.is_infinite()) {
       rung_span.Annotate("deadline_slack_us",
@@ -252,8 +299,26 @@ util::StatusOr<ServeResult> ServingEngine::RunLadder(
       rm.outcome[static_cast<size_t>(outcome)]->Increment();
       rm.latency_us->Observe(
           static_cast<double>(report.latency.count()) / 1e3);
+      recorder.Record(obs::RecorderEventType::kRungExit,
+                      static_cast<uint16_t>(i),
+                      static_cast<uint32_t>(outcome),
+                      ToNs(report.latency));
       rung_span.Annotate("outcome", RungOutcomeLabel(outcome));
       result.rungs.push_back(std::move(report));
+    };
+    // Refreshes the breaker state gauge and, when the state changed since
+    // this rung's last query, leaves a kBreakerTransition in the recorder —
+    // the flight-recorder timeline shows *when* a rung tripped or healed.
+    auto publish_breaker_state = [&] {
+      int state = static_cast<int>(breaker->state());
+      rm.breaker_state->Set(state);
+      int last = last_breaker_state_[i].exchange(state,
+                                                 std::memory_order_relaxed);
+      if (last != state) {
+        recorder.Record(obs::RecorderEventType::kBreakerTransition,
+                        static_cast<uint16_t>(i),
+                        static_cast<uint32_t>(state));
+      }
     };
     // Feeds the rung's outcome to its breaker and refreshes the state
     // gauge. Empty answers count as healthy: the rung responded promptly,
@@ -272,13 +337,16 @@ util::StatusOr<ServeResult> ServingEngine::RunLadder(
         case RungOutcome::kBreakerOpen:
           break;
       }
-      rm.breaker_state->Set(static_cast<int64_t>(breaker->state()));
+      publish_breaker_state();
     };
 
     if (cancel.Cancelled()) {
       cancelled_->Increment();
       latency_us_->Observe(
           static_cast<double>((Clock::now() - query_start).count()) / 1e3);
+      recorder.Record(obs::RecorderEventType::kQueryEnd, kNoServingRung,
+                      static_cast<uint32_t>(obs::RecorderResult::kCancelled),
+                      ToNs(Clock::now() - query_start));
       rung_span.Annotate("outcome", "cancelled");
       serve_span.Annotate("outcome", "cancelled");
       return util::CancelledError("query cancelled before rung '" +
@@ -289,7 +357,7 @@ util::StatusOr<ServeResult> ServingEngine::RunLadder(
     // rung is never gated — the floor always runs.
     if (!is_last && breaker != nullptr && !breaker->Allow()) {
       report.latency = Clock::now() - rung_start;
-      rm.breaker_state->Set(static_cast<int64_t>(breaker->state()));
+      publish_breaker_state();
       finish_rung(RungOutcome::kBreakerOpen);
       continue;
     }
@@ -325,6 +393,9 @@ util::StatusOr<ServeResult> ServingEngine::RunLadder(
     util::StopToken stop = is_last
                                ? util::StopToken()
                                : util::StopToken(deadline, cancel);
+    // Fresh kernel stats per attempt: RecommendPooled's strategy accumulates
+    // into them and a tail exemplar snapshots them for the serving rung.
+    workspace->kernel_stats = {};
     rung.recommender->RecommendPooled(activity, k, &stop, workspace.get(),
                                       list);
     report.latency = Clock::now() - rung_start;
@@ -333,6 +404,9 @@ util::StatusOr<ServeResult> ServingEngine::RunLadder(
       cancelled_->Increment();
       latency_us_->Observe(
           static_cast<double>((Clock::now() - query_start).count()) / 1e3);
+      recorder.Record(obs::RecorderEventType::kQueryEnd, kNoServingRung,
+                      static_cast<uint32_t>(obs::RecorderResult::kCancelled),
+                      ToNs(Clock::now() - query_start));
       rung_span.Annotate("outcome", "cancelled");
       serve_span.Annotate("outcome", "cancelled");
       return util::CancelledError("query cancelled in rung '" + rung.name +
@@ -359,7 +433,40 @@ util::StatusOr<ServeResult> ServingEngine::RunLadder(
     result.degraded = i > 0;
     result.latency = Clock::now() - query_start;
     if (result.degraded) degraded_->Increment();
-    latency_us_->Observe(static_cast<double>(result.latency.count()) / 1e3);
+    double latency_total_us =
+        static_cast<double>(result.latency.count()) / 1e3;
+    latency_us_->Observe(latency_total_us);
+    recorder.Record(obs::RecorderEventType::kQueryEnd,
+                    static_cast<uint16_t>(i),
+                    static_cast<uint32_t>(obs::RecorderResult::kOk),
+                    ToNs(result.latency));
+    // Tail exemplar capture. Steady-state cost is the one relaxed floor
+    // load in WorthCapturing; only queries slower than the reservoir's
+    // current floor pay for the trace/recorder-slice copy below.
+    if (options_.exemplars != nullptr &&
+        options_.exemplars->WorthCapturing(latency_total_us)) {
+      obs::TailExemplar exemplar;
+      exemplar.key = rung.name;
+      exemplar.id = query_id;
+      exemplar.latency_us = latency_total_us;
+      exemplar.snapshot_version = result.library_version;
+      exemplar.captured_ts_ns = obs::FlightRecorder::NowNs();
+      exemplar.stats.h_size =
+          static_cast<uint32_t>(workspace->activity.size());
+      exemplar.stats.touched_impls =
+          static_cast<uint32_t>(workspace->touched_impls().size());
+      exemplar.stats.touched_slots = workspace->kernel_stats.slots_touched;
+      exemplar.stats.dense_fallbacks =
+          workspace->kernel_stats.dense_fallbacks;
+      exemplar.trace = trace;  // co-owns the span tree past the query
+      exemplar.events = recorder.TailSince(recorder_start_ns);
+      if (options_.exemplars->Offer(std::move(exemplar))) {
+        latency_us_->AttachExemplar(latency_total_us, query_id);
+        rm.latency_us->AttachExemplar(
+            static_cast<double>(result.rungs.back().latency.count()) / 1e3,
+            query_id);
+      }
+    }
     serve_span.Annotate("outcome", "served");
     serve_span.Annotate("rung", rung.name);
     serve_span.Annotate("rung_index", i);
@@ -370,6 +477,9 @@ util::StatusOr<ServeResult> ServingEngine::RunLadder(
   unavailable_->Increment();
   latency_us_->Observe(
       static_cast<double>((Clock::now() - query_start).count()) / 1e3);
+  recorder.Record(obs::RecorderEventType::kQueryEnd, kNoServingRung,
+                  static_cast<uint32_t>(obs::RecorderResult::kUnavailable),
+                  ToNs(Clock::now() - query_start));
   serve_span.Annotate("outcome", "unavailable");
   std::string detail;
   for (const RungReport& report : result.rungs) {

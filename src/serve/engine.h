@@ -1,6 +1,7 @@
 #ifndef GOALREC_SERVE_ENGINE_H_
 #define GOALREC_SERVE_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -45,6 +46,11 @@
 // (outcome kBreakerOpen) instead of re-discovering the failure on every
 // query. The degradation ladder degrades every answer a little; admission
 // control keeps admitted answers good and fails the rest fast.
+
+namespace goalrec::obs {
+class ExemplarReservoir;
+class SloTracker;
+}  // namespace goalrec::obs
 
 namespace goalrec::serve {
 
@@ -104,6 +110,15 @@ struct EngineOptions {
   /// Invoked with every sampled trace after the query finishes (all spans
   /// closed), on the serving thread. May be empty.
   std::function<void(const obs::Trace&)> trace_sink;
+  /// Tail exemplar reservoir (obs/exemplar.h). When set, every served query
+  /// pays one relaxed load (WorthCapturing); the K slowest per rung
+  /// additionally get their trace, recorder slice and workspace stats
+  /// captured, and their query id attached to the latency histograms as an
+  /// OpenMetrics exemplar. Not owned; may be null.
+  obs::ExemplarReservoir* exemplars = nullptr;
+  /// SLO tracker fed one good/bad event per finished query: good = the
+  /// query succeeded AND met its deadline. Not owned; may be null.
+  obs::SloTracker* slo = nullptr;
 };
 
 struct ServeResult {
@@ -208,13 +223,19 @@ class ServingEngine {
                                         util::CancellationToken cancel,
                                         QueryPriority priority) const;
 
+  /// `trace` is shared (not raw) so a captured tail exemplar can co-own the
+  /// span tree past the query; `query_id` labels the query's recorder events
+  /// and exemplar, `recorder_start_ns` bounds the TailSince slice.
   util::StatusOr<ServeResult> RunLadder(const model::Activity& activity,
                                         size_t k,
                                         const util::CancellationToken& cancel,
                                         const util::Deadline& deadline,
                                         std::chrono::steady_clock::time_point
                                             query_start,
-                                        obs::Trace* trace) const;
+                                        const std::shared_ptr<obs::Trace>&
+                                            trace,
+                                        uint64_t query_id,
+                                        int64_t recorder_start_ns) const;
 
   /// Resolves the per-rung instrument handles and breakers from rungs_'
   /// names (shared by both constructors).
@@ -241,6 +262,13 @@ class ServingEngine {
   obs::Counter* fault_errors_ = nullptr;
   obs::Counter* fault_delays_ = nullptr;
   mutable obs::TraceSampler sampler_;
+  /// Process-unique-per-engine query ids: recorder event / exemplar /
+  /// histogram-exemplar correlation key (the "trace_id" in OpenMetrics
+  /// exports).
+  mutable std::atomic<uint64_t> next_query_id_{0};
+  /// Last CircuitBreaker::State observed per rung; a change emits one
+  /// kBreakerTransition recorder event. -1 until first observed.
+  mutable std::vector<std::atomic<int>> last_breaker_state_;
 };
 
 /// Renders a ServeResult's audit trail for CLI/log output, e.g.

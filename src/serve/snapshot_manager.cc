@@ -7,6 +7,7 @@
 #include "core/recommender.h"
 #include "model/library_io.h"
 #include "model/validate.h"
+#include "obs/recorder.h"
 #include "util/logging.h"
 #include "util/set_ops.h"
 
@@ -36,6 +37,10 @@ SnapshotManager::SnapshotManager(
   library_impls_ =
       registry.GetGauge("goalrec_library_implementations", {},
                         "Implementations in the currently served library");
+  snapshot_age_seconds_ = registry.GetGauge(
+      "goalrec_snapshot_age_seconds", {},
+      "Seconds since the serving snapshot was last swapped in "
+      "(refreshed on swap and on every periodic export)");
   constexpr char kFailureHelp[] =
       "Rejected reload candidates, by guard stage";
   failure_load_ = registry.GetCounter("goalrec_reload_failure_total",
@@ -65,7 +70,22 @@ SnapshotManager::SnapshotManager(
   library_version_->Set(static_cast<int64_t>(built.library->version));
   library_impls_->Set(
       static_cast<int64_t>(built.library->library.num_implementations()));
+  uint64_t version = built.library->version;
   current_.store(std::move(serving).value(), std::memory_order_release);
+  last_swap_ns_.store(obs::FlightRecorder::NowNs(), std::memory_order_relaxed);
+  snapshot_age_seconds_->Set(0);
+  obs::FlightRecorder::Default().Record(obs::RecorderEventType::kSnapshotSwap,
+                                        0, 0, version);
+}
+
+double SnapshotManager::snapshot_age_seconds() const {
+  int64_t since =
+      obs::FlightRecorder::NowNs() - last_swap_ns_.load(std::memory_order_relaxed);
+  return since <= 0 ? 0.0 : static_cast<double>(since) / 1e9;
+}
+
+void SnapshotManager::RefreshAgeGauge() const {
+  snapshot_age_seconds_->Set(static_cast<int64_t>(snapshot_age_seconds()));
 }
 
 util::StatusOr<std::shared_ptr<const ServingSnapshot>>
@@ -182,11 +202,15 @@ util::Status SnapshotManager::Reload(
   // The swap: in-flight queries keep the snapshot they acquired; new
   // queries see the replacement from the next Acquire() on.
   current_.store(std::move(serving).value(), std::memory_order_release);
+  last_swap_ns_.store(obs::FlightRecorder::NowNs(), std::memory_order_relaxed);
   reloads_.fetch_add(1, std::memory_order_relaxed);
   consecutive_failures_.store(0, std::memory_order_relaxed);
   reload_ok_->Increment();
   library_version_->Set(static_cast<int64_t>(version));
   library_impls_->Set(static_cast<int64_t>(impls));
+  snapshot_age_seconds_->Set(0);
+  obs::FlightRecorder::Default().Record(obs::RecorderEventType::kSnapshotSwap,
+                                        0, 0, version);
   GOALREC_LOG(INFO) << "library reloaded" << util::Kv("version", version)
                     << util::Kv("implementations", impls);
   return util::Status::Ok();

@@ -134,6 +134,15 @@ class SnapshotManager {
     return consecutive_failures_.load(std::memory_order_relaxed);
   }
 
+  /// Seconds since the serving snapshot was last swapped in (initial build
+  /// counts). The staleness signal for dashboards watching a reload loop.
+  double snapshot_age_seconds() const;
+
+  /// Re-publishes the age into goalrec_snapshot_age_seconds. The gauge is
+  /// also set to 0 at every swap; periodic exporters (dumper, statusz) call
+  /// this so the exported age moves between swaps.
+  void RefreshAgeGauge() const;
+
  private:
   util::StatusOr<std::shared_ptr<const ServingSnapshot>> BuildServing(
       std::shared_ptr<const model::LibrarySnapshot> snapshot) const;
@@ -153,6 +162,8 @@ class SnapshotManager {
   std::atomic<std::shared_ptr<const ServingSnapshot>> current_;
   std::atomic<uint64_t> reloads_{0};
   std::atomic<uint64_t> consecutive_failures_{0};
+  /// FlightRecorder::NowNs() of the last publish (ctor or Reload).
+  std::atomic<int64_t> last_swap_ns_{0};
   /// Serialises Reload/ReloadFromFile against each other only.
   std::mutex reload_mu_;
 
@@ -161,6 +172,7 @@ class SnapshotManager {
   obs::Histogram* reload_latency_us_ = nullptr;
   obs::Gauge* library_version_ = nullptr;
   obs::Gauge* library_impls_ = nullptr;
+  obs::Gauge* snapshot_age_seconds_ = nullptr;
   // goalrec_reload_failure_total{reason}: why candidates were rejected.
   obs::Counter* failure_load_ = nullptr;
   obs::Counter* failure_ladder_ = nullptr;

@@ -65,12 +65,19 @@
 //
 //   goalrec serve <library> [--strategy=breadth] [--deadline_ms=N]
 //                 [--watch_library] [--watch_interval_ms=500]
+//                 [--slo_objective=0.999] [--statusz_out=<path|->]
+//                 [--statusz_every_ms=1000]
 //       Interactive serving REPL over a hot-reloadable library snapshot
 //       (docs/serving.md, "Library hot reload"). Queries run through the
 //       resilient engine's <strategy> → popularity ladder against the
 //       current snapshot; `reload [path]` swaps the library atomically
 //       without dropping the session's activity, and --watch_library polls
-//       the file's mtime and reloads automatically when it changes.
+//       the file's mtime and reloads automatically when it changes. The
+//       `statusz` command prints the live introspection page — snapshot
+//       version/age, SLO burn rates, breaker states, tail exemplars with
+//       decoded flight-recorder slices (docs/observability.md); with
+//       --statusz_out the same page is rewritten to a file every
+//       --statusz_every_ms while the REPL runs ("-" writes once at exit).
 //
 // Library files ending in .bin are read/written in the binary format and
 // files ending in .snap in the crash-consistent CRC-framed snapshot format
@@ -107,13 +114,16 @@
 #include "model/library_io.h"
 #include "model/snapshot_io.h"
 #include "obs/dumper.h"
+#include "obs/exemplar.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "model/snapshot.h"
 #include "serve/engine.h"
 #include "serve/fault_injection.h"
 #include "serve/popularity_floor.h"
 #include "serve/snapshot_manager.h"
+#include "serve/statusz.h"
 #include "textmine/aliases.h"
 #include "textmine/corpus.h"
 #include "model/statistics.h"
@@ -730,9 +740,10 @@ int CmdServe(const FlagParser& flags) {
                  "usage: goalrec serve <library> [--strategy=breadth] "
                  "[--deadline_ms=N] [--watch_library] "
                  "[--watch_interval_ms=500] [--canary_probes=3] "
-                 "[--load_mode=strict|quarantine]\n"
+                 "[--load_mode=strict|quarantine] [--slo_objective=0.999] "
+                 "[--statusz_out=<path|->] [--statusz_every_ms=1000]\n"
                  "interactive: perform <action> | undo <action> | "
-                 "recommend [k] | reload [path] | status | quit\n");
+                 "recommend [k] | reload [path] | status | statusz | quit\n");
     return 2;
   }
   const std::string library_path = flags.positional()[1];
@@ -802,7 +813,45 @@ int CmdServe(const FlagParser& flags) {
     return 2;
   }
   engine_options.deadline_ms = *deadline_ms;
+  // The observability plane: SLO accounting against the deadline, and a
+  // tail exemplar reservoir feeding the statusz page and the histogram
+  // exemplars (docs/observability.md).
+  StatusOr<double> slo_objective = flags.GetDouble("slo_objective", 0.999);
+  if (!slo_objective.ok() || *slo_objective <= 0.0 || *slo_objective >= 1.0) {
+    GOALREC_LOG(ERROR) << "--slo_objective must be in (0, 1)";
+    return 2;
+  }
+  goalrec::obs::SloOptions slo_options;
+  slo_options.objective = *slo_objective;
+  goalrec::obs::SloTracker slo(slo_options);
+  goalrec::obs::ExemplarReservoir exemplars;
+  engine_options.slo = &slo;
+  engine_options.exemplars = &exemplars;
   goalrec::serve::ServingEngine engine(&manager, engine_options);
+
+  goalrec::serve::StatuszSources statusz_sources;
+  statusz_sources.engine = &engine;
+  statusz_sources.snapshots = &manager;
+  statusz_sources.slo = &slo;
+  statusz_sources.exemplars = &exemplars;
+
+  // --statusz_out: the statusz page as a periodically rewritten file, the
+  // same dumper lifecycle --metrics_out uses, with the page as producer.
+  std::string statusz_out = flags.GetString("statusz_out");
+  StatusOr<int64_t> statusz_every = flags.GetInt("statusz_every_ms", 1000);
+  if (!statusz_every.ok() || *statusz_every < 0) {
+    GOALREC_LOG(ERROR) << "--statusz_every_ms must be a non-negative integer";
+    return 2;
+  }
+  std::optional<goalrec::obs::PeriodicDumper> statusz_dumper;
+  if (!statusz_out.empty() && statusz_out != "-" && *statusz_every > 0) {
+    goalrec::obs::DumperOptions statusz_dump_options;
+    statusz_dump_options.interval = std::chrono::milliseconds(*statusz_every);
+    statusz_dump_options.producer = [statusz_sources] {
+      return goalrec::serve::RenderStatusz(statusz_sources);
+    };
+    statusz_dumper.emplace(nullptr, statusz_out, statusz_dump_options);
+  }
 
   // --watch_library: poll the library file's mtime and hot-reload on change.
   // The failed-reload path is safe by construction — the manager keeps the
@@ -892,7 +941,8 @@ int CmdServe(const FlagParser& flags) {
 
   std::printf("goalrec serve — %s ladder over library v%llu (%u "
               "implementations)%s. Commands: perform <action> | undo "
-              "<action> | recommend [k] | reload [path] | status | quit\n",
+              "<action> | recommend [k] | reload [path] | status | statusz "
+              "| quit\n",
               strategy_name.c_str(),
               static_cast<unsigned long long>(manager.current_version()),
               manager.Acquire()->library->library.num_implementations(),
@@ -930,6 +980,10 @@ int CmdServe(const FlagParser& flags) {
                     100.0 * closest.completeness);
       }
       std::printf("\n");
+      continue;
+    }
+    if (trimmed == "statusz") {
+      std::printf("%s", goalrec::serve::RenderStatusz(statusz_sources).c_str());
       continue;
     }
     if (trimmed == "reload" || goalrec::util::StartsWith(trimmed, "reload ")) {
@@ -996,11 +1050,17 @@ int CmdServe(const FlagParser& flags) {
       continue;
     }
     std::printf("commands: perform <action> | undo <action> | recommend "
-                "[k] | reload [path] | status | quit\n");
+                "[k] | reload [path] | status | statusz | quit\n");
   }
   if (watcher.joinable()) {
     stop_watch.store(true, std::memory_order_relaxed);
     watcher.join();
+  }
+  if (statusz_dumper.has_value()) {
+    statusz_dumper.reset();  // joins the ticker and writes the final page
+  } else if (!statusz_out.empty()) {
+    goalrec::obs::WriteSnapshotFile(
+        statusz_out, goalrec::serve::RenderStatusz(statusz_sources));
   }
   return 0;
 }

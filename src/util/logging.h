@@ -117,7 +117,11 @@ inline const char* Basename(const char* path) {
   return base;
 }
 
-/// logfmt value escaping: quotes, backslashes, newlines.
+/// logfmt value escaping. Quotes, backslashes and the common whitespace
+/// escapes get their two-character forms; any other control character
+/// (including the '\x1f' field delimiter LogMessage uses internally, which
+/// would otherwise split the record) renders as \u00XX so a logfmt line is
+/// always exactly one line and parses back losslessly.
 inline void AppendQuoted(std::string& out, std::string_view value) {
   out += '"';
   for (char c : value) {
@@ -126,11 +130,69 @@ inline void AppendQuoted(std::string& out, std::string_view value) {
       out += c;
     } else if (c == '\n') {
       out += "\\n";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buffer;
     } else {
       out += c;
     }
   }
   out += '"';
+}
+
+/// logfmt keys cannot carry quoting, so characters that would break the
+/// `key=value` shape (spaces, '=', '"', controls) map to '_'.
+inline void AppendSanitizedKey(std::string& out, std::string_view key) {
+  for (char c : key) {
+    bool bad = static_cast<unsigned char>(c) <= ' ' || c == '=' || c == '"';
+    out += bad ? '_' : c;
+  }
+}
+
+/// Renders one record body (msg text plus '\x1f'-delimited Kv fields, as
+/// accumulated by LogMessage) into a single logfmt line, without the
+/// trailing newline. Factored out of the emit path so the escaping rules
+/// are directly testable.
+inline std::string RenderLogfmt(LogLevel level, const char* file, int line_no,
+                                const std::string& message) {
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm_utc{};
+  gmtime_r(&ts.tv_sec, &tm_utc);
+  char stamp[64];
+  std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                static_cast<int>(ts.tv_nsec / 1000000));
+  std::string line;
+  line.reserve(message.size() + 96);
+  line += "level=";
+  line += LogLevelName(level);
+  line += " ts=";
+  line += stamp;
+  line += " caller=";
+  line += Basename(file);
+  line += ':';
+  line += std::to_string(line_no);
+  // Split the body back into msg= and the Kv fields appended after it.
+  // Kv fields arrive pre-rendered (sanitized key, '=', escaped value).
+  size_t fields_at = message.find('\x1f');
+  line += " msg=";
+  AppendQuoted(line, std::string_view(message).substr(0, fields_at));
+  while (fields_at != std::string::npos) {
+    size_t next = message.find('\x1f', fields_at + 1);
+    line += ' ';
+    line += message.substr(
+        fields_at + 1, next == std::string::npos ? next : next - fields_at - 1);
+    fields_at = next;
+  }
+  return line;
 }
 
 // Token aliases so GOALREC_LOG(INFO) can paste its argument.
@@ -204,39 +266,8 @@ class LogMessage {
     }
     // Render one logfmt line; a single fprintf keeps concurrent records
     // from interleaving mid-line.
-    std::timespec ts{};
-    std::timespec_get(&ts, TIME_UTC);
-    std::tm tm_utc{};
-    gmtime_r(&ts.tv_sec, &tm_utc);
-    char stamp[64];
-    std::snprintf(stamp, sizeof(stamp),
-                  "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
-                  tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
-                  tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
-                  static_cast<int>(ts.tv_nsec / 1000000));
-    std::string line;
-    line.reserve(message.size() + 96);
-    line += "level=";
-    line += LogLevelName(level_);
-    line += " ts=";
-    line += stamp;
-    line += " caller=";
-    line += logging_internal::Basename(file_);
-    line += ':';
-    line += std::to_string(line_);
-    // Split the body back into msg= and the Kv fields appended after it.
-    size_t fields_at = message.find('\x1f');
-    line += " msg=";
-    logging_internal::AppendQuoted(
-        line, std::string_view(message).substr(0, fields_at));
-    while (fields_at != std::string::npos) {
-      size_t next = message.find('\x1f', fields_at + 1);
-      line += ' ';
-      line += message.substr(
-          fields_at + 1,
-          next == std::string::npos ? next : next - fields_at - 1);
-      fields_at = next;
-    }
+    std::string line =
+        logging_internal::RenderLogfmt(level_, file_, line_, message);
     line += '\n';
     std::fputs(line.c_str(), stderr);
   }
@@ -251,7 +282,12 @@ class LogMessage {
   LogMessage& operator<<(const KvField<T>& field) {
     // Fields are delimited with a unit separator inside the body and split
     // back out at emission, so they land outside the quoted msg="...".
-    stream_ << '\x1f' << field.key << '=';
+    // Keys are sanitized and non-arithmetic values quoted+escaped here, so
+    // a value containing spaces, '=', quotes or newlines cannot break the
+    // key=value grammar of the emitted line.
+    std::string rendered_key;
+    logging_internal::AppendSanitizedKey(rendered_key, field.key);
+    stream_ << '\x1f' << rendered_key << '=';
     if constexpr (std::is_arithmetic_v<T>) {
       stream_ << field.value;
     } else {

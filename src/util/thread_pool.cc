@@ -6,6 +6,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace goalrec::util {
@@ -75,6 +76,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Carry the submitter's active trace into the worker so spans opened by
+  // the task land in the same tree instead of silently detaching. The
+  // submitter must keep the trace alive until the task completes — true for
+  // the eval/reload callers, which Wait() before reading the trace.
+  if (obs::Trace* trace = obs::CurrentTrace(); trace != nullptr) {
+    task = [trace, inner = std::move(task)] {
+      obs::ScopedTraceActivation activation(trace);
+      inner();
+    };
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     GOALREC_CHECK(!shutdown_);
@@ -169,12 +180,17 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& body,
   threads.reserve(workers);
   std::mutex failure_mutex;
   std::exception_ptr first_failure;
+  // Workers re-activate the caller's trace; the caller outlives them (it
+  // joins below), so the raw pointer is safe.
+  obs::Trace* trace = obs::CurrentTrace();
   size_t chunk = (n + workers - 1) / workers;
   for (size_t w = 0; w < workers; ++w) {
     size_t begin = w * chunk;
     size_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    threads.emplace_back([begin, end, &body, &failure_mutex, &first_failure] {
+    threads.emplace_back([begin, end, &body, &failure_mutex, &first_failure,
+                          trace] {
+      obs::ScopedTraceActivation activation(trace);
       for (size_t i = begin; i < end; ++i) {
         try {
           body(i);

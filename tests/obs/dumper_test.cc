@@ -1,0 +1,150 @@
+// PeriodicDumper lifecycle: Stop() idempotence, the final snapshot written
+// at destruction, the custom producer seam, and crash consistency through
+// the write_file fault seam — a failed write must never leave a partial
+// (or any) file at the destination path.
+
+#include "obs/dumper.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace goalrec::obs {
+namespace {
+
+std::string TempPath(const char* name) {
+  const char* base = std::getenv("TMPDIR");
+  std::string dir = base != nullptr ? base : "/tmp";
+  return dir + "/goalrec_dumper_test_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool Exists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+TEST(PeriodicDumperTest, StopIsIdempotentAndDestructorWritesFinalSnapshot) {
+  std::vector<std::pair<std::string, std::string>> writes;
+  int renders = 0;
+  DumperOptions options;
+  options.interval = std::chrono::hours(1);  // only explicit/final dumps
+  options.producer = [&renders] {
+    return "page " + std::to_string(++renders);
+  };
+  options.write_file = [&writes](const std::string& path,
+                                 const std::string& contents) {
+    writes.emplace_back(path, contents);
+    return true;
+  };
+  {
+    // Path "-" writes straight through the seam, no tmp+rename.
+    PeriodicDumper dumper(nullptr, "-", options);
+    dumper.Stop();
+    dumper.Stop();  // idempotent: second call must not throw or deadlock
+    EXPECT_EQ(dumper.dumps(), 0u);
+  }
+  // The destructor still wrote exactly one final snapshot after Stop().
+  ASSERT_EQ(writes.size(), 1u);
+  EXPECT_EQ(writes[0].first, "-");
+  EXPECT_EQ(writes[0].second, "page 1");
+}
+
+TEST(PeriodicDumperTest, DumpNowUsesProducerOverRegistry) {
+  DumperOptions options;
+  options.interval = std::chrono::hours(1);
+  options.producer = [] { return std::string("custom page"); };
+  std::string final_contents;
+  options.write_file = [&final_contents](const std::string&,
+                                         const std::string& contents) {
+    final_contents = contents;
+    return true;
+  };
+  PeriodicDumper dumper(nullptr, "-", options);
+  EXPECT_TRUE(dumper.DumpNow());
+  EXPECT_EQ(dumper.dumps(), 1u);
+  EXPECT_EQ(final_contents, "custom page");
+}
+
+TEST(PeriodicDumperTest, FailedWriteLeavesNoFileAtDestination) {
+  std::string path = TempPath("fail");
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  DumperOptions options;
+  options.interval = std::chrono::hours(1);
+  options.producer = [] { return std::string("half-written snapshot"); };
+  // The seam fails every write: a crash mid-dump. Because the dumper goes
+  // through tmp+rename, the destination must never appear.
+  options.write_file = [](const std::string&, const std::string&) {
+    return false;
+  };
+  {
+    PeriodicDumper dumper(nullptr, path, options);
+    EXPECT_FALSE(dumper.DumpNow());
+    EXPECT_EQ(dumper.dumps(), 0u);
+    dumper.Stop();
+  }
+  EXPECT_FALSE(Exists(path));
+}
+
+TEST(PeriodicDumperTest, SuccessfulDumpRenamesTmpAway) {
+  std::string path = TempPath("ok");
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  DumperOptions options;
+  options.interval = std::chrono::hours(1);
+  int page = 0;
+  options.producer = [&page] { return "final " + std::to_string(++page); };
+  {
+    PeriodicDumper dumper(nullptr, path, options);
+    ASSERT_TRUE(dumper.DumpNow());
+    // tmp was renamed into place, not left beside the destination.
+    EXPECT_FALSE(Exists(path + ".tmp"));
+    EXPECT_EQ(ReadFile(path), "final 1");
+    dumper.Stop();
+  }
+  // The destructor's final snapshot replaced the earlier one atomically.
+  EXPECT_EQ(ReadFile(path), "final 2");
+  EXPECT_FALSE(Exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(PeriodicDumperTest, TickerDumpsPeriodically) {
+  DumperOptions options;
+  options.interval = std::chrono::milliseconds(5);
+  options.producer = [] { return std::string("tick"); };
+  std::atomic<int> ticks{0};
+  options.write_file = [&ticks](const std::string&, const std::string&) {
+    ticks.fetch_add(1);
+    return true;
+  };
+  PeriodicDumper dumper(nullptr, "-", options);
+  for (int i = 0; i < 200 && ticks.load() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(ticks.load(), 2);
+  EXPECT_GE(dumper.dumps(), 2u);
+}
+
+}  // namespace
+}  // namespace goalrec::obs

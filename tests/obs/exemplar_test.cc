@@ -1,0 +1,150 @@
+// ExemplarReservoir retention semantics — per-key K-slowest, the global
+// WorthCapturing floor, eviction of the minimum — plus the OpenMetrics
+// exemplar rendering on histogram exports that the reservoir's ids feed.
+
+#include "obs/exemplar.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace goalrec::obs {
+namespace {
+
+TailExemplar Make(const std::string& key, uint64_t id, double latency_us) {
+  TailExemplar exemplar;
+  exemplar.key = key;
+  exemplar.id = id;
+  exemplar.latency_us = latency_us;
+  return exemplar;
+}
+
+TEST(ExemplarReservoirTest, RetainsUpToCapacityPerKey) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with GOALREC_OBS_NOOP";
+  ExemplarReservoir reservoir(2);
+  EXPECT_EQ(reservoir.capacity_per_key(), 2u);
+  EXPECT_TRUE(reservoir.WorthCapturing(0.0));  // empty: floor is 0
+  EXPECT_TRUE(reservoir.Offer(Make("best_match", 1, 100.0)));
+  EXPECT_TRUE(reservoir.Offer(Make("best_match", 2, 300.0)));
+  EXPECT_EQ(reservoir.size(), 2u);
+
+  std::vector<TailExemplar> retained = reservoir.Snapshot();
+  ASSERT_EQ(retained.size(), 2u);
+  // Slowest first within the key.
+  EXPECT_EQ(retained[0].id, 2u);
+  EXPECT_EQ(retained[1].id, 1u);
+}
+
+TEST(ExemplarReservoirTest, FullKeyRaisesTheFloorAndEvictsTheMinimum) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with GOALREC_OBS_NOOP";
+  ExemplarReservoir reservoir(2);
+  ASSERT_TRUE(reservoir.Offer(Make("a", 1, 100.0)));
+  ASSERT_TRUE(reservoir.Offer(Make("a", 2, 300.0)));
+  // Key full: the floor is the smallest retained latency.
+  EXPECT_DOUBLE_EQ(reservoir.floor_us(), 100.0);
+  EXPECT_FALSE(reservoir.WorthCapturing(99.0));
+  EXPECT_TRUE(reservoir.WorthCapturing(100.0));
+
+  // A slower query displaces the key's minimum.
+  EXPECT_TRUE(reservoir.Offer(Make("a", 3, 200.0)));
+  EXPECT_EQ(reservoir.size(), 2u);
+  std::vector<TailExemplar> retained = reservoir.Snapshot();
+  ASSERT_EQ(retained.size(), 2u);
+  EXPECT_EQ(retained[0].id, 2u);
+  EXPECT_EQ(retained[1].id, 3u);
+  EXPECT_DOUBLE_EQ(reservoir.floor_us(), 200.0);
+
+  // A query below the new floor is dropped.
+  EXPECT_FALSE(reservoir.Offer(Make("a", 4, 150.0)));
+  EXPECT_EQ(reservoir.size(), 2u);
+}
+
+TEST(ExemplarReservoirTest, NewKeyBelowCapacityPinsFloorAtZero) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with GOALREC_OBS_NOOP";
+  ExemplarReservoir reservoir(2);
+  ASSERT_TRUE(reservoir.Offer(Make("a", 1, 100.0)));
+  ASSERT_TRUE(reservoir.Offer(Make("a", 2, 300.0)));
+  ASSERT_DOUBLE_EQ(reservoir.floor_us(), 100.0);
+  // A second key opens; until it fills, any latency could enter.
+  ASSERT_TRUE(reservoir.Offer(Make("b", 3, 5.0)));
+  EXPECT_DOUBLE_EQ(reservoir.floor_us(), 0.0);
+  EXPECT_TRUE(reservoir.WorthCapturing(1.0));
+  EXPECT_EQ(reservoir.size(), 3u);
+}
+
+TEST(ExemplarReservoirTest, FloorCanBePinnedManually) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with GOALREC_OBS_NOOP";
+  ExemplarReservoir reservoir(2);
+  reservoir.set_floor_us(1e18);
+  EXPECT_FALSE(reservoir.WorthCapturing(1e9));
+}
+
+TEST(ExemplarReservoirTest, PayloadSurvivesRetention) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with GOALREC_OBS_NOOP";
+  ExemplarReservoir reservoir(1);
+  TailExemplar exemplar = Make("a", 7, 42.0);
+  exemplar.snapshot_version = 5;
+  exemplar.stats.h_size = 8;
+  exemplar.stats.dense_fallbacks = 2;
+  exemplar.events.push_back(
+      {100, 0, RecorderEventType::kQueryStart, 0, 10, 7});
+  ASSERT_TRUE(reservoir.Offer(std::move(exemplar)));
+  std::vector<TailExemplar> retained = reservoir.Snapshot();
+  ASSERT_EQ(retained.size(), 1u);
+  EXPECT_EQ(retained[0].snapshot_version, 5u);
+  EXPECT_EQ(retained[0].stats.h_size, 8u);
+  EXPECT_EQ(retained[0].stats.dense_fallbacks, 2u);
+  ASSERT_EQ(retained[0].events.size(), 1u);
+  EXPECT_EQ(retained[0].events[0].c, 7u);
+}
+
+// --- Histogram exemplar export ----------------------------------------------
+
+TEST(HistogramExemplarExportTest, PrometheusBucketCarriesTraceId) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with GOALREC_OBS_NOOP";
+  MetricRegistry registry;
+  Histogram* histogram = registry.GetHistogram("lat_us", {1000.0, 10000.0});
+  histogram->Observe(2500.0);
+  histogram->AttachExemplar(2500.0, 0xff);
+  std::string prometheus = ExportPrometheus(registry);
+  EXPECT_NE(prometheus.find("lat_us_bucket{le=\"10000\"} 1 "
+                            "# {trace_id=\"00000000000000ff\"} 2500"),
+            std::string::npos);
+  // Buckets without an exemplar stay plain.
+  EXPECT_NE(prometheus.find("lat_us_bucket{le=\"1000\"} 0\n"),
+            std::string::npos);
+}
+
+TEST(HistogramExemplarExportTest, JsonBucketCarriesExemplarObject) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with GOALREC_OBS_NOOP";
+  MetricRegistry registry;
+  Histogram* histogram = registry.GetHistogram("lat_us", {1000.0});
+  histogram->Observe(500.0);
+  histogram->AttachExemplar(500.0, 0x2a);
+  std::string json = ExportJson(registry);
+  EXPECT_NE(json.find("\"exemplar\":{\"trace_id\":\"000000000000002a\","
+                      "\"value\":500}"),
+            std::string::npos);
+}
+
+TEST(HistogramExemplarExportTest, LaterExemplarReplacesTheBuckets) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with GOALREC_OBS_NOOP";
+  MetricRegistry registry;
+  Histogram* histogram = registry.GetHistogram("lat_us", {1000.0});
+  histogram->Observe(100.0);
+  histogram->AttachExemplar(100.0, 1);
+  histogram->AttachExemplar(200.0, 2);
+  HistogramSnapshot snapshot = histogram->Snapshot();
+  ASSERT_EQ(snapshot.exemplars.size(), 2u);
+  EXPECT_TRUE(snapshot.exemplars[0].set);
+  EXPECT_EQ(snapshot.exemplars[0].trace_id, 2u);
+  EXPECT_DOUBLE_EQ(snapshot.exemplars[0].value, 200.0);
+}
+
+}  // namespace
+}  // namespace goalrec::obs

@@ -1,0 +1,121 @@
+// SloTracker window math on a controlled clock: good-ratio and burn-rate
+// per window, aging out of the 1m window while the longer windows still
+// hold the events, quiet-period advancement (a reader after a gap must not
+// see windows frozen at the last write), and the goalrec_slo_* gauges.
+
+#include "obs/slo.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace goalrec::obs {
+namespace {
+
+TEST(SloWindowLabelTest, StandardWindows) {
+  EXPECT_STREQ(SloWindowLabel(60), "1m");
+  EXPECT_STREQ(SloWindowLabel(300), "5m");
+  EXPECT_STREQ(SloWindowLabel(1800), "30m");
+}
+
+class SloTrackerTest : public ::testing::Test {
+ protected:
+  SloTrackerTest() {
+    options_.objective = 0.9;
+    options_.metrics = &metrics_;
+    options_.now_s = [this] { return now_s_; };
+  }
+
+  int64_t now_s_ = 10'000;
+  MetricRegistry metrics_;
+  SloOptions options_;
+};
+
+TEST_F(SloTrackerTest, WindowReportsGoodRatioAndBurnRate) {
+  SloTracker tracker(options_);
+  for (int i = 0; i < 8; ++i) tracker.Record(true);
+  for (int i = 0; i < 2; ++i) tracker.Record(false);
+
+  SloWindowReport w = tracker.Window(60);
+  EXPECT_EQ(w.window_s, 60);
+  EXPECT_EQ(w.good, 8);
+  EXPECT_EQ(w.total, 10);
+  EXPECT_DOUBLE_EQ(w.good_ratio, 0.8);
+  // bad fraction 0.2 against an error budget of 1 - 0.9 = 0.1.
+  EXPECT_DOUBLE_EQ(w.burn_rate, 2.0);
+}
+
+TEST_F(SloTrackerTest, ReportCoversAllWindowsShortestFirst) {
+  SloTracker tracker(options_);
+  tracker.Record(true);
+  std::vector<SloWindowReport> report = tracker.Report();
+  ASSERT_EQ(report.size(), 3u);
+  EXPECT_EQ(report[0].window_s, 60);
+  EXPECT_EQ(report[1].window_s, 300);
+  EXPECT_EQ(report[2].window_s, 1800);
+  for (const SloWindowReport& w : report) EXPECT_EQ(w.total, 1);
+}
+
+TEST_F(SloTrackerTest, EventsAgeOutOfShortWindowsFirst) {
+  SloTracker tracker(options_);
+  tracker.Record(true);
+  tracker.Record(false);
+
+  now_s_ += 120;  // past the 1m window, inside 5m and 30m
+  SloWindowReport one_m = tracker.Window(60);
+  EXPECT_EQ(one_m.total, 0);
+  // No traffic spends no budget.
+  EXPECT_DOUBLE_EQ(one_m.good_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(one_m.burn_rate, 0.0);
+  EXPECT_EQ(tracker.Window(300).total, 2);
+  EXPECT_EQ(tracker.Window(1800).total, 2);
+
+  now_s_ += 1800;  // past every window
+  EXPECT_EQ(tracker.Window(1800).total, 0);
+}
+
+TEST_F(SloTrackerTest, QuietPeriodDoesNotFreezeWindows) {
+  SloTracker tracker(options_);
+  tracker.Record(false);
+  // Two reads after the same silent gap must agree (the ring advances on
+  // read, not only on write).
+  now_s_ += 600;
+  EXPECT_EQ(tracker.Window(300).total, 0);
+  EXPECT_EQ(tracker.Window(300).total, 0);
+}
+
+TEST_F(SloTrackerTest, RefreshGaugesExportsPpmAndMilliUnits) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with GOALREC_OBS_NOOP";
+  SloTracker tracker(options_);
+  for (int i = 0; i < 8; ++i) tracker.Record(true);
+  for (int i = 0; i < 2; ++i) tracker.Record(false);
+  tracker.RefreshGauges();
+
+  RegistrySnapshot snapshot = metrics_.Snapshot();
+  const MetricSnapshot* ratio =
+      snapshot.Find("goalrec_slo_good_ratio_ppm", {{"window", "1m"}});
+  ASSERT_NE(ratio, nullptr);
+  EXPECT_EQ(ratio->value, 800'000);
+  const MetricSnapshot* burn =
+      snapshot.Find("goalrec_slo_burn_rate_milli", {{"window", "1m"}});
+  ASSERT_NE(burn, nullptr);
+  EXPECT_EQ(burn->value, 2'000);
+  const MetricSnapshot* good =
+      snapshot.Find("goalrec_slo_events_total", {{"result", "good"}});
+  ASSERT_NE(good, nullptr);
+  EXPECT_EQ(good->value, 8);
+  const MetricSnapshot* bad =
+      snapshot.Find("goalrec_slo_events_total", {{"result", "bad"}});
+  ASSERT_NE(bad, nullptr);
+  EXPECT_EQ(bad->value, 2);
+}
+
+TEST_F(SloTrackerTest, ObjectiveIsExposed) {
+  SloTracker tracker(options_);
+  EXPECT_DOUBLE_EQ(tracker.objective(), 0.9);
+}
+
+}  // namespace
+}  // namespace goalrec::obs

@@ -1,0 +1,103 @@
+// Trace propagation across the thread pool: ThreadPool::Submit and
+// ParallelFor capture the submitter's active trace and re-activate it in
+// the workers, so spans opened on pool threads land in the same tree —
+// and the workers restore their previous (null) activation afterwards.
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace goalrec::obs {
+namespace {
+
+size_t CountSpans(const Trace& trace, const std::string& name) {
+  size_t count = 0;
+  for (const TraceSpan& span : trace.spans()) {
+    if (span.name == name) ++count;
+  }
+  return count;
+}
+
+TEST(TracePropagationTest, SubmitCarriesTheActiveTraceIntoWorkers) {
+  Trace trace("query");
+  util::ThreadPool pool(2);
+  std::atomic<Trace*> seen{nullptr};
+  {
+    ScopedTraceActivation activation(&trace);
+    pool.Submit([&seen] {
+      seen.store(CurrentTrace());
+      ScopedSpan span(CurrentTrace(), "worker");
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(seen.load(), &trace);
+  EXPECT_EQ(CountSpans(trace, "worker"), 1u);
+}
+
+TEST(TracePropagationTest, SubmitWithoutActiveTraceLeavesWorkersUntraced) {
+  util::ThreadPool pool(1);
+  std::atomic<Trace*> seen{reinterpret_cast<Trace*>(1)};
+  pool.Submit([&seen] { seen.store(CurrentTrace()); });
+  pool.Wait();
+  EXPECT_EQ(seen.load(), nullptr);
+}
+
+TEST(TracePropagationTest, WorkersRestoreActivationBetweenTasks) {
+  Trace trace("query");
+  util::ThreadPool pool(1);  // one worker: both tasks run on the same thread
+  {
+    ScopedTraceActivation activation(&trace);
+    pool.Submit([] { ScopedSpan span(CurrentTrace(), "traced"); });
+  }
+  pool.Wait();
+  std::atomic<Trace*> seen{reinterpret_cast<Trace*>(1)};
+  pool.Submit([&seen] { seen.store(CurrentTrace()); });
+  pool.Wait();
+  // The first task's activation must not leak into the second.
+  EXPECT_EQ(seen.load(), nullptr);
+  EXPECT_EQ(CountSpans(trace, "traced"), 1u);
+}
+
+TEST(TracePropagationTest, ParallelForSpansLandInTheSubmittersTrace) {
+  Trace trace("rank");
+  std::atomic<size_t> hits{0};
+  {
+    ScopedTraceActivation activation(&trace);
+    util::ParallelFor(
+        8,
+        [&hits, &trace](size_t) {
+          if (CurrentTrace() == &trace) hits.fetch_add(1);
+          ScopedSpan span(CurrentTrace(), "iter");
+        },
+        3);
+  }
+  EXPECT_EQ(hits.load(), 8u);
+  EXPECT_EQ(CountSpans(trace, "iter"), 8u);
+}
+
+TEST(TracePropagationTest, PoolThreadSpansAreRootsOfTheForest) {
+  Trace trace("query");
+  util::ThreadPool pool(1);
+  {
+    ScopedTraceActivation activation(&trace);
+    ScopedSpan parent(&trace, "submitter");
+    pool.Submit([] { ScopedSpan span(CurrentTrace(), "worker"); });
+    pool.Wait();
+  }
+  // The worker thread has no open span of its own, so its span is a root —
+  // same tree, parallel branch (see obs/trace.h).
+  for (const TraceSpan& span : trace.spans()) {
+    if (span.name == "worker") {
+      EXPECT_EQ(span.parent, TraceSpan::kNoParent);
+    }
+  }
+  EXPECT_EQ(CountSpans(trace, "worker"), 1u);
+}
+
+}  // namespace
+}  // namespace goalrec::obs

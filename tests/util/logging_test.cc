@@ -1,0 +1,131 @@
+// Logfmt rendering and escaping. The emitted line must stay exactly one
+// line and parse back losslessly no matter what lands in msg or a Kv value
+// — spaces, '=', quotes, newlines, control bytes — and keys that would
+// break the key=value grammar are sanitized, never quoted.
+
+#include "util/logging.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace goalrec::util {
+namespace {
+
+using logging_internal::AppendQuoted;
+using logging_internal::AppendSanitizedKey;
+using logging_internal::RenderLogfmt;
+
+std::string Quoted(std::string_view value) {
+  std::string out;
+  AppendQuoted(out, value);
+  return out;
+}
+
+std::string SanitizedKey(std::string_view key) {
+  std::string out;
+  AppendSanitizedKey(out, key);
+  return out;
+}
+
+TEST(AppendQuotedTest, PlainValuePassesThrough) {
+  EXPECT_EQ(Quoted("loaded 42 impls"), "\"loaded 42 impls\"");
+}
+
+TEST(AppendQuotedTest, QuotesAndBackslashesAreEscaped) {
+  EXPECT_EQ(Quoted("a\"b\\c"), "\"a\\\"b\\\\c\"");
+}
+
+TEST(AppendQuotedTest, CommonWhitespaceGetsTwoCharEscapes) {
+  EXPECT_EQ(Quoted("a\nb\tc\rd"), "\"a\\nb\\tc\\rd\"");
+}
+
+TEST(AppendQuotedTest, OtherControlCharactersRenderAsUnicodeEscapes) {
+  // \x1f is LogMessage's internal field delimiter: left raw it would split
+  // the record into a bogus extra field.
+  EXPECT_EQ(Quoted(std::string("x\x1fy")), "\"x\\u001fy\"");
+  EXPECT_EQ(Quoted(std::string("bell\x07")), "\"bell\\u0007\"");
+}
+
+TEST(AppendSanitizedKeyTest, GrammarBreakingCharactersBecomeUnderscores) {
+  EXPECT_EQ(SanitizedKey("path"), "path");
+  EXPECT_EQ(SanitizedKey("bad key=x\""), "bad_key_x_");
+  EXPECT_EQ(SanitizedKey("tab\there"), "tab_here");
+}
+
+TEST(RenderLogfmtTest, PlainMessageCarriesLevelCallerAndQuotedMsg) {
+  std::string line =
+      RenderLogfmt(LogLevel::kWarn, "src/serve/engine.cc", 42, "slow load");
+  EXPECT_NE(line.find("level=warn "), std::string::npos);
+  EXPECT_NE(line.find(" caller=engine.cc:42"), std::string::npos);
+  EXPECT_NE(line.find(" msg=\"slow load\""), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(RenderLogfmtTest, HostileMessageStaysOneLosslessLine) {
+  std::string line = RenderLogfmt(LogLevel::kError, "a.cc", 1,
+                                  "path=\"x\"\nsecond line\tend");
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("msg=\"path=\\\"x\\\"\\nsecond line\\tend\""),
+            std::string::npos);
+}
+
+// --- Kv fields through the real LogMessage emit path ------------------------
+
+struct CapturedRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+std::vector<CapturedRecord>& Records() {
+  static std::vector<CapturedRecord> records;
+  return records;
+}
+
+void CaptureSink(LogLevel level, const char* file, int line,
+                 const std::string& message) {
+  Records().push_back({level, file, line, message});
+}
+
+class LogSinkScope {
+ public:
+  LogSinkScope() {
+    Records().clear();
+    SetLogSink(CaptureSink);
+  }
+  ~LogSinkScope() { SetLogSink(nullptr); }
+};
+
+TEST(LogMessageTest, KvFieldsRenderOutsideQuotedMsg) {
+  LogSinkScope scope;
+  GOALREC_LOG(WARN) << "slow load" << Kv("path", "a b=\"c\"\nd")
+                    << Kv("ms", 17);
+  ASSERT_EQ(Records().size(), 1u);
+  const CapturedRecord& record = Records().back();
+  std::string line = RenderLogfmt(record.level, record.file.c_str(),
+                                  record.line, record.message);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find(" msg=\"slow load\""), std::string::npos);
+  // The string value is quoted+escaped; the '=' and space inside it cannot
+  // start a new field.
+  EXPECT_NE(line.find(" path=\"a b=\\\"c\\\"\\nd\""), std::string::npos);
+  // Arithmetic values export unquoted.
+  EXPECT_NE(line.find(" ms=17"), std::string::npos);
+}
+
+TEST(LogMessageTest, HostileKvKeyCannotForgeAField) {
+  LogSinkScope scope;
+  GOALREC_LOG(INFO) << "m" << Kv("evil key=1 fake", "v");
+  ASSERT_EQ(Records().size(), 1u);
+  const CapturedRecord& record = Records().back();
+  std::string line = RenderLogfmt(record.level, record.file.c_str(),
+                                  record.line, record.message);
+  EXPECT_NE(line.find(" evil_key_1_fake=\"v\""), std::string::npos);
+  EXPECT_EQ(line.find(" fake="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace goalrec::util
