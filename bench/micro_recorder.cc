@@ -131,6 +131,13 @@ int main(int argc, char** argv) {
   const int repeats =
       static_cast<int>(IntFlag(flags, "repeats", smoke ? 2 : 6));
   const int passes = static_cast<int>(IntFlag(flags, "passes", 5));
+  // Instrumented builds (TSan in particular) tax the recorder's atomic ring
+  // writes far more than the arithmetic-heavy scoring loop they ride on, so
+  // the relative overhead no longer reflects production cost; check.sh
+  // widens the gate for those trees. The 3% default is the production gate.
+  goalrec::util::StatusOr<double> limit_flag =
+      flags.GetDouble("overhead_limit_pct", 3.0);
+  const double overhead_limit_pct = limit_flag.ok() ? *limit_flag : 3.0;
   const size_t k = 10;
 
   goalrec::eval::ScalingWorkload workload;
@@ -174,7 +181,7 @@ int main(int argc, char** argv) {
       med_disabled > 0.0
           ? (med_enabled - med_disabled) / med_disabled * 100.0
           : 0.0;
-  bool overhead_ok = overhead_pct <= 3.0;
+  bool overhead_ok = overhead_pct <= overhead_limit_pct;
   bool allocs_ok = disabled_allocs == 0 && enabled_allocs == 0;
 
   // --- Exemplar demo: forced-slow queries must become decodable exemplars --
@@ -248,10 +255,10 @@ int main(int argc, char** argv) {
   std::printf(
       "  \"overhead\": {\"disabled_us_per_query\": %.2f, "
       "\"enabled_us_per_query\": %.2f, \"overhead_pct\": %.2f, "
-      "\"limit_pct\": 3.0, \"steady_allocs_disabled\": %lld, "
+      "\"limit_pct\": %.1f, \"steady_allocs_disabled\": %lld, "
       "\"steady_allocs_enabled\": %lld},\n",
       med_disabled * 1e6 / total_queries, med_enabled * 1e6 / total_queries,
-      overhead_pct, static_cast<long long>(disabled_allocs),
+      overhead_pct, overhead_limit_pct, static_cast<long long>(disabled_allocs),
       static_cast<long long>(enabled_allocs));
   std::printf(
       "  \"exemplar_demo\": {\"queries\": %zu, \"injected_delays\": %llu, "
@@ -270,8 +277,8 @@ int main(int argc, char** argv) {
 
   if (!overhead_ok) {
     std::fprintf(stderr,
-                 "FAIL: recorder overhead %.2f%% exceeds the 3%% gate\n",
-                 overhead_pct);
+                 "FAIL: recorder overhead %.2f%% exceeds the %.1f%% gate\n",
+                 overhead_pct, overhead_limit_pct);
     return 1;
   }
   if (!allocs_ok) {

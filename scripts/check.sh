@@ -87,15 +87,46 @@ run_query_smoke() {
 
 run_obs_smoke() {
   local build_dir=$1
+  # Overhead gate in percent. 3% is the production gate; sanitized trees
+  # pass a wider one below — instrumentation taxes the recorder's atomic
+  # ring writes far more than the scoring arithmetic around them, so the
+  # relative overhead stops reflecting production cost. The zero-allocation
+  # and exemplar-decode checks are limit-independent and always enforced.
+  local limit_pct=${2:-3}
   # Observability smoke (bench/micro_recorder.cc): the flight-recorder
   # overhead gate — enabled vs disabled on the BestMatch pooled hot path,
-  # exits non-zero when the delta exceeds 3% or the steady state allocates —
-  # plus the end-to-end tail-exemplar check: a latency-burst fault injector
-  # forces slow queries, which must land in the ExemplarReservoir with a
-  # decodable recorder slice listed on the statusz page. The recorded
-  # acceptance run lives in BENCH_obs.json. See docs/observability.md.
+  # exits non-zero when the delta exceeds the gate or the steady state
+  # allocates — plus the end-to-end tail-exemplar check: a latency-burst
+  # fault injector forces slow queries, which must land in the
+  # ExemplarReservoir with a decodable recorder slice listed on the statusz
+  # page. The recorded acceptance run lives in BENCH_obs.json. See
+  # docs/observability.md.
   echo "=== obs smoke ($build_dir) ==="
-  "$build_dir/bench/micro_recorder" --smoke >/dev/null
+  "$build_dir/bench/micro_recorder" --smoke \
+      --overhead_limit_pct="$limit_pct" >/dev/null
+}
+
+run_delta_smoke() {
+  local build_dir=$1
+  # Recovery-latency budget in ms. The 250 ms production budget only makes
+  # sense on an uninstrumented build; sanitized trees pass a wider one below
+  # (the correctness invariants — no torn views, rollback to the last
+  # durable prefix — are budget-independent and always enforced).
+  local budget_ms=${2:-250}
+  # Delta-segment smoke (docs/data_plane.md "Delta segments & compaction"):
+  # the delta oracle differential (merged base+delta view must be
+  # bit-identical to a from-scratch rebuild across randomized
+  # append/tombstone/compaction schedules, all four strategies), then a
+  # short chaos_reload --mode=delta run: hostile ".sdelta" publishes (torn,
+  # bit-flipped, rename-delayed) interleaved with compactions against a
+  # polling reader under query load. chaos_reload exits non-zero if a torn
+  # view is ever served, rollback misses the last durable prefix, or
+  # recovery p99 blows its budget; the recorded acceptance runs live in
+  # BENCH_chaos.json and BENCH_delta.json.
+  echo "=== delta smoke ($build_dir) ==="
+  "$build_dir/tests/oracle_delta_oracle_test" --gtest_brief=1
+  "$build_dir/bench/chaos_reload" --mode=delta --smoke \
+      --recovery_budget_ms="$budget_ms" >/dev/null
 }
 
 CTEST_ARGS=()
@@ -113,6 +144,7 @@ if [[ "$PLAIN" == 1 ]]; then
   run_query_smoke build
   run_obs_smoke build
   run_chaos_suite build
+  run_delta_smoke build
 fi
 
 echo "=== ASan+UBSan build + ctest (build-asan/) ==="
@@ -121,8 +153,9 @@ run_fuzz_smoke build-asan
 run_overload_smoke build-asan
 run_snapshot_smoke build-asan
 run_query_smoke build-asan
-run_obs_smoke build-asan
+run_obs_smoke build-asan 10   # ASan shadow-memory tax on the ring writes
 run_chaos_suite build-asan
+run_delta_smoke build-asan 1000   # ~4x budget: ASan slows fsync-heavy recovery
 
 # TSan is mutually exclusive with ASan, so it gets its own tree. The test
 # registration in tests/CMakeLists.txt trims this build to the tests that
@@ -134,8 +167,15 @@ echo "=== TSan build + ctest (build-tsan/) ==="
 export TSAN_OPTIONS="suppressions=$PWD/scripts/tsan_suppressions.txt ${TSAN_OPTIONS:-}"
 run_suite build-tsan -DGOALREC_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 # The recorder's lock-free rings and the exemplar fast path are exactly the
-# kind of code TSan exists for, so the obs smoke runs here too. The 3%
-# overhead gate still holds under TSan because both sides of the comparison
-# run instrumented — the delta is relative, not absolute.
-run_obs_smoke build-tsan
+# kind of code TSan exists for, so the obs smoke runs here too. The overhead
+# gate is opened wide: TSan instruments every ring-buffer atomic while
+# leaving the scoring arithmetic nearly untouched, so the enabled/disabled
+# delta lands around 25% regardless of production cost — here the smoke
+# gates the race-freedom, zero-alloc, and exemplar-decode checks.
+run_obs_smoke build-tsan 50
+# The delta pipeline is writer-appends / reader-polls / queries-race-swaps —
+# cross-thread by construction, so its smoke runs under TSan too. TSan's
+# ~5-20x slowdown makes the production recovery budget meaningless here, so
+# only the correctness invariants gate — the budget is opened wide.
+run_delta_smoke build-tsan 5000
 echo "OK: sanitized test suites green (ASan+UBSan, TSan)"

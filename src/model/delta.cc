@@ -1,0 +1,339 @@
+#include "model/delta.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "model/snapshot_io.h"
+#include "model/wire_format.h"
+#include "util/crc32c.h"
+#include "util/status.h"
+
+namespace goalrec::model {
+namespace {
+
+using wire::AppendFrame;
+using wire::AppendU32;
+using wire::AppendU64;
+using wire::Cursor;
+using wire::ReadU32At;
+using wire::ReadU64At;
+
+constexpr char kHeaderMagic[8] = {'G', 'R', 'S', 'D', 'L', 'T', '1', '\n'};
+constexpr char kFooterMagic[8] = {'G', 'R', 'S', 'D', 'E', 'N', 'D', '\n'};
+// magic, version, flags, base_crc, chain_seq, prev_crc, header crc.
+constexpr size_t kHeaderSize = sizeof(kHeaderMagic) + 4 * sizeof(uint32_t) +
+                               sizeof(uint64_t) + sizeof(uint32_t);
+constexpr size_t kFooterSize =
+    sizeof(uint64_t) + sizeof(uint32_t) + sizeof(kFooterMagic);
+
+constexpr uint32_t kTagAppended = 1;
+constexpr uint32_t kTagTombstonedGoals = 2;
+constexpr uint32_t kTagTombstonedImpls = 3;
+
+void AppendName(std::string* payload, std::string_view name) {
+  AppendU32(payload, static_cast<uint32_t>(name.size()));
+  payload->append(name);
+}
+
+util::Status ReadName(Cursor* cur, const LoadLimits& limits,
+                      const std::string& name, const char* what,
+                      std::string_view* out) {
+  uint32_t len = 0;
+  if (util::Status s = cur->ReadU32(&len, what); !s.ok()) return s;
+  if (len > limits.max_name_bytes) {
+    return util::ResourceExhaustedError(
+        name + ": " + std::string(what) + " declares " + std::to_string(len) +
+        " name bytes, over the cap");
+  }
+  return cur->ReadBytes(out, len, what);
+}
+
+}  // namespace
+
+std::string EncodeDeltaSegment(const DeltaHeader& header,
+                               const DeltaOps& ops) {
+  std::string out;
+  out.append(kHeaderMagic, sizeof(kHeaderMagic));
+  AppendU32(&out, kDeltaFormatVersion);
+  AppendU32(&out, 0);  // flags
+  AppendU32(&out, header.base_crc32c);
+  AppendU64(&out, header.chain_seq);
+  AppendU32(&out, header.prev_crc32c);
+  AppendU32(&out, util::MaskCrc32c(util::Crc32c(out)));
+
+  const size_t frames_start = out.size();
+  std::string appended;
+  AppendU32(&appended, static_cast<uint32_t>(ops.appended.size()));
+  for (const DeltaImplementation& impl : ops.appended) {
+    AppendName(&appended, impl.goal);
+    AppendU32(&appended, static_cast<uint32_t>(impl.actions.size()));
+    for (const std::string& action : impl.actions) {
+      AppendName(&appended, action);
+    }
+  }
+  AppendFrame(&out, kTagAppended, appended);
+
+  std::string goals;
+  AppendU32(&goals, static_cast<uint32_t>(ops.tombstoned_goals.size()));
+  for (const std::string& goal : ops.tombstoned_goals) {
+    AppendName(&goals, goal);
+  }
+  AppendFrame(&out, kTagTombstonedGoals, goals);
+
+  std::string impls;
+  AppendU32(&impls, static_cast<uint32_t>(ops.tombstoned_impls.size()));
+  for (uint32_t id : ops.tombstoned_impls) AppendU32(&impls, id);
+  AppendFrame(&out, kTagTombstonedImpls, impls);
+
+  const uint64_t frames_len = out.size() - frames_start;
+  uint32_t body_crc =
+      util::Crc32c(std::string_view(out.data() + frames_start, frames_len));
+  AppendU64(&out, frames_len);
+  AppendU32(&out, util::MaskCrc32c(body_crc));
+  out.append(kFooterMagic, sizeof(kFooterMagic));
+  return out;
+}
+
+util::StatusOr<DeltaHeader> ReadDeltaHeader(std::string_view bytes,
+                                            const std::string& name) {
+  if (bytes.size() < kHeaderSize + kFooterSize) {
+    return util::InvalidArgumentError(
+        name + ": " + std::to_string(bytes.size()) +
+        " bytes is too short for a delta segment (truncated write?)");
+  }
+  if (std::memcmp(bytes.data(), kHeaderMagic, sizeof(kHeaderMagic)) != 0) {
+    return util::InvalidArgumentError(name +
+                                      ": bad delta segment header magic");
+  }
+  size_t at = sizeof(kHeaderMagic);
+  uint32_t version = ReadU32At(bytes, at);
+  at += sizeof(uint32_t);
+  if (version != kDeltaFormatVersion) {
+    return util::InvalidArgumentError(
+        name + ": unsupported delta segment format version " +
+        std::to_string(version) + " (this build reads version " +
+        std::to_string(kDeltaFormatVersion) + ")");
+  }
+  // Version 1 defines no flags; strict zero is what makes bit rot in this
+  // field detectable independently of the header CRC diagnostics.
+  uint32_t flags = ReadU32At(bytes, at);
+  at += sizeof(uint32_t);
+  if (flags != 0) {
+    return util::InvalidArgumentError(
+        name + ": unknown delta segment header flags 0x" + [flags] {
+          char buf[9];
+          std::snprintf(buf, sizeof(buf), "%08x", flags);
+          return std::string(buf);
+        }());
+  }
+  DeltaHeader header;
+  header.base_crc32c = ReadU32At(bytes, at);
+  at += sizeof(uint32_t);
+  header.chain_seq = ReadU64At(bytes, at);
+  at += sizeof(uint64_t);
+  header.prev_crc32c = ReadU32At(bytes, at);
+  at += sizeof(uint32_t);
+  uint32_t want_crc = util::UnmaskCrc32c(ReadU32At(bytes, at));
+  if (util::Crc32c(bytes.substr(0, at)) != want_crc) {
+    return util::InvalidArgumentError(
+        name + ": delta segment header CRC mismatch (corrupt write)");
+  }
+  if (header.chain_seq == 0) {
+    return util::InvalidArgumentError(
+        name + ": delta segment chain_seq 0 (sequence numbers are 1-based)");
+  }
+  return header;
+}
+
+util::StatusOr<DeltaSegment> DecodeDeltaSegment(std::string_view bytes,
+                                                const std::string& name,
+                                                const LoadOptions& options) {
+  const LoadLimits& limits = options.limits;
+  util::StatusOr<DeltaHeader> header = ReadDeltaHeader(bytes, name);
+  if (!header.ok()) return header.status();
+
+  // Footer next: end magic then whole-body CRC. Anything torn or truncated
+  // dies here, before any frame is trusted.
+  const size_t footer_at = bytes.size() - kFooterSize;
+  if (std::memcmp(
+          bytes.data() + footer_at + sizeof(uint64_t) + sizeof(uint32_t),
+          kFooterMagic, sizeof(kFooterMagic)) != 0) {
+    return util::InvalidArgumentError(
+        name + ": missing delta segment end magic (truncated or torn write)");
+  }
+  uint64_t frames_len = ReadU64At(bytes, footer_at);
+  uint32_t want_crc =
+      util::UnmaskCrc32c(ReadU32At(bytes, footer_at + sizeof(uint64_t)));
+  if (frames_len != footer_at - kHeaderSize) {
+    return util::InvalidArgumentError(
+        name + ": footer declares " + std::to_string(frames_len) +
+        " frame bytes but the file holds " +
+        std::to_string(footer_at - kHeaderSize));
+  }
+  std::string_view frames = bytes.substr(kHeaderSize, frames_len);
+  if (util::Crc32c(frames) != want_crc) {
+    return util::InvalidArgumentError(
+        name + ": delta segment body CRC mismatch (corrupt or torn write)");
+  }
+
+  std::string_view appended_payload, goals_payload, impls_payload;
+  util::Status walked = wire::WalkFrames(
+      frames, kHeaderSize, name,
+      [&](uint32_t tag, std::string_view payload,
+          size_t offset) -> util::Status {
+        switch (tag) {
+          case kTagAppended:
+            appended_payload = payload;
+            break;
+          case kTagTombstonedGoals:
+            goals_payload = payload;
+            break;
+          case kTagTombstonedImpls:
+            impls_payload = payload;
+            break;
+          default:
+            return util::InvalidArgumentError(
+                name + ": unknown frame tag " + std::to_string(tag) +
+                " at offset " + std::to_string(offset));
+        }
+        return util::Status::Ok();
+      });
+  if (!walked.ok()) return walked;
+  if (appended_payload.data() == nullptr || goals_payload.data() == nullptr ||
+      impls_payload.data() == nullptr) {
+    return util::InvalidArgumentError(
+        name + ": delta segment is missing a required frame");
+  }
+
+  DeltaSegment segment;
+  segment.header = header.value();
+
+  {
+    Cursor cur(appended_payload, name);
+    uint32_t count = 0;
+    if (util::Status s = cur.ReadU32(&count, "appended count"); !s.ok()) {
+      return s;
+    }
+    // Each record costs at least 8 bytes (goal length + action count), so a
+    // declared count is capped by the frame size too.
+    if (count > limits.max_implementations ||
+        count > appended_payload.size() / 8) {
+      return util::ResourceExhaustedError(
+          name + ": declared appended implementation count " +
+          std::to_string(count) + " exceeds the load cap or the frame size");
+    }
+    segment.ops.appended.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      DeltaImplementation impl;
+      std::string_view goal;
+      if (util::Status s =
+              ReadName(&cur, limits, name, "appended goal", &goal);
+          !s.ok()) {
+        return s;
+      }
+      impl.goal.assign(goal);
+      uint32_t actions = 0;
+      if (util::Status s = cur.ReadU32(&actions, "appended action count");
+          !s.ok()) {
+        return s;
+      }
+      if (actions > limits.max_actions_per_impl ||
+          actions > cur.remaining() / 4) {
+        return util::ResourceExhaustedError(
+            name + ": appended implementation " + std::to_string(i) +
+            " declares " + std::to_string(actions) +
+            " actions, over the cap or the frame size");
+      }
+      impl.actions.reserve(actions);
+      for (uint32_t j = 0; j < actions; ++j) {
+        std::string_view action;
+        if (util::Status s =
+                ReadName(&cur, limits, name, "appended action", &action);
+            !s.ok()) {
+          return s;
+        }
+        impl.actions.emplace_back(action);
+      }
+      segment.ops.appended.push_back(std::move(impl));
+    }
+    if (cur.remaining() != 0) {
+      return util::InvalidArgumentError(
+          name + ": trailing bytes in appended-implementations frame");
+    }
+  }
+
+  {
+    Cursor cur(goals_payload, name);
+    uint32_t count = 0;
+    if (util::Status s = cur.ReadU32(&count, "tombstoned goal count");
+        !s.ok()) {
+      return s;
+    }
+    if (count > limits.max_goals || count > goals_payload.size() / 4) {
+      return util::ResourceExhaustedError(
+          name + ": declared tombstoned goal count " + std::to_string(count) +
+          " exceeds the load cap or the frame size");
+    }
+    segment.ops.tombstoned_goals.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string_view goal;
+      if (util::Status s =
+              ReadName(&cur, limits, name, "tombstoned goal", &goal);
+          !s.ok()) {
+        return s;
+      }
+      segment.ops.tombstoned_goals.emplace_back(goal);
+    }
+    if (cur.remaining() != 0) {
+      return util::InvalidArgumentError(
+          name + ": trailing bytes in tombstoned-goals frame");
+    }
+  }
+
+  {
+    Cursor cur(impls_payload, name);
+    uint32_t count = 0;
+    if (util::Status s = cur.ReadU32(&count, "tombstoned impl count");
+        !s.ok()) {
+      return s;
+    }
+    if (count > limits.max_implementations ||
+        count > impls_payload.size() / 4) {
+      return util::ResourceExhaustedError(
+          name + ": declared tombstoned implementation count " +
+          std::to_string(count) + " exceeds the load cap or the frame size");
+    }
+    segment.ops.tombstoned_impls.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t id = 0;
+      if (util::Status s = cur.ReadU32(&id, "tombstoned impl id"); !s.ok()) {
+        return s;
+      }
+      segment.ops.tombstoned_impls.push_back(id);
+    }
+    if (cur.remaining() != 0) {
+      return util::InvalidArgumentError(
+          name + ": trailing bytes in tombstoned-implementations frame");
+    }
+  }
+
+  return segment;
+}
+
+util::Status SaveDeltaSegment(const DeltaHeader& header, const DeltaOps& ops,
+                              const std::string& path) {
+  return AtomicWriteFile(EncodeDeltaSegment(header, ops), path);
+}
+
+util::StatusOr<DeltaSegment> LoadDeltaSegmentFile(const std::string& path,
+                                                  const LoadOptions& options) {
+  util::StatusOr<std::string> bytes =
+      ReadFileToString(path, options.limits.max_file_bytes);
+  if (!bytes.ok()) return bytes.status();
+  return DecodeDeltaSegment(bytes.value(), path, options);
+}
+
+}  // namespace goalrec::model

@@ -1,0 +1,130 @@
+#ifndef GOALREC_MODEL_DELTA_H_
+#define GOALREC_MODEL_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/library_io.h"
+#include "util/status.h"
+
+// Delta segment persistence for incremental library mutation.
+//
+// A library on disk is an immutable base snapshot (model/snapshot_io.h,
+// "*.snap") plus a chain of small delta segment files ("*.sdelta"), each
+// carrying appended implementations and tombstoned goals/implementations.
+// Queries run against the merged view (model/merged_view.h); a background
+// compactor periodically folds base+deltas into a fresh base. Segments use
+// the same masked-CRC32C frame + footer-end-magic discipline as GRSNAP1, so
+// every torn/truncated/bit-rotted write is rejected deterministically, and
+// add a chain header so a stale or out-of-order segment is rejected BEFORE
+// any frame is parsed. Layout (all integers little-endian):
+//
+//   header   "GRSDLT1\n"  u32 format_version  u32 flags
+//            u32 base_crc32c   CRC32C of the base snapshot's encoded bytes —
+//                              the chain identity. A segment written against
+//                              a different base (e.g. surviving a crashed
+//                              compaction) can never be applied.
+//            u64 chain_seq     1-based position in the chain. Segments apply
+//                              in strictly consecutive order.
+//            u32 prev_crc32c   CRC32C of the previous segment's encoded
+//                              bytes (0 for chain_seq 1), so a chain cannot
+//                              be respliced from segments of equal seq.
+//            u32 masked_crc32c(all header bytes above)
+//   frames   repeated { u32 tag  u64 payload_len  payload
+//                       u32 masked_crc32c(tag | payload_len | payload) }
+//              tag 1: appended implementations, BY NAME (u32 count, then per
+//                     record a length-prefixed goal name, u32 action count,
+//                     and length-prefixed action names) — self-contained
+//                     across any renumbering of the merged view
+//              tag 2: tombstoned goal names (u32 count, length-prefixed)
+//              tag 3: tombstoned implementation ids (u32 count, u32 ids in
+//                     the chain's logical id space: base rows 0..N-1, then
+//                     appended records in application order)
+//   footer   u64 frames_len  u32 masked_crc32c(all frame bytes)  "GRSDEND\n"
+//
+// ReadDeltaHeader verifies only the header (magic, version, flags, header
+// CRC) so the chain checks run against 36 bytes; DecodeDeltaSegment then
+// verifies the footer (end magic + whole-body CRC) before parsing any
+// frame — as with GRSNAP1, no strict prefix of a valid segment is itself a
+// valid segment. SaveDeltaSegment is POSIX-atomic (temp file + fsync +
+// rename + parent-directory fsync). docs/data_plane.md ("Delta segments &
+// compaction") documents the chain rules and recovery invariants.
+
+namespace goalrec::model {
+
+/// Current (and only) delta segment format version.
+inline constexpr uint32_t kDeltaFormatVersion = 1;
+
+/// One implementation appended by a delta segment, by name. Names rather
+/// than ids: segment content stays valid however the merged view renumbers
+/// surviving implementations, and new actions/goals are interned on apply.
+struct DeltaImplementation {
+  std::string goal;
+  std::vector<std::string> actions;
+};
+
+/// The mutations one delta segment carries. Apply order within a segment:
+/// appends first (extending the logical id space), then goal tombstones
+/// (killing every live implementation of that goal, appended ones
+/// included), then implementation tombstones (which may name ids this
+/// segment just appended). Tombstoning an already-dead implementation is
+/// idempotent; tombstoning an unknown goal name is an error (it catches
+/// segments written against the wrong library).
+struct DeltaOps {
+  std::vector<DeltaImplementation> appended;
+  std::vector<std::string> tombstoned_goals;
+  std::vector<uint32_t> tombstoned_impls;
+
+  bool empty() const {
+    return appended.empty() && tombstoned_goals.empty() &&
+           tombstoned_impls.empty();
+  }
+};
+
+/// Chain header of a delta segment (see the layout comment above).
+struct DeltaHeader {
+  uint32_t base_crc32c = 0;
+  uint64_t chain_seq = 0;
+  uint32_t prev_crc32c = 0;
+};
+
+struct DeltaSegment {
+  DeltaHeader header;
+  DeltaOps ops;
+};
+
+/// Serialises one segment into the wire format (header + frames + footer).
+/// Exposed for tests and for writers that stage/corrupt bytes themselves
+/// (the chaos harness).
+std::string EncodeDeltaSegment(const DeltaHeader& header, const DeltaOps& ops);
+
+/// Verifies and returns only the 36-byte chain header (magic, version,
+/// strict zero flags, header CRC). This is what lets a reader reject a
+/// stale or out-of-order segment before parsing any frame.
+util::StatusOr<DeltaHeader> ReadDeltaHeader(std::string_view bytes,
+                                            const std::string& name);
+
+/// Parses segment bytes produced by EncodeDeltaSegment. Verifies the header
+/// CRC and the footer CRC before any frame parse, and every frame CRC
+/// during it; allocation is bounded by `options.limits`. `name` is used in
+/// diagnostics only.
+util::StatusOr<DeltaSegment> DecodeDeltaSegment(std::string_view bytes,
+                                                const std::string& name,
+                                                const LoadOptions& options = {});
+
+/// Writes one segment to `path` crash-consistently (temp file + fsync +
+/// rename + parent-directory fsync). On failure the previous `path` content
+/// (if any) is untouched.
+util::Status SaveDeltaSegment(const DeltaHeader& header, const DeltaOps& ops,
+                              const std::string& path);
+
+/// Loads a segment written by SaveDeltaSegment. Either returns the complete
+/// segment or fails cleanly — never a partial segment.
+util::StatusOr<DeltaSegment> LoadDeltaSegmentFile(
+    const std::string& path, const LoadOptions& options = {});
+
+}  // namespace goalrec::model
+
+#endif  // GOALREC_MODEL_DELTA_H_

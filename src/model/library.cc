@@ -55,8 +55,6 @@ ImplementationLibrary LibraryBuilder::Build() && {
   lib.actions_ = std::move(actions_);
   lib.goals_ = std::move(goals_);
   const size_t num_impls = impls_.size();
-  const size_t num_actions = lib.actions_.size();
-  const size_t num_goals = lib.goals_.size();
 
   // GI-A-idx / GI-G-idx: pack the per-implementation action sets into one
   // contiguous arena.
@@ -74,32 +72,44 @@ ImplementationLibrary LibraryBuilder::Build() && {
   }
   lib.impl_offsets_[num_impls] = static_cast<uint32_t>(lib.impl_actions_.size());
 
+  lib.BuildDerivedIndexes();
+  return lib;
+}
+
+void ImplementationLibrary::BuildDerivedIndexes() {
+  const size_t num_impls = impl_goals_.size();
+  const size_t num_actions = actions_.size();
+  const size_t num_goals = goals_.size();
+  const size_t total_postings = impl_actions_.size();
+
   // A-GI-idx / G-GI-idx: classic two-pass CSR build — count degrees, prefix
   // sum, then fill with a moving cursor. Postings come out ascending because
   // implementations are visited in id order.
-  lib.action_offsets_.assign(num_actions + 1, 0);
-  lib.goal_offsets_.assign(num_goals + 1, 0);
+  action_offsets_.assign(num_actions + 1, 0);
+  goal_offsets_.assign(num_goals + 1, 0);
   for (size_t p = 0; p < num_impls; ++p) {
-    ++lib.goal_offsets_[impls_[p].goal + 1];
-    for (ActionId a : impls_[p].actions) ++lib.action_offsets_[a + 1];
+    ++goal_offsets_[impl_goals_[p] + 1];
+    for (uint32_t at = impl_offsets_[p]; at < impl_offsets_[p + 1]; ++at) {
+      ++action_offsets_[impl_actions_[at] + 1];
+    }
   }
   for (size_t a = 0; a < num_actions; ++a) {
-    lib.action_offsets_[a + 1] += lib.action_offsets_[a];
+    action_offsets_[a + 1] += action_offsets_[a];
   }
   for (size_t g = 0; g < num_goals; ++g) {
-    lib.goal_offsets_[g + 1] += lib.goal_offsets_[g];
+    goal_offsets_[g + 1] += goal_offsets_[g];
   }
-  lib.action_postings_.resize(total_postings);
-  lib.goal_postings_.resize(num_impls);
-  std::vector<uint32_t> action_cursor(lib.action_offsets_.begin(),
-                                      lib.action_offsets_.end() - 1);
-  std::vector<uint32_t> goal_cursor(lib.goal_offsets_.begin(),
-                                    lib.goal_offsets_.end() - 1);
+  action_postings_.resize(total_postings);
+  goal_postings_.resize(num_impls);
+  std::vector<uint32_t> action_cursor(action_offsets_.begin(),
+                                      action_offsets_.end() - 1);
+  std::vector<uint32_t> goal_cursor(goal_offsets_.begin(),
+                                    goal_offsets_.end() - 1);
   for (size_t p = 0; p < num_impls; ++p) {
-    const Implementation& impl = impls_[p];
-    lib.goal_postings_[goal_cursor[impl.goal]++] = static_cast<ImplId>(p);
-    for (ActionId a : impl.actions) {
-      lib.action_postings_[action_cursor[a]++] = static_cast<ImplId>(p);
+    goal_postings_[goal_cursor[impl_goals_[p]]++] = static_cast<ImplId>(p);
+    for (uint32_t at = impl_offsets_[p]; at < impl_offsets_[p + 1]; ++at) {
+      action_postings_[action_cursor[impl_actions_[at]]++] =
+          static_cast<ImplId>(p);
     }
   }
 
@@ -107,18 +117,18 @@ ImplementationLibrary LibraryBuilder::Build() && {
   // reciprocal table. Both are exact IEEE values (int→double conversion and
   // division computed once here), so the kernels that read them stay
   // bit-identical to code that computes them inline.
-  lib.impl_size_d_.reserve(num_impls);
+  impl_size_d_.clear();
+  impl_size_d_.reserve(num_impls);
+  max_impl_size_ = 0;
   for (size_t p = 0; p < num_impls; ++p) {
-    uint32_t size = lib.impl_offsets_[p + 1] - lib.impl_offsets_[p];
-    lib.max_impl_size_ = std::max(lib.max_impl_size_, size);
-    lib.impl_size_d_.push_back(static_cast<double>(size));
+    uint32_t size = impl_offsets_[p + 1] - impl_offsets_[p];
+    max_impl_size_ = std::max(max_impl_size_, size);
+    impl_size_d_.push_back(static_cast<double>(size));
   }
-  lib.reciprocal_.resize(static_cast<size_t>(lib.max_impl_size_) + 1);
-  lib.reciprocal_[0] = 0.0;
-  for (uint32_t r = 1; r <= lib.max_impl_size_; ++r) {
-    lib.reciprocal_[r] = 1.0 / static_cast<double>(r);
+  reciprocal_.assign(static_cast<size_t>(max_impl_size_) + 1, 0.0);
+  for (uint32_t r = 1; r <= max_impl_size_; ++r) {
+    reciprocal_[r] = 1.0 / static_cast<double>(r);
   }
-  return lib;
 }
 
 uint32_t ImplementationLibrary::ImplActionCount(ImplId id) const {

@@ -207,6 +207,10 @@ class ImplementationLibrary {
 
  private:
   friend class LibraryBuilder;
+  // The delta fold (model/merged_view.cc) fills the CSR arenas directly —
+  // copying base rows and renumbering survivors without re-interning names —
+  // and must stay bit-identical to LibraryBuilder::Build().
+  friend class MergedLibraryView;
 
   Vocabulary actions_;
   Vocabulary goals_;
@@ -230,6 +234,12 @@ class ImplementationLibrary {
   std::vector<double> impl_size_d_;
   std::vector<double> reciprocal_;
   uint32_t max_impl_size_ = 0;
+
+  /// Builds the A-GI/G-GI inverted indexes and the kernel precomputation
+  /// from the already-filled GI arenas (impl_offsets_/impl_actions_/
+  /// impl_goals_) and vocabularies. Shared by LibraryBuilder::Build() and
+  /// the delta fold so both produce bit-identical libraries.
+  void BuildDerivedIndexes();
 };
 
 }  // namespace goalrec::model

@@ -13,65 +13,29 @@
 #include <string_view>
 #include <utility>
 
+#include "model/wire_format.h"
 #include "util/crc32c.h"
 #include "util/status.h"
 
 namespace goalrec::model {
 namespace {
 
+using wire::AppendFrame;
+using wire::AppendU32;
+using wire::AppendU64;
+using wire::Cursor;
+using wire::ReadU32At;
+using wire::ReadU64At;
+
 constexpr char kHeaderMagic[8] = {'G', 'R', 'S', 'N', 'A', 'P', '1', '\n'};
 constexpr char kFooterMagic[8] = {'G', 'R', 'S', 'N', 'E', 'N', 'D', '\n'};
 constexpr size_t kHeaderSize = sizeof(kHeaderMagic) + 2 * sizeof(uint32_t);
 constexpr size_t kFooterSize =
     sizeof(uint64_t) + sizeof(uint32_t) + sizeof(kFooterMagic);
-// tag + payload_len + crc
-constexpr size_t kFrameOverhead = sizeof(uint32_t) + sizeof(uint64_t) +
-                                  sizeof(uint32_t);
 
 constexpr uint32_t kTagActions = 1;
 constexpr uint32_t kTagGoals = 2;
 constexpr uint32_t kTagImpls = 3;
-
-void AppendU32(std::string* out, uint32_t v) {
-  char buf[4];
-  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
-  out->append(buf, sizeof(buf));
-}
-
-void AppendU64(std::string* out, uint64_t v) {
-  char buf[8];
-  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
-  out->append(buf, sizeof(buf));
-}
-
-uint32_t ReadU32At(std::string_view bytes, size_t at) {
-  uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) {
-    v = (v << 8) | static_cast<unsigned char>(bytes[at + i]);
-  }
-  return v;
-}
-
-uint64_t ReadU64At(std::string_view bytes, size_t at) {
-  uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) {
-    v = (v << 8) | static_cast<unsigned char>(bytes[at + i]);
-  }
-  return v;
-}
-
-/// Appends one frame: tag, payload length, payload, masked CRC over the
-/// first three (so a frame shifted or spliced from another snapshot fails
-/// its own check even if the payload is intact).
-void AppendFrame(std::string* out, uint32_t tag, const std::string& payload) {
-  size_t frame_start = out->size();
-  AppendU32(out, tag);
-  AppendU64(out, payload.size());
-  out->append(payload);
-  uint32_t crc = util::Crc32c(
-      std::string_view(out->data() + frame_start, out->size() - frame_start));
-  AppendU32(out, util::MaskCrc32c(crc));
-}
 
 std::string EncodeVocabulary(const Vocabulary& vocab) {
   std::string payload;
@@ -83,42 +47,6 @@ std::string EncodeVocabulary(const Vocabulary& vocab) {
   }
   return payload;
 }
-
-/// Forward cursor over the snapshot bytes with bounds-checked reads; every
-/// failure carries the byte offset for diagnostics.
-class Cursor {
- public:
-  Cursor(std::string_view bytes, const std::string& name)
-      : bytes_(bytes), name_(name) {}
-
-  size_t pos() const { return pos_; }
-  size_t remaining() const { return bytes_.size() - pos_; }
-
-  util::Status ReadU32(uint32_t* v, const char* what) {
-    if (remaining() < sizeof(uint32_t)) return Truncated(what);
-    *v = ReadU32At(bytes_, pos_);
-    pos_ += sizeof(uint32_t);
-    return util::Status::Ok();
-  }
-
-  util::Status ReadBytes(std::string_view* out, size_t n, const char* what) {
-    if (remaining() < n) return Truncated(what);
-    *out = bytes_.substr(pos_, n);
-    pos_ += n;
-    return util::Status::Ok();
-  }
-
- private:
-  util::Status Truncated(const char* what) const {
-    return util::InvalidArgumentError(name_ + ": truncated " +
-                                      std::string(what) + " at offset " +
-                                      std::to_string(pos_));
-  }
-
-  std::string_view bytes_;
-  const std::string& name_;
-  size_t pos_ = 0;
-};
 
 }  // namespace
 
@@ -208,51 +136,31 @@ util::StatusOr<ImplementationLibrary> DecodeSnapshot(
   // Body verified; walk the frames, checking each frame CRC to localise any
   // corruption the (already-passed) body CRC would have caught anyway.
   std::string_view actions_payload, goals_payload, impls_payload;
-  size_t at = 0;
-  while (at < frames.size()) {
-    if (frames.size() - at < kFrameOverhead) {
-      return util::InvalidArgumentError(
-          name + ": trailing garbage after last frame at offset " +
-          std::to_string(kHeaderSize + at));
-    }
-    uint32_t tag = ReadU32At(frames, at);
-    uint64_t payload_len = ReadU64At(frames, at + sizeof(uint32_t));
-    size_t payload_at = at + sizeof(uint32_t) + sizeof(uint64_t);
-    if (payload_len > frames.size() - payload_at - sizeof(uint32_t)) {
-      return util::InvalidArgumentError(
-          name + ": frame at offset " + std::to_string(kHeaderSize + at) +
-          " declares " + std::to_string(payload_len) +
-          " payload bytes past the end of the body");
-    }
-    std::string_view framed = frames.substr(at, payload_at - at + payload_len);
-    uint32_t frame_crc = util::UnmaskCrc32c(
-        ReadU32At(frames, payload_at + payload_len));
-    if (util::Crc32c(framed) != frame_crc) {
-      return util::InvalidArgumentError(
-          name + ": frame CRC mismatch at offset " +
-          std::to_string(kHeaderSize + at));
-    }
-    std::string_view payload = frames.substr(payload_at, payload_len);
-    switch (tag) {
-      case kTagActions:
-        actions_payload = payload;
-        break;
-      case kTagGoals:
-        goals_payload = payload;
-        break;
-      case kTagImpls:
-        impls_payload = payload;
-        break;
-      default:
-        // Unknown tags are an error in version 1: there is nothing
-        // forward-compatible to skip yet, and silently ignoring frames hides
-        // splices.
-        return util::InvalidArgumentError(
-            name + ": unknown frame tag " + std::to_string(tag) +
-            " at offset " + std::to_string(kHeaderSize + at));
-    }
-    at = payload_at + payload_len + sizeof(uint32_t);
-  }
+  util::Status walked = wire::WalkFrames(
+      frames, kHeaderSize, name,
+      [&](uint32_t tag, std::string_view payload,
+          size_t offset) -> util::Status {
+        switch (tag) {
+          case kTagActions:
+            actions_payload = payload;
+            break;
+          case kTagGoals:
+            goals_payload = payload;
+            break;
+          case kTagImpls:
+            impls_payload = payload;
+            break;
+          default:
+            // Unknown tags are an error in version 1: there is nothing
+            // forward-compatible to skip yet, and silently ignoring frames
+            // hides splices.
+            return util::InvalidArgumentError(
+                name + ": unknown frame tag " + std::to_string(tag) +
+                " at offset " + std::to_string(offset));
+        }
+        return util::Status::Ok();
+      });
+  if (!walked.ok()) return walked;
   if (actions_payload.data() == nullptr || goals_payload.data() == nullptr ||
       impls_payload.data() == nullptr) {
     return util::InvalidArgumentError(
@@ -382,8 +290,10 @@ util::Status WriteAll(int fd, std::string_view bytes,
 
 util::Status SaveSnapshot(const ImplementationLibrary& library,
                           const std::string& path) {
-  std::string bytes = EncodeSnapshot(library);
+  return AtomicWriteFile(EncodeSnapshot(library), path);
+}
 
+util::Status AtomicWriteFile(std::string_view bytes, const std::string& path) {
   // Same-directory temp name so the rename stays within one filesystem.
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
@@ -413,15 +323,14 @@ util::Status SaveSnapshot(const ImplementationLibrary& library,
   return util::Status::Ok();
 }
 
-util::StatusOr<ImplementationLibrary> LoadSnapshotFile(
-    const std::string& path, const LoadOptions& options) {
+util::StatusOr<std::string> ReadFileToString(const std::string& path,
+                                             uint64_t max_bytes) {
   std::error_code ec;
   uintmax_t size = std::filesystem::file_size(path, ec);
-  if (!ec && size > options.limits.max_file_bytes) {
+  if (!ec && size > max_bytes) {
     return util::ResourceExhaustedError(
         path + ": file is " + std::to_string(size) +
-        " bytes, over the load cap of " +
-        std::to_string(options.limits.max_file_bytes));
+        " bytes, over the load cap of " + std::to_string(max_bytes));
   }
   std::ifstream in(path, std::ios::binary);
   if (!in) return util::IoError("cannot open " + path);
@@ -430,7 +339,15 @@ util::StatusOr<ImplementationLibrary> LoadSnapshotFile(
   bytes.assign(std::istreambuf_iterator<char>(in),
                std::istreambuf_iterator<char>());
   if (in.bad()) return util::IoError("read failed: " + path);
-  return DecodeSnapshot(bytes, path, options);
+  return bytes;
+}
+
+util::StatusOr<ImplementationLibrary> LoadSnapshotFile(
+    const std::string& path, const LoadOptions& options) {
+  util::StatusOr<std::string> bytes =
+      ReadFileToString(path, options.limits.max_file_bytes);
+  if (!bytes.ok()) return bytes.status();
+  return DecodeSnapshot(bytes.value(), path, options);
 }
 
 }  // namespace goalrec::model

@@ -69,6 +69,17 @@ util::Status SaveSnapshot(const ImplementationLibrary& library,
 util::StatusOr<ImplementationLibrary> LoadSnapshotFile(
     const std::string& path, const LoadOptions& options = {});
 
+/// Writes `bytes` to `path` crash-consistently: same-directory temp file +
+/// fsync + rename + parent-directory fsync. A crash at any byte leaves
+/// either the old `path` content or the new one, never a hybrid. Shared by
+/// SaveSnapshot and the delta-segment writer (model/delta.h).
+util::Status AtomicWriteFile(std::string_view bytes, const std::string& path);
+
+/// Reads the whole file into a string, rejecting files over `max_bytes`
+/// before the proportional allocation. kIoError for filesystem trouble.
+util::StatusOr<std::string> ReadFileToString(const std::string& path,
+                                             uint64_t max_bytes);
+
 }  // namespace goalrec::model
 
 #endif  // GOALREC_MODEL_SNAPSHOT_IO_H_

@@ -1,0 +1,145 @@
+#ifndef GOALREC_MODEL_WIRE_FORMAT_H_
+#define GOALREC_MODEL_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/crc32c.h"
+#include "util/status.h"
+
+// Internal little-endian framing helpers shared by the snapshot codec
+// (model/snapshot_io.cc) and the delta segment codec (model/delta.cc). Both
+// formats use the same discipline: masked-CRC32C frames between a fixed
+// header and a footer that carries the frame-region length, a whole-body
+// CRC, and an end magic — verified before any frame is parsed, so no strict
+// prefix of a valid file is itself valid. Not part of the public model API.
+
+namespace goalrec::model::wire {
+
+inline void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, sizeof(buf));
+}
+
+inline void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, sizeof(buf));
+}
+
+inline uint32_t ReadU32At(std::string_view bytes, size_t at) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(bytes[at + i]);
+  }
+  return v;
+}
+
+inline uint64_t ReadU64At(std::string_view bytes, size_t at) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(bytes[at + i]);
+  }
+  return v;
+}
+
+// tag + payload_len + crc
+inline constexpr size_t kFrameOverhead =
+    sizeof(uint32_t) + sizeof(uint64_t) + sizeof(uint32_t);
+
+/// Appends one frame: tag, payload length, payload, masked CRC over the
+/// first three (so a frame shifted or spliced from another file fails its
+/// own check even if the payload is intact).
+inline void AppendFrame(std::string* out, uint32_t tag,
+                        const std::string& payload) {
+  size_t frame_start = out->size();
+  AppendU32(out, tag);
+  AppendU64(out, payload.size());
+  out->append(payload);
+  uint32_t crc = util::Crc32c(
+      std::string_view(out->data() + frame_start, out->size() - frame_start));
+  AppendU32(out, util::MaskCrc32c(crc));
+}
+
+/// Walks the verified frame region, checking each frame CRC (localising
+/// corruption the body CRC would have caught anyway) and handing each
+/// (tag, payload) to `on_frame`. `region_offset` is where `frames` starts in
+/// the whole file, for diagnostics. Unknown-tag policy belongs to the
+/// caller's on_frame.
+template <typename OnFrame>
+util::Status WalkFrames(std::string_view frames, size_t region_offset,
+                        const std::string& name, OnFrame&& on_frame) {
+  size_t at = 0;
+  while (at < frames.size()) {
+    if (frames.size() - at < kFrameOverhead) {
+      return util::InvalidArgumentError(
+          name + ": trailing garbage after last frame at offset " +
+          std::to_string(region_offset + at));
+    }
+    uint32_t tag = ReadU32At(frames, at);
+    uint64_t payload_len = ReadU64At(frames, at + sizeof(uint32_t));
+    size_t payload_at = at + sizeof(uint32_t) + sizeof(uint64_t);
+    if (payload_len > frames.size() - payload_at - sizeof(uint32_t)) {
+      return util::InvalidArgumentError(
+          name + ": frame at offset " + std::to_string(region_offset + at) +
+          " declares " + std::to_string(payload_len) +
+          " payload bytes past the end of the body");
+    }
+    std::string_view framed = frames.substr(at, payload_at - at + payload_len);
+    uint32_t frame_crc =
+        util::UnmaskCrc32c(ReadU32At(frames, payload_at + payload_len));
+    if (util::Crc32c(framed) != frame_crc) {
+      return util::InvalidArgumentError(
+          name + ": frame CRC mismatch at offset " +
+          std::to_string(region_offset + at));
+    }
+    std::string_view payload = frames.substr(payload_at, payload_len);
+    if (util::Status s = on_frame(tag, payload, region_offset + at); !s.ok()) {
+      return s;
+    }
+    at = payload_at + payload_len + sizeof(uint32_t);
+  }
+  return util::Status::Ok();
+}
+
+/// Forward cursor over payload bytes with bounds-checked reads; every
+/// failure carries the byte offset for diagnostics.
+class Cursor {
+ public:
+  Cursor(std::string_view bytes, const std::string& name)
+      : bytes_(bytes), name_(name) {}
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+  util::Status ReadU32(uint32_t* v, const char* what) {
+    if (remaining() < sizeof(uint32_t)) return Truncated(what);
+    *v = ReadU32At(bytes_, pos_);
+    pos_ += sizeof(uint32_t);
+    return util::Status::Ok();
+  }
+
+  util::Status ReadBytes(std::string_view* out, size_t n, const char* what) {
+    if (remaining() < n) return Truncated(what);
+    *out = bytes_.substr(pos_, n);
+    pos_ += n;
+    return util::Status::Ok();
+  }
+
+ private:
+  util::Status Truncated(const char* what) const {
+    return util::InvalidArgumentError(name_ + ": truncated " +
+                                      std::string(what) + " at offset " +
+                                      std::to_string(pos_));
+  }
+
+  std::string_view bytes_;
+  const std::string& name_;
+  size_t pos_ = 0;
+};
+
+}  // namespace goalrec::model::wire
+
+#endif  // GOALREC_MODEL_WIRE_FORMAT_H_

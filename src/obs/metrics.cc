@@ -176,7 +176,30 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name,
   return instrument.histogram.get();
 }
 
+uint64_t MetricRegistry::AddScrapeHook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(hooks_mutex_);
+  uint64_t id = next_hook_id_++;
+  hooks_[id] = std::move(hook);
+  return id;
+}
+
+void MetricRegistry::RemoveScrapeHook(uint64_t id) {
+  std::lock_guard<std::mutex> lock(hooks_mutex_);
+  hooks_.erase(id);
+}
+
 RegistrySnapshot MetricRegistry::Snapshot() const {
+  // Run the scrape hooks first, outside the registry lock: they refresh
+  // time-derived gauges via lock-free Set, then the locked merge below
+  // reads the fresh values.
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(hooks_mutex_);
+    hooks.reserve(hooks_.size());
+    for (const auto& [id, hook] : hooks_) hooks.push_back(hook);
+  }
+  for (const auto& hook : hooks) hook();
+
   RegistrySnapshot snapshot;
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [name, family] : families_) {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -224,8 +225,21 @@ class MetricRegistry {
                           const LabelSet& labels = {},
                           const std::string& help = "");
 
-  /// Merged view of every registered instrument.
+  /// Merged view of every registered instrument. Scrape hooks run first
+  /// (outside the registry lock), so gauges they refresh are current in the
+  /// returned snapshot.
   RegistrySnapshot Snapshot() const;
+
+  /// Registers a callback invoked at the start of every Snapshot() — i.e.
+  /// on every export/scrape — for gauges whose value is a function of time
+  /// rather than of events (e.g. goalrec_snapshot_age_seconds, which would
+  /// otherwise freeze between reloads). Hooks run outside the registry
+  /// lock and must only touch lock-free instrument operations (Gauge::Set
+  /// and friends). Returns an id for RemoveScrapeHook.
+  uint64_t AddScrapeHook(std::function<void()> hook);
+
+  /// Deregisters a hook. Call before anything the hook captures dies.
+  void RemoveScrapeHook(uint64_t id);
 
   /// The process-wide registry that built-in instrumentation (serving
   /// engine defaults, thread pool, retry, library loaders) reports into.
@@ -249,6 +263,12 @@ class MetricRegistry {
 
   mutable std::mutex mutex_;
   std::map<std::string, Family> families_;
+
+  /// Scrape hooks, under their own mutex so a hook calling back into
+  /// instrument reads can never deadlock against the registry lock.
+  mutable std::mutex hooks_mutex_;
+  std::map<uint64_t, std::function<void()>> hooks_;
+  uint64_t next_hook_id_ = 1;
 };
 
 }  // namespace goalrec::obs

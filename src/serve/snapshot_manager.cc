@@ -52,6 +52,17 @@ SnapshotManager::SnapshotManager(
                                           kFailureHelp);
   failure_canary_ = registry.GetCounter("goalrec_reload_failure_total",
                                         {{"reason", "canary"}}, kFailureHelp);
+  failure_delta_ = registry.GetCounter("goalrec_reload_failure_total",
+                                       {{"reason", "delta"}}, kFailureHelp);
+  failure_compact_ = registry.GetCounter("goalrec_reload_failure_total",
+                                         {{"reason", "compact"}}, kFailureHelp);
+  delta_segments_ = registry.GetGauge(
+      "goalrec_delta_segments_active", {},
+      "Delta segments applied on top of the serving base "
+      "(the compaction backlog)");
+  delta_tombstones_ = registry.GetGauge(
+      "goalrec_delta_tombstoned_implementations", {},
+      "Tombstoned implementations in the merged delta view");
 
   if (guard_.validate) {
     util::Status valid = model::ValidateLibrary(initial->library);
@@ -76,6 +87,14 @@ SnapshotManager::SnapshotManager(
   snapshot_age_seconds_->Set(0);
   obs::FlightRecorder::Default().Record(obs::RecorderEventType::kSnapshotSwap,
                                         0, 0, version);
+  // Last: the hook may fire from a scraping thread as soon as it is
+  // registered, so everything it reads must already be initialised.
+  registry_ = &registry;
+  age_hook_id_ = registry.AddScrapeHook([this] { RefreshAgeGauge(); });
+}
+
+SnapshotManager::~SnapshotManager() {
+  if (registry_ != nullptr) registry_->RemoveScrapeHook(age_hook_id_);
 }
 
 double SnapshotManager::snapshot_age_seconds() const {
@@ -227,6 +246,61 @@ util::StatusOr<uint64_t> SnapshotManager::ReloadFromFile(
   util::Status status = Reload(std::move(loaded).value());
   if (!status.ok()) return status;
   return version;
+}
+
+util::StatusOr<uint64_t> SnapshotManager::ReloadFromDeltaLog(
+    model::DeltaLog& log) {
+  std::vector<model::QuarantinedSegment> before = log.quarantined();
+  util::StatusOr<model::DeltaLog::PollResult> poll = log.Poll();
+  if (!poll.ok()) {
+    // Base-level failure: the base snapshot is unreadable or a re-anchored
+    // base failed to decode. The log kept its previous view; we keep our
+    // previous snapshot.
+    return CountFailure(failure_compact_, poll.status());
+  }
+
+  // Segments quarantined by this poll (torn/corrupt/out-of-order tail) are
+  // the designed degradation: the valid prefix still publishes below, but
+  // each fresh quarantine is counted and logged so dashboards see it.
+  int64_t fresh = 0;
+  for (const model::QuarantinedSegment& q : log.quarantined()) {
+    bool seen = false;
+    for (const model::QuarantinedSegment& b : before) {
+      if (b.file == q.file) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    ++fresh;
+    GOALREC_LOG(WARN) << "delta segment quarantined"
+                      << util::Kv("file", q.file)
+                      << util::Kv("reason", q.reason);
+  }
+  if (fresh > 0) failure_delta_->Increment(fresh);
+
+  const model::DeltaLogStats stats = log.stats();
+  delta_segments_->Set(static_cast<int64_t>(stats.segments_active));
+  delta_tombstones_->Set(
+      static_cast<int64_t>(stats.view.tombstoned_implementations));
+
+  if (poll.value().segments_applied == 0 && !poll.value().reopened_base) {
+    return current_version();  // no-op poll: nothing new to publish
+  }
+  auto snapshot = model::MakeSnapshot(log.library(), log.dir());
+  uint64_t version = snapshot->version;
+  if (util::Status status = Reload(std::move(snapshot)); !status.ok()) {
+    return status;
+  }
+  return version;
+}
+
+util::Status SnapshotManager::CountDeltaFailure(util::Status status) {
+  return CountFailure(failure_delta_, std::move(status));
+}
+
+util::Status SnapshotManager::CountCompactFailure(util::Status status) {
+  return CountFailure(failure_compact_, std::move(status));
 }
 
 }  // namespace goalrec::serve

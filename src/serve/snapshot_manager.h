@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "model/delta_log.h"
 #include "model/library_io.h"
 #include "model/snapshot.h"
 #include "obs/metrics.h"
@@ -99,6 +100,11 @@ class SnapshotManager {
       : SnapshotManager(std::move(initial), std::move(factory),
                         ReloadGuardOptions{}, metrics) {}
 
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  ~SnapshotManager();
+
   /// The current serving snapshot — one lock-free atomic shared_ptr load.
   /// Callers keep the returned pointer for the duration of their query.
   std::shared_ptr<const ServingSnapshot> Acquire() const {
@@ -118,6 +124,35 @@ class SnapshotManager {
   util::StatusOr<uint64_t> ReloadFromFile(
       const std::string& path, const util::RetryOptions& retry = {},
       const model::LoadOptions& load_options = {});
+
+  /// Reader side of a delta directory (docs/data_plane.md, "Delta segments
+  /// & compaction"): polls `log` and, when the poll surfaced changes (new
+  /// segments applied or a re-anchored base), publishes the merged library
+  /// through the guard. Failure accounting follows the degradation design —
+  /// the current snapshot keeps serving in every error path:
+  ///   * the base is unreadable/torn, or a re-anchored base fails to
+  ///     decode: goalrec_reload_failure_total{reason=compact}, error
+  ///     returned;
+  ///   * a published segment was quarantined this poll (torn/corrupt/
+  ///     out-of-order tail): goalrec_reload_failure_total{reason=delta};
+  ///     the valid prefix still publishes;
+  ///   * guard rejection of the merged candidate counts under its own
+  ///     reason (validate/canary/ladder) as for any reload.
+  /// Returns the served library version (unchanged when the poll was a
+  /// no-op). Not thread-safe with respect to `log` — callers own the poll
+  /// loop thread.
+  util::StatusOr<uint64_t> ReloadFromDeltaLog(model::DeltaLog& log);
+
+  /// Counts one failed delta-segment publish/apply against
+  /// goalrec_reload_failure_total{reason=delta}. For writer-side callers
+  /// (CLI mutation loop, chaos harness) whose Append failed; the serving
+  /// snapshot is untouched. Returns `status` for chaining.
+  util::Status CountDeltaFailure(util::Status status);
+
+  /// Counts one failed compaction/base publish against
+  /// goalrec_reload_failure_total{reason=compact}. Writer-side counterpart
+  /// for Compact failures. Returns `status` for chaining.
+  util::Status CountCompactFailure(util::Status status);
 
   /// Version of the currently served library.
   uint64_t current_version() const { return Acquire()->library->version; }
@@ -139,9 +174,16 @@ class SnapshotManager {
   double snapshot_age_seconds() const;
 
   /// Re-publishes the age into goalrec_snapshot_age_seconds. The gauge is
-  /// also set to 0 at every swap; periodic exporters (dumper, statusz) call
-  /// this so the exported age moves between swaps.
+  /// also set to 0 at every swap, and a registry scrape hook calls this on
+  /// every export/scrape, so the exported age moves between swaps even on a
+  /// quiet server.
   void RefreshAgeGauge() const;
+
+  /// Test seam: backdates the last-swap timestamp so age-gauge behaviour is
+  /// testable without sleeping.
+  void set_last_swap_ns_for_test(int64_t ns) {
+    last_swap_ns_.store(ns, std::memory_order_relaxed);
+  }
 
  private:
   util::StatusOr<std::shared_ptr<const ServingSnapshot>> BuildServing(
@@ -167,17 +209,26 @@ class SnapshotManager {
   /// Serialises Reload/ReloadFromFile against each other only.
   std::mutex reload_mu_;
 
+  obs::MetricRegistry* registry_ = nullptr;
+  /// Scrape hook refreshing the age gauge; removed in the destructor.
+  uint64_t age_hook_id_ = 0;
+
   obs::Counter* reload_ok_ = nullptr;
   obs::Counter* reload_error_ = nullptr;
   obs::Histogram* reload_latency_us_ = nullptr;
   obs::Gauge* library_version_ = nullptr;
   obs::Gauge* library_impls_ = nullptr;
   obs::Gauge* snapshot_age_seconds_ = nullptr;
+  // Delta-log mutation health, refreshed on every ReloadFromDeltaLog.
+  obs::Gauge* delta_segments_ = nullptr;
+  obs::Gauge* delta_tombstones_ = nullptr;
   // goalrec_reload_failure_total{reason}: why candidates were rejected.
   obs::Counter* failure_load_ = nullptr;
   obs::Counter* failure_ladder_ = nullptr;
   obs::Counter* failure_validate_ = nullptr;
   obs::Counter* failure_canary_ = nullptr;
+  obs::Counter* failure_delta_ = nullptr;
+  obs::Counter* failure_compact_ = nullptr;
 };
 
 }  // namespace goalrec::serve

@@ -157,6 +157,28 @@ std::string RenderStatusz(const StatuszSources& sources) {
         << ")\n";
   }
 
+  if (sources.delta_stats) {
+    if (std::optional<model::DeltaLogStats> delta = sources.delta_stats();
+        delta.has_value()) {
+      if (sources.snapshots == nullptr) out << "\n[library]\n";
+      out << "  delta_segments: " << delta->segments_active
+          << " (pending compaction backlog)\n";
+      out << "  delta_tombstones: impls="
+          << delta->view.tombstoned_implementations
+          << " goals=" << delta->view.tombstoned_goals
+          << " appended=" << delta->view.appended_implementations << "\n";
+      std::snprintf(buffer, sizeof(buffer),
+                    "  compactions: %" PRIu64 " (last %.1fms)\n",
+                    delta->compactions,
+                    static_cast<double>(delta->last_compaction_micros) / 1e3);
+      out << buffer;
+      if (delta->quarantined_segments > 0) {
+        out << "  quarantined_segments: " << delta->quarantined_segments
+            << "\n";
+      }
+    }
+  }
+
   if (sources.admission != nullptr) {
     const AdmissionController& admission = *sources.admission;
     out << "\n[admission]\n";

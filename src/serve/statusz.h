@@ -2,9 +2,12 @@
 #define GOALREC_SERVE_STATUSZ_H_
 
 #include <cstddef>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "model/delta_log.h"
 #include "obs/recorder.h"
 
 // The serving process's introspection page. Where the metric exporters
@@ -41,6 +44,12 @@ struct StatuszSources {
   const ServingEngine* engine = nullptr;
   /// Library version / age / reload history.
   const SnapshotManager* snapshots = nullptr;
+  /// Delta-log mutation state for the [library] section: segment backlog,
+  /// tombstones, compaction history. A provider rather than a borrowed
+  /// pointer because model::DeltaLog is not thread-safe — the owner of the
+  /// writer/poll loop supplies a callback that snapshots the stats under
+  /// its own synchronisation. Null (or a nullopt return) omits the lines.
+  std::function<std::optional<model::DeltaLogStats>()> delta_stats;
   /// Limiter and queue state.
   const AdmissionController* admission = nullptr;
   /// Burn-rate windows. Non-const: rendering refreshes the goalrec_slo_*

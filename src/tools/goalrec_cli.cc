@@ -63,7 +63,16 @@
 //       paper's key metrics (overlap, popularity correlation, completeness,
 //       TPR).
 //
-//   goalrec serve <library> [--strategy=breadth] [--deadline_ms=N]
+//   goalrec delta <init|append|compact|status> ...
+//       Writer-side management of a delta-snapshot directory
+//       (docs/data_plane.md, "Delta segments & compaction"): `init` seeds
+//       <dir>/base.snap from a library; `append` publishes one delta
+//       segment (--add="goal:a1,a2;..." appends implementations,
+//       --tombstone_goals / --tombstone_impls remove them); `compact` folds
+//       base + segments into a fresh base; `status` prints the chain state
+//       without mutating the directory.
+//
+//   goalrec serve <library|delta-dir> [--strategy=breadth] [--deadline_ms=N]
 //                 [--watch_library] [--watch_interval_ms=500]
 //                 [--slo_objective=0.999] [--statusz_out=<path|->]
 //                 [--statusz_every_ms=1000]
@@ -92,6 +101,7 @@
 #include <filesystem>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -110,6 +120,8 @@
 #include "eval/reports.h"
 #include "eval/suite.h"
 #include "model/cooccurrence.h"
+#include "model/delta.h"
+#include "model/delta_log.h"
 #include "model/export_dot.h"
 #include "model/library_io.h"
 #include "model/snapshot_io.h"
@@ -141,7 +153,7 @@ using goalrec::util::Status;
 using goalrec::util::StatusOr;
 
 constexpr char kUsage[] =
-    "usage: goalrec <stats|evaluate|recommend|spaces|convert|generate|dot|extract|related|serve> ...\n"
+    "usage: goalrec <stats|evaluate|recommend|spaces|convert|generate|dot|extract|related|delta|serve> ...\n"
     "run with a subcommand and --help for details; see the header of\n"
     "src/tools/goalrec_cli.cc for the full synopsis\n";
 
@@ -706,6 +718,192 @@ int CmdRelated(const FlagParser& flags) {
   return 0;
 }
 
+// Parses --add="goal:a1,a2;goal2:b1,b2" into appended delta records.
+StatusOr<std::vector<goalrec::model::DeltaImplementation>> ParseDeltaAdds(
+    const std::string& spec) {
+  std::vector<goalrec::model::DeltaImplementation> records;
+  for (const std::string& raw : goalrec::util::Split(spec, ';')) {
+    std::string_view record = goalrec::util::Trim(raw);
+    if (record.empty()) continue;
+    size_t colon = record.find(':');
+    if (colon == std::string_view::npos) {
+      return goalrec::util::InvalidArgumentError(
+          "--add record '" + std::string(record) +
+          "' is not goal:action1,action2");
+    }
+    goalrec::model::DeltaImplementation impl;
+    impl.goal = std::string(goalrec::util::Trim(record.substr(0, colon)));
+    for (const std::string& action :
+         goalrec::util::Split(std::string(record.substr(colon + 1)), ',')) {
+      std::string name(goalrec::util::Trim(action));
+      if (!name.empty()) impl.actions.push_back(std::move(name));
+    }
+    if (impl.goal.empty() || impl.actions.empty()) {
+      return goalrec::util::InvalidArgumentError(
+          "--add record '" + std::string(record) +
+          "' needs a goal and at least one action");
+    }
+    records.push_back(std::move(impl));
+  }
+  return records;
+}
+
+void PrintDeltaStatus(const goalrec::model::DeltaLog& log) {
+  goalrec::model::DeltaLogStats stats = log.stats();
+  std::printf("delta dir %s\n", log.dir().c_str());
+  std::printf("  base: %s (chain crc %08x)\n", log.base_path().c_str(),
+              log.view().base_crc32c());
+  std::printf("  merged library: %u implementations (%u live)\n",
+              log.library().num_implementations(),
+              stats.view.live_implementations);
+  std::printf("  segments: %llu active, next seq %llu\n",
+              static_cast<unsigned long long>(stats.segments_active),
+              static_cast<unsigned long long>(log.view().next_chain_seq()));
+  std::printf("  appended: %llu  tombstoned: impls=%llu goals=%llu\n",
+              static_cast<unsigned long long>(
+                  stats.view.appended_implementations),
+              static_cast<unsigned long long>(
+                  stats.view.tombstoned_implementations),
+              static_cast<unsigned long long>(stats.view.tombstoned_goals));
+  std::printf("  compactions: %llu (last %.1fms), stale removed: %llu\n",
+              static_cast<unsigned long long>(stats.compactions),
+              static_cast<double>(stats.last_compaction_micros) / 1e3,
+              static_cast<unsigned long long>(stats.stale_segments_removed));
+  for (const goalrec::model::QuarantinedSegment& q : log.quarantined()) {
+    std::printf("  quarantined: %s — %s\n", q.file.c_str(), q.reason.c_str());
+  }
+}
+
+// goalrec delta — writer-side management of a delta-snapshot directory
+// (docs/data_plane.md, "Delta segments & compaction"). Single-writer: run
+// these from the one process that owns the directory; `goalrec serve <dir>`
+// is the reader side.
+int CmdDelta(const FlagParser& flags) {
+  constexpr char kDeltaUsage[] =
+      "usage: goalrec delta init <library> <dir>\n"
+      "       goalrec delta append <dir> [--add=\"goal:a1,a2;goal2:b1\"]\n"
+      "                            [--tombstone_goals=g1,g2]\n"
+      "                            [--tombstone_impls=3,7]\n"
+      "       goalrec delta compact <dir>\n"
+      "       goalrec delta status <dir>\n";
+  const std::vector<std::string>& args = flags.positional();
+  if (args.size() < 3) {
+    std::fprintf(stderr, "%s", kDeltaUsage);
+    return 2;
+  }
+  const std::string& verb = args[1];
+  StatusOr<goalrec::model::LoadOptions> load_options =
+      LoadOptionsFromFlags(flags);
+  if (!load_options.ok()) {
+    GOALREC_LOG(ERROR) << load_options.status().ToString();
+    return 2;
+  }
+  goalrec::model::DeltaLogOptions log_options;
+  log_options.load = *load_options;
+
+  if (verb == "init") {
+    if (args.size() != 4) {
+      std::fprintf(stderr, "%s", kDeltaUsage);
+      return 2;
+    }
+    StatusOr<ImplementationLibrary> library = LoadLibrary(flags, args[2]);
+    if (!library.ok()) {
+      GOALREC_LOG(ERROR) << "library load failed"
+                         << goalrec::util::Kv("status",
+                                              library.status().ToString());
+      return 1;
+    }
+    StatusOr<goalrec::model::DeltaLog> log =
+        goalrec::model::DeltaLog::Create(args[3], *library, log_options);
+    if (!log.ok()) {
+      GOALREC_LOG(ERROR) << "delta init failed"
+                         << goalrec::util::Kv("status",
+                                              log.status().ToString());
+      return 1;
+    }
+    std::printf("initialised %s from %s (%u implementations)\n",
+                args[3].c_str(), args[2].c_str(),
+                library->num_implementations());
+    return 0;
+  }
+
+  if (args.size() != 3) {
+    std::fprintf(stderr, "%s", kDeltaUsage);
+    return 2;
+  }
+  // `status` is read-only: it must not delete another writer's stale files.
+  if (verb == "status") log_options.remove_stale_segments = false;
+  StatusOr<goalrec::model::DeltaLog> opened =
+      goalrec::model::DeltaLog::Open(args[2], log_options);
+  if (!opened.ok()) {
+    GOALREC_LOG(ERROR) << "delta open failed"
+                       << goalrec::util::Kv("status",
+                                            opened.status().ToString());
+    return 1;
+  }
+  goalrec::model::DeltaLog log = std::move(opened).value();
+
+  if (verb == "status") {
+    PrintDeltaStatus(log);
+    return 0;
+  }
+  if (verb == "compact") {
+    Status compacted = log.Compact();
+    if (!compacted.ok()) {
+      GOALREC_LOG(ERROR) << "compaction failed"
+                         << goalrec::util::Kv("status", compacted.ToString());
+      return 1;
+    }
+    PrintDeltaStatus(log);
+    return 0;
+  }
+  if (verb == "append") {
+    goalrec::model::DeltaOps ops;
+    if (flags.Has("add")) {
+      StatusOr<std::vector<goalrec::model::DeltaImplementation>> adds =
+          ParseDeltaAdds(flags.GetString("add"));
+      if (!adds.ok()) {
+        GOALREC_LOG(ERROR) << adds.status().ToString();
+        return 2;
+      }
+      ops.appended = std::move(*adds);
+    }
+    for (const std::string& raw :
+         goalrec::util::Split(flags.GetString("tombstone_goals"), ',')) {
+      std::string name(goalrec::util::Trim(raw));
+      if (!name.empty()) ops.tombstoned_goals.push_back(std::move(name));
+    }
+    for (const std::string& raw :
+         goalrec::util::Split(flags.GetString("tombstone_impls"), ',')) {
+      std::string_view id = goalrec::util::Trim(raw);
+      if (id.empty()) continue;
+      ops.tombstoned_impls.push_back(static_cast<uint32_t>(
+          std::strtoul(std::string(id).c_str(), nullptr, 10)));
+    }
+    if (ops.empty()) {
+      GOALREC_LOG(ERROR)
+          << "delta append needs --add, --tombstone_goals or "
+             "--tombstone_impls";
+      return 2;
+    }
+    uint64_t seq = log.view().next_chain_seq();
+    Status appended = log.Append(ops);
+    if (!appended.ok()) {
+      GOALREC_LOG(ERROR) << "append failed"
+                         << goalrec::util::Kv("status", appended.ToString());
+      return 1;
+    }
+    std::printf("appended segment %llu (%zu adds, %zu goal tombstones, %zu "
+                "impl tombstones); merged library now %u implementations\n",
+                static_cast<unsigned long long>(seq), ops.appended.size(),
+                ops.tombstoned_goals.size(), ops.tombstoned_impls.size(),
+                log.library().num_implementations());
+    return 0;
+  }
+  std::fprintf(stderr, "%s", kDeltaUsage);
+  return 2;
+}
+
 // Builds the serve ladder for one library snapshot: the chosen strategy on
 // top, the structural popularity floor underneath. Invoked by the
 // SnapshotManager on every (re)load, so the recommenders are always indexed
@@ -737,16 +935,22 @@ goalrec::serve::LadderFactory MakeServeLadder(const std::string& strategy) {
 int CmdServe(const FlagParser& flags) {
   if (flags.positional().size() != 2) {
     std::fprintf(stderr,
-                 "usage: goalrec serve <library> [--strategy=breadth] "
+                 "usage: goalrec serve <library|delta-dir> "
+                 "[--strategy=breadth] "
                  "[--deadline_ms=N] [--watch_library] "
                  "[--watch_interval_ms=500] [--canary_probes=3] "
                  "[--load_mode=strict|quarantine] [--slo_objective=0.999] "
                  "[--statusz_out=<path|->] [--statusz_every_ms=1000]\n"
+                 "a delta-dir (contains base.snap; see `goalrec delta`) is "
+                 "served read-only and polled for published segments\n"
                  "interactive: perform <action> | undo <action> | "
                  "recommend [k] | reload [path] | status | statusz | quit\n");
     return 2;
   }
   const std::string library_path = flags.positional()[1];
+  std::error_code delta_ec;
+  const bool delta_mode =
+      std::filesystem::is_directory(library_path, delta_ec);
   std::string strategy_name = flags.GetString("strategy", "breadth");
   if (strategy_name != "breadth" && strategy_name != "focus_cmp" &&
       strategy_name != "focus_cl" && strategy_name != "best_match") {
@@ -759,9 +963,34 @@ int CmdServe(const FlagParser& flags) {
     GOALREC_LOG(ERROR) << load_options.status().ToString();
     return 2;
   }
+  // Delta mode: the positional path is a delta-snapshot directory. This
+  // process is a READER — it never appends or compacts (that is the single
+  // writer's job, via `goalrec delta`), so stale-chain files are left for
+  // the writer to clean and the watcher polls the directory for published
+  // segments instead of an mtime.
+  std::optional<goalrec::model::DeltaLog> delta_log;
+  std::mutex delta_mu;  // serialises watcher poll / REPL reload / statusz
   StatusOr<std::shared_ptr<const goalrec::model::LibrarySnapshot>> initial =
-      goalrec::model::LoadLibrarySnapshot(library_path, RetryFromFlags(flags),
-                                          *load_options);
+      goalrec::util::InternalError("uninitialised");
+  if (delta_mode) {
+    goalrec::model::DeltaLogOptions log_options;
+    log_options.load = *load_options;
+    log_options.remove_stale_segments = false;
+    StatusOr<goalrec::model::DeltaLog> opened =
+        goalrec::model::DeltaLog::Open(library_path, log_options);
+    if (!opened.ok()) {
+      GOALREC_LOG(ERROR) << "delta directory open failed"
+                         << goalrec::util::Kv("status",
+                                              opened.status().ToString());
+      return 1;
+    }
+    delta_log.emplace(std::move(opened).value());
+    initial =
+        goalrec::model::MakeSnapshot(delta_log->library(), library_path);
+  } else {
+    initial = goalrec::model::LoadLibrarySnapshot(
+        library_path, RetryFromFlags(flags), *load_options);
+  }
   if (!initial.ok()) {
     GOALREC_LOG(ERROR) << "library load failed"
                        << goalrec::util::Kv("status",
@@ -834,6 +1063,14 @@ int CmdServe(const FlagParser& flags) {
   statusz_sources.snapshots = &manager;
   statusz_sources.slo = &slo;
   statusz_sources.exemplars = &exemplars;
+  if (delta_mode) {
+    statusz_sources.delta_stats =
+        [&delta_log,
+         &delta_mu]() -> std::optional<goalrec::model::DeltaLogStats> {
+      std::lock_guard<std::mutex> lock(delta_mu);
+      return delta_log->stats();
+    };
+  }
 
   // --statusz_out: the statusz page as a periodically rewritten file, the
   // same dumper lifecycle --metrics_out uses, with the page as producer.
@@ -864,7 +1101,46 @@ int CmdServe(const FlagParser& flags) {
   }
   std::atomic<bool> stop_watch{false};
   std::thread watcher;
-  if (*watch) {
+  if (*watch && delta_mode) {
+    // Delta watcher: poll the directory for published segments or a
+    // re-anchored base. A quarantined (torn/corrupt) publish keeps the last
+    // good prefix serving; polling backs off while the directory stays bad.
+    auto interval = std::chrono::milliseconds(*watch_ms);
+    watcher = std::thread([&manager, &stop_watch, &delta_log, &delta_mu,
+                           interval] {
+      const int64_t backoff_cap_ms = interval.count() * 60;
+      goalrec::util::BackoffPolicy backoff(interval.count(), backoff_cap_ms,
+                                           /*seed=*/1);
+      bool failing = false;
+      std::chrono::milliseconds sleep_for = interval;
+      while (!stop_watch.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(sleep_for);
+        StatusOr<uint64_t> version = [&] {
+          std::lock_guard<std::mutex> lock(delta_mu);
+          return manager.ReloadFromDeltaLog(*delta_log);
+        }();
+        if (version.ok()) {
+          if (failing) {
+            GOALREC_LOG(INFO) << "delta directory recovered"
+                              << goalrec::util::Kv("version", *version);
+          }
+          failing = false;
+          backoff = goalrec::util::BackoffPolicy(interval.count(),
+                                                 backoff_cap_ms, /*seed=*/1);
+          sleep_for = interval;
+        } else {
+          if (!failing) {
+            GOALREC_LOG(WARN)
+                << "delta directory poll failing; still serving v"
+                << manager.current_version()
+                << goalrec::util::Kv("status", version.status().ToString());
+          }
+          failing = true;
+          sleep_for = backoff.Next();
+        }
+      }
+    });
+  } else if (*watch) {
     auto interval = std::chrono::milliseconds(*watch_ms);
     const goalrec::model::LoadOptions watch_load = *load_options;
     watcher = std::thread([&manager, &stop_watch, library_path, interval,
@@ -987,6 +1263,24 @@ int CmdServe(const FlagParser& flags) {
       continue;
     }
     if (trimmed == "reload" || goalrec::util::StartsWith(trimmed, "reload ")) {
+      if (delta_mode) {
+        // Reload == poll the delta directory now instead of waiting for the
+        // watcher tick.
+        StatusOr<uint64_t> version = [&] {
+          std::lock_guard<std::mutex> lock(delta_mu);
+          return manager.ReloadFromDeltaLog(*delta_log);
+        }();
+        if (!version.ok()) {
+          std::printf("poll failed (%s); still serving v%llu\n",
+                      version.status().ToString().c_str(),
+                      static_cast<unsigned long long>(
+                          manager.current_version()));
+        } else {
+          std::printf("polled %s; serving v%llu\n", library_path.c_str(),
+                      static_cast<unsigned long long>(*version));
+        }
+        continue;
+      }
       std::string path = library_path;
       if (trimmed.size() > 7) {
         std::string_view rest = goalrec::util::Trim(trimmed.substr(7));
@@ -1211,6 +1505,7 @@ int Dispatch(const FlagParser& flags) {
   if (command == "dot") return CmdDot(flags);
   if (command == "extract") return CmdExtract(flags);
   if (command == "related") return CmdRelated(flags);
+  if (command == "delta") return CmdDelta(flags);
   if (command == "serve") return CmdServe(flags);
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
   return 2;

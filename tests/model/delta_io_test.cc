@@ -1,0 +1,217 @@
+// Crash-consistency properties of the ".sdelta" delta-segment format
+// (GRSDLT1), mirroring the discipline snapshot_io_test.cc holds GRSNAP1 to:
+// exact round-trips, deterministic encoding, and — the robustness core — no
+// strict prefix and no single-bit corruption of a valid segment is ever
+// accepted. The header carries the chain identity (base CRC, sequence,
+// previous-segment CRC) and is verified on its own, so stale or out-of-order
+// segments are rejected before a single frame is parsed.
+
+#include "model/delta.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/library_io.h"
+#include "model/merged_view.h"
+#include "model/snapshot_io.h"
+#include "testing/fixtures.h"
+#include "util/crc32c.h"
+#include "util/status.h"
+
+namespace goalrec::model {
+namespace {
+
+DeltaOps SampleOps() {
+  DeltaOps ops;
+  ops.appended.push_back(
+      DeltaImplementation{"learn to sail", {"buy a boat", "take lessons"}});
+  ops.appended.push_back(
+      DeltaImplementation{"get fit", {"run", "swim", "sleep well"}});
+  ops.tombstoned_goals.push_back("stale goal");
+  ops.tombstoned_impls = {3, 7, 41};
+  return ops;
+}
+
+DeltaHeader SampleHeader() { return DeltaHeader{0xdeadbeef, 5, 0x12345678}; }
+
+TEST(DeltaIoTest, EncodeDecodeRoundTripsExactly) {
+  DeltaHeader header = SampleHeader();
+  DeltaOps ops = SampleOps();
+  std::string bytes = EncodeDeltaSegment(header, ops);
+  util::StatusOr<DeltaSegment> decoded = DecodeDeltaSegment(bytes, "test");
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->header.base_crc32c, header.base_crc32c);
+  EXPECT_EQ(decoded->header.chain_seq, header.chain_seq);
+  EXPECT_EQ(decoded->header.prev_crc32c, header.prev_crc32c);
+  ASSERT_EQ(decoded->ops.appended.size(), ops.appended.size());
+  for (size_t i = 0; i < ops.appended.size(); ++i) {
+    EXPECT_EQ(decoded->ops.appended[i].goal, ops.appended[i].goal);
+    EXPECT_EQ(decoded->ops.appended[i].actions, ops.appended[i].actions);
+  }
+  EXPECT_EQ(decoded->ops.tombstoned_goals, ops.tombstoned_goals);
+  EXPECT_EQ(decoded->ops.tombstoned_impls, ops.tombstoned_impls);
+}
+
+TEST(DeltaIoTest, EncodingIsDeterministic) {
+  std::string first = EncodeDeltaSegment(SampleHeader(), SampleOps());
+  std::string second = EncodeDeltaSegment(SampleHeader(), SampleOps());
+  EXPECT_EQ(first, second);
+}
+
+TEST(DeltaIoTest, EmptyOpsRoundTrip) {
+  std::string bytes = EncodeDeltaSegment(DeltaHeader{1, 1, 0}, DeltaOps{});
+  util::StatusOr<DeltaSegment> decoded = DecodeDeltaSegment(bytes, "empty");
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->ops.empty());
+}
+
+// ISSUE 9 satellite: every-byte truncation sweep. A crash mid-publish can
+// tear the file at any byte boundary; no strict prefix may parse.
+TEST(DeltaIoTest, EveryTruncationIsRejected) {
+  std::string bytes = EncodeDeltaSegment(SampleHeader(), SampleOps());
+  ASSERT_GT(bytes.size(), 0u);
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    util::StatusOr<DeltaSegment> decoded =
+        DecodeDeltaSegment(std::string_view(bytes.data(), n), "torn");
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << n << " bytes was accepted";
+  }
+}
+
+// ISSUE 9 satellite: every-byte bit-flip sweep. CRC32C detects every
+// single-bit error in the header, every frame, and the footer.
+TEST(DeltaIoTest, EveryByteBitFlipIsRejected) {
+  std::string bytes = EncodeDeltaSegment(SampleHeader(), SampleOps());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ (1u << (i % 8)));
+    util::StatusOr<DeltaSegment> decoded =
+        DecodeDeltaSegment(corrupt, "bitrot");
+    EXPECT_FALSE(decoded.ok()) << "bit flip at byte " << i << " was accepted";
+  }
+}
+
+TEST(DeltaIoTest, HeaderReadsStandaloneAndRejectsCorruption) {
+  std::string bytes = EncodeDeltaSegment(SampleHeader(), SampleOps());
+  // The header must verify from the full bytes before any frame parse, and
+  // from exactly its own 36-byte span.
+  util::StatusOr<DeltaHeader> header = ReadDeltaHeader(bytes, "test");
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header->base_crc32c, SampleHeader().base_crc32c);
+  EXPECT_EQ(header->chain_seq, SampleHeader().chain_seq);
+  EXPECT_EQ(header->prev_crc32c, SampleHeader().prev_crc32c);
+  // Every single-bit flip inside the header span is caught by the header
+  // CRC — chain checks never run on corrupt chain fields.
+  for (size_t i = 0; i < 36; ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x10);
+    EXPECT_FALSE(ReadDeltaHeader(corrupt, "bitrot").ok())
+        << "header bit flip at byte " << i << " was accepted";
+  }
+}
+
+TEST(DeltaIoTest, RejectsGarbageUnknownVersionAndTrailingBytes) {
+  EXPECT_FALSE(DecodeDeltaSegment("", "empty").ok());
+  EXPECT_FALSE(DecodeDeltaSegment("definitely not a delta", "junk").ok());
+  std::string zeros(128, '\0');
+  EXPECT_FALSE(DecodeDeltaSegment(zeros, "zeros").ok());
+
+  std::string bytes = EncodeDeltaSegment(SampleHeader(), SampleOps());
+  std::string future = bytes;
+  future[8] = static_cast<char>(kDeltaFormatVersion + 1);
+  EXPECT_FALSE(DecodeDeltaSegment(future, "future").ok());
+  EXPECT_FALSE(DecodeDeltaSegment(bytes + "extra", "padded").ok());
+}
+
+TEST(DeltaIoTest, DecodeHonoursLoadLimits) {
+  DeltaOps ops;
+  DeltaImplementation impl;
+  impl.goal = "goal";
+  for (int i = 0; i < 64; ++i) {
+    impl.actions.push_back("action " + std::to_string(i));
+  }
+  ops.appended.push_back(impl);
+  std::string bytes = EncodeDeltaSegment(DeltaHeader{1, 1, 0}, ops);
+  LoadOptions tight;
+  tight.limits.max_actions_per_impl = 8;
+  util::StatusOr<DeltaSegment> decoded =
+      DecodeDeltaSegment(bytes, "capped", tight);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), util::StatusCode::kResourceExhausted);
+}
+
+// Chain discipline at the view: wrong base, wrong sequence, and a respliced
+// predecessor are each rejected as failed preconditions, before and
+// independently of content validity.
+TEST(DeltaIoTest, ViewRejectsWrongBaseOutOfOrderAndResplicedSegments) {
+  ImplementationLibrary base = testing::PaperLibrary();
+  std::string base_bytes = EncodeSnapshot(base);
+  MergedLibraryView view(base, util::Crc32c(base_bytes));
+
+  DeltaOps ops;
+  ops.appended.push_back(DeltaImplementation{"new goal", {"a1"}});
+
+  // Wrong chain (stale base crc).
+  DeltaSegment stale{DeltaHeader{view.base_crc32c() + 1, 1, 0}, ops};
+  util::Status status = view.ValidateSegment(stale, "stale");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+
+  // Out of order: seq 2 before seq 1.
+  DeltaSegment skipped{DeltaHeader{view.base_crc32c(), 2, 0}, ops};
+  status = view.ValidateSegment(skipped, "skipped");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+
+  // Duplicate / respliced: apply seq 1, then try another seq 1.
+  std::string seg_bytes = EncodeDeltaSegment(view.NextHeader(), ops);
+  DeltaSegment first{view.NextHeader(), ops};
+  ASSERT_TRUE(
+      view.ApplySegment(first, util::Crc32c(seg_bytes), "first").ok());
+  status = view.ValidateSegment(first, "duplicate");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+
+  // Correct seq 2 but wrong prev_crc32c (resplice after a rewritten seq 1).
+  DeltaSegment resplice{
+      DeltaHeader{view.base_crc32c(), 2, util::Crc32c(seg_bytes) + 1}, ops};
+  status = view.ValidateSegment(resplice, "resplice");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(DeltaIoTest, ViewRejectsSemanticViolations) {
+  ImplementationLibrary base = testing::PaperLibrary();
+  MergedLibraryView view(base, util::Crc32c(EncodeSnapshot(base)));
+
+  // Tombstoning an unknown goal name.
+  DeltaOps unknown_goal;
+  unknown_goal.tombstoned_goals.push_back("no such goal");
+  util::Status status = view.ValidateSegment(
+      DeltaSegment{view.NextHeader(), unknown_goal}, "unknown-goal");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+
+  // Tombstoning a logical id past the space (base has 5 rows, no appends).
+  DeltaOps out_of_range;
+  out_of_range.tombstoned_impls.push_back(base.num_implementations());
+  status = view.ValidateSegment(
+      DeltaSegment{view.NextHeader(), out_of_range}, "out-of-range");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+
+  // A goal appended in the SAME segment is tombstonable, and ids appended
+  // in the same segment are addressable.
+  DeltaOps same_segment;
+  same_segment.appended.push_back(
+      DeltaImplementation{"fresh goal", {"a1", "a2"}});
+  same_segment.tombstoned_goals.push_back("fresh goal");
+  same_segment.tombstoned_impls.push_back(base.num_implementations());
+  EXPECT_TRUE(view.ValidateSegment(
+                      DeltaSegment{view.NextHeader(), same_segment}, "same")
+                  .ok());
+}
+
+}  // namespace
+}  // namespace goalrec::model

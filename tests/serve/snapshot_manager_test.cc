@@ -4,9 +4,11 @@
 // lives in snapshot_reload_test.cc (also run under TSan).
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,11 +17,14 @@
 
 #include "core/best_match.h"
 #include "core/breadth.h"
+#include "model/delta.h"
+#include "model/delta_log.h"
 #include "model/library.h"
 #include "model/library_io.h"
 #include "model/snapshot.h"
 #include "model/snapshot_io.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "serve/engine.h"
 #include "serve/snapshot_manager.h"
 #include "testing/fixtures.h"
@@ -297,6 +302,181 @@ TEST(SnapshotManagerTest, EngineSnapshotModeReportsServingVersion) {
     EXPECT_EQ(r2.value().list[i].action, r1.value().list[i].action);
     EXPECT_EQ(r2.value().list[i].score, r1.value().list[i].score);
   }
+}
+
+// ---- Age gauge freshness (the frozen-between-swaps regression). ----
+
+// goalrec_snapshot_age_seconds used to be written only at swap time, so a
+// quiet manager exported a permanently stale age. The manager now registers
+// a scrape hook; every registry Snapshot() refreshes the gauge first.
+TEST(SnapshotManagerTest, AgeGaugeRefreshesOnEveryScrapeWithoutAReload) {
+  obs::MetricRegistry metrics;
+  {
+    SnapshotManager manager(model::MakeSnapshot(PaperLibrary(), "paper"),
+                            TwoRungLadder, &metrics);
+    // Backdate the swap by two minutes; no reload happens afterwards.
+    manager.set_last_swap_ns_for_test(obs::FlightRecorder::NowNs() -
+                                      120'000'000'000);
+    obs::RegistrySnapshot scraped = metrics.Snapshot();
+    const obs::MetricSnapshot* age =
+        scraped.Find("goalrec_snapshot_age_seconds");
+    ASSERT_NE(age, nullptr);
+    EXPECT_GE(age->value, 120);
+
+    // The age keeps tracking on the NEXT scrape too — it is a live hook,
+    // not a one-shot write.
+    manager.set_last_swap_ns_for_test(obs::FlightRecorder::NowNs());
+    obs::RegistrySnapshot rescraped = metrics.Snapshot();
+    const obs::MetricSnapshot* fresh =
+        rescraped.Find("goalrec_snapshot_age_seconds");
+    ASSERT_NE(fresh, nullptr);
+    EXPECT_LE(fresh->value, 1);
+  }
+  // The destructor unregistered the hook: scraping after the manager is
+  // gone must not touch freed memory.
+  (void)metrics.Snapshot();
+}
+
+// ---- Delta-log reload: publish, no-op polls, quarantine accounting. ----
+
+class SnapshotManagerDeltaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/snapshot_manager_delta_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    util::StatusOr<model::DeltaLog> created =
+        model::DeltaLog::Create(dir_, PaperLibrary());
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    writer_.emplace(std::move(created).value());
+    model::DeltaLogOptions reader_options;
+    reader_options.remove_stale_segments = false;
+    util::StatusOr<model::DeltaLog> opened =
+        model::DeltaLog::Open(dir_, reader_options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    reader_.emplace(std::move(opened).value());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  model::DeltaOps AppendOps(int i) {
+    model::DeltaOps ops;
+    ops.appended.push_back(model::DeltaImplementation{
+        "delta goal " + std::to_string(i), {"a1", "da" + std::to_string(i)}});
+    return ops;
+  }
+
+  int64_t GaugeValue(obs::MetricRegistry& metrics, const std::string& name) {
+    obs::RegistrySnapshot scraped = metrics.Snapshot();
+    const obs::MetricSnapshot* metric = scraped.Find(name);
+    return metric == nullptr ? -1 : metric->value;
+  }
+
+  std::string dir_;
+  std::optional<model::DeltaLog> writer_;
+  std::optional<model::DeltaLog> reader_;
+};
+
+TEST_F(SnapshotManagerDeltaTest, PublishesAppendsAndSkipsNoOpPolls) {
+  obs::MetricRegistry metrics;
+  SnapshotManager manager(model::MakeSnapshot(reader_->library(), dir_),
+                          TwoRungLadder, &metrics);
+  uint64_t initial_version = manager.current_version();
+
+  // Nothing new on disk: the poll is a no-op, no snapshot churn.
+  util::StatusOr<uint64_t> polled = manager.ReloadFromDeltaLog(*reader_);
+  ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+  EXPECT_EQ(polled.value(), initial_version);
+  EXPECT_EQ(manager.reload_count(), 0u);
+
+  ASSERT_TRUE(writer_->Append(AppendOps(1)).ok());
+  polled = manager.ReloadFromDeltaLog(*reader_);
+  ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+  EXPECT_NE(polled.value(), initial_version);
+  EXPECT_EQ(manager.reload_count(), 1u);
+  EXPECT_EQ(manager.Acquire()->library->library.num_implementations(),
+            PaperLibrary().num_implementations() + 1);
+  EXPECT_EQ(GaugeValue(metrics, "goalrec_delta_segments_active"), 1);
+}
+
+TEST_F(SnapshotManagerDeltaTest, QuarantineCountsDeltaFailureServesPrefix) {
+  obs::MetricRegistry metrics;
+  SnapshotManager manager(model::MakeSnapshot(reader_->library(), dir_),
+                          TwoRungLadder, &metrics);
+  ASSERT_TRUE(writer_->Append(AppendOps(1)).ok());
+
+  // Corrupt the second segment mid-publish (simulated torn write).
+  ASSERT_TRUE(writer_->Append(AppendOps(2)).ok());
+  std::string seg2 = writer_->SegmentPath(2);
+  {
+    std::ifstream in(seg2, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(seg2, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  util::StatusOr<uint64_t> polled = manager.ReloadFromDeltaLog(*reader_);
+  ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+  // The valid prefix (segment 1) published; the torn tail was quarantined
+  // and counted as a delta failure without blocking the swap.
+  EXPECT_EQ(manager.reload_count(), 1u);
+  EXPECT_EQ(manager.Acquire()->library->library.num_implementations(),
+            PaperLibrary().num_implementations() + 1);
+  EXPECT_EQ(FailureCount(metrics, "delta"), 1);
+  EXPECT_EQ(FailureCount(metrics, "compact"), 0);
+  EXPECT_EQ(GaugeValue(metrics, "goalrec_delta_segments_active"), 1);
+
+  // Polling again does NOT recount the same quarantined file.
+  polled = manager.ReloadFromDeltaLog(*reader_);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(FailureCount(metrics, "delta"), 1);
+}
+
+TEST_F(SnapshotManagerDeltaTest, ReanchorsAfterCompactionAndTracksGauges) {
+  obs::MetricRegistry metrics;
+  SnapshotManager manager(model::MakeSnapshot(reader_->library(), dir_),
+                          TwoRungLadder, &metrics);
+  ASSERT_TRUE(writer_->Append(AppendOps(1)).ok());
+  model::DeltaOps tombstone;
+  tombstone.tombstoned_impls.push_back(0);
+  ASSERT_TRUE(writer_->Append(tombstone).ok());
+  ASSERT_TRUE(manager.ReloadFromDeltaLog(*reader_).ok());
+  EXPECT_EQ(GaugeValue(metrics, "goalrec_delta_segments_active"), 2);
+  EXPECT_EQ(
+      GaugeValue(metrics, "goalrec_delta_tombstoned_implementations"), 1);
+
+  ASSERT_TRUE(writer_->Compact().ok());
+  util::StatusOr<uint64_t> polled = manager.ReloadFromDeltaLog(*reader_);
+  ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+  // Compaction re-anchors: a fresh base, zero live segments, same content.
+  EXPECT_EQ(manager.reload_count(), 2u);
+  EXPECT_EQ(manager.Acquire()->library->library.num_implementations(),
+            PaperLibrary().num_implementations());  // +1 append, -1 tombstone
+  EXPECT_EQ(GaugeValue(metrics, "goalrec_delta_segments_active"), 0);
+  EXPECT_EQ(
+      GaugeValue(metrics, "goalrec_delta_tombstoned_implementations"), 0);
+}
+
+TEST_F(SnapshotManagerDeltaTest, TornBaseCountsCompactFailureKeepsServing) {
+  obs::MetricRegistry metrics;
+  SnapshotManager manager(model::MakeSnapshot(reader_->library(), dir_),
+                          TwoRungLadder, &metrics);
+  uint64_t serving_version = manager.current_version();
+
+  // Tear the base snapshot: a hostile non-atomic compactor.
+  std::string next_base = model::EncodeSnapshot(writer_->library());
+  {
+    std::ofstream out(writer_->base_path(),
+                      std::ios::binary | std::ios::trunc);
+    out.write(next_base.data(),
+              static_cast<std::streamsize>(next_base.size() / 2));
+  }
+  util::StatusOr<uint64_t> polled = manager.ReloadFromDeltaLog(*reader_);
+  ASSERT_FALSE(polled.ok());
+  EXPECT_EQ(FailureCount(metrics, "compact"), 1);
+  EXPECT_EQ(manager.current_version(), serving_version);
+  EXPECT_EQ(manager.consecutive_failures(), 1u);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -183,6 +184,37 @@ TEST(StatuszTest, SnapshotAgeAndVersionGaugesExportInBothFormats) {
   EXPECT_NE(page.find("version: " + std::to_string(version)),
             std::string::npos);
   EXPECT_NE(page.find("age: "), std::string::npos);
+}
+
+TEST(StatuszTest, DeltaStatsProviderRendersSegmentAndCompactionLines) {
+  model::DeltaLogStats stats;
+  stats.segments_active = 3;
+  stats.quarantined_segments = 1;
+  stats.compactions = 2;
+  stats.last_compaction_micros = 4200;
+  stats.view.tombstoned_implementations = 5;
+  stats.view.tombstoned_goals = 1;
+  stats.view.appended_implementations = 7;
+
+  StatuszSources sources;
+  sources.recent_events = 0;
+  sources.delta_stats = [&stats] {
+    return std::optional<model::DeltaLogStats>(stats);
+  };
+  std::string page = RenderStatusz(sources);
+  EXPECT_NE(page.find("[library]"), std::string::npos);
+  EXPECT_NE(page.find("delta_segments: 3 (pending compaction backlog)"),
+            std::string::npos);
+  EXPECT_NE(page.find("delta_tombstones: impls=5 goals=1 appended=7"),
+            std::string::npos);
+  EXPECT_NE(page.find("compactions: 2 (last 4.2ms)"), std::string::npos);
+  EXPECT_NE(page.find("quarantined_segments: 1"), std::string::npos);
+
+  // A provider returning nullopt (e.g. the delta log is mid-teardown)
+  // renders no delta lines at all.
+  sources.delta_stats = [] { return std::optional<model::DeltaLogStats>(); };
+  page = RenderStatusz(sources);
+  EXPECT_EQ(page.find("delta_segments"), std::string::npos);
 }
 
 }  // namespace
