@@ -14,7 +14,12 @@
 //     new (same technique as micro_snapshot): after warm-up the pooled path
 //     must perform ZERO heap allocations per query — the process exits
 //     non-zero if it does not, so scripts/check.sh doubles as a regression
-//     gate for both speed plumbing and allocation discipline.
+//     gate for both speed plumbing and allocation discipline;
+//   * breadth_dense: the Breadth sparse/dense accumulator pair on a heavy
+//     (96-action) activity stream, forced each way via
+//     SetBreadthDenseCreditMultiplier plus the auto heuristic, with
+//     dense_resets counts proving which path ran (oracle/sharded_test pins
+//     bit-identity of the two paths; this records the speed difference).
 //
 // Flags: --smoke (smaller library, short sweep; CI), --seed, --queries.
 
@@ -84,10 +89,11 @@ uint64_t ReadCycles() {
 #endif
 }
 
-goalrec::model::Activity MakeActivity(uint32_t num_actions, uint64_t seed) {
+goalrec::model::Activity MakeActivity(uint32_t num_actions, uint64_t seed,
+                                      size_t target_size = 8) {
   goalrec::util::Rng rng(seed);
   goalrec::model::Activity activity;
-  while (activity.size() < 8) {
+  while (activity.size() < target_size && activity.size() < num_actions) {
     uint32_t a = rng.UniformUint32(num_actions);
     if (!goalrec::util::Contains(activity, a)) {
       activity.push_back(a);
@@ -144,6 +150,55 @@ StrategyPoint Measure(const std::string& name,
   return point;
 }
 
+// Breadth dense-vs-sparse accumulator comparison on a heavy activity stream
+// (the scatter's credit mass must clear the dense threshold, which 8-action
+// activities never do at this connectivity). The multiplier knob pins the
+// accumulator choice; dense_resets proves which path actually ran.
+struct DensePoint {
+  std::string name;
+  double ops_per_sec = 0.0;
+  double us_per_query = 0.0;
+  int64_t dense_resets = 0;
+  int64_t steady_allocs = 0;
+};
+
+DensePoint MeasureBreadthVariant(
+    const std::string& name, double multiplier,
+    const goalrec::core::BreadthRecommender& breadth,
+    const std::vector<goalrec::model::Activity>& activities, size_t k,
+    int repeats) {
+  DensePoint point;
+  point.name = name;
+  const double previous =
+      goalrec::core::SetBreadthDenseCreditMultiplier(multiplier);
+  goalrec::core::QueryWorkspace workspace;
+  goalrec::core::RecommendationList out;
+  for (const goalrec::model::Activity& h : activities) {
+    breadth.RecommendPooled(h, k, nullptr, &workspace, out);
+  }
+
+  const int64_t resets_before = workspace.kernel_stats.dense_resets;
+  int64_t allocs_before = g_allocations.load(std::memory_order_relaxed);
+  Clock::time_point start = Clock::now();
+  for (int r = 0; r < repeats; ++r) {
+    for (const goalrec::model::Activity& h : activities) {
+      breadth.RecommendPooled(h, k, nullptr, &workspace, out);
+    }
+  }
+  double seconds =
+      static_cast<double>((Clock::now() - start).count()) / 1e9;
+  point.steady_allocs =
+      g_allocations.load(std::memory_order_relaxed) - allocs_before;
+  point.dense_resets = workspace.kernel_stats.dense_resets - resets_before;
+  goalrec::core::SetBreadthDenseCreditMultiplier(previous);
+
+  double queries =
+      static_cast<double>(activities.size()) * static_cast<double>(repeats);
+  point.ops_per_sec = seconds > 0.0 ? queries / seconds : 0.0;
+  point.us_per_query = seconds > 0.0 ? seconds * 1e6 / queries : 0.0;
+  return point;
+}
+
 int64_t IntFlag(const goalrec::util::FlagParser& flags,
                 const std::string& name, int64_t fallback) {
   goalrec::util::StatusOr<int64_t> value = flags.GetInt(name, fallback);
@@ -188,6 +243,23 @@ int main(int argc, char** argv) {
   goalrec::core::BreadthRecommender breadth(&library);
   goalrec::core::BestMatchRecommender best_match(&library);
 
+  // Heavy activity stream for the breadth_dense scenario: 96 actions per
+  // query puts the credit mass well above the 4x num_actions dense
+  // threshold at this connectivity (~34k credits vs a 20k threshold at the
+  // full 5k-action scenario), so the auto heuristic picks the dense
+  // accumulator and the forced sparse/dense pair measures the same queries
+  // on both paths.
+  const size_t heavy_queries = std::max<size_t>(16, queries / 4);
+  std::vector<goalrec::model::Activity> heavy_activities;
+  heavy_activities.reserve(heavy_queries);
+  double heavy_total_impls = 0.0;
+  for (size_t q = 0; q < heavy_queries; ++q) {
+    heavy_activities.push_back(
+        MakeActivity(library.num_actions(), seed + 7000 + q, 96));
+    heavy_total_impls += static_cast<double>(
+        library.ImplementationSpace(heavy_activities.back()).size());
+  }
+
   std::vector<StrategyPoint> points;
   points.push_back(Measure("Focus_cmp", focus_cmp, activities, total_impls, k,
                            repeats));
@@ -197,6 +269,14 @@ int main(int argc, char** argv) {
                            repeats));
   points.push_back(Measure("BestMatch", best_match, activities, total_impls,
                            k, repeats));
+
+  std::vector<DensePoint> dense_points;
+  dense_points.push_back(MeasureBreadthVariant(
+      "sparse_forced", 1e18, breadth, heavy_activities, k, repeats));
+  dense_points.push_back(MeasureBreadthVariant(
+      "dense_forced", 0.0, breadth, heavy_activities, k, repeats));
+  dense_points.push_back(MeasureBreadthVariant(
+      "auto", 4.0, breadth, heavy_activities, k, repeats));
 
   std::printf("{\n  \"benchmark\": \"micro_query\", \"smoke\": %s,\n",
               smoke ? "true" : "false");
@@ -224,6 +304,22 @@ int main(int argc, char** argv) {
         i + 1 == points.size() ? "" : ",");
   }
   std::printf("  ],\n");
+  std::printf(
+      "  \"breadth_dense\": {\"activity_size\": 96, \"queries\": %zu, "
+      "\"avg_impl_space\": %.1f, \"variants\": [\n",
+      heavy_queries, heavy_total_impls / static_cast<double>(heavy_queries));
+  for (size_t i = 0; i < dense_points.size(); ++i) {
+    const DensePoint& p = dense_points[i];
+    if (p.steady_allocs != 0) steady_state_clean = false;
+    std::printf(
+        "    {\"name\": \"%s\", \"ops_per_sec\": %.0f, \"us_per_query\": "
+        "%.2f, \"dense_resets\": %lld, \"steady_allocs\": %lld}%s\n",
+        p.name.c_str(), p.ops_per_sec, p.us_per_query,
+        static_cast<long long>(p.dense_resets),
+        static_cast<long long>(p.steady_allocs),
+        i + 1 == dense_points.size() ? "" : ",");
+  }
+  std::printf("  ]},\n");
   std::printf("  \"pooled_steady_state_zero_alloc\": %s\n}\n",
               steady_state_clean ? "true" : "false");
 

@@ -32,14 +32,30 @@ run_fuzz_smoke() {
       --out="$build_dir"
 }
 
-run_overload_smoke() {
+run_shard_smoke() {
   local build_dir=$1
-  # Overload-protection smoke: a ~2 s closed-loop run of the admission
-  # controller + breakers bench (bench/micro_overload.cc). Checks that the
-  # binary runs and emits its JSON document; the acceptance-grade numbers
-  # live in BENCH_overload.json from a full run. See docs/serving.md.
-  echo "=== overload smoke ($build_dir) ==="
-  "$build_dir/bench/micro_overload" --smoke >/dev/null
+  # Open-loop duration per sweep point in ms. Sanitized trees pass a longer
+  # one below: the Poisson generator keeps real-time pacing, so a sanitizer-
+  # slowed server needs a longer horizon for the shed/serve split to settle
+  # (the bit-identity and crash-freedom checks are duration-independent).
+  local duration_ms=${2:-250}
+  # Sharded-serving smoke (docs/serving.md "Sharded serving"): first the
+  # shard differential wall — every strategy fanned across shards must be
+  # bit-identical to the single-scan reference, pooled and allocating, plus
+  # the shard-count metamorphic sweep — then a short open-loop run of the
+  # Poisson overload bench (bench/micro_overload.cc) across shard counts.
+  # The TSan tree is trimmed to cross-thread tests and does not build the
+  # wall binary; there the fan-out/merge + atomic all-shard-swap race
+  # surface gates instead (serve_sharded_reload_test). Acceptance-grade
+  # numbers live in BENCH_overload.json from a full run.
+  echo "=== shard smoke ($build_dir) ==="
+  if [[ -x "$build_dir/tests/oracle_sharded_test" ]]; then
+    "$build_dir/tests/oracle_sharded_test" --gtest_brief=1
+  else
+    "$build_dir/tests/serve_sharded_reload_test" --gtest_brief=1
+  fi
+  "$build_dir/bench/micro_overload" --smoke --duration_ms="$duration_ms" \
+      >/dev/null
 }
 
 run_chaos_suite() {
@@ -139,7 +155,7 @@ if [[ "$PLAIN" == 1 ]]; then
   echo "=== plain build + ctest (build/) ==="
   run_suite build
   run_fuzz_smoke build
-  run_overload_smoke build
+  run_shard_smoke build
   run_snapshot_smoke build
   run_query_smoke build
   run_obs_smoke build
@@ -150,7 +166,7 @@ fi
 echo "=== ASan+UBSan build + ctest (build-asan/) ==="
 run_suite build-asan -DGOALREC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 run_fuzz_smoke build-asan
-run_overload_smoke build-asan
+run_shard_smoke build-asan 1000   # ~4x horizon: ASan slows the ladder rungs
 run_snapshot_smoke build-asan
 run_query_smoke build-asan
 run_obs_smoke build-asan 10   # ASan shadow-memory tax on the ring writes
@@ -178,4 +194,9 @@ run_obs_smoke build-tsan 50
 # ~5-20x slowdown makes the production recovery budget meaningless here, so
 # only the correctness invariants gate — the budget is opened wide.
 run_delta_smoke build-tsan 5000
+# The shard fan-out is pool tasks writing per-shard partials joined by a
+# root merge — the race surface TSan exists for. The numbers are
+# meaningless under TSan; this gates data-race freedom of the fan-out,
+# merge, and all-shard snapshot swap under real concurrent load.
+run_shard_smoke build-tsan 2000
 echo "OK: sanitized test suites green (ASan+UBSan, TSan)"

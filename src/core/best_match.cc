@@ -19,19 +19,21 @@ int64_t GoalIndex(std::span<const model::GoalId> goal_space,
   return it - goal_space.begin();
 }
 
-// Exactness certificate for the sparse distance kernel. Unweighted
-// goal-space vectors hold small non-negative integers, and doubles add,
-// subtract and multiply integers exactly while every intermediate stays
-// below 2^53 — under that bound the dense strict-order accumulation and the
-// sparse touched-slots-only accumulation compute the *same real number*,
-// hence the same double, and the kernel is bit-identical to the reference
-// walk. `dims` is the goal-space size and `cap` bounds every vector entry;
-// the 8·n margin generously covers the worst intermediate (≈ 3·n·cap²).
+}  // namespace
+
+// Unweighted goal-space vectors hold small non-negative integers, and
+// doubles add, subtract and multiply integers exactly while every
+// intermediate stays below 2^53 — under that bound the dense strict-order
+// accumulation and the sparse touched-slots-only accumulation compute the
+// *same real number*, hence the same double, and the kernel is
+// bit-identical to the reference walk. `dims` is the goal-space size and
+// `cap` bounds every vector entry; the 8·n margin generously covers the
+// worst intermediate (≈ 3·n·cap²). Declared in the header because the
+// sharded root merge must evaluate the identical predicate over the global
+// dimensions and posting totals.
 bool SparseDistanceIsExact(size_t dims, double cap) {
   return (8.0 * static_cast<double>(dims) + 8.0) * cap * cap < 9.0e15;
 }
-
-}  // namespace
 
 BestMatchRecommender::BestMatchRecommender(
     const model::ImplementationLibrary* library, BestMatchOptions options)
@@ -338,6 +340,158 @@ void BestMatchRecommender::RecommendOver(
   span.Annotate("emitted", out.size());
   if (stop != nullptr && stop->StopRequested()) {
     span.Annotate("stopped_early", true);
+  }
+}
+
+// Phase A of the sharded fan-out. Goal-colocated partitioning means every
+// implementation of a goal is on the goal's shard, so the shard's scatter
+// over the activity postings sees ALL contributions to each of its goals:
+// the slice's per-goal profile values equal the unsharded kernel's values
+// for those goals, and the disjoint slices reassemble into the exact global
+// profile. Slice totals (Σh, Σh², max h) are exact integers whenever the
+// root's certificate passes — precisely when they are used.
+void BestMatchRecommender::BuildShardProfile(util::IdSpan activity,
+                                             const util::StopToken* stop,
+                                             QueryWorkspace& ws,
+                                             BestMatchShardProfile& out) const {
+  // Weights scale dimensions by arbitrary doubles, which breaks the
+  // exact-integer partial-sum argument the root merge rests on.
+  GOALREC_CHECK(options_.goal_weights == nullptr);
+  out.goals.clear();
+  out.h.clear();
+  out.candidates.clear();
+  out.s1 = out.s2 = out.max_h = 0.0;
+
+  const uint32_t num_actions = library_->num_actions();
+  ws.BeginHMark(num_actions);
+  ws.BeginImplPass(library_->num_implementations());
+  for (model::ActionId h : activity) {
+    if (h >= num_actions) continue;  // action unseen by the library
+    ws.MarkH(h);
+    for (model::ImplId p : library_->ImplsOfAction(h)) ws.BumpImplCount(p);
+  }
+
+  // Local GS(H) slice, sorted; slots index it exactly as the unsharded
+  // kernel's slots index the global goal space.
+  ws.BeginGoalPass(library_->num_goals());
+  ws.goal_space.clear();
+  for (model::ImplId p : ws.touched_impls()) {
+    model::GoalId g = library_->GoalOf(p);
+    if (ws.GoalSlotOf(g) == QueryWorkspace::kNoSlot) {
+      ws.SetGoalSlot(g, 0);  // provisional: only the marked-ness matters yet
+      ws.goal_space.push_back(g);
+    }
+  }
+  std::sort(ws.goal_space.begin(), ws.goal_space.end());
+  const size_t n = ws.goal_space.size();
+  for (size_t i = 0; i < n; ++i) {
+    ws.SetGoalSlot(ws.goal_space[i], static_cast<uint32_t>(i));
+  }
+
+  // Local candidate slice AS(H) − H (H is shard-independent).
+  ws.BeginActionPass(num_actions);
+  for (model::ImplId p : ws.touched_impls()) {
+    for (model::ActionId a : library_->ActionsOf(p)) {
+      if (ws.InH(a)) continue;
+      if (ws.TestAndMark(a)) out.candidates.push_back(a);
+    }
+  }
+
+  // Sparse profile scatter over the slice — the same arithmetic as the
+  // unsharded kernel restricted to this shard's goals.
+  const bool boolean =
+      options_.representation == GoalVectorRepresentation::kBoolean;
+  ws.profile.assign(n, 0.0);
+  ws.slot_stamp.assign(n, 0);
+  if (ws.slot_value.size() < n) ws.slot_value.resize(n);
+  uint32_t stamp = 0;
+  for (model::ActionId a : activity) {
+    if (a >= num_actions) continue;
+    if (stop != nullptr && stop->ShouldStop()) break;  // best-effort partial
+    ++stamp;
+    for (model::ImplId p : library_->ImplsOfAction(a)) {
+      uint32_t slot = ws.GoalSlotOf(library_->GoalOf(p));
+      if (slot == QueryWorkspace::kNoSlot) continue;  // goal outside F_GS(H)
+      if (boolean && ws.slot_stamp[slot] == stamp) continue;
+      ws.slot_stamp[slot] = stamp;
+      ws.profile[slot] += 1.0;
+    }
+  }
+
+  out.goals.assign(ws.goal_space.begin(), ws.goal_space.end());
+  out.h.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double h = ws.profile[i];
+    out.h[i] = h;
+    out.max_h = std::max(out.max_h, h);
+    out.s1 += h;
+    out.s2 += h * h;
+  }
+}
+
+// Phase B of the sharded fan-out: this shard's exact-integer contribution
+// to each global candidate's distance. The per-candidate slot scatter and
+// the metric partials are literally the unsharded kernel's inner loop
+// restricted to this shard's slots, so the root's recombination
+// (shard_merge.cc) sums the same integer terms the unsharded kernel sums.
+void BestMatchRecommender::ShardCandidatePartials(
+    util::IdSpan candidates, const util::StopToken* stop, QueryWorkspace& ws,
+    std::vector<BestMatchCandidatePartial>& out) const {
+  GOALREC_CHECK(options_.goal_weights == nullptr);
+  const size_t n = ws.goal_space.size();
+  const bool boolean =
+      options_.representation == GoalVectorRepresentation::kBoolean;
+  const util::DistanceMetric metric = options_.metric;
+  out.clear();
+  out.resize(candidates.size());
+  // Fresh stamps for this pass; the goal→slot map and ws.profile are the
+  // slice state BuildShardProfile left behind.
+  ws.slot_stamp.assign(n, 0);
+  if (ws.slot_value.size() < n) ws.slot_value.resize(n);
+  uint32_t stamp = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (stop != nullptr && stop->ShouldStop()) break;  // best-effort partial
+    const model::ActionId a = candidates[i];
+    std::span<const model::ImplId> postings = library_->ImplsOfAction(a);
+    BestMatchCandidatePartial& partial = out[i];
+    partial.postings = static_cast<uint32_t>(postings.size());
+    ++stamp;
+    ws.touched_slots.clear();
+    for (model::ImplId p : postings) {
+      uint32_t slot = ws.GoalSlotOf(library_->GoalOf(p));
+      if (slot == QueryWorkspace::kNoSlot) continue;  // goal outside F_GS(H)
+      if (ws.slot_stamp[slot] != stamp) {
+        ws.slot_stamp[slot] = stamp;
+        ws.slot_value[slot] = 1.0;
+        ws.touched_slots.push_back(slot);
+      } else if (!boolean) {
+        ws.slot_value[slot] += 1.0;
+      }
+    }
+    switch (metric) {
+      case util::DistanceMetric::kEuclidean:
+        for (uint32_t slot : ws.touched_slots) {
+          double h = ws.profile[slot];
+          double d = h - ws.slot_value[slot];
+          partial.x += d * d - h * h;
+        }
+        break;
+      case util::DistanceMetric::kManhattan:
+        for (uint32_t slot : ws.touched_slots) {
+          double h = ws.profile[slot];
+          partial.x += std::abs(h - ws.slot_value[slot]) - h;
+        }
+        break;
+      case util::DistanceMetric::kCosine:
+        for (uint32_t slot : ws.touched_slots) {
+          double c = ws.slot_value[slot];
+          partial.x += ws.profile[slot] * c;
+          partial.y += c * c;
+        }
+        break;
+    }
+    ws.kernel_stats.slots_touched +=
+        static_cast<uint32_t>(ws.touched_slots.size());
   }
 }
 

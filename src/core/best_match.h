@@ -1,9 +1,12 @@
 #ifndef GOALREC_CORE_BEST_MATCH_H_
 #define GOALREC_CORE_BEST_MATCH_H_
 
+#include <vector>
+
 #include "core/goal_weights.h"
 #include "core/query_context.h"
 #include "core/recommender.h"
+#include "core/shard_types.h"
 #include "model/library.h"
 #include "util/dense_vector.h"
 
@@ -25,6 +28,14 @@ enum class GoalVectorRepresentation {
   /// contain a.
   kImplementationCount,
 };
+
+/// Exactness certificate for the sparse distance kernel (and for the
+/// sharded partial merge, which must evaluate the identical predicate over
+/// global totals): true when every intermediate of the distance arithmetic
+/// over `dims` goal-space dimensions with entries bounded by `cap` stays an
+/// exact integer below 2^53, making the sparse accumulation bit-identical
+/// to the dense strict-order walk.
+bool SparseDistanceIsExact(size_t dims, double cap);
 
 struct BestMatchOptions {
   GoalVectorRepresentation representation =
@@ -79,6 +90,29 @@ class BestMatchRecommender : public Recommender {
   /// Eq. 7/Eq. 8 embedding of one action over `goal_space` (sorted).
   util::DenseVector ActionVector(model::ActionId action,
                                  const model::IdSet& goal_space) const;
+
+  /// Sharded fan-out, phase A (shard_merge.h): derives this shard's GS(H)
+  /// slice and candidate set from the postings scatter, builds the profile
+  /// sub-vector over the slice, and records the slice totals the root needs
+  /// (Σh, Σh², max h). Goal-colocated partitioning makes the slices
+  /// disjoint, so the root reconstructs every global profile quantity by
+  /// exact-integer sums/maxes. Leaves the slice's goal→slot map, profile
+  /// and H marker in `ws` for ShardCandidatePartials. `activity` must be
+  /// normalised. Unweighted recommenders only.
+  void BuildShardProfile(util::IdSpan activity, const util::StopToken* stop,
+                         QueryWorkspace& ws,
+                         BestMatchShardProfile& out) const;
+
+  /// Sharded fan-out, phase B: for every action in `candidates` (the root's
+  /// global candidate union, any order), this shard's local posting count
+  /// and exact-integer distance partial over its GS(H) slice, aligned with
+  /// `candidates`. Must run on the same workspace as BuildShardProfile,
+  /// after it, with no other workspace use in between (it reads the slice
+  /// state phase A left behind).
+  void ShardCandidatePartials(util::IdSpan candidates,
+                              const util::StopToken* stop, QueryWorkspace& ws,
+                              std::vector<BestMatchCandidatePartial>& out)
+      const;
 
  private:
   /// ActionVector into a reused buffer (assign, no reallocation once warm).

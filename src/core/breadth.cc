@@ -1,6 +1,7 @@
 #include "core/breadth.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "obs/recorder.h"
 #include "obs/trace.h"
@@ -9,6 +10,19 @@
 #include "util/top_k.h"
 
 namespace goalrec::core {
+namespace {
+
+// Dense-accumulator activation threshold, as a multiple of num_actions
+// (see SetBreadthDenseCreditMultiplier in breadth.h). 4× is conservative:
+// the dense path must clearly amortise its O(num_actions) reset + scan.
+std::atomic<double> g_dense_credit_multiplier{4.0};
+
+}  // namespace
+
+double SetBreadthDenseCreditMultiplier(double multiplier) {
+  return g_dense_credit_multiplier.exchange(multiplier,
+                                            std::memory_order_relaxed);
+}
 
 BreadthRecommender::BreadthRecommender(
     const model::ImplementationLibrary* library,
@@ -90,13 +104,30 @@ void BreadthRecommender::RecommendInContext(const QueryContext& context,
 // With goal weights the terms are arbitrary doubles and addition order
 // matters, so that path sorts the touched list to restore the ascending
 // implementation-id order the reference accumulates in.
-void BreadthRecommender::RecommendOver(util::IdSpan activity, size_t k,
-                                       const util::StopToken* stop,
-                                       QueryWorkspace& ws,
-                                       RecommendationList& out) const {
-  obs::ScopedSpan span(obs::CurrentTrace(), "strategy/Breadth");
-  out.clear();
-  if (k == 0) return;
+// Scatter + accumulation shared by the serving kernel and the sharded
+// fan-out. Pass 1 walks the ImplsOfAction postings of every h ∈ H bumping a
+// per-implementation counter — after the pass every implementation
+// p ∈ IS(H) holds |A_p ∩ H| with no sorted intersections. Pass 2 credits
+// each count to the implementation's member actions, through one of two
+// accumulators:
+//
+//   * sparse (default): the epoch-stamped score array — O(1) reset, only
+//     touched actions visited afterwards;
+//   * dense: a plain array reset by assign() when the unweighted credit
+//     mass Σ|A_p| exceeds the configured multiple of num_actions — at that
+//     density every action slot is hit several times anyway, and the
+//     unconditional `+=` beats the sparse path's per-credit epoch branch.
+//
+// Bit-identity: unweighted scores are sums of small non-negative integers
+// held in doubles — every partial sum is an exact integer, so the result is
+// independent of accumulation order *and* of which accumulator ran; the
+// differential wall pins both against the reference. With goal weights the
+// terms are arbitrary doubles and addition order matters, so that path
+// sorts the touched list to restore ascending implementation-id order and
+// never takes the dense accumulator.
+bool BreadthRecommender::AccumulateScores(util::IdSpan activity,
+                                          const util::StopToken* stop,
+                                          QueryWorkspace& ws) const {
   const uint32_t num_actions = library_->num_actions();
   ws.BeginHMark(num_actions);
   ws.BeginImplPass(library_->num_implementations());
@@ -109,6 +140,32 @@ void BreadthRecommender::RecommendOver(util::IdSpan activity, size_t k,
       obs::RecorderEventType::kStageStamp,
       static_cast<uint16_t>(obs::KernelStage::kScatter),
       static_cast<uint32_t>(activity.size()));
+
+  if (goal_weights_ == nullptr) {
+    uint64_t credits = 0;
+    for (model::ImplId p : ws.touched_impls()) {
+      credits += library_->ImplActionCount(p);
+    }
+    const double threshold =
+        g_dense_credit_multiplier.load(std::memory_order_relaxed) *
+        static_cast<double>(num_actions);
+    if (static_cast<double>(credits) > threshold) {
+      ++ws.kernel_stats.dense_resets;
+      ws.dense_score.assign(num_actions, 0.0);
+      for (model::ImplId p : ws.touched_impls()) {
+        if (stop != nullptr && stop->ShouldStop()) break;  // partial
+        const double common = static_cast<double>(ws.ImplCountOf(p));
+        for (model::ActionId a : library_->ActionsOf(p)) {
+          ws.dense_score[a] += common;
+        }
+      }
+      obs::FlightRecorder::Default().Record(
+          obs::RecorderEventType::kStageStamp,
+          static_cast<uint16_t>(obs::KernelStage::kRank),
+          static_cast<uint32_t>(num_actions));
+      return true;
+    }
+  }
 
   ws.BeginActionPass(num_actions);
   std::span<const model::ImplId> impls = ws.touched_impls();
@@ -129,15 +186,38 @@ void BreadthRecommender::RecommendOver(util::IdSpan activity, size_t k,
       obs::RecorderEventType::kStageStamp,
       static_cast<uint16_t>(obs::KernelStage::kRank),
       static_cast<uint32_t>(ws.touched().size()));
+  return false;
+}
+
+void BreadthRecommender::RecommendOver(util::IdSpan activity, size_t k,
+                                       const util::StopToken* stop,
+                                       QueryWorkspace& ws,
+                                       RecommendationList& out) const {
+  obs::ScopedSpan span(obs::CurrentTrace(), "strategy/Breadth");
+  out.clear();
+  if (k == 0) return;
+  const uint32_t num_actions = library_->num_actions();
+  const bool dense = AccumulateScores(activity, stop, ws);
 
   // The top-k comparator is a total order (score desc, action id asc), so
-  // the result is independent of the touched-list's order.
+  // the result is independent of the candidate traversal order — the dense
+  // path's ascending-id scan and the sparse path's first-touch walk select
+  // the identical list.
   ws.top_k.Reset(k);
-  for (model::ActionId a : ws.touched()) {
-    if (ws.InH(a)) continue;  // already performed
-    double score = ws.ScoreOf(a);
-    if (score <= 0.0) continue;  // only weight-0 goals contributed
-    ws.top_k.Push(score, a);
+  if (dense) {
+    for (model::ActionId a = 0; a < num_actions; ++a) {
+      double score = ws.dense_score[a];
+      if (score <= 0.0) continue;  // untouched
+      if (ws.InH(a)) continue;     // already performed
+      ws.top_k.Push(score, a);
+    }
+  } else {
+    for (model::ActionId a : ws.touched()) {
+      if (ws.InH(a)) continue;  // already performed
+      double score = ws.ScoreOf(a);
+      if (score <= 0.0) continue;  // only weight-0 goals contributed
+      ws.top_k.Push(score, a);
+    }
   }
   ws.top_k.TakeInto([&out](double score, uint32_t id) {
     out.push_back(ScoredAction{id, score});
@@ -147,10 +227,35 @@ void BreadthRecommender::RecommendOver(util::IdSpan activity, size_t k,
       static_cast<uint16_t>(obs::KernelStage::kEmit),
       static_cast<uint32_t>(out.size()));
   span.Annotate("impl_space", ws.touched_impls().size());
-  span.Annotate("actions_scored", ws.touched().size());
+  span.Annotate("dense_reset", dense);
   span.Annotate("emitted", out.size());
   if (stop != nullptr && stop->StopRequested()) {
     span.Annotate("stopped_early", true);
+  }
+}
+
+void BreadthRecommender::AccumulateShard(
+    util::IdSpan activity, const util::StopToken* stop, QueryWorkspace& ws,
+    std::vector<ShardActionScore>& out) const {
+  // Weighted partials are arbitrary doubles whose addition order matters;
+  // the sharded merge sums partials shard-by-shard, which is only exact —
+  // hence only bit-identical — for the unweighted integer scores.
+  GOALREC_CHECK(goal_weights_ == nullptr);
+  out.clear();
+  const bool dense = AccumulateScores(activity, stop, ws);
+  if (dense) {
+    const uint32_t num_actions = library_->num_actions();
+    for (model::ActionId a = 0; a < num_actions; ++a) {
+      double score = ws.dense_score[a];
+      if (score <= 0.0) continue;
+      if (ws.InH(a)) continue;  // H is shard-independent: filter at the leaf
+      out.push_back(ShardActionScore{a, score});
+    }
+  } else {
+    for (model::ActionId a : ws.touched()) {
+      if (ws.InH(a)) continue;
+      out.push_back(ShardActionScore{a, ws.ScoreOf(a)});
+    }
   }
 }
 

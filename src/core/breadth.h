@@ -1,9 +1,12 @@
 #ifndef GOALREC_CORE_BREADTH_H_
 #define GOALREC_CORE_BREADTH_H_
 
+#include <vector>
+
 #include "core/goal_weights.h"
 #include "core/query_context.h"
 #include "core/recommender.h"
+#include "core/shard_types.h"
 #include "model/library.h"
 
 // The Breadth strategy (paper §5.2, Algorithm 2): evaluate every candidate
@@ -24,6 +27,16 @@
 // brute-force Eq. 6 evaluation.
 
 namespace goalrec::core {
+
+/// Breadth switches from the epoch-stamped sparse score accumulator to a
+/// dense assign-reset array when the scatter's total credit mass
+/// (Σ |A_p| over IS(H)) exceeds `multiplier × num_actions` — above that
+/// point an O(num_actions) reset plus unconditional adds beats per-credit
+/// epoch branches. Both accumulators sum the same exact integers, so the
+/// result is bit-identical either way (the oracle wall pins this). This
+/// knob exists for tests and benchmarks: 0 forces the dense path, a huge
+/// value forces the sparse path. Returns the previous multiplier.
+double SetBreadthDenseCreditMultiplier(double multiplier);
 
 class BreadthRecommender : public Recommender {
  public:
@@ -60,6 +73,17 @@ class BreadthRecommender : public Recommender {
   /// exposed for tests and explainability.
   double Score(model::ActionId action, const model::Activity& activity) const;
 
+  /// Sharded fan-out entry point (shard_merge.h): runs the scoring kernel
+  /// over this shard's library and dumps every scored candidate action as
+  /// an (action, partial score) record — the shard's exact-integer
+  /// contribution to the action's global Eq. 6 score. Actions in H are
+  /// excluded here (H is shard-independent). `activity` must be
+  /// normalised. Unweighted recommenders only (weighted partials are not
+  /// order-free).
+  void AccumulateShard(util::IdSpan activity, const util::StopToken* stop,
+                       QueryWorkspace& workspace,
+                       std::vector<ShardActionScore>& out) const;
+
  private:
   /// The scoring kernel: derives IS(H) and every |A ∩ H| itself via a
   /// postings scatter into `workspace`'s epoch-stamped counters, then
@@ -67,6 +91,14 @@ class BreadthRecommender : public Recommender {
   void RecommendOver(util::IdSpan activity, size_t k,
                      const util::StopToken* stop, QueryWorkspace& workspace,
                      RecommendationList& out) const;
+
+  /// Scatter + score accumulation shared by RecommendOver and
+  /// AccumulateShard. Returns true when the dense accumulator was used
+  /// (scores live in ws.dense_score, indexed by action id) and false for
+  /// the sparse one (scores behind ws.ScoreOf over ws.touched()). Either
+  /// way ws's H marker is set for the caller's emission pass.
+  bool AccumulateScores(util::IdSpan activity, const util::StopToken* stop,
+                        QueryWorkspace& ws) const;
 
   const model::ImplementationLibrary* library_;
   const GoalWeights* goal_weights_;

@@ -182,6 +182,46 @@ void FocusRecommender::RecommendInContext(const QueryContext& context,
   }
 }
 
+void FocusRecommender::EmitShardForMerge(
+    util::IdSpan activity, size_t k, util::IdSpan local_to_logical,
+    const util::StopToken* stop, QueryWorkspace& ws,
+    std::vector<ShardEmission>& out) const {
+  // Weighted scores multiply by arbitrary doubles per goal; the sharded
+  // wall only covers the exact unweighted arithmetic.
+  GOALREC_CHECK(goal_weights_ == nullptr);
+  out.clear();
+  if (k == 0) return;
+  RankUnsortedInto(activity, stop, ws, ws.ranked);
+  // Same lazy-heap walk as EmitFromRanking — identical comparator, local
+  // action dedup, ascending-id action order within an implementation — but
+  // each emission is tagged with the implementation's logical id (the tie
+  // key of the root merge) instead of being pushed into the result. The
+  // local dedup never drops a record the root would emit: the global
+  // emitter of an action is that action's first implementation in global
+  // (score desc, logical asc) order, and any locally-earlier implementation
+  // containing the action would also be globally earlier.
+  ws.BeginActionPass(library_->num_actions());
+  auto worse = [](const RankedImplementation& a,
+                  const RankedImplementation& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.impl > b.impl;
+  };
+  std::make_heap(ws.ranked.begin(), ws.ranked.end(), worse);
+  auto end = ws.ranked.end();
+  while (end != ws.ranked.begin()) {
+    std::pop_heap(ws.ranked.begin(), end, worse);
+    --end;
+    const RankedImplementation& entry = *end;
+    for (model::ActionId a : library_->ActionsOf(entry.impl)) {
+      if (ws.InH(a)) continue;            // already performed
+      if (!ws.TestAndMark(a)) continue;   // locally deduped
+      out.push_back(
+          ShardEmission{a, entry.score, local_to_logical[entry.impl]});
+      if (out.size() == k) return;
+    }
+  }
+}
+
 void FocusRecommender::EmitFromRanking(
     std::vector<RankedImplementation>& ranking, size_t k,
     QueryWorkspace& workspace, RecommendationList& out) const {

@@ -6,6 +6,7 @@
 #include "core/goal_weights.h"
 #include "core/query_context.h"
 #include "core/recommender.h"
+#include "core/shard_types.h"
 #include "model/library.h"
 
 // The Focus strategy (paper §5.1, Algorithm 1): rank the goal
@@ -78,6 +79,22 @@ class FocusRecommender : public Recommender {
   /// RankImplementations over a precomputed context.
   std::vector<RankedImplementation> RankImplementationsIn(
       const QueryContext& context) const;
+
+  /// Sharded fan-out entry point (shard_merge.h): runs the ranking kernel
+  /// over this shard's library and emits the first `k` locally-distinct
+  /// candidate actions as (action, score, logical implementation) records,
+  /// in the shard's emission order — (score desc, logical impl asc),
+  /// actions of one implementation adjacent in ascending id order.
+  /// Truncating at k distinct actions per shard is lossless: every record
+  /// the root merge accepts is preceded in its own shard's stream only by
+  /// records the root processed first, so its local distinct-action rank is
+  /// ≤ k. `local_to_logical` maps this shard's implementation ids to
+  /// logical (base) ids; `activity` must be normalised. Unweighted
+  /// recommenders only.
+  void EmitShardForMerge(util::IdSpan activity, size_t k,
+                         util::IdSpan local_to_logical,
+                         const util::StopToken* stop, QueryWorkspace& ws,
+                         std::vector<ShardEmission>& out) const;
 
  private:
   /// The ranking kernel: scatter-counts |A_p ∩ H| over the ImplsOfAction

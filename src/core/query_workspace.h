@@ -192,6 +192,11 @@ class QueryWorkspace {
   std::vector<double> slot_value;
   std::vector<uint32_t> slot_stamp;
   model::IdSet touched_slots;
+  /// Breadth's dense score accumulator: used instead of the epoch-stamped
+  /// sparse array when the scatter's credit mass is large enough that an
+  /// O(num_actions) assign-reset plus unconditional adds beats per-credit
+  /// epoch branches (breadth.h, SetBreadthDenseCreditMultiplier).
+  std::vector<double> dense_score;
   RecommendationList result;                   ///< callers' reusable out-list
 
   /// Why-was-this-query-slow counters, accumulated by the scoring kernels
@@ -201,6 +206,7 @@ class QueryWorkspace {
   struct KernelStats {
     uint32_t dense_fallbacks = 0;  ///< candidates scored via the dense path
     uint32_t slots_touched = 0;    ///< slot-scatter entries across candidates
+    uint32_t dense_resets = 0;     ///< Breadth dense-accumulator activations
   };
   KernelStats kernel_stats;
 

@@ -1,0 +1,78 @@
+#ifndef GOALREC_CORE_SHARD_TYPES_H_
+#define GOALREC_CORE_SHARD_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/types.h"
+
+// Per-shard partial results exchanged between the shard-local strategy
+// kernels (focus.h / breadth.h / best_match.h, *Shard* entry points) and the
+// root merge (shard_merge.h). Every field is either an id or an
+// exact-integer value held in a double, so the root can combine partials in
+// any order and still reproduce the unsharded kernel bit for bit (see
+// docs/serving.md, "Sharded serving").
+//
+// All buffers are caller-owned and reused across queries: the fan-out path
+// clears and refills them, never reallocates once warm.
+
+namespace goalrec::core {
+
+/// One Focus emission candidate from one shard: action `action` would be
+/// emitted with score `score` by logical implementation `logical_impl`.
+/// A shard's stream is ordered by (score desc, logical_impl asc), entries
+/// of one implementation adjacent with actions in ascending id order —
+/// exactly the unsharded Algorithm 1 emission order restricted to the
+/// shard.
+struct ShardEmission {
+  model::ActionId action = 0;
+  double score = 0.0;
+  uint32_t logical_impl = 0;
+};
+
+/// One Breadth partial: this shard's implementations contribute `score`
+/// (an exact integer: Σ |A_p ∩ H| over the shard's touched implementations
+/// containing `action`) to the action's global Eq. 6 score.
+struct ShardActionScore {
+  model::ActionId action = 0;
+  double score = 0.0;
+};
+
+/// Best Match phase-A output of one shard: the shard's slice of the goal
+/// space GS(H) with the profile values over it, the whole-slice totals the
+/// sparse distance kernel needs, and the shard-local candidate set.
+struct BestMatchShardProfile {
+  /// Shard-local GS(H) slice, sorted ascending. Disjoint across shards
+  /// (goal-colocated partitioning), so the global GS(H) is the merged
+  /// union.
+  model::IdSet goals;
+  /// Profile values aligned with `goals` (exact integers).
+  std::vector<double> h;
+  /// Σh, Σh², max h over the slice — the root sums/maxes these into the
+  /// global profile totals.
+  double s1 = 0.0;
+  double s2 = 0.0;
+  double max_h = 0.0;
+  /// Shard-local AS(H) − H. The root unions these into the global
+  /// candidate list for phase B.
+  model::IdSet candidates;
+};
+
+/// Best Match phase-B output of one shard for ONE global candidate: the
+/// shard's exact-integer contribution to the candidate's distance, plus the
+/// shard-local posting count (the root sums posting counts to evaluate the
+/// global exactness certificate).
+struct BestMatchCandidatePartial {
+  /// |ImplsOfAction(a)| on this shard.
+  uint32_t postings = 0;
+  /// Metric-dependent partial over the shard's GS(H) slice:
+  ///   Euclidean: Σ_touched ((h−c)² − h²)      (x; y unused)
+  ///   Manhattan: Σ_touched (|h−c| − h)        (x; y unused)
+  ///   Cosine:    Σ h·c (x) and Σ c² (y)
+  double x = 0.0;
+  double y = 0.0;
+};
+
+}  // namespace goalrec::core
+
+#endif  // GOALREC_CORE_SHARD_TYPES_H_

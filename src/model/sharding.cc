@@ -1,0 +1,102 @@
+#include "model/sharding.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace goalrec::model {
+namespace {
+
+/// splitmix64 finaliser: cheap, well-mixed, and stable across platforms —
+/// the shard of a goal id must not depend on std::hash's implementation.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* PartitionPolicyName(PartitionPolicy policy) {
+  switch (policy) {
+    case PartitionPolicy::kHashByGoal:
+      return "hash_goal";
+    case PartitionPolicy::kModuloGoal:
+      return "modulo_goal";
+  }
+  return "?";
+}
+
+std::shared_ptr<const ShardedSnapshot> BuildShardedSnapshot(
+    const ImplementationLibrary& base, uint32_t num_shards,
+    const ShardingOptions& options, uint64_t base_version) {
+  if (num_shards == 0) num_shards = 1;
+  auto out = std::make_shared<ShardedSnapshot>();
+  out->base = &base;
+  out->num_shards = num_shards;
+  out->base_version = base_version;
+
+  // Materialise the goal → shard assignment once.
+  const uint32_t num_goals = base.num_goals();
+  out->goal_shard.resize(num_goals);
+  if (options.custom) {
+    out->policy_name = options.custom_name;
+    for (GoalId g = 0; g < num_goals; ++g) {
+      uint32_t shard = options.custom(g, base, num_shards);
+      GOALREC_CHECK(shard < num_shards);
+      out->goal_shard[g] = shard;
+    }
+  } else {
+    out->policy_name = PartitionPolicyName(options.policy);
+    for (GoalId g = 0; g < num_goals; ++g) {
+      out->goal_shard[g] = options.policy == PartitionPolicy::kModuloGoal
+                               ? g % num_shards
+                               : static_cast<uint32_t>(Mix64(g) % num_shards);
+    }
+  }
+
+  // Every shard re-interns the FULL base vocabularies in base id order, so
+  // action/goal ids are base ids on every shard — queries fan out and merge
+  // without any id translation, and a shard can embed candidates it has
+  // never seen in its own implementations (Best Match phase B).
+  std::vector<LibraryBuilder> builders(num_shards);
+  for (LibraryBuilder& b : builders) {
+    b.ReserveActions(base.num_actions());
+    b.ReserveGoals(num_goals);
+    for (ActionId a = 0; a < base.num_actions(); ++a) {
+      ActionId id = b.InternAction(base.actions().Name(a));
+      GOALREC_CHECK(id == a);
+    }
+    for (GoalId g = 0; g < num_goals; ++g) {
+      GoalId id = b.InternGoal(base.goals().Name(g));
+      GOALREC_CHECK(id == g);
+    }
+  }
+
+  // Walk implementations in ascending logical id order so shard-local ids
+  // are assigned monotonically in logical order — the invariant that makes
+  // (score desc, local asc) equal (score desc, logical asc) per shard.
+  const uint32_t num_impls = base.num_implementations();
+  out->impl_shard.resize(num_impls);
+  out->impl_local.resize(num_impls);
+  out->local_to_logical.resize(num_shards);
+  for (ImplId p = 0; p < num_impls; ++p) {
+    const GoalId g = base.GoalOf(p);
+    const uint32_t shard = out->goal_shard[g];
+    ImplId local = builders[shard].AddImplementationIds(g, base.ActionsOf(p));
+    out->impl_shard[p] = shard;
+    out->impl_local[p] = local;
+    GOALREC_CHECK(local == out->local_to_logical[shard].size());
+    out->local_to_logical[shard].push_back(p);
+  }
+
+  out->shards.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    out->shards.push_back(MakeSnapshot(std::move(builders[s]).Build(),
+                                       "shard:" + std::to_string(s)));
+  }
+  return out;
+}
+
+}  // namespace goalrec::model

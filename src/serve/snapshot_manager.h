@@ -44,6 +44,10 @@
 //
 // See docs/serving.md ("Library hot reload") for the operational story.
 
+namespace goalrec::model {
+struct ShardedSnapshot;
+}  // namespace goalrec::model
+
 namespace goalrec::serve {
 
 /// One fully wired serving view: a library snapshot plus the ladder built
@@ -54,6 +58,11 @@ struct ServingSnapshot {
   std::vector<std::unique_ptr<const core::Recommender>> owned;
   /// Ladder rungs, best first; `recommender` points into `owned`.
   std::vector<ServingEngine::Rung> rungs;
+  /// Shard partition of `library` when the ladder serves sharded
+  /// (serve/sharded.h); null for unsharded deployments. Living on the
+  /// snapshot, the whole shard set swaps atomically with the library — a
+  /// query holds either the old complete set or the new one, never a mix.
+  std::shared_ptr<const model::ShardedSnapshot> sharded;
 };
 
 /// Builds the ladder for one library: push recommenders into `out.owned`

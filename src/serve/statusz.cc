@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <sstream>
 
+#include "model/sharding.h"
 #include "obs/exemplar.h"
 #include "obs/export.h"
+#include "obs/metrics.h"
 #include "obs/slo.h"
 #include "serve/admission.h"
 #include "serve/circuit_breaker.h"
@@ -49,6 +51,30 @@ void AppendMs(std::string& out, const char* field, uint64_t ns) {
   std::snprintf(buffer, sizeof(buffer), " %s=%.2fms", field,
                 static_cast<double>(ns) / 1e6);
   out += buffer;
+}
+
+/// Bucket-interpolated quantile of a histogram snapshot (the standard
+/// Prometheus histogram_quantile estimate): walks the cumulative counts to
+/// the target rank and interpolates linearly within the containing bucket.
+/// Observations in the +Inf bucket report the last finite bound (the
+/// estimate cannot exceed the instrumented range). Returns 0 when empty.
+double HistogramQuantile(const obs::HistogramSnapshot& histogram, double q) {
+  if (histogram.count <= 0 || histogram.bounds.empty()) return 0.0;
+  const double rank = q * static_cast<double>(histogram.count);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < histogram.counts.size(); ++i) {
+    cumulative += histogram.counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= histogram.bounds.size()) return histogram.bounds.back();
+    const double upper = histogram.bounds[i];
+    const double lower = i == 0 ? 0.0 : histogram.bounds[i - 1];
+    const int64_t in_bucket = histogram.counts[i];
+    if (in_bucket <= 0) return upper;
+    const double into =
+        rank - static_cast<double>(cumulative - in_bucket);
+    return lower + (upper - lower) * into / static_cast<double>(in_bucket);
+  }
+  return histogram.bounds.back();
 }
 
 /// Prefixes every line of `text` with `indent`.
@@ -175,6 +201,32 @@ std::string RenderStatusz(const StatuszSources& sources) {
       if (delta->quarantined_segments > 0) {
         out << "  quarantined_segments: " << delta->quarantined_segments
             << "\n";
+      }
+    }
+  }
+
+  if (sources.snapshots != nullptr) {
+    std::shared_ptr<const ServingSnapshot> serving =
+        sources.snapshots->Acquire();
+    if (serving->sharded != nullptr) {
+      const model::ShardedSnapshot& sharded = *serving->sharded;
+      out << "\n[shards] " << sharded.num_shards << " (policy "
+          << sharded.policy_name << ")\n";
+      for (uint32_t s = 0; s < sharded.num_shards; ++s) {
+        out << "  shard " << s << ": impls="
+            << sharded.shard_library(s).num_implementations() << "\n";
+      }
+      if (sources.metrics != nullptr) {
+        obs::RegistrySnapshot scrape = sources.metrics->Snapshot();
+        if (const obs::MetricSnapshot* merge =
+                scrape.Find("goalrec_shard_merge_latency_us");
+            merge != nullptr && merge->histogram.count > 0) {
+          std::snprintf(buffer, sizeof(buffer),
+                        "  merge_p99: %.1fus (%" PRId64 " merges)\n",
+                        HistogramQuantile(merge->histogram, 0.99),
+                        merge->histogram.count);
+          out << buffer;
+        }
       }
     }
   }

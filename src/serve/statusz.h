@@ -28,6 +28,7 @@
 
 namespace goalrec::obs {
 class ExemplarReservoir;
+class MetricRegistry;
 class SloTracker;
 }  // namespace goalrec::obs
 
@@ -42,8 +43,14 @@ class SnapshotManager;
 struct StatuszSources {
   /// Ladder shape and per-rung breakers.
   const ServingEngine* engine = nullptr;
-  /// Library version / age / reload history.
+  /// Library version / age / reload history. When the serving snapshot
+  /// carries a shard partition (serve/sharded.h), also feeds the [shards]
+  /// section: partition policy and per-shard implementation counts.
   const SnapshotManager* snapshots = nullptr;
+  /// Registry holding goalrec_shard_merge_latency_us; the [shards] section
+  /// reports the merge p99 (bucket-interpolated) from it. Null omits the
+  /// p99 line only — shard rows render from `snapshots` alone.
+  const obs::MetricRegistry* metrics = nullptr;
   /// Delta-log mutation state for the [library] section: segment backlog,
   /// tombstones, compaction history. A provider rather than a borrowed
   /// pointer because model::DeltaLog is not thread-safe — the owner of the

@@ -134,6 +134,7 @@
 #include "serve/engine.h"
 #include "serve/fault_injection.h"
 #include "serve/popularity_floor.h"
+#include "serve/sharded.h"
 #include "serve/snapshot_manager.h"
 #include "serve/statusz.h"
 #include "textmine/aliases.h"
@@ -937,6 +938,7 @@ int CmdServe(const FlagParser& flags) {
     std::fprintf(stderr,
                  "usage: goalrec serve <library|delta-dir> "
                  "[--strategy=breadth] "
+                 "[--shards=N] [--partition=hash|modulo] "
                  "[--deadline_ms=N] [--watch_library] "
                  "[--watch_interval_ms=500] [--canary_probes=3] "
                  "[--load_mode=strict|quarantine] [--slo_objective=0.999] "
@@ -955,6 +957,23 @@ int CmdServe(const FlagParser& flags) {
   if (strategy_name != "breadth" && strategy_name != "focus_cmp" &&
       strategy_name != "focus_cl" && strategy_name != "best_match") {
     GOALREC_LOG(ERROR) << "unknown --strategy '" << strategy_name << "'";
+    return 2;
+  }
+  // --shards=N (N >= 1) serves the strategy rung through the sharded
+  // fan-out/merge path (docs/serving.md, "Sharded serving"); 0 (default)
+  // keeps the single-scan ladder.
+  StatusOr<int64_t> shards_flag = flags.GetInt("shards", 0);
+  if (!shards_flag.ok() || *shards_flag < 0) {
+    GOALREC_LOG(ERROR) << "--shards must be a non-negative integer";
+    return 2;
+  }
+  const uint32_t num_shards = static_cast<uint32_t>(*shards_flag);
+  std::string partition_name = flags.GetString("partition", "hash");
+  goalrec::model::ShardingOptions sharding_options;
+  if (partition_name == "modulo") {
+    sharding_options.policy = goalrec::model::PartitionPolicy::kModuloGoal;
+  } else if (partition_name != "hash") {
+    GOALREC_LOG(ERROR) << "--partition must be hash or modulo";
     return 2;
   }
   StatusOr<goalrec::model::LoadOptions> load_options =
@@ -1032,9 +1051,37 @@ int CmdServe(const FlagParser& flags) {
     }
     guard.min_canary_passes = guard.canary_probes.empty() ? 0 : 1;
   }
+  // The fan-out pool must outlive the manager: rung recommenders inside the
+  // serving snapshots hold the pool pointer until the last snapshot drops.
+  std::optional<goalrec::util::ThreadPool> fanout_pool;
+  goalrec::serve::LadderFactory ladder_factory;
+  if (num_shards > 0) {
+    if (num_shards > 1) fanout_pool.emplace(num_shards - 1);
+    goalrec::serve::ShardedLadderOptions ladder_options;
+    ladder_options.num_shards = num_shards;
+    ladder_options.sharding = sharding_options;
+    ladder_options.pool = fanout_pool ? &*fanout_pool : nullptr;
+    goalrec::serve::ShardedStrategy sharded_strategy =
+        strategy_name == "focus_cmp"
+            ? goalrec::serve::ShardedStrategy::kFocusCompleteness
+        : strategy_name == "focus_cl"
+            ? goalrec::serve::ShardedStrategy::kFocusCloseness
+        : strategy_name == "best_match"
+            ? goalrec::serve::ShardedStrategy::kBestMatch
+            : goalrec::serve::ShardedStrategy::kBreadth;
+    ladder_options.rungs = {{strategy_name, sharded_strategy}};
+    ladder_factory = goalrec::serve::MakeShardedLadderFactory(ladder_options);
+  } else {
+    ladder_factory = MakeServeLadder(strategy_name);
+  }
   goalrec::serve::SnapshotManager manager(std::move(initial).value(),
-                                          MakeServeLadder(strategy_name),
-                                          guard);
+                                          std::move(ladder_factory), guard);
+  // Per-shard gauges (goalrec_shard_*) through the scrape-hook path.
+  std::optional<goalrec::serve::ShardStatsExporter> shard_exporter;
+  if (num_shards > 0) {
+    shard_exporter.emplace(
+        nullptr, [&manager] { return manager.Acquire()->sharded; });
+  }
   goalrec::serve::EngineOptions engine_options;
   StatusOr<int64_t> deadline_ms = flags.GetInt("deadline_ms", 0);
   if (!deadline_ms.ok() || *deadline_ms < 0) {
@@ -1061,6 +1108,7 @@ int CmdServe(const FlagParser& flags) {
   goalrec::serve::StatuszSources statusz_sources;
   statusz_sources.engine = &engine;
   statusz_sources.snapshots = &manager;
+  statusz_sources.metrics = &goalrec::obs::MetricRegistry::Default();
   statusz_sources.slo = &slo;
   statusz_sources.exemplars = &exemplars;
   if (delta_mode) {

@@ -44,9 +44,14 @@ TEST_P(SnapshotIoOracleTest, DecodedSnapshotIsBitIdenticalToOriginal) {
   DiffOptions strict;
   strict.strict_order = true;
   strict.score_tolerance = 0.0;
-  std::string text_path = (std::filesystem::temp_directory_path() /
-                           "goalrec_snapio_oracle_text.txt")
-                              .string();
+  // The strategy name keeps the path unique per parameterized instance:
+  // ctest -j runs the instances as concurrent processes, and a shared path
+  // races one process's rewrite against another's load.
+  std::string text_path =
+      (std::filesystem::temp_directory_path() /
+       ("goalrec_snapio_oracle_text_" +
+        std::string(OracleStrategyName(GetParam())) + ".txt"))
+          .string();
   for (int i = 0; i < kCasesPerStrategy; ++i) {
     uint64_t case_seed = seeds.NextUint64();
     OracleCase c = GenerateCase(
@@ -126,7 +131,8 @@ TEST_P(SnapshotIoOracleTest, FileRoundTripMatchesInMemoryEncoding) {
   std::vector<CaseShape> shapes = DefaultCaseShapes();
   util::Rng seeds(kMasterSeed, /*stream=*/43);
   std::string path = (std::filesystem::temp_directory_path() /
-                      "goalrec_snapio_oracle.snap")
+                      ("goalrec_snapio_oracle_" +
+                       std::string(OracleStrategyName(GetParam())) + ".snap"))
                          .string();
   for (int i = 0; i < 20; ++i) {
     uint64_t case_seed = seeds.NextUint64();

@@ -26,6 +26,7 @@
 #include "obs/slo.h"
 #include "serve/engine.h"
 #include "serve/popularity_floor.h"
+#include "serve/sharded.h"
 #include "serve/snapshot_manager.h"
 #include "testing/fixtures.h"
 
@@ -215,6 +216,54 @@ TEST(StatuszTest, DeltaStatsProviderRendersSegmentAndCompactionLines) {
   sources.delta_stats = [] { return std::optional<model::DeltaLogStats>(); };
   page = RenderStatusz(sources);
   EXPECT_EQ(page.find("delta_segments"), std::string::npos);
+}
+
+TEST(StatuszTest, ShardsSectionRendersPartitionAndMergeP99) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with GOALREC_OBS_NOOP";
+  obs::MetricRegistry metrics;
+  auto initial = model::MakeSnapshot(PaperLibrary(), "paper");
+  ShardedLadderOptions ladder;
+  ladder.num_shards = 3;
+  ladder.metrics = &metrics;
+  SnapshotManager manager(initial, MakeShardedLadderFactory(ladder), &metrics);
+  EngineOptions options;
+  options.metrics = &metrics;
+  ServingEngine engine(&manager, options);
+  // Populate the merge latency histogram so the p99 line renders.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(engine.Serve(model::Activity{0, 1}, 5).ok());
+  }
+
+  StatuszSources sources;
+  sources.snapshots = &manager;
+  sources.metrics = &metrics;
+  sources.recent_events = 0;
+  std::string page = RenderStatusz(sources);
+  EXPECT_NE(page.find("[shards] 3 (policy hash_goal)"), std::string::npos);
+  EXPECT_NE(page.find("shard 0: impls="), std::string::npos);
+  EXPECT_NE(page.find("shard 2: impls="), std::string::npos);
+  EXPECT_NE(page.find("merge_p99: "), std::string::npos);
+
+  // Per-shard impl counts sum to the library across the rendered rows.
+  auto sharded = manager.Acquire()->sharded;
+  ASSERT_NE(sharded, nullptr);
+  uint32_t total = 0;
+  for (uint32_t s = 0; s < sharded->num_shards; ++s) {
+    total += sharded->shard_library(s).num_implementations();
+  }
+  EXPECT_EQ(total, initial->library.num_implementations());
+}
+
+TEST(StatuszTest, UnshardedSnapshotOmitsShardsSection) {
+  obs::MetricRegistry metrics;
+  auto initial = model::MakeSnapshot(PaperLibrary(), "paper");
+  SnapshotManager manager(initial, TwoRungLadder, &metrics);
+  StatuszSources sources;
+  sources.snapshots = &manager;
+  sources.metrics = &metrics;
+  sources.recent_events = 0;
+  std::string page = RenderStatusz(sources);
+  EXPECT_EQ(page.find("[shards]"), std::string::npos);
 }
 
 }  // namespace
